@@ -1,0 +1,82 @@
+//! Disk-simulator throughput benchmarks: requests simulated per second
+//! under each scheduler and cache configuration.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spindle_disk::cache::CacheConfig;
+use spindle_disk::profile::DriveProfile;
+use spindle_disk::scheduler::SchedulerKind;
+use spindle_disk::sim::{DiskSim, SimConfig};
+use spindle_synth::presets::Environment;
+use spindle_trace::Request;
+
+fn workload(span_secs: f64) -> Vec<Request> {
+    Environment::Mail.spec(span_secs).generate(1234).unwrap()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let requests = workload(600.0);
+    let mut group = c.benchmark_group("disk_sim/scheduler");
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    for kind in SchedulerKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.to_string()),
+            &requests,
+            |b, reqs| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        scheduler: kind,
+                        ..SimConfig::default()
+                    };
+                    let mut sim = DiskSim::new(DriveProfile::cheetah_15k(), cfg);
+                    sim.run(black_box(reqs)).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache_modes(c: &mut Criterion) {
+    let requests = workload(600.0);
+    let mut group = c.benchmark_group("disk_sim/cache");
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    let configs: [(&str, CacheConfig); 2] = [
+        ("default", CacheConfig::default()),
+        ("disabled", CacheConfig::disabled()),
+    ];
+    for (name, cache) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &requests, |b, reqs| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    cache: Some(cache),
+                    ..SimConfig::default()
+                };
+                let mut sim = DiskSim::new(DriveProfile::cheetah_15k(), cfg);
+                sim.run(black_box(reqs)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_profiles(c: &mut Criterion) {
+    let requests = workload(300.0);
+    let mut group = c.benchmark_group("disk_sim/profile");
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    for profile in DriveProfile::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            &requests,
+            |b, reqs| {
+                b.iter(|| {
+                    let mut sim = DiskSim::new(profile.clone(), SimConfig::default());
+                    sim.run(black_box(reqs)).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_cache_modes, bench_profiles);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! One Criterion benchmark per evaluation **figure** (F1–F13): times
+//! the full regeneration of each figure's data at the quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spindle_bench::{figures, ExpConfig};
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let mut group = c.benchmark_group("experiments/figures");
+    group.sample_size(10);
+    group.bench_function("f1_utilization_over_time", |b| {
+        b.iter(|| figures::f1(&cfg).unwrap())
+    });
+    group.bench_function("f2_idle_interval_cdf", |b| {
+        b.iter(|| figures::f2(&cfg).unwrap())
+    });
+    group.bench_function("f3_busy_period_ccdf", |b| {
+        b.iter(|| figures::f3(&cfg).unwrap())
+    });
+    group.bench_function("f4_arrival_acf", |b| b.iter(|| figures::f4(&cfg).unwrap()));
+    group.bench_function("f5_variance_time_hurst", |b| {
+        b.iter(|| figures::f5(&cfg).unwrap())
+    });
+    group.bench_function("f6_hourly_activity", |b| {
+        b.iter(|| figures::f6(&cfg).unwrap())
+    });
+    group.bench_function("f7_write_fraction_dynamics", |b| {
+        b.iter(|| figures::f7(&cfg).unwrap())
+    });
+    group.bench_function("f8_family_utilization_cdf", |b| {
+        b.iter(|| figures::f8(&cfg).unwrap())
+    });
+    group.bench_function("f9_saturation_runs", |b| {
+        b.iter(|| figures::f9(&cfg).unwrap())
+    });
+    group.bench_function("f10_rw_across_scales", |b| {
+        b.iter(|| figures::f10(&cfg).unwrap())
+    });
+    group.bench_function("f11_spatial_structure", |b| {
+        b.iter(|| figures::f11(&cfg).unwrap())
+    });
+    group.bench_function("f12_background_budget", |b| {
+        b.iter(|| figures::f12(&cfg).unwrap())
+    });
+    group.bench_function("f13_power_policy", |b| {
+        b.iter(|| figures::f13(&cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

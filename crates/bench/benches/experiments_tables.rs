@@ -1,0 +1,40 @@
+//! One Criterion benchmark per evaluation **table** (T1–T8): times the
+//! full regeneration of each table at the quick scale. `cargo bench`
+//! therefore both re-runs and times every table of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spindle_bench::{tables, ExpConfig};
+
+fn bench_tables(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let mut group = c.benchmark_group("experiments/tables");
+    group.sample_size(10);
+    group.bench_function("t1_trace_inventory", |b| {
+        b.iter(|| tables::t1(&cfg).unwrap())
+    });
+    group.bench_function("t2_workload_summary", |b| {
+        b.iter(|| tables::t2(&cfg).unwrap())
+    });
+    group.bench_function("t3_idleness_availability", |b| {
+        b.iter(|| tables::t3(&cfg).unwrap())
+    });
+    group.bench_function("t4_hour_scale_stats", |b| {
+        b.iter(|| tables::t4(&cfg).unwrap())
+    });
+    group.bench_function("t5_lifetime_percentiles", |b| {
+        b.iter(|| tables::t5(&cfg).unwrap())
+    });
+    group.bench_function("t6_scheduler_ablation", |b| {
+        b.iter(|| tables::t6(&cfg).unwrap())
+    });
+    group.bench_function("t7_response_percentiles", |b| {
+        b.iter(|| tables::t7(&cfg).unwrap())
+    });
+    group.bench_function("t8_cache_ablation", |b| {
+        b.iter(|| tables::t8(&cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

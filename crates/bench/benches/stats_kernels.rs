@@ -1,0 +1,102 @@
+//! Micro-benchmarks of the statistical kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use spindle_stats::acf::acf;
+use spindle_stats::dispersion::idc_curve;
+use spindle_stats::ecdf::Ecdf;
+use spindle_stats::fft::{fft_in_place, Complex};
+use spindle_stats::hurst;
+use spindle_stats::moments::StreamingMoments;
+use spindle_stats::quantile::P2Quantile;
+use spindle_stats::timeseries::scale_ladder;
+
+fn series(n: usize) -> Vec<f64> {
+    let mut state = 0x0123_4567_89AB_CDEFu64;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64 * 10.0
+        })
+        .collect()
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let data = series(100_000);
+    c.bench_function("moments/streaming_100k", |b| {
+        b.iter(|| StreamingMoments::from_slice(black_box(&data)))
+    });
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    let data = series(100_000);
+    c.bench_function("quantile/p2_100k", |b| {
+        b.iter(|| {
+            let mut q = P2Quantile::new(0.99).unwrap();
+            for &x in black_box(&data) {
+                q.push(x);
+            }
+            q.estimate().unwrap()
+        })
+    });
+    c.bench_function("quantile/ecdf_build_100k", |b| {
+        b.iter(|| Ecdf::new(black_box(data.clone())).unwrap())
+    });
+}
+
+fn bench_acf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acf");
+    for n in [4_096usize, 16_384] {
+        let data = series(n);
+        group.bench_with_input(BenchmarkId::new("lag100", n), &data, |b, d| {
+            b.iter(|| acf(black_box(d), 100).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [1_024usize, 16_384] {
+        let data: Vec<Complex> = series(n).into_iter().map(Complex::from_real).collect();
+        group.bench_with_input(BenchmarkId::new("radix2", n), &data, |b, d| {
+            b.iter(|| {
+                let mut buf = d.clone();
+                fft_in_place(&mut buf).unwrap();
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hurst(c: &mut Criterion) {
+    let data = series(16_384);
+    c.bench_function("hurst/rescaled_range_16k", |b| {
+        b.iter(|| hurst::rescaled_range(black_box(&data)).unwrap())
+    });
+    c.bench_function("hurst/aggregated_variance_16k", |b| {
+        b.iter(|| hurst::aggregated_variance(black_box(&data)).unwrap())
+    });
+    c.bench_function("hurst/periodogram_16k", |b| {
+        b.iter(|| hurst::periodogram_estimate(black_box(&data), 0.1).unwrap())
+    });
+}
+
+fn bench_idc(c: &mut Criterion) {
+    let data = series(65_536);
+    let ladder = scale_ladder(data.len(), 16);
+    c.bench_function("dispersion/idc_curve_64k", |b| {
+        b.iter(|| idc_curve(black_box(&data), &ladder).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_moments,
+    bench_quantile,
+    bench_acf,
+    bench_fft,
+    bench_hurst,
+    bench_idc
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Workload-synthesis benchmarks: events generated per second for each
+//! arrival model, fGn sampling, and family generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spindle_synth::arrival::ArrivalModel;
+use spindle_synth::family::FamilySpec;
+use spindle_synth::fgn::sample_fgn;
+use spindle_synth::hourgen::{HourSeriesSpec, WEEK_HOURS};
+use spindle_synth::presets::Environment;
+
+fn bench_arrival_models(c: &mut Criterion) {
+    let span = 600.0;
+    let models: Vec<(&str, ArrivalModel)> = vec![
+        ("poisson", ArrivalModel::Poisson { rate: 50.0 }),
+        (
+            "mmpp2",
+            ArrivalModel::Mmpp2 {
+                rate_low: 5.0,
+                rate_high: 200.0,
+                mean_sojourn_low: 2.0,
+                mean_sojourn_high: 0.5,
+            },
+        ),
+        (
+            "pareto_on_off",
+            ArrivalModel::ParetoOnOff {
+                sources: 16,
+                alpha: 1.4,
+                mean_sojourn: 2.0,
+                rate_on: 6.0,
+            },
+        ),
+        (
+            "fgn_rate",
+            ArrivalModel::FgnRate {
+                hurst: 0.85,
+                mean_rate: 50.0,
+                sigma: 0.8,
+                interval_secs: 1.0,
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("synthesis/arrival");
+    for (name, model) in models {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, m| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                m.generate(black_box(span), &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fgn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis/fgn");
+    for n in [4_096usize, 65_536] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                sample_fgn(0.85, black_box(n), &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_workload(c: &mut Criterion) {
+    c.bench_function("synthesis/mail_spec_600s", |b| {
+        b.iter(|| Environment::Mail.spec(600.0).generate(black_box(3)).unwrap())
+    });
+}
+
+fn bench_family(c: &mut Criterion) {
+    let spec = FamilySpec {
+        drives: 50,
+        template: HourSeriesSpec {
+            hours: 2 * WEEK_HOURS,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    c.bench_function("synthesis/family_50x2w", |b| {
+        b.iter(|| spec.generate(black_box(4)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_arrival_models,
+    bench_fgn,
+    bench_full_workload,
+    bench_family
+);
+criterion_main!(benches);

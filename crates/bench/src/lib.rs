@@ -1,0 +1,23 @@
+//! Experiment harness: regenerates every table and figure of the
+//! evaluation.
+//!
+//! Each experiment is a pure function from an [`ExpConfig`] to a
+//! [`Table`](spindle_core::report::Table) or
+//! [`Figure`](spindle_core::report::Figure); the `experiments` binary
+//! prints them, the Criterion benches time them, and the integration
+//! tests assert their qualitative shape. The experiment ids (`T1`–`T6`,
+//! `F1`–`F10`) are indexed in `DESIGN.md` and their expected-vs-measured
+//! outcomes are recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod figures;
+pub mod pipeline;
+pub mod tables;
+
+pub use config::ExpConfig;
+
+/// Convenience result alias: experiments surface any layer's error.
+pub type Result<T> = std::result::Result<T, Box<dyn std::error::Error + Send + Sync>>;

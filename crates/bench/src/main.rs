@@ -1,0 +1,89 @@
+//! `experiments` — regenerates every table and figure of the
+//! evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick] [ids...]
+//! experiments --quick t2 f5        # just T2 and F5, reduced scale
+//! experiments                      # everything at paper scale
+//! ```
+
+use spindle_bench::{figures, tables, ExpConfig, Result};
+use std::time::Instant;
+
+const ALL_IDS: [&str; 21] = [
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "f1", "f2", "f3", "f4", "f5", "f6", "f7",
+    "f8", "f9", "f10", "f11", "f12", "f13",
+];
+
+fn run_one(id: &str, cfg: &ExpConfig) -> Result<String> {
+    Ok(match id {
+        "t1" => tables::t1(cfg)?.to_string(),
+        "t2" => tables::t2(cfg)?.to_string(),
+        "t3" => tables::t3(cfg)?.to_string(),
+        "t4" => tables::t4(cfg)?.to_string(),
+        "t5" => tables::t5(cfg)?.to_string(),
+        "t6" => tables::t6(cfg)?.to_string(),
+        "t7" => tables::t7(cfg)?.to_string(),
+        "t8" => tables::t8(cfg)?.to_string(),
+        "f1" => figures::f1(cfg)?.to_string(),
+        "f2" => figures::f2(cfg)?.to_string(),
+        "f3" => figures::f3(cfg)?.to_string(),
+        "f4" => figures::f4(cfg)?.to_string(),
+        "f5" => figures::f5(cfg)?.to_string(),
+        "f6" => figures::f6(cfg)?.to_string(),
+        "f7" => figures::f7(cfg)?.to_string(),
+        "f8" => figures::f8(cfg)?.to_string(),
+        "f9" => figures::f9(cfg)?.to_string(),
+        "f10" => figures::f10(cfg)?.to_string(),
+        "f11" => figures::f11(cfg)?.to_string(),
+        "f12" => figures::f12(cfg)?.to_string(),
+        "f13" => figures::f13(cfg)?.to_string(),
+        other => return Err(format!("unknown experiment id `{other}`").into()),
+    })
+}
+
+fn main() {
+    let mut quick = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick] [t1..t8 f1..f13]");
+                return;
+            }
+            other => ids.push(other.to_ascii_lowercase()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_IDS.iter().map(|s| (*s).to_owned()).collect();
+    }
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::full()
+    };
+    eprintln!(
+        "# config: seed={} ms_span={}s hour_weeks={} family_drives={}",
+        cfg.seed, cfg.ms_span_secs, cfg.hour_weeks, cfg.family_drives
+    );
+    let mut failed = false;
+    for id in &ids {
+        let start = Instant::now();
+        match run_one(id, &cfg) {
+            Ok(output) => {
+                println!("{output}");
+                eprintln!("# {id} done in {:.2}s", start.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("# {id} FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Shared generate → simulate → analyze plumbing used by the
+//! experiments.
+
+use crate::{ExpConfig, Result};
+use spindle_core::idle::IdleAnalysis;
+use spindle_core::millisecond::{MillisecondAnalysis, WorkloadSummary};
+use spindle_disk::profile::DriveProfile;
+use spindle_disk::sim::{DiskSim, SimConfig, SimResult};
+use spindle_synth::family::{DriveRecord, FamilySpec};
+use spindle_synth::hourgen::{HourSeriesSpec, WEEK_HOURS};
+use spindle_synth::presets::Environment;
+use spindle_trace::Request;
+
+/// One environment's generated trace and simulation outcome.
+#[derive(Debug)]
+pub struct EnvRun {
+    /// The environment it came from.
+    pub env: Environment,
+    /// The synthetic request stream.
+    pub requests: Vec<Request>,
+    /// The disk simulation result.
+    pub sim: SimResult,
+}
+
+impl EnvRun {
+    /// Generates and simulates one environment under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation and simulation errors.
+    pub fn new(env: Environment, cfg: &ExpConfig) -> Result<Self> {
+        Self::with_sim_config(env, cfg, SimConfig::default())
+    }
+
+    /// Same as [`EnvRun::new`] with an explicit simulator configuration
+    /// (used by the ablation experiment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation and simulation errors.
+    pub fn with_sim_config(env: Environment, cfg: &ExpConfig, sim_cfg: SimConfig) -> Result<Self> {
+        let spec = env.spec(cfg.ms_span_secs);
+        let requests = spec.generate(cfg.seed ^ env_seed(env))?;
+        let mut sim = DiskSim::new(DriveProfile::cheetah_15k(), sim_cfg);
+        let result = sim.run(&requests)?;
+        Ok(EnvRun {
+            env,
+            requests,
+            sim: result,
+        })
+    }
+
+    /// The per-request analysis view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis construction errors.
+    pub fn millisecond(&self) -> Result<MillisecondAnalysis<'_>> {
+        Ok(MillisecondAnalysis::new(&self.requests, &self.sim)?)
+    }
+
+    /// The workload summary row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors.
+    pub fn summary(&self) -> Result<WorkloadSummary> {
+        Ok(self.millisecond()?.summary()?)
+    }
+
+    /// The busy/idle analysis view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis construction errors.
+    pub fn idle(&self) -> Result<IdleAnalysis> {
+        Ok(IdleAnalysis::new(&self.sim.busy)?)
+    }
+}
+
+fn env_seed(env: Environment) -> u64 {
+    match env {
+        Environment::Mail => 0x11,
+        Environment::Web => 0x22,
+        Environment::Dev => 0x33,
+        Environment::Archive => 0x44,
+    }
+}
+
+/// Generates the standard drive family used by the hour- and
+/// lifetime-scale experiments.
+///
+/// # Errors
+///
+/// Propagates generation errors.
+pub fn standard_family(cfg: &ExpConfig) -> Result<Vec<DriveRecord>> {
+    let spec = FamilySpec {
+        drives: cfg.family_drives,
+        template: HourSeriesSpec {
+            hours: cfg.hour_weeks * WEEK_HOURS,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Ok(spec.generate(cfg.seed ^ 0xFA31)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_run_produces_consistent_views() {
+        let cfg = ExpConfig::quick();
+        let run = EnvRun::new(Environment::Web, &cfg).unwrap();
+        assert_eq!(run.requests.len(), run.sim.completed.len());
+        let s = run.summary().unwrap();
+        assert!(s.mean_utilization > 0.0 && s.mean_utilization < 1.0);
+        let idle = run.idle().unwrap();
+        assert!(idle.idle_fraction() > 0.0);
+    }
+
+    #[test]
+    fn standard_family_matches_config() {
+        let cfg = ExpConfig::quick();
+        let fam = standard_family(&cfg).unwrap();
+        assert_eq!(fam.len(), cfg.family_drives as usize);
+        assert_eq!(
+            fam[0].series.len(),
+            (cfg.hour_weeks * WEEK_HOURS) as usize
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimal flag parser: `--key value` and `--flag` forms.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Default)]
+pub struct Options {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parses `--key value` pairs and bare `--flag`s from `argv`.
+///
+/// `boolean_flags` lists the options that take no value.
+///
+/// # Errors
+///
+/// Returns a message for unknown syntax (non-`--` tokens) or a missing
+/// value.
+pub fn parse(argv: &[String], boolean_flags: &[&str]) -> Result<Options, String> {
+    let mut out = Options::default();
+    let mut it = argv.iter().peekable();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}` (options start with --)"));
+        };
+        if boolean_flags.contains(&key) {
+            out.flags.push(key.to_owned());
+        } else {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("option --{key} needs a value"))?;
+            out.values.insert(key.to_owned(), value.clone());
+        }
+    }
+    Ok(out)
+}
+
+impl Options {
+    /// String value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Whether the bare `--flag` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Parsed value of `--key`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("bad value for --{key}: {e}")),
+        }
+    }
+
+    /// Required value of `--key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the option is absent.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|v| (*v).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let o = parse(&argv(&["--env", "mail", "--binary", "--seed", "7"]), &["binary"]).unwrap();
+        assert_eq!(o.get("env"), Some("mail"));
+        assert!(o.flag("binary"));
+        assert!(!o.flag("quick"));
+        assert_eq!(o.get_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(o.get_or("span", 60.0).unwrap(), 60.0);
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        assert!(parse(&argv(&["positional"]), &[]).is_err());
+        assert!(parse(&argv(&["--seed"]), &[]).is_err());
+    }
+
+    #[test]
+    fn required_and_typed_errors() {
+        let o = parse(&argv(&["--seed", "abc"]), &[]).unwrap();
+        assert!(o.get_or("seed", 0u64).is_err());
+        assert!(o.required("env").is_err());
+        assert_eq!(o.required("seed").unwrap(), "abc");
+    }
+}

@@ -1,0 +1,494 @@
+//! Subcommand implementations.
+
+use crate::args::{parse, Options};
+use spindle_core::burstiness::BurstinessAnalysis;
+use spindle_core::idle::{IdleAnalysis, AVAILABILITY_THRESHOLDS};
+use spindle_core::lifetime::{saturation_curve, FamilyAnalysis};
+use spindle_core::millisecond::MillisecondAnalysis;
+use spindle_core::report::{cell, Table};
+use spindle_disk::profile::DriveProfile;
+use spindle_disk::scheduler::SchedulerKind;
+use spindle_disk::sim::{DiskSim, SimConfig, SimResult};
+use spindle_synth::family::FamilySpec;
+use spindle_synth::hourgen::{HourSeriesSpec, WEEK_HOURS};
+use spindle_synth::presets::parse_environment;
+use spindle_trace::{binary, text, Request};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+const HELP: &str = "\
+spindle — disk workload characterization toolkit
+
+USAGE:
+  spindle generate --env <mail|web|dev|archive> [--span SECS] [--seed N]
+                   [--out FILE] [--binary]
+  spindle simulate --in FILE [--profile NAME] [--scheduler POLICY]
+                   [--no-write-back]
+  spindle analyze  --in FILE [--profile NAME]
+  spindle family   [--drives N] [--weeks N] [--seed N]
+  spindle hourgen  [--drives N] [--weeks N] [--seed N]
+                   [--hours-out FILE] [--lifetimes-out FILE]
+  spindle power    --in FILE [--profile NAME]
+  spindle anonymize --in FILE --out FILE [--key N] [--extent SECTORS]
+  spindle help
+
+Profiles: cheetah-15k (default), savvio-10k, barracuda-es
+Schedulers: fcfs, sstf, look, sptf (default)
+Trace files ending in .bin are read/written in the binary format;
+anything else uses the text format.
+";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for any failure.
+pub fn dispatch(argv: &[String]) -> CmdResult {
+    let Some((cmd, rest)) = argv.split_first() else {
+        print!("{HELP}");
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "generate" => generate(&parse(rest, &["binary"])?),
+        "simulate" => simulate(&parse(rest, &["no-write-back"])?),
+        "analyze" => analyze(&parse(rest, &[])?),
+        "family" => family(&parse(rest, &[])?),
+        "hourgen" => hourgen(&parse(rest, &[])?),
+        "power" => power(&parse(rest, &["no-write-back"])?),
+        "anonymize" => anonymize(&parse(rest, &[])?),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `spindle help`)").into()),
+    }
+}
+
+fn profile_by_name(name: &str) -> Result<DriveProfile, String> {
+    DriveProfile::all()
+        .into_iter()
+        .find(|p| p.name == name)
+        .ok_or_else(|| format!("unknown profile `{name}` (try cheetah-15k, savvio-10k, barracuda-es)"))
+}
+
+fn read_trace(path: &str) -> Result<Vec<Request>, Box<dyn std::error::Error>> {
+    let file = File::open(path)?;
+    let requests = if path.ends_with(".bin") {
+        binary::read_requests(BufReader::new(file))?
+    } else {
+        text::read_requests(BufReader::new(file))?
+    };
+    Ok(requests)
+}
+
+fn generate(opts: &Options) -> CmdResult {
+    let env = parse_environment(opts.required("env")?)?;
+    let span: f64 = opts.get_or("span", 3600.0)?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let requests = env.spec(span).generate(seed)?;
+    let summary = spindle_trace::transform::summarize(&requests);
+
+    match opts.get("out") {
+        Some(path) => {
+            let mut w = BufWriter::new(File::create(path)?);
+            if opts.flag("binary") || path.ends_with(".bin") {
+                binary::write_requests(&mut w, &requests)?;
+            } else {
+                text::write_requests(&mut w, &requests)?;
+            }
+            w.flush()?;
+            eprintln!(
+                "wrote {} requests ({:.1} MB moved) over {:.0}s to {path}",
+                summary.requests,
+                summary.bytes as f64 / 1e6,
+                span
+            );
+        }
+        None => {
+            let stdout = std::io::stdout();
+            text::write_requests(stdout.lock(), &requests)?;
+        }
+    }
+    Ok(())
+}
+
+fn run_simulation(opts: &Options, requests: &[Request]) -> Result<SimResult, Box<dyn std::error::Error>> {
+    let profile = profile_by_name(opts.get("profile").unwrap_or("cheetah-15k"))?;
+    let scheduler = SchedulerKind::parse(opts.get("scheduler").unwrap_or("sptf"))?;
+    let mut cache = profile.cache;
+    if opts.flag("no-write-back") {
+        cache.write_back = false;
+    }
+    let cfg = SimConfig {
+        scheduler,
+        cache: Some(cache),
+        flush_at_end: true,
+    };
+    let mut sim = DiskSim::new(profile, cfg);
+    Ok(sim.run(requests)?)
+}
+
+fn simulate(opts: &Options) -> CmdResult {
+    let requests = read_trace(opts.required("in")?)?;
+    let result = run_simulation(opts, &requests)?;
+    let mut t = Table::new("simulation summary", &["metric", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("requests", result.completed.len().to_string()),
+        ("span (s)", cell(result.busy.span_ns() as f64 / 1e9, 1)),
+        ("utilization", cell(result.utilization(), 4)),
+        ("mean response (ms)", cell(result.mean_response_ms(), 2)),
+        (
+            "read hit ratio",
+            result
+                .read_hit_ratio()
+                .map_or_else(|| "n/a".to_owned(), |r| cell(r, 3)),
+        ),
+        ("writes cached", result.writes_cached.to_string()),
+        ("writes forced", result.writes_forced.to_string()),
+        ("destages", result.destages.to_string()),
+    ];
+    for (k, v) in rows {
+        t.push_row(vec![k.to_owned(), v]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn analyze(opts: &Options) -> CmdResult {
+    let requests = read_trace(opts.required("in")?)?;
+    let result = run_simulation(opts, &requests)?;
+    let analysis = MillisecondAnalysis::new(&requests, &result)?;
+    let s = analysis.summary()?;
+
+    let mut t = Table::new("workload summary", &["metric", "value"]);
+    for (k, v) in [
+        ("requests", s.requests.to_string()),
+        ("span (s)", cell(s.span_secs, 1)),
+        ("arrival rate (req/s)", cell(s.arrival_rate, 2)),
+        ("interarrival SCV", cell(s.interarrival_scv, 1)),
+        ("mean request (KB)", cell(s.mean_request_kb, 1)),
+        ("write fraction", cell(s.write_fraction, 3)),
+        ("sequential fraction", cell(s.sequential_fraction, 3)),
+        ("mean utilization", cell(s.mean_utilization, 4)),
+        ("mean response (ms)", cell(s.mean_response_ms, 2)),
+    ] {
+        t.push_row(vec![k.to_owned(), v]);
+    }
+    println!("{t}");
+
+    let idle = IdleAnalysis::new(&result.busy)?;
+    let mut t = Table::new(
+        "idleness availability",
+        &["threshold (s)", "idle-time share", "interval share"],
+    );
+    for row in idle.availability(&AVAILABILITY_THRESHOLDS) {
+        t.push_row(vec![
+            cell(row.threshold_secs, 2),
+            cell(row.fraction_of_idle_time, 3),
+            cell(row.fraction_of_intervals, 3),
+        ]);
+    }
+    println!("{t}");
+
+    let events = analysis.arrival_times_secs();
+    match burstiness_table(&events, s.span_secs) {
+        Ok(t) => println!("{t}"),
+        // Short traces legitimately lack the data for multi-scale
+        // estimation; report and continue.
+        Err(e) => eprintln!("burstiness analysis skipped: {e}"),
+    }
+    Ok(())
+}
+
+fn burstiness_table(events: &[f64], span_secs: f64) -> Result<Table, Box<dyn std::error::Error>> {
+    let b = BurstinessAnalysis::new(events, span_secs, 1.0)?;
+    let h = b.hurst()?;
+    let (run, band) = b.correlation_horizon(100.min(events.len() / 2))?;
+    let mut t = Table::new("burstiness", &["metric", "value"]);
+    for (k, v) in [
+        ("Hurst (R/S)", cell(h.rs, 3)),
+        ("Hurst (agg. variance)", cell(h.aggregated_variance, 3)),
+        ("Hurst (periodogram)", cell(h.periodogram, 3)),
+        ("Hurst (wavelet)", cell(h.wavelet, 3)),
+        ("significant ACF lags", run.to_string()),
+        ("white-noise band", cell(band, 4)),
+        (
+            "bursty across scales",
+            b.is_bursty_across_scales()?.to_string(),
+        ),
+    ] {
+        t.push_row(vec![k.to_owned(), v]);
+    }
+    Ok(t)
+}
+
+fn family(opts: &Options) -> CmdResult {
+    let drives: u32 = opts.get_or("drives", 200)?;
+    let weeks: u32 = opts.get_or("weeks", 4)?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let spec = FamilySpec {
+        drives,
+        template: HourSeriesSpec {
+            hours: weeks * WEEK_HOURS,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let fam = spec.generate(seed)?;
+    let lifetimes: Vec<_> = fam.iter().map(|d| d.lifetime).collect();
+    let a = FamilyAnalysis::new(&lifetimes)?;
+
+    let mut t = Table::new(
+        "family percentiles",
+        &["percentile", "utilization", "MB/hour", "ops/hour"],
+    );
+    for p in a.percentiles()? {
+        t.push_row(vec![
+            format!("p{:.0}", p.level * 100.0),
+            cell(p.utilization, 4),
+            cell(p.mb_per_hour, 1),
+            cell(p.ops_per_hour, 0),
+        ]);
+    }
+    println!("{t}");
+
+    let series: Vec<_> = fam.iter().map(|d| d.series.clone()).collect();
+    let curve = saturation_curve(&series, 0.99, 24)?;
+    let mut t = Table::new(
+        "saturated-run curve (util >= 0.99)",
+        &["k (hours)", "fraction of drives"],
+    );
+    for p in curve.iter().filter(|p| [1, 2, 4, 8, 12, 24].contains(&p.run_hours)) {
+        t.push_row(vec![p.run_hours.to_string(), cell(p.fraction_of_drives, 3)]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn power(opts: &Options) -> CmdResult {
+    use spindle_disk::power::{timeout_sweep, PowerModel, PowerPolicy};
+    let requests = read_trace(opts.required("in")?)?;
+    let result = run_simulation(opts, &requests)?;
+    let model = PowerModel::enterprise_15k();
+    let baseline = spindle_disk::power::evaluate_policy(
+        &model,
+        &PowerPolicy::always_on(),
+        &result.busy,
+    )?;
+    let mut t = Table::new(
+        "power policy sweep (enterprise-15k model)",
+        &["standby timeout (s)", "mean W", "savings %", "spin-ups", "recovery s/h"],
+    );
+    t.push_row(vec![
+        "always-on".to_owned(),
+        cell(baseline.mean_watts(), 2),
+        cell(0.0, 1),
+        "0".to_owned(),
+        cell(0.0, 1),
+    ]);
+    for (timeout, o) in timeout_sweep(&model, &result.busy, &[1.0, 5.0, 20.0, 60.0, 300.0])? {
+        t.push_row(vec![
+            cell(timeout, 0),
+            cell(o.mean_watts(), 2),
+            cell(o.savings_vs(&baseline) * 100.0, 1),
+            o.spinups.to_string(),
+            cell(o.recovery_delay_secs / o.span_secs * 3600.0, 1),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn anonymize(opts: &Options) -> CmdResult {
+    use spindle_trace::anonymize::Anonymizer;
+    let requests = read_trace(opts.required("in")?)?;
+    let out_path = opts.required("out")?;
+    let key: u64 = opts.get_or("key", 0xC0FF_EE00)?;
+    let extent: u64 = opts.get_or("extent", 262_144)?;
+    // Size the permutation domain to the trace's address span.
+    let capacity = requests
+        .iter()
+        .map(spindle_trace::Request::end_lba)
+        .max()
+        .unwrap_or(0)
+        .max(2 * extent);
+    let anon = Anonymizer::new(key, capacity, extent)?;
+    let scrambled = anon.anonymize(&requests);
+    let mut w = BufWriter::new(File::create(out_path)?);
+    if out_path.ends_with(".bin") {
+        binary::write_requests(&mut w, &scrambled)?;
+    } else {
+        text::write_requests(&mut w, &scrambled)?;
+    }
+    w.flush()?;
+    eprintln!("anonymized {} requests to {out_path}", scrambled.len());
+    Ok(())
+}
+
+fn hourgen(opts: &Options) -> CmdResult {
+    let drives: u32 = opts.get_or("drives", 8)?;
+    let weeks: u32 = opts.get_or("weeks", 2)?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let spec = FamilySpec {
+        drives,
+        template: HourSeriesSpec {
+            hours: weeks * WEEK_HOURS,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let fam = spec.generate(seed)?;
+
+    let hours: Vec<&spindle_trace::HourRecord> =
+        fam.iter().flat_map(|d| d.series.records()).collect();
+    match opts.get("hours-out") {
+        Some(path) => {
+            let mut w = BufWriter::new(File::create(path)?);
+            spindle_trace::csv::write_hours(&mut w, hours.iter().copied())?;
+            w.flush()?;
+            eprintln!("wrote {} hour records to {path}", hours.len());
+        }
+        None => {
+            let stdout = std::io::stdout();
+            spindle_trace::csv::write_hours(stdout.lock(), hours.iter().copied())?;
+        }
+    }
+    if let Some(path) = opts.get("lifetimes-out") {
+        let lifetimes: Vec<spindle_trace::LifetimeRecord> =
+            fam.iter().map(|d| d.lifetime).collect();
+        let mut w = BufWriter::new(File::create(path)?);
+        spindle_trace::csv::write_lifetimes(&mut w, lifetimes.iter())?;
+        w.flush()?;
+        eprintln!("wrote {} lifetime records to {path}", lifetimes.len());
+    }
+    Ok(())
+}
+
+// Keep `Read` in scope for the generic trace readers above without a
+// clippy unused-import warning when features shift.
+#[allow(dead_code)]
+fn _assert_read_bound<R: Read>(_: R) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|v| (*v).to_owned()).collect()
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert!(dispatch(&argv(&["help"])).is_ok());
+        assert!(dispatch(&[]).is_ok());
+    }
+
+    #[test]
+    fn generate_requires_env() {
+        assert!(dispatch(&argv(&["generate"])).is_err());
+        assert!(dispatch(&argv(&["generate", "--env", "nosuch"])).is_err());
+    }
+
+    #[test]
+    fn generate_simulate_analyze_roundtrip() {
+        let dir = std::env::temp_dir().join("spindle-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mail.bin");
+        let path_str = path.to_str().unwrap();
+        dispatch(&argv(&[
+            "generate", "--env", "mail", "--span", "120", "--seed", "3", "--out", path_str,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["simulate", "--in", path_str])).unwrap();
+        dispatch(&argv(&["analyze", "--in", path_str])).unwrap();
+        dispatch(&argv(&[
+            "simulate",
+            "--in",
+            path_str,
+            "--scheduler",
+            "fcfs",
+            "--no-write-back",
+            "--profile",
+            "barracuda-es",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hourgen_writes_readable_csv() {
+        let dir = std::env::temp_dir().join("spindle-cli-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hours = dir.join("hours.csv");
+        let lifetimes = dir.join("lifetimes.csv");
+        dispatch(&argv(&[
+            "hourgen",
+            "--drives", "3",
+            "--weeks", "1",
+            "--seed", "5",
+            "--hours-out", hours.to_str().unwrap(),
+            "--lifetimes-out", lifetimes.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let parsed =
+            spindle_trace::csv::read_hours(std::fs::File::open(&hours).unwrap()).unwrap();
+        assert_eq!(parsed.len(), 3 * 168);
+        let lt =
+            spindle_trace::csv::read_lifetimes(std::fs::File::open(&lifetimes).unwrap()).unwrap();
+        assert_eq!(lt.len(), 3);
+        std::fs::remove_file(hours).unwrap();
+        std::fs::remove_file(lifetimes).unwrap();
+    }
+
+    #[test]
+    fn power_and_anonymize_commands_run() {
+        let dir = std::env::temp_dir().join("spindle-cli-test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.bin");
+        let anon = dir.join("anon.bin");
+        dispatch(&argv(&[
+            "generate", "--env", "web", "--span", "120", "--seed", "6", "--out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&argv(&["power", "--in", trace.to_str().unwrap()])).unwrap();
+        dispatch(&argv(&[
+            "anonymize",
+            "--in", trace.to_str().unwrap(),
+            "--out", anon.to_str().unwrap(),
+            "--key", "77",
+        ]))
+        .unwrap();
+        // The anonymized trace simulates like any other trace.
+        dispatch(&argv(&["simulate", "--in", anon.to_str().unwrap()])).unwrap();
+        std::fs::remove_file(trace).unwrap();
+        std::fs::remove_file(anon).unwrap();
+    }
+
+    #[test]
+    fn family_command_runs_small() {
+        dispatch(&argv(&["family", "--drives", "15", "--weeks", "1", "--seed", "5"])).unwrap();
+    }
+
+    #[test]
+    fn bad_profile_and_scheduler_error() {
+        let dir = std::env::temp_dir().join("spindle-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.txt");
+        let path_str = path.to_str().unwrap();
+        dispatch(&argv(&[
+            "generate", "--env", "web", "--span", "60", "--out", path_str,
+        ]))
+        .unwrap();
+        assert!(dispatch(&argv(&["simulate", "--in", path_str, "--profile", "nope"])).is_err());
+        assert!(dispatch(&argv(&["simulate", "--in", path_str, "--scheduler", "nope"])).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

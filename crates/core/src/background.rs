@@ -1,0 +1,244 @@
+//! Idle-time background-work modeling.
+//!
+//! The practical payoff of the idleness analysis is deciding how much
+//! background work (media scrubbing, rebuild, garbage collection,
+//! power-down) fits into a drive's idle periods without touching
+//! foreground requests. [`BackgroundTask`] models a non-preemptive-setup
+//! task scheduled greedily into idle intervals:
+//!
+//! * the drive waits `idle_wait_secs` after going idle before starting
+//!   background work (the standard firmware heuristic that protects
+//!   short idle gaps),
+//! * each activation then pays `setup_secs` once (spin-up/seek to the
+//!   background working area),
+//! * work proceeds until the interval ends; the remainder of the
+//!   interval is productive time.
+//!
+//! [`BackgroundTask::schedule`] returns both the aggregate budget and
+//! the per-interval utilization so policies can be compared (e.g. the
+//! idle-wait sensitivity figure).
+
+use crate::{CoreError, Result};
+use spindle_disk::busy::BusyLog;
+
+/// A background task's scheduling parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackgroundTask {
+    /// Idle time that must elapse before the task may start.
+    pub idle_wait_secs: f64,
+    /// One-time cost per activation (positioning, spin-up).
+    pub setup_secs: f64,
+    /// Productive rate while running, in units per second (e.g. bytes
+    /// scrubbed per second).
+    pub rate_per_sec: f64,
+}
+
+impl BackgroundTask {
+    /// Creates a task model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] for negative waits/setups or
+    /// a non-positive rate.
+    pub fn new(idle_wait_secs: f64, setup_secs: f64, rate_per_sec: f64) -> Result<Self> {
+        if idle_wait_secs < 0.0 || setup_secs < 0.0 {
+            return Err(CoreError::InvalidInput {
+                reason: "idle wait and setup cost cannot be negative".into(),
+            });
+        }
+        if !(rate_per_sec > 0.0) {
+            return Err(CoreError::InvalidInput {
+                reason: "background rate must be positive".into(),
+            });
+        }
+        Ok(BackgroundTask {
+            idle_wait_secs,
+            setup_secs,
+            rate_per_sec,
+        })
+    }
+
+    /// Greedily schedules the task into every idle interval of `log`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a well-formed busy log; kept fallible for
+    /// interface uniformity.
+    pub fn schedule(&self, log: &BusyLog) -> Result<BackgroundSchedule> {
+        let idle = log.idle_durations_secs();
+        let threshold = self.idle_wait_secs + self.setup_secs;
+        let mut productive = 0.0;
+        let mut activations = 0u64;
+        let mut usable_intervals = 0u64;
+        for &d in &idle {
+            if d > threshold {
+                productive += d - threshold;
+                activations += 1;
+                usable_intervals += 1;
+            }
+        }
+        let span = log.span_ns() as f64 / 1e9;
+        Ok(BackgroundSchedule {
+            productive_secs: productive,
+            activations,
+            usable_intervals,
+            total_intervals: idle.len() as u64,
+            span_secs: span,
+            work_done: productive * self.rate_per_sec,
+            total_idle_secs: log.total_idle_ns() as f64 / 1e9,
+        })
+    }
+}
+
+/// Outcome of scheduling a background task into a busy log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackgroundSchedule {
+    /// Seconds of productive background time.
+    pub productive_secs: f64,
+    /// Number of task activations (one per usable interval).
+    pub activations: u64,
+    /// Idle intervals long enough to be used.
+    pub usable_intervals: u64,
+    /// Total idle intervals in the log.
+    pub total_intervals: u64,
+    /// Observation span in seconds.
+    pub span_secs: f64,
+    /// Work completed (`productive_secs × rate`).
+    pub work_done: f64,
+    /// Total idle time available, in seconds.
+    pub total_idle_secs: f64,
+}
+
+impl BackgroundSchedule {
+    /// Fraction of the idle time converted into productive background
+    /// time (the rest is lost to waits, setups, and unusable short
+    /// gaps).
+    pub fn idle_efficiency(&self) -> f64 {
+        if self.total_idle_secs == 0.0 {
+            0.0
+        } else {
+            self.productive_secs / self.total_idle_secs
+        }
+    }
+
+    /// Productive background seconds per wall-clock hour.
+    pub fn productive_secs_per_hour(&self) -> f64 {
+        self.productive_secs / self.span_secs * 3600.0
+    }
+
+    /// Work completed per wall-clock hour.
+    pub fn work_per_hour(&self) -> f64 {
+        self.work_done / self.span_secs * 3600.0
+    }
+}
+
+/// Sweeps the idle-wait parameter and reports the efficiency at each
+/// setting — the data behind the idle-wait sensitivity figure.
+///
+/// # Errors
+///
+/// Propagates [`BackgroundTask::new`] validation failures.
+pub fn idle_wait_sweep(
+    log: &BusyLog,
+    waits_secs: &[f64],
+    setup_secs: f64,
+    rate_per_sec: f64,
+) -> Result<Vec<(f64, BackgroundSchedule)>> {
+    waits_secs
+        .iter()
+        .map(|&w| {
+            let task = BackgroundTask::new(w, setup_secs, rate_per_sec)?;
+            Ok((w, task.schedule(log)?))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_disk::busy::BusyLogBuilder;
+
+    fn log(periods: &[(u64, u64)], span: u64) -> BusyLog {
+        let mut b = BusyLogBuilder::new();
+        for &(s, e) in periods {
+            b.push(s, e).unwrap();
+        }
+        b.finish(span).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BackgroundTask::new(-1.0, 0.0, 1.0).is_err());
+        assert!(BackgroundTask::new(0.0, -1.0, 1.0).is_err());
+        assert!(BackgroundTask::new(0.0, 0.0, 0.0).is_err());
+        assert!(BackgroundTask::new(0.5, 0.1, 1e8).is_ok());
+    }
+
+    #[test]
+    fn schedule_accounts_waits_and_setups() {
+        // Idle: [0,10s), busy [10,11s), idle [11,16s): intervals 10s
+        // and 5s.
+        let l = log(&[(10_000_000_000, 11_000_000_000)], 16_000_000_000);
+        let task = BackgroundTask::new(1.0, 1.0, 2.0).unwrap();
+        let s = task.schedule(&l).unwrap();
+        // Productive: (10-2) + (5-2) = 11 s; work = 22 units.
+        assert_eq!(s.activations, 2);
+        assert!((s.productive_secs - 11.0).abs() < 1e-9);
+        assert!((s.work_done - 22.0).abs() < 1e-9);
+        assert_eq!(s.total_intervals, 2);
+        assert!((s.idle_efficiency() - 11.0 / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_gaps_are_skipped() {
+        // Many 0.5 s gaps with a 1 s threshold: nothing usable.
+        let mut b = BusyLogBuilder::new();
+        for i in 0..10u64 {
+            b.push(i * 1_000_000_000, i * 1_000_000_000 + 500_000_000)
+                .unwrap();
+        }
+        let l = b.finish(10_000_000_000).unwrap();
+        let task = BackgroundTask::new(0.7, 0.3, 1.0).unwrap();
+        let s = task.schedule(&l).unwrap();
+        assert_eq!(s.usable_intervals, 0);
+        assert_eq!(s.productive_secs, 0.0);
+        assert_eq!(s.idle_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn zero_cost_task_uses_all_idle_time() {
+        let l = log(&[(2_000_000_000, 3_000_000_000)], 10_000_000_000);
+        let task = BackgroundTask::new(0.0, 0.0, 1.0).unwrap();
+        let s = task.schedule(&l).unwrap();
+        assert!((s.idle_efficiency() - 1.0).abs() < 1e-9);
+        assert!((s.productive_secs - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_wait() {
+        let l = log(
+            &[(1_000_000_000, 2_000_000_000), (30_000_000_000, 31_000_000_000)],
+            60_000_000_000,
+        );
+        let sweep = idle_wait_sweep(&l, &[0.0, 0.5, 2.0, 10.0, 100.0], 0.2, 1.0).unwrap();
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].1.productive_secs <= w[0].1.productive_secs + 1e-12,
+                "efficiency must not grow with the idle wait"
+            );
+        }
+        // An absurd wait uses nothing.
+        assert_eq!(sweep.last().unwrap().1.usable_intervals, 0);
+    }
+
+    #[test]
+    fn rates_scale_work_linearly() {
+        let l = log(&[(5_000_000_000, 6_000_000_000)], 20_000_000_000);
+        let slow = BackgroundTask::new(0.5, 0.5, 10.0).unwrap().schedule(&l).unwrap();
+        let fast = BackgroundTask::new(0.5, 0.5, 20.0).unwrap().schedule(&l).unwrap();
+        assert!((fast.work_done - 2.0 * slow.work_done).abs() < 1e-9);
+        assert_eq!(fast.productive_secs, slow.productive_secs);
+        assert!(fast.work_per_hour() > 0.0);
+        assert!(fast.productive_secs_per_hour() > 0.0);
+    }
+}

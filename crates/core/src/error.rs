@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Error type for characterization analyses.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An underlying statistical computation failed (insufficient or
+    /// degenerate data).
+    Stats(spindle_stats::StatsError),
+    /// The input data violated an analysis precondition.
+    InvalidInput {
+        /// Description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            CoreError::InvalidInput { .. } => None,
+        }
+    }
+}
+
+impl From<spindle_stats::StatsError> for CoreError {
+    fn from(e: spindle_stats::StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_errors_convert_and_chain() {
+        use std::error::Error;
+        let e: CoreError = spindle_stats::StatsError::EmptySample.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("empty sample"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,325 @@
+//! Hour-scale (Hour trace) analysis.
+//!
+//! Weeks of per-hour counters expose structure invisible at the request
+//! level: daily and weekly cycles, hour-scale bursts, and slow drift in
+//! the read/write mix. [`HourAnalysis`] extracts the diurnal profile,
+//! peak-to-mean and dispersion statistics, periodicity evidence, and the
+//! write-fraction dynamics of one drive's hour series.
+
+use crate::{CoreError, Result};
+use spindle_stats::acf::acf;
+use spindle_stats::dispersion::{index_of_dispersion, peak_to_mean};
+use spindle_stats::ecdf::Ecdf;
+use spindle_stats::moments::StreamingMoments;
+use spindle_trace::HourSeries;
+
+/// Summary row of hour-scale statistics for one drive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HourSummary {
+    /// Hours covered.
+    pub hours: usize,
+    /// Mean operations per hour.
+    pub mean_ops: f64,
+    /// Coefficient of variation of hourly operations.
+    pub cov_ops: f64,
+    /// Peak-to-mean ratio of hourly operations.
+    pub peak_to_mean: f64,
+    /// Index of dispersion of hourly operations.
+    pub idc: f64,
+    /// Mean utilization over the series.
+    pub mean_utilization: f64,
+    /// Fraction of total operations concentrated in the busiest 10% of
+    /// hours.
+    pub top_decile_share: f64,
+    /// Fraction of hours with zero operations.
+    pub idle_hour_fraction: f64,
+    /// Lag-24 autocorrelation of hourly operations — evidence of the
+    /// daily cycle.
+    pub acf_24h: f64,
+}
+
+/// Hour-scale analysis of one drive's series.
+#[derive(Debug)]
+pub struct HourAnalysis<'a> {
+    series: &'a HourSeries,
+    ops: Vec<f64>,
+}
+
+impl<'a> HourAnalysis<'a> {
+    /// Creates the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] for series shorter than 48
+    /// hours (two days — the minimum to talk about a daily cycle).
+    pub fn new(series: &'a HourSeries) -> Result<Self> {
+        if series.len() < 48 {
+            return Err(CoreError::InvalidInput {
+                reason: format!("need at least 48 hours, got {}", series.len()),
+            });
+        }
+        Ok(HourAnalysis {
+            ops: series.operations_series(),
+            series,
+        })
+    }
+
+    /// Computes the summary row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] if the series is degenerate (no
+    /// operations at all).
+    pub fn summary(&self) -> Result<HourSummary> {
+        let m = StreamingMoments::from_slice(&self.ops);
+        let cov = m
+            .coefficient_of_variation()
+            .ok_or(spindle_stats::StatsError::DegenerateSeries)?;
+        let total: f64 = self.ops.iter().sum();
+        let mut sorted = self.ops.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("counts are finite"));
+        let top_n = (sorted.len() / 10).max(1);
+        let top_share = sorted.iter().take(top_n).sum::<f64>() / total;
+        let idle_hours = self.ops.iter().filter(|&&o| o == 0.0).count();
+        let r = acf(&self.ops, 24.min(self.ops.len() - 1))?;
+
+        Ok(HourSummary {
+            hours: self.ops.len(),
+            mean_ops: m.mean(),
+            cov_ops: cov,
+            peak_to_mean: peak_to_mean(&self.ops)?,
+            idc: index_of_dispersion(&self.ops)?,
+            mean_utilization: self.series.mean_utilization(),
+            top_decile_share: top_share,
+            idle_hour_fraction: idle_hours as f64 / self.ops.len() as f64,
+            acf_24h: *r.last().expect("acf includes requested lag"),
+        })
+    }
+
+    /// Mean operations by hour of day (0–23) — the diurnal profile
+    /// figure.
+    pub fn diurnal_profile(&self) -> [f64; 24] {
+        let mut sums = [0.0f64; 24];
+        let mut counts = [0u32; 24];
+        let start = self.series.records()[0].hour;
+        for (i, &ops) in self.ops.iter().enumerate() {
+            let hod = (start as usize + i) % 24;
+            sums[hod] += ops;
+            counts[hod] += 1;
+        }
+        let mut out = [0.0f64; 24];
+        for h in 0..24 {
+            if counts[h] > 0 {
+                out[h] = sums[h] / counts[h] as f64;
+            }
+        }
+        out
+    }
+
+    /// Mean operations by hour of week (0 = Monday 00:00, 167 = Sunday
+    /// 23:00) — the weekly profile figure. Hours of the week never
+    /// observed carry 0.
+    pub fn weekly_profile(&self) -> [f64; 168] {
+        let mut sums = [0.0f64; 168];
+        let mut counts = [0u32; 168];
+        let start = self.series.records()[0].hour;
+        for (i, &ops) in self.ops.iter().enumerate() {
+            let how = (start as usize + i) % 168;
+            sums[how] += ops;
+            counts[how] += 1;
+        }
+        let mut out = [0.0f64; 168];
+        for h in 0..168 {
+            if counts[h] > 0 {
+                out[h] = sums[h] / counts[h] as f64;
+            }
+        }
+        out
+    }
+
+    /// Ratio of mean weekday activity to mean weekend activity — the
+    /// weekly-cycle scalar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] when the series covers no
+    /// weekend hours or the weekend is fully idle.
+    pub fn weekday_weekend_ratio(&self) -> Result<f64> {
+        let profile = self.weekly_profile();
+        let weekday: f64 = profile[..120].iter().sum::<f64>() / 120.0;
+        let weekend: f64 = profile[120..].iter().sum::<f64>() / 48.0;
+        if weekend == 0.0 {
+            return Err(CoreError::InvalidInput {
+                reason: "no weekend activity observed".into(),
+            });
+        }
+        Ok(weekday / weekend)
+    }
+
+    /// Per-hour write-fraction series; idle hours carry `None`.
+    pub fn write_fraction_series(&self) -> Vec<Option<f64>> {
+        self.series.write_fraction_series()
+    }
+
+    /// ECDF of per-hour write fractions over active hours — the
+    /// read/write-dynamics distribution figure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] if every hour is idle.
+    pub fn write_fraction_cdf(&self) -> Result<Ecdf> {
+        let sample: Vec<f64> = self
+            .series
+            .write_fraction_series()
+            .into_iter()
+            .flatten()
+            .collect();
+        Ok(Ecdf::new(sample)?)
+    }
+
+    /// Range (max − min) of the daily mean write fraction across days —
+    /// a scalar for how much the mix drifts day to day.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if no day has active hours.
+    pub fn daily_write_fraction_swing(&self) -> Result<f64> {
+        let mut daily: Vec<f64> = Vec::new();
+        for day in self.series.records().chunks(24) {
+            let mut writes = 0u64;
+            let mut total = 0u64;
+            for r in day {
+                writes += r.writes;
+                total += r.operations();
+            }
+            if total > 0 {
+                daily.push(writes as f64 / total as f64);
+            }
+        }
+        if daily.is_empty() {
+            return Err(CoreError::InvalidInput {
+                reason: "no active day in the series".into(),
+            });
+        }
+        let min = daily.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = daily.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Ok(max - min)
+    }
+
+    /// The hourly operations series (for burstiness analysis at the hour
+    /// scale).
+    pub fn operations(&self) -> &[f64] {
+        &self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_synth::hourgen::HourSeriesSpec;
+    use spindle_trace::{DriveId, HourRecord};
+
+    fn series() -> HourSeries {
+        HourSeriesSpec::default().generate(1).unwrap()
+    }
+
+    #[test]
+    fn rejects_short_series() {
+        let recs: Vec<HourRecord> = (0..47)
+            .map(|h| HourRecord::new(DriveId(0), h, 10, 10, 80, 80, 1.0).unwrap())
+            .collect();
+        let s = HourSeries::new(recs).unwrap();
+        assert!(HourAnalysis::new(&s).is_err());
+    }
+
+    #[test]
+    fn summary_reflects_generated_structure() {
+        let s = series();
+        let a = HourAnalysis::new(&s).unwrap();
+        let sum = a.summary().unwrap();
+        assert_eq!(sum.hours, s.len());
+        assert!(sum.mean_ops > 1000.0);
+        assert!(sum.peak_to_mean > 1.5, "peak/mean {}", sum.peak_to_mean);
+        assert!(sum.idc > 10.0, "IDC {}", sum.idc);
+        assert!(sum.mean_utilization > 0.0 && sum.mean_utilization < 1.0);
+        assert!(sum.acf_24h > 0.1, "24h ACF {}", sum.acf_24h);
+        assert!(sum.top_decile_share > 0.1 && sum.top_decile_share <= 1.0);
+    }
+
+    #[test]
+    fn diurnal_profile_peaks_in_the_afternoon() {
+        let s = series();
+        let a = HourAnalysis::new(&s).unwrap();
+        let profile = a.diurnal_profile();
+        // Generator peaks at 14:00 and troughs at 02:00.
+        assert!(
+            profile[14] > profile[2] * 1.5,
+            "profile peak {} vs trough {}",
+            profile[14],
+            profile[2]
+        );
+    }
+
+    #[test]
+    fn weekly_profile_shows_the_weekend_dip() {
+        let s = series(); // generator scales weekends by 0.4
+        let a = HourAnalysis::new(&s).unwrap();
+        let ratio = a.weekday_weekend_ratio().unwrap();
+        assert!(
+            (1.8..3.5).contains(&ratio),
+            "weekday/weekend ratio {ratio} (generator target 1/0.4 = 2.5)"
+        );
+        let profile = a.weekly_profile();
+        assert_eq!(profile.len(), 168);
+        assert!(profile.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn weekend_ratio_errors_without_weekend_data() {
+        // 48 hours starting Monday: no weekend hours observed.
+        let recs: Vec<HourRecord> = (0..48)
+            .map(|h| HourRecord::new(DriveId(0), h, 10 + h as u64, 10, 160, 80, 1.0).unwrap())
+            .collect();
+        let s = HourSeries::new(recs).unwrap();
+        let a = HourAnalysis::new(&s).unwrap();
+        assert!(a.weekday_weekend_ratio().is_err());
+    }
+
+    #[test]
+    fn write_fraction_cdf_centers_on_generator_mix() {
+        let s = series();
+        let a = HourAnalysis::new(&s).unwrap();
+        let cdf = a.write_fraction_cdf().unwrap();
+        let median = cdf.quantile(0.5).unwrap();
+        assert!((median - 0.55).abs() < 0.05, "median write fraction {median}");
+    }
+
+    #[test]
+    fn daily_swing_is_bounded() {
+        let s = series();
+        let a = HourAnalysis::new(&s).unwrap();
+        let swing = a.daily_write_fraction_swing().unwrap();
+        assert!((0.0..=1.0).contains(&swing));
+    }
+
+    #[test]
+    fn constant_series_is_degenerate_for_summary() {
+        let recs: Vec<HourRecord> = (0..72)
+            .map(|h| HourRecord::new(DriveId(0), h, 50, 50, 400, 400, 10.0).unwrap())
+            .collect();
+        let s = HourSeries::new(recs).unwrap();
+        let a = HourAnalysis::new(&s).unwrap();
+        assert!(a.summary().is_err());
+    }
+
+    #[test]
+    fn all_idle_series_errors_on_write_cdf() {
+        let recs: Vec<HourRecord> = (0..72)
+            .map(|h| HourRecord::new(DriveId(0), h, 0, 0, 0, 0, 0.0).unwrap())
+            .collect();
+        let s = HourSeries::new(recs).unwrap();
+        let a = HourAnalysis::new(&s).unwrap();
+        assert!(a.write_fraction_cdf().is_err());
+        assert!(a.daily_write_fraction_swing().is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Busy/idle structure analysis.
+//!
+//! The paper's central observations about idleness are that (a) drives
+//! spend most of their time idle, (b) the idle time is concentrated in
+//! *long* intervals rather than fragmented, and (c) this makes substantial
+//! background work (scrubbing, destaging, power management) feasible.
+//! [`IdleAnalysis`] extracts the distributions behind those claims from a
+//! [`BusyLog`], and [`AvailabilityRow`] quantifies (c) directly.
+
+use crate::{CoreError, Result};
+use spindle_disk::busy::BusyLog;
+use spindle_stats::ecdf::Ecdf;
+use spindle_stats::fit::{fit_best, FitResult};
+
+/// Idle/busy distribution analysis over one drive's busy timeline.
+#[derive(Debug, Clone)]
+pub struct IdleAnalysis {
+    idle_secs: Vec<f64>,
+    busy_secs: Vec<f64>,
+    total_idle_secs: f64,
+    span_secs: f64,
+}
+
+impl IdleAnalysis {
+    /// Builds the analysis from a busy timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the log contains neither
+    /// idle nor busy periods (cannot happen for a well-formed log with a
+    /// positive span).
+    pub fn new(log: &BusyLog) -> Result<Self> {
+        let idle_secs = log.idle_durations_secs();
+        let busy_secs = log.busy_durations_secs();
+        if idle_secs.is_empty() && busy_secs.is_empty() {
+            return Err(CoreError::InvalidInput {
+                reason: "busy log has neither busy nor idle periods".into(),
+            });
+        }
+        Ok(IdleAnalysis {
+            total_idle_secs: idle_secs.iter().sum(),
+            idle_secs,
+            busy_secs,
+            span_secs: log.span_ns() as f64 / 1e9,
+        })
+    }
+
+    /// Idle interval durations in seconds.
+    pub fn idle_durations(&self) -> &[f64] {
+        &self.idle_secs
+    }
+
+    /// Busy period durations in seconds.
+    pub fn busy_durations(&self) -> &[f64] {
+        &self.busy_secs
+    }
+
+    /// Fraction of the observation window spent idle.
+    pub fn idle_fraction(&self) -> f64 {
+        self.total_idle_secs / self.span_secs
+    }
+
+    /// Number of idle intervals.
+    pub fn idle_intervals(&self) -> usize {
+        self.idle_secs.len()
+    }
+
+    /// Mean idle interval length in seconds, or `None` with no idle
+    /// intervals.
+    pub fn mean_idle_secs(&self) -> Option<f64> {
+        if self.idle_secs.is_empty() {
+            None
+        } else {
+            Some(self.total_idle_secs / self.idle_secs.len() as f64)
+        }
+    }
+
+    /// ECDF of idle interval durations — the data behind the paper's
+    /// idle-interval CDF figure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] if there are no idle intervals.
+    pub fn idle_cdf(&self) -> Result<Ecdf> {
+        Ok(Ecdf::new(self.idle_secs.clone())?)
+    }
+
+    /// ECDF of busy period durations (its complement is the busy-period
+    /// CCDF figure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] if there are no busy periods.
+    pub fn busy_cdf(&self) -> Result<Ecdf> {
+        Ok(Ecdf::new(self.busy_secs.clone())?)
+    }
+
+    /// Idleness availability at each threshold: how much of the idle
+    /// time sits in intervals at least that long, and hence is usable by
+    /// background tasks needing that much uninterrupted time.
+    pub fn availability(&self, thresholds_secs: &[f64]) -> Vec<AvailabilityRow> {
+        thresholds_secs
+            .iter()
+            .map(|&thr| {
+                let mut time = 0.0;
+                let mut count = 0usize;
+                for &d in &self.idle_secs {
+                    if d >= thr {
+                        time += d;
+                        count += 1;
+                    }
+                }
+                AvailabilityRow {
+                    threshold_secs: thr,
+                    fraction_of_idle_time: if self.total_idle_secs > 0.0 {
+                        time / self.total_idle_secs
+                    } else {
+                        0.0
+                    },
+                    fraction_of_intervals: if self.idle_secs.is_empty() {
+                        0.0
+                    } else {
+                        count as f64 / self.idle_secs.len() as f64
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Fits the idle-interval distribution against the standard families
+    /// (exponential / Pareto / Weibull / log-normal), best first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] if the sample is unusable (empty or
+    /// containing non-positive durations).
+    pub fn fit_idle_distribution(&self) -> Result<Vec<FitResult>> {
+        // Zero-length idle gaps (back-to-back busy periods) are merged
+        // away by the busy log, but guard against numerically zero
+        // durations anyway.
+        let positive: Vec<f64> = self.idle_secs.iter().cloned().filter(|&d| d > 0.0).collect();
+        Ok(fit_best(&positive)?)
+    }
+}
+
+/// One row of the idleness-availability table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityRow {
+    /// Minimum interval length a background task needs, in seconds.
+    pub threshold_secs: f64,
+    /// Fraction of total idle time inside qualifying intervals.
+    pub fraction_of_idle_time: f64,
+    /// Fraction of idle intervals that qualify.
+    pub fraction_of_intervals: f64,
+}
+
+/// The threshold ladder used in the paper-style availability table:
+/// 10 ms, 100 ms, 1 s, 10 s, 60 s.
+pub const AVAILABILITY_THRESHOLDS: [f64; 5] = [0.01, 0.1, 1.0, 10.0, 60.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_disk::busy::BusyLogBuilder;
+
+    fn log(periods: &[(u64, u64)], span: u64) -> BusyLog {
+        let mut b = BusyLogBuilder::new();
+        for &(s, e) in periods {
+            b.push(s, e).unwrap();
+        }
+        b.finish(span).unwrap()
+    }
+
+    #[test]
+    fn fractions_and_means() {
+        // Busy 2s of a 10s window; idle intervals: 1s, 3s, 4s.
+        let l = log(
+            &[(1_000_000_000, 2_000_000_000), (5_000_000_000, 6_000_000_000)],
+            10_000_000_000,
+        );
+        let a = IdleAnalysis::new(&l).unwrap();
+        assert!((a.idle_fraction() - 0.8).abs() < 1e-9);
+        assert_eq!(a.idle_intervals(), 3);
+        assert!((a.mean_idle_secs().unwrap() - 8.0 / 3.0).abs() < 1e-9);
+        assert_eq!(a.busy_durations().len(), 2);
+    }
+
+    #[test]
+    fn idle_cdf_reflects_durations() {
+        let l = log(&[(2_000_000_000, 3_000_000_000)], 10_000_000_000);
+        // Idle: 2s and 7s.
+        let a = IdleAnalysis::new(&l).unwrap();
+        let cdf = a.idle_cdf().unwrap();
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.cdf(2.0), 0.5);
+        assert_eq!(cdf.cdf(7.0), 1.0);
+    }
+
+    #[test]
+    fn availability_thresholds_partition_idle_time() {
+        // Idle intervals: 0.05s, 0.5s, 5s (total 5.55s).
+        let l = log(
+            &[
+                (50_000_000, 100_000_000),
+                (600_000_000, 700_000_000),
+                (5_700_000_000, 5_750_000_000),
+            ],
+            10_750_000_000,
+        );
+        let a = IdleAnalysis::new(&l).unwrap();
+        let rows = a.availability(&AVAILABILITY_THRESHOLDS);
+        assert_eq!(rows.len(), 5);
+        // All idle time is in intervals >= 10ms.
+        assert!((rows[0].fraction_of_idle_time - 1.0).abs() < 1e-9);
+        // Threshold 1s keeps only the 5s interval.
+        let total = 0.05 + 0.5 + 5.0 + 5.0; // includes trailing idle 5s
+        let frac_1s = rows[2].fraction_of_idle_time;
+        assert!((frac_1s - 10.0 / total).abs() < 0.01, "frac {frac_1s}");
+        // 60s threshold excludes everything.
+        assert_eq!(rows[4].fraction_of_idle_time, 0.0);
+        assert_eq!(rows[4].fraction_of_intervals, 0.0);
+    }
+
+    #[test]
+    fn fully_busy_log_has_no_idle() {
+        let l = log(&[(0, 1_000_000_000)], 1_000_000_000);
+        let a = IdleAnalysis::new(&l).unwrap();
+        assert_eq!(a.idle_fraction(), 0.0);
+        assert_eq!(a.mean_idle_secs(), None);
+        assert!(a.idle_cdf().is_err());
+        let rows = a.availability(&[1.0]);
+        assert_eq!(rows[0].fraction_of_idle_time, 0.0);
+    }
+
+    #[test]
+    fn fully_idle_log() {
+        let l = log(&[], 5_000_000_000);
+        let a = IdleAnalysis::new(&l).unwrap();
+        assert_eq!(a.idle_fraction(), 1.0);
+        assert!(a.busy_cdf().is_err());
+        assert_eq!(a.availability(&[1.0])[0].fraction_of_idle_time, 1.0);
+    }
+
+    #[test]
+    fn fit_identifies_heavy_tailed_idleness() {
+        // Construct an idle-duration pattern with a heavy tail: many
+        // short gaps, a few enormous ones (Pareto-ish).
+        let mut b = BusyLogBuilder::new();
+        let mut t = 0u64;
+        for i in 0..400u64 {
+            // Busy 1 ms, then idle: mostly 10 ms, every 40th gap is
+            // 10^(i/100) seconds long.
+            b.push(t, t + 1_000_000).unwrap();
+            t += 1_000_000;
+            let idle_ns = if i % 40 == 0 {
+                1_000_000_000 * (1 + i / 40) * (1 + i / 40)
+            } else {
+                10_000_000
+            };
+            t += idle_ns;
+        }
+        let l = b.finish(t).unwrap();
+        let a = IdleAnalysis::new(&l).unwrap();
+        let fits = a.fit_idle_distribution().unwrap();
+        // The exponential must NOT be the best fit for this sample.
+        assert_ne!(fits[0].distribution.name(), "exponential");
+    }
+
+    #[test]
+    fn availability_is_monotone_in_threshold() {
+        let l = log(
+            &[(1_000_000_000, 1_500_000_000), (4_000_000_000, 4_200_000_000)],
+            20_000_000_000,
+        );
+        let a = IdleAnalysis::new(&l).unwrap();
+        let rows = a.availability(&AVAILABILITY_THRESHOLDS);
+        for w in rows.windows(2) {
+            assert!(w[1].fraction_of_idle_time <= w[0].fraction_of_idle_time + 1e-12);
+            assert!(w[1].fraction_of_intervals <= w[0].fraction_of_intervals + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Multi-time-scale disk workload characterization.
+//!
+//! This crate is the reproduction of the paper's primary contribution:
+//! a framework that characterizes disk-level workloads at three
+//! granularities — per-request (**millisecond**), per-hour (**hour**),
+//! and cumulative (**lifetime**) — and shows that the same traffic looks
+//! different, yet consistently bursty, at every scale.
+//!
+//! * [`millisecond`] — per-request analysis: workload summary tables,
+//!   utilization-over-time series, response/interarrival statistics.
+//! * [`idle`] — busy/idle structure: idle-interval distributions,
+//!   idleness availability for background work, busy-period tails.
+//! * [`burstiness`] — multi-scale burstiness: autocorrelation,
+//!   index-of-dispersion curves, and Hurst estimation on arrival counts.
+//! * [`hour`] — hour-scale analysis: diurnal/weekly structure,
+//!   peak-to-mean ratios, read/write dynamics over days and weeks.
+//! * [`lifetime`] — drive-family analysis: cross-drive utilization
+//!   distributions, percentile tables, and saturation-run statistics.
+//! * [`multiscale`] — read/write decomposition measured consistently at
+//!   all three scales.
+//! * [`response`] — host-visible response-time percentiles by class
+//!   (read/write, hit/miss) and tail amplification.
+//! * [`spatial`] — sequential-run-length and seek-distance analysis.
+//! * [`background`] — idle-time background-work scheduling: how much
+//!   scrubbing/rebuild work fits into the measured idle structure.
+//! * [`report`] — plain-text tables and figure data used by the
+//!   experiment harness to regenerate the paper's artifacts.
+//!
+//! # Example
+//!
+//! ```
+//! use spindle_core::idle::IdleAnalysis;
+//! use spindle_disk::busy::BusyLogBuilder;
+//!
+//! // A toy busy timeline: two bursts over a 10-second window.
+//! let mut b = BusyLogBuilder::new();
+//! b.push(1_000_000_000, 2_000_000_000).unwrap();
+//! b.push(5_000_000_000, 5_500_000_000).unwrap();
+//! let log = b.finish(10_000_000_000).unwrap();
+//!
+//! let idle = IdleAnalysis::new(&log)?;
+//! assert!(idle.idle_fraction() > 0.8);
+//! // All idle time sits in intervals of at least one second.
+//! assert_eq!(idle.availability(&[1.0])[0].fraction_of_idle_time, 1.0);
+//! # Ok::<(), spindle_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod background;
+pub mod burstiness;
+pub mod hour;
+pub mod idle;
+pub mod lifetime;
+pub mod millisecond;
+pub mod multiscale;
+pub mod response;
+pub mod report;
+pub mod spatial;
+
+mod error;
+
+pub use error::CoreError;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,338 @@
+//! Drive-family (Lifetime trace) analysis.
+//!
+//! The lifetime counters are available for every drive of a family, so
+//! this is where cross-drive variability becomes measurable: the spread
+//! of lifetime utilization across nominally identical drives, and the
+//! sub-population that runs flat out for hours at a time.
+
+use crate::{CoreError, Result};
+use spindle_stats::ecdf::Ecdf;
+use spindle_trace::{HourSeries, LifetimeRecord};
+
+/// Family-level percentile table row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilyPercentiles {
+    /// Quantile level in `[0, 1]`.
+    pub level: f64,
+    /// Lifetime mean utilization at this quantile.
+    pub utilization: f64,
+    /// Megabytes moved per power-on hour at this quantile.
+    pub mb_per_hour: f64,
+    /// Operations per power-on hour at this quantile.
+    pub ops_per_hour: f64,
+}
+
+/// Quantile levels reported in the family percentile table.
+pub const FAMILY_LEVELS: [f64; 7] = [0.05, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99];
+
+/// Analysis over the lifetime records of a drive family.
+#[derive(Debug)]
+pub struct FamilyAnalysis<'a> {
+    records: &'a [LifetimeRecord],
+}
+
+impl<'a> FamilyAnalysis<'a> {
+    /// Creates the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] for fewer than 10 drives —
+    /// family statistics over a handful of drives are noise.
+    pub fn new(records: &'a [LifetimeRecord]) -> Result<Self> {
+        if records.len() < 10 {
+            return Err(CoreError::InvalidInput {
+                reason: format!("family analysis needs at least 10 drives, got {}", records.len()),
+            });
+        }
+        Ok(FamilyAnalysis { records })
+    }
+
+    /// Number of drives.
+    pub fn drives(&self) -> usize {
+        self.records.len()
+    }
+
+    /// ECDF across the family of lifetime mean utilization — the
+    /// cross-drive variability figure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] if construction fails (cannot happen
+    /// for validated records).
+    pub fn utilization_cdf(&self) -> Result<Ecdf> {
+        Ok(Ecdf::new(
+            self.records
+                .iter()
+                .map(LifetimeRecord::mean_utilization)
+                .collect(),
+        )?)
+    }
+
+    /// ECDF across the family of MB moved per power-on hour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] if construction fails.
+    pub fn mb_per_hour_cdf(&self) -> Result<Ecdf> {
+        Ok(Ecdf::new(
+            self.records.iter().map(LifetimeRecord::mb_per_hour).collect(),
+        )?)
+    }
+
+    /// The family percentile table at [`FAMILY_LEVELS`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] if any quantile is unavailable.
+    pub fn percentiles(&self) -> Result<Vec<FamilyPercentiles>> {
+        let util = self.utilization_cdf()?;
+        let mb = self.mb_per_hour_cdf()?;
+        let ops = Ecdf::new(
+            self.records.iter().map(LifetimeRecord::ops_per_hour).collect(),
+        )?;
+        FAMILY_LEVELS
+            .iter()
+            .map(|&level| {
+                Ok(FamilyPercentiles {
+                    level,
+                    utilization: util.quantile(level)?,
+                    mb_per_hour: mb.quantile(level)?,
+                    ops_per_hour: ops.quantile(level)?,
+                })
+            })
+            .collect()
+    }
+
+    /// Ratio of the 95th-percentile to the median utilization — the
+    /// scalar "variability across drives of the same family" indicator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the median utilization is
+    /// zero.
+    pub fn tail_to_median_ratio(&self) -> Result<f64> {
+        let cdf = self.utilization_cdf()?;
+        let median = cdf.quantile(0.5)?;
+        if median == 0.0 {
+            return Err(CoreError::InvalidInput {
+                reason: "median family utilization is zero".into(),
+            });
+        }
+        Ok(cdf.quantile(0.95)? / median)
+    }
+
+    /// Gini coefficient of lifetime operations across the family:
+    /// 0 = every drive did the same work, → 1 = one drive did it all.
+    /// The standard inequality scalar for "variability across drives of
+    /// the same family".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the family serviced no
+    /// operations at all.
+    pub fn gini_operations(&self) -> Result<f64> {
+        let mut ops: Vec<f64> = self
+            .records
+            .iter()
+            .map(|r| r.operations() as f64)
+            .collect();
+        ops.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+        let n = ops.len() as f64;
+        let total: f64 = ops.iter().sum();
+        if total == 0.0 {
+            return Err(CoreError::InvalidInput {
+                reason: "family serviced no operations".into(),
+            });
+        }
+        // G = (2·Σ i·x_(i) / (n·Σ x)) − (n + 1)/n, with 1-based ranks.
+        let weighted: f64 = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as f64 + 1.0) * x)
+            .sum();
+        Ok((2.0 * weighted / (n * total) - (n + 1.0) / n).clamp(0.0, 1.0))
+    }
+
+    /// Mean write fraction across drives that serviced any commands.
+    pub fn mean_write_fraction(&self) -> Option<f64> {
+        let fracs: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(LifetimeRecord::write_fraction)
+            .collect();
+        if fracs.is_empty() {
+            None
+        } else {
+            Some(fracs.iter().sum::<f64>() / fracs.len() as f64)
+        }
+    }
+}
+
+/// One point of the saturation-run curve: the fraction of drives whose
+/// longest run of consecutive hours at ≥ `threshold` utilization reaches
+/// `run_hours`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationPoint {
+    /// Minimum run length in hours.
+    pub run_hours: usize,
+    /// Fraction of the family reaching it.
+    pub fraction_of_drives: f64,
+}
+
+/// Computes the saturation-run curve over the family's hour series for
+/// run lengths `1..=max_run_hours` at the given utilization threshold.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`] for an empty family or a
+/// threshold outside `(0, 1]`.
+pub fn saturation_curve(
+    series: &[HourSeries],
+    threshold: f64,
+    max_run_hours: usize,
+) -> Result<Vec<SaturationPoint>> {
+    if series.is_empty() {
+        return Err(CoreError::InvalidInput {
+            reason: "no hour series supplied".into(),
+        });
+    }
+    if !(threshold > 0.0 && threshold <= 1.0) {
+        return Err(CoreError::InvalidInput {
+            reason: "saturation threshold must lie in (0, 1]".into(),
+        });
+    }
+    let runs: Vec<usize> = series
+        .iter()
+        .map(|s| s.longest_saturated_run(threshold))
+        .collect();
+    Ok((1..=max_run_hours)
+        .map(|k| SaturationPoint {
+            run_hours: k,
+            fraction_of_drives: runs.iter().filter(|&&r| r >= k).count() as f64
+                / runs.len() as f64,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_synth::family::FamilySpec;
+    use spindle_synth::hourgen::{HourSeriesSpec, WEEK_HOURS};
+    use spindle_trace::DriveId;
+
+    fn family() -> Vec<spindle_synth::family::DriveRecord> {
+        FamilySpec {
+            drives: 120,
+            template: HourSeriesSpec {
+                hours: 2 * WEEK_HOURS,
+                ..Default::default()
+            },
+            saturator_fraction: 0.1,
+            ..Default::default()
+        }
+        .generate(42)
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_tiny_families() {
+        let recs: Vec<LifetimeRecord> = (0..5)
+            .map(|i| LifetimeRecord::new(DriveId(i), 100, 10, 10, 80, 80, 1.0).unwrap())
+            .collect();
+        assert!(FamilyAnalysis::new(&recs).is_err());
+    }
+
+    #[test]
+    fn utilization_cdf_spans_the_family() {
+        let fam = family();
+        let lifetimes: Vec<LifetimeRecord> = fam.iter().map(|d| d.lifetime).collect();
+        let a = FamilyAnalysis::new(&lifetimes).unwrap();
+        assert_eq!(a.drives(), 120);
+        let cdf = a.utilization_cdf().unwrap();
+        assert!(cdf.min() >= 0.0);
+        assert!(cdf.max() <= 1.0);
+        // Heavy upper tail: p95 well above the median.
+        let ratio = a.tail_to_median_ratio().unwrap();
+        assert!(ratio > 2.0, "tail/median ratio {ratio}");
+    }
+
+    #[test]
+    fn percentile_table_is_monotone() {
+        let fam = family();
+        let lifetimes: Vec<LifetimeRecord> = fam.iter().map(|d| d.lifetime).collect();
+        let a = FamilyAnalysis::new(&lifetimes).unwrap();
+        let rows = a.percentiles().unwrap();
+        assert_eq!(rows.len(), FAMILY_LEVELS.len());
+        for w in rows.windows(2) {
+            assert!(w[1].utilization >= w[0].utilization);
+            assert!(w[1].mb_per_hour >= w[0].mb_per_hour);
+            assert!(w[1].ops_per_hour >= w[0].ops_per_hour);
+        }
+    }
+
+    #[test]
+    fn saturation_curve_is_monotone_and_detects_saturators() {
+        let fam = family();
+        let series: Vec<HourSeries> = fam.iter().map(|d| d.series.clone()).collect();
+        let curve = saturation_curve(&series, 0.99, 24).unwrap();
+        assert_eq!(curve.len(), 24);
+        for w in curve.windows(2) {
+            assert!(w[1].fraction_of_drives <= w[0].fraction_of_drives + 1e-12);
+        }
+        // A visible portion of the family saturates for at least 2
+        // consecutive hours (the saturator sub-population).
+        let at_2h = curve[1].fraction_of_drives;
+        assert!(at_2h > 0.03, "fraction with >= 2h runs: {at_2h}");
+        // But only a minority — most drives are moderate.
+        assert!(at_2h < 0.5, "fraction with >= 2h runs: {at_2h}");
+    }
+
+    #[test]
+    fn saturation_curve_validates_inputs() {
+        assert!(saturation_curve(&[], 0.9, 10).is_err());
+        let fam = family();
+        let series: Vec<HourSeries> = fam.iter().take(3).map(|d| d.series.clone()).collect();
+        assert!(saturation_curve(&series, 0.0, 10).is_err());
+        assert!(saturation_curve(&series, 1.5, 10).is_err());
+    }
+
+    #[test]
+    fn gini_of_equal_family_is_zero_and_skew_raises_it() {
+        // Perfectly equal family.
+        let equal: Vec<LifetimeRecord> = (0..20)
+            .map(|i| LifetimeRecord::new(DriveId(i), 100, 500, 500, 4_000, 4_000, 10.0).unwrap())
+            .collect();
+        let a = FamilyAnalysis::new(&equal).unwrap();
+        assert!(a.gini_operations().unwrap() < 1e-9);
+
+        // One drive does 100× the work of the rest.
+        let mut skewed = equal.clone();
+        skewed[0] =
+            LifetimeRecord::new(DriveId(0), 100, 50_000, 50_000, 400_000, 400_000, 99.0).unwrap();
+        let b = FamilyAnalysis::new(&skewed).unwrap();
+        assert!(b.gini_operations().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn generated_family_has_substantial_inequality() {
+        let fam = family();
+        let lifetimes: Vec<LifetimeRecord> = fam.iter().map(|d| d.lifetime).collect();
+        let a = FamilyAnalysis::new(&lifetimes).unwrap();
+        let g = a.gini_operations().unwrap();
+        // Log-normal load scales with sigma = 1 give a Gini well above
+        // an egalitarian fleet but below total concentration.
+        assert!((0.3..0.9).contains(&g), "Gini {g}");
+    }
+
+    #[test]
+    fn mean_write_fraction_matches_generator() {
+        let fam = family();
+        let lifetimes: Vec<LifetimeRecord> = fam.iter().map(|d| d.lifetime).collect();
+        let a = FamilyAnalysis::new(&lifetimes).unwrap();
+        let wf = a.mean_write_fraction().unwrap();
+        // Template write fraction 0.55; saturation episodes push writes
+        // up slightly on some drives.
+        assert!((0.5..0.7).contains(&wf), "mean write fraction {wf}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-request (Millisecond trace) analysis.
+//!
+//! [`MillisecondAnalysis`] combines the host-visible request stream with
+//! the simulated service process and produces the per-environment
+//! workload summary of the paper's millisecond-scale tables: arrival
+//! intensity and variability, request-size and direction mix,
+//! sequentiality, utilization, and response times.
+
+use crate::{CoreError, Result};
+use spindle_disk::sim::SimResult;
+use spindle_stats::dispersion::interarrival_scv;
+use spindle_stats::moments::StreamingMoments;
+use spindle_trace::{OpKind, Request};
+
+/// Summary statistics of one drive's millisecond-scale workload —
+/// one row of the workload-summary table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSummary {
+    /// Number of requests.
+    pub requests: u64,
+    /// Observation span in seconds.
+    pub span_secs: f64,
+    /// Mean arrival rate in requests per second.
+    pub arrival_rate: f64,
+    /// Squared coefficient of variation of interarrival times (1 ≈
+    /// Poisson; larger = burstier).
+    pub interarrival_scv: f64,
+    /// Mean request size in KiB.
+    pub mean_request_kb: f64,
+    /// Fraction of requests that are writes.
+    pub write_fraction: f64,
+    /// Fraction of requests that start exactly where the previous
+    /// request on the drive ended.
+    pub sequential_fraction: f64,
+    /// Mean drive utilization over the span.
+    pub mean_utilization: f64,
+    /// Mean host-visible response time in milliseconds.
+    pub mean_response_ms: f64,
+    /// Read cache hit ratio, if any reads were issued.
+    pub read_hit_ratio: Option<f64>,
+}
+
+/// Millisecond-trace analysis of one drive.
+#[derive(Debug)]
+pub struct MillisecondAnalysis<'a> {
+    requests: &'a [Request],
+    sim: &'a SimResult,
+}
+
+impl<'a> MillisecondAnalysis<'a> {
+    /// Creates the analysis over a request stream and the simulation
+    /// result obtained by running that stream through the disk model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the stream is empty or its
+    /// length disagrees with the simulation's completion count.
+    pub fn new(requests: &'a [Request], sim: &'a SimResult) -> Result<Self> {
+        if requests.is_empty() {
+            return Err(CoreError::InvalidInput {
+                reason: "request stream is empty".into(),
+            });
+        }
+        if requests.len() != sim.completed.len() {
+            return Err(CoreError::InvalidInput {
+                reason: format!(
+                    "{} requests but {} completions — stream and simulation disagree",
+                    requests.len(),
+                    sim.completed.len()
+                ),
+            });
+        }
+        Ok(MillisecondAnalysis { requests, sim })
+    }
+
+    /// Computes the summary row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] if the stream has fewer than two
+    /// requests (interarrival statistics undefined).
+    pub fn summary(&self) -> Result<WorkloadSummary> {
+        let n = self.requests.len() as u64;
+        let span_secs = self.sim.busy.span_ns() as f64 / 1e9;
+        let interarrivals: Vec<f64> = self
+            .requests
+            .windows(2)
+            .map(|w| (w[1].arrival_ns - w[0].arrival_ns) as f64 / 1e9)
+            .collect();
+        let scv = interarrival_scv(&interarrivals)?;
+
+        let mut sizes = StreamingMoments::new();
+        let mut writes = 0u64;
+        let mut sequential = 0u64;
+        for (i, r) in self.requests.iter().enumerate() {
+            sizes.push(r.bytes() as f64 / 1024.0);
+            if r.op == OpKind::Write {
+                writes += 1;
+            }
+            if i > 0 && r.is_sequential_after(&self.requests[i - 1]) {
+                sequential += 1;
+            }
+        }
+
+        Ok(WorkloadSummary {
+            requests: n,
+            span_secs,
+            arrival_rate: n as f64 / span_secs,
+            interarrival_scv: scv,
+            mean_request_kb: sizes.mean(),
+            write_fraction: writes as f64 / n as f64,
+            sequential_fraction: sequential as f64 / (n - 1).max(1) as f64,
+            mean_utilization: self.sim.utilization(),
+            mean_response_ms: self.sim.mean_response_ms(),
+            read_hit_ratio: self.sim.read_hit_ratio(),
+        })
+    }
+
+    /// Drive utilization per window of `window_secs`, the series behind
+    /// the utilization-over-time figure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if `window_secs` is not
+    /// positive.
+    pub fn utilization_series(&self, window_secs: f64) -> Result<Vec<f64>> {
+        if !(window_secs > 0.0) {
+            return Err(CoreError::InvalidInput {
+                reason: "window must be positive".into(),
+            });
+        }
+        self.sim
+            .busy
+            .utilization_series((window_secs * 1e9) as u64)
+            .map_err(|e| CoreError::InvalidInput {
+                reason: e.to_string(),
+            })
+    }
+
+    /// Arrival timestamps in seconds (the input to burstiness analysis).
+    pub fn arrival_times_secs(&self) -> Vec<f64> {
+        self.requests.iter().map(Request::arrival_secs).collect()
+    }
+
+    /// Response-time moments in milliseconds.
+    pub fn response_moments(&self) -> StreamingMoments {
+        self.sim
+            .completed
+            .iter()
+            .map(|c| c.response_ns() as f64 / 1e6)
+            .collect()
+    }
+
+    /// Splits arrival timestamps by direction — the input to per-class
+    /// burstiness comparisons.
+    pub fn arrivals_by_op(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        for r in self.requests {
+            match r.op {
+                OpKind::Read => reads.push(r.arrival_secs()),
+                OpKind::Write => writes.push(r.arrival_secs()),
+            }
+        }
+        (reads, writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_disk::profile::DriveProfile;
+    use spindle_disk::sim::{DiskSim, SimConfig};
+    use spindle_trace::DriveId;
+
+    fn run(requests: &[Request]) -> SimResult {
+        DiskSim::new(DriveProfile::cheetah_15k(), SimConfig::default())
+            .run(requests)
+            .unwrap()
+    }
+
+    fn mixed_stream() -> Vec<Request> {
+        (0..400)
+            .map(|i| {
+                let op = if i % 3 == 0 { OpKind::Write } else { OpKind::Read };
+                // 25 req/s with some sequential pairs.
+                let lba = if i % 4 == 1 {
+                    // continues the previous request
+                    ((i - 1) as u64 * 131_071 * 8) % 100_000_000 + 16
+                } else {
+                    (i as u64 * 131_071 * 8) % 100_000_000
+                };
+                Request::new(i as u64 * 40_000_000, DriveId(0), op, lba, 16).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_empty_or_mismatched_inputs() {
+        let reqs = mixed_stream();
+        let sim = run(&reqs);
+        assert!(MillisecondAnalysis::new(&[], &sim).is_err());
+        assert!(MillisecondAnalysis::new(&reqs[..10], &sim).is_err());
+        assert!(MillisecondAnalysis::new(&reqs, &sim).is_ok());
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let reqs = mixed_stream();
+        let sim = run(&reqs);
+        let a = MillisecondAnalysis::new(&reqs, &sim).unwrap();
+        let s = a.summary().unwrap();
+        assert_eq!(s.requests, 400);
+        assert!((s.arrival_rate - 25.0).abs() < 2.0, "rate {}", s.arrival_rate);
+        assert!((s.write_fraction - 1.0 / 3.0).abs() < 0.01);
+        assert!((s.mean_request_kb - 8.0).abs() < 1e-9);
+        assert!(s.mean_utilization > 0.0 && s.mean_utilization < 0.5);
+        assert!(s.mean_response_ms > 0.0);
+        // Exactly periodic arrivals: SCV ~ 0.
+        assert!(s.interarrival_scv < 0.01);
+        // Every 4th request is sequential after its predecessor.
+        assert!((s.sequential_fraction - 0.25).abs() < 0.02);
+        assert!(s.read_hit_ratio.is_some());
+    }
+
+    #[test]
+    fn utilization_series_covers_span() {
+        let reqs = mixed_stream();
+        let sim = run(&reqs);
+        let a = MillisecondAnalysis::new(&reqs, &sim).unwrap();
+        let series = a.utilization_series(1.0).unwrap();
+        let span_secs = sim.busy.span_ns() as f64 / 1e9;
+        assert_eq!(series.len(), span_secs.ceil() as usize);
+        assert!(series.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(a.utilization_series(0.0).is_err());
+    }
+
+    #[test]
+    fn arrivals_split_by_direction() {
+        let reqs = mixed_stream();
+        let sim = run(&reqs);
+        let a = MillisecondAnalysis::new(&reqs, &sim).unwrap();
+        let (reads, writes) = a.arrivals_by_op();
+        assert_eq!(reads.len() + writes.len(), 400);
+        assert!((writes.len() as f64 - 400.0 / 3.0).abs() < 2.0);
+        let all = a.arrival_times_secs();
+        assert_eq!(all.len(), 400);
+        assert!(all.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn response_moments_are_positive() {
+        let reqs = mixed_stream();
+        let sim = run(&reqs);
+        let a = MillisecondAnalysis::new(&reqs, &sim).unwrap();
+        let m = a.response_moments();
+        assert_eq!(m.count(), 400);
+        assert!(m.mean() > 0.0);
+        assert!(m.max().unwrap() < 1000.0, "response {} ms", m.max().unwrap());
+    }
+}

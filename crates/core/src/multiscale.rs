@@ -1,0 +1,298 @@
+//! Read/write decomposition across all three time scales.
+//!
+//! Because the three trace sets record different quantities, the
+//! read/write mix must be computed differently at each scale — yet for a
+//! consistent workload the shares should agree. [`RwShares`] holds one
+//! scale's decomposition and [`rw_across_scales`] assembles the
+//! three-scale comparison behind the read-vs-write figure.
+
+use crate::{CoreError, Result};
+use spindle_trace::{HourSeries, LifetimeRecord, OpKind, Request};
+
+/// Read/write shares at one time scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RwShares {
+    /// Fraction of operations that are reads.
+    pub read_ops_share: f64,
+    /// Fraction of operations that are writes.
+    pub write_ops_share: f64,
+    /// Fraction of bytes moved by reads.
+    pub read_bytes_share: f64,
+    /// Fraction of bytes moved by writes.
+    pub write_bytes_share: f64,
+}
+
+impl RwShares {
+    fn from_counts(reads: u64, writes: u64, read_bytes: u64, write_bytes: u64) -> Result<Self> {
+        let ops = reads + writes;
+        let bytes = read_bytes + write_bytes;
+        if ops == 0 || bytes == 0 {
+            return Err(CoreError::InvalidInput {
+                reason: "no operations to decompose".into(),
+            });
+        }
+        Ok(RwShares {
+            read_ops_share: reads as f64 / ops as f64,
+            write_ops_share: writes as f64 / ops as f64,
+            read_bytes_share: read_bytes as f64 / bytes as f64,
+            write_bytes_share: write_bytes as f64 / bytes as f64,
+        })
+    }
+}
+
+/// Read/write shares of a millisecond-scale request stream.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`] for an empty stream.
+pub fn rw_shares_ms(requests: &[Request]) -> Result<RwShares> {
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut rb = 0u64;
+    let mut wb = 0u64;
+    for r in requests {
+        match r.op {
+            OpKind::Read => {
+                reads += 1;
+                rb += r.bytes();
+            }
+            OpKind::Write => {
+                writes += 1;
+                wb += r.bytes();
+            }
+        }
+    }
+    RwShares::from_counts(reads, writes, rb, wb)
+}
+
+/// Read/write shares of an hour series.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`] if the series has no operations.
+pub fn rw_shares_hour(series: &HourSeries) -> Result<RwShares> {
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut sr = 0u64;
+    let mut sw = 0u64;
+    for r in series.records() {
+        reads += r.reads;
+        writes += r.writes;
+        sr += r.sectors_read;
+        sw += r.sectors_written;
+    }
+    RwShares::from_counts(
+        reads,
+        writes,
+        sr * spindle_trace::SECTOR_BYTES,
+        sw * spindle_trace::SECTOR_BYTES,
+    )
+}
+
+/// Read/write shares aggregated over a family's lifetime records.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`] if the family serviced no
+/// operations.
+pub fn rw_shares_lifetime(records: &[LifetimeRecord]) -> Result<RwShares> {
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut sr = 0u64;
+    let mut sw = 0u64;
+    for r in records {
+        reads += r.lifetime_reads;
+        writes += r.lifetime_writes;
+        sr += r.sectors_read;
+        sw += r.sectors_written;
+    }
+    RwShares::from_counts(
+        reads,
+        writes,
+        sr * spindle_trace::SECTOR_BYTES,
+        sw * spindle_trace::SECTOR_BYTES,
+    )
+}
+
+/// The three-scale read/write comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RwAcrossScales {
+    /// Shares at the millisecond (per-request) scale.
+    pub millisecond: RwShares,
+    /// Shares at the hour scale.
+    pub hour: RwShares,
+    /// Shares at the lifetime scale.
+    pub lifetime: RwShares,
+}
+
+impl RwAcrossScales {
+    /// Largest absolute disagreement in write-operation share between
+    /// any two scales — small values mean the scales tell a consistent
+    /// story.
+    pub fn max_write_share_disagreement(&self) -> f64 {
+        let shares = [
+            self.millisecond.write_ops_share,
+            self.hour.write_ops_share,
+            self.lifetime.write_ops_share,
+        ];
+        let min = shares.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = shares.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        max - min
+    }
+}
+
+/// Assembles the three-scale comparison.
+///
+/// # Errors
+///
+/// Propagates the per-scale errors.
+pub fn rw_across_scales(
+    requests: &[Request],
+    series: &HourSeries,
+    records: &[LifetimeRecord],
+) -> Result<RwAcrossScales> {
+    Ok(RwAcrossScales {
+        millisecond: rw_shares_ms(requests)?,
+        hour: rw_shares_hour(series)?,
+        lifetime: rw_shares_lifetime(records)?,
+    })
+}
+
+/// Read/write coupling: cross-correlation between the per-interval read
+/// and write count series at lag 0 — positive when read and write
+/// bursts arrive together (shared application activity), near zero when
+/// the two classes are independent.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`] for invalid bucketing parameters
+/// and [`CoreError::Stats`] when either class has no variation.
+pub fn rw_coupling(requests: &[Request], span_secs: f64, interval_secs: f64) -> Result<f64> {
+    use spindle_stats::timeseries::counts_per_interval;
+    let reads: Vec<f64> = requests
+        .iter()
+        .filter(|r| r.op == OpKind::Read)
+        .map(Request::arrival_secs)
+        .collect();
+    let writes: Vec<f64> = requests
+        .iter()
+        .filter(|r| r.op == OpKind::Write)
+        .map(Request::arrival_secs)
+        .collect();
+    let rc = counts_per_interval(&reads, 0.0, span_secs, interval_secs)?;
+    let wc = counts_per_interval(&writes, 0.0, span_secs, interval_secs)?;
+    Ok(spindle_stats::acf::cross_correlation(&rc, &wc, 0)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_trace::lifetime::accumulate_lifetime;
+    use spindle_trace::{DriveId, HourRecord};
+
+    fn req(op: OpKind, sectors: u32) -> Request {
+        Request::new(0, DriveId(0), op, 0, sectors).unwrap()
+    }
+
+    #[test]
+    fn ms_shares_split_ops_and_bytes() {
+        let reqs = vec![
+            req(OpKind::Read, 8),
+            req(OpKind::Read, 8),
+            req(OpKind::Write, 48),
+        ];
+        let s = rw_shares_ms(&reqs).unwrap();
+        assert!((s.read_ops_share - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.write_ops_share - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.read_bytes_share - 0.25).abs() < 1e-12);
+        assert!((s.write_bytes_share - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(rw_shares_ms(&[]).is_err());
+        assert!(rw_shares_lifetime(&[]).is_err());
+    }
+
+    #[test]
+    fn hour_and_lifetime_shares_agree_with_accumulation() {
+        let recs: Vec<HourRecord> = (0..48)
+            .map(|h| HourRecord::new(DriveId(0), h, 30, 70, 240, 560, 100.0).unwrap())
+            .collect();
+        let series = HourSeries::new(recs.clone()).unwrap();
+        let lt = accumulate_lifetime(&recs).unwrap();
+        let hr = rw_shares_hour(&series).unwrap();
+        let lf = rw_shares_lifetime(&[lt]).unwrap();
+        assert!((hr.write_ops_share - 0.7).abs() < 1e-12);
+        assert!((hr.write_ops_share - lf.write_ops_share).abs() < 1e-12);
+        assert!((hr.write_bytes_share - lf.write_bytes_share).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistent_workload_has_small_disagreement() {
+        // Build all three scales from the same underlying mix (70%
+        // writes).
+        let reqs: Vec<Request> = (0..1000)
+            .map(|i| {
+                let op = if i % 10 < 7 { OpKind::Write } else { OpKind::Read };
+                Request::new(i, DriveId(0), op, i * 8, 8).unwrap()
+            })
+            .collect();
+        let recs: Vec<HourRecord> = (0..48)
+            .map(|h| HourRecord::new(DriveId(0), h, 300, 700, 2400, 5600, 100.0).unwrap())
+            .collect();
+        let series = HourSeries::new(recs.clone()).unwrap();
+        let lt = accumulate_lifetime(&recs).unwrap();
+        let x = rw_across_scales(&reqs, &series, &[lt]).unwrap();
+        assert!(
+            x.max_write_share_disagreement() < 0.01,
+            "disagreement {}",
+            x.max_write_share_disagreement()
+        );
+    }
+
+    #[test]
+    fn rw_coupling_is_high_for_shared_burst_traffic() {
+        // Reads and writes drawn from the same session-gated process:
+        // bursts contain both classes, so the series are coupled.
+        let reqs = spindle_synth::presets::Environment::Mail
+            .spec(1200.0)
+            .generate(21)
+            .unwrap();
+        let c = rw_coupling(&reqs, 1200.0, 1.0).unwrap();
+        assert!(c > 0.3, "coupling {c}");
+    }
+
+    #[test]
+    fn rw_coupling_is_low_for_disjoint_phases() {
+        // Reads in the first half, writes in the second: anti-coupled.
+        let mut reqs = Vec::new();
+        for i in 0..500u64 {
+            reqs.push(Request::new(i * 1_000_000_000, DriveId(0), OpKind::Read, i * 8, 8).unwrap());
+        }
+        for i in 500..1000u64 {
+            reqs.push(
+                Request::new(i * 1_000_000_000, DriveId(0), OpKind::Write, i * 8, 8).unwrap(),
+            );
+        }
+        let c = rw_coupling(&reqs, 1000.0, 10.0).unwrap();
+        assert!(c < -0.5, "coupling {c}");
+    }
+
+    #[test]
+    fn disagreement_detects_inconsistency() {
+        let reqs = vec![req(OpKind::Read, 8), req(OpKind::Read, 8)];
+        // Read-only ms stream has zero bytes written: RwShares requires
+        // some ops, which reads satisfy, but from_counts also requires
+        // bytes > 0 — reads provide them.
+        let ms = rw_shares_ms(&reqs).unwrap();
+        assert_eq!(ms.write_ops_share, 0.0);
+        let recs: Vec<HourRecord> = (0..48)
+            .map(|h| HourRecord::new(DriveId(0), h, 100, 900, 800, 7200, 100.0).unwrap())
+            .collect();
+        let series = HourSeries::new(recs.clone()).unwrap();
+        let lt = accumulate_lifetime(&recs).unwrap();
+        let x = rw_across_scales(&reqs, &series, &[lt]).unwrap();
+        assert!(x.max_write_share_disagreement() > 0.8);
+    }
+}

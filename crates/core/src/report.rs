@@ -1,0 +1,286 @@
+//! Plain-text tables and figure data.
+//!
+//! The experiment harness regenerates each of the paper's artifacts as
+//! either a [`Table`] (aligned text columns) or a [`Figure`] (named data
+//! series dumped as aligned `x y…` rows, ready for any plotting tool,
+//! plus an ASCII sparkline preview per series).
+
+use std::fmt;
+
+/// A text table with a title, column headers, and string rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    /// Table title (e.g. `"T3: idleness availability"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width — a bug in
+    /// the caller, caught early.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// The rows pushed so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (w, cell) in widths.iter().zip(cells) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = w)?;
+                first = false;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// One named data series of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A figure: axis labels plus one or more data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Figure title (e.g. `"F2: idle interval CDF"`).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The data series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series.
+    pub fn push_series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push(Series {
+            label: label.into(),
+            points,
+        });
+    }
+
+    /// Renders one series as a fixed-width ASCII sparkline (min–max
+    /// normalized), for a quick visual check in terminal output.
+    fn sparkline(points: &[(f64, f64)], width: usize) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if points.is_empty() {
+            return String::new();
+        }
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let range = (hi - lo).max(f64::MIN_POSITIVE);
+        (0..width.min(ys.len()))
+            .map(|i| {
+                let idx = i * ys.len() / width.min(ys.len());
+                let level = ((ys[idx] - lo) / range * 7.0).round() as usize;
+                LEVELS[level.min(7)]
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        writeln!(f, "# x = {}, y = {}", self.x_label, self.y_label)?;
+        for s in &self.series {
+            writeln!(
+                f,
+                "# {} [{} points]  {}",
+                s.label,
+                s.points.len(),
+                Self::sparkline(&s.points, 60)
+            )?;
+        }
+        // Columnar dump: x then one y column per series, aligned on the
+        // union of x values when series share them; otherwise each
+        // series is dumped in its own block.
+        let shared_x = self.series.len() > 1
+            && self
+                .series
+                .windows(2)
+                .all(|w| {
+                    w[0].points.len() == w[1].points.len()
+                        && w[0]
+                            .points
+                            .iter()
+                            .zip(&w[1].points)
+                            .all(|(a, b)| (a.0 - b.0).abs() < 1e-12)
+                });
+        if shared_x {
+            write!(f, "{:>14}", "x")?;
+            for s in &self.series {
+                write!(f, "  {:>14}", s.label)?;
+            }
+            writeln!(f)?;
+            for i in 0..self.series[0].points.len() {
+                write!(f, "{:>14.6}", self.series[0].points[i].0)?;
+                for s in &self.series {
+                    write!(f, "  {:>14.6}", s.points[i].1)?;
+                }
+                writeln!(f)?;
+            }
+        } else {
+            for s in &self.series {
+                writeln!(f, "-- {} --", s.label)?;
+                for &(x, y) in &s.points {
+                    writeln!(f, "{x:>14.6}  {y:>14.6}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `digits` significant decimal places — the
+/// standard cell formatter used by the experiment harness.
+pub fn cell(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("T0: demo", &["env", "rate", "util"]);
+        t.push_row(vec!["mail".into(), "45.0".into(), "0.12".into()]);
+        t.push_row(vec!["archive".into(), "6.0".into(), "0.04".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== T0: demo =="));
+        assert!(s.contains("env"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, separator, two rows, plus the title line.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn figure_with_shared_x_renders_matrix() {
+        let mut fig = Figure::new("F0", "x", "y");
+        fig.push_series("a", vec![(0.0, 1.0), (1.0, 2.0)]);
+        fig.push_series("b", vec![(0.0, 3.0), (1.0, 4.0)]);
+        let s = fig.to_string();
+        assert!(s.contains("== F0 =="));
+        // One matrix header + 2 data lines.
+        let data_lines = s.lines().filter(|l| l.starts_with(' ') && l.contains('.')).count();
+        assert_eq!(data_lines, 2);
+    }
+
+    #[test]
+    fn figure_with_distinct_x_renders_blocks() {
+        let mut fig = Figure::new("F1", "x", "y");
+        fig.push_series("a", vec![(0.0, 1.0)]);
+        fig.push_series("b", vec![(5.0, 1.0), (6.0, 2.0)]);
+        let s = fig.to_string();
+        assert!(s.contains("-- a --"));
+        assert!(s.contains("-- b --"));
+    }
+
+    #[test]
+    fn sparkline_is_bounded_width() {
+        let pts: Vec<(f64, f64)> = (0..500).map(|i| (i as f64, (i as f64 / 30.0).sin())).collect();
+        let sl = Figure::sparkline(&pts, 60);
+        assert_eq!(sl.chars().count(), 60);
+        assert!(Figure::sparkline(&[], 60).is_empty());
+    }
+
+    #[test]
+    fn constant_series_sparkline_does_not_panic() {
+        let pts = vec![(0.0, 5.0), (1.0, 5.0)];
+        let sl = Figure::sparkline(&pts, 10);
+        assert_eq!(sl.chars().count(), 2);
+    }
+
+    #[test]
+    fn cell_formats() {
+        assert_eq!(cell(1.23456, 2), "1.23");
+        assert_eq!(cell(0.5, 3), "0.500");
+    }
+}

@@ -1,0 +1,317 @@
+//! Response-time analysis.
+//!
+//! Response time is the quantity host software actually observes, and
+//! burstiness shows up in its tail: queueing during bursts stretches the
+//! high percentiles far beyond the mean. [`ResponseAnalysis`] breaks the
+//! simulated response times down by direction and cache outcome and
+//! reports the percentile ladder the storage literature uses.
+
+use crate::{CoreError, Result};
+use spindle_disk::sim::SimResult;
+use spindle_stats::ecdf::Ecdf;
+use spindle_trace::OpKind;
+
+/// Percentile levels reported in the response-time tables.
+pub const RESPONSE_LEVELS: [f64; 7] = [0.50, 0.75, 0.90, 0.95, 0.99, 0.995, 0.999];
+
+/// One class's response-time summary (milliseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseClass {
+    /// Class label (`"all"`, `"read"`, `"write"`, `"hit"`, `"miss"`).
+    pub label: &'static str,
+    /// Requests in the class.
+    pub count: u64,
+    /// Mean response time in ms.
+    pub mean_ms: f64,
+    /// Maximum response time in ms.
+    pub max_ms: f64,
+    /// `(level, value_ms)` at each of [`RESPONSE_LEVELS`].
+    pub percentiles: Vec<(f64, f64)>,
+}
+
+/// Outstanding-request (queue depth) statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueDepth {
+    /// Time-averaged number of outstanding requests.
+    pub mean: f64,
+    /// Maximum instantaneous depth.
+    pub max: u64,
+}
+
+/// Response-time analysis over a simulation result.
+#[derive(Debug)]
+pub struct ResponseAnalysis {
+    all: Vec<f64>,
+    reads: Vec<f64>,
+    writes: Vec<f64>,
+    hits: Vec<f64>,
+    misses: Vec<f64>,
+    mean_queue_ms: f64,
+}
+
+impl ResponseAnalysis {
+    /// Builds the analysis from a simulation result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if no request completed.
+    pub fn new(sim: &SimResult) -> Result<Self> {
+        if sim.completed.is_empty() {
+            return Err(CoreError::InvalidInput {
+                reason: "simulation completed no requests".into(),
+            });
+        }
+        let mut all = Vec::with_capacity(sim.completed.len());
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        let mut hits = Vec::new();
+        let mut misses = Vec::new();
+        let mut queue_total = 0.0;
+        for c in &sim.completed {
+            let ms = c.response_ns() as f64 / 1e6;
+            all.push(ms);
+            match c.request.op {
+                OpKind::Read => reads.push(ms),
+                OpKind::Write => writes.push(ms),
+            }
+            if c.cache_hit {
+                hits.push(ms);
+            } else {
+                misses.push(ms);
+            }
+            queue_total += c.queue_ns() as f64 / 1e6;
+        }
+        Ok(ResponseAnalysis {
+            mean_queue_ms: queue_total / all.len() as f64,
+            all,
+            reads,
+            writes,
+            hits,
+            misses,
+        })
+    }
+
+    /// Mean time spent waiting in the queue (before service), ms.
+    pub fn mean_queue_ms(&self) -> f64 {
+        self.mean_queue_ms
+    }
+
+    fn class(label: &'static str, sample: &[f64]) -> Result<Option<ResponseClass>> {
+        if sample.is_empty() {
+            return Ok(None);
+        }
+        let ecdf = Ecdf::new(sample.to_vec())?;
+        let percentiles = RESPONSE_LEVELS
+            .iter()
+            .map(|&level| Ok((level, ecdf.quantile(level)?)))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Some(ResponseClass {
+            label,
+            count: sample.len() as u64,
+            mean_ms: ecdf.mean(),
+            max_ms: ecdf.max(),
+            percentiles,
+        }))
+    }
+
+    /// Summaries for every non-empty class, `"all"` first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ECDF construction failures (cannot happen for the
+    /// validated input).
+    pub fn classes(&self) -> Result<Vec<ResponseClass>> {
+        let mut out = Vec::with_capacity(5);
+        for (label, sample) in [
+            ("all", &self.all),
+            ("read", &self.reads),
+            ("write", &self.writes),
+            ("hit", &self.hits),
+            ("miss", &self.misses),
+        ] {
+            if let Some(c) = Self::class(label, sample)? {
+                out.push(c);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Time-averaged and maximum number of outstanding requests,
+    /// computed from the arrival/completion events of `sim` — queue
+    /// depth is where burstiness becomes queueing delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if no request completed.
+    pub fn queue_depth(sim: &SimResult) -> Result<QueueDepth> {
+        if sim.completed.is_empty() {
+            return Err(CoreError::InvalidInput {
+                reason: "simulation completed no requests".into(),
+            });
+        }
+        // Sweep arrival (+1) and completion (−1) events in time order.
+        let mut events: Vec<(u64, i64)> = Vec::with_capacity(sim.completed.len() * 2);
+        let mut span_end = 0u64;
+        for c in &sim.completed {
+            events.push((c.request.arrival_ns, 1));
+            events.push((c.complete_ns, -1));
+            span_end = span_end.max(c.complete_ns);
+        }
+        // Completions sort before arrivals at the same instant so a
+        // zero-latency handoff does not double-count.
+        events.sort_by_key(|&(t, delta)| (t, delta));
+        let mut depth = 0i64;
+        let mut max_depth = 0i64;
+        let mut weighted = 0.0f64;
+        let mut last_t = 0u64;
+        for (t, delta) in events {
+            weighted += depth as f64 * (t - last_t) as f64;
+            depth += delta;
+            max_depth = max_depth.max(depth);
+            last_t = t;
+        }
+        debug_assert_eq!(depth, 0, "every arrival must complete");
+        Ok(QueueDepth {
+            mean: weighted / span_end.max(1) as f64,
+            max: max_depth as u64,
+        })
+    }
+
+    /// Tail amplification: p99 over median of the all-requests class —
+    /// the single number that shows burstiness reaching the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the median response is
+    /// zero.
+    pub fn tail_amplification(&self) -> Result<f64> {
+        let e = Ecdf::new(self.all.clone())?;
+        let median = e.quantile(0.5)?;
+        if median == 0.0 {
+            return Err(CoreError::InvalidInput {
+                reason: "median response time is zero".into(),
+            });
+        }
+        Ok(e.quantile(0.99)? / median)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_disk::profile::DriveProfile;
+    use spindle_disk::sim::{DiskSim, SimConfig};
+    use spindle_trace::{DriveId, Request};
+
+    fn simulate() -> SimResult {
+        // A bursty stream: clusters of 20 requests every second.
+        let mut reqs = Vec::new();
+        for burst in 0..20u64 {
+            for i in 0..20u64 {
+                let t = burst * 1_000_000_000 + i * 100_000;
+                let op = if i % 3 == 0 { OpKind::Write } else { OpKind::Read };
+                let lba = ((burst * 31 + i) * 1_048_576) % 100_000_000;
+                reqs.push(Request::new(t, DriveId(0), op, lba, 16).unwrap());
+            }
+        }
+        DiskSim::new(DriveProfile::cheetah_15k(), SimConfig::default())
+            .run(&reqs)
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_results() {
+        let sim = simulate();
+        let empty = SimResult {
+            completed: vec![],
+            ..sim
+        };
+        assert!(ResponseAnalysis::new(&empty).is_err());
+    }
+
+    #[test]
+    fn classes_partition_the_requests() {
+        let sim = simulate();
+        let a = ResponseAnalysis::new(&sim).unwrap();
+        let classes = a.classes().unwrap();
+        let get = |label: &str| classes.iter().find(|c| c.label == label).unwrap();
+        let all = get("all");
+        assert_eq!(all.count, 400);
+        assert_eq!(get("read").count + get("write").count, 400);
+        assert_eq!(get("hit").count + get("miss").count, 400);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let sim = simulate();
+        let a = ResponseAnalysis::new(&sim).unwrap();
+        for class in a.classes().unwrap() {
+            for w in class.percentiles.windows(2) {
+                assert!(
+                    w[1].1 >= w[0].1,
+                    "{}: p{} {} < p{} {}",
+                    class.label,
+                    w[1].0,
+                    w[1].1,
+                    w[0].0,
+                    w[0].1
+                );
+            }
+            assert!(class.max_ms >= class.percentiles.last().unwrap().1);
+            assert!(class.mean_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn cache_hits_are_faster_than_misses() {
+        let sim = simulate();
+        let a = ResponseAnalysis::new(&sim).unwrap();
+        let classes = a.classes().unwrap();
+        let hit = classes.iter().find(|c| c.label == "hit").unwrap();
+        let miss = classes.iter().find(|c| c.label == "miss").unwrap();
+        assert!(
+            hit.mean_ms < miss.mean_ms,
+            "hits {} ms !< misses {} ms",
+            hit.mean_ms,
+            miss.mean_ms
+        );
+    }
+
+    #[test]
+    fn queue_depth_reflects_bursts() {
+        let sim = simulate();
+        let qd = ResponseAnalysis::queue_depth(&sim).unwrap();
+        // Bursts of 20 requests arriving within 2 ms against ~5 ms
+        // service: the queue must reach well into the burst size.
+        assert!(qd.max >= 10, "max depth {}", qd.max);
+        assert!(qd.mean > 0.0);
+        assert!(qd.mean < qd.max as f64);
+    }
+
+    #[test]
+    fn queue_depth_of_sparse_stream_is_low() {
+        // One request every 100 ms: never more than one outstanding.
+        let reqs: Vec<Request> = (0..20)
+            .map(|i| {
+                Request::new(i * 100_000_000, DriveId(0), OpKind::Read, i * 1_000_000, 8).unwrap()
+            })
+            .collect();
+        let sim = DiskSim::new(DriveProfile::cheetah_15k(), SimConfig::default())
+            .run(&reqs)
+            .unwrap();
+        let qd = ResponseAnalysis::queue_depth(&sim).unwrap();
+        assert_eq!(qd.max, 1);
+        assert!(qd.mean < 0.2, "mean depth {}", qd.mean);
+    }
+
+    #[test]
+    fn bursts_amplify_the_tail() {
+        let sim = simulate();
+        let a = ResponseAnalysis::new(&sim).unwrap();
+        // 20-deep bursts on a ~5 ms-per-IO device queue up: p99 must be
+        // several times the median.
+        let amp = a.tail_amplification().unwrap();
+        assert!(amp > 2.0, "tail amplification {amp}");
+        assert!(a.mean_queue_ms() > 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the characterization framework: analysis
+//! invariants must hold for arbitrary (valid) busy logs and request
+//! streams.
+
+use proptest::prelude::*;
+use spindle_core::background::BackgroundTask;
+use spindle_core::idle::IdleAnalysis;
+use spindle_core::spatial::SpatialAnalysis;
+use spindle_disk::busy::{BusyLog, BusyLogBuilder};
+use spindle_trace::{DriveId, OpKind, Request};
+
+/// Arbitrary busy log: sorted, disjoint-ish intervals inside a span.
+fn arb_busy_log() -> impl Strategy<Value = BusyLog> {
+    prop::collection::vec((0u64..1_000_000, 1u64..50_000), 0..50).prop_map(|intervals| {
+        let mut sorted: Vec<(u64, u64)> = intervals
+            .into_iter()
+            .map(|(s, len)| (s, s + len))
+            .collect();
+        sorted.sort_unstable();
+        let mut b = BusyLogBuilder::new();
+        for (s, e) in sorted {
+            b.push(s, e).expect("sorted pushes are valid");
+        }
+        b.finish(2_000_000).expect("span covers all intervals")
+    })
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::vec(
+        (0u64..10_000_000_000u64, 0u64..10_000_000, 1u32..1_000, prop::bool::ANY),
+        2..120,
+    )
+    .prop_map(|tuples| {
+        let mut v: Vec<Request> = tuples
+            .into_iter()
+            .map(|(t, lba, sectors, w)| {
+                let op = if w { OpKind::Write } else { OpKind::Read };
+                Request::new(t, DriveId(0), op, lba, sectors).expect("valid")
+            })
+            .collect();
+        v.sort_by_key(|r| r.arrival_ns);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn idle_analysis_conserves_time(log in arb_busy_log()) {
+        let a = IdleAnalysis::new(&log).unwrap();
+        let busy: f64 = a.busy_durations().iter().sum();
+        let idle: f64 = a.idle_durations().iter().sum();
+        let span = log.span_ns() as f64 / 1e9;
+        prop_assert!((busy + idle - span).abs() < 1e-6);
+        prop_assert!((0.0..=1.0).contains(&a.idle_fraction()));
+    }
+
+    #[test]
+    fn availability_is_monotone_and_bounded(log in arb_busy_log(), thr in 0.0f64..10.0) {
+        let a = IdleAnalysis::new(&log).unwrap();
+        let rows = a.availability(&[thr, thr * 2.0 + 0.001, thr * 10.0 + 0.01]);
+        for r in &rows {
+            prop_assert!((0.0..=1.0).contains(&r.fraction_of_idle_time));
+            prop_assert!((0.0..=1.0).contains(&r.fraction_of_intervals));
+        }
+        for w in rows.windows(2) {
+            prop_assert!(w[1].fraction_of_idle_time <= w[0].fraction_of_idle_time + 1e-12);
+        }
+        // Threshold zero captures every idle second.
+        let zero = a.availability(&[0.0]);
+        if !a.idle_durations().is_empty() {
+            prop_assert!((zero[0].fraction_of_idle_time - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn background_budget_never_exceeds_idle_time(
+        log in arb_busy_log(),
+        wait in 0.0f64..0.01,
+        setup in 0.0f64..0.01,
+    ) {
+        let task = BackgroundTask::new(wait, setup, 1.0).unwrap();
+        let s = task.schedule(&log).unwrap();
+        let idle_secs = log.total_idle_ns() as f64 / 1e9;
+        prop_assert!(s.productive_secs <= idle_secs + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&s.idle_efficiency()));
+        prop_assert!(s.usable_intervals <= s.total_intervals);
+        // Zero-cost tasks convert all idle time.
+        let free = BackgroundTask::new(0.0, 0.0, 1.0).unwrap().schedule(&log).unwrap();
+        prop_assert!((free.productive_secs - idle_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spatial_runs_partition_the_stream(reqs in arb_stream()) {
+        let a = SpatialAnalysis::new(&reqs).unwrap();
+        // Total requests across runs equals the stream length.
+        let run_total: f64 = a.run_length_cdf().unwrap().as_sorted_slice().iter().sum();
+        prop_assert_eq!(run_total as usize, reqs.len());
+        // Sequential fraction and run count are consistent:
+        // runs = requests − sequential transitions.
+        let seq = (a.sequential_fraction() * (reqs.len() - 1) as f64).round() as usize;
+        prop_assert_eq!(a.runs(), reqs.len() - seq);
+        prop_assert!(a.mean_run_length() >= 1.0);
+    }
+
+    #[test]
+    fn response_percentiles_are_ordered_for_any_stream(reqs in arb_stream()) {
+        use spindle_core::response::ResponseAnalysis;
+        use spindle_disk::profile::DriveProfile;
+        use spindle_disk::sim::{DiskSim, SimConfig};
+        let mut sim = DiskSim::new(DriveProfile::cheetah_15k(), SimConfig::default());
+        let result = sim.run(&reqs).unwrap();
+        let a = ResponseAnalysis::new(&result).unwrap();
+        for class in a.classes().unwrap() {
+            for w in class.percentiles.windows(2) {
+                prop_assert!(w[1].1 >= w[0].1);
+            }
+            prop_assert!(class.mean_ms <= class.max_ms + 1e-12);
+        }
+        let qd = ResponseAnalysis::queue_depth(&result).unwrap();
+        prop_assert!(qd.max as f64 >= qd.mean);
+        prop_assert!(qd.max as usize <= reqs.len());
+    }
+}

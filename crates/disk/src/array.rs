@@ -1,0 +1,393 @@
+//! Multi-drive array simulation.
+//!
+//! Enterprise traces come from drives behind storage controllers that
+//! spread one logical volume across many spindles. This module provides
+//! the two pieces needed to study that setting:
+//!
+//! * [`StripedVolume`] — a RAID-0-style address mapper from volume LBAs
+//!   to `(drive, disk LBA)` with a configurable chunk size, splitting
+//!   requests that cross chunk boundaries exactly the way a controller
+//!   does.
+//! * [`ArraySim`] — runs a multi-drive request stream by partitioning it
+//!   per drive and simulating every drive independently (drives share no
+//!   mechanism, so per-drive simulation is exact), in parallel with
+//!   scoped threads. Determinism is preserved: each drive's simulation
+//!   depends only on its own sub-stream.
+
+use crate::profile::DriveProfile;
+use crate::sim::{DiskSim, SimConfig, SimResult};
+use crate::{DiskError, Result};
+use spindle_trace::transform::split_by_drive;
+use spindle_trace::{DriveId, Request};
+
+/// RAID-0 style striping map across `drives` identical drives with a
+/// chunk of `chunk_sectors`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripedVolume {
+    drives: u32,
+    chunk_sectors: u32,
+}
+
+impl StripedVolume {
+    /// Creates a striping map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::InvalidConfig`] if `drives == 0` or
+    /// `chunk_sectors == 0`.
+    pub fn new(drives: u32, chunk_sectors: u32) -> Result<Self> {
+        if drives == 0 {
+            return Err(DiskError::InvalidConfig {
+                name: "drives",
+                reason: "array needs at least one drive",
+            });
+        }
+        if chunk_sectors == 0 {
+            return Err(DiskError::InvalidConfig {
+                name: "chunk_sectors",
+                reason: "chunk must hold at least one sector",
+            });
+        }
+        Ok(StripedVolume {
+            drives,
+            chunk_sectors,
+        })
+    }
+
+    /// Number of drives in the stripe.
+    pub fn drives(&self) -> u32 {
+        self.drives
+    }
+
+    /// Chunk size in sectors.
+    pub fn chunk_sectors(&self) -> u32 {
+        self.chunk_sectors
+    }
+
+    /// Maps one volume LBA to `(drive, disk LBA)`.
+    pub fn locate(&self, volume_lba: u64) -> (DriveId, u64) {
+        let chunk = volume_lba / self.chunk_sectors as u64;
+        let offset = volume_lba % self.chunk_sectors as u64;
+        let drive = (chunk % self.drives as u64) as u32;
+        let disk_chunk = chunk / self.drives as u64;
+        (
+            DriveId(drive),
+            disk_chunk * self.chunk_sectors as u64 + offset,
+        )
+    }
+
+    /// Splits one volume-level request into per-drive disk requests
+    /// (one per touched chunk fragment, coalescing adjacent fragments on
+    /// the same drive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::InvalidStream`] if a fragment would be
+    /// zero-length (cannot happen for valid requests; defensive).
+    pub fn split_request(&self, volume_request: &Request) -> Result<Vec<Request>> {
+        let mut out: Vec<Request> = Vec::new();
+        let mut lba = volume_request.lba;
+        let mut remaining = volume_request.sectors as u64;
+        while remaining > 0 {
+            let within_chunk = lba % self.chunk_sectors as u64;
+            let take = (self.chunk_sectors as u64 - within_chunk).min(remaining);
+            let (drive, disk_lba) = self.locate(lba);
+            // Coalesce with the previous fragment when contiguous on the
+            // same drive (consecutive chunks of a 1-drive array, or a
+            // request within one chunk).
+            let coalesced = out.last_mut().is_some_and(|last| {
+                if last.drive == drive && last.end_lba() == disk_lba {
+                    last.sectors += take as u32;
+                    true
+                } else {
+                    false
+                }
+            });
+            if !coalesced {
+                out.push(
+                    Request::new(
+                        volume_request.arrival_ns,
+                        drive,
+                        volume_request.op,
+                        disk_lba,
+                        take as u32,
+                    )
+                    .map_err(|e| DiskError::InvalidStream {
+                        reason: e.to_string(),
+                    })?,
+                );
+            }
+            lba += take;
+            remaining -= take;
+        }
+        Ok(out)
+    }
+
+    /// Maps a whole volume-level stream, preserving arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StripedVolume::split_request`] errors.
+    pub fn split_stream(&self, volume_requests: &[Request]) -> Result<Vec<Request>> {
+        let mut out = Vec::with_capacity(volume_requests.len());
+        for r in volume_requests {
+            out.extend(self.split_request(r)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Per-drive outcome of an array simulation.
+#[derive(Debug)]
+pub struct DriveOutcome {
+    /// The drive.
+    pub drive: DriveId,
+    /// Requests routed to this drive.
+    pub requests: usize,
+    /// The drive's simulation result.
+    pub result: SimResult,
+}
+
+/// Outcome of an array simulation.
+#[derive(Debug)]
+pub struct ArrayResult {
+    /// Per-drive outcomes, ordered by drive id.
+    pub drives: Vec<DriveOutcome>,
+}
+
+impl ArrayResult {
+    /// Mean utilization across drives (unweighted).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.drives.is_empty() {
+            return 0.0;
+        }
+        self.drives
+            .iter()
+            .map(|d| d.result.utilization())
+            .sum::<f64>()
+            / self.drives.len() as f64
+    }
+
+    /// Utilization imbalance: max over min per-drive utilization, or
+    /// `None` when any drive was fully idle (infinite imbalance) or the
+    /// array is empty.
+    pub fn utilization_imbalance(&self) -> Option<f64> {
+        let utils: Vec<f64> = self.drives.iter().map(|d| d.result.utilization()).collect();
+        let min = utils.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = utils.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if utils.is_empty() || min <= 0.0 {
+            None
+        } else {
+            Some(max / min)
+        }
+    }
+
+    /// Mean host-visible response time across all requests, in
+    /// milliseconds.
+    pub fn mean_response_ms(&self) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0u64;
+        for d in &self.drives {
+            for c in &d.result.completed {
+                total += c.response_ns() as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64 / 1e6
+        }
+    }
+
+    /// Total requests serviced across the array.
+    pub fn total_requests(&self) -> usize {
+        self.drives.iter().map(|d| d.requests).sum()
+    }
+}
+
+/// Simulates every drive of a multi-drive stream independently and in
+/// parallel.
+#[derive(Debug, Clone)]
+pub struct ArraySim {
+    profile: DriveProfile,
+    config: SimConfig,
+}
+
+impl ArraySim {
+    /// Creates an array of identical drives.
+    pub fn new(profile: DriveProfile, config: SimConfig) -> Self {
+        ArraySim { profile, config }
+    }
+
+    /// Runs a multi-drive request stream (sorted by arrival; drives are
+    /// identified by [`Request::drive`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::InvalidStream`] for an empty stream and
+    /// propagates per-drive simulation errors.
+    pub fn run(&self, requests: &[Request]) -> Result<ArrayResult> {
+        if requests.is_empty() {
+            return Err(DiskError::InvalidStream {
+                reason: "request stream is empty".into(),
+            });
+        }
+        let per_drive = split_by_drive(requests);
+        let mut entries: Vec<(DriveId, Vec<Request>)> = per_drive.into_iter().collect();
+        let mut results: Vec<Option<Result<DriveOutcome>>> = Vec::new();
+        results.resize_with(entries.len(), || None);
+        std::thread::scope(|scope| {
+            for (slot, (drive, stream)) in results.iter_mut().zip(entries.iter_mut()) {
+                let profile = self.profile.clone();
+                let config = self.config;
+                scope.spawn(move || {
+                    let mut sim = DiskSim::new(profile, config);
+                    *slot = Some(sim.run(stream).map(|result| DriveOutcome {
+                        drive: *drive,
+                        requests: stream.len(),
+                        result,
+                    }));
+                });
+            }
+        });
+        let drives = results
+            .into_iter()
+            .map(|r| r.expect("every drive slot filled"))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ArrayResult { drives })
+    }
+
+    /// Convenience: stripes a single-volume stream over `drives` drives
+    /// and runs it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates striping and simulation errors.
+    pub fn run_striped(
+        &self,
+        volume_requests: &[Request],
+        volume: StripedVolume,
+    ) -> Result<ArrayResult> {
+        let split = volume.split_stream(volume_requests)?;
+        self.run(&split)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_trace::OpKind;
+
+    fn req(t: u64, drive: u32, lba: u64, sectors: u32) -> Request {
+        Request::new(t, DriveId(drive), OpKind::Read, lba, sectors).unwrap()
+    }
+
+    #[test]
+    fn volume_validation() {
+        assert!(StripedVolume::new(0, 64).is_err());
+        assert!(StripedVolume::new(4, 0).is_err());
+        assert!(StripedVolume::new(4, 64).is_ok());
+    }
+
+    #[test]
+    fn locate_round_robins_chunks() {
+        let v = StripedVolume::new(3, 100).unwrap();
+        assert_eq!(v.locate(0), (DriveId(0), 0));
+        assert_eq!(v.locate(99), (DriveId(0), 99));
+        assert_eq!(v.locate(100), (DriveId(1), 0));
+        assert_eq!(v.locate(200), (DriveId(2), 0));
+        assert_eq!(v.locate(300), (DriveId(0), 100));
+        assert_eq!(v.locate(450), (DriveId(1), 150));
+    }
+
+    #[test]
+    fn split_request_preserves_sectors() {
+        let v = StripedVolume::new(4, 64).unwrap();
+        // A request spanning 3 chunks starting mid-chunk.
+        let r = req(5, 9, 60, 140);
+        let parts = v.split_request(&r).unwrap();
+        let total: u32 = parts.iter().map(|p| p.sectors).sum();
+        assert_eq!(total, 140);
+        assert!(parts.len() >= 3);
+        assert!(parts.iter().all(|p| p.arrival_ns == 5));
+        assert!(parts.iter().all(|p| p.op == OpKind::Read));
+        // Fragments land on consecutive drives.
+        assert_eq!(parts[0].drive, DriveId(0));
+        assert_eq!(parts[1].drive, DriveId(1));
+    }
+
+    #[test]
+    fn single_drive_stripe_coalesces_to_one_request() {
+        let v = StripedVolume::new(1, 64).unwrap();
+        let r = req(0, 0, 100, 1000);
+        let parts = v.split_request(&r).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].lba, 100);
+        assert_eq!(parts[0].sectors, 1000);
+    }
+
+    #[test]
+    fn within_chunk_request_is_not_split() {
+        let v = StripedVolume::new(8, 256).unwrap();
+        let r = req(0, 0, 256 * 5 + 10, 100);
+        let parts = v.split_request(&r).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].drive, DriveId(5));
+    }
+
+    #[test]
+    fn array_runs_drives_independently() {
+        let reqs: Vec<Request> = (0..300)
+            .map(|i| req(i * 10_000_000, (i % 4) as u32, (i * 99_991 * 8) % 1_000_000, 16))
+            .collect();
+        let array = ArraySim::new(DriveProfile::cheetah_15k(), SimConfig::default());
+        let result = array.run(&reqs).unwrap();
+        assert_eq!(result.drives.len(), 4);
+        assert_eq!(result.total_requests(), 300);
+        assert!(result.mean_utilization() > 0.0);
+        assert!(result.mean_response_ms() > 0.0);
+    }
+
+    #[test]
+    fn array_result_matches_individual_sims() {
+        let reqs: Vec<Request> = (0..100)
+            .map(|i| req(i * 20_000_000, (i % 2) as u32, (i * 7919 * 64) % 1_000_000, 8))
+            .collect();
+        let array = ArraySim::new(DriveProfile::savvio_10k(), SimConfig::default());
+        let result = array.run(&reqs).unwrap();
+
+        for outcome in &result.drives {
+            let own: Vec<Request> = reqs
+                .iter()
+                .filter(|r| r.drive == outcome.drive)
+                .copied()
+                .collect();
+            let mut solo = DiskSim::new(DriveProfile::savvio_10k(), SimConfig::default());
+            let expected = solo.run(&own).unwrap();
+            assert_eq!(outcome.result.completed, expected.completed);
+            assert_eq!(outcome.result.busy, expected.busy);
+        }
+    }
+
+    #[test]
+    fn striping_balances_sequential_load() {
+        // A purely sequential volume scan: striping must spread it
+        // almost perfectly across drives.
+        let reqs: Vec<Request> = (0..400)
+            .map(|i| req(i * 5_000_000, 0, i * 128, 128))
+            .collect();
+        let array = ArraySim::new(DriveProfile::cheetah_15k(), SimConfig::default());
+        let volume = StripedVolume::new(4, 128).unwrap();
+        let result = array.run_striped(&reqs, volume).unwrap();
+        assert_eq!(result.drives.len(), 4);
+        let imbalance = result.utilization_imbalance().unwrap();
+        assert!(imbalance < 1.6, "imbalance {imbalance}");
+    }
+
+    #[test]
+    fn empty_stream_is_rejected() {
+        let array = ArraySim::new(DriveProfile::cheetah_15k(), SimConfig::default());
+        assert!(array.run(&[]).is_err());
+    }
+}

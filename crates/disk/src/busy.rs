@@ -1,0 +1,287 @@
+//! Busy/idle timeline bookkeeping.
+//!
+//! The simulator records every interval during which the drive mechanism
+//! was occupied; [`BusyLog`] merges those into a canonical timeline and
+//! derives the quantities the characterization needs: idle intervals,
+//! aggregate utilization, and windowed utilization series.
+
+use crate::{DiskError, Result};
+
+/// Accumulates busy intervals in non-decreasing start order, merging
+/// touching or overlapping intervals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BusyLogBuilder {
+    periods: Vec<(u64, u64)>,
+}
+
+impl BusyLogBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a busy interval `[start_ns, end_ns)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::InvalidStream`] if `end_ns < start_ns` or
+    /// `start_ns` precedes the start of the previously pushed interval.
+    pub fn push(&mut self, start_ns: u64, end_ns: u64) -> Result<()> {
+        if end_ns < start_ns {
+            return Err(DiskError::InvalidStream {
+                reason: format!("busy interval ends ({end_ns}) before it starts ({start_ns})"),
+            });
+        }
+        if let Some(&(last_start, last_end)) = self.periods.last() {
+            if start_ns < last_start {
+                return Err(DiskError::InvalidStream {
+                    reason: format!(
+                        "busy intervals must be pushed in start order ({start_ns} < {last_start})"
+                    ),
+                });
+            }
+            if start_ns <= last_end {
+                let merged_end = last_end.max(end_ns);
+                let last = self.periods.last_mut().expect("non-empty");
+                last.1 = merged_end;
+                return Ok(());
+            }
+        }
+        if start_ns < end_ns {
+            self.periods.push((start_ns, end_ns));
+        }
+        Ok(())
+    }
+
+    /// Finalizes the log over the observation window `[0, span_ns)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::InvalidStream`] if any busy time extends past
+    /// `span_ns` or `span_ns == 0`.
+    pub fn finish(self, span_ns: u64) -> Result<BusyLog> {
+        if span_ns == 0 {
+            return Err(DiskError::InvalidStream {
+                reason: "observation span must be positive".into(),
+            });
+        }
+        if let Some(&(_, end)) = self.periods.last() {
+            if end > span_ns {
+                return Err(DiskError::InvalidStream {
+                    reason: format!("busy period ends at {end} past span {span_ns}"),
+                });
+            }
+        }
+        Ok(BusyLog {
+            periods: self.periods,
+            span_ns,
+        })
+    }
+}
+
+/// Canonical busy timeline over an observation window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusyLog {
+    /// Disjoint, sorted busy intervals `[start, end)` in nanoseconds.
+    periods: Vec<(u64, u64)>,
+    span_ns: u64,
+}
+
+impl BusyLog {
+    /// The busy intervals (disjoint, sorted).
+    pub fn periods(&self) -> &[(u64, u64)] {
+        &self.periods
+    }
+
+    /// Observation span in nanoseconds.
+    pub fn span_ns(&self) -> u64 {
+        self.span_ns
+    }
+
+    /// Total busy time in nanoseconds.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.periods.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Total idle time in nanoseconds.
+    pub fn total_idle_ns(&self) -> u64 {
+        self.span_ns - self.total_busy_ns()
+    }
+
+    /// Aggregate utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.total_busy_ns() as f64 / self.span_ns as f64
+    }
+
+    /// The idle intervals: the complement of the busy intervals within
+    /// `[0, span)`. Zero-length gaps are omitted.
+    pub fn idle_periods(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.periods.len() + 1);
+        let mut cursor = 0u64;
+        for &(s, e) in &self.periods {
+            if s > cursor {
+                out.push((cursor, s));
+            }
+            cursor = e;
+        }
+        if cursor < self.span_ns {
+            out.push((cursor, self.span_ns));
+        }
+        out
+    }
+
+    /// Durations (seconds) of all idle intervals — the sample behind the
+    /// idle-interval CDF figures.
+    pub fn idle_durations_secs(&self) -> Vec<f64> {
+        self.idle_periods()
+            .iter()
+            .map(|(s, e)| (e - s) as f64 / 1e9)
+            .collect()
+    }
+
+    /// Durations (seconds) of all busy periods.
+    pub fn busy_durations_secs(&self) -> Vec<f64> {
+        self.periods.iter().map(|(s, e)| (e - s) as f64 / 1e9).collect()
+    }
+
+    /// Utilization per window of `window_ns`, covering the whole span
+    /// (the last window may be shorter and is normalized by its true
+    /// length).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::InvalidConfig`] if `window_ns == 0`.
+    pub fn utilization_series(&self, window_ns: u64) -> Result<Vec<f64>> {
+        if window_ns == 0 {
+            return Err(DiskError::InvalidConfig {
+                name: "window_ns",
+                reason: "window must be positive",
+            });
+        }
+        let n = self.span_ns.div_ceil(window_ns) as usize;
+        let mut busy = vec![0u64; n];
+        for &(s, e) in &self.periods {
+            let mut cur = s;
+            while cur < e {
+                let w = (cur / window_ns) as usize;
+                let w_end = ((w as u64 + 1) * window_ns).min(e);
+                busy[w] += w_end - cur;
+                cur = w_end;
+            }
+        }
+        Ok(busy
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let w_start = i as u64 * window_ns;
+                let w_len = window_ns.min(self.span_ns - w_start);
+                b as f64 / w_len as f64
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(periods: &[(u64, u64)], span: u64) -> BusyLog {
+        let mut b = BusyLogBuilder::new();
+        for &(s, e) in periods {
+            b.push(s, e).unwrap();
+        }
+        b.finish(span).unwrap()
+    }
+
+    #[test]
+    fn builder_merges_touching_intervals() {
+        let l = log(&[(0, 10), (10, 20), (30, 40)], 100);
+        assert_eq!(l.periods(), &[(0, 20), (30, 40)]);
+    }
+
+    #[test]
+    fn builder_merges_overlapping_intervals() {
+        let l = log(&[(0, 15), (10, 20)], 100);
+        assert_eq!(l.periods(), &[(0, 20)]);
+    }
+
+    #[test]
+    fn builder_ignores_empty_intervals() {
+        let l = log(&[(5, 5), (10, 20)], 100);
+        assert_eq!(l.periods(), &[(10, 20)]);
+    }
+
+    #[test]
+    fn builder_rejects_misordered_pushes() {
+        let mut b = BusyLogBuilder::new();
+        b.push(50, 60).unwrap();
+        assert!(b.push(10, 20).is_err());
+        assert!(b.push(70, 65).is_err());
+    }
+
+    #[test]
+    fn finish_validates_span() {
+        let mut b = BusyLogBuilder::new();
+        b.push(0, 100).unwrap();
+        assert!(b.clone().finish(50).is_err());
+        assert!(b.clone().finish(0).is_err());
+        assert!(b.finish(100).is_ok());
+    }
+
+    #[test]
+    fn totals_and_utilization() {
+        let l = log(&[(10, 20), (50, 80)], 100);
+        assert_eq!(l.total_busy_ns(), 40);
+        assert_eq!(l.total_idle_ns(), 60);
+        assert!((l.utilization() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_periods_complement_busy() {
+        let l = log(&[(10, 20), (50, 80)], 100);
+        assert_eq!(l.idle_periods(), vec![(0, 10), (20, 50), (80, 100)]);
+        // Edge cases: busy at the very start and very end.
+        let l2 = log(&[(0, 10), (90, 100)], 100);
+        assert_eq!(l2.idle_periods(), vec![(10, 90)]);
+        // Fully busy.
+        let l3 = log(&[(0, 100)], 100);
+        assert!(l3.idle_periods().is_empty());
+        // Fully idle.
+        let l4 = log(&[], 100);
+        assert_eq!(l4.idle_periods(), vec![(0, 100)]);
+    }
+
+    #[test]
+    fn durations_in_seconds() {
+        let l = log(&[(0, 500_000_000)], 2_000_000_000);
+        assert_eq!(l.busy_durations_secs(), vec![0.5]);
+        assert_eq!(l.idle_durations_secs(), vec![1.5]);
+    }
+
+    #[test]
+    fn utilization_series_accounts_window_splits() {
+        // Busy [5,25) over span 40 with window 10:
+        // windows: [0,10): 5 busy; [10,20): 10; [20,30): 5; [30,40): 0.
+        let l = log(&[(5, 25)], 40);
+        let u = l.utilization_series(10).unwrap();
+        assert_eq!(u, vec![0.5, 1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn utilization_series_handles_partial_last_window() {
+        let l = log(&[(0, 10)], 25);
+        let u = l.utilization_series(10).unwrap();
+        assert_eq!(u.len(), 3);
+        assert_eq!(u[0], 1.0);
+        assert_eq!(u[2], 0.0); // 5-ns window, 0 busy
+        assert!(l.utilization_series(0).is_err());
+    }
+
+    #[test]
+    fn series_mean_matches_aggregate_utilization() {
+        let l = log(&[(3, 17), (20, 61), (70, 99)], 100);
+        let u = l.utilization_series(10).unwrap();
+        let mean = u.iter().sum::<f64>() / u.len() as f64;
+        assert!((mean - l.utilization()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Error type for disk model configuration and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DiskError {
+    /// A request addressed sectors beyond the drive's capacity.
+    OutOfRange {
+        /// First LBA of the offending request.
+        lba: u64,
+        /// Sectors requested.
+        sectors: u32,
+        /// Drive capacity in sectors.
+        capacity: u64,
+    },
+    /// A model parameter was outside its valid domain.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint violated.
+        reason: &'static str,
+    },
+    /// The request stream violated an input invariant (e.g. unsorted
+    /// arrivals).
+    InvalidStream {
+        /// Description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::OutOfRange {
+                lba,
+                sectors,
+                capacity,
+            } => write!(
+                f,
+                "request at lba {lba} for {sectors} sectors exceeds capacity of {capacity} sectors"
+            ),
+            DiskError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            DiskError::InvalidStream { reason } => write!(f, "invalid request stream: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DiskError::OutOfRange {
+            lba: 100,
+            sectors: 8,
+            capacity: 50,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("50"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DiskError>();
+    }
+}

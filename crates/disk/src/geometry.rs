@@ -1,0 +1,277 @@
+//! Zoned-bit-recording disk geometry.
+//!
+//! Modern (post-1995) drives place more sectors on outer tracks than inner
+//! ones; a [`DiskGeometry`] is an ordered list of [`Zone`]s, each with a
+//! constant sectors-per-track. The geometry answers the one question the
+//! mechanical model needs: *where* is an LBA — which track, and at what
+//! angular offset within the track.
+
+use crate::{DiskError, Result};
+
+/// One recording zone: a run of tracks with identical sectors-per-track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Zone {
+    /// Number of tracks in this zone.
+    pub tracks: u32,
+    /// Sectors on each track of this zone.
+    pub sectors_per_track: u32,
+}
+
+impl Zone {
+    /// Total sectors in the zone.
+    pub fn sectors(&self) -> u64 {
+        self.tracks as u64 * self.sectors_per_track as u64
+    }
+}
+
+/// Physical location of an LBA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// Global track index, counted from the outermost track (track 0).
+    pub track: u64,
+    /// Sector offset within the track.
+    pub offset: u32,
+    /// Index of the containing zone.
+    pub zone: usize,
+    /// Sectors per track at this location.
+    pub sectors_per_track: u32,
+}
+
+/// Drive geometry: an ordered sequence of zones from the outer diameter
+/// (zone 0, highest density in real drives) inward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskGeometry {
+    zones: Vec<Zone>,
+    /// Cumulative first LBA of each zone (same length as `zones`).
+    zone_start_lba: Vec<u64>,
+    /// Cumulative first track of each zone.
+    zone_start_track: Vec<u64>,
+    total_sectors: u64,
+    total_tracks: u64,
+}
+
+impl DiskGeometry {
+    /// Builds a geometry from zones, outermost first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::InvalidConfig`] if `zones` is empty or any
+    /// zone has zero tracks or zero sectors per track.
+    pub fn new(zones: Vec<Zone>) -> Result<Self> {
+        if zones.is_empty() {
+            return Err(DiskError::InvalidConfig {
+                name: "zones",
+                reason: "geometry needs at least one zone",
+            });
+        }
+        let mut zone_start_lba = Vec::with_capacity(zones.len());
+        let mut zone_start_track = Vec::with_capacity(zones.len());
+        let mut lba = 0u64;
+        let mut track = 0u64;
+        for z in &zones {
+            if z.tracks == 0 || z.sectors_per_track == 0 {
+                return Err(DiskError::InvalidConfig {
+                    name: "zones",
+                    reason: "zone tracks and sectors_per_track must be non-zero",
+                });
+            }
+            zone_start_lba.push(lba);
+            zone_start_track.push(track);
+            lba += z.sectors();
+            track += z.tracks as u64;
+        }
+        Ok(DiskGeometry {
+            zones,
+            zone_start_lba,
+            zone_start_track,
+            total_sectors: lba,
+            total_tracks: track,
+        })
+    }
+
+    /// A uniform (single-zone) geometry — useful for tests and for
+    /// classic non-ZBR modeling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::InvalidConfig`] for zero tracks or sectors.
+    pub fn uniform(tracks: u32, sectors_per_track: u32) -> Result<Self> {
+        DiskGeometry::new(vec![Zone {
+            tracks,
+            sectors_per_track,
+        }])
+    }
+
+    /// Total addressable sectors.
+    pub fn total_sectors(&self) -> u64 {
+        self.total_sectors
+    }
+
+    /// Total tracks across all zones.
+    pub fn total_tracks(&self) -> u64 {
+        self.total_tracks
+    }
+
+    /// The zones, outermost first.
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// Capacity in bytes (512-byte sectors).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_sectors * spindle_trace::SECTOR_BYTES
+    }
+
+    /// Locates an LBA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::OutOfRange`] if `lba >= total_sectors()`.
+    pub fn locate(&self, lba: u64) -> Result<Location> {
+        if lba >= self.total_sectors {
+            return Err(DiskError::OutOfRange {
+                lba,
+                sectors: 1,
+                capacity: self.total_sectors,
+            });
+        }
+        // Binary search the zone whose start LBA is <= lba.
+        let zone = match self.zone_start_lba.binary_search(&lba) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let z = &self.zones[zone];
+        let within = lba - self.zone_start_lba[zone];
+        let track_in_zone = within / z.sectors_per_track as u64;
+        let offset = (within % z.sectors_per_track as u64) as u32;
+        Ok(Location {
+            track: self.zone_start_track[zone] + track_in_zone,
+            offset,
+            zone,
+            sectors_per_track: z.sectors_per_track,
+        })
+    }
+
+    /// Validates that a whole request range fits on the drive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::OutOfRange`] if `lba + sectors` exceeds the
+    /// capacity.
+    pub fn check_range(&self, lba: u64, sectors: u32) -> Result<()> {
+        let end = lba.checked_add(sectors as u64).ok_or(DiskError::OutOfRange {
+            lba,
+            sectors,
+            capacity: self.total_sectors,
+        })?;
+        if end > self.total_sectors {
+            return Err(DiskError::OutOfRange {
+                lba,
+                sectors,
+                capacity: self.total_sectors,
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of track boundaries a transfer starting at `lba` for
+    /// `sectors` sectors crosses (0 when it fits on one track).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::OutOfRange`] if the range does not fit.
+    pub fn track_crossings(&self, lba: u64, sectors: u32) -> Result<u32> {
+        self.check_range(lba, sectors)?;
+        let start = self.locate(lba)?;
+        let end = self.locate(lba + sectors as u64 - 1)?;
+        Ok((end.track - start.track) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_zone() -> DiskGeometry {
+        DiskGeometry::new(vec![
+            Zone { tracks: 10, sectors_per_track: 100 }, // LBA 0..1000
+            Zone { tracks: 10, sectors_per_track: 80 },  // LBA 1000..1800
+            Zone { tracks: 10, sectors_per_track: 60 },  // LBA 1800..2400
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(DiskGeometry::new(vec![]).is_err());
+        assert!(DiskGeometry::new(vec![Zone { tracks: 0, sectors_per_track: 10 }]).is_err());
+        assert!(DiskGeometry::new(vec![Zone { tracks: 10, sectors_per_track: 0 }]).is_err());
+    }
+
+    #[test]
+    fn totals() {
+        let g = three_zone();
+        assert_eq!(g.total_sectors(), 2400);
+        assert_eq!(g.total_tracks(), 30);
+        assert_eq!(g.capacity_bytes(), 2400 * 512);
+        assert_eq!(g.zones().len(), 3);
+    }
+
+    #[test]
+    fn locate_within_zones() {
+        let g = three_zone();
+        let l = g.locate(0).unwrap();
+        assert_eq!((l.track, l.offset, l.zone), (0, 0, 0));
+        let l = g.locate(150).unwrap();
+        assert_eq!((l.track, l.offset, l.zone), (1, 50, 0));
+        assert_eq!(l.sectors_per_track, 100);
+        // First LBA of zone 1.
+        let l = g.locate(1000).unwrap();
+        assert_eq!((l.track, l.offset, l.zone), (10, 0, 1));
+        // Inside zone 2.
+        let l = g.locate(1800 + 60 * 3 + 7).unwrap();
+        assert_eq!((l.track, l.offset, l.zone), (23, 7, 2));
+        // Last sector.
+        let l = g.locate(2399).unwrap();
+        assert_eq!((l.track, l.offset, l.zone), (29, 59, 2));
+    }
+
+    #[test]
+    fn locate_rejects_out_of_range() {
+        let g = three_zone();
+        assert!(g.locate(2400).is_err());
+        assert!(g.check_range(2399, 1).is_ok());
+        assert!(g.check_range(2399, 2).is_err());
+        assert!(g.check_range(u64::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn track_crossings_counted() {
+        let g = three_zone();
+        assert_eq!(g.track_crossings(0, 100).unwrap(), 0); // exactly one track
+        assert_eq!(g.track_crossings(0, 101).unwrap(), 1);
+        assert_eq!(g.track_crossings(950, 100).unwrap(), 1); // crosses zone boundary
+        assert_eq!(g.track_crossings(50, 300).unwrap(), 3);
+    }
+
+    #[test]
+    fn uniform_geometry() {
+        let g = DiskGeometry::uniform(100, 500).unwrap();
+        assert_eq!(g.total_sectors(), 50_000);
+        let l = g.locate(1234).unwrap();
+        assert_eq!(l.track, 2);
+        assert_eq!(l.offset, 234);
+    }
+
+    #[test]
+    fn every_lba_roundtrips_consistently() {
+        let g = three_zone();
+        let mut last_track = 0;
+        for lba in 0..g.total_sectors() {
+            let l = g.locate(lba).unwrap();
+            assert!(l.track >= last_track, "track must be non-decreasing in lba");
+            last_track = l.track;
+            assert!(l.offset < l.sectors_per_track);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Drive parameter presets.
+//!
+//! Three profiles modeled on the enterprise drive classes deployed in the
+//! systems the paper traces (c. 2006–2009): a 15k RPM SAS performance
+//! drive, a 10k RPM SAS mainstream drive, and a 7.2k RPM nearline SATA
+//! capacity drive. Published spec-sheet numbers (spindle speed, seek
+//! times, sustained transfer range) anchor the parameters; the zone
+//! layout is synthetic but reproduces the outer-to-inner transfer-rate
+//! taper.
+
+use crate::cache::CacheConfig;
+use crate::geometry::{DiskGeometry, Zone};
+use crate::mechanics::Mechanics;
+use crate::Result;
+
+/// A complete set of drive parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveProfile {
+    /// Marketing-style name of the profile.
+    pub name: &'static str,
+    /// Zone layout, outermost first.
+    pub zones: Vec<Zone>,
+    /// Spindle speed in revolutions per minute.
+    pub rpm: f64,
+    /// Single-track seek time, milliseconds.
+    pub single_track_seek_ms: f64,
+    /// One-third-stroke ("average") seek time, milliseconds.
+    pub third_stroke_seek_ms: f64,
+    /// Full-stroke seek time, milliseconds.
+    pub full_stroke_seek_ms: f64,
+    /// Head switch time, milliseconds.
+    pub head_switch_ms: f64,
+    /// Fixed per-command controller overhead, nanoseconds.
+    pub controller_overhead_ns: u64,
+    /// Default cache configuration for this drive.
+    pub cache: CacheConfig,
+}
+
+/// Builds a linear zone taper: `zones` zones of `tracks_per_zone` tracks,
+/// with sectors-per-track interpolated from `outer_spt` down to
+/// `inner_spt`.
+fn taper(zones: u32, tracks_per_zone: u32, outer_spt: u32, inner_spt: u32) -> Vec<Zone> {
+    (0..zones)
+        .map(|i| {
+            let f = if zones == 1 {
+                0.0
+            } else {
+                i as f64 / (zones - 1) as f64
+            };
+            let spt = outer_spt as f64 + f * (inner_spt as f64 - outer_spt as f64);
+            Zone {
+                tracks: tracks_per_zone,
+                sectors_per_track: spt.round() as u32,
+            }
+        })
+        .collect()
+}
+
+impl DriveProfile {
+    /// 15,000 RPM SAS performance drive (Cheetah-class, ~74 GB).
+    ///
+    /// Spec anchors: 15k RPM (2 ms rotation), 0.2/3.4/6.6 ms seeks,
+    /// outer-zone media rate ≈ 150 MB/s.
+    pub fn cheetah_15k() -> Self {
+        DriveProfile {
+            name: "cheetah-15k",
+            zones: taper(16, 9_000, 1_180, 780),
+            rpm: 15_000.0,
+            single_track_seek_ms: 0.2,
+            third_stroke_seek_ms: 3.4,
+            full_stroke_seek_ms: 6.6,
+            head_switch_ms: 0.3,
+            controller_overhead_ns: 100_000,
+            cache: CacheConfig::default(),
+        }
+    }
+
+    /// 10,000 RPM SAS mainstream drive (Savvio-class, ~73 GB).
+    ///
+    /// Spec anchors: 10k RPM (3 ms rotation), 0.3/4.1/9.0 ms seeks.
+    pub fn savvio_10k() -> Self {
+        DriveProfile {
+            name: "savvio-10k",
+            zones: taper(16, 9_500, 1_080, 700),
+            rpm: 10_000.0,
+            single_track_seek_ms: 0.3,
+            third_stroke_seek_ms: 4.1,
+            full_stroke_seek_ms: 9.0,
+            head_switch_ms: 0.4,
+            controller_overhead_ns: 100_000,
+            cache: CacheConfig::default(),
+        }
+    }
+
+    /// 7,200 RPM nearline SATA capacity drive (Barracuda ES-class,
+    /// ~500 GB).
+    ///
+    /// Spec anchors: 7.2k RPM (8.3 ms rotation), 0.8/8.5/16.0 ms seeks.
+    pub fn barracuda_es() -> Self {
+        DriveProfile {
+            name: "barracuda-es",
+            zones: taper(24, 31_000, 1_560, 1_000),
+            rpm: 7_200.0,
+            single_track_seek_ms: 0.8,
+            third_stroke_seek_ms: 8.5,
+            full_stroke_seek_ms: 16.0,
+            head_switch_ms: 0.8,
+            controller_overhead_ns: 120_000,
+            cache: CacheConfig::default(),
+        }
+    }
+
+    /// All built-in profiles.
+    pub fn all() -> Vec<DriveProfile> {
+        vec![
+            DriveProfile::cheetah_15k(),
+            DriveProfile::savvio_10k(),
+            DriveProfile::barracuda_es(),
+        ]
+    }
+
+    /// Constructs the geometry for this profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DiskError::InvalidConfig`] for an invalid zone
+    /// list.
+    pub fn geometry(&self) -> Result<DiskGeometry> {
+        DiskGeometry::new(self.zones.clone())
+    }
+
+    /// Constructs the mechanical model for this profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DiskError::InvalidConfig`] for invalid
+    /// parameters.
+    pub fn mechanics(&self) -> Result<Mechanics> {
+        Mechanics::new(
+            self.geometry()?,
+            self.rpm,
+            self.single_track_seek_ms,
+            self.third_stroke_seek_ms,
+            self.full_stroke_seek_ms,
+            self.head_switch_ms,
+        )
+    }
+
+    /// Peak sustained media rate (outermost zone) in bytes per second.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DiskError::InvalidConfig`] for invalid
+    /// parameters.
+    pub fn peak_media_rate(&self) -> Result<f64> {
+        self.mechanics()?.media_rate_at(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_build() {
+        for p in DriveProfile::all() {
+            let g = p.geometry().unwrap();
+            assert!(g.total_sectors() > 0, "{}", p.name);
+            p.mechanics().unwrap();
+        }
+    }
+
+    #[test]
+    fn capacities_match_drive_classes() {
+        let gb = |p: &DriveProfile| p.geometry().unwrap().capacity_bytes() as f64 / 1e9;
+        let c = gb(&DriveProfile::cheetah_15k());
+        assert!((60.0..90.0).contains(&c), "cheetah capacity {c} GB");
+        let s = gb(&DriveProfile::savvio_10k());
+        assert!((55.0..90.0).contains(&s), "savvio capacity {s} GB");
+        let b = gb(&DriveProfile::barracuda_es());
+        assert!((400.0..600.0).contains(&b), "barracuda capacity {b} GB");
+    }
+
+    #[test]
+    fn media_rates_are_era_plausible() {
+        let rate = |p: &DriveProfile| p.peak_media_rate().unwrap() / 1e6;
+        let c = rate(&DriveProfile::cheetah_15k());
+        assert!((120.0..180.0).contains(&c), "cheetah rate {c} MB/s");
+        let b = rate(&DriveProfile::barracuda_es());
+        assert!((70.0..120.0).contains(&b), "barracuda rate {b} MB/s");
+    }
+
+    #[test]
+    fn zone_taper_is_monotone() {
+        for p in DriveProfile::all() {
+            for w in p.zones.windows(2) {
+                assert!(w[1].sectors_per_track <= w[0].sectors_per_track);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_periods() {
+        assert!(
+            (DriveProfile::cheetah_15k().mechanics().unwrap().rotation_ns() - 4e6).abs() < 1.0
+        );
+        assert!(
+            (DriveProfile::barracuda_es().mechanics().unwrap().rotation_ns() - 60e9 / 7200.0)
+                .abs()
+                < 1.0
+        );
+    }
+
+    #[test]
+    fn taper_single_zone() {
+        let z = taper(1, 100, 500, 400);
+        assert_eq!(z.len(), 1);
+        assert_eq!(z[0].sectors_per_track, 500);
+    }
+}

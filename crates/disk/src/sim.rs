@@ -1,0 +1,584 @@
+//! Event-driven single-drive simulation.
+//!
+//! [`DiskSim`] consumes a time-sorted request stream and produces a
+//! [`SimResult`]: per-request completion times, the busy/idle timeline,
+//! and cache counters. The engine models a non-preemptive single server
+//! (the disk mechanism) fed by the scheduler, with the cache absorbing
+//! hits and write-back traffic, and dirty data destaged during idle
+//! periods after a configurable idle wait — the same structure drive
+//! firmware of the paper's era used.
+
+use crate::busy::{BusyLog, BusyLogBuilder};
+use crate::cache::{CacheConfig, DiskCache, WriteOutcome};
+use crate::mechanics::Mechanics;
+use crate::profile::DriveProfile;
+use crate::scheduler::{QueuedRequest, SchedulerKind, SchedulerPolicy};
+use crate::{DiskError, Result};
+use spindle_trace::{OpKind, Request};
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Queue scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Cache configuration; `None` uses the drive profile's default.
+    pub cache: Option<CacheConfig>,
+    /// Whether remaining dirty data is destaged after the last request
+    /// (keeps the busy accounting complete).
+    pub flush_at_end: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            scheduler: SchedulerKind::default(),
+            cache: None,
+            flush_at_end: true,
+        }
+    }
+}
+
+/// A serviced request with its timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedRequest {
+    /// The original request.
+    pub request: Request,
+    /// When the drive began servicing it (ns).
+    pub start_ns: u64,
+    /// When it completed (ns).
+    pub complete_ns: u64,
+    /// Whether it was satisfied from the cache (read hit or absorbed
+    /// write-back write).
+    pub cache_hit: bool,
+}
+
+impl CompletedRequest {
+    /// Host-visible response time (completion − arrival) in nanoseconds.
+    pub fn response_ns(&self) -> u64 {
+        self.complete_ns - self.request.arrival_ns
+    }
+
+    /// Time spent in service (completion − service start) in nanoseconds.
+    pub fn service_ns(&self) -> u64 {
+        self.complete_ns - self.start_ns
+    }
+
+    /// Queueing delay (service start − arrival) in nanoseconds.
+    pub fn queue_ns(&self) -> u64 {
+        self.start_ns - self.request.arrival_ns
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Serviced requests in completion order.
+    pub completed: Vec<CompletedRequest>,
+    /// The drive's busy timeline over `[0, span_ns)`.
+    pub busy: BusyLog,
+    /// Read requests satisfied from cache.
+    pub read_hits: u64,
+    /// Read requests serviced mechanically.
+    pub read_misses: u64,
+    /// Writes absorbed by the write-back cache.
+    pub writes_cached: u64,
+    /// Writes forced to the medium synchronously.
+    pub writes_forced: u64,
+    /// Background destage operations performed.
+    pub destages: u64,
+}
+
+impl SimResult {
+    /// Total busy time in nanoseconds (convenience passthrough).
+    pub fn total_busy_ns(&self) -> u64 {
+        self.busy.total_busy_ns()
+    }
+
+    /// Aggregate utilization over the run.
+    pub fn utilization(&self) -> f64 {
+        self.busy.utilization()
+    }
+
+    /// Mean host-visible response time in milliseconds.
+    pub fn mean_response_ms(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.completed
+            .iter()
+            .map(|c| c.response_ns() as f64)
+            .sum::<f64>()
+            / self.completed.len() as f64
+            / 1e6
+    }
+
+    /// Read cache hit ratio, or `None` if no reads were issued.
+    pub fn read_hit_ratio(&self) -> Option<f64> {
+        let total = self.read_hits + self.read_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.read_hits as f64 / total as f64)
+        }
+    }
+}
+
+/// Single-drive event-driven simulator.
+#[derive(Debug)]
+pub struct DiskSim {
+    mechanics: Mechanics,
+    cache: DiskCache,
+    scheduler: Box<dyn SchedulerPolicy>,
+    controller_overhead_ns: f64,
+    flush_at_end: bool,
+}
+
+impl DiskSim {
+    /// Builds a simulator for `profile` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built-in profile parameters are inconsistent (a bug
+    /// in this crate, not in caller input).
+    pub fn new(profile: DriveProfile, config: SimConfig) -> Self {
+        let mechanics = profile
+            .mechanics()
+            .expect("built-in drive profiles are internally consistent");
+        let cache_cfg = config.cache.unwrap_or(profile.cache);
+        let cache = DiskCache::new(cache_cfg).expect("cache configuration validated");
+        DiskSim {
+            mechanics,
+            cache,
+            scheduler: config.scheduler.create(),
+            controller_overhead_ns: profile.controller_overhead_ns as f64,
+            flush_at_end: config.flush_at_end,
+        }
+    }
+
+    /// Builds a simulator from explicit parts (for tests and custom
+    /// drives).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::InvalidConfig`] if the cache configuration is
+    /// invalid.
+    pub fn from_parts(
+        mechanics: Mechanics,
+        cache: CacheConfig,
+        scheduler: SchedulerKind,
+        controller_overhead_ns: u64,
+        flush_at_end: bool,
+    ) -> Result<Self> {
+        Ok(DiskSim {
+            mechanics,
+            cache: DiskCache::new(cache)?,
+            scheduler: scheduler.create(),
+            controller_overhead_ns: controller_overhead_ns as f64,
+            flush_at_end,
+        })
+    }
+
+    /// The mechanical model in use.
+    pub fn mechanics(&self) -> &Mechanics {
+        &self.mechanics
+    }
+
+    /// Runs the simulation over a time-sorted request stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::InvalidStream`] for an empty or unsorted
+    /// stream and [`DiskError::OutOfRange`] if any request does not fit
+    /// on the drive.
+    pub fn run(&mut self, requests: &[Request]) -> Result<SimResult> {
+        if requests.is_empty() {
+            return Err(DiskError::InvalidStream {
+                reason: "request stream is empty".into(),
+            });
+        }
+        spindle_trace::transform::validate_sorted(requests)
+            .map_err(|e| DiskError::InvalidStream {
+                reason: e.to_string(),
+            })?;
+        for r in requests {
+            self.mechanics.geometry().check_range(r.lba, r.sectors)?;
+        }
+
+        let mut busy = BusyLogBuilder::new();
+        let mut completed = Vec::with_capacity(requests.len());
+        let mut queue: Vec<QueuedRequest> = Vec::new();
+        let mut next_arrival = 0usize; // cursor into `requests`
+        let mut now: f64 = 0.0;
+        let mut head_track: u64 = 0;
+        let mut read_hits = 0u64;
+        let mut read_misses = 0u64;
+        let mut writes_cached = 0u64;
+        let mut writes_forced = 0u64;
+        let mut destages = 0u64;
+        let idle_delay = self.cache.config().idle_destage_delay_ns as f64;
+
+        loop {
+            // Admit every request that has arrived by `now`.
+            while next_arrival < requests.len()
+                && requests[next_arrival].arrival_ns as f64 <= now
+            {
+                let r = &requests[next_arrival];
+                let track = self.mechanics.geometry().locate(r.lba)?.track;
+                queue.push(QueuedRequest {
+                    id: next_arrival as u64,
+                    arrival_ns: r.arrival_ns,
+                    lba: r.lba,
+                    sectors: r.sectors,
+                    track,
+                });
+                next_arrival += 1;
+            }
+
+            if queue.is_empty() {
+                let upcoming = requests.get(next_arrival).map(|r| r.arrival_ns as f64);
+                // Idle: consider destaging dirty data before the next
+                // arrival.
+                if self.cache.has_dirty() {
+                    let destage_at = now + idle_delay;
+                    let do_destage = match upcoming {
+                        Some(t) => destage_at < t,
+                        None => self.flush_at_end,
+                    };
+                    if do_destage {
+                        let extent = self.cache.pop_dirty().expect("has_dirty checked");
+                        let timing =
+                            self.mechanics
+                                .service(head_track, destage_at, extent.lba, extent.sectors)?;
+                        let end = destage_at + timing.total_ns();
+                        busy.push(destage_at.round() as u64, end.round() as u64)?;
+                        now = end;
+                        head_track = self
+                            .mechanics
+                            .geometry()
+                            .locate(extent.end() - 1)?
+                            .track;
+                        destages += 1;
+                        continue;
+                    }
+                }
+                match upcoming {
+                    Some(t) => {
+                        now = now.max(t);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            // Pick and service the next request.
+            let idx = self
+                .scheduler
+                .select(&queue, head_track, now, &self.mechanics);
+            let q = queue.remove(idx);
+            let r = requests[q.id as usize];
+            let start = now;
+            let (service_ns, busy_extra_ns, cache_hit) = self.service(&r, head_track, now)?;
+            let complete = start + self.controller_overhead_ns + service_ns;
+            let busy_end = complete + busy_extra_ns;
+            busy.push(start.round() as u64, busy_end.round() as u64)?;
+            if !cache_hit {
+                // The head ends at the last sector touched (including
+                // read-ahead, which lands on the same or next track —
+                // close enough to the request end for seek purposes).
+                head_track = self
+                    .mechanics
+                    .geometry()
+                    .locate(r.lba + r.sectors as u64 - 1)?
+                    .track;
+            }
+            match (r.op, cache_hit) {
+                (OpKind::Read, true) => read_hits += 1,
+                (OpKind::Read, false) => read_misses += 1,
+                (OpKind::Write, true) => writes_cached += 1,
+                (OpKind::Write, false) => writes_forced += 1,
+            }
+            completed.push(CompletedRequest {
+                request: r,
+                start_ns: start.round() as u64,
+                complete_ns: complete.round() as u64,
+                cache_hit,
+            });
+            now = busy_end;
+        }
+
+        let span = now.round().max(1.0) as u64;
+        Ok(SimResult {
+            completed,
+            busy: busy.finish(span)?,
+            read_hits,
+            read_misses,
+            writes_cached,
+            writes_forced,
+            destages,
+        })
+    }
+
+    /// Services one request at `now`, returning
+    /// `(host_visible_service_ns, extra_busy_after_completion_ns,
+    /// cache_hit)`.
+    fn service(&mut self, r: &Request, head_track: u64, now: f64) -> Result<(f64, f64, bool)> {
+        match r.op {
+            OpKind::Read => {
+                if self.cache.read_hit(r.lba, r.sectors) {
+                    return Ok((0.0, 0.0, true));
+                }
+                // Mechanical read plus read-ahead: the host sees the
+                // requested transfer; the prefetch keeps the mechanism
+                // busy after completion.
+                let timing = self.mechanics.service(head_track, now, r.lba, r.sectors)?;
+                let ra = self.cache.config().read_ahead_sectors;
+                let capacity = self.mechanics.geometry().total_sectors();
+                let ra = (ra as u64).min(capacity - (r.lba + r.sectors as u64)) as u32;
+                let extra = if ra > 0 {
+                    let with_ra = self
+                        .mechanics
+                        .service(head_track, now, r.lba, r.sectors + ra)?;
+                    (with_ra.transfer_ns - timing.transfer_ns).max(0.0)
+                } else {
+                    0.0
+                };
+                self.cache.insert_clean(r.lba, r.sectors + ra);
+                Ok((timing.total_ns(), extra, false))
+            }
+            OpKind::Write => match self.cache.write(r.lba, r.sectors) {
+                WriteOutcome::Cached => Ok((0.0, 0.0, true)),
+                WriteOutcome::Forced => {
+                    let timing = self.mechanics.service(head_track, now, r.lba, r.sectors)?;
+                    Ok((timing.total_ns(), 0.0, false))
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_trace::DriveId;
+
+    fn read(t_ns: u64, lba: u64, sectors: u32) -> Request {
+        Request::new(t_ns, DriveId(0), OpKind::Read, lba, sectors).unwrap()
+    }
+
+    fn write(t_ns: u64, lba: u64, sectors: u32) -> Request {
+        Request::new(t_ns, DriveId(0), OpKind::Write, lba, sectors).unwrap()
+    }
+
+    fn sim() -> DiskSim {
+        DiskSim::new(DriveProfile::cheetah_15k(), SimConfig::default())
+    }
+
+    #[test]
+    fn empty_and_unsorted_streams_are_rejected() {
+        let mut s = sim();
+        assert!(matches!(s.run(&[]), Err(DiskError::InvalidStream { .. })));
+        let unsorted = vec![read(100, 0, 8), read(50, 0, 8)];
+        assert!(matches!(
+            s.run(&unsorted),
+            Err(DiskError::InvalidStream { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_request_is_rejected() {
+        let mut s = sim();
+        let cap = s.mechanics().geometry().total_sectors();
+        let reqs = vec![read(0, cap - 1, 8)];
+        assert!(matches!(s.run(&reqs), Err(DiskError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn single_read_timing_is_plausible() {
+        let mut s = sim();
+        let result = s.run(&[read(0, 1_000_000, 8)]).unwrap();
+        assert_eq!(result.completed.len(), 1);
+        let c = &result.completed[0];
+        // Overhead (0.1 ms) + seek (≤ 6.6 ms) + rotation (≤ 4 ms) +
+        // transfer (tiny): between 0.1 and 12 ms.
+        let resp_ms = c.response_ns() as f64 / 1e6;
+        assert!(resp_ms >= 0.1, "response {resp_ms} ms");
+        assert!(resp_ms < 12.0, "response {resp_ms} ms");
+        assert_eq!(result.read_misses, 1);
+        assert!(!c.cache_hit);
+    }
+
+    #[test]
+    fn sequential_reads_hit_readahead() {
+        let mut s = sim();
+        // 16 back-to-back 8-sector sequential reads, 5 ms apart (within
+        // the 128 KiB read-ahead window).
+        let reqs: Vec<Request> = (0..16)
+            .map(|i| read(i * 5_000_000, 10_000 + i * 8, 8))
+            .collect();
+        let result = s.run(&reqs).unwrap();
+        assert_eq!(result.read_misses, 1, "only the first read should miss");
+        assert_eq!(result.read_hits, 15);
+        assert!(result.read_hit_ratio().unwrap() > 0.9);
+        // Hits complete in ~overhead time.
+        let hit = result.completed.iter().find(|c| c.cache_hit).unwrap();
+        assert!(hit.response_ns() < 500_000);
+    }
+
+    #[test]
+    fn writeback_absorbs_then_destages_in_idle() {
+        let mut s = sim();
+        // A burst of writes then a long idle tail.
+        let reqs: Vec<Request> = (0..8)
+            .map(|i| write(i * 1_000_000, 1_000_000 + i * 100_000, 64))
+            .collect();
+        let result = s.run(&reqs).unwrap();
+        assert_eq!(result.writes_cached, 8);
+        assert_eq!(result.writes_forced, 0);
+        assert!(result.destages > 0, "dirty data must be destaged");
+        // Writes complete at electronic speed.
+        for c in &result.completed {
+            assert!(c.cache_hit);
+            assert!(c.response_ns() < 500_000);
+        }
+        // The busy log must contain destage work after the last write
+        // completed.
+        let last_complete = result.completed.iter().map(|c| c.complete_ns).max().unwrap();
+        let busy_end = result.busy.periods().last().unwrap().1;
+        assert!(busy_end > last_complete);
+    }
+
+    #[test]
+    fn write_through_forces_all_writes() {
+        let mut cfg = SimConfig::default();
+        let mut cache = CacheConfig::default();
+        cache.write_back = false;
+        cfg.cache = Some(cache);
+        let mut s = DiskSim::new(DriveProfile::cheetah_15k(), cfg);
+        let reqs: Vec<Request> = (0..4).map(|i| write(i * 50_000_000, 5_000 * i, 8)).collect();
+        let result = s.run(&reqs).unwrap();
+        assert_eq!(result.writes_forced, 4);
+        assert_eq!(result.writes_cached, 0);
+        assert_eq!(result.destages, 0);
+    }
+
+    #[test]
+    fn utilization_is_bounded_and_idle_dominates_light_load() {
+        let mut s = sim();
+        // One small read per second for 60 seconds: utilization must be
+        // far below 1 and the idle periods long.
+        let reqs: Vec<Request> = (0..60)
+            .map(|i| read(i * 1_000_000_000, (i * 7919 * 1000) % 100_000_000, 8))
+            .collect();
+        let result = s.run(&reqs).unwrap();
+        let u = result.utilization();
+        assert!(u > 0.0 && u < 0.05, "utilization {u}");
+        let idle = result.busy.idle_durations_secs();
+        let longest = idle.iter().cloned().fold(0.0f64, f64::max);
+        assert!(longest > 0.5, "longest idle {longest} s");
+    }
+
+    #[test]
+    fn saturating_load_yields_high_utilization() {
+        let mut s = sim();
+        // 2000 random reads arriving in the first 10 ms: the queue never
+        // drains until the end, so utilization over the span is ~1.
+        let reqs: Vec<Request> = (0..2000)
+            .map(|i| read(i * 5_000, (i * 2654435761) % 100_000_000, 64))
+            .collect();
+        let result = s.run(&reqs).unwrap();
+        assert!(result.utilization() > 0.9, "utilization {}", result.utilization());
+        assert_eq!(result.completed.len(), 2000);
+    }
+
+    #[test]
+    fn sstf_beats_fcfs_on_random_batch() {
+        let reqs: Vec<Request> = (0..200)
+            .map(|i| read(0, (i as u64 * 48_271 * 1000) % 100_000_000, 8))
+            .collect();
+        let run = |kind: SchedulerKind| {
+            let mut cfg = SimConfig::default();
+            cfg.scheduler = kind;
+            let mut cache = CacheConfig::disabled();
+            cache.idle_destage_delay_ns = 0;
+            cfg.cache = Some(cache);
+            let mut s = DiskSim::new(DriveProfile::cheetah_15k(), cfg);
+            s.run(&reqs).unwrap()
+        };
+        let fcfs = run(SchedulerKind::Fcfs);
+        let sstf = run(SchedulerKind::Sstf);
+        let sptf = run(SchedulerKind::Sptf);
+        // Throughput ordering: seek-aware policies finish the batch
+        // sooner.
+        assert!(
+            sstf.busy.span_ns() < fcfs.busy.span_ns(),
+            "SSTF {} vs FCFS {}",
+            sstf.busy.span_ns(),
+            fcfs.busy.span_ns()
+        );
+        assert!(
+            sptf.busy.span_ns() < fcfs.busy.span_ns(),
+            "SPTF {} vs FCFS {}",
+            sptf.busy.span_ns(),
+            fcfs.busy.span_ns()
+        );
+    }
+
+    #[test]
+    fn completions_never_precede_arrivals() {
+        let mut s = sim();
+        let reqs: Vec<Request> = (0..100)
+            .map(|i| {
+                if i % 3 == 0 {
+                    write(i * 2_000_000, (i * 104_729) % 1_000_000, 16)
+                } else {
+                    read(i * 2_000_000, (i * 224_737) % 1_000_000, 16)
+                }
+            })
+            .collect();
+        let result = s.run(&reqs).unwrap();
+        assert_eq!(result.completed.len(), 100);
+        for c in &result.completed {
+            assert!(c.complete_ns >= c.request.arrival_ns);
+            assert!(c.start_ns >= c.request.arrival_ns);
+            assert!(c.complete_ns >= c.start_ns);
+        }
+    }
+
+    #[test]
+    fn busy_time_equals_span_minus_idle() {
+        let mut s = sim();
+        let reqs: Vec<Request> = (0..50)
+            .map(|i| read(i * 20_000_000, (i * 90001 * 997) % 50_000_000, 32))
+            .collect();
+        let result = s.run(&reqs).unwrap();
+        let busy = result.busy.total_busy_ns();
+        let idle = result.busy.total_idle_ns();
+        assert_eq!(busy + idle, result.busy.span_ns());
+    }
+
+    #[test]
+    fn forced_write_when_dirty_cache_full() {
+        let mut cfg = SimConfig::default();
+        let mut cache = CacheConfig::default();
+        cache.max_dirty_segments = 2;
+        cache.idle_destage_delay_ns = 10_000_000_000; // effectively never idle-destage
+        cfg.cache = Some(cache);
+        let mut s = DiskSim::new(DriveProfile::cheetah_15k(), cfg);
+        // Non-coalescible writes arriving back to back.
+        let reqs: Vec<Request> = (0..5)
+            .map(|i| write(i * 200_000, 10_000_000 * (i + 1), 32))
+            .collect();
+        let result = s.run(&reqs).unwrap();
+        assert_eq!(result.writes_cached, 2);
+        assert_eq!(result.writes_forced, 3);
+    }
+
+    #[test]
+    fn flush_at_end_can_be_disabled() {
+        let mut cfg = SimConfig::default();
+        cfg.flush_at_end = false;
+        let mut s = DiskSim::new(DriveProfile::cheetah_15k(), cfg);
+        let result = s.run(&[write(0, 1000, 8)]).unwrap();
+        assert_eq!(result.destages, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the disk simulator: conservation and
+//! ordering invariants must hold for *any* valid request stream and
+//! configuration.
+
+use proptest::prelude::*;
+use spindle_disk::busy::BusyLogBuilder;
+use spindle_disk::cache::CacheConfig;
+use spindle_disk::geometry::DiskGeometry;
+use spindle_disk::profile::DriveProfile;
+use spindle_disk::scheduler::SchedulerKind;
+use spindle_disk::sim::{DiskSim, SimConfig};
+use spindle_trace::{DriveId, OpKind, Request};
+
+/// Capacity floor shared by all built-in profiles.
+const SAFE_CAPACITY: u64 = 130_000_000;
+
+fn arb_stream(max: usize) -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::vec(
+        (
+            0u64..60_000_000_000u64, // within one minute
+            prop::bool::ANY,
+            0u64..SAFE_CAPACITY - 100_000,
+            1u32..2_048,
+        ),
+        1..max,
+    )
+    .prop_map(|tuples| {
+        let mut v: Vec<Request> = tuples
+            .into_iter()
+            .map(|(t, w, lba, sectors)| {
+                let op = if w { OpKind::Write } else { OpKind::Read };
+                Request::new(t, DriveId(0), op, lba, sectors).expect("valid")
+            })
+            .collect();
+        v.sort_by_key(|r| r.arrival_ns);
+        v
+    })
+}
+
+fn arb_scheduler() -> impl Strategy<Value = SchedulerKind> {
+    prop::sample::select(SchedulerKind::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_request_completes_once(reqs in arb_stream(60), scheduler in arb_scheduler()) {
+        let cfg = SimConfig { scheduler, ..SimConfig::default() };
+        let mut sim = DiskSim::new(DriveProfile::cheetah_15k(), cfg);
+        let result = sim.run(&reqs).unwrap();
+        prop_assert_eq!(result.completed.len(), reqs.len());
+        let serviced = result.read_hits + result.read_misses
+            + result.writes_cached + result.writes_forced;
+        prop_assert_eq!(serviced, reqs.len() as u64);
+    }
+
+    #[test]
+    fn causality_and_conservation(reqs in arb_stream(60), scheduler in arb_scheduler()) {
+        let cfg = SimConfig { scheduler, ..SimConfig::default() };
+        let mut sim = DiskSim::new(DriveProfile::savvio_10k(), cfg);
+        let result = sim.run(&reqs).unwrap();
+        for c in &result.completed {
+            prop_assert!(c.start_ns >= c.request.arrival_ns);
+            prop_assert!(c.complete_ns >= c.start_ns);
+        }
+        // Busy + idle partition the span exactly.
+        prop_assert_eq!(
+            result.busy.total_busy_ns() + result.busy.total_idle_ns(),
+            result.busy.span_ns()
+        );
+        let u = result.utilization();
+        prop_assert!((0.0..=1.0).contains(&u));
+    }
+
+    #[test]
+    fn busy_periods_are_disjoint_and_sorted(reqs in arb_stream(50)) {
+        let mut sim = DiskSim::new(DriveProfile::cheetah_15k(), SimConfig::default());
+        let result = sim.run(&reqs).unwrap();
+        let periods = result.busy.periods();
+        for w in periods.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "periods {:?} and {:?} touch or overlap", w[0], w[1]);
+        }
+        for &(s, e) in periods {
+            prop_assert!(s < e);
+            prop_assert!(e <= result.busy.span_ns());
+        }
+        // Idle periods tile the complement.
+        let idle: u64 = result.busy.idle_periods().iter().map(|(s, e)| e - s).sum();
+        prop_assert_eq!(idle, result.busy.total_idle_ns());
+    }
+
+    #[test]
+    fn write_through_never_destages(reqs in arb_stream(40)) {
+        let mut cache = CacheConfig::default();
+        cache.write_back = false;
+        let cfg = SimConfig { cache: Some(cache), ..SimConfig::default() };
+        let mut sim = DiskSim::new(DriveProfile::cheetah_15k(), cfg);
+        let result = sim.run(&reqs).unwrap();
+        prop_assert_eq!(result.destages, 0);
+        prop_assert_eq!(result.writes_cached, 0);
+    }
+
+    #[test]
+    fn disabled_cache_forces_everything(reqs in arb_stream(40)) {
+        let cfg = SimConfig { cache: Some(CacheConfig::disabled()), ..SimConfig::default() };
+        let mut sim = DiskSim::new(DriveProfile::cheetah_15k(), cfg);
+        let result = sim.run(&reqs).unwrap();
+        prop_assert_eq!(result.read_hits, 0);
+        prop_assert_eq!(result.writes_cached, 0);
+    }
+
+    #[test]
+    fn schedulers_agree_on_work_not_order(reqs in arb_stream(40)) {
+        // All schedulers must service the same multiset of requests;
+        // only ordering and timing may differ.
+        let mut counts = Vec::new();
+        for scheduler in SchedulerKind::all() {
+            let cfg = SimConfig { scheduler, ..SimConfig::default() };
+            let mut sim = DiskSim::new(DriveProfile::cheetah_15k(), cfg);
+            let result = sim.run(&reqs).unwrap();
+            let mut ids: Vec<u64> = result.completed.iter().map(|c| c.request.arrival_ns).collect();
+            ids.sort_unstable();
+            counts.push(ids);
+        }
+        for w in counts.windows(2) {
+            prop_assert_eq!(&w[0], &w[1]);
+        }
+    }
+
+    #[test]
+    fn geometry_locate_is_total_and_monotone(
+        zones in prop::collection::vec((1u32..50, 1u32..200), 1..6),
+        probes in prop::collection::vec(0.0f64..1.0, 1..20),
+    ) {
+        let g = DiskGeometry::new(
+            zones
+                .iter()
+                .map(|&(tracks, spt)| spindle_disk::geometry::Zone {
+                    tracks,
+                    sectors_per_track: spt,
+                })
+                .collect(),
+        )
+        .unwrap();
+        let total = g.total_sectors();
+        let mut last = (0u64, 0u64);
+        let mut sorted_probes: Vec<u64> = probes
+            .iter()
+            .map(|&p| ((p * (total - 1) as f64) as u64).min(total - 1))
+            .collect();
+        sorted_probes.sort_unstable();
+        for lba in sorted_probes {
+            let loc = g.locate(lba).unwrap();
+            prop_assert!(loc.offset < loc.sectors_per_track);
+            prop_assert!(loc.track < g.total_tracks());
+            prop_assert!((loc.track, lba) >= last, "track must be monotone in lba");
+            last = (loc.track, lba);
+        }
+        prop_assert!(g.locate(total).is_err());
+    }
+
+    #[test]
+    fn busy_log_builder_merges_correctly(
+        intervals in prop::collection::vec((0u64..1_000, 0u64..100), 0..40),
+    ) {
+        let mut sorted: Vec<(u64, u64)> = intervals
+            .iter()
+            .map(|&(s, len)| (s, s + len))
+            .collect();
+        sorted.sort_unstable();
+        let mut builder = BusyLogBuilder::new();
+        for &(s, e) in &sorted {
+            builder.push(s, e).unwrap();
+        }
+        let log = builder.finish(2_000).unwrap();
+        // Total busy time equals the measure of the union of intervals.
+        let mut covered = vec![false; 2_000];
+        for &(s, e) in &sorted {
+            for slot in covered.iter_mut().take(e as usize).skip(s as usize) {
+                *slot = true;
+            }
+        }
+        let expected = covered.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(log.total_busy_ns(), expected);
+    }
+}

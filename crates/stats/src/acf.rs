@@ -1,0 +1,272 @@
+//! Autocovariance and autocorrelation functions.
+//!
+//! The autocorrelation function (ACF) of per-interval arrival counts is the
+//! primary burstiness diagnostic in disk workload characterization: for a
+//! Poisson stream the ACF is ≈ 0 at every positive lag, while long-range
+//! dependent traffic shows slowly decaying positive correlations across
+//! hundreds of lags.
+
+use crate::{Result, StatsError};
+
+/// Sample autocovariance at lag `k`, normalized by `n` (the standard biased
+/// estimator, which guarantees a positive semi-definite autocovariance
+/// sequence).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if `k >= series.len()` or the
+/// series is empty.
+pub fn autocovariance(series: &[f64], k: usize) -> Result<f64> {
+    let n = series.len();
+    if n == 0 || k >= n {
+        return Err(StatsError::InsufficientData {
+            needed: k + 1,
+            got: n,
+        });
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let mut acc = 0.0;
+    for i in 0..n - k {
+        acc += (series[i] - mean) * (series[i + k] - mean);
+    }
+    Ok(acc / n as f64)
+}
+
+/// Sample autocorrelation at lag `k`: autocovariance at `k` divided by the
+/// variance.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if `k >= series.len()`, and
+/// [`StatsError::DegenerateSeries`] if the series has zero variance.
+pub fn autocorrelation(series: &[f64], k: usize) -> Result<f64> {
+    let c0 = autocovariance(series, 0)?;
+    if c0 == 0.0 {
+        return Err(StatsError::DegenerateSeries);
+    }
+    Ok(autocovariance(series, k)? / c0)
+}
+
+/// Autocorrelation function for lags `0..=max_lag`.
+///
+/// `acf(series, m)[0]` is always 1.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if `max_lag >= series.len()`,
+/// and [`StatsError::DegenerateSeries`] if the series has zero variance.
+///
+/// # Example
+///
+/// ```
+/// use spindle_stats::acf::acf;
+///
+/// // A slowly varying series is strongly positively autocorrelated.
+/// let series: Vec<f64> = (0..256).map(|i| (i as f64 / 40.0).sin()).collect();
+/// let r = acf(&series, 5).unwrap();
+/// assert_eq!(r[0], 1.0);
+/// assert!(r[1] > 0.9);
+/// ```
+pub fn acf(series: &[f64], max_lag: usize) -> Result<Vec<f64>> {
+    let n = series.len();
+    if max_lag >= n {
+        return Err(StatsError::InsufficientData {
+            needed: max_lag + 1,
+            got: n,
+        });
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = series.iter().map(|x| x - mean).collect();
+    let c0: f64 = centered.iter().map(|x| x * x).sum::<f64>() / n as f64;
+    if c0 == 0.0 {
+        return Err(StatsError::DegenerateSeries);
+    }
+    let mut out = Vec::with_capacity(max_lag + 1);
+    for k in 0..=max_lag {
+        let mut acc = 0.0;
+        for i in 0..n - k {
+            acc += centered[i] * centered[i + k];
+        }
+        out.push(acc / n as f64 / c0);
+    }
+    Ok(out)
+}
+
+/// Sample cross-correlation between two equal-length series at lag `k`
+/// (`y` shifted `k` steps ahead of `x`), normalized by both standard
+/// deviations so the value lies in `[-1, 1]`.
+///
+/// Used for the read/write interplay analysis: a strong positive
+/// cross-correlation at small lags means read and write bursts arrive
+/// together.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if the lengths differ,
+/// [`StatsError::InsufficientData`] if `k >= len`, and
+/// [`StatsError::DegenerateSeries`] if either series has zero variance.
+pub fn cross_correlation(x: &[f64], y: &[f64], k: usize) -> Result<f64> {
+    if x.len() != y.len() {
+        return Err(StatsError::InvalidParameter {
+            name: "x/y",
+            reason: "series must have equal length",
+        });
+    }
+    let n = x.len();
+    if n == 0 || k >= n {
+        return Err(StatsError::InsufficientData {
+            needed: k + 1,
+            got: n,
+        });
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let vx: f64 = x.iter().map(|v| (v - mx) * (v - mx)).sum::<f64>() / n as f64;
+    let vy: f64 = y.iter().map(|v| (v - my) * (v - my)).sum::<f64>() / n as f64;
+    if vx == 0.0 || vy == 0.0 {
+        return Err(StatsError::DegenerateSeries);
+    }
+    let mut acc = 0.0;
+    for i in 0..n - k {
+        acc += (x[i] - mx) * (y[i + k] - my);
+    }
+    Ok(acc / n as f64 / (vx * vy).sqrt())
+}
+
+/// The approximate 95% confidence band half-width for the ACF of white
+/// noise of length `n`: `1.96 / sqrt(n)`.
+///
+/// Lags whose |ACF| exceeds this band indicate statistically significant
+/// correlation (burstiness / memory in the arrival process).
+pub fn white_noise_band(n: usize) -> f64 {
+    if n == 0 {
+        f64::INFINITY
+    } else {
+        1.96 / (n as f64).sqrt()
+    }
+}
+
+/// Number of leading lags (starting at lag 1) whose autocorrelation exceeds
+/// the white-noise 95% band — a scalar "correlation horizon" used in the
+/// burstiness tables.
+///
+/// # Errors
+///
+/// Propagates errors from [`acf`].
+pub fn significant_lag_run(series: &[f64], max_lag: usize) -> Result<usize> {
+    let r = acf(series, max_lag)?;
+    let band = white_noise_band(series.len());
+    Ok(r.iter()
+        .skip(1)
+        .take_while(|&&v| v > band)
+        .count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let s: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        assert!((autocorrelation(&s, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_is_degenerate() {
+        let s = vec![4.0; 50];
+        assert_eq!(autocorrelation(&s, 1), Err(StatsError::DegenerateSeries));
+        assert_eq!(acf(&s, 3), Err(StatsError::DegenerateSeries));
+    }
+
+    #[test]
+    fn lag_out_of_range_errors() {
+        let s = vec![1.0, 2.0, 3.0];
+        assert!(autocovariance(&s, 3).is_err());
+        assert!(acf(&s, 3).is_err());
+        assert!(autocovariance(&[], 0).is_err());
+    }
+
+    #[test]
+    fn alternating_series_is_negatively_correlated_at_lag_one() {
+        let s: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let r1 = autocorrelation(&s, 1).unwrap();
+        assert!(r1 < -0.9, "lag-1 ACF was {r1}");
+        let r2 = autocorrelation(&s, 2).unwrap();
+        assert!(r2 > 0.9, "lag-2 ACF was {r2}");
+    }
+
+    #[test]
+    fn white_noise_is_inside_band() {
+        // Deterministic pseudo-noise via a 64-bit LCG.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let s: Vec<f64> = (0..4096).map(|_| next()).collect();
+        let r = acf(&s, 20).unwrap();
+        let band = white_noise_band(s.len());
+        let outside = r.iter().skip(1).filter(|v| v.abs() > band).count();
+        // Expect ~5% of lags outside; allow slack.
+        assert!(outside <= 3, "{outside} of 20 lags outside the band");
+    }
+
+    #[test]
+    fn acf_matches_pointwise_autocorrelation() {
+        let s: Vec<f64> = (0..128).map(|i| ((i * i) % 13) as f64).collect();
+        let all = acf(&s, 10).unwrap();
+        for (k, &value) in all.iter().enumerate() {
+            let single = autocorrelation(&s, k).unwrap();
+            assert!((value - single).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn significant_run_of_trend_is_long() {
+        let s: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let run = significant_lag_run(&s, 50).unwrap();
+        assert_eq!(run, 50);
+    }
+
+    #[test]
+    fn cross_correlation_of_identical_series_is_one() {
+        let x: Vec<f64> = (0..100).map(|i| ((i * 7) % 13) as f64).collect();
+        assert!((cross_correlation(&x, &x, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_correlation_of_negated_series_is_minus_one() {
+        let x: Vec<f64> = (0..100).map(|i| ((i * 7) % 13) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((cross_correlation(&x, &y, 0).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_correlation_detects_lagged_coupling() {
+        // y is x delayed by 3 steps (plus a constant offset).
+        let x: Vec<f64> = (0..500).map(|i| (i as f64 / 10.0).sin()).collect();
+        let y: Vec<f64> = (0..500)
+            .map(|i| if i >= 3 { x[i - 3] + 5.0 } else { 5.0 })
+            .collect();
+        let at_lag3 = cross_correlation(&x, &y, 3).unwrap();
+        let at_lag0 = cross_correlation(&x, &y, 0).unwrap();
+        assert!(at_lag3 > 0.95, "lag-3 cross-correlation {at_lag3}");
+        assert!(at_lag3 > at_lag0);
+    }
+
+    #[test]
+    fn cross_correlation_validates_input() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert!(cross_correlation(&x, &x[..2], 0).is_err());
+        assert!(cross_correlation(&x, &x, 3).is_err());
+        let flat = vec![2.0; 3];
+        assert!(cross_correlation(&x, &flat, 0).is_err());
+    }
+
+    #[test]
+    fn band_of_empty_series_is_infinite() {
+        assert!(white_noise_band(0).is_infinite());
+        assert!((white_noise_band(400) - 0.098).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,261 @@
+//! Burstiness indices for count processes.
+//!
+//! * [`index_of_dispersion`] — variance-to-mean ratio of per-interval
+//!   counts (IDC at a single time scale). 1 for Poisson; ≫ 1 for bursty
+//!   traffic.
+//! * [`idc_curve`] — the IDC evaluated across a ladder of aggregation
+//!   scales. A flat curve indicates Poisson-like traffic; a monotonically
+//!   growing curve is the signature of burstiness *at every time scale*
+//!   (the headline claim of the paper).
+//! * [`peak_to_mean`] — the peak-to-mean ratio used in the hour-scale
+//!   tables.
+
+use crate::timeseries::aggregate_sum;
+use crate::{Result, StatsError};
+
+/// Index of dispersion for counts at one scale: `Var[N] / E[N]`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than two counts and
+/// [`StatsError::DegenerateSeries`] if the mean count is zero.
+pub fn index_of_dispersion(counts: &[f64]) -> Result<f64> {
+    if counts.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: counts.len(),
+        });
+    }
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return Err(StatsError::DegenerateSeries);
+    }
+    let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (n - 1.0);
+    Ok(var / mean)
+}
+
+/// One point of an [`idc_curve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdcPoint {
+    /// Aggregation factor relative to the base scale (number of base
+    /// intervals merged into one).
+    pub scale: usize,
+    /// Index of dispersion of the counts at this scale.
+    pub idc: f64,
+    /// Number of aggregated intervals the estimate is based on.
+    pub intervals: usize,
+}
+
+/// Index-of-dispersion curve across aggregation scales.
+///
+/// `base_counts` are event counts in consecutive base intervals; `scales`
+/// lists aggregation factors (e.g. `[1, 2, 4, …, 1024]`). Scales that leave
+/// fewer than two aggregated intervals are skipped.
+///
+/// For a Poisson process the curve is flat at 1. For self-similar traffic
+/// with Hurst parameter `H` it grows like `scale^(2H-1)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if no scale yields at least two
+/// intervals, and propagates [`StatsError::DegenerateSeries`] for all-zero
+/// counts.
+pub fn idc_curve(base_counts: &[f64], scales: &[usize]) -> Result<Vec<IdcPoint>> {
+    let mut out = Vec::new();
+    for &scale in scales {
+        if scale == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "scales",
+                reason: "aggregation factor must be at least 1",
+            });
+        }
+        let agg = aggregate_sum(base_counts, scale);
+        if agg.len() < 2 {
+            continue;
+        }
+        let idc = index_of_dispersion(&agg)?;
+        out.push(IdcPoint {
+            scale,
+            idc,
+            intervals: agg.len(),
+        });
+    }
+    if out.is_empty() {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: base_counts.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Peak-to-mean ratio of a non-negative series.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] for an empty series and
+/// [`StatsError::DegenerateSeries`] if the mean is zero.
+pub fn peak_to_mean(series: &[f64]) -> Result<f64> {
+    if series.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    if mean == 0.0 {
+        return Err(StatsError::DegenerateSeries);
+    }
+    let peak = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Ok(peak / mean)
+}
+
+/// Squared coefficient of variation of interarrival times, the classical
+/// single-number burstiness index for point processes (1 for Poisson).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than two interarrival
+/// times and [`StatsError::DegenerateSeries`] if the mean is zero.
+pub fn interarrival_scv(interarrivals: &[f64]) -> Result<f64> {
+    if interarrivals.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: interarrivals.len(),
+        });
+    }
+    let n = interarrivals.len() as f64;
+    let mean = interarrivals.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return Err(StatsError::DegenerateSeries);
+    }
+    let var = interarrivals
+        .iter()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / (n - 1.0);
+    Ok(var / (mean * mean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_counts_have_dispersion_near_one() {
+        // Simulate Poisson(λ=5) counts with a deterministic LCG + Knuth.
+        let mut state = 12345u64;
+        let mut uniform = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+        };
+        let mut poisson = |lambda: f64| {
+            let l = (-lambda).exp();
+            let mut k = 0u32;
+            let mut p = 1.0;
+            loop {
+                p *= uniform();
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        };
+        let counts: Vec<f64> = (0..20_000).map(|_| poisson(5.0)).collect();
+        let idc = index_of_dispersion(&counts).unwrap();
+        assert!((idc - 1.0).abs() < 0.1, "Poisson IDC was {idc}");
+    }
+
+    #[test]
+    fn deterministic_counts_have_zero_dispersion() {
+        let counts = vec![7.0; 100];
+        assert!(index_of_dispersion(&counts).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_counts_are_degenerate() {
+        assert_eq!(
+            index_of_dispersion(&[0.0; 10]),
+            Err(StatsError::DegenerateSeries)
+        );
+    }
+
+    #[test]
+    fn idc_curve_of_poisson_is_flat() {
+        let mut state = 99u64;
+        let mut uniform = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+        };
+        let mut poisson = |lambda: f64| {
+            let l = (-lambda).exp();
+            let mut k = 0u32;
+            let mut p = 1.0;
+            loop {
+                p *= uniform();
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        };
+        let counts: Vec<f64> = (0..65_536).map(|_| poisson(3.0)).collect();
+        let curve = idc_curve(&counts, &[1, 4, 16, 64, 256]).unwrap();
+        for p in &curve {
+            assert!(
+                (p.idc - 1.0).abs() < 0.35,
+                "IDC at scale {} was {}",
+                p.scale,
+                p.idc
+            );
+        }
+    }
+
+    #[test]
+    fn idc_curve_of_bursty_traffic_grows() {
+        // Long on/off bursts: 256 intervals on, 256 off.
+        let counts: Vec<f64> = (0..65_536)
+            .map(|i| if (i / 256) % 2 == 0 { 10.0 } else { 0.0 })
+            .collect();
+        let curve = idc_curve(&counts, &[1, 4, 16, 64]).unwrap();
+        for w in curve.windows(2) {
+            assert!(
+                w[1].idc > w[0].idc * 2.0,
+                "IDC did not grow: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn idc_curve_skips_too_coarse_scales() {
+        let counts = vec![1.0; 8];
+        let curve = idc_curve(&counts, &[1, 2, 8, 16]).unwrap();
+        let scales: Vec<usize> = curve.iter().map(|p| p.scale).collect();
+        assert_eq!(scales, vec![1, 2]);
+    }
+
+    #[test]
+    fn idc_curve_rejects_zero_scale() {
+        assert!(idc_curve(&[1.0, 2.0, 3.0], &[0]).is_err());
+    }
+
+    #[test]
+    fn peak_to_mean_basic() {
+        assert!((peak_to_mean(&[1.0, 1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(peak_to_mean(&[]), Err(StatsError::EmptySample));
+        assert_eq!(peak_to_mean(&[0.0, 0.0]), Err(StatsError::DegenerateSeries));
+    }
+
+    #[test]
+    fn scv_of_constant_interarrivals_is_zero() {
+        assert!(interarrival_scv(&[2.0; 50]).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn scv_of_bimodal_interarrivals_exceeds_one() {
+        // Hyperexponential-like: mostly tiny gaps, occasionally huge.
+        let mut v = vec![0.01; 99];
+        v.push(100.0);
+        assert!(interarrival_scv(&v).unwrap() > 10.0);
+    }
+}

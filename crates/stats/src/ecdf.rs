@@ -1,0 +1,254 @@
+//! Empirical cumulative distribution functions.
+//!
+//! [`Ecdf`] stores a sorted copy of a sample and answers CDF, CCDF, and
+//! quantile queries exactly. It is the workhorse behind the idle-interval
+//! and drive-family distribution figures, where exact tail behavior matters
+//! more than memory (samples there are at most a few million points).
+
+use crate::{Result, StatsError};
+
+/// Exact empirical CDF over a stored sample.
+///
+/// # Example
+///
+/// ```
+/// use spindle_stats::ecdf::Ecdf;
+///
+/// let e = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+/// assert_eq!(e.cdf(2.0), 0.75);   // P[X <= 2]
+/// assert_eq!(e.ccdf(2.0), 0.25);  // P[X > 2]
+/// assert_eq!(e.quantile(0.5).unwrap(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample, taking ownership and sorting it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] for an empty sample and
+    /// [`StatsError::DomainViolation`] if any observation is NaN.
+    pub fn new(mut sample: Vec<f64>) -> Result<Self> {
+        if sample.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if sample.iter().any(|x| x.is_nan()) {
+            return Err(StatsError::DomainViolation {
+                reason: "sample contains NaN",
+            });
+        }
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        Ok(Ecdf { sorted: sample })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty samples. Provided for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P[X <= x]`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// `P[X > x]`, the complementary CDF.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// The `q`-quantile using the inverse-CDF (type 1) definition: the
+    /// smallest observation `v` with `cdf(v) >= q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(StatsError::InvalidParameter {
+                name: "q",
+                reason: "quantile must lie in [0, 1]",
+            });
+        }
+        if q == 0.0 {
+            return Ok(self.sorted[0]);
+        }
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Ok(self.sorted[idx])
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Borrowed view of the sorted sample.
+    pub fn as_sorted_slice(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Consumes the ECDF, returning the sorted sample.
+    pub fn into_sorted_vec(self) -> Vec<f64> {
+        self.sorted
+    }
+
+    /// Evaluates the CDF at `n` evenly spaced points between the sample
+    /// minimum and maximum, returning `(x, cdf(x))` pairs — a ready-to-plot
+    /// curve.
+    ///
+    /// Returns a single point when the sample is constant.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        let (lo, hi) = (self.min(), self.max());
+        if lo == hi || n <= 1 {
+            return vec![(lo, self.cdf(lo))];
+        }
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.cdf(x))
+            })
+            .collect()
+    }
+
+    /// Kolmogorov–Smirnov distance between this ECDF and a model CDF
+    /// evaluated by `model_cdf`: `sup_x |F_n(x) - F(x)|`.
+    ///
+    /// The supremum over the step function is attained just before or at a
+    /// sample point, so both sides of every step are checked.
+    pub fn ks_distance<F: Fn(f64) -> f64>(&self, model_cdf: F) -> f64 {
+        let n = self.sorted.len() as f64;
+        let mut d: f64 = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = model_cdf(x);
+            let lo = i as f64 / n;
+            let hi = (i + 1) as f64 / n;
+            d = d.max((f - lo).abs()).max((hi - f).abs());
+        }
+        d
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    /// Collects an iterator into an ECDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty or yields NaN; use [`Ecdf::new`] for
+    /// fallible construction.
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Ecdf::new(iter.into_iter().collect()).expect("invalid sample for Ecdf::from_iter")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert_eq!(Ecdf::new(vec![]), Err(StatsError::EmptySample));
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn cdf_steps_at_sample_points() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn ccdf_complements_cdf() {
+        let e = Ecdf::new(vec![5.0, 10.0, 15.0]).unwrap();
+        for x in [0.0, 5.0, 7.0, 15.0, 20.0] {
+            assert!((e.cdf(x) + e.ccdf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantiles_hit_order_statistics() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        assert_eq!(e.quantile(0.0).unwrap(), 10.0);
+        assert_eq!(e.quantile(0.2).unwrap(), 10.0);
+        assert_eq!(e.quantile(0.21).unwrap(), 20.0);
+        assert_eq!(e.quantile(0.5).unwrap(), 30.0);
+        assert_eq!(e.quantile(1.0).unwrap(), 50.0);
+        assert!(e.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn duplicates_are_handled() {
+        let e = Ecdf::new(vec![2.0, 2.0, 2.0, 8.0]).unwrap();
+        assert_eq!(e.cdf(2.0), 0.75);
+        assert_eq!(e.quantile(0.5).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let e = Ecdf::new(vec![1.0, 3.0, 3.5, 9.0, 2.2]).unwrap();
+        let c = e.curve(50);
+        assert_eq!(c.len(), 50);
+        for w in c.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert_eq!(c.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn curve_of_constant_sample_is_single_point() {
+        let e = Ecdf::new(vec![7.0, 7.0]).unwrap();
+        assert_eq!(e.curve(10), vec![(7.0, 1.0)]);
+    }
+
+    #[test]
+    fn ks_distance_of_perfect_model_is_small() {
+        // Sample = uniform grid on [0,1]; model = uniform CDF.
+        let n = 1000;
+        let sample: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let e = Ecdf::new(sample).unwrap();
+        let d = e.ks_distance(|x| x.clamp(0.0, 1.0));
+        assert!(d < 1.0 / n as f64 + 1e-9, "KS distance was {d}");
+    }
+
+    #[test]
+    fn ks_distance_detects_wrong_model() {
+        let sample: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let e = Ecdf::new(sample).unwrap();
+        // Model claims everything is below 0.5.
+        let d = e.ks_distance(|x| if x < 0.5 { 2.0 * x } else { 1.0 });
+        assert!(d > 0.4);
+    }
+
+    #[test]
+    fn sorted_slice_is_sorted() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(e.as_sorted_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 3.0);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Error type for statistical computations.
+///
+/// Returned whenever an estimator is asked for a quantity that is undefined
+/// for its input — an empty sample, a degenerate (zero-variance) series, an
+/// out-of-range parameter, and so on.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input sample was empty but the computation needs at least one
+    /// observation.
+    EmptySample,
+    /// The input had fewer observations than the estimator requires.
+    InsufficientData {
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Number of observations actually supplied.
+        got: usize,
+    },
+    /// The input series has zero variance and the statistic is undefined.
+    DegenerateSeries,
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// An observation was outside the domain the computation supports
+    /// (for example a negative value passed to a log-scale histogram).
+    DomainViolation {
+        /// Description of the violated domain constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "empty sample"),
+            StatsError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: need at least {needed} observations, got {got}")
+            }
+            StatsError::DegenerateSeries => {
+                write!(f, "series has zero variance; statistic is undefined")
+            }
+            StatsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            StatsError::DomainViolation { reason } => {
+                write!(f, "domain violation: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = StatsError::InsufficientData { needed: 8, got: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains("8"));
+        assert!(msg.contains("3"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

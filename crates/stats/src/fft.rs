@@ -1,0 +1,296 @@
+//! Radix-2 fast Fourier transform and periodogram.
+//!
+//! A small, dependency-free iterative Cooley–Tukey FFT. It backs two users:
+//! the periodogram Hurst estimator in [`crate::hurst`] and the
+//! Davies–Harte fractional-Gaussian-noise generator in `spindle-synth`.
+
+use crate::{Result, StatsError};
+
+/// A complex number represented as `(re, im)`.
+///
+/// Deliberately minimal: only the operations the FFT needs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The real number `re` as a complex value.
+    pub fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    fn add(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+}
+
+/// In-place forward FFT of a power-of-two-length buffer.
+///
+/// Computes `X[k] = Σ_n x[n]·e^(−2πi·kn/N)` (engineering sign convention,
+/// no normalization).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if the length is zero or not a
+/// power of two.
+pub fn fft_in_place(buf: &mut [Complex]) -> Result<()> {
+    transform(buf, false)
+}
+
+/// In-place inverse FFT (conjugate transform scaled by `1/N`).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if the length is zero or not a
+/// power of two.
+pub fn ifft_in_place(buf: &mut [Complex]) -> Result<()> {
+    transform(buf, true)?;
+    let n = buf.len() as f64;
+    for v in buf.iter_mut() {
+        v.re /= n;
+        v.im /= n;
+    }
+    Ok(())
+}
+
+fn transform(buf: &mut [Complex], inverse: bool) -> Result<()> {
+    let n = buf.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(StatsError::InvalidParameter {
+            name: "buf",
+            reason: "FFT length must be a non-zero power of two",
+        });
+    }
+    if n == 1 {
+        return Ok(()); // the length-1 transform is the identity
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::from_real(1.0);
+            for k in 0..len / 2 {
+                let even = buf[start + k];
+                let odd = buf[start + k + len / 2] * w;
+                buf[start + k] = even + odd;
+                buf[start + k + len / 2] = even - odd;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Periodogram of a real series: `I(f_k) = |X[k]|² / (2πn)` at the Fourier
+/// frequencies `f_k = 2πk/n` for `k = 1..n/2`, returned as
+/// `(frequency, intensity)` pairs.
+///
+/// The series is zero-padded to the next power of two and mean-centered
+/// before transforming (so the DC component does not leak into low
+/// frequencies). The standard normalization of Geweke & Porter-Hudak is
+/// used, matching the periodogram Hurst estimator.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for series shorter than 8
+/// observations.
+pub fn periodogram(series: &[f64]) -> Result<Vec<(f64, f64)>> {
+    let n = series.len();
+    if n < 8 {
+        return Err(StatsError::InsufficientData { needed: 8, got: n });
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let padded = n.next_power_of_two();
+    let mut buf: Vec<Complex> = series
+        .iter()
+        .map(|&x| Complex::from_real(x - mean))
+        .chain(std::iter::repeat(Complex::default()))
+        .take(padded)
+        .collect();
+    fft_in_place(&mut buf)?;
+    let norm = 2.0 * std::f64::consts::PI * n as f64;
+    // Only frequencies that correspond to the original series length carry
+    // meaning; map bin k of the padded transform to frequency 2πk/padded.
+    let half = padded / 2;
+    Ok((1..half)
+        .map(|k| {
+            let f = 2.0 * std::f64::consts::PI * k as f64 / padded as f64;
+            (f, buf[k].norm_sqr() / norm)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc = acc + v * Complex::new(ang.cos(), ang.sin());
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut b = vec![Complex::default(); 6];
+        assert!(fft_in_place(&mut b).is_err());
+        let mut e: Vec<Complex> = vec![];
+        assert!(fft_in_place(&mut e).is_err());
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let expected = naive_dft(&x);
+        let mut got = x.clone();
+        fft_in_place(&mut got).unwrap();
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g.re - e.re).abs() < 1e-9, "{g:?} vs {e:?}");
+            assert!((g.im - e.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new(i as f64, (i * i % 17) as f64))
+            .collect();
+        let mut buf = x.clone();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (g, e) in buf.iter().zip(&x) {
+            assert!((g.re - e.re).abs() < 1e-9);
+            assert!((g.im - e.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn length_one_transform_is_identity() {
+        let mut buf = vec![Complex::new(3.0, -2.0)];
+        fft_in_place(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex::new(3.0, -2.0));
+        ifft_in_place(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::default(); 8];
+        buf[0] = Complex::from_real(1.0);
+        fft_in_place(&mut buf).unwrap();
+        for v in &buf {
+            assert!((v.re - 1.0).abs() < 1e-12);
+            assert!(v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::from_real(((i * 13) % 7) as f64 - 3.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut buf = x.clone();
+        fft_in_place(&mut buf).unwrap();
+        let freq_energy: f64 = buf.iter().map(|v| v.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodogram_peaks_at_sinusoid_frequency() {
+        // Pure tone at bin 8 of a 256-point series.
+        let n = 256;
+        let series: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / n as f64).sin())
+            .collect();
+        let p = periodogram(&series).unwrap();
+        let (peak_f, _) = p
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let expected = 2.0 * std::f64::consts::PI * 8.0 / n as f64;
+        assert!(
+            (peak_f - expected).abs() < 1e-9,
+            "peak at {peak_f}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn periodogram_requires_minimum_length() {
+        assert!(periodogram(&[1.0; 4]).is_err());
+    }
+
+    #[test]
+    fn periodogram_handles_non_power_of_two_length() {
+        let series: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let p = periodogram(&series).unwrap();
+        assert_eq!(p.len(), 128 / 2 - 1);
+        assert!(p.iter().all(|(f, i)| *f > 0.0 && i.is_finite()));
+    }
+}

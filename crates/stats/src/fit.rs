@@ -1,0 +1,582 @@
+//! Parametric distributions and maximum-likelihood fitting.
+//!
+//! Idle-interval and interarrival distributions in disk workloads are
+//! routinely compared against exponential (the Poisson-process baseline),
+//! Pareto (heavy tails), Weibull (stretched exponentials), and log-normal
+//! models. This module provides those four families, MLE fitting, and
+//! goodness-of-fit via the Kolmogorov–Smirnov distance.
+
+use crate::ecdf::Ecdf;
+use crate::special::standard_normal_cdf;
+use crate::{Result, StatsError};
+
+/// A continuous distribution on the positive reals, as used for
+/// interarrival and idle-time modeling.
+///
+/// This trait is sealed: the fitting machinery relies on the exact set of
+/// families implemented here.
+pub trait Distribution: sealed::Sealed + std::fmt::Debug {
+    /// Cumulative distribution function `P[X <= x]`.
+    fn cdf(&self, x: f64) -> f64;
+    /// Theoretical mean, or `None` if it does not exist (e.g. Pareto with
+    /// shape ≤ 1).
+    fn mean(&self) -> Option<f64>;
+    /// Inverse CDF (quantile function) for `q ∈ (0, 1)`.
+    fn quantile(&self, q: f64) -> f64;
+    /// Short human-readable name of the family.
+    fn name(&self) -> &'static str;
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::Exponential {}
+    impl Sealed for super::Pareto {}
+    impl Sealed for super::Weibull {}
+    impl Sealed for super::LogNormal {}
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter (1 / mean).
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "lambda",
+                reason: "rate must be positive",
+            });
+        }
+        Ok(Exponential { lambda })
+    }
+
+    /// Maximum-likelihood fit: `lambda = 1 / mean`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] for an empty sample and
+    /// [`StatsError::DomainViolation`] if any observation is non-positive.
+    pub fn fit(sample: &[f64]) -> Result<Self> {
+        let mean = positive_mean(sample)?;
+        Exponential::new(1.0 / mean)
+    }
+}
+
+impl Distribution for Exponential {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * x).exp()
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.lambda)
+    }
+
+    fn quantile(&self, q: f64) -> f64 {
+        -(1.0 - q).ln() / self.lambda
+    }
+
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+}
+
+/// Pareto (type I) distribution with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    /// Scale (minimum possible value).
+    pub x_min: f64,
+    /// Tail index; smaller means heavier tail.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless both parameters are
+    /// positive.
+    pub fn new(x_min: f64, alpha: f64) -> Result<Self> {
+        if !(x_min > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "x_min",
+                reason: "scale must be positive",
+            });
+        }
+        if !(alpha > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "alpha",
+                reason: "shape must be positive",
+            });
+        }
+        Ok(Pareto { x_min, alpha })
+    }
+
+    /// Maximum-likelihood fit: `x_min = min(sample)`,
+    /// `alpha = n / Σ ln(x_i / x_min)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] for an empty sample,
+    /// [`StatsError::DomainViolation`] for non-positive observations, and
+    /// [`StatsError::DegenerateSeries`] if all observations are equal.
+    pub fn fit(sample: &[f64]) -> Result<Self> {
+        positive_mean(sample)?; // validates non-empty and positive
+        let x_min = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let log_sum: f64 = sample.iter().map(|&x| (x / x_min).ln()).sum();
+        if log_sum <= 0.0 {
+            return Err(StatsError::DegenerateSeries);
+        }
+        Pareto::new(x_min, sample.len() as f64 / log_sum)
+    }
+}
+
+impl Distribution for Pareto {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.x_min {
+            0.0
+        } else {
+            1.0 - (self.x_min / x).powf(self.alpha)
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        if self.alpha > 1.0 {
+            Some(self.alpha * self.x_min / (self.alpha - 1.0))
+        } else {
+            None
+        }
+    }
+
+    fn quantile(&self, q: f64) -> f64 {
+        self.x_min * (1.0 - q).powf(-1.0 / self.alpha)
+    }
+
+    fn name(&self) -> &'static str {
+        "pareto"
+    }
+}
+
+/// Weibull distribution with scale `lambda` and shape `k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    /// Scale parameter.
+    pub lambda: f64,
+    /// Shape parameter; `k < 1` gives a heavier-than-exponential tail.
+    pub k: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless both parameters are
+    /// positive.
+    pub fn new(lambda: f64, k: f64) -> Result<Self> {
+        if !(lambda > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "lambda",
+                reason: "scale must be positive",
+            });
+        }
+        if !(k > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "k",
+                reason: "shape must be positive",
+            });
+        }
+        Ok(Weibull { lambda, k })
+    }
+
+    /// Maximum-likelihood fit via Newton iteration on the shape equation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] / [`StatsError::DomainViolation`]
+    /// for invalid samples and [`StatsError::DegenerateSeries`] if the
+    /// iteration cannot make progress (e.g. a constant sample).
+    pub fn fit(sample: &[f64]) -> Result<Self> {
+        positive_mean(sample)?;
+        let n = sample.len() as f64;
+        let logs: Vec<f64> = sample.iter().map(|&x| x.ln()).collect();
+        let mean_log: f64 = logs.iter().sum::<f64>() / n;
+
+        // Newton–Raphson on g(k) = Σ x^k ln x / Σ x^k − 1/k − mean_log = 0.
+        let mut k: f64 = 1.0;
+        for _ in 0..100 {
+            let mut sxk = 0.0;
+            let mut sxk_lx = 0.0;
+            let mut sxk_lx2 = 0.0;
+            for (&x, &lx) in sample.iter().zip(&logs) {
+                let xk = x.powf(k);
+                sxk += xk;
+                sxk_lx += xk * lx;
+                sxk_lx2 += xk * lx * lx;
+            }
+            if sxk == 0.0 {
+                return Err(StatsError::DegenerateSeries);
+            }
+            let g = sxk_lx / sxk - 1.0 / k - mean_log;
+            let g_prime = (sxk_lx2 * sxk - sxk_lx * sxk_lx) / (sxk * sxk) + 1.0 / (k * k);
+            if g_prime == 0.0 {
+                return Err(StatsError::DegenerateSeries);
+            }
+            let next = k - g / g_prime;
+            if !next.is_finite() || next <= 0.0 {
+                return Err(StatsError::DegenerateSeries);
+            }
+            if (next - k).abs() < 1e-10 {
+                k = next;
+                break;
+            }
+            k = next;
+        }
+        let lambda = (sample.iter().map(|&x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+        Weibull::new(lambda, k)
+    }
+}
+
+impl Distribution for Weibull {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(x / self.lambda).powf(self.k)).exp()
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.lambda * crate::special::gamma(1.0 + 1.0 / self.k))
+    }
+
+    fn quantile(&self, q: f64) -> f64 {
+        self.lambda * (-(1.0 - q).ln()).powf(1.0 / self.k)
+    }
+
+    fn name(&self) -> &'static str {
+        "weibull"
+    }
+}
+
+/// Log-normal distribution: `ln X ~ N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of `ln X`.
+    pub mu: f64,
+    /// Standard deviation of `ln X`.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `sigma > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !(sigma > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "sigma",
+                reason: "log-space standard deviation must be positive",
+            });
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Maximum-likelihood fit: sample mean and standard deviation of the
+    /// logs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] / [`StatsError::DomainViolation`]
+    /// for invalid samples and [`StatsError::DegenerateSeries`] for a
+    /// constant sample.
+    pub fn fit(sample: &[f64]) -> Result<Self> {
+        positive_mean(sample)?;
+        let n = sample.len() as f64;
+        let logs: Vec<f64> = sample.iter().map(|&x| x.ln()).collect();
+        let mu = logs.iter().sum::<f64>() / n;
+        let var = logs.iter().map(|&l| (l - mu) * (l - mu)).sum::<f64>() / n;
+        if var == 0.0 {
+            return Err(StatsError::DegenerateSeries);
+        }
+        LogNormal::new(mu, var.sqrt())
+    }
+}
+
+impl Distribution for LogNormal {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            standard_normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.mu + self.sigma * self.sigma / 2.0).exp())
+    }
+
+    fn quantile(&self, q: f64) -> f64 {
+        // Inverse normal CDF via bisection on the monotone CDF — adequate
+        // for reporting purposes.
+        let mut lo = -40.0f64;
+        let mut hi = 40.0f64;
+        for _ in 0..200 {
+            let mid = (lo + hi) / 2.0;
+            if standard_normal_cdf(mid) < q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (self.mu + self.sigma * (lo + hi) / 2.0).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "lognormal"
+    }
+}
+
+fn positive_mean(sample: &[f64]) -> Result<f64> {
+    if sample.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if sample.iter().any(|&x| !(x > 0.0)) {
+        return Err(StatsError::DomainViolation {
+            reason: "sample must be strictly positive",
+        });
+    }
+    Ok(sample.iter().sum::<f64>() / sample.len() as f64)
+}
+
+/// Result of fitting one family to a sample.
+#[derive(Debug)]
+pub struct FitResult {
+    /// The fitted distribution.
+    pub distribution: Box<dyn Distribution>,
+    /// Kolmogorov–Smirnov distance between the sample ECDF and the fit.
+    pub ks_distance: f64,
+}
+
+/// Fits all four families to the sample and returns the results sorted by
+/// ascending KS distance (best fit first). Families whose MLE fails on
+/// this sample (e.g. Pareto on a constant sample) are skipped.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] / [`StatsError::DomainViolation`]
+/// if the sample itself is unusable, or [`StatsError::DegenerateSeries`] if
+/// no family could be fitted.
+///
+/// # Example
+///
+/// ```
+/// use spindle_stats::fit::fit_best;
+///
+/// // A geometric-ish decaying positive sample.
+/// let sample: Vec<f64> = (1..200).map(|i| 1.0 / i as f64).collect();
+/// let fits = fit_best(&sample)?;
+/// assert!(!fits.is_empty());
+/// assert!(fits[0].ks_distance <= fits.last().unwrap().ks_distance);
+/// # Ok::<(), spindle_stats::StatsError>(())
+/// ```
+pub fn fit_best(sample: &[f64]) -> Result<Vec<FitResult>> {
+    positive_mean(sample)?;
+    let ecdf = Ecdf::new(sample.to_vec())?;
+    let mut out: Vec<FitResult> = Vec::new();
+
+    fn push<D: Distribution + 'static>(out: &mut Vec<FitResult>, ecdf: &Ecdf, fit: Result<D>) {
+        if let Ok(d) = fit {
+            let ks = ecdf.ks_distance(|x| d.cdf(x));
+            out.push(FitResult {
+                distribution: Box::new(d),
+                ks_distance: ks,
+            });
+        }
+    }
+
+    push(&mut out, &ecdf, Exponential::fit(sample));
+    push(&mut out, &ecdf, Pareto::fit(sample));
+    push(&mut out, &ecdf, Weibull::fit(sample));
+    push(&mut out, &ecdf, LogNormal::fit(sample));
+
+    if out.is_empty() {
+        return Err(StatsError::DegenerateSeries);
+    }
+    out.sort_by(|a, b| {
+        a.ks_distance
+            .partial_cmp(&b.ks_distance)
+            .expect("KS distances are finite")
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_stream(n: usize, seed: u64) -> impl Iterator<Item = f64> {
+        let mut state = seed;
+        (0..n).map(move |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+        })
+    }
+
+    #[test]
+    fn exponential_roundtrip() {
+        let d = Exponential::new(2.0).unwrap();
+        // Sample via inverse transform, refit, compare.
+        let sample: Vec<f64> = uniform_stream(50_000, 1).map(|u| d.quantile(u)).collect();
+        let fit = Exponential::fit(&sample).unwrap();
+        assert!((fit.lambda - 2.0).abs() < 0.05, "lambda = {}", fit.lambda);
+        assert!((d.mean().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_roundtrip() {
+        let d = Pareto::new(1.0, 1.5).unwrap();
+        let sample: Vec<f64> = uniform_stream(50_000, 2).map(|u| d.quantile(u)).collect();
+        let fit = Pareto::fit(&sample).unwrap();
+        assert!((fit.alpha - 1.5).abs() < 0.05, "alpha = {}", fit.alpha);
+        assert!((fit.x_min - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn weibull_roundtrip() {
+        let d = Weibull::new(2.0, 0.7).unwrap();
+        let sample: Vec<f64> = uniform_stream(50_000, 3).map(|u| d.quantile(u.min(0.999999))).collect();
+        let fit = Weibull::fit(&sample).unwrap();
+        assert!((fit.k - 0.7).abs() < 0.05, "k = {}", fit.k);
+        assert!((fit.lambda - 2.0).abs() < 0.1, "lambda = {}", fit.lambda);
+    }
+
+    #[test]
+    fn lognormal_roundtrip() {
+        let d = LogNormal::new(0.5, 1.2).unwrap();
+        let sample: Vec<f64> = uniform_stream(50_000, 4).map(|u| d.quantile(u.clamp(1e-9, 1.0 - 1e-9))).collect();
+        let fit = LogNormal::fit(&sample).unwrap();
+        assert!((fit.mu - 0.5).abs() < 0.05, "mu = {}", fit.mu);
+        assert!((fit.sigma - 1.2).abs() < 0.05, "sigma = {}", fit.sigma);
+    }
+
+    #[test]
+    fn cdfs_are_valid() {
+        let dists: Vec<Box<dyn Distribution>> = vec![
+            Box::new(Exponential::new(1.0).unwrap()),
+            Box::new(Pareto::new(1.0, 2.0).unwrap()),
+            Box::new(Weibull::new(1.0, 1.5).unwrap()),
+            Box::new(LogNormal::new(0.0, 1.0).unwrap()),
+        ];
+        for d in &dists {
+            assert_eq!(d.cdf(-1.0), 0.0, "{}", d.name());
+            assert_eq!(d.cdf(0.0), 0.0, "{}", d.name());
+            let mut prev = 0.0;
+            for i in 1..100 {
+                let c = d.cdf(i as f64 * 0.5);
+                assert!((0.0..=1.0).contains(&c));
+                assert!(c >= prev, "{} CDF not monotone", d.name());
+                prev = c;
+            }
+            assert!(d.cdf(1e9) > 0.999, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let dists: Vec<Box<dyn Distribution>> = vec![
+            Box::new(Exponential::new(0.3).unwrap()),
+            Box::new(Pareto::new(2.0, 1.2).unwrap()),
+            Box::new(Weibull::new(3.0, 0.8).unwrap()),
+            Box::new(LogNormal::new(1.0, 0.5).unwrap()),
+        ];
+        for d in &dists {
+            for q in [0.1, 0.5, 0.9, 0.99] {
+                let x = d.quantile(q);
+                assert!(
+                    (d.cdf(x) - q).abs() < 1e-3,
+                    "{}: cdf(quantile({q})) = {}",
+                    d.name(),
+                    d.cdf(x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_mean_exists_only_above_one() {
+        assert!(Pareto::new(1.0, 0.9).unwrap().mean().is_none());
+        assert!(Pareto::new(1.0, 1.1).unwrap().mean().is_some());
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        assert!((d.mean().unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Pareto::new(-1.0, 2.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Weibull::new(1.0, -2.0).is_err());
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn fits_reject_bad_samples() {
+        assert_eq!(Exponential::fit(&[]), Err(StatsError::EmptySample));
+        assert!(Exponential::fit(&[1.0, -2.0]).is_err());
+        assert!(Pareto::fit(&[3.0, 3.0, 3.0]).is_err());
+        assert!(LogNormal::fit(&[3.0, 3.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn fit_best_identifies_exponential_data() {
+        let d = Exponential::new(1.0).unwrap();
+        let sample: Vec<f64> = uniform_stream(20_000, 9).map(|u| d.quantile(u)).collect();
+        let fits = fit_best(&sample).unwrap();
+        // Weibull nests the exponential (k = 1), so either may win on raw
+        // KS distance; both must fit essentially perfectly, and the heavy
+        // tails must not.
+        assert!(matches!(
+            fits[0].distribution.name(),
+            "exponential" | "weibull"
+        ));
+        let exp_fit = fits
+            .iter()
+            .find(|f| f.distribution.name() == "exponential")
+            .unwrap();
+        assert!(exp_fit.ks_distance < 0.02);
+        let pareto_fit = fits
+            .iter()
+            .find(|f| f.distribution.name() == "pareto")
+            .unwrap();
+        assert!(pareto_fit.ks_distance > exp_fit.ks_distance);
+    }
+
+    #[test]
+    fn fit_best_identifies_heavy_tail() {
+        let d = Pareto::new(1.0, 1.2).unwrap();
+        let sample: Vec<f64> = uniform_stream(20_000, 10).map(|u| d.quantile(u.min(0.999999))).collect();
+        let fits = fit_best(&sample).unwrap();
+        assert_eq!(fits[0].distribution.name(), "pareto");
+        // Exponential must be a clearly worse fit for Pareto(1.2) data.
+        let exp_fit = fits
+            .iter()
+            .find(|f| f.distribution.name() == "exponential")
+            .unwrap();
+        assert!(exp_fit.ks_distance > fits[0].ks_distance * 3.0);
+    }
+}

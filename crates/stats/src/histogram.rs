@@ -1,0 +1,488 @@
+//! Fixed-bin and logarithmic histograms.
+//!
+//! Two flavors are provided:
+//!
+//! * [`Histogram`] — uniform bins over `[lo, hi)`, for quantities with a
+//!   known bounded range (utilization fractions, write ratios, …).
+//! * [`LogHistogram`] — logarithmically spaced bins, for quantities that
+//!   span many orders of magnitude (idle times from microseconds to hours,
+//!   request interarrival times, …).
+//!
+//! Both track underflow/overflow counts separately so that no observation is
+//! silently dropped, and both support approximate quantile queries by
+//! interpolating within bins.
+
+use crate::{Result, StatsError};
+
+/// Uniform-bin histogram over a half-open range `[lo, hi)`.
+///
+/// # Example
+///
+/// ```
+/// use spindle_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+/// for i in 0..100 {
+///     h.record(i as f64 / 100.0);
+/// }
+/// assert_eq!(h.total(), 100);
+/// assert_eq!(h.bin_count(0), 10); // [0.0, 0.1)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins covering `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `bins == 0`, if
+    /// `lo >= hi`, or if either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                reason: "must be at least 1",
+            });
+        }
+        if !(lo.is_finite() && hi.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "lo/hi",
+                reason: "bounds must be finite",
+            });
+        }
+        if lo >= hi {
+            return Err(StatsError::InvalidParameter {
+                name: "lo/hi",
+                reason: "lower bound must be strictly below upper bound",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Records one observation. Values below `lo` are counted as underflow,
+    /// values at or above `hi` as overflow; NaN is counted as underflow.
+    pub fn record(&mut self, x: f64) {
+        if !(x >= self.lo) {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = ((x - self.lo) / width) as usize;
+        // Guard against floating-point edge effects on the last bin.
+        let idx = idx.min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Records `n` observations of the same value.
+    pub fn record_n(&mut self, x: f64, n: u64) {
+        for _ in 0..n {
+            self.record(x);
+        }
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether the histogram holds no bins (never true for a constructed
+    /// histogram; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Count in bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn bin_count(&self, idx: usize) -> u64 {
+        self.bins[idx]
+    }
+
+    /// Lower and upper edge of bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn bin_edges(&self, idx: usize) -> (f64, f64) {
+        assert!(idx < self.bins.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + idx as f64 * width, self.lo + (idx + 1) as f64 * width)
+    }
+
+    /// Total number of observations recorded inside the range.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Observations that fell below the range (or were NaN).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations that fell at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterator over `(bin_midpoint, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bins.iter().enumerate().map(move |(i, &c)| {
+            let (lo, hi) = self.bin_edges(i);
+            ((lo + hi) / 2.0, c)
+        })
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) by linear interpolation within
+    /// the containing bin. Under/overflow observations are excluded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] if no in-range observation was
+    /// recorded, or [`StatsError::InvalidParameter`] if `q` is outside
+    /// `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(StatsError::InvalidParameter {
+                name: "q",
+                reason: "quantile must lie in [0, 1]",
+            });
+        }
+        let total = self.total();
+        if total == 0 {
+            return Err(StatsError::EmptySample);
+        }
+        let target = q * total as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                let (lo, hi) = self.bin_edges(i);
+                let frac = if c == 0 { 0.0 } else { (target - cum) / c as f64 };
+                return Ok(lo + frac.clamp(0.0, 1.0) * (hi - lo));
+            }
+            cum = next;
+        }
+        Ok(self.hi)
+    }
+
+    /// Merges another histogram with identical geometry into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if the bounds or bin counts
+    /// differ.
+    pub fn merge(&mut self, other: &Histogram) -> Result<()> {
+        if self.lo != other.lo || self.hi != other.hi || self.bins.len() != other.bins.len() {
+            return Err(StatsError::InvalidParameter {
+                name: "other",
+                reason: "histogram geometries differ",
+            });
+        }
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        Ok(())
+    }
+}
+
+/// Logarithmically binned histogram for positive values spanning orders of
+/// magnitude.
+///
+/// Bins are uniform in `log10(x)` between `10^lo_exp` and `10^hi_exp`, with
+/// `bins_per_decade` bins per factor of ten.
+///
+/// # Example
+///
+/// ```
+/// use spindle_stats::histogram::LogHistogram;
+///
+/// // Idle times from 1 ms (1e-3 s) to ~3 hours (1e4 s), 10 bins/decade.
+/// let mut h = LogHistogram::new(-3, 4, 10).unwrap();
+/// h.record(0.005);
+/// h.record(120.0);
+/// assert_eq!(h.total(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    lo_exp: i32,
+    hi_exp: i32,
+    bins_per_decade: usize,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates a log histogram covering `[10^lo_exp, 10^hi_exp)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `lo_exp >= hi_exp` or
+    /// `bins_per_decade == 0`.
+    pub fn new(lo_exp: i32, hi_exp: i32, bins_per_decade: usize) -> Result<Self> {
+        if lo_exp >= hi_exp {
+            return Err(StatsError::InvalidParameter {
+                name: "lo_exp/hi_exp",
+                reason: "lower exponent must be strictly below upper exponent",
+            });
+        }
+        if bins_per_decade == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins_per_decade",
+                reason: "must be at least 1",
+            });
+        }
+        let decades = (hi_exp - lo_exp) as usize;
+        Ok(LogHistogram {
+            lo_exp,
+            hi_exp,
+            bins_per_decade,
+            bins: vec![0; decades * bins_per_decade],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Records one observation. Non-positive or NaN values are counted as
+    /// underflow.
+    pub fn record(&mut self, x: f64) {
+        if !(x > 0.0) {
+            self.underflow += 1;
+            return;
+        }
+        let lx = x.log10();
+        if lx < self.lo_exp as f64 {
+            self.underflow += 1;
+            return;
+        }
+        if lx >= self.hi_exp as f64 {
+            self.overflow += 1;
+            return;
+        }
+        let idx = ((lx - self.lo_exp as f64) * self.bins_per_decade as f64) as usize;
+        let idx = idx.min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether the histogram holds no bins.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Count in bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn bin_count(&self, idx: usize) -> u64 {
+        self.bins[idx]
+    }
+
+    /// Lower and upper edge (in linear units) of bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn bin_edges(&self, idx: usize) -> (f64, f64) {
+        assert!(idx < self.bins.len(), "bin index out of range");
+        let step = 1.0 / self.bins_per_decade as f64;
+        let lo = self.lo_exp as f64 + idx as f64 * step;
+        (10f64.powf(lo), 10f64.powf(lo + step))
+    }
+
+    /// Total number of in-range observations.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Observations below the range, non-positive, or NaN.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterator over `(geometric_bin_midpoint, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bins.iter().enumerate().map(move |(i, &c)| {
+            let (lo, hi) = self.bin_edges(i);
+            ((lo * hi).sqrt(), c)
+        })
+    }
+
+    /// Empirical complementary CDF evaluated at each bin's lower edge,
+    /// returned as `(edge, fraction_of_observations >= edge)` pairs.
+    ///
+    /// Overflow counts are included in every point (they are ≥ all edges);
+    /// underflow counts are excluded entirely.
+    pub fn ccdf_points(&self) -> Vec<(f64, f64)> {
+        let total = self.total() + self.overflow;
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut points = Vec::with_capacity(self.bins.len());
+        let mut tail = total;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, _) = self.bin_edges(i);
+            points.push((lo, tail as f64 / total as f64));
+            tail -= c;
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_geometry() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+        assert!(LogHistogram::new(3, 3, 10).is_err());
+        assert!(LogHistogram::new(-3, 3, 0).is_err());
+    }
+
+    #[test]
+    fn underflow_and_overflow_are_tracked() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.record(-1.0);
+        h.record(10.0); // hi is exclusive
+        h.record(f64::NAN);
+        h.record(5.0);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn bin_assignment_is_correct_at_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.record(0.0);
+        h.record(0.25);
+        h.record(0.499999);
+        h.record(0.75);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(1), 2);
+        assert_eq!(h.bin_count(2), 0);
+        assert_eq!(h.bin_count(3), 1);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let mut h = Histogram::new(0.0, 100.0, 100).unwrap();
+        for i in 0..1000 {
+            h.record(i as f64 / 10.0);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() < 1.5, "median was {median}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 99.0).abs() < 1.5, "p99 was {p99}");
+    }
+
+    #[test]
+    fn quantile_rejects_bad_input() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(h.quantile(0.5), Err(StatsError::EmptySample));
+        let mut h = h;
+        h.record(0.5);
+        assert!(h.quantile(-0.1).is_err());
+        assert!(h.quantile(1.1).is_err());
+    }
+
+    #[test]
+    fn merge_requires_identical_geometry() {
+        let mut a = Histogram::new(0.0, 1.0, 4).unwrap();
+        let b = Histogram::new(0.0, 2.0, 4).unwrap();
+        assert!(a.merge(&b).is_err());
+        let mut c = Histogram::new(0.0, 1.0, 4).unwrap();
+        c.record(0.5);
+        a.record(0.1);
+        a.merge(&c).unwrap();
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn log_histogram_spans_decades() {
+        let mut h = LogHistogram::new(-3, 3, 1).unwrap();
+        assert_eq!(h.len(), 6);
+        h.record(0.005); // 5e-3 -> decade [-3,-2) -> bin 0
+        h.record(0.5); // decade [-1,0) -> bin 2
+        h.record(50.0); // decade [1,2) -> bin 4
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(2), 1);
+        assert_eq!(h.bin_count(4), 1);
+    }
+
+    #[test]
+    fn log_histogram_rejects_nonpositive() {
+        let mut h = LogHistogram::new(-3, 3, 10).unwrap();
+        h.record(0.0);
+        h.record(-5.0);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn log_histogram_edges_are_geometric() {
+        let h = LogHistogram::new(0, 2, 2).unwrap();
+        let (lo, hi) = h.bin_edges(0);
+        assert!((lo - 1.0).abs() < 1e-12);
+        assert!((hi - 10f64.powf(0.5)).abs() < 1e-9);
+        let (lo3, hi3) = h.bin_edges(3);
+        assert!((lo3 - 10f64.powf(1.5)).abs() < 1e-9);
+        assert!((hi3 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_nonincreasing_and_starts_at_one() {
+        let mut h = LogHistogram::new(-2, 2, 4).unwrap();
+        for x in [0.05, 0.5, 0.5, 5.0, 50.0, 99.0] {
+            h.record(x);
+        }
+        let pts = h.ccdf_points();
+        assert!((pts[0].1 - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn iterators_cover_all_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 8).unwrap();
+        h.record(0.99);
+        assert_eq!(h.iter().count(), 8);
+        assert_eq!(h.iter().map(|(_, c)| c).sum::<u64>(), 1);
+    }
+}

@@ -1,0 +1,445 @@
+//! Hurst-parameter estimation for self-similarity analysis.
+//!
+//! Disk arrival processes in the paper are bursty "across all time scales
+//! evaluated" — the statistical formalization is long-range dependence,
+//! summarized by the Hurst parameter `H ∈ (0.5, 1)`. Four classical
+//! estimators are provided, all reducing to log–log regressions:
+//!
+//! * [`rescaled_range`] — R/S analysis (Hurst's original method):
+//!   `E[R/S](n) ~ c·n^H`.
+//! * [`aggregated_variance`] — variance–time analysis: the variance of the
+//!   `m`-aggregated (block-averaged) series decays like `m^(2H−2)`.
+//! * [`periodogram_estimate`] — GPH-style spectral regression: the spectral
+//!   density diverges at the origin like `f^(1−2H)`.
+//! * [`wavelet_estimate`] — Abry–Veitch wavelet energy regression across
+//!   octaves (Haar wavelet).
+//!
+//! Short-range-dependent (e.g. Poisson) traffic yields `H ≈ 0.5` under all
+//! four.
+
+use crate::fft::periodogram;
+use crate::regression::{fit_line, Regression};
+use crate::timeseries::aggregate_mean;
+use crate::{Result, StatsError};
+
+/// Outcome of a Hurst estimation: the estimate plus the underlying
+/// regression (for diagnostics such as `r_squared`) and the points that
+/// were fitted (for the variance–time / R–S plots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HurstEstimate {
+    /// Estimated Hurst parameter.
+    pub h: f64,
+    /// The log–log regression behind the estimate.
+    pub regression: Regression,
+    /// `(log10(x), log10(y))` points used in the fit — the plottable
+    /// variance–time or pox-plot series.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Minimum series length accepted by the estimators.
+pub const MIN_SERIES_LEN: usize = 64;
+
+fn check_len(series: &[f64]) -> Result<()> {
+    if series.len() < MIN_SERIES_LEN {
+        return Err(StatsError::InsufficientData {
+            needed: MIN_SERIES_LEN,
+            got: series.len(),
+        });
+    }
+    Ok(())
+}
+
+/// R/S (rescaled range) Hurst estimator.
+///
+/// The series is divided into non-overlapping blocks of size `n` for a
+/// ladder of block sizes; for each block the range of the mean-adjusted
+/// cumulative sum is divided by the block standard deviation, and the
+/// block-averaged `R/S` statistic is regressed against `n` on log–log
+/// axes. The slope is `H`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for series shorter than
+/// [`MIN_SERIES_LEN`] and [`StatsError::DegenerateSeries`] if the series
+/// has zero variance.
+pub fn rescaled_range(series: &[f64]) -> Result<HurstEstimate> {
+    check_len(series)?;
+    let n = series.len();
+    let mut sizes = Vec::new();
+    let mut size = 8usize;
+    while size <= n / 4 {
+        sizes.push(size);
+        size *= 2;
+    }
+    if sizes.len() < 3 {
+        return Err(StatsError::InsufficientData {
+            needed: MIN_SERIES_LEN,
+            got: n,
+        });
+    }
+
+    let mut points = Vec::with_capacity(sizes.len());
+    for &m in &sizes {
+        let mut rs_sum = 0.0;
+        let mut blocks = 0usize;
+        for chunk in series.chunks_exact(m) {
+            let mean = chunk.iter().sum::<f64>() / m as f64;
+            let mut cum = 0.0;
+            let mut min_cum: f64 = 0.0;
+            let mut max_cum: f64 = 0.0;
+            let mut var = 0.0;
+            for &x in chunk {
+                let d = x - mean;
+                cum += d;
+                min_cum = min_cum.min(cum);
+                max_cum = max_cum.max(cum);
+                var += d * d;
+            }
+            let s = (var / m as f64).sqrt();
+            if s > 0.0 {
+                rs_sum += (max_cum - min_cum) / s;
+                blocks += 1;
+            }
+        }
+        if blocks > 0 {
+            let rs = rs_sum / blocks as f64;
+            if rs > 0.0 {
+                points.push(((m as f64).log10(), rs.log10()));
+            }
+        }
+    }
+    if points.len() < 3 {
+        return Err(StatsError::DegenerateSeries);
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let regression = fit_line(&xs, &ys)?;
+    Ok(HurstEstimate {
+        h: regression.slope,
+        regression,
+        points,
+    })
+}
+
+/// Aggregated-variance (variance–time) Hurst estimator.
+///
+/// For each aggregation factor `m` in a power-of-two ladder the series is
+/// block-averaged and the sample variance of the aggregated series is
+/// computed; `log Var(X^(m))` is regressed on `log m`, and
+/// `H = 1 + slope/2`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for series shorter than
+/// [`MIN_SERIES_LEN`] and [`StatsError::DegenerateSeries`] if the series
+/// has zero variance.
+pub fn aggregated_variance(series: &[f64]) -> Result<HurstEstimate> {
+    check_len(series)?;
+    let n = series.len();
+    let mut points = Vec::new();
+    let mut m = 1usize;
+    while n / m >= 8 {
+        let agg = aggregate_mean(series, m);
+        let k = agg.len() as f64;
+        let mean = agg.iter().sum::<f64>() / k;
+        let var = agg.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (k - 1.0);
+        if var > 0.0 {
+            points.push(((m as f64).log10(), var.log10()));
+        }
+        m *= 2;
+    }
+    if points.len() < 3 {
+        return Err(StatsError::DegenerateSeries);
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let regression = fit_line(&xs, &ys)?;
+    Ok(HurstEstimate {
+        h: (1.0 + regression.slope / 2.0).clamp(0.0, 1.0),
+        regression,
+        points,
+    })
+}
+
+/// Periodogram (Geweke–Porter-Hudak) Hurst estimator.
+///
+/// Regresses the log periodogram on log frequency over the lowest
+/// `cutoff_fraction` of Fourier frequencies; the spectral density of an
+/// LRD process behaves like `f^(1−2H)` near the origin, so
+/// `H = (1 − slope) / 2`.
+///
+/// A `cutoff_fraction` of 0.1 (the conventional choice) uses the lowest
+/// 10% of frequencies.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `cutoff_fraction` is not in
+/// `(0, 1]`, and propagates length errors from the periodogram.
+pub fn periodogram_estimate(series: &[f64], cutoff_fraction: f64) -> Result<HurstEstimate> {
+    if !(cutoff_fraction > 0.0 && cutoff_fraction <= 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "cutoff_fraction",
+            reason: "must lie in (0, 1]",
+        });
+    }
+    check_len(series)?;
+    let p = periodogram(series)?;
+    let keep = ((p.len() as f64 * cutoff_fraction).ceil() as usize).max(4).min(p.len());
+    let mut points = Vec::with_capacity(keep);
+    for &(f, i) in p.iter().take(keep) {
+        if i > 0.0 {
+            points.push((f.log10(), i.log10()));
+        }
+    }
+    if points.len() < 4 {
+        return Err(StatsError::DegenerateSeries);
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let regression = fit_line(&xs, &ys)?;
+    Ok(HurstEstimate {
+        h: ((1.0 - regression.slope) / 2.0).clamp(0.0, 1.5),
+        regression,
+        points,
+    })
+}
+
+/// Abry–Veitch wavelet Hurst estimator using the Haar wavelet.
+///
+/// At octave `j` the Haar detail coefficients are (up to normalization)
+/// differences of adjacent block means at scale `2^j`; for long-range
+/// dependent data their energy scales like `2^(j(2H−1))`, so regressing
+/// `log2(energy_j)` on `j` yields `H = (slope + 1) / 2`.
+///
+/// The wavelet estimator is the most robust of the classical methods to
+/// smooth trends and is a useful cross-check on the other three.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for series shorter than
+/// [`MIN_SERIES_LEN`] and [`StatsError::DegenerateSeries`] if fewer than
+/// three octaves carry energy.
+pub fn wavelet_estimate(series: &[f64]) -> Result<HurstEstimate> {
+    check_len(series)?;
+    let mut approx: Vec<f64> = series.to_vec();
+    let mut points = Vec::new();
+    let mut octave = 1i32;
+    while approx.len() >= 8 {
+        let pairs = approx.len() / 2;
+        let mut energy = 0.0;
+        let mut next = Vec::with_capacity(pairs);
+        for k in 0..pairs {
+            let a = approx[2 * k];
+            let b = approx[2 * k + 1];
+            // Orthonormal Haar: detail = (a − b)/√2, approx = (a + b)/√2.
+            let d = (a - b) / std::f64::consts::SQRT_2;
+            energy += d * d;
+            next.push((a + b) / std::f64::consts::SQRT_2);
+        }
+        let mean_energy = energy / pairs as f64;
+        if mean_energy > 0.0 {
+            points.push((octave as f64, mean_energy.log2()));
+        }
+        approx = next;
+        octave += 1;
+    }
+    if points.len() < 3 {
+        return Err(StatsError::DegenerateSeries);
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let regression = fit_line(&xs, &ys)?;
+    Ok(HurstEstimate {
+        h: ((regression.slope + 1.0) / 2.0).clamp(0.0, 1.5),
+        regression,
+        points,
+    })
+}
+
+/// All four Hurst estimates for one series, as reported in the
+/// burstiness tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HurstSummary {
+    /// R/S estimate.
+    pub rs: f64,
+    /// Aggregated-variance estimate.
+    pub aggregated_variance: f64,
+    /// Periodogram (GPH) estimate at the conventional 10% cutoff.
+    pub periodogram: f64,
+    /// Abry–Veitch wavelet estimate.
+    pub wavelet: f64,
+}
+
+impl HurstSummary {
+    /// Median of the four estimates — a robust single-number summary.
+    /// (With an even count, the lower-middle order statistic is used, a
+    /// deliberately conservative choice for burstiness claims.)
+    pub fn median(&self) -> f64 {
+        let mut v = [
+            self.rs,
+            self.aggregated_variance,
+            self.periodogram,
+            self.wavelet,
+        ];
+        v.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+        v[1]
+    }
+}
+
+/// Runs all four estimators on `series`.
+///
+/// # Errors
+///
+/// Propagates the first estimator error encountered.
+pub fn estimate_all(series: &[f64]) -> Result<HurstSummary> {
+    Ok(HurstSummary {
+        rs: rescaled_range(series)?.h,
+        aggregated_variance: aggregated_variance(series)?.h,
+        periodogram: periodogram_estimate(series, 0.1)?.h,
+        wavelet: wavelet_estimate(series)?.h,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic standard-normal-ish noise via a 64-bit LCG and the
+    /// sum-of-12-uniforms approximation.
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        let mut uniform = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| (0..12).map(|_| uniform()).sum::<f64>() - 6.0)
+            .collect()
+    }
+
+    /// A strongly long-range-dependent series: cumulative-sum-based
+    /// "random walk increments smoothed at many scales" — approximates
+    /// fGn with high H by superposing slow sinusoids with 1/f-like weights.
+    fn lrd_series(n: usize) -> Vec<f64> {
+        let mut s = vec![0.0; n];
+        let mut state = 42u64;
+        let mut uniform = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+        };
+        // Superpose octave-spaced components with amplitudes growing with
+        // period: gives power concentrated at low frequencies.
+        let mut period = 2.0;
+        while period < n as f64 {
+            let amp = period.powf(0.4);
+            let phase = uniform() * std::f64::consts::TAU;
+            for (i, v) in s.iter_mut().enumerate() {
+                *v += amp * (std::f64::consts::TAU * i as f64 / period + phase).sin();
+            }
+            period *= 2.0;
+        }
+        // Add white noise so no block is degenerate.
+        for (v, w) in s.iter_mut().zip(noise(n, 7)) {
+            *v += w;
+        }
+        s
+    }
+
+    #[test]
+    fn white_noise_has_h_near_half() {
+        let s = noise(8192, 1234);
+        let h = estimate_all(&s).unwrap();
+        assert!((h.rs - 0.5).abs() < 0.15, "R/S H = {}", h.rs);
+        assert!(
+            (h.aggregated_variance - 0.5).abs() < 0.15,
+            "agg-var H = {}",
+            h.aggregated_variance
+        );
+        assert!(
+            (h.periodogram - 0.5).abs() < 0.25,
+            "periodogram H = {}",
+            h.periodogram
+        );
+        assert!((h.wavelet - 0.5).abs() < 0.15, "wavelet H = {}", h.wavelet);
+    }
+
+    #[test]
+    fn lrd_series_has_high_h() {
+        let s = lrd_series(8192);
+        let h = estimate_all(&s).unwrap();
+        assert!(h.rs > 0.65, "R/S H = {}", h.rs);
+        assert!(h.aggregated_variance > 0.65, "agg-var H = {}", h.aggregated_variance);
+        assert!(h.periodogram > 0.65, "periodogram H = {}", h.periodogram);
+        assert!(h.wavelet > 0.65, "wavelet H = {}", h.wavelet);
+        assert!(h.median() > 0.65);
+    }
+
+    #[test]
+    fn estimators_order_h_correctly() {
+        // The LRD series must score strictly higher than white noise on
+        // every estimator — the discriminative property the paper's
+        // analysis depends on.
+        let lrd = estimate_all(&lrd_series(4096)).unwrap();
+        let wn = estimate_all(&noise(4096, 99)).unwrap();
+        assert!(lrd.rs > wn.rs);
+        assert!(lrd.aggregated_variance > wn.aggregated_variance);
+        assert!(lrd.periodogram > wn.periodogram);
+        assert!(lrd.wavelet > wn.wavelet);
+    }
+
+    #[test]
+    fn short_series_is_rejected() {
+        let s = vec![1.0; 32];
+        assert!(rescaled_range(&s).is_err());
+        assert!(aggregated_variance(&s).is_err());
+        assert!(periodogram_estimate(&s, 0.1).is_err());
+        assert!(wavelet_estimate(&s).is_err());
+    }
+
+    #[test]
+    fn constant_series_is_degenerate() {
+        let s = vec![5.0; 1024];
+        assert!(rescaled_range(&s).is_err());
+        assert!(aggregated_variance(&s).is_err());
+        assert!(wavelet_estimate(&s).is_err());
+    }
+
+    #[test]
+    fn wavelet_exposes_octave_points() {
+        let s = noise(4096, 17);
+        let e = wavelet_estimate(&s).unwrap();
+        // 4096 = 2^12 halves down to 8: octaves 1..=9.
+        assert!(e.points.len() >= 8, "{} octaves", e.points.len());
+        assert_eq!(e.points[0].0, 1.0);
+        assert!(e.regression.n == e.points.len());
+    }
+
+    #[test]
+    fn periodogram_cutoff_is_validated() {
+        let s = noise(256, 5);
+        assert!(periodogram_estimate(&s, 0.0).is_err());
+        assert!(periodogram_estimate(&s, 1.5).is_err());
+        assert!(periodogram_estimate(&s, 1.0).is_ok());
+    }
+
+    #[test]
+    fn estimate_exposes_fit_diagnostics() {
+        let s = lrd_series(2048);
+        let e = aggregated_variance(&s).unwrap();
+        assert!(e.points.len() >= 3);
+        assert!(e.regression.r_squared > 0.5);
+        assert_eq!(e.regression.n, e.points.len());
+    }
+
+    #[test]
+    fn median_of_summary() {
+        let h = HurstSummary {
+            rs: 0.9,
+            aggregated_variance: 0.7,
+            periodogram: 0.8,
+            wavelet: 0.85,
+        };
+        // Lower-middle order statistic of {0.7, 0.8, 0.85, 0.9}.
+        assert_eq!(h.median(), 0.8);
+    }
+}

@@ -1,0 +1,64 @@
+//! Statistical substrate for disk-level workload characterization.
+//!
+//! `spindle-stats` provides the numerical machinery that the higher-level
+//! [`spindle-core`](https://example.com/spindle) characterization framework
+//! is built on. Everything here is implemented from scratch on top of the
+//! standard library so that the whole analysis pipeline is self-contained
+//! and deterministic:
+//!
+//! * **Streaming summaries** — [`moments::StreamingMoments`] (numerically
+//!   stable mean/variance/skewness/kurtosis), [`quantile::P2Quantile`]
+//!   (constant-memory quantile estimation).
+//! * **Empirical distributions** — [`histogram::Histogram`] and
+//!   [`histogram::LogHistogram`], [`ecdf::Ecdf`] with CDF/CCDF/quantile
+//!   queries.
+//! * **Correlation structure** — [`acf`] (autocovariance and
+//!   autocorrelation), [`dispersion`] (index of dispersion for counts,
+//!   peak-to-mean ratios), [`fft`] (radix-2 FFT and periodogram).
+//! * **Self-similarity** — [`hurst`] (rescaled-range, aggregated-variance,
+//!   and periodogram Hurst estimators) built on [`regression`].
+//! * **Model fitting** — [`fit`] (exponential, Pareto, Weibull and
+//!   log-normal maximum-likelihood fits with Kolmogorov–Smirnov distances).
+//! * **Multi-scale views** — [`timeseries`] (aggregation of event streams
+//!   into counts at arbitrary time scales, re-aggregation across scales).
+//!
+//! # Example
+//!
+//! Estimate the burstiness of an arrival process by comparing the index of
+//! dispersion of its per-second counts against the Poisson baseline of 1:
+//!
+//! ```
+//! use spindle_stats::dispersion::index_of_dispersion;
+//!
+//! // Perfectly regular counts: dispersion well below 1 (smoother than Poisson).
+//! let regular = vec![5.0_f64; 64];
+//! assert!(index_of_dispersion(&regular).unwrap() < 0.01);
+//!
+//! // Alternating feast/famine: dispersion far above 1 (burstier than Poisson).
+//! let bursty: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect();
+//! assert!(index_of_dispersion(&bursty).unwrap() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod acf;
+pub mod dispersion;
+pub mod ecdf;
+pub mod fft;
+pub mod fit;
+pub mod histogram;
+pub mod hurst;
+pub mod moments;
+pub mod quantile;
+pub mod regression;
+pub mod special;
+pub mod timeseries;
+
+mod error;
+
+pub use error::StatsError;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,369 @@
+//! Numerically stable streaming moment accumulation.
+//!
+//! [`StreamingMoments`] maintains count, mean, and second through fourth
+//! central moments in a single pass using the online update formulas of
+//! Pébay (2008), a generalization of Welford's algorithm. Accumulators can
+//! be [merged](StreamingMoments::merge), which makes them suitable for
+//! parallel reduction over partitioned traces.
+
+/// Single-pass accumulator of the first four moments of a sample.
+///
+/// # Example
+///
+/// ```
+/// use spindle_stats::moments::StreamingMoments;
+///
+/// let mut m = StreamingMoments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.count(), 8);
+/// assert!((m.mean() - 5.0).abs() < 1e-12);
+/// assert!((m.population_variance().unwrap() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StreamingMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingMoments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Creates an accumulator pre-loaded with the given sample.
+    pub fn from_slice(sample: &[f64]) -> Self {
+        let mut m = Self::new();
+        m.extend_from_slice(sample);
+        m
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Adds every observation in `sample`.
+    pub fn extend_from_slice(&mut self, sample: &[f64]) {
+        for &x in sample {
+            self.push(x);
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    ///
+    /// The result is identical (up to floating-point rounding) to having
+    /// pushed both underlying samples into a single accumulator, so traces
+    /// can be summarized shard-by-shard in parallel and reduced at the end.
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta2 * delta2;
+
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+        let mean = self.mean + delta * nb / n;
+
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations accumulated.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no observations have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sample mean. Returns `0.0` for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.n as f64
+    }
+
+    /// Smallest observation seen, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest observation seen, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Population (biased, divide-by-n) variance.
+    ///
+    /// Returns `None` when empty.
+    pub fn population_variance(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.m2 / self.n as f64)
+        }
+    }
+
+    /// Sample (unbiased, divide-by-n−1) variance.
+    ///
+    /// Returns `None` when fewer than two observations were seen.
+    pub fn sample_variance(&self) -> Option<f64> {
+        if self.n < 2 {
+            None
+        } else {
+            Some(self.m2 / (self.n - 1) as f64)
+        }
+    }
+
+    /// Sample standard deviation (square root of [`sample_variance`]).
+    ///
+    /// Returns `None` when fewer than two observations were seen.
+    ///
+    /// [`sample_variance`]: StreamingMoments::sample_variance
+    pub fn sample_std_dev(&self) -> Option<f64> {
+        self.sample_variance().map(f64::sqrt)
+    }
+
+    /// Coefficient of variation: standard deviation divided by mean.
+    ///
+    /// A key burstiness indicator — an exponential interarrival process has
+    /// CoV 1, burstier processes exceed it. Returns `None` when fewer than
+    /// two observations were seen or when the mean is zero.
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        let sd = self.sample_std_dev()?;
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(sd / self.mean.abs())
+        }
+    }
+
+    /// Skewness (third standardized moment, biased estimator).
+    ///
+    /// Returns `None` when fewer than two observations were seen or the
+    /// variance is zero.
+    pub fn skewness(&self) -> Option<f64> {
+        if self.n < 2 || self.m2 == 0.0 {
+            return None;
+        }
+        let n = self.n as f64;
+        Some(n.sqrt() * self.m3 / self.m2.powf(1.5))
+    }
+
+    /// Excess kurtosis (fourth standardized moment minus 3, biased
+    /// estimator). Zero for a normal distribution.
+    ///
+    /// Returns `None` when fewer than two observations were seen or the
+    /// variance is zero.
+    pub fn excess_kurtosis(&self) -> Option<f64> {
+        if self.n < 2 || self.m2 == 0.0 {
+            return None;
+        }
+        let n = self.n as f64;
+        Some(n * self.m4 / (self.m2 * self.m2) - 3.0)
+    }
+}
+
+impl FromIterator<f64> for StreamingMoments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut m = StreamingMoments::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
+impl Extend<f64> for StreamingMoments {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_moments(xs: &[f64]) -> (f64, f64, f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let m2 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>();
+        let m3 = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>();
+        let m4 = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>();
+        (mean, m2, m3, m4)
+    }
+
+    #[test]
+    fn empty_accumulator_yields_none() {
+        let m = StreamingMoments::new();
+        assert!(m.is_empty());
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.population_variance(), None);
+        assert_eq!(m.sample_variance(), None);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+        assert_eq!(m.skewness(), None);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut m = StreamingMoments::new();
+        m.push(42.0);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.mean(), 42.0);
+        assert_eq!(m.population_variance(), Some(0.0));
+        assert_eq!(m.sample_variance(), None);
+        assert_eq!(m.min(), Some(42.0));
+        assert_eq!(m.max(), Some(42.0));
+    }
+
+    #[test]
+    fn matches_naive_two_pass_computation() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 / 7.0).collect();
+        let m = StreamingMoments::from_slice(&xs);
+        let (mean, m2, _m3, _m4) = naive_moments(&xs);
+        assert!((m.mean() - mean).abs() < 1e-9);
+        assert!((m.population_variance().unwrap() - m2 / xs.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn skewness_sign_reflects_tail() {
+        // Right-skewed sample: long right tail.
+        let right: Vec<f64> = vec![1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 10.0, 50.0];
+        let m = StreamingMoments::from_slice(&right);
+        assert!(m.skewness().unwrap() > 1.0);
+
+        // Mirrored sample must have the opposite skew.
+        let left: Vec<f64> = right.iter().map(|x| -x).collect();
+        let ml = StreamingMoments::from_slice(&left);
+        assert!(ml.skewness().unwrap() < -1.0);
+    }
+
+    #[test]
+    fn kurtosis_of_uniform_is_negative() {
+        // Uniform distribution has excess kurtosis -1.2.
+        let xs: Vec<f64> = (0..10_000).map(|i| i as f64 / 9_999.0).collect();
+        let m = StreamingMoments::from_slice(&xs);
+        assert!((m.excess_kurtosis().unwrap() + 1.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn merge_equals_sequential_push() {
+        let xs: Vec<f64> = (0..300).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let (a, b) = xs.split_at(137);
+        let mut ma = StreamingMoments::from_slice(a);
+        let mb = StreamingMoments::from_slice(b);
+        ma.merge(&mb);
+        let full = StreamingMoments::from_slice(&xs);
+        assert_eq!(ma.count(), full.count());
+        assert!((ma.mean() - full.mean()).abs() < 1e-10);
+        assert!((ma.population_variance().unwrap() - full.population_variance().unwrap()).abs() < 1e-8);
+        assert!((ma.skewness().unwrap() - full.skewness().unwrap()).abs() < 1e-8);
+        assert!((ma.excess_kurtosis().unwrap() - full.excess_kurtosis().unwrap()).abs() < 1e-8);
+        assert_eq!(ma.min(), full.min());
+        assert_eq!(ma.max(), full.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m = StreamingMoments::from_slice(&[1.0, 2.0, 3.0]);
+        let before = m;
+        m.merge(&StreamingMoments::new());
+        assert_eq!(m, before);
+
+        let mut e = StreamingMoments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn coefficient_of_variation_of_exponential_like_sample() {
+        // Deterministic sample: CoV must be 0.
+        let m = StreamingMoments::from_slice(&[3.0; 100]);
+        assert!(m.coefficient_of_variation().unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let m: StreamingMoments = (1..=5).map(|i| i as f64).collect();
+        assert_eq!(m.count(), 5);
+        assert!((m.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_is_mean_times_count() {
+        let m = StreamingMoments::from_slice(&[1.5, 2.5, 6.0]);
+        assert!((m.sum() - 10.0).abs() < 1e-12);
+    }
+}

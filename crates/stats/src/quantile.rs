@@ -1,0 +1,300 @@
+//! Constant-memory streaming quantile estimation.
+//!
+//! [`P2Quantile`] implements the P² (P-square) algorithm of Jain & Chlamtac
+//! (1985): it tracks five markers whose heights approximate the target
+//! quantile without storing the sample. This is what the characterization
+//! pipeline uses for percentiles of very long request streams (hundreds of
+//! millions of events) where an exact [`Ecdf`](crate::ecdf::Ecdf) would not
+//! fit in memory.
+
+use crate::{Result, StatsError};
+
+/// Streaming estimator of a single quantile using the P² algorithm.
+///
+/// # Example
+///
+/// ```
+/// use spindle_stats::quantile::P2Quantile;
+///
+/// let mut p90 = P2Quantile::new(0.9).unwrap();
+/// for i in 1..=10_000 {
+///     p90.push(i as f64);
+/// }
+/// let est = p90.estimate().unwrap();
+/// assert!((est - 9_000.0).abs() / 9_000.0 < 0.02);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated order statistics).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based sample indices).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Number of observations seen so far.
+    count: u64,
+    /// First five observations, buffered until initialization.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `0 < q < 1`.
+    pub fn new(q: f64) -> Result<Self> {
+        if !(q > 0.0 && q < 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "q",
+                reason: "quantile must lie strictly between 0 and 1",
+            });
+        }
+        Ok(P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        })
+    }
+
+    /// The quantile this estimator targets.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN not supported"));
+                for (h, &v) in self.heights.iter_mut().zip(&self.initial) {
+                    *h = v;
+                }
+            }
+            return;
+        }
+
+        // Find cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions[k + 1..].iter_mut() {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers if they drifted from their desired spots.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d_sign = d.signum();
+                let candidate = self.parabolic(i, d_sign);
+                self.heights[i] = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d_sign)
+                };
+                self.positions[i] += d_sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let h = &self.heights;
+        let p = &self.positions;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let h = &self.heights;
+        let p = &self.positions;
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        h[i] + d * (h[j] - h[i]) / (p[j] - p[i])
+    }
+
+    /// Current quantile estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] if no observation was pushed.
+    pub fn estimate(&self) -> Result<f64> {
+        if self.count == 0 {
+            return Err(StatsError::EmptySample);
+        }
+        if self.initial.len() < 5 {
+            // Fewer than five observations: exact quantile over the buffer.
+            let mut v = self.initial.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN not supported"));
+            let idx = ((self.q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+            return Ok(v[idx]);
+        }
+        Ok(self.heights[2])
+    }
+}
+
+/// A fixed battery of the quantiles commonly reported in workload tables
+/// (p10, p25, p50, p75, p90, p95, p99), all tracked in one pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileBattery {
+    estimators: Vec<P2Quantile>,
+}
+
+/// Quantile levels tracked by [`QuantileBattery`].
+pub const BATTERY_LEVELS: [f64; 7] = [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99];
+
+impl QuantileBattery {
+    /// Creates a battery tracking [`BATTERY_LEVELS`].
+    pub fn new() -> Self {
+        QuantileBattery {
+            estimators: BATTERY_LEVELS
+                .iter()
+                .map(|&q| P2Quantile::new(q).expect("levels are in (0,1)"))
+                .collect(),
+        }
+    }
+
+    /// Adds one observation to every estimator.
+    pub fn push(&mut self, x: f64) {
+        for e in &mut self.estimators {
+            e.push(x);
+        }
+    }
+
+    /// Returns `(level, estimate)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] if no observation was pushed.
+    pub fn estimates(&self) -> Result<Vec<(f64, f64)>> {
+        self.estimators
+            .iter()
+            .map(|e| Ok((e.q(), e.estimate()?)))
+            .collect()
+    }
+}
+
+impl Default for QuantileBattery {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_quantiles() {
+        assert!(P2Quantile::new(0.0).is_err());
+        assert!(P2Quantile::new(1.0).is_err());
+        assert!(P2Quantile::new(-0.5).is_err());
+        assert!(P2Quantile::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn empty_estimator_errors() {
+        let e = P2Quantile::new(0.5).unwrap();
+        assert_eq!(e.estimate(), Err(StatsError::EmptySample));
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut e = P2Quantile::new(0.5).unwrap();
+        e.push(3.0);
+        e.push(1.0);
+        e.push(2.0);
+        assert_eq!(e.estimate().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut e = P2Quantile::new(0.5).unwrap();
+        // Deterministic shuffled-ish stream via multiplicative hashing.
+        for i in 0..100_000u64 {
+            let x = (i.wrapping_mul(2654435761) % 100_000) as f64;
+            e.push(x);
+        }
+        let est = e.estimate().unwrap();
+        assert!(
+            (est - 50_000.0).abs() / 50_000.0 < 0.02,
+            "median estimate was {est}"
+        );
+    }
+
+    #[test]
+    fn p99_of_heavy_tail() {
+        // Pareto-like: x = (1-u)^(-1/2), p99 = 100^(1/2) = 10.
+        let mut e = P2Quantile::new(0.99).unwrap();
+        for i in 0..200_000u64 {
+            let u = ((i.wrapping_mul(2654435761) % 200_000) as f64 + 0.5) / 200_000.0;
+            e.push((1.0 - u).powf(-0.5));
+        }
+        let est = e.estimate().unwrap();
+        assert!((est - 10.0).abs() / 10.0 < 0.10, "p99 estimate was {est}");
+    }
+
+    #[test]
+    fn battery_reports_all_levels_in_order() {
+        let mut b = QuantileBattery::new();
+        for i in 0..10_000u64 {
+            b.push((i.wrapping_mul(2654435761) % 10_000) as f64);
+        }
+        let est = b.estimates().unwrap();
+        assert_eq!(est.len(), BATTERY_LEVELS.len());
+        // Estimates must be (weakly) increasing across increasing levels.
+        for w in est.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 1e-9,
+                "quantile estimates not monotone: {est:?}"
+            );
+        }
+        // Median near 5000.
+        let median = est.iter().find(|(q, _)| *q == 0.5).unwrap().1;
+        assert!((median - 5_000.0).abs() < 300.0);
+    }
+
+    #[test]
+    fn count_tracks_pushes() {
+        let mut e = P2Quantile::new(0.9).unwrap();
+        for i in 0..17 {
+            e.push(i as f64);
+        }
+        assert_eq!(e.count(), 17);
+    }
+}

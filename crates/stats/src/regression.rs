@@ -1,0 +1,182 @@
+//! Ordinary least-squares linear regression.
+//!
+//! Used by the Hurst estimators, which all reduce to fitting a slope on a
+//! log–log plot (variance–time, R/S–n, periodogram–frequency).
+
+use crate::{Result, StatsError};
+
+/// Result of a simple linear regression `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Regression {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl Regression {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y ≈ a + b·x` by ordinary least squares.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than two points,
+/// [`StatsError::InvalidParameter`] if the slices differ in length, and
+/// [`StatsError::DegenerateSeries`] if all `x` values coincide.
+///
+/// # Example
+///
+/// ```
+/// use spindle_stats::regression::fit_line;
+///
+/// let x = [0.0, 1.0, 2.0, 3.0];
+/// let y = [1.0, 3.0, 5.0, 7.0];
+/// let r = fit_line(&x, &y).unwrap();
+/// assert!((r.slope - 2.0).abs() < 1e-12);
+/// assert!((r.intercept - 1.0).abs() < 1e-12);
+/// assert!((r.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn fit_line(x: &[f64], y: &[f64]) -> Result<Regression> {
+    if x.len() != y.len() {
+        return Err(StatsError::InvalidParameter {
+            name: "x/y",
+            reason: "slices must have equal length",
+        });
+    }
+    let n = x.len();
+    if n < 2 {
+        return Err(StatsError::InsufficientData { needed: 2, got: n });
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(StatsError::DegenerateSeries);
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 {
+        1.0 // y is constant and perfectly predicted by a zero slope
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Ok(Regression {
+        slope,
+        intercept,
+        r_squared,
+        n,
+    })
+}
+
+/// Fits a power law `y ≈ c · x^p` by regressing `ln y` on `ln x`, returning
+/// the regression in log space (slope = exponent `p`).
+///
+/// Points with non-positive `x` or `y` are skipped; at least two valid
+/// points are required.
+///
+/// # Errors
+///
+/// Same conditions as [`fit_line`] applied to the log-transformed points.
+pub fn fit_power_law(x: &[f64], y: &[f64]) -> Result<Regression> {
+    if x.len() != y.len() {
+        return Err(StatsError::InvalidParameter {
+            name: "x/y",
+            reason: "slices must have equal length",
+        });
+    }
+    let mut lx = Vec::with_capacity(x.len());
+    let mut ly = Vec::with_capacity(y.len());
+    for (&a, &b) in x.iter().zip(y) {
+        if a > 0.0 && b > 0.0 {
+            lx.push(a.ln());
+            ly.push(b.ln());
+        }
+    }
+    fit_line(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| -3.0 + 0.5 * v).collect();
+        let r = fit_line(&x, &y).unwrap();
+        assert!((r.slope - 0.5).abs() < 1e-12);
+        assert!((r.intercept + 3.0).abs() < 1e-12);
+        assert!((r.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(r.n, 50);
+        assert!((r.predict(100.0) - 47.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_has_lower_r_squared() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 2.0 * v + if i % 2 == 0 { 20.0 } else { -20.0 })
+            .collect();
+        let r = fit_line(&x, &y).unwrap();
+        assert!((r.slope - 2.0).abs() < 0.05);
+        assert!(r.r_squared < 1.0);
+        assert!(r.r_squared > 0.8);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(fit_line(&[1.0], &[2.0]).is_err());
+        assert!(fit_line(&[1.0, 2.0], &[1.0]).is_err());
+        assert_eq!(
+            fit_line(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::DegenerateSeries)
+        );
+    }
+
+    #[test]
+    fn constant_y_is_perfectly_fit() {
+        let r = fit_line(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(r.slope, 0.0);
+        assert_eq!(r.intercept, 5.0);
+        assert_eq!(r.r_squared, 1.0);
+    }
+
+    #[test]
+    fn power_law_exponent_is_recovered() {
+        let x: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v.powf(-0.7)).collect();
+        let r = fit_power_law(&x, &y).unwrap();
+        assert!((r.slope + 0.7).abs() < 1e-9, "exponent was {}", r.slope);
+        assert!((r.intercept.exp() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_law_skips_nonpositive_points() {
+        let x = [0.0, -1.0, 1.0, 2.0, 4.0];
+        let y = [5.0, 5.0, 1.0, 2.0, 4.0];
+        let r = fit_power_law(&x, &y).unwrap();
+        assert_eq!(r.n, 3);
+        assert!((r.slope - 1.0).abs() < 1e-12);
+    }
+}

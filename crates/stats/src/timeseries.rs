@@ -1,0 +1,222 @@
+//! Multi-scale views of event streams and count series.
+//!
+//! The paper's central methodological move is looking at the *same* traffic
+//! at different time-scales: milliseconds, seconds, minutes, hours. These
+//! helpers convert an event stream (a sorted list of timestamps, optionally
+//! weighted) into per-interval counts at a base scale and re-aggregate
+//! those counts upward.
+
+use crate::{Result, StatsError};
+
+/// Buckets sorted event timestamps into counts per interval of `width`
+/// time units, covering `[t0, t0 + n·width)` where `n` is chosen so that
+/// every event up to `t_end` falls into some bucket.
+///
+/// `t_end` sets the nominal end of the observation window; buckets with no
+/// events are included (crucial: idle periods are data, not absence of
+/// data). Events outside `[t0, t_end)` are ignored.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `width <= 0` or
+/// `t_end <= t0`.
+///
+/// # Example
+///
+/// ```
+/// use spindle_stats::timeseries::counts_per_interval;
+///
+/// let events = [0.5, 0.7, 2.1, 5.9];
+/// let counts = counts_per_interval(&events, 0.0, 6.0, 1.0).unwrap();
+/// assert_eq!(counts, vec![2.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+/// ```
+pub fn counts_per_interval(events: &[f64], t0: f64, t_end: f64, width: f64) -> Result<Vec<f64>> {
+    weighted_counts_per_interval(events.iter().map(|&t| (t, 1.0)), t0, t_end, width)
+}
+
+/// Like [`counts_per_interval`] but each event carries a weight (e.g. bytes
+/// transferred), producing a per-interval *volume* series.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `width <= 0` or
+/// `t_end <= t0`.
+pub fn weighted_counts_per_interval<I>(events: I, t0: f64, t_end: f64, width: f64) -> Result<Vec<f64>>
+where
+    I: IntoIterator<Item = (f64, f64)>,
+{
+    if !(width > 0.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "width",
+            reason: "interval width must be positive",
+        });
+    }
+    if !(t_end > t0) {
+        return Err(StatsError::InvalidParameter {
+            name: "t_end",
+            reason: "observation window must have positive length",
+        });
+    }
+    let n = ((t_end - t0) / width).ceil() as usize;
+    let mut counts = vec![0.0; n.max(1)];
+    for (t, w) in events {
+        if t < t0 || t >= t_end {
+            continue;
+        }
+        let idx = (((t - t0) / width) as usize).min(counts.len() - 1);
+        counts[idx] += w;
+    }
+    Ok(counts)
+}
+
+/// Aggregates a count series by summing non-overlapping blocks of `factor`
+/// consecutive entries. A trailing partial block is dropped (it would bias
+/// the per-block distribution).
+///
+/// `factor == 1` returns a copy of the input; `factor == 0` returns an
+/// empty vector.
+pub fn aggregate_sum(counts: &[f64], factor: usize) -> Vec<f64> {
+    if factor == 0 {
+        return Vec::new();
+    }
+    counts
+        .chunks_exact(factor)
+        .map(|chunk| chunk.iter().sum())
+        .collect()
+}
+
+/// Aggregates a count series by averaging non-overlapping blocks of
+/// `factor` consecutive entries (used by the aggregated-variance Hurst
+/// estimator). A trailing partial block is dropped.
+pub fn aggregate_mean(counts: &[f64], factor: usize) -> Vec<f64> {
+    if factor == 0 {
+        return Vec::new();
+    }
+    counts
+        .chunks_exact(factor)
+        .map(|chunk| chunk.iter().sum::<f64>() / factor as f64)
+        .collect()
+}
+
+/// Interarrival times of a sorted event stream.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than two events, and
+/// [`StatsError::DomainViolation`] if the events are not sorted
+/// non-decreasingly.
+pub fn interarrival_times(events: &[f64]) -> Result<Vec<f64>> {
+    if events.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: events.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(events.len() - 1);
+    for w in events.windows(2) {
+        let d = w[1] - w[0];
+        if d < 0.0 {
+            return Err(StatsError::DomainViolation {
+                reason: "event timestamps must be non-decreasing",
+            });
+        }
+        out.push(d);
+    }
+    Ok(out)
+}
+
+/// Standard ladder of power-of-two aggregation factors `1, 2, 4, …` that
+/// leaves at least `min_intervals` aggregated intervals for a base series
+/// of length `n`.
+pub fn scale_ladder(n: usize, min_intervals: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut f = 1usize;
+    while min_intervals > 0 && n / f >= min_intervals {
+        out.push(f);
+        match f.checked_mul(2) {
+            Some(next) => f = next,
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_include_empty_intervals() {
+        let counts = counts_per_interval(&[0.1, 3.5], 0.0, 5.0, 1.0).unwrap();
+        assert_eq!(counts, vec![1.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn events_outside_window_are_dropped() {
+        let counts = counts_per_interval(&[-1.0, 0.5, 9.9, 10.0, 11.0], 0.0, 10.0, 1.0).unwrap();
+        assert_eq!(counts.iter().sum::<f64>(), 2.0);
+    }
+
+    #[test]
+    fn ragged_window_rounds_up() {
+        let counts = counts_per_interval(&[2.4], 0.0, 2.5, 1.0).unwrap();
+        assert_eq!(counts.len(), 3);
+        assert_eq!(counts[2], 1.0);
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(counts_per_interval(&[1.0], 0.0, 10.0, 0.0).is_err());
+        assert!(counts_per_interval(&[1.0], 0.0, 10.0, -1.0).is_err());
+        assert!(counts_per_interval(&[1.0], 5.0, 5.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn weighted_counts_sum_weights() {
+        let events = [(0.5, 4096.0), (0.6, 8192.0), (1.5, 512.0)];
+        let v = weighted_counts_per_interval(events, 0.0, 2.0, 1.0).unwrap();
+        assert_eq!(v, vec![12288.0, 512.0]);
+    }
+
+    #[test]
+    fn aggregate_sum_drops_partial_tail() {
+        let c = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(aggregate_sum(&c, 2), vec![3.0, 7.0]);
+        assert_eq!(aggregate_sum(&c, 1), c.to_vec());
+        assert_eq!(aggregate_sum(&c, 5), vec![15.0]);
+        assert_eq!(aggregate_sum(&c, 6), Vec::<f64>::new());
+        assert_eq!(aggregate_sum(&c, 0), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn aggregate_mean_averages() {
+        let c = [2.0, 4.0, 6.0, 8.0];
+        assert_eq!(aggregate_mean(&c, 2), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn total_volume_is_preserved_across_scales() {
+        let c: Vec<f64> = (0..64).map(|i| (i % 5) as f64).collect();
+        let total: f64 = c.iter().sum();
+        for f in [1, 2, 4, 8, 16, 32, 64] {
+            let agg = aggregate_sum(&c, f);
+            assert!((agg.iter().sum::<f64>() - total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn interarrivals_basic() {
+        let ia = interarrival_times(&[1.0, 1.5, 4.0]).unwrap();
+        assert_eq!(ia, vec![0.5, 2.5]);
+        assert!(interarrival_times(&[1.0]).is_err());
+        assert!(interarrival_times(&[2.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn ladder_respects_minimum_intervals() {
+        let ladder = scale_ladder(1024, 8);
+        assert_eq!(ladder, vec![1, 2, 4, 8, 16, 32, 64, 128]);
+        assert!(scale_ladder(4, 8).is_empty());
+        assert!(scale_ladder(100, 0).is_empty());
+    }
+}

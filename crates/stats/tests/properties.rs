@@ -1,0 +1,151 @@
+//! Property-based tests for the statistical substrate.
+
+use proptest::prelude::*;
+use spindle_stats::acf::acf;
+use spindle_stats::ecdf::Ecdf;
+use spindle_stats::fft::{fft_in_place, ifft_in_place, Complex};
+use spindle_stats::histogram::Histogram;
+use spindle_stats::moments::StreamingMoments;
+use spindle_stats::quantile::P2Quantile;
+use spindle_stats::regression::fit_line;
+use spindle_stats::timeseries::{aggregate_mean, aggregate_sum, counts_per_interval};
+
+fn finite_vec(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, min_len..=max_len)
+}
+
+proptest! {
+    #[test]
+    fn moments_merge_equals_sequential(data in finite_vec(1, 400), split in 0usize..400) {
+        let split = split.min(data.len());
+        let (a, b) = data.split_at(split);
+        let mut merged = StreamingMoments::from_slice(a);
+        merged.merge(&StreamingMoments::from_slice(b));
+        let direct = StreamingMoments::from_slice(&data);
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert!((merged.mean() - direct.mean()).abs() <= 1e-6 * (1.0 + direct.mean().abs()));
+        let (mv, dv) = (
+            merged.population_variance().unwrap(),
+            direct.population_variance().unwrap(),
+        );
+        prop_assert!((mv - dv).abs() <= 1e-4 * (1.0 + dv.abs()));
+    }
+
+    #[test]
+    fn moments_bound_sample(data in finite_vec(1, 200)) {
+        let m = StreamingMoments::from_slice(&data);
+        let min = m.min().unwrap();
+        let max = m.max().unwrap();
+        prop_assert!(min <= m.mean() + 1e-9 && m.mean() <= max + 1e-9);
+        prop_assert!(data.iter().all(|&x| x >= min && x <= max));
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(data in finite_vec(1, 200), probe in -1e6f64..1e6) {
+        let e = Ecdf::new(data).unwrap();
+        let c = e.cdf(probe);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(e.cdf(probe + 1.0) >= c);
+        prop_assert!((e.cdf(probe) + e.ccdf(probe) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_quantile_inverts_cdf(data in finite_vec(1, 200), q in 0.01f64..1.0) {
+        let e = Ecdf::new(data).unwrap();
+        let x = e.quantile(q).unwrap();
+        // At least a q-fraction of the sample is <= quantile(q).
+        prop_assert!(e.cdf(x) + 1e-12 >= q);
+    }
+
+    #[test]
+    fn histogram_conserves_observations(data in finite_vec(0, 300)) {
+        let mut h = Histogram::new(-100.0, 100.0, 16).unwrap();
+        for &x in &data {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total() + h.underflow() + h.overflow(), data.len() as u64);
+    }
+
+    #[test]
+    fn acf_values_are_bounded(data in finite_vec(16, 128)) {
+        // A constant series is degenerate; skip that case.
+        let first = data[0];
+        prop_assume!(data.iter().any(|&x| (x - first).abs() > 1e-9));
+        let r = acf(&data, 8).unwrap();
+        prop_assert!((r[0] - 1.0).abs() < 1e-9);
+        for &v in &r {
+            prop_assert!(v.abs() <= 1.0 + 1e-9, "ACF value {v} out of range");
+        }
+    }
+
+    #[test]
+    fn aggregation_preserves_mass(data in finite_vec(0, 256), factor in 1usize..32) {
+        let agg = aggregate_sum(&data, factor);
+        let kept = data.len() / factor * factor;
+        let expected: f64 = data[..kept].iter().sum();
+        let got: f64 = agg.iter().sum();
+        prop_assert!((expected - got).abs() <= 1e-6 * (1.0 + expected.abs()));
+        // Mean aggregation = sum aggregation / factor, elementwise.
+        let am = aggregate_mean(&data, factor);
+        for (s, m) in agg.iter().zip(&am) {
+            prop_assert!((s / factor as f64 - m).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn counts_conserve_in_window_events(
+        events in prop::collection::vec(0.0f64..100.0, 0..200),
+        width in 0.1f64..10.0,
+    ) {
+        let mut sorted = events.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let counts = counts_per_interval(&sorted, 0.0, 100.0, width).unwrap();
+        let total: f64 = counts.iter().sum();
+        prop_assert_eq!(total as usize, sorted.len());
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_signal(data in finite_vec(1, 64)) {
+        let n = data.len().next_power_of_two();
+        let mut buf: Vec<Complex> = data
+            .iter()
+            .map(|&x| Complex::from_real(x))
+            .chain(std::iter::repeat(Complex::default()))
+            .take(n)
+            .collect();
+        let original = buf.clone();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(&original) {
+            prop_assert!((a.re - b.re).abs() < 1e-6 * (1.0 + b.re.abs()));
+            prop_assert!(a.im.abs() < 1e-6 * (1.0 + b.re.abs()));
+        }
+    }
+
+    #[test]
+    fn p2_estimate_is_within_sample_range(data in finite_vec(1, 500), q in 0.01f64..0.99) {
+        let mut est = P2Quantile::new(q).unwrap();
+        for &x in &data {
+            est.push(x);
+        }
+        let v = est.estimate().unwrap();
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9, "estimate {v} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn regression_residuals_are_orthogonal(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..50),
+        slope in -10.0f64..10.0,
+        intercept in -100.0f64..100.0,
+    ) {
+        // Need at least two distinct x values.
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-6));
+        let ys: Vec<f64> = xs.iter().map(|&x| intercept + slope * x).collect();
+        let r = fit_line(&xs, &ys).unwrap();
+        prop_assert!((r.slope - slope).abs() < 1e-5 * (1.0 + slope.abs()));
+        prop_assert!((r.intercept - intercept).abs() < 1e-3 * (1.0 + intercept.abs()));
+        prop_assert!(r.r_squared > 1.0 - 1e-6);
+    }
+}

@@ -1,0 +1,652 @@
+//! Arrival-process generators.
+//!
+//! Each model generates a sorted sequence of event times (seconds) over an
+//! observation window. The repertoire spans the burstiness spectrum the
+//! paper's analyses must discriminate:
+//!
+//! * [`ArrivalModel::Poisson`] — the memoryless baseline (IDC ≡ 1,
+//!   H ≈ 0.5).
+//! * [`ArrivalModel::Mmpp2`] — 2-state Markov-modulated Poisson: bursty
+//!   at the sojourn time scale, smooth beyond it.
+//! * [`ArrivalModel::ParetoOnOff`] — superposition of on/off sources with
+//!   heavy-tailed (Pareto) sojourns; by the classical Taqqu–Willinger–
+//!   Sherman result the superposition is asymptotically self-similar with
+//!   `H = (3 − α)/2`.
+//! * [`ArrivalModel::FgnRate`] — doubly-stochastic Poisson process whose
+//!   rate follows exponentiated fractional Gaussian noise: exactly
+//!   long-range dependent counts with a prescribed Hurst parameter.
+
+use crate::fgn::sample_fgn;
+use crate::{Result, SynthError};
+use rand::Rng;
+
+/// An arrival-process model. See the module docs for the statistical
+/// properties of each variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalModel {
+    /// Homogeneous Poisson process.
+    Poisson {
+        /// Mean arrival rate (events per second).
+        rate: f64,
+    },
+    /// Two-state Markov-modulated Poisson process.
+    Mmpp2 {
+        /// Arrival rate in the quiet state.
+        rate_low: f64,
+        /// Arrival rate in the burst state.
+        rate_high: f64,
+        /// Mean sojourn in the quiet state (seconds).
+        mean_sojourn_low: f64,
+        /// Mean sojourn in the burst state (seconds).
+        mean_sojourn_high: f64,
+    },
+    /// Superposition of independent Pareto on/off sources.
+    ParetoOnOff {
+        /// Number of superposed sources.
+        sources: u32,
+        /// Pareto tail index of on/off sojourns; `1 < alpha < 2` yields
+        /// long-range dependence with `H = (3 − alpha) / 2`.
+        alpha: f64,
+        /// Mean on (and off) sojourn duration in seconds.
+        mean_sojourn: f64,
+        /// Event rate of one source while on.
+        rate_on: f64,
+    },
+    /// Poisson process modulated by exponentiated fractional Gaussian
+    /// noise.
+    FgnRate {
+        /// Target Hurst parameter of the count process.
+        hurst: f64,
+        /// Mean arrival rate (events per second).
+        mean_rate: f64,
+        /// Log-space standard deviation of the rate modulation (0 =
+        /// plain Poisson; 0.5–1.0 = strongly bursty).
+        sigma: f64,
+        /// Modulation interval in seconds (the base scale of the rate
+        /// process).
+        interval_secs: f64,
+    },
+    /// An inner arrival process gated by a heavy-tailed on/off *session*
+    /// process: during off sojourns no requests reach the disk at all.
+    ///
+    /// This is what produces the long quiescent stretches observed in
+    /// disk-level traces — applications sleep for minutes at a time, so
+    /// the idle-time distribution has mass at the seconds-to-minutes
+    /// scale that no rate-modulated model reproduces.
+    Gated {
+        /// The arrival process active during on sojourns.
+        inner: Box<ArrivalModel>,
+        /// Pareto tail index of the sojourn durations (`1 < alpha < 2`
+        /// gives heavy-tailed sessions).
+        alpha: f64,
+        /// Mean on-sojourn duration in seconds.
+        mean_on_secs: f64,
+        /// Mean off-sojourn duration in seconds.
+        mean_off_secs: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalModel::Poisson { .. } => "poisson",
+            ArrivalModel::Mmpp2 { .. } => "mmpp2",
+            ArrivalModel::ParetoOnOff { .. } => "pareto-on-off",
+            ArrivalModel::FgnRate { .. } => "fgn-rate",
+            ArrivalModel::Gated { .. } => "gated",
+        }
+    }
+
+    /// Long-run mean arrival rate in events per second.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalModel::Poisson { rate } => rate,
+            ArrivalModel::Mmpp2 {
+                rate_low,
+                rate_high,
+                mean_sojourn_low,
+                mean_sojourn_high,
+            } => {
+                let p_high = mean_sojourn_high / (mean_sojourn_low + mean_sojourn_high);
+                rate_high * p_high + rate_low * (1.0 - p_high)
+            }
+            ArrivalModel::ParetoOnOff {
+                sources, rate_on, ..
+            } => {
+                // On and off sojourns share a mean, so each source is on
+                // half the time.
+                sources as f64 * rate_on * 0.5
+            }
+            ArrivalModel::FgnRate { mean_rate, .. } => mean_rate,
+            ArrivalModel::Gated {
+                ref inner,
+                mean_on_secs,
+                mean_off_secs,
+                ..
+            } => inner.mean_rate() * mean_on_secs / (mean_on_secs + mean_off_secs),
+        }
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidParameter`] describing the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        let positive = |name: &'static str, v: f64| {
+            if v > 0.0 {
+                Ok(())
+            } else {
+                Err(SynthError::InvalidParameter {
+                    name,
+                    reason: "must be positive",
+                })
+            }
+        };
+        match *self {
+            ArrivalModel::Poisson { rate } => positive("rate", rate),
+            ArrivalModel::Mmpp2 {
+                rate_low,
+                rate_high,
+                mean_sojourn_low,
+                mean_sojourn_high,
+            } => {
+                positive("rate_high", rate_high)?;
+                positive("mean_sojourn_low", mean_sojourn_low)?;
+                positive("mean_sojourn_high", mean_sojourn_high)?;
+                if rate_low < 0.0 {
+                    return Err(SynthError::InvalidParameter {
+                        name: "rate_low",
+                        reason: "must be non-negative",
+                    });
+                }
+                Ok(())
+            }
+            ArrivalModel::ParetoOnOff {
+                sources,
+                alpha,
+                mean_sojourn,
+                rate_on,
+            } => {
+                if sources == 0 {
+                    return Err(SynthError::InvalidParameter {
+                        name: "sources",
+                        reason: "need at least one source",
+                    });
+                }
+                if !(alpha > 1.0 && alpha < 2.0) {
+                    return Err(SynthError::InvalidParameter {
+                        name: "alpha",
+                        reason: "tail index must lie in (1, 2) for LRD",
+                    });
+                }
+                positive("mean_sojourn", mean_sojourn)?;
+                positive("rate_on", rate_on)
+            }
+            ArrivalModel::FgnRate {
+                hurst,
+                mean_rate,
+                sigma,
+                interval_secs,
+            } => {
+                if !(hurst > 0.0 && hurst < 1.0) {
+                    return Err(SynthError::InvalidParameter {
+                        name: "hurst",
+                        reason: "must lie in (0, 1)",
+                    });
+                }
+                if sigma < 0.0 {
+                    return Err(SynthError::InvalidParameter {
+                        name: "sigma",
+                        reason: "must be non-negative",
+                    });
+                }
+                positive("mean_rate", mean_rate)?;
+                positive("interval_secs", interval_secs)
+            }
+            ArrivalModel::Gated {
+                ref inner,
+                alpha,
+                mean_on_secs,
+                mean_off_secs,
+            } => {
+                inner.validate()?;
+                if !(alpha > 1.0 && alpha < 2.0) {
+                    return Err(SynthError::InvalidParameter {
+                        name: "alpha",
+                        reason: "session tail index must lie in (1, 2)",
+                    });
+                }
+                positive("mean_on_secs", mean_on_secs)?;
+                positive("mean_off_secs", mean_off_secs)
+            }
+        }
+    }
+
+    /// Generates sorted event times (seconds) over `[0, span_secs)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidParameter`] for invalid model
+    /// parameters or a non-positive span.
+    pub fn generate<R: Rng + ?Sized>(&self, span_secs: f64, rng: &mut R) -> Result<Vec<f64>> {
+        self.validate()?;
+        if !(span_secs > 0.0) {
+            return Err(SynthError::InvalidParameter {
+                name: "span_secs",
+                reason: "observation window must be positive",
+            });
+        }
+        let mut events = match *self {
+            ArrivalModel::Poisson { rate } => poisson_events(rate, 0.0, span_secs, rng),
+            ArrivalModel::Mmpp2 {
+                rate_low,
+                rate_high,
+                mean_sojourn_low,
+                mean_sojourn_high,
+            } => {
+                let mut events = Vec::new();
+                let mut t = 0.0;
+                let mut high = rng.gen_bool(
+                    mean_sojourn_high / (mean_sojourn_low + mean_sojourn_high),
+                );
+                while t < span_secs {
+                    let sojourn_mean = if high { mean_sojourn_high } else { mean_sojourn_low };
+                    let sojourn = exp_sample(1.0 / sojourn_mean, rng);
+                    let end = (t + sojourn).min(span_secs);
+                    let rate = if high { rate_high } else { rate_low };
+                    if rate > 0.0 {
+                        events.extend(poisson_events(rate, t, end, rng));
+                    }
+                    t = end;
+                    high = !high;
+                }
+                events
+            }
+            ArrivalModel::ParetoOnOff {
+                sources,
+                alpha,
+                mean_sojourn,
+                rate_on,
+            } => {
+                // Pareto with mean m and shape a has scale
+                // x_min = m (a − 1) / a.
+                let x_min = mean_sojourn * (alpha - 1.0) / alpha;
+                let mut events = Vec::new();
+                for _ in 0..sources {
+                    let mut t = 0.0;
+                    // Random initial phase: start on or off with equal
+                    // probability.
+                    let mut on = rng.gen_bool(0.5);
+                    while t < span_secs {
+                        let sojourn = pareto_sample(x_min, alpha, rng);
+                        let end = (t + sojourn).min(span_secs);
+                        if on {
+                            events.extend(poisson_events(rate_on, t, end, rng));
+                        }
+                        t = end;
+                        on = !on;
+                    }
+                }
+                events
+            }
+            ArrivalModel::FgnRate {
+                hurst,
+                mean_rate,
+                sigma,
+                interval_secs,
+            } => {
+                let n = (span_secs / interval_secs).ceil() as usize;
+                let n = n.max(2);
+                let noise = sample_fgn(hurst, n, rng)?;
+                let mut events = Vec::new();
+                for (i, &z) in noise.iter().enumerate() {
+                    // Log-normal modulation with unit mean:
+                    // E[exp(σZ − σ²/2)] = 1.
+                    let rate = mean_rate * (sigma * z - sigma * sigma / 2.0).exp();
+                    let start = i as f64 * interval_secs;
+                    let end = ((i + 1) as f64 * interval_secs).min(span_secs);
+                    if end > start && rate > 0.0 {
+                        events.extend(poisson_events(rate, start, end, rng));
+                    }
+                }
+                events
+            }
+            ArrivalModel::Gated {
+                ref inner,
+                alpha,
+                mean_on_secs,
+                mean_off_secs,
+            } => {
+                let inner_events = inner.generate(span_secs, rng)?;
+                // Build the on-window list with truncated-Pareto
+                // sojourns. Truncation (at 8× the mean) keeps the
+                // sojourns heavy-tailed but guarantees the gate actually
+                // alternates within any realistic observation window —
+                // an untruncated Pareto(α≈1.3) regularly draws a single
+                // sojourn longer than the whole trace.
+                let on_scale = mean_on_secs * (alpha - 1.0) / alpha;
+                let off_scale = mean_off_secs * (alpha - 1.0) / alpha;
+                let mut windows: Vec<(f64, f64)> = Vec::new();
+                let mut t = 0.0;
+                let mut on = rng.gen_bool(mean_on_secs / (mean_on_secs + mean_off_secs));
+                while t < span_secs {
+                    let (scale, cap) = if on {
+                        (on_scale, 8.0 * mean_on_secs)
+                    } else {
+                        (off_scale, 8.0 * mean_off_secs)
+                    };
+                    let sojourn = pareto_sample(scale, alpha, rng).min(cap);
+                    let end = (t + sojourn).min(span_secs);
+                    if on {
+                        windows.push((t, end));
+                    }
+                    t = end;
+                    on = !on;
+                }
+                // Keep only events inside on-windows (both lists are
+                // sorted: single linear pass).
+                let mut out = Vec::with_capacity(inner_events.len());
+                let mut w = 0usize;
+                for &e in &inner_events {
+                    while w < windows.len() && windows[w].1 <= e {
+                        w += 1;
+                    }
+                    match windows.get(w) {
+                        Some(&(start, _)) if e >= start => out.push(e),
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+                out
+            }
+        };
+        events.sort_by(|a, b| a.partial_cmp(b).expect("event times are finite"));
+        Ok(events)
+    }
+}
+
+/// Samples an exponential with rate `lambda`.
+fn exp_sample<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+/// Samples a Pareto with scale `x_min` and shape `alpha`.
+fn pareto_sample<R: Rng + ?Sized>(x_min: f64, alpha: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    x_min * u.powf(-1.0 / alpha)
+}
+
+/// Homogeneous Poisson events on `[start, end)`.
+fn poisson_events<R: Rng + ?Sized>(rate: f64, start: f64, end: f64, rng: &mut R) -> Vec<f64> {
+    let mut events = Vec::new();
+    let mut t = start;
+    loop {
+        t += exp_sample(rate, rng);
+        if t >= end {
+            break;
+        }
+        events.push(t);
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spindle_stats::dispersion::{idc_curve, index_of_dispersion};
+    use spindle_stats::timeseries::counts_per_interval;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ArrivalModel::Poisson { rate: 0.0 }.validate().is_err());
+        assert!(ArrivalModel::Mmpp2 {
+            rate_low: -1.0,
+            rate_high: 10.0,
+            mean_sojourn_low: 1.0,
+            mean_sojourn_high: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalModel::ParetoOnOff {
+            sources: 8,
+            alpha: 2.5,
+            mean_sojourn: 1.0,
+            rate_on: 5.0
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalModel::FgnRate {
+            hurst: 1.2,
+            mean_rate: 10.0,
+            sigma: 0.5,
+            interval_secs: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalModel::Poisson { rate: 5.0 }
+            .generate(-1.0, &mut rng(0))
+            .is_err());
+    }
+
+    #[test]
+    fn events_are_sorted_and_in_window() {
+        let models = [
+            ArrivalModel::Poisson { rate: 50.0 },
+            ArrivalModel::Mmpp2 {
+                rate_low: 5.0,
+                rate_high: 200.0,
+                mean_sojourn_low: 2.0,
+                mean_sojourn_high: 0.5,
+            },
+            ArrivalModel::ParetoOnOff {
+                sources: 16,
+                alpha: 1.4,
+                mean_sojourn: 1.0,
+                rate_on: 10.0,
+            },
+            ArrivalModel::FgnRate {
+                hurst: 0.85,
+                mean_rate: 50.0,
+                sigma: 0.7,
+                interval_secs: 0.5,
+            },
+        ];
+        for m in &models {
+            let events = m.generate(30.0, &mut rng(1)).unwrap();
+            assert!(!events.is_empty(), "{} produced no events", m.name());
+            for w in events.windows(2) {
+                assert!(w[1] >= w[0], "{} not sorted", m.name());
+            }
+            assert!(events.iter().all(|&t| (0.0..30.0).contains(&t)));
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches_mean_rate() {
+        for m in [
+            ArrivalModel::Poisson { rate: 80.0 },
+            ArrivalModel::Mmpp2 {
+                rate_low: 10.0,
+                rate_high: 100.0,
+                mean_sojourn_low: 1.0,
+                mean_sojourn_high: 1.0,
+            },
+            ArrivalModel::FgnRate {
+                hurst: 0.8,
+                mean_rate: 60.0,
+                sigma: 0.5,
+                interval_secs: 1.0,
+            },
+        ] {
+            let span = 400.0;
+            let events = m.generate(span, &mut rng(2)).unwrap();
+            let rate = events.len() as f64 / span;
+            let expected = m.mean_rate();
+            assert!(
+                (rate - expected).abs() / expected < 0.25,
+                "{}: rate {rate} vs expected {expected}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_counts_have_unit_dispersion() {
+        let events = ArrivalModel::Poisson { rate: 30.0 }
+            .generate(600.0, &mut rng(3))
+            .unwrap();
+        let counts = counts_per_interval(&events, 0.0, 600.0, 1.0).unwrap();
+        let idc = index_of_dispersion(&counts).unwrap();
+        assert!((idc - 1.0).abs() < 0.3, "IDC {idc}");
+    }
+
+    #[test]
+    fn mmpp_counts_are_overdispersed() {
+        let events = ArrivalModel::Mmpp2 {
+            rate_low: 2.0,
+            rate_high: 150.0,
+            mean_sojourn_low: 3.0,
+            mean_sojourn_high: 1.0,
+        }
+        .generate(600.0, &mut rng(4))
+        .unwrap();
+        let counts = counts_per_interval(&events, 0.0, 600.0, 1.0).unwrap();
+        let idc = index_of_dispersion(&counts).unwrap();
+        assert!(idc > 5.0, "IDC {idc}");
+    }
+
+    #[test]
+    fn fgn_rate_dispersion_grows_across_scales() {
+        // The self-similar signature: IDC keeps growing with the
+        // aggregation scale, unlike Poisson (flat) or MMPP (plateaus past
+        // the sojourn scale).
+        let events = ArrivalModel::FgnRate {
+            hurst: 0.85,
+            mean_rate: 40.0,
+            sigma: 0.8,
+            interval_secs: 0.5,
+        }
+        .generate(4096.0, &mut rng(5))
+        .unwrap();
+        let counts = counts_per_interval(&events, 0.0, 4096.0, 1.0).unwrap();
+        let curve = idc_curve(&counts, &[1, 4, 16, 64, 256]).unwrap();
+        assert!(
+            curve.last().unwrap().idc > curve.first().unwrap().idc * 3.0,
+            "IDC curve not growing: {curve:?}"
+        );
+    }
+
+    #[test]
+    fn pareto_on_off_is_long_range_dependent() {
+        let events = ArrivalModel::ParetoOnOff {
+            sources: 32,
+            alpha: 1.4,
+            mean_sojourn: 2.0,
+            rate_on: 8.0,
+        }
+        .generate(4096.0, &mut rng(6))
+        .unwrap();
+        let counts = counts_per_interval(&events, 0.0, 4096.0, 1.0).unwrap();
+        let h = spindle_stats::hurst::aggregated_variance(&counts).unwrap();
+        // Theoretical H = (3 - 1.4)/2 = 0.8; finite-sample estimates
+        // scatter, but must be clearly above the Poisson 0.5.
+        assert!(h.h > 0.62, "estimated H = {}", h.h);
+    }
+
+    #[test]
+    fn gated_stream_has_long_quiescent_gaps() {
+        let m = ArrivalModel::Gated {
+            inner: Box::new(ArrivalModel::Poisson { rate: 20.0 }),
+            alpha: 1.3,
+            mean_on_secs: 60.0,
+            mean_off_secs: 60.0,
+        };
+        let events = m.generate(3600.0, &mut rng(20)).unwrap();
+        assert!(!events.is_empty());
+        // The off sojourns must show up as multi-second silent gaps —
+        // impossible for an ungated Poisson(20) stream over one hour.
+        let max_gap = events
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(0.0f64, f64::max);
+        assert!(max_gap > 5.0, "longest gap only {max_gap}s");
+        // Total idle time in gaps >= 1s is a substantial share of the
+        // span.
+        let long_idle: f64 = events
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .filter(|&g| g >= 1.0)
+            .sum();
+        assert!(long_idle > 900.0, "only {long_idle}s of >=1s gaps");
+    }
+
+    #[test]
+    fn gated_mean_rate_accounts_for_duty_cycle() {
+        let m = ArrivalModel::Gated {
+            inner: Box::new(ArrivalModel::Poisson { rate: 30.0 }),
+            alpha: 1.5,
+            mean_on_secs: 30.0,
+            mean_off_secs: 90.0,
+        };
+        assert!((m.mean_rate() - 7.5).abs() < 1e-12);
+        let events = m.generate(4000.0, &mut rng(21)).unwrap();
+        let rate = events.len() as f64 / 4000.0;
+        // Heavy-tailed sojourns converge slowly; accept a wide band.
+        assert!((2.0..15.0).contains(&rate), "empirical rate {rate}");
+    }
+
+    #[test]
+    fn gated_validates_inner_and_sojourns() {
+        let bad_inner = ArrivalModel::Gated {
+            inner: Box::new(ArrivalModel::Poisson { rate: 0.0 }),
+            alpha: 1.5,
+            mean_on_secs: 10.0,
+            mean_off_secs: 10.0,
+        };
+        assert!(bad_inner.validate().is_err());
+        let bad_alpha = ArrivalModel::Gated {
+            inner: Box::new(ArrivalModel::Poisson { rate: 1.0 }),
+            alpha: 2.5,
+            mean_on_secs: 10.0,
+            mean_off_secs: 10.0,
+        };
+        assert!(bad_alpha.validate().is_err());
+        let bad_sojourn = ArrivalModel::Gated {
+            inner: Box::new(ArrivalModel::Poisson { rate: 1.0 }),
+            alpha: 1.5,
+            mean_on_secs: 0.0,
+            mean_off_secs: 10.0,
+        };
+        assert!(bad_sojourn.validate().is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let m = ArrivalModel::Poisson { rate: 20.0 };
+        let a = m.generate(10.0, &mut rng(7)).unwrap();
+        let b = m.generate(10.0, &mut rng(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_and_rates() {
+        assert_eq!(ArrivalModel::Poisson { rate: 1.0 }.name(), "poisson");
+        let m = ArrivalModel::ParetoOnOff {
+            sources: 10,
+            alpha: 1.5,
+            mean_sojourn: 1.0,
+            rate_on: 4.0,
+        };
+        assert!((m.mean_rate() - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+use std::fmt;
+
+/// Error type for synthetic workload generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// A generator parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint violated.
+        reason: &'static str,
+    },
+    /// An internal numeric routine failed (e.g. a non-positive-definite
+    /// covariance in the Davies–Harte construction).
+    Numeric {
+        /// Description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SynthError::Numeric { reason } => write!(f, "numeric failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SynthError::InvalidParameter {
+            name: "hurst",
+            reason: "must lie in (0.5, 1)",
+        };
+        assert!(e.to_string().contains("hurst"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SynthError>();
+    }
+}

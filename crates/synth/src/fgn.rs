@@ -1,0 +1,190 @@
+//! Fractional Gaussian noise via the Davies–Harte method.
+//!
+//! Fractional Gaussian noise (fGn) is the canonical stationary process
+//! with long-range dependence: its autocovariance is
+//! `γ(k) = σ²/2 (|k+1|^{2H} − 2|k|^{2H} + |k−1|^{2H})`, and a count
+//! process modulated by fGn is bursty at every time scale with Hurst
+//! parameter `H`. Davies–Harte embeds the covariance in a circulant
+//! matrix and samples *exactly* (no approximation) using one FFT pair.
+
+use crate::{Result, SynthError};
+use rand::Rng;
+use spindle_stats::fft::{fft_in_place, ifft_in_place, Complex};
+
+/// Theoretical autocovariance of unit-variance fGn at lag `k`.
+pub fn fgn_autocovariance(h: f64, k: u64) -> f64 {
+    let k = k as f64;
+    0.5 * ((k + 1.0).powf(2.0 * h) - 2.0 * k.powf(2.0 * h) + (k - 1.0).abs().powf(2.0 * h))
+}
+
+/// Samples `n` points of zero-mean, unit-variance fractional Gaussian
+/// noise with Hurst parameter `h`, using the Davies–Harte circulant
+/// embedding.
+///
+/// # Errors
+///
+/// Returns [`SynthError::InvalidParameter`] unless `0 < h < 1` and
+/// `n >= 2`, and [`SynthError::Numeric`] if the circulant eigenvalues are
+/// negative (cannot happen for fGn covariances, but checked defensively).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let noise = spindle_synth::fgn::sample_fgn(0.8, 4096, &mut rng)?;
+/// assert_eq!(noise.len(), 4096);
+/// # Ok::<(), spindle_synth::SynthError>(())
+/// ```
+pub fn sample_fgn<R: Rng + ?Sized>(h: f64, n: usize, rng: &mut R) -> Result<Vec<f64>> {
+    if !(h > 0.0 && h < 1.0) {
+        return Err(SynthError::InvalidParameter {
+            name: "h",
+            reason: "Hurst parameter must lie in (0, 1)",
+        });
+    }
+    if n < 2 {
+        return Err(SynthError::InvalidParameter {
+            name: "n",
+            reason: "need at least 2 samples",
+        });
+    }
+    // Circulant embedding of size m = 2 * next_power_of_two(n).
+    let m = (2 * n).next_power_of_two();
+    let half = m / 2;
+    // First row of the circulant: γ(0), γ(1), …, γ(half), γ(half−1), …, γ(1).
+    let mut row: Vec<Complex> = Vec::with_capacity(m);
+    for k in 0..=half {
+        row.push(Complex::from_real(fgn_autocovariance(h, k as u64)));
+    }
+    for k in (1..half).rev() {
+        row.push(Complex::from_real(fgn_autocovariance(h, k as u64)));
+    }
+    debug_assert_eq!(row.len(), m);
+    fft_in_place(&mut row).expect("m is a power of two");
+    let mut eigen = Vec::with_capacity(m);
+    for c in &row {
+        // Eigenvalues of a symmetric circulant are real.
+        if c.re < -1e-8 {
+            return Err(SynthError::Numeric {
+                reason: format!("negative circulant eigenvalue {} for H = {h}", c.re),
+            });
+        }
+        eigen.push(c.re.max(0.0));
+    }
+
+    // Synthesize complex Gaussian spectrum with the prescribed
+    // eigenvalue weights.
+    let mut spectrum = vec![Complex::default(); m];
+    let mut gauss = || -> f64 {
+        // Box–Muller.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    };
+    spectrum[0] = Complex::from_real((eigen[0] * m as f64).sqrt() * gauss());
+    spectrum[half] = Complex::from_real((eigen[half] * m as f64).sqrt() * gauss());
+    for k in 1..half {
+        let scale = (eigen[k] * m as f64 / 2.0).sqrt();
+        let re = scale * gauss();
+        let im = scale * gauss();
+        spectrum[k] = Complex::new(re, im);
+        spectrum[m - k] = Complex::new(re, -im);
+    }
+    ifft_in_place(&mut spectrum).expect("m is a power of two");
+    Ok(spectrum.into_iter().take(n).map(|c| c.re).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spindle_stats::hurst;
+    use spindle_stats::moments::StreamingMoments;
+
+    #[test]
+    fn autocovariance_at_lag_zero_is_one() {
+        for h in [0.5, 0.7, 0.9] {
+            assert!((fgn_autocovariance(h, 0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn autocovariance_of_half_is_white() {
+        // H = 0.5 is ordinary white noise: zero covariance at k >= 1.
+        for k in 1..10 {
+            assert!(fgn_autocovariance(0.5, k).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn autocovariance_positive_for_high_h() {
+        for k in 1..100 {
+            assert!(fgn_autocovariance(0.8, k) > 0.0);
+        }
+    }
+
+    #[test]
+    fn parameters_are_validated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_fgn(0.0, 128, &mut rng).is_err());
+        assert!(sample_fgn(1.0, 128, &mut rng).is_err());
+        assert!(sample_fgn(0.8, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sample_is_deterministic_given_seed() {
+        let a = sample_fgn(0.8, 256, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = sample_fgn(0.8, 256, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+        let c = sample_fgn(0.8, 256, &mut StdRng::seed_from_u64(10)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sample_has_unit_variance_and_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = sample_fgn(0.75, 16_384, &mut rng).unwrap();
+        let m = StreamingMoments::from_slice(&x);
+        // LRD sample means converge slowly: SD ≈ n^(H−1) ≈ 0.09 here,
+        // so allow ±3σ.
+        assert!(m.mean().abs() < 0.27, "mean {}", m.mean());
+        let v = m.population_variance().unwrap();
+        assert!((v - 1.0).abs() < 0.15, "variance {v}");
+    }
+
+    #[test]
+    fn estimated_hurst_matches_target() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = sample_fgn(0.85, 16_384, &mut rng).unwrap();
+        let est = hurst::estimate_all(&x).unwrap();
+        assert!(
+            (est.aggregated_variance - 0.85).abs() < 0.1,
+            "agg-var H = {}",
+            est.aggregated_variance
+        );
+        assert!((est.median() - 0.85).abs() < 0.12, "median H = {}", est.median());
+    }
+
+    #[test]
+    fn h_half_sample_looks_white() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = sample_fgn(0.5, 8_192, &mut rng).unwrap();
+        let est = hurst::estimate_all(&x).unwrap();
+        assert!((est.median() - 0.5).abs() < 0.12, "median H = {}", est.median());
+    }
+
+    #[test]
+    fn empirical_lag_one_correlation_matches_theory() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = 0.8;
+        let x = sample_fgn(h, 32_768, &mut rng).unwrap();
+        let r1 = spindle_stats::acf::autocorrelation(&x, 1).unwrap();
+        let theory = fgn_autocovariance(h, 1);
+        assert!(
+            (r1 - theory).abs() < 0.05,
+            "lag-1 ACF {r1} vs theoretical {theory}"
+        );
+    }
+}

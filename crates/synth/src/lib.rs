@@ -1,0 +1,61 @@
+//! Synthetic disk workload generation.
+//!
+//! The traces the paper analyzes are proprietary; this crate generates
+//! synthetic equivalents whose *statistical structure* matches the
+//! published characterizations, so that every analysis in `spindle-core`
+//! exercises the same code paths it would on the real data:
+//!
+//! * [`arrival`] — arrival processes: Poisson (the smooth baseline),
+//!   2-state MMPP (bursty), superposed Pareto on/off sources and
+//!   fractional-Gaussian-noise rate modulation (self-similar, bursty at
+//!   *every* time scale — the paper's headline property).
+//! * [`fgn`] — exact Davies–Harte fractional Gaussian noise sampler.
+//! * [`spatial`] — LBA placement: sequential runs, uniform random, and
+//!   Zipf hot spots.
+//! * [`size`] — request size mixtures.
+//! * [`mix`] — read/write direction with time-of-day modulation.
+//! * [`workload`] — [`workload::WorkloadSpec`] ties the pieces into a
+//!   generator of sorted [`spindle_trace::Request`] streams.
+//! * [`presets`] — per-environment calibrations (mail, web server,
+//!   software development, archive).
+//! * [`hourgen`] — direct generation of hour-granularity series with
+//!   diurnal/weekly cycles and long-range-dependent modulation.
+//! * [`family`] — drive-family generation: cross-drive load variability
+//!   with a saturated sub-population, feeding the lifetime analyses.
+//!
+//! All generators are deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use spindle_synth::presets::Environment;
+//!
+//! let spec = Environment::Mail.spec(3600.0); // one hour of mail-server load
+//! let requests = spec.generate(42)?;
+//! assert!(!requests.is_empty());
+//! // Streams are sorted and single-drive by construction.
+//! spindle_trace::transform::validate_sorted(&requests).unwrap();
+//! # Ok::<(), spindle_synth::SynthError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arrival;
+pub mod family;
+pub mod fgn;
+pub mod hourgen;
+pub mod mix;
+pub mod presets;
+pub mod size;
+pub mod spatial;
+pub mod validate;
+pub mod workload;
+
+mod error;
+
+pub use error::SynthError;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SynthError>;

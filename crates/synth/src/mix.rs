@@ -1,0 +1,228 @@
+//! Read/write mix with time-of-day modulation.
+//!
+//! At the disk level the write share is typically *higher* than at the
+//! application level — upstream caches absorb re-reads while every
+//! persistent update must eventually reach the medium — and the mix
+//! drifts over the day (interactive reads in business hours, batch and
+//! backup writes at night). [`RwMix`] models both: a base write fraction
+//! plus a sinusoidal diurnal component.
+
+use crate::{Result, SynthError};
+use rand::Rng;
+use spindle_trace::OpKind;
+
+/// Seconds in a day — the period of the diurnal cycle.
+pub const DAY_SECS: f64 = 86_400.0;
+
+/// Read/write mix model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RwMix {
+    /// Long-run write fraction in `[0, 1]`.
+    pub base_write_fraction: f64,
+    /// Amplitude of the diurnal modulation (added/subtracted around the
+    /// base; the result is clamped to `[0, 1]`).
+    pub diurnal_amplitude: f64,
+    /// Phase offset in seconds; with phase 0 the write share peaks at
+    /// one quarter past the period start (sine peak).
+    pub phase_secs: f64,
+}
+
+impl RwMix {
+    /// A time-invariant mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidParameter`] unless
+    /// `0 <= write_fraction <= 1`.
+    pub fn constant(write_fraction: f64) -> Result<Self> {
+        RwMix {
+            base_write_fraction: write_fraction,
+            diurnal_amplitude: 0.0,
+            phase_secs: 0.0,
+        }
+        .validated()
+    }
+
+    /// A diurnally modulated mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidParameter`] if the base fraction is
+    /// outside `[0, 1]` or the amplitude is negative.
+    pub fn diurnal(base_write_fraction: f64, amplitude: f64, phase_secs: f64) -> Result<Self> {
+        RwMix {
+            base_write_fraction,
+            diurnal_amplitude: amplitude,
+            phase_secs,
+        }
+        .validated()
+    }
+
+    fn validated(self) -> Result<Self> {
+        if !(0.0..=1.0).contains(&self.base_write_fraction) {
+            return Err(SynthError::InvalidParameter {
+                name: "base_write_fraction",
+                reason: "must lie in [0, 1]",
+            });
+        }
+        if self.diurnal_amplitude < 0.0 {
+            return Err(SynthError::InvalidParameter {
+                name: "diurnal_amplitude",
+                reason: "must be non-negative",
+            });
+        }
+        Ok(self)
+    }
+
+    /// The write probability at time `t_secs` (clamped to `[0, 1]`).
+    pub fn write_probability(&self, t_secs: f64) -> f64 {
+        let angle = std::f64::consts::TAU * (t_secs + self.phase_secs) / DAY_SECS;
+        (self.base_write_fraction + self.diurnal_amplitude * angle.sin()).clamp(0.0, 1.0)
+    }
+
+    /// Samples the direction of a request arriving at `t_secs`.
+    pub fn sample<R: Rng + ?Sized>(&self, t_secs: f64, rng: &mut R) -> OpKind {
+        if rng.gen_bool(self.write_probability(t_secs)) {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        }
+    }
+}
+
+/// A diurnal intensity envelope for thinning arrival processes: relative
+/// intensity `1 + amplitude·sin(2π (t + phase)/day)`, normalized so its
+/// peak is 1 (suitable as an acceptance probability).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalEnvelope {
+    /// Relative swing in `[0, 1]`: 0 = flat, 1 = intensity touches zero
+    /// at the trough.
+    pub amplitude: f64,
+    /// Phase offset in seconds.
+    pub phase_secs: f64,
+}
+
+impl DiurnalEnvelope {
+    /// Creates an envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidParameter`] unless
+    /// `0 <= amplitude <= 1`.
+    pub fn new(amplitude: f64, phase_secs: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&amplitude) {
+            return Err(SynthError::InvalidParameter {
+                name: "amplitude",
+                reason: "must lie in [0, 1]",
+            });
+        }
+        Ok(DiurnalEnvelope {
+            amplitude,
+            phase_secs,
+        })
+    }
+
+    /// Acceptance probability at `t_secs`, in `(0, 1]`, with peak 1.
+    pub fn acceptance(&self, t_secs: f64) -> f64 {
+        let angle = std::f64::consts::TAU * (t_secs + self.phase_secs) / DAY_SECS;
+        (1.0 + self.amplitude * angle.sin()) / (1.0 + self.amplitude)
+    }
+
+    /// Thins a sorted event stream by the envelope, keeping each event
+    /// with probability [`acceptance`](DiurnalEnvelope::acceptance).
+    pub fn thin<R: Rng + ?Sized>(&self, events: &[f64], rng: &mut R) -> Vec<f64> {
+        events
+            .iter()
+            .filter(|&&t| rng.gen_bool(self.acceptance(t)))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(RwMix::constant(-0.1).is_err());
+        assert!(RwMix::constant(1.1).is_err());
+        assert!(RwMix::diurnal(0.5, -0.2, 0.0).is_err());
+        assert!(DiurnalEnvelope::new(1.5, 0.0).is_err());
+        assert!(DiurnalEnvelope::new(-0.1, 0.0).is_err());
+    }
+
+    #[test]
+    fn constant_mix_is_flat() {
+        let m = RwMix::constant(0.7).unwrap();
+        for t in [0.0, 1000.0, 43_200.0, 80_000.0] {
+            assert!((m.write_probability(t) - 0.7).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diurnal_mix_oscillates_around_base() {
+        let m = RwMix::diurnal(0.5, 0.3, 0.0).unwrap();
+        let quarter = DAY_SECS / 4.0;
+        assert!((m.write_probability(quarter) - 0.8).abs() < 1e-9);
+        assert!((m.write_probability(3.0 * quarter) - 0.2).abs() < 1e-9);
+        assert!((m.write_probability(0.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let m = RwMix::diurnal(0.9, 0.5, 0.0).unwrap();
+        let quarter = DAY_SECS / 4.0;
+        assert_eq!(m.write_probability(quarter), 1.0);
+    }
+
+    #[test]
+    fn sample_frequency_matches_probability() {
+        let m = RwMix::constant(0.65).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 40_000;
+        let writes = (0..n)
+            .filter(|_| m.sample(0.0, &mut rng) == OpKind::Write)
+            .count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - 0.65).abs() < 0.02, "write fraction {frac}");
+    }
+
+    #[test]
+    fn envelope_peak_is_one_and_trough_positive() {
+        let e = DiurnalEnvelope::new(0.8, 0.0).unwrap();
+        let quarter = DAY_SECS / 4.0;
+        assert!((e.acceptance(quarter) - 1.0).abs() < 1e-9);
+        let trough = e.acceptance(3.0 * quarter);
+        assert!((trough - 0.2 / 1.8).abs() < 1e-9);
+        assert!(trough > 0.0);
+    }
+
+    #[test]
+    fn thinning_reduces_trough_traffic_more() {
+        let e = DiurnalEnvelope::new(0.9, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        // Uniform events over one day.
+        let events: Vec<f64> = (0..100_000).map(|i| i as f64 * DAY_SECS / 100_000.0).collect();
+        let kept = e.thin(&events, &mut rng);
+        let mid = DAY_SECS / 2.0;
+        let first_half = kept.iter().filter(|&&t| t < mid).count();
+        let second_half = kept.len() - first_half;
+        // Peak is in the first half (sine positive), trough in the
+        // second.
+        assert!(
+            first_half as f64 > second_half as f64 * 2.0,
+            "{first_half} vs {second_half}"
+        );
+    }
+
+    #[test]
+    fn flat_envelope_keeps_everything() {
+        let e = DiurnalEnvelope::new(0.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let events = vec![1.0, 2.0, 3.0];
+        assert_eq!(e.thin(&events, &mut rng), events);
+    }
+}

@@ -1,0 +1,170 @@
+//! Request-size mixtures.
+//!
+//! Disk request sizes cluster at a few values set by filesystem block
+//! sizes and readahead policies; [`SizeMix`] is a discrete mixture over
+//! sector counts with preset mixes matching the transaction-processing
+//! and streaming profiles reported in enterprise characterizations.
+
+use crate::{Result, SynthError};
+use rand::Rng;
+
+/// A discrete mixture over request sizes (in sectors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeMix {
+    /// `(sectors, cumulative_probability)`, ascending in probability.
+    cdf: Vec<(u32, f64)>,
+    mean: f64,
+}
+
+impl SizeMix {
+    /// Builds a mixture from `(sectors, weight)` pairs; weights are
+    /// normalized and need not sum to one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidParameter`] if `entries` is empty,
+    /// any sector count is zero, or any weight is non-positive.
+    pub fn new(entries: &[(u32, f64)]) -> Result<Self> {
+        if entries.is_empty() {
+            return Err(SynthError::InvalidParameter {
+                name: "entries",
+                reason: "size mix needs at least one entry",
+            });
+        }
+        let mut total = 0.0;
+        for &(sectors, w) in entries {
+            if sectors == 0 {
+                return Err(SynthError::InvalidParameter {
+                    name: "entries",
+                    reason: "request size must be at least one sector",
+                });
+            }
+            if !(w > 0.0) {
+                return Err(SynthError::InvalidParameter {
+                    name: "entries",
+                    reason: "weights must be positive",
+                });
+            }
+            total += w;
+        }
+        let mut cdf = Vec::with_capacity(entries.len());
+        let mut acc = 0.0;
+        let mut mean = 0.0;
+        for &(sectors, w) in entries {
+            let p = w / total;
+            acc += p;
+            mean += sectors as f64 * p;
+            cdf.push((sectors, acc));
+        }
+        // Guard against rounding leaving the last cumulative below 1.
+        cdf.last_mut().expect("non-empty").1 = 1.0;
+        Ok(SizeMix { cdf, mean })
+    }
+
+    /// A degenerate mixture that always returns `sectors`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidParameter`] if `sectors == 0`.
+    pub fn constant(sectors: u32) -> Result<Self> {
+        SizeMix::new(&[(sectors, 1.0)])
+    }
+
+    /// Transaction-processing mix: dominated by 4 KiB (8-sector) and
+    /// 8 KiB requests with a small large-transfer tail.
+    pub fn transactional() -> Self {
+        SizeMix::new(&[(8, 0.55), (16, 0.25), (64, 0.12), (128, 0.08)])
+            .expect("preset weights are valid")
+    }
+
+    /// Streaming mix: large transfers dominate.
+    pub fn streaming() -> Self {
+        SizeMix::new(&[(256, 0.3), (512, 0.4), (1024, 0.2), (2048, 0.1)])
+            .expect("preset weights are valid")
+    }
+
+    /// Mixed file-serving profile.
+    pub fn file_serving() -> Self {
+        SizeMix::new(&[(8, 0.35), (32, 0.25), (128, 0.25), (512, 0.15)])
+            .expect("preset weights are valid")
+    }
+
+    /// Mean request size in sectors.
+    pub fn mean_sectors(&self) -> f64 {
+        self.mean
+    }
+
+    /// Samples a request size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        match self.cdf.iter().find(|(_, c)| u <= *c) {
+            Some(&(sectors, _)) => sectors,
+            None => self.cdf.last().expect("non-empty").0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(SizeMix::new(&[]).is_err());
+        assert!(SizeMix::new(&[(0, 1.0)]).is_err());
+        assert!(SizeMix::new(&[(8, 0.0)]).is_err());
+        assert!(SizeMix::new(&[(8, -1.0)]).is_err());
+        assert!(SizeMix::constant(0).is_err());
+    }
+
+    #[test]
+    fn constant_mix_always_returns_value() {
+        let m = SizeMix::constant(64).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), 64);
+        }
+        assert_eq!(m.mean_sectors(), 64.0);
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        // Same mix expressed with unnormalized weights.
+        let a = SizeMix::new(&[(8, 1.0), (16, 3.0)]).unwrap();
+        let b = SizeMix::new(&[(8, 0.25), (16, 0.75)]).unwrap();
+        assert!((a.mean_sectors() - b.mean_sectors()).abs() < 1e-12);
+        assert!((a.mean_sectors() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_frequencies_match_weights() {
+        let m = SizeMix::new(&[(8, 0.5), (64, 0.5)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 40_000;
+        let small = (0..n).filter(|_| m.sample(&mut rng) == 8).count();
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "fraction of 8-sector {frac}");
+    }
+
+    #[test]
+    fn empirical_mean_matches() {
+        let m = SizeMix::transactional();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| m.sample(&mut rng) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - m.mean_sectors()).abs() / m.mean_sectors() < 0.05,
+            "empirical {mean} vs {}",
+            m.mean_sectors()
+        );
+    }
+
+    #[test]
+    fn presets_are_ordered_by_mean() {
+        assert!(SizeMix::transactional().mean_sectors() < SizeMix::file_serving().mean_sectors());
+        assert!(SizeMix::file_serving().mean_sectors() < SizeMix::streaming().mean_sectors());
+    }
+}

@@ -1,0 +1,324 @@
+//! Spatial (LBA placement) models.
+//!
+//! Disk-level access patterns are a mixture of sequential runs (streaming
+//! reads, log appends), uniformly random accesses, and skewed "hot spot"
+//! accesses (metadata, indices). [`SpatialModel`] composes the three with
+//! configurable weights and generates the LBA for each request in stream
+//! order.
+
+use crate::{Result, SynthError};
+use rand::Rng;
+
+/// Configuration of the spatial mixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialModel {
+    /// Addressable sectors of the target drive.
+    pub capacity_sectors: u64,
+    /// Probability that a request continues sequentially from the
+    /// previous request's end.
+    pub sequential_fraction: f64,
+    /// Probability that a non-sequential request targets a hot spot
+    /// (the remainder is uniform over the drive).
+    pub hotspot_fraction: f64,
+    /// Number of hot-spot extents.
+    pub hotspots: u32,
+    /// Zipf exponent over hot spots (1.0 = classic Zipf; 0 = uniform
+    /// across hot spots).
+    pub zipf_exponent: f64,
+    /// Size of each hot-spot extent in sectors.
+    pub hotspot_sectors: u64,
+}
+
+impl SpatialModel {
+    /// A purely uniform-random model over `capacity_sectors`.
+    pub fn uniform(capacity_sectors: u64) -> Self {
+        SpatialModel {
+            capacity_sectors,
+            sequential_fraction: 0.0,
+            hotspot_fraction: 0.0,
+            hotspots: 0,
+            zipf_exponent: 0.0,
+            hotspot_sectors: 0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidParameter`] describing the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.capacity_sectors == 0 {
+            return Err(SynthError::InvalidParameter {
+                name: "capacity_sectors",
+                reason: "capacity must be positive",
+            });
+        }
+        for (name, v) in [
+            ("sequential_fraction", self.sequential_fraction),
+            ("hotspot_fraction", self.hotspot_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(SynthError::InvalidParameter {
+                    name: if name == "sequential_fraction" {
+                        "sequential_fraction"
+                    } else {
+                        "hotspot_fraction"
+                    },
+                    reason: "fraction must lie in [0, 1]",
+                });
+            }
+        }
+        if self.hotspot_fraction > 0.0 {
+            if self.hotspots == 0 {
+                return Err(SynthError::InvalidParameter {
+                    name: "hotspots",
+                    reason: "hot-spot traffic requires at least one hot spot",
+                });
+            }
+            if self.hotspot_sectors == 0 {
+                return Err(SynthError::InvalidParameter {
+                    name: "hotspot_sectors",
+                    reason: "hot-spot extents must be non-empty",
+                });
+            }
+            if self.hotspots as u64 * self.hotspot_sectors > self.capacity_sectors {
+                return Err(SynthError::InvalidParameter {
+                    name: "hotspot_sectors",
+                    reason: "hot spots exceed drive capacity",
+                });
+            }
+        }
+        if self.zipf_exponent < 0.0 {
+            return Err(SynthError::InvalidParameter {
+                name: "zipf_exponent",
+                reason: "must be non-negative",
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the stateful generator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpatialModel::validate`].
+    pub fn build(&self) -> Result<SpatialGenerator> {
+        self.validate()?;
+        // Zipf CDF over hot spots.
+        let mut weights: Vec<f64> = (1..=self.hotspots.max(1))
+            .map(|r| 1.0 / (r as f64).powf(self.zipf_exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in weights.iter_mut() {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Hot-spot base addresses spread deterministically over the
+        // drive (golden-ratio stride keeps them well separated).
+        let bases: Vec<u64> = (0..self.hotspots as u64)
+            .map(|i| {
+                let frac = (i as f64 * 0.618_033_988_749_895).fract();
+                let max_base = self.capacity_sectors - self.hotspot_sectors;
+                (frac * max_base as f64) as u64
+            })
+            .collect();
+        Ok(SpatialGenerator {
+            model: self.clone(),
+            zipf_cdf: weights,
+            hotspot_bases: bases,
+            position: 0,
+        })
+    }
+}
+
+/// Stateful LBA generator built from a [`SpatialModel`].
+#[derive(Debug, Clone)]
+pub struct SpatialGenerator {
+    model: SpatialModel,
+    zipf_cdf: Vec<f64>,
+    hotspot_bases: Vec<u64>,
+    /// End of the last generated request (the sequential continuation
+    /// point).
+    position: u64,
+}
+
+impl SpatialGenerator {
+    /// Generates the start LBA for a request of `sectors` sectors and
+    /// advances the sequential position.
+    pub fn next_lba<R: Rng + ?Sized>(&mut self, sectors: u32, rng: &mut R) -> u64 {
+        let cap = self.model.capacity_sectors;
+        let sectors = sectors as u64;
+        let max_start = cap.saturating_sub(sectors);
+        let lba = if rng.gen_bool(self.model.sequential_fraction) && self.position <= max_start {
+            self.position
+        } else if self.model.hotspot_fraction > 0.0 && rng.gen_bool(self.model.hotspot_fraction) {
+            let u: f64 = rng.gen();
+            let idx = self
+                .zipf_cdf
+                .partition_point(|&c| c < u)
+                .min(self.hotspot_bases.len() - 1);
+            let base = self.hotspot_bases[idx];
+            let extent = self.model.hotspot_sectors.saturating_sub(sectors).max(1);
+            (base + rng.gen_range(0..extent)).min(max_start)
+        } else {
+            rng.gen_range(0..=max_start)
+        };
+        self.position = lba + sectors;
+        lba
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const CAP: u64 = 10_000_000;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SpatialModel::uniform(0).validate().is_err());
+        let mut m = SpatialModel::uniform(CAP);
+        m.sequential_fraction = 1.5;
+        assert!(m.validate().is_err());
+        let mut m = SpatialModel::uniform(CAP);
+        m.hotspot_fraction = 0.5;
+        assert!(m.validate().is_err(), "hotspots == 0 must be rejected");
+        m.hotspots = 4;
+        m.hotspot_sectors = 0;
+        assert!(m.validate().is_err());
+        m.hotspot_sectors = CAP; // 4 × CAP > CAP
+        assert!(m.validate().is_err());
+        m.hotspot_sectors = 1000;
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn generated_lbas_fit_on_drive() {
+        let m = SpatialModel {
+            capacity_sectors: CAP,
+            sequential_fraction: 0.4,
+            hotspot_fraction: 0.3,
+            hotspots: 16,
+            zipf_exponent: 1.0,
+            hotspot_sectors: 8192,
+        };
+        let mut g = m.build().unwrap();
+        let mut r = rng(1);
+        for _ in 0..50_000 {
+            let sectors = 256;
+            let lba = g.next_lba(sectors, &mut r);
+            assert!(lba + sectors as u64 <= CAP);
+        }
+    }
+
+    #[test]
+    fn fully_sequential_model_is_sequential() {
+        let mut m = SpatialModel::uniform(CAP);
+        m.sequential_fraction = 1.0;
+        let mut g = m.build().unwrap();
+        let mut r = rng(2);
+        let first = g.next_lba(8, &mut r);
+        let second = g.next_lba(8, &mut r);
+        let third = g.next_lba(8, &mut r);
+        assert_eq!(second, first + 8);
+        assert_eq!(third, second + 8);
+    }
+
+    #[test]
+    fn sequential_fraction_is_respected() {
+        let mut m = SpatialModel::uniform(CAP);
+        m.sequential_fraction = 0.7;
+        let mut g = m.build().unwrap();
+        let mut r = rng(3);
+        let mut seq = 0;
+        let mut prev_end = g.next_lba(8, &mut r) + 8;
+        let n = 20_000;
+        for _ in 0..n {
+            let lba = g.next_lba(8, &mut r);
+            if lba == prev_end {
+                seq += 1;
+            }
+            prev_end = lba + 8;
+        }
+        let frac = seq as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.02, "sequential fraction {frac}");
+    }
+
+    #[test]
+    fn hotspots_concentrate_traffic() {
+        let m = SpatialModel {
+            capacity_sectors: CAP,
+            sequential_fraction: 0.0,
+            hotspot_fraction: 0.9,
+            hotspots: 4,
+            zipf_exponent: 1.0,
+            hotspot_sectors: 10_000,
+        };
+        let mut g = m.build().unwrap();
+        let bases = g.hotspot_bases.clone();
+        let mut r = rng(4);
+        let mut in_hot = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let lba = g.next_lba(8, &mut r);
+            if bases.iter().any(|&b| lba >= b && lba < b + 10_000) {
+                in_hot += 1;
+            }
+        }
+        let frac = in_hot as f64 / n as f64;
+        assert!(frac > 0.85, "hot-spot fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_skews_toward_first_hotspot() {
+        let m = SpatialModel {
+            capacity_sectors: CAP,
+            sequential_fraction: 0.0,
+            hotspot_fraction: 1.0,
+            hotspots: 8,
+            zipf_exponent: 1.2,
+            hotspot_sectors: 1_000,
+        };
+        let mut g = m.build().unwrap();
+        let bases = g.hotspot_bases.clone();
+        let mut r = rng(5);
+        let mut counts = vec![0u32; 8];
+        for _ in 0..40_000 {
+            let lba = g.next_lba(8, &mut r);
+            if let Some(i) = bases.iter().position(|&b| lba >= b && lba < b + 1_000) {
+                counts[i] += 1;
+            }
+        }
+        assert!(
+            counts[0] > counts[7] * 3,
+            "rank-1 hot spot should dominate: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn uniform_model_covers_the_drive() {
+        let mut g = SpatialModel::uniform(CAP).build().unwrap();
+        let mut r = rng(6);
+        let mut low = 0u32;
+        let mut high = 0u32;
+        for _ in 0..10_000 {
+            let lba = g.next_lba(8, &mut r);
+            if lba < CAP / 2 {
+                low += 1;
+            } else {
+                high += 1;
+            }
+        }
+        let ratio = low as f64 / high as f64;
+        assert!((0.9..1.1).contains(&ratio), "half-split ratio {ratio}");
+    }
+}

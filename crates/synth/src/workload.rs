@@ -1,0 +1,215 @@
+//! End-to-end request-stream generation.
+//!
+//! [`WorkloadSpec`] composes an arrival model, an optional diurnal
+//! envelope, a spatial model, a size mixture, and a read/write mix into a
+//! generator of sorted [`Request`] streams for one drive — the synthetic
+//! stand-in for one drive's Millisecond trace.
+
+use crate::arrival::ArrivalModel;
+use crate::mix::{DiurnalEnvelope, RwMix};
+use crate::size::SizeMix;
+use crate::spatial::SpatialModel;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spindle_trace::{DriveId, Request};
+
+/// Complete specification of a synthetic single-drive workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Short name for reports.
+    pub name: String,
+    /// Drive identifier stamped on every request.
+    pub drive: DriveId,
+    /// Observation window in seconds.
+    pub span_secs: f64,
+    /// Arrival process.
+    pub arrival: ArrivalModel,
+    /// Optional diurnal thinning envelope over the arrivals.
+    pub envelope: Option<DiurnalEnvelope>,
+    /// LBA placement model.
+    pub spatial: SpatialModel,
+    /// Request size mixture.
+    pub sizes: SizeMix,
+    /// Read/write mix.
+    pub rw: RwMix,
+}
+
+impl WorkloadSpec {
+    /// Generates the sorted request stream, deterministically for a given
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation errors from the component models.
+    pub fn generate(&self, seed: u64) -> Result<Vec<Request>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = self.arrival.generate(self.span_secs, &mut rng)?;
+        if let Some(env) = &self.envelope {
+            events = env.thin(&events, &mut rng);
+        }
+        let mut spatial = self.spatial.build()?;
+        let mut out = Vec::with_capacity(events.len());
+        let mut last_ns: u64 = 0;
+        for t in events {
+            let sectors = self.sizes.sample(&mut rng);
+            let lba = spatial.next_lba(sectors, &mut rng);
+            let op = self.rw.sample(t, &mut rng);
+            // Enforce strictly non-decreasing integer timestamps even if
+            // two float event times round to the same nanosecond.
+            let ns = ((t * 1e9).round() as u64).max(last_ns);
+            last_ns = ns;
+            out.push(
+                Request::new(ns, self.drive, op, lba, sectors)
+                    .expect("generated requests satisfy invariants"),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Expected number of requests (before envelope thinning).
+    pub fn expected_requests(&self) -> f64 {
+        self.arrival.mean_rate() * self.span_secs
+    }
+}
+
+/// Generates one merged, time-sorted multi-drive stream: `drives`
+/// independent copies of `template` (drive ids `0..drives`, each with
+/// its own derived seed), interleaved by arrival time — the input shape
+/// [`spindle_disk::array::ArraySim`] consumes.
+///
+/// # Errors
+///
+/// Returns [`crate::SynthError::InvalidParameter`] if `drives == 0` and
+/// propagates per-drive generation errors.
+///
+/// [`spindle_disk::array::ArraySim`]: https://example.com/spindle
+pub fn generate_multi_drive(
+    template: &WorkloadSpec,
+    drives: u32,
+    seed: u64,
+) -> Result<Vec<Request>> {
+    if drives == 0 {
+        return Err(crate::SynthError::InvalidParameter {
+            name: "drives",
+            reason: "need at least one drive",
+        });
+    }
+    let mut streams = Vec::with_capacity(drives as usize);
+    for i in 0..drives {
+        let mut spec = template.clone();
+        spec.drive = DriveId(i);
+        let drive_seed = seed ^ (u64::from(i)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        streams.push(spec.generate(drive_seed)?);
+    }
+    spindle_trace::transform::merge_sorted(&streams).map_err(|e| {
+        crate::SynthError::Numeric {
+            reason: e.to_string(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_trace::transform::{summarize, validate_sorted};
+    use spindle_trace::OpKind;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test".into(),
+            drive: DriveId(3),
+            span_secs: 120.0,
+            arrival: ArrivalModel::Poisson { rate: 50.0 },
+            envelope: None,
+            spatial: SpatialModel::uniform(10_000_000),
+            sizes: SizeMix::transactional(),
+            rw: RwMix::constant(0.6).unwrap(),
+        }
+    }
+
+    #[test]
+    fn stream_is_sorted_and_single_drive() {
+        let reqs = spec().generate(1).unwrap();
+        assert!(!reqs.is_empty());
+        validate_sorted(&reqs).unwrap();
+        assert!(reqs.iter().all(|r| r.drive == DriveId(3)));
+        let s = summarize(&reqs);
+        assert_eq!(s.drives, 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = spec().generate(7).unwrap();
+        let b = spec().generate(7).unwrap();
+        assert_eq!(a, b);
+        let c = spec().generate(8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn request_count_tracks_expected() {
+        let s = spec();
+        let reqs = s.generate(2).unwrap();
+        let expected = s.expected_requests();
+        assert!(
+            (reqs.len() as f64 - expected).abs() / expected < 0.15,
+            "{} requests vs {expected} expected",
+            reqs.len()
+        );
+    }
+
+    #[test]
+    fn write_fraction_matches_mix() {
+        let reqs = spec().generate(3).unwrap();
+        let writes = reqs.iter().filter(|r| r.op == OpKind::Write).count();
+        let frac = writes as f64 / reqs.len() as f64;
+        assert!((frac - 0.6).abs() < 0.03, "write fraction {frac}");
+    }
+
+    #[test]
+    fn envelope_thins_the_stream() {
+        let mut s = spec();
+        let full = s.generate(4).unwrap().len();
+        s.envelope = Some(DiurnalEnvelope::new(0.9, 0.0).unwrap());
+        let thinned = s.generate(4).unwrap().len();
+        assert!(thinned < full, "{thinned} vs {full}");
+    }
+
+    #[test]
+    fn all_lbas_fit_on_the_drive() {
+        let reqs = spec().generate(5).unwrap();
+        assert!(reqs.iter().all(|r| r.end_lba() <= 10_000_000));
+    }
+
+    #[test]
+    fn multi_drive_stream_interleaves_all_drives() {
+        let merged = generate_multi_drive(&spec(), 4, 9).unwrap();
+        validate_sorted(&merged).unwrap();
+        let s = summarize(&merged);
+        assert_eq!(s.drives, 4);
+        // Each drive contributes roughly equal traffic.
+        let split = spindle_trace::transform::split_by_drive(&merged);
+        let counts: Vec<usize> = split.values().map(Vec::len).collect();
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.3, "per-drive counts {counts:?}");
+        // Per-drive streams differ (independent seeds).
+        let drives: Vec<_> = split.into_values().collect();
+        assert_ne!(
+            drives[0].iter().map(|r| r.lba).collect::<Vec<_>>(),
+            drives[1].iter().map(|r| r.lba).collect::<Vec<_>>()
+        );
+        assert!(generate_multi_drive(&spec(), 0, 9).is_err());
+    }
+
+    #[test]
+    fn invalid_component_parameters_propagate() {
+        let mut s = spec();
+        s.span_secs = 0.0;
+        assert!(s.generate(0).is_err());
+        let mut s2 = spec();
+        s2.spatial.capacity_sectors = 0;
+        assert!(s2.generate(0).is_err());
+    }
+}

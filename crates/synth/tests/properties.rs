@@ -1,0 +1,150 @@
+//! Property-based tests for the workload generators: every valid
+//! specification must generate structurally valid traces, and
+//! generation must be a pure function of the seed.
+
+use proptest::prelude::*;
+use spindle_synth::arrival::ArrivalModel;
+use spindle_synth::family::FamilySpec;
+use spindle_synth::hourgen::HourSeriesSpec;
+use spindle_synth::mix::RwMix;
+use spindle_synth::size::SizeMix;
+use spindle_synth::spatial::SpatialModel;
+use spindle_synth::workload::WorkloadSpec;
+use spindle_trace::transform::validate_sorted;
+use spindle_trace::DriveId;
+
+fn arb_arrival() -> impl Strategy<Value = ArrivalModel> {
+    prop_oneof![
+        (0.5f64..100.0).prop_map(|rate| ArrivalModel::Poisson { rate }),
+        (0.0f64..10.0, 10.0f64..200.0, 0.1f64..5.0, 0.1f64..5.0).prop_map(
+            |(rate_low, rate_high, s_low, s_high)| ArrivalModel::Mmpp2 {
+                rate_low,
+                rate_high,
+                mean_sojourn_low: s_low,
+                mean_sojourn_high: s_high,
+            }
+        ),
+        (1u32..16, 1.05f64..1.95, 0.5f64..10.0, 0.5f64..20.0).prop_map(
+            |(sources, alpha, mean_sojourn, rate_on)| ArrivalModel::ParetoOnOff {
+                sources,
+                alpha,
+                mean_sojourn,
+                rate_on,
+            }
+        ),
+        (0.55f64..0.95, 1.0f64..60.0, 0.0f64..1.2).prop_map(|(hurst, mean_rate, sigma)| {
+            ArrivalModel::FgnRate {
+                hurst,
+                mean_rate,
+                sigma,
+                interval_secs: 1.0,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arrivals_are_sorted_in_window_and_deterministic(
+        model in arb_arrival(),
+        span in 10.0f64..120.0,
+        seed in 0u64..1_000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let events = model.generate(span, &mut rng).unwrap();
+        for w in events.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        prop_assert!(events.iter().all(|&t| (0.0..span).contains(&t)));
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(seed);
+        prop_assert_eq!(events, model.generate(span, &mut rng2).unwrap());
+    }
+
+    #[test]
+    fn workload_streams_are_always_valid(
+        seq in 0.0f64..1.0,
+        hot in 0.0f64..1.0,
+        wf in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let spec = WorkloadSpec {
+            name: "prop".into(),
+            drive: DriveId(1),
+            span_secs: 60.0,
+            arrival: ArrivalModel::Poisson { rate: 40.0 },
+            envelope: None,
+            spatial: SpatialModel {
+                capacity_sectors: 5_000_000,
+                sequential_fraction: seq,
+                hotspot_fraction: hot,
+                hotspots: 8,
+                zipf_exponent: 1.0,
+                hotspot_sectors: 10_000,
+            },
+            sizes: SizeMix::transactional(),
+            rw: RwMix::constant(wf).unwrap(),
+        };
+        let reqs = spec.generate(seed).unwrap();
+        validate_sorted(&reqs).unwrap();
+        prop_assert!(reqs.iter().all(|r| r.end_lba() <= 5_000_000));
+        prop_assert!(reqs.iter().all(|r| r.drive == DriveId(1)));
+        prop_assert!(reqs.iter().all(|r| r.sectors > 0));
+    }
+
+    #[test]
+    fn hour_series_counters_are_internally_consistent(
+        base in 100.0f64..100_000.0,
+        amp in 0.0f64..1.0,
+        wf in 0.0f64..1.0,
+        sigma in 0.0f64..1.2,
+        seed in 0u64..200,
+    ) {
+        let spec = HourSeriesSpec {
+            base_ops_per_hour: base,
+            diurnal_amplitude: amp,
+            write_fraction: wf,
+            sigma,
+            hours: 96,
+            ..Default::default()
+        };
+        let series = spec.generate(seed).unwrap();
+        let cap = spec.capacity_ops_per_hour() as u64 + 1;
+        for r in series.records() {
+            prop_assert_eq!(r.operations(), r.reads + r.writes);
+            prop_assert!(r.operations() <= cap);
+            prop_assert!(r.busy_secs >= 0.0 && r.busy_secs <= 3600.0);
+            prop_assert!((r.utilization() - r.busy_secs / 3600.0).abs() < 1e-12);
+            if r.reads == 0 {
+                prop_assert_eq!(r.sectors_read, 0);
+            }
+            if r.writes == 0 {
+                prop_assert_eq!(r.sectors_written, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn families_are_deterministic_and_accumulated(
+        drives in 2u32..25,
+        sat in 0.0f64..0.5,
+        seed in 0u64..100,
+    ) {
+        let spec = FamilySpec {
+            drives,
+            saturator_fraction: sat,
+            template: HourSeriesSpec { hours: 336, ..Default::default() },
+            ..Default::default()
+        };
+        let a = spec.generate(seed).unwrap();
+        let b = spec.generate(seed).unwrap();
+        prop_assert_eq!(&a, &b);
+        for d in &a {
+            prop_assert_eq!(d.lifetime.operations(), d.series.total_operations());
+            prop_assert!(d.lifetime.mean_utilization() <= 1.0);
+            prop_assert!(d.scale > 0.0);
+        }
+    }
+}

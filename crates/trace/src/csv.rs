@@ -1,0 +1,284 @@
+//! CSV codecs for hour and lifetime records.
+//!
+//! The coarse-granularity trace sets are small enough that a
+//! line-oriented text format is the right interchange: one record per
+//! line, with a header naming the columns. Lines starting with `#` and
+//! blank lines are ignored on read.
+//!
+//! Hour format:
+//!
+//! ```text
+//! drive,hour,reads,writes,sectors_read,sectors_written,busy_secs
+//! 0,0,1200,800,9600,6400,14.2
+//! ```
+//!
+//! Lifetime format:
+//!
+//! ```text
+//! drive,power_on_hours,reads,writes,sectors_read,sectors_written,busy_hours
+//! 0,1344,1612800,1075200,12902400,8601600,53.1
+//! ```
+
+use crate::{DriveId, HourRecord, LifetimeRecord, Result, TraceError};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Header line of the hour CSV format.
+pub const HOUR_HEADER: &str = "drive,hour,reads,writes,sectors_read,sectors_written,busy_secs";
+/// Header line of the lifetime CSV format.
+pub const LIFETIME_HEADER: &str =
+    "drive,power_on_hours,reads,writes,sectors_read,sectors_written,busy_hours";
+
+/// Writes hour records as CSV (header first).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_hours<'a, W, I>(mut w: W, records: I) -> Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a HourRecord>,
+{
+    writeln!(w, "{HOUR_HEADER}")?;
+    for r in records {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{}",
+            r.drive.0, r.hour, r.reads, r.writes, r.sectors_read, r.sectors_written, r.busy_secs
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes lifetime records as CSV (header first).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_lifetimes<'a, W, I>(mut w: W, records: I) -> Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a LifetimeRecord>,
+{
+    writeln!(w, "{LIFETIME_HEADER}")?;
+    for r in records {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{}",
+            r.drive.0,
+            r.power_on_hours,
+            r.lifetime_reads,
+            r.lifetime_writes,
+            r.sectors_read,
+            r.sectors_written,
+            r.busy_hours
+        )?;
+    }
+    Ok(())
+}
+
+struct LineFields<'a> {
+    line_no: u64,
+    fields: std::str::Split<'a, char>,
+}
+
+impl<'a> LineFields<'a> {
+    fn new(line: &'a str, line_no: u64) -> Self {
+        LineFields {
+            line_no,
+            fields: line.split(','),
+        }
+    }
+
+    fn err(&self, reason: String) -> TraceError {
+        TraceError::Parse {
+            line: self.line_no,
+            reason,
+        }
+    }
+
+    fn next<T: std::str::FromStr>(&mut self, name: &str) -> Result<T>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let raw = self
+            .fields
+            .next()
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| self.err(format!("missing field `{name}`")))?;
+        raw.parse()
+            .map_err(|e| self.err(format!("bad {name}: {e}")))
+    }
+
+    fn finish(mut self) -> Result<()> {
+        if self.fields.next().is_some() {
+            return Err(self.err("too many fields".into()));
+        }
+        Ok(())
+    }
+}
+
+fn data_lines<R: Read>(
+    source: R,
+    expected_header: &'static str,
+) -> impl Iterator<Item = Result<(u64, String)>> {
+    let mut line_no = 0u64;
+    let mut header_seen = false;
+    BufReader::new(source).lines().filter_map(move |line| {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => return Some(Err(e.into())),
+        };
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return None;
+        }
+        if !header_seen {
+            header_seen = true;
+            if trimmed == expected_header {
+                return None;
+            }
+            // Headerless files are accepted; fall through to parse the
+            // first line as data.
+        }
+        Some(Ok((line_no, trimmed.to_owned())))
+    })
+}
+
+/// Reads hour records from CSV.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] with a line number on malformed input
+/// and [`TraceError::InvalidRecord`] for counter-inconsistent records.
+pub fn read_hours<R: Read>(source: R) -> Result<Vec<HourRecord>> {
+    let mut out = Vec::new();
+    for item in data_lines(source, HOUR_HEADER) {
+        let (line_no, line) = item?;
+        let mut f = LineFields::new(&line, line_no);
+        let drive: u32 = f.next("drive")?;
+        let hour: u32 = f.next("hour")?;
+        let reads: u64 = f.next("reads")?;
+        let writes: u64 = f.next("writes")?;
+        let sr: u64 = f.next("sectors_read")?;
+        let sw: u64 = f.next("sectors_written")?;
+        let busy: f64 = f.next("busy_secs")?;
+        f.finish()?;
+        out.push(HourRecord::new(DriveId(drive), hour, reads, writes, sr, sw, busy)?);
+    }
+    Ok(out)
+}
+
+/// Reads lifetime records from CSV.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] with a line number on malformed input
+/// and [`TraceError::InvalidRecord`] for counter-inconsistent records.
+pub fn read_lifetimes<R: Read>(source: R) -> Result<Vec<LifetimeRecord>> {
+    let mut out = Vec::new();
+    for item in data_lines(source, LIFETIME_HEADER) {
+        let (line_no, line) = item?;
+        let mut f = LineFields::new(&line, line_no);
+        let drive: u32 = f.next("drive")?;
+        let poh: u64 = f.next("power_on_hours")?;
+        let reads: u64 = f.next("reads")?;
+        let writes: u64 = f.next("writes")?;
+        let sr: u64 = f.next("sectors_read")?;
+        let sw: u64 = f.next("sectors_written")?;
+        let busy: f64 = f.next("busy_hours")?;
+        f.finish()?;
+        out.push(LifetimeRecord::new(
+            DriveId(drive),
+            poh,
+            reads,
+            writes,
+            sr,
+            sw,
+            busy,
+        )?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hour(drive: u32, h: u32) -> HourRecord {
+        HourRecord::new(DriveId(drive), h, 100 + h as u64, 50, 800, 400, 12.5).unwrap()
+    }
+
+    fn lifetime(drive: u32) -> LifetimeRecord {
+        LifetimeRecord::new(DriveId(drive), 1000, 5_000, 3_000, 40_000, 24_000, 42.25).unwrap()
+    }
+
+    #[test]
+    fn hour_roundtrip() {
+        let recs = vec![hour(0, 0), hour(0, 1), hour(3, 7)];
+        let mut buf = Vec::new();
+        write_hours(&mut buf, &recs).unwrap();
+        let back = read_hours(buf.as_slice()).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn lifetime_roundtrip() {
+        let recs = vec![lifetime(0), lifetime(1), lifetime(999)];
+        let mut buf = Vec::new();
+        write_lifetimes(&mut buf, &recs).unwrap();
+        let back = read_lifetimes(buf.as_slice()).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn output_starts_with_header() {
+        let mut buf = Vec::new();
+        write_hours(&mut buf, &[hour(0, 0)]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with(HOUR_HEADER));
+    }
+
+    #[test]
+    fn comments_blanks_and_header_are_skipped() {
+        let text = format!("# comment\n\n{HOUR_HEADER}\n0,0,10,5,80,40,1.5\n");
+        let recs = read_hours(text.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].reads, 10);
+    }
+
+    #[test]
+    fn headerless_input_is_accepted() {
+        let recs = read_hours("0,0,10,5,80,40,1.5\n".as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = format!("{HOUR_HEADER}\n0,0,10,5,80,40,1.5\n0,1,ten,5,80,40,1.5\n");
+        match read_hours(text.as_bytes()).unwrap_err() {
+            TraceError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected() {
+        for bad in [
+            "0,0,10,5,80,40",           // too few fields
+            "0,0,10,5,80,40,1.5,9",     // too many fields
+            "0,0,10,5,80,40,-2.0",      // invalid busy
+            "0,0,0,5,80,40,1.0",        // sectors read without reads
+        ] {
+            assert!(read_hours(bad.as_bytes()).is_err(), "{bad:?} accepted");
+        }
+        assert!(read_lifetimes("0,0,1,1,8,8,0.0".as_bytes()).is_err()); // zero POH
+    }
+
+    #[test]
+    fn empty_input_yields_empty_vec() {
+        assert!(read_hours("".as_bytes()).unwrap().is_empty());
+        assert!(read_lifetimes("# nothing\n".as_bytes()).unwrap().is_empty());
+    }
+}

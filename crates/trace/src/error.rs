@@ -1,0 +1,89 @@
+use std::fmt;
+use std::io;
+
+/// Error type for trace construction, parsing, and I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Underlying I/O failure while reading or writing a trace.
+    Io(io::Error),
+    /// A text-format line could not be parsed.
+    Parse {
+        /// 1-based line number within the input.
+        line: u64,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The binary stream did not start with the expected magic bytes.
+    BadMagic,
+    /// The binary stream declares an unsupported format version.
+    UnsupportedVersion(u16),
+    /// The binary stream ended in the middle of a record.
+    TruncatedRecord,
+    /// A record violated a structural invariant (zero-length request,
+    /// out-of-order arrival, inconsistent counters, …).
+    InvalidRecord {
+        /// Description of the violated invariant.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            TraceError::BadMagic => write!(f, "not a spindle binary trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported binary trace version {v}")
+            }
+            TraceError::TruncatedRecord => write!(f, "binary trace ends mid-record"),
+            TraceError::InvalidRecord { reason } => write!(f, "invalid record: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TraceError::Parse {
+            line: 17,
+            reason: "expected 5 fields".into(),
+        };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("5 fields"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let e = TraceError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

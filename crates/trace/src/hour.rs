@@ -1,0 +1,309 @@
+//! Per-hour (hour-granularity) trace records.
+//!
+//! The Hour traces record, for each drive and each hour of deployment, the
+//! number of read and write commands completed, the sectors moved in each
+//! direction, and the time the drive spent busy. [`HourSeries`] wraps a
+//! contiguous run of such records for one drive and offers the derived
+//! series (total operations, throughput, write fraction, utilization) the
+//! hour-scale analyses consume.
+
+use crate::{DriveId, Result, TraceError, SECTOR_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Activity counters for one drive over one hour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HourRecord {
+    /// Drive the counters belong to.
+    pub drive: DriveId,
+    /// Hour index from the start of the observation (0-based,
+    /// consecutive).
+    pub hour: u32,
+    /// Read commands completed in this hour.
+    pub reads: u64,
+    /// Write commands completed in this hour.
+    pub writes: u64,
+    /// Sectors read in this hour.
+    pub sectors_read: u64,
+    /// Sectors written in this hour.
+    pub sectors_written: u64,
+    /// Seconds (0–3600) the drive was servicing requests in this hour.
+    pub busy_secs: f64,
+}
+
+impl HourRecord {
+    /// Creates an hour record, validating its invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidRecord`] if `busy_secs` is outside
+    /// `[0, 3600]` or not finite, or if sector counts are inconsistent
+    /// with command counts (sectors moved with zero commands).
+    pub fn new(
+        drive: DriveId,
+        hour: u32,
+        reads: u64,
+        writes: u64,
+        sectors_read: u64,
+        sectors_written: u64,
+        busy_secs: f64,
+    ) -> Result<Self> {
+        if !busy_secs.is_finite() || !(0.0..=3600.0).contains(&busy_secs) {
+            return Err(TraceError::InvalidRecord {
+                reason: format!("busy_secs {busy_secs} outside [0, 3600]"),
+            });
+        }
+        if reads == 0 && sectors_read > 0 {
+            return Err(TraceError::InvalidRecord {
+                reason: "sectors read without read commands".into(),
+            });
+        }
+        if writes == 0 && sectors_written > 0 {
+            return Err(TraceError::InvalidRecord {
+                reason: "sectors written without write commands".into(),
+            });
+        }
+        Ok(HourRecord {
+            drive,
+            hour,
+            reads,
+            writes,
+            sectors_read,
+            sectors_written,
+            busy_secs,
+        })
+    }
+
+    /// Total commands (reads + writes) in this hour.
+    pub fn operations(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total bytes moved in this hour.
+    pub fn bytes(&self) -> u64 {
+        (self.sectors_read + self.sectors_written) * SECTOR_BYTES
+    }
+
+    /// Fraction of commands that are writes, or `None` for an idle hour.
+    pub fn write_fraction(&self) -> Option<f64> {
+        let total = self.operations();
+        if total == 0 {
+            None
+        } else {
+            Some(self.writes as f64 / total as f64)
+        }
+    }
+
+    /// Utilization in `[0, 1]`: fraction of the hour spent busy.
+    pub fn utilization(&self) -> f64 {
+        self.busy_secs / 3600.0
+    }
+}
+
+/// A contiguous sequence of hour records for a single drive.
+///
+/// Construction validates that all records target the same drive and that
+/// hour indices are consecutive starting from the first record's index —
+/// gaps would silently bias every burstiness statistic computed from the
+/// series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HourSeries {
+    records: Vec<HourRecord>,
+}
+
+impl HourSeries {
+    /// Wraps records into a validated series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidRecord`] if the records are empty,
+    /// span multiple drives, or have non-consecutive hour indices.
+    pub fn new(records: Vec<HourRecord>) -> Result<Self> {
+        let first = records.first().ok_or_else(|| TraceError::InvalidRecord {
+            reason: "hour series must contain at least one record".into(),
+        })?;
+        let drive = first.drive;
+        let start = first.hour;
+        for (i, r) in records.iter().enumerate() {
+            if r.drive != drive {
+                return Err(TraceError::InvalidRecord {
+                    reason: format!("record {i} targets {} but series is for {drive}", r.drive),
+                });
+            }
+            let expected = start + i as u32;
+            if r.hour != expected {
+                return Err(TraceError::InvalidRecord {
+                    reason: format!("record {i} has hour {} but {expected} expected", r.hour),
+                });
+            }
+        }
+        Ok(HourSeries { records })
+    }
+
+    /// The drive this series describes.
+    pub fn drive(&self) -> DriveId {
+        self.records[0].drive
+    }
+
+    /// Number of hours covered.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Never true: construction rejects empty series. Provided for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Borrowed view of the records.
+    pub fn records(&self) -> &[HourRecord] {
+        &self.records
+    }
+
+    /// Iterator over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, HourRecord> {
+        self.records.iter()
+    }
+
+    /// Per-hour total operation counts (the main hour-scale burstiness
+    /// series).
+    pub fn operations_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.operations() as f64).collect()
+    }
+
+    /// Per-hour bytes-moved series.
+    pub fn bytes_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.bytes() as f64).collect()
+    }
+
+    /// Per-hour utilization series (values in `[0, 1]`).
+    pub fn utilization_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.utilization()).collect()
+    }
+
+    /// Per-hour write-fraction series; idle hours yield `None`.
+    pub fn write_fraction_series(&self) -> Vec<Option<f64>> {
+        self.records.iter().map(|r| r.write_fraction()).collect()
+    }
+
+    /// Longest run of consecutive hours whose utilization is at least
+    /// `threshold` — the statistic behind the paper's "a portion of drives
+    /// fully utilize the available bandwidth for hours at a time".
+    pub fn longest_saturated_run(&self, threshold: f64) -> usize {
+        let mut best = 0usize;
+        let mut current = 0usize;
+        for r in &self.records {
+            if r.utilization() >= threshold {
+                current += 1;
+                best = best.max(current);
+            } else {
+                current = 0;
+            }
+        }
+        best
+    }
+
+    /// Total operations over the whole series.
+    pub fn total_operations(&self) -> u64 {
+        self.records.iter().map(|r| r.operations()).sum()
+    }
+
+    /// Mean utilization over the whole series.
+    pub fn mean_utilization(&self) -> f64 {
+        self.records.iter().map(|r| r.utilization()).sum::<f64>() / self.records.len() as f64
+    }
+}
+
+impl<'a> IntoIterator for &'a HourSeries {
+    type Item = &'a HourRecord;
+    type IntoIter = std::slice::Iter<'a, HourRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(hour: u32, reads: u64, writes: u64, busy: f64) -> HourRecord {
+        HourRecord::new(DriveId(1), hour, reads, writes, reads * 8, writes * 8, busy).unwrap()
+    }
+
+    #[test]
+    fn record_validation() {
+        assert!(HourRecord::new(DriveId(0), 0, 1, 1, 8, 8, -1.0).is_err());
+        assert!(HourRecord::new(DriveId(0), 0, 1, 1, 8, 8, 3601.0).is_err());
+        assert!(HourRecord::new(DriveId(0), 0, 0, 1, 8, 8, 10.0).is_err());
+        assert!(HourRecord::new(DriveId(0), 0, 1, 0, 8, 8, 10.0).is_err());
+        assert!(HourRecord::new(DriveId(0), 0, 1, 1, 8, 8, f64::NAN).is_err());
+        assert!(HourRecord::new(DriveId(0), 0, 0, 0, 0, 0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn derived_record_quantities() {
+        let r = rec(0, 30, 10, 360.0);
+        assert_eq!(r.operations(), 40);
+        assert_eq!(r.bytes(), 40 * 8 * 512);
+        assert!((r.write_fraction().unwrap() - 0.25).abs() < 1e-12);
+        assert!((r.utilization() - 0.1).abs() < 1e-12);
+        let idle = rec(1, 0, 0, 0.0);
+        assert_eq!(idle.write_fraction(), None);
+    }
+
+    #[test]
+    fn series_rejects_gaps_and_mixed_drives() {
+        assert!(HourSeries::new(vec![]).is_err());
+        assert!(HourSeries::new(vec![rec(0, 1, 1, 1.0), rec(2, 1, 1, 1.0)]).is_err());
+        let other = HourRecord::new(DriveId(2), 1, 1, 1, 8, 8, 1.0).unwrap();
+        assert!(HourSeries::new(vec![rec(0, 1, 1, 1.0), other]).is_err());
+    }
+
+    #[test]
+    fn series_accepts_nonzero_start() {
+        let s = HourSeries::new(vec![rec(5, 1, 1, 1.0), rec(6, 2, 2, 2.0)]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.drive(), DriveId(1));
+    }
+
+    #[test]
+    fn derived_series() {
+        let s = HourSeries::new(vec![rec(0, 10, 10, 360.0), rec(1, 0, 0, 0.0), rec(2, 5, 15, 1800.0)])
+            .unwrap();
+        assert_eq!(s.operations_series(), vec![20.0, 0.0, 20.0]);
+        assert_eq!(s.utilization_series(), vec![0.1, 0.0, 0.5]);
+        let wf = s.write_fraction_series();
+        assert!((wf[0].unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(wf[1], None);
+        assert!((wf[2].unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(s.total_operations(), 40);
+        assert!((s.mean_utilization() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longest_saturated_run_counts_consecutive_hours() {
+        let mk = |busy: f64, hour: u32| rec(hour, 1, 1, busy);
+        // Utilizations: 1.0, 1.0, 0.1, 1.0, 1.0, 1.0.
+        let s = HourSeries::new(vec![
+            mk(3600.0, 0),
+            mk(3600.0, 1),
+            mk(360.0, 2),
+            mk(3600.0, 3),
+            mk(3600.0, 4),
+            mk(3600.0, 5),
+        ])
+        .unwrap();
+        assert_eq!(s.longest_saturated_run(0.95), 3);
+        assert_eq!(s.longest_saturated_run(0.05), 6);
+        assert_eq!(s.longest_saturated_run(1.01), 0);
+    }
+
+    #[test]
+    fn iteration() {
+        let s = HourSeries::new(vec![rec(0, 1, 1, 1.0), rec(1, 2, 2, 2.0)]).unwrap();
+        assert_eq!(s.iter().count(), 2);
+        assert_eq!((&s).into_iter().count(), 2);
+        assert_eq!(s.records().len(), 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! Disk-level trace data model and I/O.
+//!
+//! The paper characterizes three sets of traces that differ in the
+//! granularity of the recorded information; this crate defines one record
+//! type per granularity plus the codecs to store and stream them:
+//!
+//! * [`Request`] — the **Millisecond** traces: one record per disk request
+//!   with nanosecond arrival time, logical block address, length, and
+//!   direction.
+//! * [`HourRecord`] — the **Hour** traces: per-drive, per-hour activity
+//!   counters (reads, writes, sectors moved, busy time) as collected by
+//!   drive-resident monitoring over weeks.
+//! * [`LifetimeRecord`] — the **Lifetime** traces: cumulative per-drive
+//!   counters over the drive's entire deployment, available for every
+//!   member of a drive family.
+//!
+//! Codecs: a line-oriented text format ([`text`]) for interoperability and
+//! a compact binary format ([`binary`]) for large request streams. Stream
+//! transformations (time-window slicing, per-drive splitting, merging)
+//! live in [`transform`].
+//!
+//! # Example
+//!
+//! ```
+//! use spindle_trace::{Request, OpKind, DriveId};
+//!
+//! let r = Request::new(1_500_000, DriveId(0), OpKind::Read, 2048, 16).unwrap();
+//! assert_eq!(r.bytes(), 16 * 512);
+//! assert_eq!(r.end_lba(), 2064);
+//! assert!((r.arrival_secs() - 0.0015).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod anonymize;
+pub mod binary;
+pub mod csv;
+pub mod hour;
+pub mod lifetime;
+pub mod meta;
+pub mod request;
+pub mod text;
+pub mod transform;
+
+mod error;
+
+pub use error::TraceError;
+pub use hour::{HourRecord, HourSeries};
+pub use lifetime::LifetimeRecord;
+pub use meta::{Granularity, TraceMeta};
+pub use request::{DriveId, OpKind, Request, SECTOR_BYTES};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TraceError>;

@@ -1,0 +1,207 @@
+//! Lifetime-granularity trace records.
+//!
+//! The Lifetime traces are cumulative counters maintained by the drive
+//! itself over its entire deployment — the coarsest of the three time
+//! scales, but the only one available for *every* member of a drive
+//! family, which is what makes cross-family variability analysis possible.
+
+use crate::{DriveId, Result, TraceError, SECTOR_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Cumulative per-drive counters over the drive's deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeRecord {
+    /// Drive the counters belong to.
+    pub drive: DriveId,
+    /// Total hours the drive has been powered on.
+    pub power_on_hours: u64,
+    /// Total read commands completed over the lifetime.
+    pub lifetime_reads: u64,
+    /// Total write commands completed over the lifetime.
+    pub lifetime_writes: u64,
+    /// Total sectors read over the lifetime.
+    pub sectors_read: u64,
+    /// Total sectors written over the lifetime.
+    pub sectors_written: u64,
+    /// Total hours the drive spent busy servicing requests.
+    pub busy_hours: f64,
+}
+
+impl LifetimeRecord {
+    /// Creates a lifetime record, validating its invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidRecord`] if `power_on_hours == 0`, if
+    /// `busy_hours` is negative, not finite, or exceeds `power_on_hours`,
+    /// or if sector counts are inconsistent with command counts.
+    pub fn new(
+        drive: DriveId,
+        power_on_hours: u64,
+        lifetime_reads: u64,
+        lifetime_writes: u64,
+        sectors_read: u64,
+        sectors_written: u64,
+        busy_hours: f64,
+    ) -> Result<Self> {
+        if power_on_hours == 0 {
+            return Err(TraceError::InvalidRecord {
+                reason: "lifetime record needs at least one power-on hour".into(),
+            });
+        }
+        if !busy_hours.is_finite() || busy_hours < 0.0 || busy_hours > power_on_hours as f64 {
+            return Err(TraceError::InvalidRecord {
+                reason: format!("busy_hours {busy_hours} outside [0, power_on_hours]"),
+            });
+        }
+        if lifetime_reads == 0 && sectors_read > 0 {
+            return Err(TraceError::InvalidRecord {
+                reason: "sectors read without read commands".into(),
+            });
+        }
+        if lifetime_writes == 0 && sectors_written > 0 {
+            return Err(TraceError::InvalidRecord {
+                reason: "sectors written without write commands".into(),
+            });
+        }
+        Ok(LifetimeRecord {
+            drive,
+            power_on_hours,
+            lifetime_reads,
+            lifetime_writes,
+            sectors_read,
+            sectors_written,
+            busy_hours,
+        })
+    }
+
+    /// Total commands over the lifetime.
+    pub fn operations(&self) -> u64 {
+        self.lifetime_reads + self.lifetime_writes
+    }
+
+    /// Total bytes moved over the lifetime.
+    pub fn bytes(&self) -> u64 {
+        (self.sectors_read + self.sectors_written) * SECTOR_BYTES
+    }
+
+    /// Lifetime-average utilization in `[0, 1]`: busy hours over power-on
+    /// hours.
+    pub fn mean_utilization(&self) -> f64 {
+        self.busy_hours / self.power_on_hours as f64
+    }
+
+    /// Lifetime-average data rate in megabytes per power-on hour.
+    pub fn mb_per_hour(&self) -> f64 {
+        self.bytes() as f64 / 1e6 / self.power_on_hours as f64
+    }
+
+    /// Lifetime-average command rate per power-on hour.
+    pub fn ops_per_hour(&self) -> f64 {
+        self.operations() as f64 / self.power_on_hours as f64
+    }
+
+    /// Fraction of lifetime commands that are writes, or `None` for a
+    /// drive that never serviced a command.
+    pub fn write_fraction(&self) -> Option<f64> {
+        let total = self.operations();
+        if total == 0 {
+            None
+        } else {
+            Some(self.lifetime_writes as f64 / total as f64)
+        }
+    }
+}
+
+/// Accumulates hour records into a lifetime record, the way drive
+/// firmware accumulates its lifetime counters.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidRecord`] if `hours` is empty or the
+/// records span multiple drives.
+pub fn accumulate_lifetime(hours: &[crate::HourRecord]) -> Result<LifetimeRecord> {
+    let first = hours.first().ok_or_else(|| TraceError::InvalidRecord {
+        reason: "cannot accumulate an empty hour series".into(),
+    })?;
+    let drive = first.drive;
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut sr = 0u64;
+    let mut sw = 0u64;
+    let mut busy = 0.0f64;
+    for h in hours {
+        if h.drive != drive {
+            return Err(TraceError::InvalidRecord {
+                reason: "hour records span multiple drives".into(),
+            });
+        }
+        reads += h.reads;
+        writes += h.writes;
+        sr += h.sectors_read;
+        sw += h.sectors_written;
+        busy += h.busy_secs / 3600.0;
+    }
+    LifetimeRecord::new(drive, hours.len() as u64, reads, writes, sr, sw, busy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HourRecord;
+
+    #[test]
+    fn validation() {
+        assert!(LifetimeRecord::new(DriveId(0), 0, 1, 1, 8, 8, 0.0).is_err());
+        assert!(LifetimeRecord::new(DriveId(0), 10, 1, 1, 8, 8, -1.0).is_err());
+        assert!(LifetimeRecord::new(DriveId(0), 10, 1, 1, 8, 8, 11.0).is_err());
+        assert!(LifetimeRecord::new(DriveId(0), 10, 0, 1, 8, 8, 1.0).is_err());
+        assert!(LifetimeRecord::new(DriveId(0), 10, 1, 0, 8, 8, 1.0).is_err());
+        assert!(LifetimeRecord::new(DriveId(0), 10, 1, 1, 8, 8, 1.0).is_ok());
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let r =
+            LifetimeRecord::new(DriveId(0), 1000, 600_000, 400_000, 4_800_000, 3_200_000, 100.0)
+                .unwrap();
+        assert_eq!(r.operations(), 1_000_000);
+        assert_eq!(r.bytes(), 8_000_000 * 512);
+        assert!((r.mean_utilization() - 0.1).abs() < 1e-12);
+        assert!((r.ops_per_hour() - 1000.0).abs() < 1e-12);
+        assert!((r.write_fraction().unwrap() - 0.4).abs() < 1e-12);
+        assert!((r.mb_per_hour() - 8_000_000.0 * 512.0 / 1e6 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_drive_write_fraction_is_none() {
+        let r = LifetimeRecord::new(DriveId(0), 100, 0, 0, 0, 0, 0.0).unwrap();
+        assert_eq!(r.write_fraction(), None);
+        assert_eq!(r.mean_utilization(), 0.0);
+    }
+
+    #[test]
+    fn accumulation_matches_manual_sum() {
+        let hours: Vec<HourRecord> = (0..48)
+            .map(|h| {
+                HourRecord::new(DriveId(2), h, 100, 50, 800, 400, 36.0).unwrap()
+            })
+            .collect();
+        let lt = accumulate_lifetime(&hours).unwrap();
+        assert_eq!(lt.power_on_hours, 48);
+        assert_eq!(lt.lifetime_reads, 4800);
+        assert_eq!(lt.lifetime_writes, 2400);
+        assert_eq!(lt.sectors_read, 38_400);
+        assert_eq!(lt.sectors_written, 19_200);
+        assert!((lt.busy_hours - 48.0 * 0.01).abs() < 1e-9);
+        assert!((lt.mean_utilization() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulation_rejects_mixed_drives() {
+        let a = HourRecord::new(DriveId(0), 0, 1, 1, 8, 8, 1.0).unwrap();
+        let b = HourRecord::new(DriveId(1), 1, 1, 1, 8, 8, 1.0).unwrap();
+        assert!(accumulate_lifetime(&[a, b]).is_err());
+        assert!(accumulate_lifetime(&[]).is_err());
+    }
+}

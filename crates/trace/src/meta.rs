@@ -1,0 +1,100 @@
+//! Trace-set metadata.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Granularity of a trace set — which of the paper's three time scales it
+/// records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Per-request records with sub-millisecond timestamps.
+    Millisecond,
+    /// Per-hour activity counters.
+    Hour,
+    /// Cumulative lifetime counters.
+    Lifetime,
+}
+
+impl Granularity {
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            Granularity::Millisecond => "Millisecond",
+            Granularity::Hour => "Hour",
+            Granularity::Lifetime => "Lifetime",
+        }
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Descriptive metadata for a trace set, mirroring the paper's trace
+/// inventory table: what was recorded, from how many drives, and for how
+/// long.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Short identifier (e.g. `"mail"`, `"web"`).
+    pub name: String,
+    /// Which time scale the set records.
+    pub granularity: Granularity,
+    /// Number of drives covered.
+    pub drives: u32,
+    /// Observation span in seconds (per drive).
+    pub span_secs: f64,
+    /// Free-form description of the workload environment.
+    pub environment: String,
+}
+
+impl TraceMeta {
+    /// Creates trace metadata.
+    pub fn new(
+        name: impl Into<String>,
+        granularity: Granularity,
+        drives: u32,
+        span_secs: f64,
+        environment: impl Into<String>,
+    ) -> Self {
+        TraceMeta {
+            name: name.into(),
+            granularity,
+            drives,
+            span_secs,
+            environment: environment.into(),
+        }
+    }
+
+    /// Observation span expressed in hours.
+    pub fn span_hours(&self) -> f64 {
+        self.span_secs / 3600.0
+    }
+
+    /// Observation span expressed in days.
+    pub fn span_days(&self) -> f64 {
+        self.span_secs / 86_400.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_names() {
+        assert_eq!(Granularity::Millisecond.to_string(), "Millisecond");
+        assert_eq!(Granularity::Hour.name(), "Hour");
+        assert_eq!(Granularity::Lifetime.name(), "Lifetime");
+    }
+
+    #[test]
+    fn span_conversions() {
+        let m = TraceMeta::new("mail", Granularity::Millisecond, 4, 86_400.0, "e-mail server");
+        assert!((m.span_hours() - 24.0).abs() < 1e-12);
+        assert!((m.span_days() - 1.0).abs() < 1e-12);
+        assert_eq!(m.name, "mail");
+        assert_eq!(m.drives, 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-request (millisecond-granularity) trace records.
+
+use crate::{Result, TraceError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bytes per logical sector. Enterprise drives of the paper's era use
+/// 512-byte logical sectors.
+pub const SECTOR_BYTES: u64 = 512;
+
+/// Identifier of a drive within a trace set.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DriveId(pub u32);
+
+impl fmt::Display for DriveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "drive-{}", self.0)
+    }
+}
+
+impl From<u32> for DriveId {
+    fn from(v: u32) -> Self {
+        DriveId(v)
+    }
+}
+
+/// Direction of a disk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Data flows from the medium to the host.
+    Read,
+    /// Data flows from the host to the medium.
+    Write,
+}
+
+impl OpKind {
+    /// Single-character code used by the text trace format (`R`/`W`).
+    pub fn code(self) -> char {
+        match self {
+            OpKind::Read => 'R',
+            OpKind::Write => 'W',
+        }
+    }
+
+    /// Parses the single-character code, accepting lower case.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidRecord`] for anything but `R`/`W`.
+    pub fn from_code(c: char) -> Result<Self> {
+        match c {
+            'R' | 'r' => Ok(OpKind::Read),
+            'W' | 'w' => Ok(OpKind::Write),
+            other => Err(TraceError::InvalidRecord {
+                reason: format!("unknown op code {other:?} (expected R or W)"),
+            }),
+        }
+    }
+
+    /// Whether this is a read.
+    pub fn is_read(self) -> bool {
+        matches!(self, OpKind::Read)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => f.write_str("read"),
+            OpKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// One disk request as recorded in the Millisecond traces: arrival time,
+/// target drive, direction, start LBA, and length in sectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival time in nanoseconds from the trace origin.
+    pub arrival_ns: u64,
+    /// Drive the request targets.
+    pub drive: DriveId,
+    /// Read or write.
+    pub op: OpKind,
+    /// First logical block address touched.
+    pub lba: u64,
+    /// Number of sectors transferred (non-zero).
+    pub sectors: u32,
+}
+
+impl Request {
+    /// Creates a request, validating its invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidRecord`] if `sectors == 0` or if
+    /// `lba + sectors` overflows.
+    pub fn new(arrival_ns: u64, drive: DriveId, op: OpKind, lba: u64, sectors: u32) -> Result<Self> {
+        if sectors == 0 {
+            return Err(TraceError::InvalidRecord {
+                reason: "request must transfer at least one sector".into(),
+            });
+        }
+        if lba.checked_add(sectors as u64).is_none() {
+            return Err(TraceError::InvalidRecord {
+                reason: "request extends past the addressable LBA range".into(),
+            });
+        }
+        Ok(Request {
+            arrival_ns,
+            drive,
+            op,
+            lba,
+            sectors,
+        })
+    }
+
+    /// Arrival time in seconds from the trace origin.
+    pub fn arrival_secs(&self) -> f64 {
+        self.arrival_ns as f64 / 1e9
+    }
+
+    /// Bytes transferred by this request.
+    pub fn bytes(&self) -> u64 {
+        self.sectors as u64 * SECTOR_BYTES
+    }
+
+    /// First LBA past the end of the transfer.
+    pub fn end_lba(&self) -> u64 {
+        self.lba + self.sectors as u64
+    }
+
+    /// Whether this request starts exactly where `prev` ended — the
+    /// sequentiality criterion used in access-pattern analysis.
+    pub fn is_sequential_after(&self, prev: &Request) -> bool {
+        self.drive == prev.drive && self.lba == prev.end_lba()
+    }
+
+    /// Whether the LBA ranges of the two requests overlap (same drive
+    /// only).
+    pub fn overlaps(&self, other: &Request) -> bool {
+        self.drive == other.drive && self.lba < other.end_lba() && other.lba < self.end_lba()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Request::new(0, DriveId(0), OpKind::Read, 0, 0).is_err());
+        assert!(Request::new(0, DriveId(0), OpKind::Read, u64::MAX, 2).is_err());
+        assert!(Request::new(0, DriveId(0), OpKind::Read, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let r = Request::new(2_000_000_000, DriveId(3), OpKind::Write, 100, 8).unwrap();
+        assert_eq!(r.bytes(), 4096);
+        assert_eq!(r.end_lba(), 108);
+        assert!((r.arrival_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequentiality_requires_same_drive_and_adjacency() {
+        let a = Request::new(0, DriveId(0), OpKind::Read, 100, 8).unwrap();
+        let b = Request::new(1, DriveId(0), OpKind::Read, 108, 8).unwrap();
+        let c = Request::new(2, DriveId(1), OpKind::Read, 116, 8).unwrap();
+        let d = Request::new(3, DriveId(0), OpKind::Read, 200, 8).unwrap();
+        assert!(b.is_sequential_after(&a));
+        assert!(!c.is_sequential_after(&b));
+        assert!(!d.is_sequential_after(&b));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Request::new(0, DriveId(0), OpKind::Write, 100, 10).unwrap();
+        let b = Request::new(0, DriveId(0), OpKind::Read, 105, 10).unwrap();
+        let c = Request::new(0, DriveId(0), OpKind::Read, 110, 10).unwrap();
+        let d = Request::new(0, DriveId(1), OpKind::Read, 105, 10).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c)); // adjacent, not overlapping
+        assert!(!a.overlaps(&d)); // different drive
+    }
+
+    #[test]
+    fn op_codes_roundtrip() {
+        assert_eq!(OpKind::from_code('R').unwrap(), OpKind::Read);
+        assert_eq!(OpKind::from_code('w').unwrap(), OpKind::Write);
+        assert!(OpKind::from_code('X').is_err());
+        assert_eq!(OpKind::Read.code(), 'R');
+        assert_eq!(OpKind::Write.code(), 'W');
+        assert!(OpKind::Read.is_read());
+        assert!(!OpKind::Write.is_read());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DriveId(7).to_string(), "drive-7");
+        assert_eq!(OpKind::Read.to_string(), "read");
+        assert_eq!(OpKind::Write.to_string(), "write");
+    }
+}

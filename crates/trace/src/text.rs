@@ -1,0 +1,215 @@
+//! Line-oriented text codec for request traces.
+//!
+//! The format is one request per line, comma-separated, in the spirit of
+//! the SPC and blktrace text exports most trace repositories use:
+//!
+//! ```text
+//! # spindle request trace v1
+//! # arrival_ns,drive,op,lba,sectors
+//! 1500000,0,R,2048,16
+//! 2250000,0,W,4096,8
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored. The reader is
+//! streaming: it yields `Result<Request>` per line and never buffers the
+//! whole trace.
+
+use crate::{DriveId, OpKind, Request, Result, TraceError};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Header comment written at the top of every text trace.
+pub const TEXT_HEADER: &str = "# spindle request trace v1\n# arrival_ns,drive,op,lba,sectors\n";
+
+/// Writes requests in the text format, preceded by [`TEXT_HEADER`].
+///
+/// A `&mut W` can be passed wherever a `W: Write` is expected.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_requests<'a, W, I>(mut w: W, requests: I) -> Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a Request>,
+{
+    w.write_all(TEXT_HEADER.as_bytes())?;
+    for r in requests {
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            r.arrival_ns,
+            r.drive.0,
+            r.op.code(),
+            r.lba,
+            r.sectors
+        )?;
+    }
+    Ok(())
+}
+
+/// Streaming reader over a text-format request trace.
+///
+/// Implements `Iterator<Item = Result<Request>>`; parsing stops at the
+/// first I/O error.
+#[derive(Debug)]
+pub struct TextReader<R> {
+    lines: std::io::Lines<BufReader<R>>,
+    line_no: u64,
+}
+
+impl<R: Read> TextReader<R> {
+    /// Creates a reader over any `Read` source (a `&mut R` also works).
+    pub fn new(source: R) -> Self {
+        TextReader {
+            lines: BufReader::new(source).lines(),
+            line_no: 0,
+        }
+    }
+}
+
+fn parse_line(line: &str, line_no: u64) -> Result<Request> {
+    let err = |reason: String| TraceError::Parse {
+        line: line_no,
+        reason,
+    };
+    let mut fields = line.split(',');
+    let mut next = |name: &str| {
+        fields
+            .next()
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| err(format!("missing field `{name}`")))
+    };
+    let arrival_ns: u64 = next("arrival_ns")?
+        .parse()
+        .map_err(|e| err(format!("bad arrival_ns: {e}")))?;
+    let drive: u32 = next("drive")?
+        .parse()
+        .map_err(|e| err(format!("bad drive id: {e}")))?;
+    let op_str = next("op")?;
+    let mut op_chars = op_str.chars();
+    let op_char = op_chars.next().expect("field is non-empty");
+    if op_chars.next().is_some() {
+        return Err(err(format!("op field must be a single character, got {op_str:?}")));
+    }
+    let op = OpKind::from_code(op_char).map_err(|e| err(e.to_string()))?;
+    let lba: u64 = next("lba")?
+        .parse()
+        .map_err(|e| err(format!("bad lba: {e}")))?;
+    let sectors: u32 = next("sectors")?
+        .parse()
+        .map_err(|e| err(format!("bad sectors: {e}")))?;
+    if fields.next().is_some() {
+        return Err(err("too many fields".into()));
+    }
+    Request::new(arrival_ns, DriveId(drive), op, lba, sectors).map_err(|e| err(e.to_string()))
+}
+
+impl<R: Read> Iterator for TextReader<R> {
+    type Item = Result<Request>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(l) => l,
+                Err(e) => return Some(Err(e.into())),
+            };
+            self.line_no += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some(parse_line(trimmed, self.line_no));
+        }
+    }
+}
+
+/// Reads an entire text trace into memory.
+///
+/// # Errors
+///
+/// Propagates the first parse or I/O error.
+pub fn read_requests<R: Read>(source: R) -> Result<Vec<Request>> {
+    TextReader::new(source).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::new(1_500_000, DriveId(0), OpKind::Read, 2048, 16).unwrap(),
+            Request::new(2_250_000, DriveId(0), OpKind::Write, 4096, 8).unwrap(),
+            Request::new(9_000_000, DriveId(3), OpKind::Read, 0, 128).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let reqs = sample_requests();
+        let mut buf = Vec::new();
+        write_requests(&mut buf, &reqs).unwrap();
+        let back = read_requests(buf.as_slice()).unwrap();
+        assert_eq!(back, reqs);
+    }
+
+    #[test]
+    fn header_and_comments_are_skipped() {
+        let text = "# comment\n\n  \n10,1,W,100,4\n# trailing comment\n";
+        let reqs = read_requests(text.as_bytes()).unwrap();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].op, OpKind::Write);
+    }
+
+    #[test]
+    fn whitespace_around_fields_is_tolerated() {
+        let reqs = read_requests(" 10 , 1 , R , 100 , 4 \n".as_bytes()).unwrap();
+        assert_eq!(reqs[0].lba, 100);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "10,1,R,100,4\nnot,a,valid,line,x\n";
+        let err = read_requests(text.as_bytes()).unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "10,1,R,100",        // too few fields
+            "10,1,R,100,4,9",    // too many fields
+            "10,1,X,100,4",      // bad op
+            "10,1,RW,100,4",     // multi-char op
+            "-1,1,R,100,4",      // negative arrival
+            "10,1,R,100,0",      // zero sectors
+            "ten,1,R,100,4",     // non-numeric
+        ] {
+            assert!(
+                read_requests(bad.as_bytes()).is_err(),
+                "line {bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_reader_yields_per_line() {
+        let text = "1,0,R,0,1\n2,0,W,8,1\n";
+        let mut reader = TextReader::new(text.as_bytes());
+        assert_eq!(reader.next().unwrap().unwrap().arrival_ns, 1);
+        assert_eq!(reader.next().unwrap().unwrap().arrival_ns, 2);
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn written_output_starts_with_header() {
+        let mut buf = Vec::new();
+        write_requests(&mut buf, &sample_requests()).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("# spindle request trace v1"));
+    }
+}

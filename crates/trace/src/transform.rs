@@ -1,0 +1,276 @@
+//! Stream transformations over request traces.
+//!
+//! Slicing, splitting, merging, and validation of request streams. The
+//! analyses always operate on a single drive's stream over a known
+//! observation window; these helpers carve that out of raw multi-drive
+//! traces.
+
+use crate::{DriveId, OpKind, Request, Result, TraceError};
+use std::collections::BTreeMap;
+
+/// Checks that arrivals are non-decreasing — the invariant every analysis
+/// and the disk simulator rely on.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidRecord`] naming the first offending index.
+pub fn validate_sorted(requests: &[Request]) -> Result<()> {
+    for (i, w) in requests.windows(2).enumerate() {
+        if w[1].arrival_ns < w[0].arrival_ns {
+            return Err(TraceError::InvalidRecord {
+                reason: format!(
+                    "arrival order violated at index {}: {} ns after {} ns",
+                    i + 1,
+                    w[1].arrival_ns,
+                    w[0].arrival_ns
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Splits a multi-drive stream into per-drive streams, preserving arrival
+/// order within each drive.
+pub fn split_by_drive(requests: &[Request]) -> BTreeMap<DriveId, Vec<Request>> {
+    let mut map: BTreeMap<DriveId, Vec<Request>> = BTreeMap::new();
+    for &r in requests {
+        map.entry(r.drive).or_default().push(r);
+    }
+    map
+}
+
+/// Returns the requests whose arrival falls in `[start_ns, end_ns)`.
+pub fn time_window(requests: &[Request], start_ns: u64, end_ns: u64) -> Vec<Request> {
+    requests
+        .iter()
+        .filter(|r| r.arrival_ns >= start_ns && r.arrival_ns < end_ns)
+        .copied()
+        .collect()
+}
+
+/// Returns only the requests of the given direction.
+pub fn filter_op(requests: &[Request], op: OpKind) -> Vec<Request> {
+    requests.iter().filter(|r| r.op == op).copied().collect()
+}
+
+/// Merges several individually sorted streams into one sorted stream
+/// (k-way merge, stable for equal timestamps in input order).
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidRecord`] if any input stream is not
+/// sorted.
+pub fn merge_sorted(streams: &[Vec<Request>]) -> Result<Vec<Request>> {
+    for s in streams {
+        validate_sorted(s)?;
+    }
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; streams.len()];
+    loop {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, s) in streams.iter().enumerate() {
+            if let Some(r) = s.get(cursors[i]) {
+                match best {
+                    Some((_, t)) if r.arrival_ns >= t => {}
+                    _ => best = Some((i, r.arrival_ns)),
+                }
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                out.push(streams[i][cursors[i]]);
+                cursors[i] += 1;
+            }
+            None => break,
+        }
+    }
+    Ok(out)
+}
+
+/// Shifts every arrival so the first request arrives at `origin_ns`
+/// (usually 0) — normalizes traces captured with wall-clock timestamps.
+///
+/// Returns an empty vector for empty input.
+pub fn rebase_time(requests: &[Request], origin_ns: u64) -> Vec<Request> {
+    let Some(first) = requests.first() else {
+        return Vec::new();
+    };
+    let base = first.arrival_ns;
+    requests
+        .iter()
+        .map(|r| Request {
+            arrival_ns: origin_ns + (r.arrival_ns - base),
+            ..*r
+        })
+        .collect()
+}
+
+/// Summary counters for one stream — the per-trace sanity block printed by
+/// the CLI before analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StreamSummary {
+    /// Number of requests.
+    pub requests: u64,
+    /// Number of read requests.
+    pub reads: u64,
+    /// Number of write requests.
+    pub writes: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Arrival time of the first request (ns), 0 for an empty stream.
+    pub first_arrival_ns: u64,
+    /// Arrival time of the last request (ns), 0 for an empty stream.
+    pub last_arrival_ns: u64,
+    /// Number of distinct drives.
+    pub drives: u32,
+}
+
+impl StreamSummary {
+    /// Span between first and last arrival, in seconds.
+    pub fn span_secs(&self) -> f64 {
+        (self.last_arrival_ns - self.first_arrival_ns) as f64 / 1e9
+    }
+
+    /// Mean arrival rate over the span in requests per second, or `None`
+    /// for fewer than two requests.
+    pub fn arrival_rate(&self) -> Option<f64> {
+        if self.requests < 2 || self.span_secs() == 0.0 {
+            None
+        } else {
+            Some(self.requests as f64 / self.span_secs())
+        }
+    }
+}
+
+/// Computes the [`StreamSummary`] of a stream.
+pub fn summarize(requests: &[Request]) -> StreamSummary {
+    let mut s = StreamSummary::default();
+    let mut drives = std::collections::BTreeSet::new();
+    for r in requests {
+        s.requests += 1;
+        match r.op {
+            OpKind::Read => s.reads += 1,
+            OpKind::Write => s.writes += 1,
+        }
+        s.bytes += r.bytes();
+        drives.insert(r.drive);
+    }
+    s.drives = drives.len() as u32;
+    if let (Some(first), Some(last)) = (requests.first(), requests.last()) {
+        s.first_arrival_ns = first.arrival_ns;
+        s.last_arrival_ns = last.arrival_ns;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(t: u64, drive: u32, op: OpKind) -> Request {
+        Request::new(t, DriveId(drive), op, t, 8).unwrap()
+    }
+
+    #[test]
+    fn sorted_validation() {
+        let good = vec![req(1, 0, OpKind::Read), req(1, 0, OpKind::Write), req(5, 0, OpKind::Read)];
+        assert!(validate_sorted(&good).is_ok());
+        let bad = vec![req(5, 0, OpKind::Read), req(1, 0, OpKind::Read)];
+        assert!(validate_sorted(&bad).is_err());
+        assert!(validate_sorted(&[]).is_ok());
+    }
+
+    #[test]
+    fn split_preserves_order() {
+        let stream = vec![
+            req(1, 0, OpKind::Read),
+            req(2, 1, OpKind::Read),
+            req(3, 0, OpKind::Write),
+            req(4, 1, OpKind::Write),
+        ];
+        let split = split_by_drive(&stream);
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[&DriveId(0)].len(), 2);
+        assert_eq!(split[&DriveId(0)][1].arrival_ns, 3);
+        assert_eq!(split[&DriveId(1)][0].arrival_ns, 2);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let stream: Vec<Request> = (0..10).map(|t| req(t, 0, OpKind::Read)).collect();
+        let w = time_window(&stream, 2, 5);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].arrival_ns, 2);
+        assert_eq!(w[2].arrival_ns, 4);
+    }
+
+    #[test]
+    fn op_filter() {
+        let stream = vec![req(1, 0, OpKind::Read), req(2, 0, OpKind::Write)];
+        assert_eq!(filter_op(&stream, OpKind::Read).len(), 1);
+        assert_eq!(filter_op(&stream, OpKind::Write)[0].arrival_ns, 2);
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let a = vec![req(1, 0, OpKind::Read), req(5, 0, OpKind::Read)];
+        let b = vec![req(2, 1, OpKind::Write), req(3, 1, OpKind::Write)];
+        let merged = merge_sorted(&[a, b]).unwrap();
+        let times: Vec<u64> = merged.iter().map(|r| r.arrival_ns).collect();
+        assert_eq!(times, vec![1, 2, 3, 5]);
+        assert!(validate_sorted(&merged).is_ok());
+    }
+
+    #[test]
+    fn merge_rejects_unsorted_input() {
+        let bad = vec![req(5, 0, OpKind::Read), req(1, 0, OpKind::Read)];
+        assert!(merge_sorted(&[bad]).is_err());
+    }
+
+    #[test]
+    fn merge_is_stable_for_ties() {
+        let a = vec![req(3, 0, OpKind::Read)];
+        let b = vec![req(3, 1, OpKind::Write)];
+        let merged = merge_sorted(&[a, b]).unwrap();
+        assert_eq!(merged[0].drive, DriveId(0));
+        assert_eq!(merged[1].drive, DriveId(1));
+    }
+
+    #[test]
+    fn rebase_shifts_to_origin() {
+        let stream = vec![req(1000, 0, OpKind::Read), req(1500, 0, OpKind::Read)];
+        let rebased = rebase_time(&stream, 0);
+        assert_eq!(rebased[0].arrival_ns, 0);
+        assert_eq!(rebased[1].arrival_ns, 500);
+        let rebased10 = rebase_time(&stream, 10);
+        assert_eq!(rebased10[0].arrival_ns, 10);
+        assert!(rebase_time(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn summary_counts() {
+        let stream = vec![
+            req(100, 0, OpKind::Read),
+            req(200, 1, OpKind::Write),
+            req(1_000_000_300, 0, OpKind::Write),
+        ];
+        let s = summarize(&stream);
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.bytes, 3 * 8 * 512);
+        assert_eq!(s.drives, 2);
+        assert!((s.span_secs() - 1.0000002).abs() < 1e-6);
+        assert!(s.arrival_rate().unwrap() > 2.9);
+    }
+
+    #[test]
+    fn summary_of_empty_stream() {
+        let s = summarize(&[]);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.arrival_rate(), None);
+        assert_eq!(s.span_secs(), 0.0);
+    }
+}

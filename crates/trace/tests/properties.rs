@@ -1,0 +1,141 @@
+//! Property-based tests for the trace data model and codecs.
+
+use proptest::prelude::*;
+use spindle_trace::lifetime::accumulate_lifetime;
+use spindle_trace::transform::{
+    merge_sorted, rebase_time, split_by_drive, summarize, time_window, validate_sorted,
+};
+use spindle_trace::{binary, text, DriveId, HourRecord, OpKind, Request};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u64..1_000_000_000_000,
+        0u32..16,
+        prop::bool::ANY,
+        0u64..1_000_000_000,
+        1u32..100_000,
+    )
+        .prop_map(|(t, d, w, lba, sectors)| {
+            let op = if w { OpKind::Write } else { OpKind::Read };
+            Request::new(t, DriveId(d), op, lba, sectors).expect("valid by construction")
+        })
+}
+
+fn arb_sorted_stream(max: usize) -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::vec(arb_request(), 0..max).prop_map(|mut v| {
+        v.sort_by_key(|r| r.arrival_ns);
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn binary_roundtrip_is_lossless(reqs in prop::collection::vec(arb_request(), 0..100)) {
+        let buf = binary::encode_requests(&reqs);
+        let back = binary::decode_requests(&buf).unwrap();
+        prop_assert_eq!(reqs, back);
+    }
+
+    #[test]
+    fn text_roundtrip_is_lossless(reqs in prop::collection::vec(arb_request(), 0..100)) {
+        let mut buf = Vec::new();
+        text::write_requests(&mut buf, &reqs).unwrap();
+        let back = text::read_requests(buf.as_slice()).unwrap();
+        prop_assert_eq!(reqs, back);
+    }
+
+    #[test]
+    fn truncated_binary_never_roundtrips_silently(
+        reqs in prop::collection::vec(arb_request(), 1..50),
+        cut in 1usize..24,
+    ) {
+        let buf = binary::encode_requests(&reqs);
+        let cut = cut.min(buf.len() - 1);
+        // Removing bytes must yield an error, never a silently shorter
+        // trace.
+        prop_assert!(binary::decode_requests(&buf[..buf.len() - cut]).is_err());
+    }
+
+    #[test]
+    fn split_by_drive_partitions_the_stream(reqs in arb_sorted_stream(200)) {
+        let split = split_by_drive(&reqs);
+        let total: usize = split.values().map(Vec::len).sum();
+        prop_assert_eq!(total, reqs.len());
+        for (drive, stream) in &split {
+            prop_assert!(stream.iter().all(|r| r.drive == *drive));
+            prop_assert!(validate_sorted(stream).is_ok());
+        }
+    }
+
+    #[test]
+    fn merge_of_split_streams_restores_order(reqs in arb_sorted_stream(150)) {
+        let split = split_by_drive(&reqs);
+        let streams: Vec<Vec<Request>> = split.into_values().collect();
+        let merged = merge_sorted(&streams).unwrap();
+        prop_assert_eq!(merged.len(), reqs.len());
+        prop_assert!(validate_sorted(&merged).is_ok());
+        // Same multiset of requests.
+        let mut a = merged;
+        let mut b = reqs;
+        let key = |r: &Request| (r.arrival_ns, r.drive.0, r.lba, r.sectors);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn time_window_returns_exactly_in_range(reqs in arb_sorted_stream(150), a in 0u64..1_000_000_000_000, len in 0u64..1_000_000_000_000) {
+        let b = a.saturating_add(len);
+        let w = time_window(&reqs, a, b);
+        prop_assert!(w.iter().all(|r| r.arrival_ns >= a && r.arrival_ns < b));
+        let expected = reqs.iter().filter(|r| r.arrival_ns >= a && r.arrival_ns < b).count();
+        prop_assert_eq!(w.len(), expected);
+    }
+
+    #[test]
+    fn rebase_preserves_gaps(reqs in arb_sorted_stream(100), origin in 0u64..1_000_000) {
+        let rebased = rebase_time(&reqs, origin);
+        prop_assert_eq!(rebased.len(), reqs.len());
+        if let Some(first) = rebased.first() {
+            prop_assert_eq!(first.arrival_ns, origin);
+        }
+        for (orig, new) in reqs.windows(2).zip(rebased.windows(2)) {
+            prop_assert_eq!(
+                orig[1].arrival_ns - orig[0].arrival_ns,
+                new[1].arrival_ns - new[0].arrival_ns
+            );
+        }
+    }
+
+    #[test]
+    fn summary_counts_are_consistent(reqs in arb_sorted_stream(150)) {
+        let s = summarize(&reqs);
+        prop_assert_eq!(s.requests, reqs.len() as u64);
+        prop_assert_eq!(s.reads + s.writes, s.requests);
+        let bytes: u64 = reqs.iter().map(Request::bytes).sum();
+        prop_assert_eq!(s.bytes, bytes);
+    }
+
+    #[test]
+    fn lifetime_accumulation_matches_sums(
+        hours in prop::collection::vec(
+            (0u64..10_000, 0u64..10_000, 0.0f64..3600.0),
+            1..100,
+        )
+    ) {
+        let records: Vec<HourRecord> = hours
+            .iter()
+            .enumerate()
+            .map(|(h, &(r, w, busy))| {
+                HourRecord::new(DriveId(0), h as u32, r, w, r * 8, w * 8, busy).unwrap()
+            })
+            .collect();
+        let lt = accumulate_lifetime(&records).unwrap();
+        prop_assert_eq!(lt.power_on_hours, records.len() as u64);
+        let reads: u64 = hours.iter().map(|h| h.0).sum();
+        let writes: u64 = hours.iter().map(|h| h.1).sum();
+        prop_assert_eq!(lt.lifetime_reads, reads);
+        prop_assert_eq!(lt.lifetime_writes, writes);
+        prop_assert!(lt.mean_utilization() >= 0.0 && lt.mean_utilization() <= 1.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Fleet view: generate a drive family and reproduce the lifetime-scale
+//! findings — wide cross-drive variability with a saturated
+//! sub-population.
+//!
+//! ```text
+//! cargo run --release --example drive_family_lifetime
+//! ```
+
+use spindle_core::lifetime::{saturation_curve, FamilyAnalysis};
+use spindle_core::multiscale::rw_shares_lifetime;
+use spindle_synth::family::FamilySpec;
+use spindle_synth::hourgen::{HourSeriesSpec, WEEK_HOURS};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = FamilySpec {
+        drives: 300,
+        template: HourSeriesSpec {
+            hours: 4 * WEEK_HOURS,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let family = spec.generate(2009)?;
+    let lifetimes: Vec<_> = family.iter().map(|d| d.lifetime).collect();
+    let analysis = FamilyAnalysis::new(&lifetimes)?;
+
+    println!("family of {} drives, 4 weeks of deployment\n", analysis.drives());
+    println!("lifetime utilization percentiles:");
+    for p in analysis.percentiles()? {
+        println!(
+            "  p{:<4.0} util {:>7.4}   {:>9.1} MB/h   {:>9.0} ops/h",
+            p.level * 100.0,
+            p.utilization,
+            p.mb_per_hour,
+            p.ops_per_hour
+        );
+    }
+    println!(
+        "\np95/p50 utilization ratio: {:.1}x (cross-drive variability)",
+        analysis.tail_to_median_ratio()?
+    );
+    if let Some(wf) = analysis.mean_write_fraction() {
+        println!("mean lifetime write fraction: {:.2}", wf);
+    }
+    let shares = rw_shares_lifetime(&lifetimes)?;
+    println!(
+        "family-wide write share: {:.2} of ops, {:.2} of bytes",
+        shares.write_ops_share, shares.write_bytes_share
+    );
+
+    println!("\nfraction of drives with >= k consecutive saturated hours:");
+    let series: Vec<_> = family.iter().map(|d| d.series.clone()).collect();
+    for p in saturation_curve(&series, 0.99, 24)? {
+        if [1, 2, 4, 8, 12, 24].contains(&p.run_hours) {
+            println!("  k = {:>2} h : {:>5.1}%", p.run_hours, p.fraction_of_drives * 100.0);
+        }
+    }
+
+    // Identify the busiest and quietest drives.
+    let mut by_util = lifetimes.clone();
+    by_util.sort_by(|a, b| {
+        a.mean_utilization()
+            .partial_cmp(&b.mean_utilization())
+            .expect("utilization is finite")
+    });
+    let quiet = by_util.first().expect("non-empty family");
+    let busy = by_util.last().expect("non-empty family");
+    println!(
+        "\nquietest drive {}: {:.4} utilization, {:.0} ops/h",
+        quiet.drive,
+        quiet.mean_utilization(),
+        quiet.ops_per_hour()
+    );
+    println!(
+        "busiest  drive {}: {:.4} utilization, {:.0} ops/h",
+        busy.drive,
+        busy.mean_utilization(),
+        busy.ops_per_hour()
+    );
+    Ok(())
+}

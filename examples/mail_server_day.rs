@@ -1,0 +1,76 @@
+//! A day in the life of a mail-server disk: diurnal utilization,
+//! burstiness across scales, and the read/write mix drift.
+//!
+//! Reproduces the millisecond-scale portion of the evaluation on a
+//! single environment, with terminal sparklines.
+//!
+//! ```text
+//! cargo run --release --example mail_server_day
+//! ```
+
+use spindle_core::burstiness::BurstinessAnalysis;
+use spindle_core::millisecond::MillisecondAnalysis;
+use spindle_core::report::Figure;
+use spindle_disk::profile::DriveProfile;
+use spindle_disk::sim::{DiskSim, SimConfig};
+use spindle_synth::presets::Environment;
+use spindle_trace::OpKind;
+
+const SPAN: f64 = 21_600.0; // six hours keeps the debug-build runtime low
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = Environment::Mail.spec(SPAN);
+    let requests = spec.generate(7)?;
+    let mut sim = DiskSim::new(DriveProfile::cheetah_15k(), SimConfig::default());
+    let result = sim.run(&requests)?;
+    let analysis = MillisecondAnalysis::new(&requests, &result)?;
+
+    // Utilization per minute, rendered as a figure with a sparkline.
+    let util = analysis.utilization_series(60.0)?;
+    let mut fig = Figure::new("utilization over the day", "minute", "utilization");
+    fig.push_series(
+        "mail",
+        util.iter().enumerate().map(|(i, &u)| (i as f64, u)).collect(),
+    );
+    // Print only the header + sparkline lines, not the full dump.
+    let rendered = fig.to_string();
+    for line in rendered.lines().take(3) {
+        println!("{line}");
+    }
+
+    // Burstiness of the arrival process.
+    let events = analysis.arrival_times_secs();
+    let b = BurstinessAnalysis::new(&events, SPAN, 1.0)?;
+    let h = b.hurst()?;
+    println!(
+        "\nHurst estimates: R/S {:.2}, aggregated-variance {:.2}, periodogram {:.2}",
+        h.rs, h.aggregated_variance, h.periodogram
+    );
+    println!("bursty across scales: {}", b.is_bursty_across_scales()?);
+    println!("\nIDC across aggregation scales:");
+    for p in b.idc_curve()? {
+        println!("  scale {:>5} s : IDC {:>10.1}", p.scale, p.idc);
+    }
+
+    // Read/write mix drift over the day (hourly windows).
+    println!("\nhourly write share:");
+    for hour in 0..(SPAN as usize / 3600) {
+        let lo = hour as u64 * 3_600_000_000_000;
+        let hi = lo + 3_600_000_000_000;
+        let window: Vec<_> = requests
+            .iter()
+            .filter(|r| r.arrival_ns >= lo && r.arrival_ns < hi)
+            .collect();
+        if window.is_empty() {
+            println!("  hour {hour:>2}: idle");
+            continue;
+        }
+        let writes = window.iter().filter(|r| r.op == OpKind::Write).count();
+        println!(
+            "  hour {hour:>2}: {:>5.1}% of {:>6} requests",
+            writes as f64 / window.len() as f64 * 100.0,
+            window.len()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: generate a synthetic disk workload, run it through the
+//! drive simulator, and characterize it — the whole pipeline in ~40
+//! lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use spindle_core::idle::{IdleAnalysis, AVAILABILITY_THRESHOLDS};
+use spindle_core::millisecond::MillisecondAnalysis;
+use spindle_disk::profile::DriveProfile;
+use spindle_disk::sim::{DiskSim, SimConfig};
+use spindle_synth::presets::Environment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthesize 10 minutes of e-mail-server disk traffic.
+    let spec = Environment::Mail.spec(600.0);
+    let requests = spec.generate(42)?;
+    println!("generated {} requests", requests.len());
+
+    // 2. Replay them against a 15k RPM enterprise drive model.
+    let mut sim = DiskSim::new(DriveProfile::cheetah_15k(), SimConfig::default());
+    let result = sim.run(&requests)?;
+
+    // 3. Characterize.
+    let analysis = MillisecondAnalysis::new(&requests, &result)?;
+    let s = analysis.summary()?;
+    println!(
+        "rate {:.1} req/s | {:.0}% writes | utilization {:.1}% | mean response {:.2} ms",
+        s.arrival_rate,
+        s.write_fraction * 100.0,
+        s.mean_utilization * 100.0,
+        s.mean_response_ms,
+    );
+
+    let idle = IdleAnalysis::new(&result.busy)?;
+    println!(
+        "idle {:.1}% of the time across {} intervals (mean {:.2} s)",
+        idle.idle_fraction() * 100.0,
+        idle.idle_intervals(),
+        idle.mean_idle_secs().unwrap_or(0.0),
+    );
+    for row in idle.availability(&AVAILABILITY_THRESHOLDS) {
+        println!(
+            "  {:>6.2} s+ intervals hold {:>5.1}% of idle time",
+            row.threshold_secs,
+            row.fraction_of_idle_time * 100.0
+        );
+    }
+    Ok(())
+}

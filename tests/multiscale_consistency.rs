@@ -1,0 +1,125 @@
+//! Cross-scale consistency: the same workload viewed at the
+//! millisecond, hour, and lifetime granularities must tell one
+//! consistent story.
+
+use spindle_core::multiscale::{rw_shares_hour, rw_shares_lifetime, rw_shares_ms};
+use spindle_stats::timeseries::{aggregate_sum, counts_per_interval};
+use spindle_synth::family::FamilySpec;
+use spindle_synth::hourgen::{HourSeriesSpec, WEEK_HOURS};
+use spindle_synth::presets::Environment;
+use spindle_trace::lifetime::accumulate_lifetime;
+use spindle_trace::{HourRecord, HourSeries, OpKind};
+
+/// Builds an hour series directly from a millisecond trace — the bridge
+/// between the two finest granularities.
+fn hours_from_requests(requests: &[spindle_trace::Request], span_secs: f64) -> HourSeries {
+    let hours = (span_secs / 3600.0).ceil() as u32;
+    let drive = requests[0].drive;
+    let records: Vec<HourRecord> = (0..hours.max(2))
+        .map(|h| {
+            let lo = h as u64 * 3_600_000_000_000;
+            let hi = lo + 3_600_000_000_000;
+            let mut reads = 0;
+            let mut writes = 0;
+            let mut sr = 0;
+            let mut sw = 0;
+            for r in requests.iter().filter(|r| r.arrival_ns >= lo && r.arrival_ns < hi) {
+                match r.op {
+                    OpKind::Read => {
+                        reads += 1;
+                        sr += r.sectors as u64;
+                    }
+                    OpKind::Write => {
+                        writes += 1;
+                        sw += r.sectors as u64;
+                    }
+                }
+            }
+            HourRecord::new(drive, h, reads, writes, sr, sw, 0.0).unwrap()
+        })
+        .collect();
+    HourSeries::new(records).unwrap()
+}
+
+#[test]
+fn rw_shares_agree_when_scales_derive_from_one_trace() {
+    let span = 7_200.0;
+    let requests = Environment::Mail.spec(span).generate(11).unwrap();
+    let hour_series = hours_from_requests(&requests, span);
+    let lifetime = accumulate_lifetime(hour_series.records()).unwrap();
+
+    let ms = rw_shares_ms(&requests).unwrap();
+    let hr = rw_shares_hour(&hour_series).unwrap();
+    let lt = rw_shares_lifetime(&[lifetime]).unwrap();
+
+    // Derived from the same events: shares must agree exactly.
+    assert!((ms.write_ops_share - hr.write_ops_share).abs() < 1e-12);
+    assert!((hr.write_ops_share - lt.write_ops_share).abs() < 1e-12);
+    assert!((ms.write_bytes_share - lt.write_bytes_share).abs() < 1e-12);
+}
+
+#[test]
+fn event_counts_aggregate_consistently_across_scales() {
+    let span = 4_096.0;
+    let requests = Environment::Web.spec(span).generate(12).unwrap();
+    let events: Vec<f64> = requests.iter().map(|r| r.arrival_secs()).collect();
+
+    let per_second = counts_per_interval(&events, 0.0, span, 1.0).unwrap();
+    let per_minute_direct = counts_per_interval(&events, 0.0, span, 64.0).unwrap();
+    let per_minute_agg = aggregate_sum(&per_second, 64);
+
+    assert_eq!(per_minute_direct.len(), per_minute_agg.len());
+    for (a, b) in per_minute_direct.iter().zip(&per_minute_agg) {
+        assert!((a - b).abs() < 1e-9, "direct {a} vs aggregated {b}");
+    }
+    let total: f64 = per_second.iter().sum();
+    assert_eq!(total as usize, events.len());
+}
+
+#[test]
+fn lifetime_accumulation_matches_hour_totals_for_the_family() {
+    let family = FamilySpec {
+        drives: 25,
+        template: HourSeriesSpec {
+            hours: WEEK_HOURS,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .generate(13)
+    .unwrap();
+    for d in &family {
+        assert_eq!(
+            d.lifetime.operations(),
+            d.series.total_operations(),
+            "drive {}",
+            d.lifetime.drive
+        );
+        let busy_hours: f64 = d
+            .series
+            .records()
+            .iter()
+            .map(|r| r.busy_secs / 3600.0)
+            .sum();
+        assert!((d.lifetime.busy_hours - busy_hours).abs() < 1e-6);
+        assert!(
+            (d.lifetime.mean_utilization() - d.series.mean_utilization()).abs() < 1e-9
+        );
+    }
+}
+
+#[test]
+fn hour_scale_burstiness_survives_aggregation_from_ms_scale() {
+    // A bursty ms-level trace remains over-dispersed when viewed as
+    // minute-level counts — burstiness across scales, measured across
+    // an actual change of representation.
+    let span = 4_096.0;
+    let requests = Environment::Dev.spec(span).generate(14).unwrap();
+    let events: Vec<f64> = requests.iter().map(|r| r.arrival_secs()).collect();
+    let per_second = counts_per_interval(&events, 0.0, span, 1.0).unwrap();
+    let per_minute = aggregate_sum(&per_second, 64);
+    let idc_s = spindle_stats::dispersion::index_of_dispersion(&per_second).unwrap();
+    let idc_m = spindle_stats::dispersion::index_of_dispersion(&per_minute).unwrap();
+    assert!(idc_s > 1.5, "second-scale IDC {idc_s}");
+    assert!(idc_m > idc_s, "minute-scale IDC {idc_m} did not grow");
+}

@@ -1,0 +1,79 @@
+//! Cross-crate round-trip: synthetic traces survive both codecs byte-
+//! for-byte, and simulation results are identical regardless of the
+//! storage format used in between.
+
+use spindle_disk::profile::DriveProfile;
+use spindle_disk::sim::{DiskSim, SimConfig};
+use spindle_synth::presets::Environment;
+use spindle_trace::transform::{split_by_drive, validate_sorted};
+use spindle_trace::{binary, text, Request};
+
+fn sample_trace() -> Vec<Request> {
+    Environment::Web.spec(300.0).generate(77).unwrap()
+}
+
+#[test]
+fn text_roundtrip_preserves_synthetic_traces() {
+    let requests = sample_trace();
+    let mut buf = Vec::new();
+    text::write_requests(&mut buf, &requests).unwrap();
+    let back = text::read_requests(buf.as_slice()).unwrap();
+    assert_eq!(requests, back);
+}
+
+#[test]
+fn binary_roundtrip_preserves_synthetic_traces() {
+    let requests = sample_trace();
+    let mut buf = Vec::new();
+    binary::write_requests(&mut buf, &requests).unwrap();
+    let back = binary::read_requests(buf.as_slice()).unwrap();
+    assert_eq!(requests, back);
+}
+
+#[test]
+fn binary_format_is_smaller_than_text() {
+    let requests = sample_trace();
+    let mut tbuf = Vec::new();
+    text::write_requests(&mut tbuf, &requests).unwrap();
+    let bbuf = binary::encode_requests(&requests);
+    assert!(
+        bbuf.len() < tbuf.len(),
+        "binary {} bytes !< text {} bytes",
+        bbuf.len(),
+        tbuf.len()
+    );
+}
+
+#[test]
+fn simulation_is_identical_across_codecs() {
+    let requests = sample_trace();
+    let mut tbuf = Vec::new();
+    text::write_requests(&mut tbuf, &requests).unwrap();
+    let from_text = text::read_requests(tbuf.as_slice()).unwrap();
+    let bbuf = binary::encode_requests(&requests);
+    let from_binary = binary::decode_requests(&bbuf).unwrap();
+
+    let run = |reqs: &[Request]| {
+        DiskSim::new(DriveProfile::savvio_10k(), SimConfig::default())
+            .run(reqs)
+            .unwrap()
+    };
+    let a = run(&from_text);
+    let b = run(&from_binary);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.busy, b.busy);
+    assert_eq!(a.destages, b.destages);
+}
+
+#[test]
+fn generated_traces_satisfy_stream_invariants() {
+    for env in Environment::all() {
+        let requests = env.spec(200.0).generate(5).unwrap();
+        validate_sorted(&requests).unwrap();
+        let split = split_by_drive(&requests);
+        assert_eq!(split.len(), 1, "{env} uses a single drive");
+        for r in &requests {
+            assert!(r.sectors > 0);
+        }
+    }
+}
