@@ -14,7 +14,9 @@ fn series(n: usize) -> Vec<f64> {
     let mut state = 0x0123_4567_89AB_CDEFu64;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64 * 10.0
         })
         .collect()

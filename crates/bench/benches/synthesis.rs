@@ -69,7 +69,12 @@ fn bench_fgn(c: &mut Criterion) {
 
 fn bench_full_workload(c: &mut Criterion) {
     c.bench_function("synthesis/mail_spec_600s", |b| {
-        b.iter(|| Environment::Mail.spec(600.0).generate(black_box(3)).unwrap())
+        b.iter(|| {
+            Environment::Mail
+                .spec(600.0)
+                .generate(black_box(3))
+                .unwrap()
+        })
     });
 }
 

@@ -190,7 +190,10 @@ pub fn f6(cfg: &ExpConfig) -> Result<Figure> {
         let ops = d.series.operations_series();
         fig.push_series(
             d.series.drive().to_string(),
-            ops.iter().enumerate().map(|(h, &o)| (h as f64, o)).collect(),
+            ops.iter()
+                .enumerate()
+                .map(|(h, &o)| (h as f64, o))
+                .collect(),
         );
     }
     Ok(fig)
@@ -492,10 +495,7 @@ mod tests {
         };
         let mail = mean_acf(&fig.series[0]);
         let poisson = mean_acf(&fig.series[2]);
-        assert!(
-            mail > poisson + 0.1,
-            "mail ACF {mail} vs poisson {poisson}"
-        );
+        assert!(mail > poisson + 0.1, "mail ACF {mail} vs poisson {poisson}");
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! [`Table`](spindle_core::report::Table) or
 //! [`Figure`](spindle_core::report::Figure); the `experiments` binary
 //! prints them, the Criterion benches time them, and the integration
-//! tests assert their qualitative shape. The experiment ids (`T1`–`T6`,
-//! `F1`–`F10`) are indexed in `DESIGN.md` and their expected-vs-measured
-//! outcomes are recorded in `EXPERIMENTS.md`.
+//! tests assert their qualitative shape. The experiment ids (`t1`–`t8`,
+//! `f1`–`f13`; the binary's usage line is derived from its experiment
+//! table, so it cannot drift) are indexed in `DESIGN.md` and their
+//! expected-vs-measured outcomes are recorded in `EXPERIMENTS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

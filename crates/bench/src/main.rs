@@ -4,70 +4,140 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--quick] [ids...]
+//! experiments [--quick] [--metrics[=json|text]] [--verbose|--quiet] [ids...]
 //! experiments --quick t2 f5        # just T2 and F5, reduced scale
 //! experiments                      # everything at paper scale
+//! experiments --metrics=json t1    # T1 plus a JSON metrics dump on stderr
 //! ```
+//!
+//! The accepted ids in the usage line are derived from the experiment
+//! table below, so the two cannot drift apart.
 
-use spindle_bench::{figures, tables, ExpConfig, Result};
+use spindle_bench::{figures, pipeline, tables, ExpConfig, Result};
+use spindle_obs::sink::{JsonSink, MetricsSink, TextSink};
+use spindle_obs::{progress, LogLevel, ObsConfig};
 use std::time::Instant;
 
-const ALL_IDS: [&str; 21] = [
-    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "f1", "f2", "f3", "f4", "f5", "f6", "f7",
-    "f8", "f9", "f10", "f11", "f12", "f13",
+/// Declares the experiment table: generates one adapter function per
+/// experiment (each renders its table or figure to a string) plus the
+/// `EXPERIMENTS` id → function map that drives dispatch and the usage
+/// line.
+macro_rules! experiment_table {
+    ($(($id:ident, $module:ident)),* $(,)?) => {
+        $(
+            fn $id(cfg: &ExpConfig) -> Result<String> {
+                Ok($module::$id(cfg)?.to_string())
+            }
+        )*
+        const EXPERIMENTS: &[(&str, fn(&ExpConfig) -> Result<String>)] =
+            &[$((stringify!($id), $id as fn(&ExpConfig) -> Result<String>)),*];
+    };
+}
+
+experiment_table![
+    (t1, tables),
+    (t2, tables),
+    (t3, tables),
+    (t4, tables),
+    (t5, tables),
+    (t6, tables),
+    (t7, tables),
+    (t8, tables),
+    (f1, figures),
+    (f2, figures),
+    (f3, figures),
+    (f4, figures),
+    (f5, figures),
+    (f6, figures),
+    (f7, figures),
+    (f8, figures),
+    (f9, figures),
+    (f10, figures),
+    (f11, figures),
+    (f12, figures),
+    (f13, figures),
 ];
 
 fn run_one(id: &str, cfg: &ExpConfig) -> Result<String> {
-    Ok(match id {
-        "t1" => tables::t1(cfg)?.to_string(),
-        "t2" => tables::t2(cfg)?.to_string(),
-        "t3" => tables::t3(cfg)?.to_string(),
-        "t4" => tables::t4(cfg)?.to_string(),
-        "t5" => tables::t5(cfg)?.to_string(),
-        "t6" => tables::t6(cfg)?.to_string(),
-        "t7" => tables::t7(cfg)?.to_string(),
-        "t8" => tables::t8(cfg)?.to_string(),
-        "f1" => figures::f1(cfg)?.to_string(),
-        "f2" => figures::f2(cfg)?.to_string(),
-        "f3" => figures::f3(cfg)?.to_string(),
-        "f4" => figures::f4(cfg)?.to_string(),
-        "f5" => figures::f5(cfg)?.to_string(),
-        "f6" => figures::f6(cfg)?.to_string(),
-        "f7" => figures::f7(cfg)?.to_string(),
-        "f8" => figures::f8(cfg)?.to_string(),
-        "f9" => figures::f9(cfg)?.to_string(),
-        "f10" => figures::f10(cfg)?.to_string(),
-        "f11" => figures::f11(cfg)?.to_string(),
-        "f12" => figures::f12(cfg)?.to_string(),
-        "f13" => figures::f13(cfg)?.to_string(),
-        other => return Err(format!("unknown experiment id `{other}`").into()),
-    })
+    match EXPERIMENTS.iter().find(|(name, _)| *name == id) {
+        Some((_, f)) => f(cfg),
+        None => Err(format!("unknown experiment id `{id}`").into()),
+    }
+}
+
+/// Renders the id list by collapsing consecutive runs sharing an
+/// alphabetic prefix: `t1..t8 f1..f13`.
+fn id_ranges() -> String {
+    let mut groups: Vec<(&str, u32, u32)> = Vec::new();
+    for (id, _) in EXPERIMENTS {
+        let split = id.find(|c: char| c.is_ascii_digit()).unwrap_or(id.len());
+        let (prefix, digits) = id.split_at(split);
+        let num: u32 = digits.parse().unwrap_or(0);
+        match groups.last_mut() {
+            Some((p, _, hi)) if *p == prefix && num == *hi + 1 => *hi = num,
+            _ => groups.push((prefix, num, num)),
+        }
+    }
+    groups
+        .iter()
+        .map(|(p, lo, hi)| {
+            if lo == hi {
+                format!("{p}{lo}")
+            } else {
+                format!("{p}{lo}..{p}{hi}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn usage() -> String {
+    format!(
+        "usage: experiments [--quick] [--metrics[=json|text]] [--verbose|--quiet] [{}]",
+        id_ranges()
+    )
 }
 
 fn main() {
     let mut quick = false;
+    let mut metrics: Option<&str> = None;
     let mut ids: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--metrics" | "--metrics=text" => metrics = Some("text"),
+            "--metrics=json" => metrics = Some("json"),
+            "--verbose" => spindle_obs::logger::set_level(LogLevel::Verbose),
+            "--quiet" => spindle_obs::logger::set_level(LogLevel::Quiet),
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick] [t1..t8 f1..f13]");
+                eprintln!("{}", usage());
                 return;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`");
+                eprintln!("{}", usage());
+                std::process::exit(2);
             }
             other => ids.push(other.to_ascii_lowercase()),
         }
     }
+    if metrics.is_some() {
+        pipeline::enable_observability(ObsConfig::metrics_only());
+    }
     if ids.is_empty() {
-        ids = ALL_IDS.iter().map(|s| (*s).to_owned()).collect();
+        ids = EXPERIMENTS.iter().map(|(id, _)| (*id).to_owned()).collect();
     }
     let cfg = if quick {
         ExpConfig::quick()
     } else {
         ExpConfig::full()
     };
-    eprintln!(
+    progress!(
         "# config: seed={} ms_span={}s hour_weeks={} family_drives={}",
-        cfg.seed, cfg.ms_span_secs, cfg.hour_weeks, cfg.family_drives
+        cfg.seed,
+        cfg.ms_span_secs,
+        cfg.hour_weeks,
+        cfg.family_drives
     );
     let mut failed = false;
     for id in &ids {
@@ -75,12 +145,24 @@ fn main() {
         match run_one(id, &cfg) {
             Ok(output) => {
                 println!("{output}");
-                eprintln!("# {id} done in {:.2}s", start.elapsed().as_secs_f64());
+                progress!("# {id} done in {:.2}s", start.elapsed().as_secs_f64());
             }
             Err(e) => {
+                // Failures stay visible even under --quiet.
                 eprintln!("# {id} FAILED: {e}");
                 failed = true;
             }
+        }
+    }
+    if let Some(format) = metrics {
+        let snapshot = spindle_obs::global().snapshot();
+        let dump = match format {
+            "json" => JsonSink.export_string(&snapshot),
+            _ => TextSink.export_string(&snapshot),
+        };
+        match dump {
+            Ok(text) => eprintln!("{text}"),
+            Err(e) => eprintln!("# metrics export failed: {e}"),
         }
     }
     if failed {

@@ -4,12 +4,28 @@
 use crate::{ExpConfig, Result};
 use spindle_core::idle::IdleAnalysis;
 use spindle_core::millisecond::{MillisecondAnalysis, WorkloadSummary};
+use spindle_disk::obs::SimObserver;
 use spindle_disk::profile::DriveProfile;
 use spindle_disk::sim::{DiskSim, SimConfig, SimResult};
+use spindle_obs::{EventLog, MetricsRegistry, ObsConfig, ObsSpan};
 use spindle_synth::family::{DriveRecord, FamilySpec};
 use spindle_synth::hourgen::{HourSeriesSpec, WEEK_HOURS};
 use spindle_synth::presets::Environment;
 use spindle_trace::Request;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Observability applied to [`EnvRun`]s that do not carry their own
+/// config (set once by the `experiments` binary's `--metrics` flag).
+static GLOBAL_OBS: OnceLock<ObsConfig> = OnceLock::new();
+
+/// Turns on observability for every subsequent [`EnvRun`] constructed
+/// without an explicit config: simulators attach an observer resolving
+/// against [`spindle_obs::global()`]. First call wins; later calls are
+/// ignored.
+pub fn enable_observability(cfg: ObsConfig) {
+    let _ = GLOBAL_OBS.set(cfg);
+}
 
 /// One environment's generated trace and simulation outcome.
 #[derive(Debug)]
@@ -20,6 +36,9 @@ pub struct EnvRun {
     pub requests: Vec<Request>,
     /// The disk simulation result.
     pub sim: SimResult,
+    /// Simulation event log, populated when observability with event
+    /// tracing was enabled for this run.
+    pub events: Option<Arc<EventLog>>,
 }
 
 impl EnvRun {
@@ -39,14 +58,63 @@ impl EnvRun {
     ///
     /// Propagates generation and simulation errors.
     pub fn with_sim_config(env: Environment, cfg: &ExpConfig, sim_cfg: SimConfig) -> Result<Self> {
+        Self::build(env, cfg, sim_cfg, None)
+    }
+
+    /// Same as [`EnvRun::with_sim_config`] with observability wired to an
+    /// explicit registry: disk counters/histograms resolve against
+    /// `registry`, and when `obs_cfg.events` is set the returned run
+    /// carries the simulation event log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation and simulation errors.
+    pub fn observed(
+        env: Environment,
+        cfg: &ExpConfig,
+        sim_cfg: SimConfig,
+        obs_cfg: &ObsConfig,
+        registry: &MetricsRegistry,
+    ) -> Result<Self> {
+        Self::build(env, cfg, sim_cfg, Some((obs_cfg, registry)))
+    }
+
+    fn build(
+        env: Environment,
+        cfg: &ExpConfig,
+        sim_cfg: SimConfig,
+        obs: Option<(&ObsConfig, &MetricsRegistry)>,
+    ) -> Result<Self> {
+        let obs = obs.or_else(|| GLOBAL_OBS.get().map(|c| (c, spindle_obs::global())));
+        let registry = match obs {
+            Some((_, r)) => r,
+            None => spindle_obs::global(),
+        };
+
         let spec = env.spec(cfg.ms_span_secs);
-        let requests = spec.generate(cfg.seed ^ env_seed(env))?;
+        let requests = {
+            let _span = ObsSpan::new(registry, "pipeline.generate");
+            spec.generate(cfg.seed ^ env_seed(env))?
+        };
+
         let mut sim = DiskSim::new(DriveProfile::cheetah_15k(), sim_cfg);
-        let result = sim.run(&requests)?;
+        let mut events = None;
+        if let Some((obs_cfg, reg)) = obs {
+            if obs_cfg.metrics || obs_cfg.events {
+                let observer = SimObserver::new(reg, obs_cfg);
+                events = observer.event_log();
+                sim.attach_observer(observer);
+            }
+        }
+        let result = {
+            let _span = ObsSpan::new(registry, "pipeline.simulate");
+            sim.run(&requests)?
+        };
         Ok(EnvRun {
             env,
             requests,
             sim: result,
+            events,
         })
     }
 
@@ -121,13 +189,42 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_collects_metrics_events_and_spans() {
+        let mut cfg = ExpConfig::quick();
+        cfg.ms_span_secs = 60.0;
+        let registry = MetricsRegistry::new();
+        let run = EnvRun::observed(
+            Environment::Web,
+            &cfg,
+            SimConfig::default(),
+            &ObsConfig::enabled(),
+            &registry,
+        )
+        .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("disk.requests_completed"),
+            Some(run.requests.len() as u64)
+        );
+        assert!(run.events.is_some(), "event tracing was requested");
+        assert!(run.events.unwrap().total_recorded() > 0);
+        assert!(snap.span("pipeline.generate").is_some());
+        assert!(snap.span("pipeline.simulate").is_some());
+    }
+
+    #[test]
+    fn unobserved_run_carries_no_event_log() {
+        let mut cfg = ExpConfig::quick();
+        cfg.ms_span_secs = 30.0;
+        let run = EnvRun::new(Environment::Dev, &cfg).unwrap();
+        assert!(run.events.is_none());
+    }
+
+    #[test]
     fn standard_family_matches_config() {
         let cfg = ExpConfig::quick();
         let fam = standard_family(&cfg).unwrap();
         assert_eq!(fam.len(), cfg.family_drives as usize);
-        assert_eq!(
-            fam[0].series.len(),
-            (cfg.hour_weeks * WEEK_HOURS) as usize
-        );
+        assert_eq!(fam[0].series.len(), (cfg.hour_weeks * WEEK_HOURS) as usize);
     }
 }

@@ -115,16 +115,15 @@ pub fn t2(cfg: &ExpConfig) -> Result<Table> {
 pub fn t3(cfg: &ExpConfig) -> Result<Table> {
     let mut t = Table::new(
         "T3: idleness availability (fraction of idle time in intervals >= threshold)",
-        &["env", "idle%", ">=10ms", ">=100ms", ">=1s", ">=10s", ">=60s"],
+        &[
+            "env", "idle%", ">=10ms", ">=100ms", ">=1s", ">=10s", ">=60s",
+        ],
     );
     for env in Environment::all() {
         let run = EnvRun::new(env, cfg)?;
         let idle = run.idle()?;
         let rows = idle.availability(&AVAILABILITY_THRESHOLDS);
-        let mut cells = vec![
-            env.name().to_owned(),
-            cell(idle.idle_fraction() * 100.0, 1),
-        ];
+        let mut cells = vec![env.name().to_owned(), cell(idle.idle_fraction() * 100.0, 1)];
         cells.extend(rows.iter().map(|r| cell(r.fraction_of_idle_time, 3)));
         t.push_row(cells);
     }
@@ -142,7 +141,14 @@ pub fn t4(cfg: &ExpConfig) -> Result<Table> {
     let mut t = Table::new(
         "T4: hour-scale statistics across drives",
         &[
-            "drive", "ops/h", "cov", "peak/mean", "idc", "util", "top10%share", "acf24",
+            "drive",
+            "ops/h",
+            "cov",
+            "peak/mean",
+            "idc",
+            "util",
+            "top10%share",
+            "acf24",
         ],
     );
     let shown = cfg.t4_drives.min(family.len() as u32) as usize;
@@ -279,7 +285,9 @@ pub fn t7(cfg: &ExpConfig) -> Result<Table> {
     use spindle_core::response::ResponseAnalysis;
     let mut t = Table::new(
         "T7: response-time percentiles (ms) per environment",
-        &["env", "mean", "p50", "p90", "p99", "p99.9", "max", "p99/p50"],
+        &[
+            "env", "mean", "p50", "p90", "p99", "p99.9", "max", "p99/p50",
+        ],
     );
     for env in Environment::all() {
         let run = EnvRun::new(env, cfg)?;
@@ -345,7 +353,10 @@ pub fn t8(cfg: &ExpConfig) -> Result<Table> {
                 (read_ahead_sectors / 2).to_string(),
                 max_dirty.to_string(),
                 cell(run.sim.read_hit_ratio().unwrap_or(0.0) * 100.0, 1),
-                cell(run.sim.writes_cached as f64 / writes.max(1) as f64 * 100.0, 1),
+                cell(
+                    run.sim.writes_cached as f64 / writes.max(1) as f64 * 100.0,
+                    1,
+                ),
                 cell(s.mean_response_ms, 2),
                 cell(s.mean_utilization, 3),
             ]);

@@ -1,4 +1,5 @@
-//! Minimal flag parser: `--key value` and `--flag` forms.
+//! Minimal flag parser: `--key value`, `--key=value`, and `--flag`
+//! forms.
 
 use std::collections::BTreeMap;
 
@@ -9,22 +10,30 @@ pub struct Options {
     flags: Vec<String>,
 }
 
-/// Parses `--key value` pairs and bare `--flag`s from `argv`.
+/// Parses `--key value` / `--key=value` pairs and bare `--flag`s from
+/// `argv`.
 ///
 /// `boolean_flags` lists the options that take no value.
 ///
 /// # Errors
 ///
-/// Returns a message for unknown syntax (non-`--` tokens) or a missing
-/// value.
+/// Returns a message for unknown syntax (non-`--` tokens), a missing
+/// value, or a value attached to a boolean flag.
 pub fn parse(argv: &[String], boolean_flags: &[&str]) -> Result<Options, String> {
     let mut out = Options::default();
     let mut it = argv.iter().peekable();
     while let Some(arg) = it.next() {
         let Some(key) = arg.strip_prefix("--") else {
-            return Err(format!("unexpected argument `{arg}` (options start with --)"));
+            return Err(format!(
+                "unexpected argument `{arg}` (options start with --)"
+            ));
         };
-        if boolean_flags.contains(&key) {
+        if let Some((key, value)) = key.split_once('=') {
+            if boolean_flags.contains(&key) {
+                return Err(format!("flag --{key} takes no value"));
+            }
+            out.values.insert(key.to_owned(), value.to_owned());
+        } else if boolean_flags.contains(&key) {
             out.flags.push(key.to_owned());
         } else {
             let value = it
@@ -58,9 +67,7 @@ impl Options {
     {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|e| format!("bad value for --{key}: {e}")),
+            Some(v) => v.parse().map_err(|e| format!("bad value for --{key}: {e}")),
         }
     }
 
@@ -70,7 +77,8 @@ impl Options {
     ///
     /// Returns a message when the option is absent.
     pub fn required(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 }
 
@@ -84,7 +92,11 @@ mod tests {
 
     #[test]
     fn parses_pairs_and_flags() {
-        let o = parse(&argv(&["--env", "mail", "--binary", "--seed", "7"]), &["binary"]).unwrap();
+        let o = parse(
+            &argv(&["--env", "mail", "--binary", "--seed", "7"]),
+            &["binary"],
+        )
+        .unwrap();
         assert_eq!(o.get("env"), Some("mail"));
         assert!(o.flag("binary"));
         assert!(!o.flag("quick"));
@@ -93,9 +105,22 @@ mod tests {
     }
 
     #[test]
+    fn parses_equals_form() {
+        let o = parse(&argv(&["--env=web", "--seed=9", "--binary"]), &["binary"]).unwrap();
+        assert_eq!(o.get("env"), Some("web"));
+        assert_eq!(o.get_or("seed", 0u64).unwrap(), 9);
+        assert!(o.flag("binary"));
+        // Empty value and values containing '=' survive.
+        let o = parse(&argv(&["--out=", "--expr=a=b"]), &[]).unwrap();
+        assert_eq!(o.get("out"), Some(""));
+        assert_eq!(o.get("expr"), Some("a=b"));
+    }
+
+    #[test]
     fn rejects_bad_syntax() {
         assert!(parse(&argv(&["positional"]), &[]).is_err());
         assert!(parse(&argv(&["--seed"]), &[]).is_err());
+        assert!(parse(&argv(&["--binary=yes"]), &["binary"]).is_err());
     }
 
     #[test]

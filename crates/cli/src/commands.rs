@@ -6,17 +6,25 @@ use spindle_core::idle::{IdleAnalysis, AVAILABILITY_THRESHOLDS};
 use spindle_core::lifetime::{saturation_curve, FamilyAnalysis};
 use spindle_core::millisecond::MillisecondAnalysis;
 use spindle_core::report::{cell, Table};
+use spindle_disk::obs::SimObserver;
 use spindle_disk::profile::DriveProfile;
 use spindle_disk::scheduler::SchedulerKind;
 use spindle_disk::sim::{DiskSim, SimConfig, SimResult};
+use spindle_obs::sink::{JsonSink, MetricsSink, TextSink};
+use spindle_obs::{progress, LogLevel, ObsConfig, ObsSpan};
 use spindle_synth::family::FamilySpec;
 use spindle_synth::hourgen::{HourSeriesSpec, WEEK_HOURS};
 use spindle_synth::presets::parse_environment;
 use spindle_trace::{binary, text, Request};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Set while a `--metrics` invocation is in flight so the simulation
+/// helpers attach observers against the global registry.
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
 
 const HELP: &str = "\
 spindle — disk workload characterization toolkit
@@ -34,11 +42,80 @@ USAGE:
   spindle anonymize --in FILE --out FILE [--key N] [--extent SECTORS]
   spindle help
 
+Global options (accepted before or after any command):
+  --metrics[=text|json]  dump the metrics registry after the command
+  --metrics-out FILE     write the dump to FILE instead of stderr
+  --verbose              include detail messages on stderr
+  --quiet                suppress progress messages on stderr
+
 Profiles: cheetah-15k (default), savvio-10k, barracuda-es
 Schedulers: fcfs, sstf, look, sptf (default)
 Trace files ending in .bin are read/written in the binary format;
 anything else uses the text format.
+Options accept both `--key value` and `--key=value`.
 ";
+
+/// Observability-related options peeled off the command line before
+/// subcommand parsing.
+#[derive(Debug, Default)]
+struct ObsArgs {
+    /// Requested dump format: `"text"` or `"json"`.
+    metrics: Option<&'static str>,
+    /// Dump destination file (stderr when absent).
+    out: Option<String>,
+    level: Option<LogLevel>,
+}
+
+fn extract_obs_args(argv: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
+    let mut obs = ObsArgs::default();
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics" | "--metrics=text" => obs.metrics = Some("text"),
+            "--metrics=json" => obs.metrics = Some("json"),
+            s if s.starts_with("--metrics=") => {
+                return Err(format!(
+                    "bad metrics format `{}` (expected text or json)",
+                    &s["--metrics=".len()..]
+                ));
+            }
+            "--metrics-out" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "option --metrics-out needs a value".to_owned())?;
+                obs.out = Some(value.clone());
+            }
+            s if s.starts_with("--metrics-out=") => {
+                obs.out = Some(s["--metrics-out=".len()..].to_owned());
+            }
+            "--verbose" => obs.level = Some(LogLevel::Verbose),
+            "--quiet" => obs.level = Some(LogLevel::Quiet),
+            _ => rest.push(arg.clone()),
+        }
+    }
+    // `--metrics-out FILE` alone implies a text dump.
+    if obs.out.is_some() && obs.metrics.is_none() {
+        obs.metrics = Some("text");
+    }
+    Ok((obs, rest))
+}
+
+fn dump_metrics(format: &str, out: Option<&str>) -> CmdResult {
+    let snapshot = spindle_obs::global().snapshot();
+    let rendered = match format {
+        "json" => JsonSink.export_string(&snapshot)?,
+        _ => TextSink.export_string(&snapshot)?,
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(path, rendered.as_bytes())?;
+            progress!("wrote metrics to {path}");
+        }
+        None => eprint!("{rendered}"),
+    }
+    Ok(())
+}
 
 /// Dispatches a parsed command line.
 ///
@@ -46,6 +123,23 @@ anything else uses the text format.
 ///
 /// Returns a human-readable message for any failure.
 pub fn dispatch(argv: &[String]) -> CmdResult {
+    let (obs, argv) = extract_obs_args(argv)?;
+    if let Some(level) = obs.level {
+        spindle_obs::logger::set_level(level);
+    }
+    if obs.metrics.is_some() {
+        METRICS_ENABLED.store(true, Ordering::Relaxed);
+    }
+    let result = dispatch_command(&argv);
+    if result.is_ok() {
+        if let Some(format) = obs.metrics {
+            dump_metrics(format, obs.out.as_deref())?;
+        }
+    }
+    result
+}
+
+fn dispatch_command(argv: &[String]) -> CmdResult {
     let Some((cmd, rest)) = argv.split_first() else {
         print!("{HELP}");
         return Ok(());
@@ -70,16 +164,20 @@ fn profile_by_name(name: &str) -> Result<DriveProfile, String> {
     DriveProfile::all()
         .into_iter()
         .find(|p| p.name == name)
-        .ok_or_else(|| format!("unknown profile `{name}` (try cheetah-15k, savvio-10k, barracuda-es)"))
+        .ok_or_else(|| {
+            format!("unknown profile `{name}` (try cheetah-15k, savvio-10k, barracuda-es)")
+        })
 }
 
 fn read_trace(path: &str) -> Result<Vec<Request>, Box<dyn std::error::Error>> {
+    let _span = ObsSpan::new(spindle_obs::global(), "cli.read_trace");
     let file = File::open(path)?;
     let requests = if path.ends_with(".bin") {
         binary::read_requests(BufReader::new(file))?
     } else {
         text::read_requests(BufReader::new(file))?
     };
+    spindle_obs::detail!("read {} requests from {path}", requests.len());
     Ok(requests)
 }
 
@@ -87,7 +185,10 @@ fn generate(opts: &Options) -> CmdResult {
     let env = parse_environment(opts.required("env")?)?;
     let span: f64 = opts.get_or("span", 3600.0)?;
     let seed: u64 = opts.get_or("seed", 42)?;
-    let requests = env.spec(span).generate(seed)?;
+    let requests = {
+        let _span = ObsSpan::new(spindle_obs::global(), "cli.generate");
+        env.spec(span).generate(seed)?
+    };
     let summary = spindle_trace::transform::summarize(&requests);
 
     match opts.get("out") {
@@ -99,7 +200,7 @@ fn generate(opts: &Options) -> CmdResult {
                 text::write_requests(&mut w, &requests)?;
             }
             w.flush()?;
-            eprintln!(
+            progress!(
                 "wrote {} requests ({:.1} MB moved) over {:.0}s to {path}",
                 summary.requests,
                 summary.bytes as f64 / 1e6,
@@ -114,7 +215,10 @@ fn generate(opts: &Options) -> CmdResult {
     Ok(())
 }
 
-fn run_simulation(opts: &Options, requests: &[Request]) -> Result<SimResult, Box<dyn std::error::Error>> {
+fn run_simulation(
+    opts: &Options,
+    requests: &[Request],
+) -> Result<SimResult, Box<dyn std::error::Error>> {
     let profile = profile_by_name(opts.get("profile").unwrap_or("cheetah-15k"))?;
     let scheduler = SchedulerKind::parse(opts.get("scheduler").unwrap_or("sptf"))?;
     let mut cache = profile.cache;
@@ -127,6 +231,13 @@ fn run_simulation(opts: &Options, requests: &[Request]) -> Result<SimResult, Box
         flush_at_end: true,
     };
     let mut sim = DiskSim::new(profile, cfg);
+    if METRICS_ENABLED.load(Ordering::Relaxed) {
+        sim.attach_observer(SimObserver::new(
+            spindle_obs::global(),
+            &ObsConfig::metrics_only(),
+        ));
+    }
+    let _span = ObsSpan::new(spindle_obs::global(), "cli.simulate");
     Ok(sim.run(requests)?)
 }
 
@@ -260,7 +371,10 @@ fn family(opts: &Options) -> CmdResult {
         "saturated-run curve (util >= 0.99)",
         &["k (hours)", "fraction of drives"],
     );
-    for p in curve.iter().filter(|p| [1, 2, 4, 8, 12, 24].contains(&p.run_hours)) {
+    for p in curve
+        .iter()
+        .filter(|p| [1, 2, 4, 8, 12, 24].contains(&p.run_hours))
+    {
         t.push_row(vec![p.run_hours.to_string(), cell(p.fraction_of_drives, 3)]);
     }
     println!("{t}");
@@ -272,14 +386,17 @@ fn power(opts: &Options) -> CmdResult {
     let requests = read_trace(opts.required("in")?)?;
     let result = run_simulation(opts, &requests)?;
     let model = PowerModel::enterprise_15k();
-    let baseline = spindle_disk::power::evaluate_policy(
-        &model,
-        &PowerPolicy::always_on(),
-        &result.busy,
-    )?;
+    let baseline =
+        spindle_disk::power::evaluate_policy(&model, &PowerPolicy::always_on(), &result.busy)?;
     let mut t = Table::new(
         "power policy sweep (enterprise-15k model)",
-        &["standby timeout (s)", "mean W", "savings %", "spin-ups", "recovery s/h"],
+        &[
+            "standby timeout (s)",
+            "mean W",
+            "savings %",
+            "spin-ups",
+            "recovery s/h",
+        ],
     );
     t.push_row(vec![
         "always-on".to_owned(),
@@ -323,7 +440,7 @@ fn anonymize(opts: &Options) -> CmdResult {
         text::write_requests(&mut w, &scrambled)?;
     }
     w.flush()?;
-    eprintln!("anonymized {} requests to {out_path}", scrambled.len());
+    progress!("anonymized {} requests to {out_path}", scrambled.len());
     Ok(())
 }
 
@@ -348,7 +465,7 @@ fn hourgen(opts: &Options) -> CmdResult {
             let mut w = BufWriter::new(File::create(path)?);
             spindle_trace::csv::write_hours(&mut w, hours.iter().copied())?;
             w.flush()?;
-            eprintln!("wrote {} hour records to {path}", hours.len());
+            progress!("wrote {} hour records to {path}", hours.len());
         }
         None => {
             let stdout = std::io::stdout();
@@ -361,7 +478,7 @@ fn hourgen(opts: &Options) -> CmdResult {
         let mut w = BufWriter::new(File::create(path)?);
         spindle_trace::csv::write_lifetimes(&mut w, lifetimes.iter())?;
         w.flush()?;
-        eprintln!("wrote {} lifetime records to {path}", lifetimes.len());
+        progress!("wrote {} lifetime records to {path}", lifetimes.len());
     }
     Ok(())
 }
@@ -430,15 +547,19 @@ mod tests {
         let lifetimes = dir.join("lifetimes.csv");
         dispatch(&argv(&[
             "hourgen",
-            "--drives", "3",
-            "--weeks", "1",
-            "--seed", "5",
-            "--hours-out", hours.to_str().unwrap(),
-            "--lifetimes-out", lifetimes.to_str().unwrap(),
+            "--drives",
+            "3",
+            "--weeks",
+            "1",
+            "--seed",
+            "5",
+            "--hours-out",
+            hours.to_str().unwrap(),
+            "--lifetimes-out",
+            lifetimes.to_str().unwrap(),
         ]))
         .unwrap();
-        let parsed =
-            spindle_trace::csv::read_hours(std::fs::File::open(&hours).unwrap()).unwrap();
+        let parsed = spindle_trace::csv::read_hours(std::fs::File::open(&hours).unwrap()).unwrap();
         assert_eq!(parsed.len(), 3 * 168);
         let lt =
             spindle_trace::csv::read_lifetimes(std::fs::File::open(&lifetimes).unwrap()).unwrap();
@@ -454,16 +575,26 @@ mod tests {
         let trace = dir.join("t.bin");
         let anon = dir.join("anon.bin");
         dispatch(&argv(&[
-            "generate", "--env", "web", "--span", "120", "--seed", "6", "--out",
+            "generate",
+            "--env",
+            "web",
+            "--span",
+            "120",
+            "--seed",
+            "6",
+            "--out",
             trace.to_str().unwrap(),
         ]))
         .unwrap();
         dispatch(&argv(&["power", "--in", trace.to_str().unwrap()])).unwrap();
         dispatch(&argv(&[
             "anonymize",
-            "--in", trace.to_str().unwrap(),
-            "--out", anon.to_str().unwrap(),
-            "--key", "77",
+            "--in",
+            trace.to_str().unwrap(),
+            "--out",
+            anon.to_str().unwrap(),
+            "--key",
+            "77",
         ]))
         .unwrap();
         // The anonymized trace simulates like any other trace.
@@ -473,8 +604,79 @@ mod tests {
     }
 
     #[test]
+    fn obs_args_are_peeled_off_before_subcommand_parsing() {
+        let (obs, rest) = extract_obs_args(&argv(&[
+            "simulate",
+            "--metrics=json",
+            "--in",
+            "t.bin",
+            "--metrics-out",
+            "m.json",
+        ]))
+        .unwrap();
+        assert_eq!(obs.metrics, Some("json"));
+        assert_eq!(obs.out.as_deref(), Some("m.json"));
+        assert_eq!(rest, argv(&["simulate", "--in", "t.bin"]));
+
+        // --metrics-out alone implies a text dump.
+        let (obs, _) = extract_obs_args(&argv(&["help", "--metrics-out=m.txt"])).unwrap();
+        assert_eq!(obs.metrics, Some("text"));
+        assert_eq!(obs.out.as_deref(), Some("m.txt"));
+
+        assert!(extract_obs_args(&argv(&["--metrics=xml"])).is_err());
+        assert!(extract_obs_args(&argv(&["--metrics-out"])).is_err());
+    }
+
+    #[test]
+    fn metrics_dump_is_valid_json_with_disk_counters() {
+        let dir = std::env::temp_dir().join("spindle-cli-test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("m.bin");
+        let metrics = dir.join("metrics.json");
+        dispatch(&argv(&[
+            "generate",
+            "--env=dev",
+            "--span=120",
+            "--seed=8",
+            "--out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "simulate",
+            "--in",
+            trace.to_str().unwrap(),
+            "--metrics=json",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let doc = spindle_obs::json::parse(text.trim()).expect("dump is valid JSON");
+        let completed = doc
+            .get("counters")
+            .and_then(|c| c.get("disk.requests_completed"))
+            .and_then(spindle_obs::json::Json::as_u64)
+            .unwrap();
+        assert!(completed > 0);
+        assert!(doc
+            .get("histograms")
+            .and_then(|h| h.get("disk.response_us"))
+            .is_some());
+        assert!(doc
+            .get("spans")
+            .and_then(|s| s.get("cli.simulate"))
+            .is_some());
+        std::fs::remove_file(trace).unwrap();
+        std::fs::remove_file(metrics).unwrap();
+    }
+
+    #[test]
     fn family_command_runs_small() {
-        dispatch(&argv(&["family", "--drives", "15", "--weeks", "1", "--seed", "5"])).unwrap();
+        dispatch(&argv(&[
+            "family", "--drives", "15", "--weeks", "1", "--seed", "5",
+        ]))
+        .unwrap();
     }
 
     #[test]
@@ -488,7 +690,14 @@ mod tests {
         ]))
         .unwrap();
         assert!(dispatch(&argv(&["simulate", "--in", path_str, "--profile", "nope"])).is_err());
-        assert!(dispatch(&argv(&["simulate", "--in", path_str, "--scheduler", "nope"])).is_err());
+        assert!(dispatch(&argv(&[
+            "simulate",
+            "--in",
+            path_str,
+            "--scheduler",
+            "nope"
+        ]))
+        .is_err());
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -217,7 +217,10 @@ mod tests {
     #[test]
     fn sweep_is_monotone_in_wait() {
         let l = log(
-            &[(1_000_000_000, 2_000_000_000), (30_000_000_000, 31_000_000_000)],
+            &[
+                (1_000_000_000, 2_000_000_000),
+                (30_000_000_000, 31_000_000_000),
+            ],
             60_000_000_000,
         );
         let sweep = idle_wait_sweep(&l, &[0.0, 0.5, 2.0, 10.0, 100.0], 0.2, 1.0).unwrap();
@@ -234,8 +237,14 @@ mod tests {
     #[test]
     fn rates_scale_work_linearly() {
         let l = log(&[(5_000_000_000, 6_000_000_000)], 20_000_000_000);
-        let slow = BackgroundTask::new(0.5, 0.5, 10.0).unwrap().schedule(&l).unwrap();
-        let fast = BackgroundTask::new(0.5, 0.5, 20.0).unwrap().schedule(&l).unwrap();
+        let slow = BackgroundTask::new(0.5, 0.5, 10.0)
+            .unwrap()
+            .schedule(&l)
+            .unwrap();
+        let fast = BackgroundTask::new(0.5, 0.5, 20.0)
+            .unwrap()
+            .schedule(&l)
+            .unwrap();
         assert!((fast.work_done - 2.0 * slow.work_done).abs() < 1e-9);
         assert_eq!(fast.productive_secs, slow.productive_secs);
         assert!(fast.work_per_hour() > 0.0);

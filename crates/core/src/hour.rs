@@ -291,7 +291,10 @@ mod tests {
         let a = HourAnalysis::new(&s).unwrap();
         let cdf = a.write_fraction_cdf().unwrap();
         let median = cdf.quantile(0.5).unwrap();
-        assert!((median - 0.55).abs() < 0.05, "median write fraction {median}");
+        assert!(
+            (median - 0.55).abs() < 0.05,
+            "median write fraction {median}"
+        );
     }
 
     #[test]

@@ -138,7 +138,12 @@ impl IdleAnalysis {
         // Zero-length idle gaps (back-to-back busy periods) are merged
         // away by the busy log, but guard against numerically zero
         // durations anyway.
-        let positive: Vec<f64> = self.idle_secs.iter().cloned().filter(|&d| d > 0.0).collect();
+        let positive: Vec<f64> = self
+            .idle_secs
+            .iter()
+            .cloned()
+            .filter(|&d| d > 0.0)
+            .collect();
         Ok(fit_best(&positive)?)
     }
 }
@@ -175,7 +180,10 @@ mod tests {
     fn fractions_and_means() {
         // Busy 2s of a 10s window; idle intervals: 1s, 3s, 4s.
         let l = log(
-            &[(1_000_000_000, 2_000_000_000), (5_000_000_000, 6_000_000_000)],
+            &[
+                (1_000_000_000, 2_000_000_000),
+                (5_000_000_000, 6_000_000_000),
+            ],
             10_000_000_000,
         );
         let a = IdleAnalysis::new(&l).unwrap();
@@ -269,7 +277,10 @@ mod tests {
     #[test]
     fn availability_is_monotone_in_threshold() {
         let l = log(
-            &[(1_000_000_000, 1_500_000_000), (4_000_000_000, 4_200_000_000)],
+            &[
+                (1_000_000_000, 1_500_000_000),
+                (4_000_000_000, 4_200_000_000),
+            ],
             20_000_000_000,
         );
         let a = IdleAnalysis::new(&l).unwrap();

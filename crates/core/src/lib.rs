@@ -56,8 +56,8 @@ pub mod idle;
 pub mod lifetime;
 pub mod millisecond;
 pub mod multiscale;
-pub mod response;
 pub mod report;
+pub mod response;
 pub mod spatial;
 
 mod error;

@@ -41,7 +41,10 @@ impl<'a> FamilyAnalysis<'a> {
     pub fn new(records: &'a [LifetimeRecord]) -> Result<Self> {
         if records.len() < 10 {
             return Err(CoreError::InvalidInput {
-                reason: format!("family analysis needs at least 10 drives, got {}", records.len()),
+                reason: format!(
+                    "family analysis needs at least 10 drives, got {}",
+                    records.len()
+                ),
             });
         }
         Ok(FamilyAnalysis { records })
@@ -75,7 +78,10 @@ impl<'a> FamilyAnalysis<'a> {
     /// Returns [`CoreError::Stats`] if construction fails.
     pub fn mb_per_hour_cdf(&self) -> Result<Ecdf> {
         Ok(Ecdf::new(
-            self.records.iter().map(LifetimeRecord::mb_per_hour).collect(),
+            self.records
+                .iter()
+                .map(LifetimeRecord::mb_per_hour)
+                .collect(),
         )?)
     }
 
@@ -88,7 +94,10 @@ impl<'a> FamilyAnalysis<'a> {
         let util = self.utilization_cdf()?;
         let mb = self.mb_per_hour_cdf()?;
         let ops = Ecdf::new(
-            self.records.iter().map(LifetimeRecord::ops_per_hour).collect(),
+            self.records
+                .iter()
+                .map(LifetimeRecord::ops_per_hour)
+                .collect(),
         )?;
         FAMILY_LEVELS
             .iter()
@@ -131,11 +140,7 @@ impl<'a> FamilyAnalysis<'a> {
     /// Returns [`CoreError::InvalidInput`] if the family serviced no
     /// operations at all.
     pub fn gini_operations(&self) -> Result<f64> {
-        let mut ops: Vec<f64> = self
-            .records
-            .iter()
-            .map(|r| r.operations() as f64)
-            .collect();
+        let mut ops: Vec<f64> = self.records.iter().map(|r| r.operations() as f64).collect();
         ops.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
         let n = ops.len() as f64;
         let total: f64 = ops.iter().sum();
@@ -208,8 +213,7 @@ pub fn saturation_curve(
     Ok((1..=max_run_hours)
         .map(|k| SaturationPoint {
             run_hours: k,
-            fraction_of_drives: runs.iter().filter(|&&r| r >= k).count() as f64
-                / runs.len() as f64,
+            fraction_of_drives: runs.iter().filter(|&&r| r >= k).count() as f64 / runs.len() as f64,
         })
         .collect())
 }

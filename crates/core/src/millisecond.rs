@@ -80,6 +80,7 @@ impl<'a> MillisecondAnalysis<'a> {
     /// Returns [`CoreError::Stats`] if the stream has fewer than two
     /// requests (interarrival statistics undefined).
     pub fn summary(&self) -> Result<WorkloadSummary> {
+        let _span = spindle_obs::ObsSpan::new(spindle_obs::global(), "core.millisecond.summary");
         let n = self.requests.len() as u64;
         let span_secs = self.sim.busy.span_ns() as f64 / 1e9;
         let interarrivals: Vec<f64> = self
@@ -182,7 +183,11 @@ mod tests {
     fn mixed_stream() -> Vec<Request> {
         (0..400)
             .map(|i| {
-                let op = if i % 3 == 0 { OpKind::Write } else { OpKind::Read };
+                let op = if i % 3 == 0 {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                };
                 // 25 req/s with some sequential pairs.
                 let lba = if i % 4 == 1 {
                     // continues the previous request
@@ -211,7 +216,11 @@ mod tests {
         let a = MillisecondAnalysis::new(&reqs, &sim).unwrap();
         let s = a.summary().unwrap();
         assert_eq!(s.requests, 400);
-        assert!((s.arrival_rate - 25.0).abs() < 2.0, "rate {}", s.arrival_rate);
+        assert!(
+            (s.arrival_rate - 25.0).abs() < 2.0,
+            "rate {}",
+            s.arrival_rate
+        );
         assert!((s.write_fraction - 1.0 / 3.0).abs() < 0.01);
         assert!((s.mean_request_kb - 8.0).abs() < 1e-9);
         assert!(s.mean_utilization > 0.0 && s.mean_utilization < 0.5);
@@ -256,6 +265,10 @@ mod tests {
         let m = a.response_moments();
         assert_eq!(m.count(), 400);
         assert!(m.mean() > 0.0);
-        assert!(m.max().unwrap() < 1000.0, "response {} ms", m.max().unwrap());
+        assert!(
+            m.max().unwrap() < 1000.0,
+            "response {} ms",
+            m.max().unwrap()
+        );
     }
 }

@@ -234,7 +234,11 @@ mod tests {
         // writes).
         let reqs: Vec<Request> = (0..1000)
             .map(|i| {
-                let op = if i % 10 < 7 { OpKind::Write } else { OpKind::Read };
+                let op = if i % 10 < 7 {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                };
                 Request::new(i, DriveId(0), op, i * 8, 8).unwrap()
             })
             .collect();

@@ -173,17 +173,14 @@ impl fmt::Display for Figure {
         // union of x values when series share them; otherwise each
         // series is dumped in its own block.
         let shared_x = self.series.len() > 1
-            && self
-                .series
-                .windows(2)
-                .all(|w| {
-                    w[0].points.len() == w[1].points.len()
-                        && w[0]
-                            .points
-                            .iter()
-                            .zip(&w[1].points)
-                            .all(|(a, b)| (a.0 - b.0).abs() < 1e-12)
-                });
+            && self.series.windows(2).all(|w| {
+                w[0].points.len() == w[1].points.len()
+                    && w[0]
+                        .points
+                        .iter()
+                        .zip(&w[1].points)
+                        .all(|(a, b)| (a.0 - b.0).abs() < 1e-12)
+            });
         if shared_x {
             write!(f, "{:>14}", "x")?;
             for s in &self.series {
@@ -249,7 +246,10 @@ mod tests {
         let s = fig.to_string();
         assert!(s.contains("== F0 =="));
         // One matrix header + 2 data lines.
-        let data_lines = s.lines().filter(|l| l.starts_with(' ') && l.contains('.')).count();
+        let data_lines = s
+            .lines()
+            .filter(|l| l.starts_with(' ') && l.contains('.'))
+            .count();
         assert_eq!(data_lines, 2);
     }
 
@@ -265,7 +265,9 @@ mod tests {
 
     #[test]
     fn sparkline_is_bounded_width() {
-        let pts: Vec<(f64, f64)> = (0..500).map(|i| (i as f64, (i as f64 / 30.0).sin())).collect();
+        let pts: Vec<(f64, f64)> = (0..500)
+            .map(|i| (i as f64, (i as f64 / 30.0).sin()))
+            .collect();
         let sl = Figure::sparkline(&pts, 60);
         assert_eq!(sl.chars().count(), 60);
         assert!(Figure::sparkline(&[], 60).is_empty());

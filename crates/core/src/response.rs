@@ -209,7 +209,11 @@ mod tests {
         for burst in 0..20u64 {
             for i in 0..20u64 {
                 let t = burst * 1_000_000_000 + i * 100_000;
-                let op = if i % 3 == 0 { OpKind::Write } else { OpKind::Read };
+                let op = if i % 3 == 0 {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                };
                 let lba = ((burst * 31 + i) * 1_048_576) % 100_000_000;
                 reqs.push(Request::new(t, DriveId(0), op, lba, 16).unwrap());
             }

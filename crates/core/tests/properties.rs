@@ -12,10 +12,8 @@ use spindle_trace::{DriveId, OpKind, Request};
 /// Arbitrary busy log: sorted, disjoint-ish intervals inside a span.
 fn arb_busy_log() -> impl Strategy<Value = BusyLog> {
     prop::collection::vec((0u64..1_000_000, 1u64..50_000), 0..50).prop_map(|intervals| {
-        let mut sorted: Vec<(u64, u64)> = intervals
-            .into_iter()
-            .map(|(s, len)| (s, s + len))
-            .collect();
+        let mut sorted: Vec<(u64, u64)> =
+            intervals.into_iter().map(|(s, len)| (s, s + len)).collect();
         sorted.sort_unstable();
         let mut b = BusyLogBuilder::new();
         for (s, e) in sorted {
@@ -27,7 +25,12 @@ fn arb_busy_log() -> impl Strategy<Value = BusyLog> {
 
 fn arb_stream() -> impl Strategy<Value = Vec<Request>> {
     prop::collection::vec(
-        (0u64..10_000_000_000u64, 0u64..10_000_000, 1u32..1_000, prop::bool::ANY),
+        (
+            0u64..10_000_000_000u64,
+            0u64..10_000_000,
+            1u32..1_000,
+            prop::bool::ANY,
+        ),
         2..120,
     )
     .prop_map(|tuples| {

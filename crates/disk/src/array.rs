@@ -339,7 +339,14 @@ mod tests {
     #[test]
     fn array_runs_drives_independently() {
         let reqs: Vec<Request> = (0..300)
-            .map(|i| req(i * 10_000_000, (i % 4) as u32, (i * 99_991 * 8) % 1_000_000, 16))
+            .map(|i| {
+                req(
+                    i * 10_000_000,
+                    (i % 4) as u32,
+                    (i * 99_991 * 8) % 1_000_000,
+                    16,
+                )
+            })
             .collect();
         let array = ArraySim::new(DriveProfile::cheetah_15k(), SimConfig::default());
         let result = array.run(&reqs).unwrap();
@@ -352,7 +359,14 @@ mod tests {
     #[test]
     fn array_result_matches_individual_sims() {
         let reqs: Vec<Request> = (0..100)
-            .map(|i| req(i * 20_000_000, (i % 2) as u32, (i * 7919 * 64) % 1_000_000, 8))
+            .map(|i| {
+                req(
+                    i * 20_000_000,
+                    (i % 2) as u32,
+                    (i * 7919 * 64) % 1_000_000,
+                    8,
+                )
+            })
             .collect();
         let array = ArraySim::new(DriveProfile::savvio_10k(), SimConfig::default());
         let result = array.run(&reqs).unwrap();

@@ -141,7 +141,10 @@ impl BusyLog {
 
     /// Durations (seconds) of all busy periods.
     pub fn busy_durations_secs(&self) -> Vec<f64> {
-        self.periods.iter().map(|(s, e)| (e - s) as f64 / 1e9).collect()
+        self.periods
+            .iter()
+            .map(|(s, e)| (e - s) as f64 / 1e9)
+            .collect()
     }
 
     /// Utilization per window of `window_ns`, covering the whole span

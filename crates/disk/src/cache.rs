@@ -180,7 +180,8 @@ impl DiskCache {
             (lba, sectors)
         };
         // Drop any clean extent fully shadowed by the new one.
-        self.clean.retain(|e| !(e.lba >= lba && e.end() <= lba + sectors as u64));
+        self.clean
+            .retain(|e| !(e.lba >= lba && e.end() <= lba + sectors as u64));
         while self.clean.len() >= self.config.segments {
             self.clean.pop_front();
         }
@@ -313,7 +314,13 @@ mod tests {
         assert_eq!(c.write(16, 8), WriteOutcome::Cached);
         assert_eq!(c.dirty_segments(), 1);
         let e = c.pop_dirty().unwrap();
-        assert_eq!(e, Extent { lba: 0, sectors: 24 });
+        assert_eq!(
+            e,
+            Extent {
+                lba: 0,
+                sectors: 24
+            }
+        );
     }
 
     #[test]

@@ -159,11 +159,13 @@ impl DiskGeometry {
     /// Returns [`DiskError::OutOfRange`] if `lba + sectors` exceeds the
     /// capacity.
     pub fn check_range(&self, lba: u64, sectors: u32) -> Result<()> {
-        let end = lba.checked_add(sectors as u64).ok_or(DiskError::OutOfRange {
-            lba,
-            sectors,
-            capacity: self.total_sectors,
-        })?;
+        let end = lba
+            .checked_add(sectors as u64)
+            .ok_or(DiskError::OutOfRange {
+                lba,
+                sectors,
+                capacity: self.total_sectors,
+            })?;
         if end > self.total_sectors {
             return Err(DiskError::OutOfRange {
                 lba,
@@ -194,9 +196,18 @@ mod tests {
 
     fn three_zone() -> DiskGeometry {
         DiskGeometry::new(vec![
-            Zone { tracks: 10, sectors_per_track: 100 }, // LBA 0..1000
-            Zone { tracks: 10, sectors_per_track: 80 },  // LBA 1000..1800
-            Zone { tracks: 10, sectors_per_track: 60 },  // LBA 1800..2400
+            Zone {
+                tracks: 10,
+                sectors_per_track: 100,
+            }, // LBA 0..1000
+            Zone {
+                tracks: 10,
+                sectors_per_track: 80,
+            }, // LBA 1000..1800
+            Zone {
+                tracks: 10,
+                sectors_per_track: 60,
+            }, // LBA 1800..2400
         ])
         .unwrap()
     }
@@ -204,8 +215,16 @@ mod tests {
     #[test]
     fn construction_validates() {
         assert!(DiskGeometry::new(vec![]).is_err());
-        assert!(DiskGeometry::new(vec![Zone { tracks: 0, sectors_per_track: 10 }]).is_err());
-        assert!(DiskGeometry::new(vec![Zone { tracks: 10, sectors_per_track: 0 }]).is_err());
+        assert!(DiskGeometry::new(vec![Zone {
+            tracks: 0,
+            sectors_per_track: 10
+        }])
+        .is_err());
+        assert!(DiskGeometry::new(vec![Zone {
+            tracks: 10,
+            sectors_per_track: 0
+        }])
+        .is_err());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   windowed utilization series).
 //! * [`profile`] — parameter presets for enterprise drives of the paper's
 //!   era (c. 2006–2009).
+//! * [`obs`] — opt-in telemetry: counters, latency/queue-depth
+//!   histograms, and event tracing for the simulator, attached with
+//!   [`sim::DiskSim::attach_observer`]. With no observer the simulator
+//!   pays only an untaken branch per site.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@ pub mod busy;
 pub mod cache;
 pub mod geometry;
 pub mod mechanics;
+pub mod obs;
 pub mod power;
 pub mod profile;
 pub mod scheduler;

@@ -274,8 +274,14 @@ mod tests {
 
     fn mechanics() -> Mechanics {
         let g = DiskGeometry::new(vec![
-            Zone { tracks: 10_000, sectors_per_track: 1000 },
-            Zone { tracks: 10_000, sectors_per_track: 800 },
+            Zone {
+                tracks: 10_000,
+                sectors_per_track: 1000,
+            },
+            Zone {
+                tracks: 10_000,
+                sectors_per_track: 800,
+            },
         ])
         .unwrap();
         // 15k RPM, 0.2/3.0/6.5 ms seeks, 0.3 ms head switch.

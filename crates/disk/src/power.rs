@@ -310,10 +310,7 @@ mod tests {
     #[test]
     fn staged_idle_energy_accounting() {
         // One idle period of 100 s between two busy seconds.
-        let l = log(
-            &[(0, secs(1.0)), (secs(101.0), secs(102.0))],
-            secs(102.0),
-        );
+        let l = log(&[(0, secs(1.0)), (secs(101.0), secs(102.0))], secs(102.0));
         let m = PowerModel::enterprise_15k();
         // Unload after 10 s, standby after 40 s.
         let p = PowerPolicy::new(10.0, 40.0).unwrap();
@@ -357,8 +354,7 @@ mod tests {
         let l = b.finish(secs(1000.0)).unwrap();
         let m = PowerModel::enterprise_15k();
         let baseline = evaluate_policy(&m, &PowerPolicy::always_on(), &l).unwrap();
-        let aggressive =
-            evaluate_policy(&m, &PowerPolicy::new(1.0, 10.0).unwrap(), &l).unwrap();
+        let aggressive = evaluate_policy(&m, &PowerPolicy::new(1.0, 10.0).unwrap(), &l).unwrap();
         assert!(
             aggressive.savings_vs(&baseline) > 0.4,
             "savings {}",

@@ -202,10 +202,20 @@ mod tests {
     #[test]
     fn rotation_periods() {
         assert!(
-            (DriveProfile::cheetah_15k().mechanics().unwrap().rotation_ns() - 4e6).abs() < 1.0
+            (DriveProfile::cheetah_15k()
+                .mechanics()
+                .unwrap()
+                .rotation_ns()
+                - 4e6)
+                .abs()
+                < 1.0
         );
         assert!(
-            (DriveProfile::barracuda_es().mechanics().unwrap().rotation_ns() - 60e9 / 7200.0)
+            (DriveProfile::barracuda_es()
+                .mechanics()
+                .unwrap()
+                .rotation_ns()
+                - 60e9 / 7200.0)
                 .abs()
                 < 1.0
         );

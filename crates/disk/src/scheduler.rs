@@ -284,8 +284,20 @@ mod tests {
         // SPTF must pick the one with the shorter rotational wait from
         // now. At t=0 the head is at angle 0; offset 100 (of 1000) is
         // closer than offset 900.
-        let near = QueuedRequest { id: 0, arrival_ns: 0, lba: 500 * 1000 + 900, sectors: 8, track: 500 };
-        let far = QueuedRequest { id: 1, arrival_ns: 0, lba: 500 * 1000 + 100, sectors: 8, track: 500 };
+        let near = QueuedRequest {
+            id: 0,
+            arrival_ns: 0,
+            lba: 500 * 1000 + 900,
+            sectors: 8,
+            track: 500,
+        };
+        let far = QueuedRequest {
+            id: 1,
+            arrival_ns: 0,
+            lba: 500 * 1000 + 100,
+            sectors: 8,
+            track: 500,
+        };
         let idx = Sptf.select(&[near, far], 500, 0.0, &m);
         assert_eq!(idx, 1, "SPTF should pick the rotationally closer sector");
     }

@@ -11,9 +11,11 @@
 use crate::busy::{BusyLog, BusyLogBuilder};
 use crate::cache::{CacheConfig, DiskCache, WriteOutcome};
 use crate::mechanics::Mechanics;
+use crate::obs::SimObserver;
 use crate::profile::DriveProfile;
 use crate::scheduler::{QueuedRequest, SchedulerKind, SchedulerPolicy};
 use crate::{DiskError, Result};
+use spindle_obs::EventKind;
 use spindle_trace::{OpKind, Request};
 
 /// Simulation configuration.
@@ -131,6 +133,7 @@ pub struct DiskSim {
     scheduler: Box<dyn SchedulerPolicy>,
     controller_overhead_ns: f64,
     flush_at_end: bool,
+    obs: Option<SimObserver>,
 }
 
 impl DiskSim {
@@ -152,6 +155,7 @@ impl DiskSim {
             scheduler: config.scheduler.create(),
             controller_overhead_ns: profile.controller_overhead_ns as f64,
             flush_at_end: config.flush_at_end,
+            obs: None,
         }
     }
 
@@ -175,12 +179,25 @@ impl DiskSim {
             scheduler: scheduler.create(),
             controller_overhead_ns: controller_overhead_ns as f64,
             flush_at_end,
+            obs: None,
         })
     }
 
     /// The mechanical model in use.
     pub fn mechanics(&self) -> &Mechanics {
         &self.mechanics
+    }
+
+    /// Attaches a telemetry observer; subsequent [`DiskSim::run`] calls
+    /// record counters, histograms, and (if the observer carries an
+    /// event ring) simulator events through it.
+    pub fn attach_observer(&mut self, obs: SimObserver) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&SimObserver> {
+        self.obs.as_ref()
     }
 
     /// Runs the simulation over a time-sorted request stream.
@@ -196,10 +213,11 @@ impl DiskSim {
                 reason: "request stream is empty".into(),
             });
         }
-        spindle_trace::transform::validate_sorted(requests)
-            .map_err(|e| DiskError::InvalidStream {
+        spindle_trace::transform::validate_sorted(requests).map_err(|e| {
+            DiskError::InvalidStream {
                 reason: e.to_string(),
-            })?;
+            }
+        })?;
         for r in requests {
             self.mechanics.geometry().check_range(r.lba, r.sectors)?;
         }
@@ -219,9 +237,7 @@ impl DiskSim {
 
         loop {
             // Admit every request that has arrived by `now`.
-            while next_arrival < requests.len()
-                && requests[next_arrival].arrival_ns as f64 <= now
-            {
+            while next_arrival < requests.len() && requests[next_arrival].arrival_ns as f64 <= now {
                 let r = &requests[next_arrival];
                 let track = self.mechanics.geometry().locate(r.lba)?.track;
                 queue.push(QueuedRequest {
@@ -231,6 +247,9 @@ impl DiskSim {
                     sectors: r.sectors,
                     track,
                 });
+                if let Some(o) = &self.obs {
+                    o.event(r.arrival_ns, EventKind::RequestEnqueue, next_arrival as u64);
+                }
                 next_arrival += 1;
             }
 
@@ -246,23 +265,33 @@ impl DiskSim {
                     };
                     if do_destage {
                         let extent = self.cache.pop_dirty().expect("has_dirty checked");
-                        let timing =
-                            self.mechanics
-                                .service(head_track, destage_at, extent.lba, extent.sectors)?;
+                        let timing = self.mechanics.service(
+                            head_track,
+                            destage_at,
+                            extent.lba,
+                            extent.sectors,
+                        )?;
                         let end = destage_at + timing.total_ns();
                         busy.push(destage_at.round() as u64, end.round() as u64)?;
                         now = end;
-                        head_track = self
-                            .mechanics
-                            .geometry()
-                            .locate(extent.end() - 1)?
-                            .track;
+                        head_track = self.mechanics.geometry().locate(extent.end() - 1)?.track;
                         destages += 1;
+                        if let Some(o) = &self.obs {
+                            o.destages.inc();
+                            o.seeks.inc();
+                            o.event(destage_at.round() as u64, EventKind::Destage, extent.lba);
+                        }
                         continue;
                     }
                 }
                 match upcoming {
                     Some(t) => {
+                        if let Some(o) = &self.obs {
+                            if t > now {
+                                o.event(now.round() as u64, EventKind::IdleBegin, 0);
+                                o.event(t.round() as u64, EventKind::IdleEnd, 0);
+                            }
+                        }
                         now = now.max(t);
                         continue;
                     }
@@ -271,6 +300,9 @@ impl DiskSim {
             }
 
             // Pick and service the next request.
+            if let Some(o) = &self.obs {
+                o.queue_depth.record(queue.len() as u64);
+            }
             let idx = self
                 .scheduler
                 .select(&queue, head_track, now, &self.mechanics);
@@ -296,6 +328,26 @@ impl DiskSim {
                 (OpKind::Read, false) => read_misses += 1,
                 (OpKind::Write, true) => writes_cached += 1,
                 (OpKind::Write, false) => writes_forced += 1,
+            }
+            if let Some(o) = &self.obs {
+                o.event(start.round() as u64, EventKind::RequestDispatch, q.id);
+                match (r.op, cache_hit) {
+                    (OpKind::Read, true) => o.read_hits.inc(),
+                    (OpKind::Read, false) => o.read_misses.inc(),
+                    (OpKind::Write, true) => o.writes_cached.inc(),
+                    (OpKind::Write, false) => o.writes_forced.inc(),
+                }
+                let kind = if cache_hit {
+                    EventKind::CacheHit
+                } else {
+                    o.seeks.inc();
+                    EventKind::CacheMiss
+                };
+                o.event(start.round() as u64, kind, r.lba);
+                let response_ns = complete - r.arrival_ns as f64;
+                o.response_us.record((response_ns / 1_000.0).round() as u64);
+                o.requests_completed.inc();
+                o.event(complete.round() as u64, EventKind::RequestComplete, q.id);
             }
             completed.push(CompletedRequest {
                 request: r,
@@ -442,7 +494,12 @@ mod tests {
         }
         // The busy log must contain destage work after the last write
         // completed.
-        let last_complete = result.completed.iter().map(|c| c.complete_ns).max().unwrap();
+        let last_complete = result
+            .completed
+            .iter()
+            .map(|c| c.complete_ns)
+            .max()
+            .unwrap();
         let busy_end = result.busy.periods().last().unwrap().1;
         assert!(busy_end > last_complete);
     }
@@ -454,7 +511,9 @@ mod tests {
         cache.write_back = false;
         cfg.cache = Some(cache);
         let mut s = DiskSim::new(DriveProfile::cheetah_15k(), cfg);
-        let reqs: Vec<Request> = (0..4).map(|i| write(i * 50_000_000, 5_000 * i, 8)).collect();
+        let reqs: Vec<Request> = (0..4)
+            .map(|i| write(i * 50_000_000, 5_000 * i, 8))
+            .collect();
         let result = s.run(&reqs).unwrap();
         assert_eq!(result.writes_forced, 4);
         assert_eq!(result.writes_cached, 0);
@@ -486,7 +545,11 @@ mod tests {
             .map(|i| read(i * 5_000, (i * 2654435761) % 100_000_000, 64))
             .collect();
         let result = s.run(&reqs).unwrap();
-        assert!(result.utilization() > 0.9, "utilization {}", result.utilization());
+        assert!(
+            result.utilization() > 0.9,
+            "utilization {}",
+            result.utilization()
+        );
         assert_eq!(result.completed.len(), 2000);
     }
 
@@ -580,5 +643,97 @@ mod tests {
         let mut s = DiskSim::new(DriveProfile::cheetah_15k(), cfg);
         let result = s.run(&[write(0, 1000, 8)]).unwrap();
         assert_eq!(result.destages, 0);
+    }
+
+    #[test]
+    fn observer_counters_match_sim_result() {
+        use crate::obs::SimObserver;
+        use spindle_obs::{MetricsRegistry, ObsConfig};
+
+        let registry = MetricsRegistry::new();
+        let mut s = sim();
+        s.attach_observer(SimObserver::new(&registry, &ObsConfig::enabled()));
+        let log = s.observer().unwrap().event_log().expect("events enabled");
+
+        // A mix of reads (some sequential for hits) and writes with idle
+        // gaps so destaging kicks in.
+        let mut reqs = Vec::new();
+        for i in 0..8u64 {
+            reqs.push(read(i * 2_000_000, 10_000 + i * 8, 8));
+        }
+        for i in 0..4u64 {
+            reqs.push(write(
+                100_000_000 + i * 1_000_000,
+                50_000_000 + i * 200_000,
+                64,
+            ));
+        }
+        let result = s.run(&reqs).unwrap();
+
+        let snap = registry.snapshot();
+        let total = reqs.len() as u64;
+        assert_eq!(snap.counter("disk.requests_completed"), Some(total));
+        assert_eq!(snap.counter("disk.read_hits"), Some(result.read_hits));
+        assert_eq!(snap.counter("disk.read_misses"), Some(result.read_misses));
+        assert_eq!(
+            snap.counter("disk.writes_cached"),
+            Some(result.writes_cached)
+        );
+        assert_eq!(
+            snap.counter("disk.writes_forced"),
+            Some(result.writes_forced)
+        );
+        assert_eq!(snap.counter("disk.destages"), Some(result.destages));
+        let resp = snap.histogram("disk.response_us").unwrap();
+        assert_eq!(resp.count, total);
+        let depth = snap.histogram("disk.queue_depth").unwrap();
+        assert_eq!(depth.count, total, "one depth sample per dispatch");
+
+        // Event stream consistency: one enqueue/dispatch/complete per
+        // request, one cache event per request, one destage event per
+        // destage operation.
+        let events = log.snapshot();
+        let count = |k| events.iter().filter(|e| e.kind == k).count() as u64;
+        assert_eq!(count(EventKind::RequestEnqueue), total);
+        assert_eq!(count(EventKind::RequestDispatch), total);
+        assert_eq!(count(EventKind::RequestComplete), total);
+        assert_eq!(
+            count(EventKind::CacheHit) + count(EventKind::CacheMiss),
+            total
+        );
+        assert_eq!(count(EventKind::Destage), result.destages);
+        assert_eq!(count(EventKind::IdleBegin), count(EventKind::IdleEnd));
+    }
+
+    #[test]
+    fn unobserved_sim_matches_observed_sim() {
+        use crate::obs::SimObserver;
+        use spindle_obs::{MetricsRegistry, ObsConfig};
+
+        let reqs: Vec<Request> = (0..12)
+            .map(|i| {
+                if i % 3 == 0 {
+                    write(i * 3_000_000, 20_000_000 + i * 500_000, 32)
+                } else {
+                    read(i * 3_000_000, 40_000_000 + i * 1_000_000, 8)
+                }
+            })
+            .collect();
+
+        let mut plain = sim();
+        let base = plain.run(&reqs).unwrap();
+
+        let registry = MetricsRegistry::new();
+        let mut observed = sim();
+        observed.attach_observer(SimObserver::new(&registry, &ObsConfig::enabled()));
+        let traced = observed.run(&reqs).unwrap();
+
+        // Telemetry must not perturb simulation results.
+        assert_eq!(base.completed.len(), traced.completed.len());
+        for (a, b) in base.completed.iter().zip(traced.completed.iter()) {
+            assert_eq!(a.complete_ns, b.complete_ns);
+            assert_eq!(a.cache_hit, b.cache_hit);
+        }
+        assert_eq!(base.busy.periods(), traced.busy.periods());
     }
 }

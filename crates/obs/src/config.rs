@@ -1,0 +1,94 @@
+//! Observability configuration.
+
+use crate::events::EventLog;
+use std::sync::Arc;
+
+/// What the instrumentation layer is allowed to record.
+///
+/// The default is fully disabled: instrumented code paths must cost
+/// nothing beyond an untaken branch unless a caller opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record counters, gauges, histograms, and spans.
+    pub metrics: bool,
+    /// Trace simulator-level events into a ring buffer.
+    pub events: bool,
+    /// Ring capacity used when `events` is true.
+    pub event_capacity: usize,
+}
+
+/// Default event ring capacity: large enough for the tail of any
+/// realistic run without unbounded memory.
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+impl ObsConfig {
+    /// Nothing is recorded (the default).
+    pub const fn disabled() -> Self {
+        ObsConfig {
+            metrics: false,
+            events: false,
+            event_capacity: 0,
+        }
+    }
+
+    /// Metrics and event tracing both on.
+    pub const fn enabled() -> Self {
+        ObsConfig {
+            metrics: true,
+            events: true,
+            event_capacity: DEFAULT_EVENT_CAPACITY,
+        }
+    }
+
+    /// Metrics on, event tracing off — the cheap production setting.
+    pub const fn metrics_only() -> Self {
+        ObsConfig {
+            metrics: true,
+            events: false,
+            event_capacity: 0,
+        }
+    }
+
+    /// Allocates the event ring this configuration asks for, if any.
+    pub fn event_log(&self) -> Option<Arc<EventLog>> {
+        if self.events && self.event_capacity > 0 {
+            Some(Arc::new(EventLog::new(self.event_capacity)))
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let c = ObsConfig::default();
+        assert_eq!(c, ObsConfig::disabled());
+        assert!(!c.metrics);
+        assert!(c.event_log().is_none());
+    }
+
+    #[test]
+    fn enabled_allocates_an_event_log() {
+        let c = ObsConfig::enabled();
+        assert!(c.metrics);
+        let log = c.event_log().expect("event log allocated");
+        assert_eq!(log.capacity(), DEFAULT_EVENT_CAPACITY);
+    }
+
+    #[test]
+    fn metrics_only_skips_events() {
+        let c = ObsConfig::metrics_only();
+        assert!(c.metrics);
+        assert!(c.event_log().is_none());
+    }
+}

@@ -1,0 +1,241 @@
+//! Ring-buffer event log for simulator-level event tracing.
+//!
+//! The simulator emits an [`Event`] per interesting state change; the
+//! [`EventLog`] keeps the most recent `capacity` of them in a
+//! fixed-size ring (no allocation after construction). The log is only
+//! ever created when an [`ObsConfig`](crate::ObsConfig) enables event
+//! tracing, so the disabled-path cost is a skipped `Option` branch.
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A request entered the scheduler queue.
+    RequestEnqueue,
+    /// The scheduler selected a request for service.
+    RequestDispatch,
+    /// A request completed (host-visible).
+    RequestComplete,
+    /// A request was satisfied by the cache (read hit or absorbed
+    /// write-back write).
+    CacheHit,
+    /// A request required mechanical service.
+    CacheMiss,
+    /// A dirty cache segment was destaged to the medium.
+    Destage,
+    /// The drive went idle (queue empty, waiting for arrivals).
+    IdleBegin,
+    /// The drive left an idle period.
+    IdleEnd,
+}
+
+impl EventKind {
+    /// Stable lowercase name used by exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::RequestEnqueue => "request_enqueue",
+            EventKind::RequestDispatch => "request_dispatch",
+            EventKind::RequestComplete => "request_complete",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::Destage => "destage",
+            EventKind::IdleBegin => "idle_begin",
+            EventKind::IdleEnd => "idle_end",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated time in nanoseconds.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific detail: the request id for request events, the LBA
+    /// for cache and destage events, zero otherwise.
+    pub detail: u64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<Event>,
+    /// Next write position.
+    head: usize,
+    /// Events ever recorded (including overwritten ones).
+    recorded: u64,
+}
+
+/// A thread-safe fixed-capacity event ring buffer.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl EventLog {
+    /// Creates a log keeping the most recent `capacity` events
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventLog {
+            capacity,
+            ring: Mutex::new(Ring {
+                buf: Vec::with_capacity(capacity),
+                head: 0,
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    pub fn push(&self, event: Event) {
+        let mut ring = self.ring.lock().expect("event ring not poisoned");
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(event);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = event;
+        }
+        ring.head = (ring.head + 1) % self.capacity;
+        ring.recorded += 1;
+    }
+
+    /// Convenience for [`push`](EventLog::push).
+    pub fn record(&self, t_ns: u64, kind: EventKind, detail: u64) {
+        self.push(Event { t_ns, kind, detail });
+    }
+
+    /// Currently retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("event ring not poisoned").buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events ever recorded, including those the ring has overwritten.
+    pub fn total_recorded(&self) -> u64 {
+        self.ring.lock().expect("event ring not poisoned").recorded
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let ring = self.ring.lock().expect("event ring not poisoned");
+        if ring.buf.len() < self.capacity {
+            ring.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&ring.buf[ring.head..]);
+            out.extend_from_slice(&ring.buf[..ring.head]);
+            out
+        }
+    }
+
+    /// Retained events of `kind`, oldest first.
+    pub fn of_kind(&self, kind: EventKind) -> Vec<Event> {
+        self.snapshot()
+            .into_iter()
+            .filter(|e| e.kind == kind)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> Event {
+        Event {
+            t_ns: t,
+            kind: EventKind::RequestComplete,
+            detail: t,
+        }
+    }
+
+    #[test]
+    fn keeps_order_below_capacity() {
+        let log = EventLog::new(8);
+        for t in 0..5 {
+            log.push(ev(t));
+        }
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.total_recorded(), 5);
+        let times: Vec<u64> = log.snapshot().iter().map(|e| e.t_ns).collect();
+        assert_eq!(times, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wraps_and_keeps_most_recent() {
+        let log = EventLog::new(4);
+        for t in 0..10 {
+            log.push(ev(t));
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.total_recorded(), 10);
+        let times: Vec<u64> = log.snapshot().iter().map(|e| e.t_ns).collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let log = EventLog::new(0);
+        assert_eq!(log.capacity(), 1);
+        log.record(1, EventKind::IdleBegin, 0);
+        log.record(2, EventKind::IdleEnd, 0);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.snapshot()[0].kind, EventKind::IdleEnd);
+    }
+
+    #[test]
+    fn filters_by_kind() {
+        let log = EventLog::new(16);
+        log.record(1, EventKind::CacheHit, 100);
+        log.record(2, EventKind::CacheMiss, 200);
+        log.record(3, EventKind::CacheHit, 300);
+        let hits = log.of_kind(EventKind::CacheHit);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[1].detail, 300);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(EventKind::RequestEnqueue.name(), "request_enqueue");
+        assert_eq!(EventKind::Destage.to_string(), "destage");
+    }
+
+    #[test]
+    fn concurrent_pushes_count_exactly() {
+        use std::sync::Arc;
+        let log = Arc::new(EventLog::new(64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for t in 0..1000 {
+                    log.record(t, EventKind::RequestEnqueue, t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panic");
+        }
+        assert_eq!(log.total_recorded(), 8 * 1000);
+        assert_eq!(log.len(), 64);
+    }
+}

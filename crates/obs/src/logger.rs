@@ -1,0 +1,107 @@
+//! Tiny leveled stderr logger.
+//!
+//! Replaces the scattered `eprintln!` progress lines across the CLI and
+//! experiment binaries with one switchable channel. The default level is
+//! [`LogLevel::Normal`], which prints exactly what the old `eprintln!`
+//! calls printed — so default output is unchanged — while `--quiet`
+//! drops progress chatter and `--verbose` adds detail lines.
+//!
+//! Errors should not go through this module: failures must stay visible
+//! at every level, so keep reporting them with `eprintln!` directly.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity level, ordered quiet → verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LogLevel {
+    /// Suppress progress output (`--quiet`).
+    Quiet = 0,
+    /// Default: progress messages only.
+    Normal = 1,
+    /// Progress plus detail messages (`--verbose`).
+    Verbose = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Normal as u8);
+
+/// Sets the process-wide log level.
+pub fn set_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide log level.
+pub fn level() -> LogLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => LogLevel::Quiet,
+        1 => LogLevel::Normal,
+        _ => LogLevel::Verbose,
+    }
+}
+
+/// Whether messages at `at` currently print.
+pub fn enabled(at: LogLevel) -> bool {
+    at != LogLevel::Quiet && level() >= at
+}
+
+/// Prints `args` to stderr when `at` is enabled. Prefer the
+/// [`progress!`](crate::progress) and [`detail!`](crate::detail) macros.
+pub fn log(at: LogLevel, args: fmt::Arguments<'_>) {
+    if enabled(at) {
+        eprintln!("{args}");
+    }
+}
+
+/// Logs a progress message (visible at the default level, silenced by
+/// `--quiet`): `spindle_obs::progress!("wrote {} requests", n);`.
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::LogLevel::Normal, format_args!($($arg)*))
+    };
+}
+
+/// Logs a detail message (visible only with `--verbose`).
+#[macro_export]
+macro_rules! detail {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::LogLevel::Verbose, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The level is process-global, so exercise the whole lifecycle in
+    // one test to avoid cross-test interference.
+    #[test]
+    fn levels_gate_as_documented() {
+        assert_eq!(level(), LogLevel::Normal);
+        assert!(enabled(LogLevel::Normal));
+        assert!(!enabled(LogLevel::Verbose));
+
+        set_level(LogLevel::Verbose);
+        assert!(enabled(LogLevel::Normal));
+        assert!(enabled(LogLevel::Verbose));
+
+        set_level(LogLevel::Quiet);
+        assert!(!enabled(LogLevel::Normal));
+        assert!(!enabled(LogLevel::Verbose));
+        // Quiet-level messages never print, even at Quiet.
+        assert!(!enabled(LogLevel::Quiet));
+
+        set_level(LogLevel::Normal);
+        // Macros must compile with formatting arguments and plain text.
+        progress!("progress {}", 1);
+        detail!("detail only");
+        crate::progress!("fully qualified");
+    }
+
+    #[test]
+    fn ordering_matches_verbosity() {
+        assert!(LogLevel::Quiet < LogLevel::Normal);
+        assert!(LogLevel::Normal < LogLevel::Verbose);
+    }
+}

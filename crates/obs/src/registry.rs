@@ -1,0 +1,537 @@
+//! Thread-safe metrics registry: counters, gauges, histograms, spans.
+//!
+//! The registry is a named map from metric name to metric handle. Handles
+//! ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones that
+//! update shared atomics; instrumented code resolves a handle once (one
+//! mutex-protected map lookup) and then updates it lock-free on the hot
+//! path. [`MetricsRegistry::snapshot`] produces an immutable view for
+//! the export sinks.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotonic counter handle.
+///
+/// Cloning yields another handle to the same underlying value.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a signed value that can move both ways.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram bucket bounds: powers of two from 1 up to 2^39
+/// (~9.1 minutes when recording microseconds), plus an implicit overflow
+/// bucket. Forty buckets cover any latency or depth this pipeline sees.
+fn default_bounds() -> Vec<u64> {
+    (0..40).map(|i| 1u64 << i).collect()
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds, strictly increasing. Bucket `i` counts
+    /// values `v` with `bounds[i-1] < v <= bounds[i]` (bucket 0 counts
+    /// `v <= bounds[0]`); one extra slot counts overflows.
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle.
+///
+/// Values are unitless `u64`s; the recording site fixes the unit (the
+/// disk instrumentation records microseconds for latencies and plain
+/// counts for queue depths). Recording is two relaxed atomic adds plus a
+/// binary search over the (immutable) bounds.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn new(bounds: Vec<u64>) -> Self {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let inner = &self.0;
+        let idx = inner.bounds.partition_point(|&b| b < value);
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable view of the current contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.0;
+        HistogramSnapshot {
+            bounds: inner.bounds.clone(),
+            buckets: inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: inner.count.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Convenience quantile readout (see [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// An immutable histogram view with quantile readout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds` (overflow last).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated quantile `q` in `[0, 1]` by linear interpolation inside
+    /// the bucket holding the target rank. Returns 0 for an empty
+    /// histogram. Estimates are monotone in `q` by construction, so
+    /// p50 ≤ p95 ≤ p99 always holds.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Target rank in [1, count].
+        let rank = (q * self.count as f64).max(1.0);
+        let mut below = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let upto = below + n;
+            if rank <= upto as f64 {
+                let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let hi = match self.bounds.get(i) {
+                    Some(&b) => b,
+                    // Overflow bucket: no upper bound; report its lower
+                    // edge (a deliberate under-estimate).
+                    None => return self.bounds.last().copied().unwrap_or(0) as f64,
+                };
+                let frac = (rank - below as f64) / n as f64;
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+            below = upto;
+        }
+        self.bounds.last().copied().unwrap_or(0) as f64
+    }
+}
+
+/// Aggregated wall-clock statistics for one named span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Completed executions.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across executions.
+    pub total_ns: u64,
+    /// Longest single execution in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Mean execution time in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64 / 1e6
+        }
+    }
+}
+
+/// A thread-safe registry of named metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<BTreeMap<String, SpanStats>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("counter map not poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("gauge map not poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns the histogram named `name` with the default power-of-two
+    /// buckets, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_bounds(name, &default_bounds())
+    }
+
+    /// Returns the histogram named `name`, creating it with `bounds`
+    /// (strictly increasing upper bucket bounds) on first use. A
+    /// histogram that already exists keeps its original bounds.
+    pub fn histogram_with_bounds(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut map = self.histograms.lock().expect("histogram map not poisoned");
+        map.entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(bounds.to_vec()))
+            .clone()
+    }
+
+    /// Folds one completed execution of span `name` into its statistics.
+    pub fn record_span(&self, name: &str, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let mut map = self.spans.lock().expect("span map not poisoned");
+        let s = map.entry(name.to_owned()).or_default();
+        s.count += 1;
+        s.total_ns = s.total_ns.saturating_add(ns);
+        s.max_ns = s.max_ns.max(ns);
+    }
+
+    /// Starts a wall-clock span; the elapsed time is recorded when the
+    /// returned guard drops.
+    pub fn span(&self, name: &str) -> crate::span::ObsSpan<'_> {
+        crate::span::ObsSpan::new(self, name)
+    }
+
+    /// An immutable, alphabetically ordered view of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("counter map not poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("gauge map not poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("histogram map not poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            spans: self
+                .spans
+                .lock()
+                .expect("span map not poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+
+    /// Removes every metric. Handles resolved before the reset keep
+    /// counting but are no longer exported — intended for tests and for
+    /// long-lived processes starting a fresh measurement window.
+    pub fn reset(&self) {
+        self.counters
+            .lock()
+            .expect("counter map not poisoned")
+            .clear();
+        self.gauges.lock().expect("gauge map not poisoned").clear();
+        self.histograms
+            .lock()
+            .expect("histogram map not poisoned")
+            .clear();
+        self.spans.lock().expect("span map not poisoned").clear();
+    }
+}
+
+/// An immutable view of a registry at one instant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter, alphabetical.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, alphabetical.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, view)` for every histogram, alphabetical.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(name, stats)` for every span, alphabetical.
+    pub spans: Vec<(String, SpanStats)>,
+}
+
+impl Snapshot {
+    /// Value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// View of histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Statistics of span `name`, if present.
+    pub fn span(&self, name: &str) -> Option<SpanStats> {
+        self.spans.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+}
+
+/// The process-wide default registry used by CLI-level instrumentation.
+///
+/// Library code that needs exact, isolated measurements (tests, the
+/// simulator observer) should create its own [`MetricsRegistry`] and
+/// pass it down instead.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("a.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same underlying value.
+        assert_eq!(r.counter("a.count").get(), 5);
+        let g = r.gauge("a.gauge");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.count"), Some(5));
+        assert_eq!(snap.gauge("a.gauge"), Some(4));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let r = MetricsRegistry::new();
+        // Linear buckets 10, 20, ..., 1000.
+        let bounds: Vec<u64> = (1..=100).map(|i| i * 10).collect();
+        let h = r.histogram_with_bounds("h", &bounds);
+        // Known distribution: 1..=1000 once each.
+        for v in 1..=1000 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 1000 * 1001 / 2);
+        let p50 = s.quantile(0.50);
+        let p95 = s.quantile(0.95);
+        let p99 = s.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+        assert!((p50 - 500.0).abs() <= 10.0, "p50={p50}");
+        assert!((p95 - 950.0).abs() <= 10.0, "p95={p95}");
+        assert!((p99 - 990.0).abs() <= 10.0, "p99={p99}");
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_on_default_buckets() {
+        let h = Histogram::new(default_bounds());
+        for v in [3u64, 17, 17, 90, 1024, 70_000, 5_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut prev = 0.0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new(default_bounds());
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_values() {
+        let h = Histogram::new(vec![10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(u64::MAX / 2);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![1, 1, 1]);
+        // Overflow quantile reports the last finite bound.
+        assert_eq!(s.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn hammered_from_eight_threads_stays_consistent() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 20_000;
+        let r = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let r = Arc::clone(&r);
+            handles.push(thread::spawn(move || {
+                // Mix pre-resolved handles with by-name lookups so the
+                // map locking is exercised concurrently too.
+                let c = r.counter("hammer.count");
+                let h = r.histogram("hammer.hist");
+                let g = r.gauge("hammer.gauge");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record(i % 1000 + 1);
+                    g.add(1);
+                    if i % 1024 == 0 {
+                        r.counter("hammer.count_by_name").add(1);
+                        r.record_span("hammer.span", Duration::from_nanos(10));
+                    }
+                }
+                t
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("worker thread must not panic");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("hammer.count"), Some(THREADS * PER_THREAD));
+        assert_eq!(
+            snap.gauge("hammer.gauge"),
+            Some((THREADS * PER_THREAD) as i64)
+        );
+        let h = snap.histogram("hammer.hist").expect("histogram exists");
+        assert_eq!(h.count, THREADS * PER_THREAD);
+        // No torn reads: bucket counts must sum to the total count.
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        let lookups = THREADS * PER_THREAD.div_ceil(1024);
+        assert_eq!(snap.counter("hammer.count_by_name"), Some(lookups));
+        let span = snap.span("hammer.span").expect("span exists");
+        assert_eq!(span.count, lookups);
+        assert_eq!(span.total_ns, lookups * 10);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let r = MetricsRegistry::new();
+        r.counter("x").inc();
+        r.histogram("y").record(3);
+        r.record_span("z", Duration::from_micros(1));
+        assert!(!r.snapshot().is_empty());
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let before = global().counter("obs.test.global").get();
+        global().counter("obs.test.global").inc();
+        assert_eq!(global().counter("obs.test.global").get(), before + 1);
+    }
+
+    #[test]
+    fn span_stats_mean() {
+        let s = SpanStats {
+            count: 4,
+            total_ns: 8_000_000,
+            max_ns: 5_000_000,
+        };
+        assert!((s.mean_ms() - 2.0).abs() < 1e-12);
+        assert_eq!(SpanStats::default().mean_ms(), 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Pluggable snapshot exporters.
+//!
+//! A [`MetricsSink`] turns a registry [`Snapshot`] into bytes on a
+//! writer. Two implementations ship here — a human-oriented
+//! [`TextSink`] and a machine-oriented [`JsonSink`] — and downstream
+//! code (a future Prometheus or OpenTelemetry bridge) can provide its
+//! own by implementing the trait.
+
+use crate::json::Json;
+use crate::registry::{HistogramSnapshot, Snapshot};
+use std::io::{self, Write};
+
+/// Exports a metrics snapshot to a writer.
+pub trait MetricsSink {
+    /// Writes the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    fn export(&self, snapshot: &Snapshot, out: &mut dyn Write) -> io::Result<()>;
+
+    /// Convenience wrapper collecting the export into a `String`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (only possible from a failing formatter).
+    fn export_string(&self, snapshot: &Snapshot) -> io::Result<String> {
+        let mut buf = Vec::new();
+        self.export(snapshot, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("sinks emit UTF-8"))
+    }
+}
+
+/// Human-oriented plain-text export, one metric per line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextSink;
+
+impl MetricsSink for TextSink {
+    fn export(&self, snapshot: &Snapshot, out: &mut dyn Write) -> io::Result<()> {
+        writeln!(out, "# spindle metrics")?;
+        for (name, v) in &snapshot.counters {
+            writeln!(out, "counter {name} {v}")?;
+        }
+        for (name, v) in &snapshot.gauges {
+            writeln!(out, "gauge {name} {v}")?;
+        }
+        for (name, h) in &snapshot.histograms {
+            writeln!(
+                out,
+                "histogram {name} count={} mean={:.1} p50={:.1} p95={:.1} p99={:.1}",
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            )?;
+        }
+        for (name, s) in &snapshot.spans {
+            writeln!(
+                out,
+                "span {name} count={} total_ms={:.3} mean_ms={:.3} max_ms={:.3}",
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.mean_ms(),
+                s.max_ns as f64 / 1e6,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Machine-oriented JSON export.
+///
+/// The document shape is stable:
+///
+/// ```json
+/// {"counters":{"disk.read_hits":15},
+///  "gauges":{},
+///  "histograms":{"disk.response_us":{"count":4,"sum":3760,"mean":940.0,
+///                                    "p50":285.0,"p95":2914.0,"p99":3062.8}},
+///  "spans":{"pipeline.simulate":{"count":1,"total_ns":812345,"max_ns":812345}}}
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonSink;
+
+fn histogram_json(h: &HistogramSnapshot) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::Uint(h.count)),
+        ("sum".into(), Json::Uint(h.sum)),
+        ("mean".into(), Json::Num(h.mean())),
+        ("p50".into(), Json::Num(h.quantile(0.50))),
+        ("p95".into(), Json::Num(h.quantile(0.95))),
+        ("p99".into(), Json::Num(h.quantile(0.99))),
+    ])
+}
+
+/// Builds the JSON document [`JsonSink`] emits (exposed for callers
+/// that want to post-process rather than serialize).
+pub fn snapshot_json(snapshot: &Snapshot) -> Json {
+    Json::Obj(vec![
+        (
+            "counters".into(),
+            Json::Obj(
+                snapshot
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Uint(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges".into(),
+            Json::Obj(
+                snapshot
+                    .gauges
+                    .iter()
+                    .map(|(k, v)| {
+                        let value = if *v >= 0 {
+                            Json::Uint(*v as u64)
+                        } else {
+                            Json::Int(*v)
+                        };
+                        (k.clone(), value)
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms".into(),
+            Json::Obj(
+                snapshot
+                    .histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), histogram_json(h)))
+                    .collect(),
+            ),
+        ),
+        (
+            "spans".into(),
+            Json::Obj(
+                snapshot
+                    .spans
+                    .iter()
+                    .map(|(k, s)| {
+                        (
+                            k.clone(),
+                            Json::Obj(vec![
+                                ("count".into(), Json::Uint(s.count)),
+                                ("total_ns".into(), Json::Uint(s.total_ns)),
+                                ("max_ns".into(), Json::Uint(s.max_ns)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+impl MetricsSink for JsonSink {
+    fn export(&self, snapshot: &Snapshot, out: &mut dyn Write) -> io::Result<()> {
+        writeln!(out, "{}", snapshot_json(snapshot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::registry::MetricsRegistry;
+    use std::time::Duration;
+
+    fn sample_registry() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.counter("disk.read_hits").add(15);
+        r.counter("disk.read_misses").inc();
+        r.gauge("queue.depth").set(-2);
+        let h = r.histogram("disk.response_us");
+        for v in [120, 450, 90, 3100] {
+            h.record(v);
+        }
+        r.record_span("pipeline.simulate", Duration::from_micros(812));
+        r
+    }
+
+    #[test]
+    fn text_sink_lists_every_metric() {
+        let text = TextSink
+            .export_string(&sample_registry().snapshot())
+            .unwrap();
+        assert!(text.contains("counter disk.read_hits 15"));
+        assert!(text.contains("counter disk.read_misses 1"));
+        assert!(text.contains("gauge queue.depth -2"));
+        assert!(text.contains("histogram disk.response_us count=4"));
+        assert!(text.contains("span pipeline.simulate count=1"));
+    }
+
+    #[test]
+    fn json_sink_roundtrips_through_the_parser() {
+        let snap = sample_registry().snapshot();
+        let text = JsonSink.export_string(&snap).unwrap();
+        let doc = json::parse(text.trim()).expect("sink output is valid JSON");
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("disk.read_hits"))
+                .and_then(Json::as_u64),
+            Some(15)
+        );
+        assert_eq!(
+            doc.get("gauges")
+                .and_then(|g| g.get("queue.depth"))
+                .and_then(Json::as_f64),
+            Some(-2.0)
+        );
+        let hist = doc
+            .get("histograms")
+            .and_then(|h| h.get("disk.response_us"))
+            .expect("histogram exported");
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(4));
+        let p50 = hist.get("p50").and_then(Json::as_f64).unwrap();
+        let p95 = hist.get("p95").and_then(Json::as_f64).unwrap();
+        let p99 = hist.get("p99").and_then(Json::as_f64).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+        let span = doc
+            .get("spans")
+            .and_then(|s| s.get("pipeline.simulate"))
+            .expect("span exported");
+        assert_eq!(span.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(span.get("total_ns").and_then(Json::as_u64), Some(812_000));
+        // Emitting the parsed document again is a fixed point.
+        assert_eq!(json::parse(&doc.to_string()).unwrap(), doc);
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let text = JsonSink.export_string(&Snapshot::default()).unwrap();
+        let doc = json::parse(text.trim()).unwrap();
+        assert_eq!(doc.get("counters"), Some(&Json::Obj(vec![])));
+    }
+
+    #[test]
+    fn sinks_are_usable_as_trait_objects() {
+        let sinks: [&dyn MetricsSink; 2] = [&TextSink, &JsonSink];
+        let snap = sample_registry().snapshot();
+        for sink in sinks {
+            assert!(!sink.export_string(&snap).unwrap().is_empty());
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Wall-clock span timers for pipeline-stage attribution.
+
+use crate::registry::MetricsRegistry;
+use std::time::Instant;
+
+/// A guard that records elapsed wall-clock time into a registry's span
+/// table when it drops (or when [`finish`](ObsSpan::finish) is called).
+///
+/// ```
+/// use spindle_obs::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// {
+///     let _t = registry.span("pipeline.generate");
+///     // ... timed work ...
+/// }
+/// assert_eq!(registry.snapshot().span("pipeline.generate").unwrap().count, 1);
+/// ```
+#[derive(Debug)]
+pub struct ObsSpan<'a> {
+    registry: &'a MetricsRegistry,
+    name: String,
+    start: Instant,
+    done: bool,
+}
+
+impl<'a> ObsSpan<'a> {
+    /// Starts timing `name` against `registry`.
+    pub fn new(registry: &'a MetricsRegistry, name: impl Into<String>) -> Self {
+        ObsSpan {
+            registry,
+            name: name.into(),
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// The span name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ends the span now, recording the elapsed time.
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if !self.done {
+            self.done = true;
+            self.registry.record_span(&self.name, self.start.elapsed());
+        }
+    }
+}
+
+impl Drop for ObsSpan<'_> {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Times the rest of the enclosing scope against a registry:
+/// `let _t = time_scope!(registry, "stage.name");`.
+///
+/// Expands to an [`ObsSpan`] guard; binding it to `_` would drop it
+/// immediately, so bind to a named `_t`-style variable.
+#[macro_export]
+macro_rules! time_scope {
+    ($registry:expr, $name:expr) => {
+        $crate::ObsSpan::new($registry, $name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn span_records_on_drop() {
+        let r = MetricsRegistry::new();
+        {
+            let _t = ObsSpan::new(&r, "work");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let s = r.snapshot().span("work").expect("span recorded");
+        assert_eq!(s.count, 1);
+        assert!(s.total_ns >= 1_000_000, "elapsed {} ns", s.total_ns);
+        assert_eq!(s.max_ns, s.total_ns);
+    }
+
+    #[test]
+    fn finish_records_once() {
+        let r = MetricsRegistry::new();
+        let t = ObsSpan::new(&r, "once");
+        t.finish();
+        let s = r.snapshot().span("once").expect("span recorded");
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn time_scope_macro_accumulates() {
+        let r = MetricsRegistry::new();
+        for _ in 0..3 {
+            let _t = time_scope!(&r, "loop");
+        }
+        assert_eq!(r.snapshot().span("loop").unwrap().count, 3);
+    }
+
+    #[test]
+    fn spans_nest() {
+        let r = MetricsRegistry::new();
+        {
+            let _outer = r.span("outer");
+            let _inner = r.span("inner");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.span("outer").unwrap().count, 1);
+        assert_eq!(snap.span("inner").unwrap().count, 1);
+    }
+}

@@ -156,10 +156,7 @@ pub fn white_noise_band(n: usize) -> f64 {
 pub fn significant_lag_run(series: &[f64], max_lag: usize) -> Result<usize> {
     let r = acf(series, max_lag)?;
     let band = white_noise_band(series.len());
-    Ok(r.iter()
-        .skip(1)
-        .take_while(|&&v| v > band)
-        .count())
+    Ok(r.iter().skip(1).take_while(|&&v| v > band).count())
 }
 
 #[cfg(test)]
@@ -189,7 +186,9 @@ mod tests {
 
     #[test]
     fn alternating_series_is_negatively_correlated_at_lag_one() {
-        let s: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let s: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let r1 = autocorrelation(&s, 1).unwrap();
         assert!(r1 < -0.9, "lag-1 ACF was {r1}");
         let r2 = autocorrelation(&s, 2).unwrap();
@@ -201,7 +200,9 @@ mod tests {
         // Deterministic pseudo-noise via a 64-bit LCG.
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let s: Vec<f64> = (0..4096).map(|_| next()).collect();

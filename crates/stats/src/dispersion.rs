@@ -144,7 +144,9 @@ mod tests {
         // Simulate Poisson(λ=5) counts with a deterministic LCG + Knuth.
         let mut state = 12345u64;
         let mut uniform = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
         };
         let mut poisson = |lambda: f64| {
@@ -182,7 +184,9 @@ mod tests {
     fn idc_curve_of_poisson_is_flat() {
         let mut state = 99u64;
         let mut uniform = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
         };
         let mut poisson = |lambda: f64| {

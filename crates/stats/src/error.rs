@@ -40,7 +40,10 @@ impl fmt::Display for StatsError {
         match self {
             StatsError::EmptySample => write!(f, "empty sample"),
             StatsError::InsufficientData { needed, got } => {
-                write!(f, "insufficient data: need at least {needed} observations, got {got}")
+                write!(
+                    f,
+                    "insufficient data: need at least {needed} observations, got {got}"
+                )
             }
             StatsError::DegenerateSeries => {
                 write!(f, "series has zero variance; statistic is undefined")

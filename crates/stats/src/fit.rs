@@ -432,7 +432,9 @@ mod tests {
     fn uniform_stream(n: usize, seed: u64) -> impl Iterator<Item = f64> {
         let mut state = seed;
         (0..n).map(move |_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
         })
     }
@@ -459,7 +461,9 @@ mod tests {
     #[test]
     fn weibull_roundtrip() {
         let d = Weibull::new(2.0, 0.7).unwrap();
-        let sample: Vec<f64> = uniform_stream(50_000, 3).map(|u| d.quantile(u.min(0.999999))).collect();
+        let sample: Vec<f64> = uniform_stream(50_000, 3)
+            .map(|u| d.quantile(u.min(0.999999)))
+            .collect();
         let fit = Weibull::fit(&sample).unwrap();
         assert!((fit.k - 0.7).abs() < 0.05, "k = {}", fit.k);
         assert!((fit.lambda - 2.0).abs() < 0.1, "lambda = {}", fit.lambda);
@@ -468,7 +472,9 @@ mod tests {
     #[test]
     fn lognormal_roundtrip() {
         let d = LogNormal::new(0.5, 1.2).unwrap();
-        let sample: Vec<f64> = uniform_stream(50_000, 4).map(|u| d.quantile(u.clamp(1e-9, 1.0 - 1e-9))).collect();
+        let sample: Vec<f64> = uniform_stream(50_000, 4)
+            .map(|u| d.quantile(u.clamp(1e-9, 1.0 - 1e-9)))
+            .collect();
         let fit = LogNormal::fit(&sample).unwrap();
         assert!((fit.mu - 0.5).abs() < 0.05, "mu = {}", fit.mu);
         assert!((fit.sigma - 1.2).abs() < 0.05, "sigma = {}", fit.sigma);
@@ -569,7 +575,9 @@ mod tests {
     #[test]
     fn fit_best_identifies_heavy_tail() {
         let d = Pareto::new(1.0, 1.2).unwrap();
-        let sample: Vec<f64> = uniform_stream(20_000, 10).map(|u| d.quantile(u.min(0.999999))).collect();
+        let sample: Vec<f64> = uniform_stream(20_000, 10)
+            .map(|u| d.quantile(u.min(0.999999)))
+            .collect();
         let fits = fit_best(&sample).unwrap();
         assert_eq!(fits[0].distribution.name(), "pareto");
         // Exponential must be a clearly worse fit for Pareto(1.2) data.

@@ -125,7 +125,10 @@ impl Histogram {
     pub fn bin_edges(&self, idx: usize) -> (f64, f64) {
         assert!(idx < self.bins.len(), "bin index out of range");
         let width = (self.hi - self.lo) / self.bins.len() as f64;
-        (self.lo + idx as f64 * width, self.lo + (idx + 1) as f64 * width)
+        (
+            self.lo + idx as f64 * width,
+            self.lo + (idx + 1) as f64 * width,
+        )
     }
 
     /// Total number of observations recorded inside the range.
@@ -176,7 +179,11 @@ impl Histogram {
             let next = cum + c as f64;
             if next >= target && c > 0 {
                 let (lo, hi) = self.bin_edges(i);
-                let frac = if c == 0 { 0.0 } else { (target - cum) / c as f64 };
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (target - cum) / c as f64
+                };
                 return Ok(lo + frac.clamp(0.0, 1.0) * (hi - lo));
             }
             cum = next;

@@ -134,6 +134,7 @@ pub fn rescaled_range(series: &[f64]) -> Result<HurstEstimate> {
 /// [`MIN_SERIES_LEN`] and [`StatsError::DegenerateSeries`] if the series
 /// has zero variance.
 pub fn aggregated_variance(series: &[f64]) -> Result<HurstEstimate> {
+    let _span = spindle_obs::ObsSpan::new(spindle_obs::global(), "stats.hurst.aggregated_variance");
     check_len(series)?;
     let n = series.len();
     let mut points = Vec::new();
@@ -184,7 +185,9 @@ pub fn periodogram_estimate(series: &[f64], cutoff_fraction: f64) -> Result<Hurs
     }
     check_len(series)?;
     let p = periodogram(series)?;
-    let keep = ((p.len() as f64 * cutoff_fraction).ceil() as usize).max(4).min(p.len());
+    let keep = ((p.len() as f64 * cutoff_fraction).ceil() as usize)
+        .max(4)
+        .min(p.len());
     let mut points = Vec::with_capacity(keep);
     for &(f, i) in p.iter().take(keep) {
         if i > 0.0 {
@@ -309,7 +312,9 @@ mod tests {
     fn noise(n: usize, seed: u64) -> Vec<f64> {
         let mut state = seed;
         let mut uniform = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
         };
         (0..n)
@@ -324,7 +329,9 @@ mod tests {
         let mut s = vec![0.0; n];
         let mut state = 42u64;
         let mut uniform = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
         };
         // Superpose octave-spaced components with amplitudes growing with
@@ -368,7 +375,11 @@ mod tests {
         let s = lrd_series(8192);
         let h = estimate_all(&s).unwrap();
         assert!(h.rs > 0.65, "R/S H = {}", h.rs);
-        assert!(h.aggregated_variance > 0.65, "agg-var H = {}", h.aggregated_variance);
+        assert!(
+            h.aggregated_variance > 0.65,
+            "agg-var H = {}",
+            h.aggregated_variance
+        );
         assert!(h.periodogram > 0.65, "periodogram H = {}", h.periodogram);
         assert!(h.wavelet > 0.65, "wavelet H = {}", h.wavelet);
         assert!(h.median() > 0.65);

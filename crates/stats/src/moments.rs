@@ -290,7 +290,9 @@ mod tests {
 
     #[test]
     fn matches_naive_two_pass_computation() {
-        let xs: Vec<f64> = (0..500).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 / 7.0).collect();
+        let xs: Vec<f64> = (0..500)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 / 7.0)
+            .collect();
         let m = StreamingMoments::from_slice(&xs);
         let (mean, m2, _m3, _m4) = naive_moments(&xs);
         assert!((m.mean() - mean).abs() < 1e-9);
@@ -328,7 +330,9 @@ mod tests {
         let full = StreamingMoments::from_slice(&xs);
         assert_eq!(ma.count(), full.count());
         assert!((ma.mean() - full.mean()).abs() < 1e-10);
-        assert!((ma.population_variance().unwrap() - full.population_variance().unwrap()).abs() < 1e-8);
+        assert!(
+            (ma.population_variance().unwrap() - full.population_variance().unwrap()).abs() < 1e-8
+        );
         assert!((ma.skewness().unwrap() - full.skewness().unwrap()).abs() < 1e-8);
         assert!((ma.excess_kurtosis().unwrap() - full.excess_kurtosis().unwrap()).abs() < 1e-8);
         assert_eq!(ma.min(), full.min());

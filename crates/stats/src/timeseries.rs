@@ -41,7 +41,12 @@ pub fn counts_per_interval(events: &[f64], t0: f64, t_end: f64, width: f64) -> R
 ///
 /// Returns [`StatsError::InvalidParameter`] if `width <= 0` or
 /// `t_end <= t0`.
-pub fn weighted_counts_per_interval<I>(events: I, t0: f64, t_end: f64, width: f64) -> Result<Vec<f64>>
+pub fn weighted_counts_per_interval<I>(
+    events: I,
+    t0: f64,
+    t_end: f64,
+    width: f64,
+) -> Result<Vec<f64>>
 where
     I: IntoIterator<Item = (f64, f64)>,
 {

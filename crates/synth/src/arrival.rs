@@ -249,11 +249,14 @@ impl ArrivalModel {
             } => {
                 let mut events = Vec::new();
                 let mut t = 0.0;
-                let mut high = rng.gen_bool(
-                    mean_sojourn_high / (mean_sojourn_low + mean_sojourn_high),
-                );
+                let mut high =
+                    rng.gen_bool(mean_sojourn_high / (mean_sojourn_low + mean_sojourn_high));
                 while t < span_secs {
-                    let sojourn_mean = if high { mean_sojourn_high } else { mean_sojourn_low };
+                    let sojourn_mean = if high {
+                        mean_sojourn_high
+                    } else {
+                        mean_sojourn_low
+                    };
                     let sojourn = exp_sample(1.0 / sojourn_mean, rng);
                     let end = (t + sojourn).min(span_secs);
                     let rate = if high { rate_high } else { rate_low };
@@ -359,6 +362,14 @@ impl ArrivalModel {
                         Some(_) => {}
                         None => break,
                     }
+                }
+                // Events falling in off-windows are rejected; account for
+                // them in bulk.
+                let dropped = (inner_events.len() - out.len()) as u64;
+                if dropped > 0 {
+                    spindle_obs::global()
+                        .counter("synth.rejection.gated")
+                        .add(dropped);
                 }
                 out
             }
@@ -628,6 +639,21 @@ mod tests {
             mean_off_secs: 10.0,
         };
         assert!(bad_sojourn.validate().is_err());
+    }
+
+    #[test]
+    fn gated_rejections_feed_the_global_registry() {
+        let reg = spindle_obs::global();
+        let before = reg.snapshot().counter("synth.rejection.gated").unwrap_or(0);
+        let m = ArrivalModel::Gated {
+            inner: Box::new(ArrivalModel::Poisson { rate: 20.0 }),
+            alpha: 1.3,
+            mean_on_secs: 10.0,
+            mean_off_secs: 30.0,
+        };
+        m.generate(600.0, &mut rng(22)).unwrap();
+        let after = reg.snapshot().counter("synth.rejection.gated").unwrap_or(0);
+        assert!(after > before, "off-window drops must be counted");
     }
 
     #[test]

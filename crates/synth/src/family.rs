@@ -167,8 +167,8 @@ impl FamilySpec {
 
         let mut spec = self.template.clone();
         spec.drive = DriveId(index);
-        spec.base_ops_per_hour = (self.template.base_ops_per_hour * scale)
-            .min(spec.capacity_ops_per_hour() * 0.8);
+        spec.base_ops_per_hour =
+            (self.template.base_ops_per_hour * scale).min(spec.capacity_ops_per_hour() * 0.8);
         // Stagger diurnal phase a little across the family (machines in
         // different time zones / roles).
         spec.start_hour_of_week = rng.gen_range(0..WEEK_HOURS);
@@ -181,8 +181,7 @@ impl FamilySpec {
             series = self.inject_saturation(&spec, series, &mut rng);
         }
 
-        let lifetime =
-            accumulate_lifetime(series.records()).expect("generated series accumulates");
+        let lifetime = accumulate_lifetime(series.records()).expect("generated series accumulates");
         DriveRecord {
             series,
             lifetime,
@@ -324,7 +323,10 @@ mod tests {
         }
         .generate(4)
         .unwrap();
-        let utils: Vec<f64> = family.iter().map(|d| d.lifetime.mean_utilization()).collect();
+        let utils: Vec<f64> = family
+            .iter()
+            .map(|d| d.lifetime.mean_utilization())
+            .collect();
         let min = utils.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = utils.iter().cloned().fold(0.0f64, f64::max);
         assert!(

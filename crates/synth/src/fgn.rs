@@ -164,7 +164,11 @@ mod tests {
             "agg-var H = {}",
             est.aggregated_variance
         );
-        assert!((est.median() - 0.85).abs() < 0.12, "median H = {}", est.median());
+        assert!(
+            (est.median() - 0.85).abs() < 0.12,
+            "median H = {}",
+            est.median()
+        );
     }
 
     #[test]
@@ -172,7 +176,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let x = sample_fgn(0.5, 8_192, &mut rng).unwrap();
         let est = hurst::estimate_all(&x).unwrap();
-        assert!((est.median() - 0.5).abs() < 0.12, "median H = {}", est.median());
+        assert!(
+            (est.median() - 0.5).abs() < 0.12,
+            "median H = {}",
+            est.median()
+        );
     }
 
     #[test]

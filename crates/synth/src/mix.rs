@@ -205,7 +205,9 @@ mod tests {
         let e = DiurnalEnvelope::new(0.9, 0.0).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         // Uniform events over one day.
-        let events: Vec<f64> = (0..100_000).map(|i| i as f64 * DAY_SECS / 100_000.0).collect();
+        let events: Vec<f64> = (0..100_000)
+            .map(|i| i as f64 * DAY_SECS / 100_000.0)
+            .collect();
         let kept = e.thin(&events, &mut rng);
         let mid = DAY_SECS / 2.0;
         let first_half = kept.iter().filter(|&&t| t < mid).count();

@@ -101,15 +101,7 @@ impl Environment {
     /// Builds the calibrated workload spec over `span_secs` seconds.
     pub fn spec(self, span_secs: f64) -> WorkloadSpec {
         let (sigma, sizes, seq, hot_frac, write_frac, diurnal_amp, rw_amp) = match self {
-            Environment::Mail => (
-                0.8,
-                SizeMix::transactional(),
-                0.15,
-                0.45,
-                0.65,
-                0.55,
-                0.15,
-            ),
+            Environment::Mail => (0.8, SizeMix::transactional(), 0.15, 0.45, 0.65, 0.55, 0.15),
             Environment::Web => (0.7, SizeMix::file_serving(), 0.30, 0.55, 0.35, 0.60, 0.10),
             Environment::Dev => (1.0, SizeMix::file_serving(), 0.40, 0.35, 0.50, 0.70, 0.20),
             Environment::Archive => (0.5, SizeMix::streaming(), 0.80, 0.10, 0.60, 0.20, 0.05),
@@ -140,9 +132,7 @@ impl Environment {
                 mean_on_secs: mean_on,
                 mean_off_secs: mean_off,
             },
-            envelope: Some(
-                DiurnalEnvelope::new(diurnal_amp, 0.0).expect("preset amplitude valid"),
-            ),
+            envelope: Some(DiurnalEnvelope::new(diurnal_amp, 0.0).expect("preset amplitude valid")),
             spatial: SpatialModel {
                 capacity_sectors: DRIVE_CAPACITY_SECTORS,
                 sequential_fraction: seq,
@@ -193,9 +183,7 @@ mod tests {
             let reqs = env.spec(600.0).generate(11).unwrap();
             assert!(!reqs.is_empty(), "{env} empty");
             validate_sorted(&reqs).unwrap();
-            assert!(reqs
-                .iter()
-                .all(|r| r.end_lba() <= DRIVE_CAPACITY_SECTORS));
+            assert!(reqs.iter().all(|r| r.end_lba() <= DRIVE_CAPACITY_SECTORS));
         }
     }
 
@@ -226,8 +214,16 @@ mod tests {
             let writes = reqs.iter().filter(|r| r.op == OpKind::Write).count();
             writes as f64 / reqs.len() as f64
         };
-        assert!(wf(Environment::Mail) > 0.55, "mail wf {}", wf(Environment::Mail));
-        assert!(wf(Environment::Web) < 0.45, "web wf {}", wf(Environment::Web));
+        assert!(
+            wf(Environment::Mail) > 0.55,
+            "mail wf {}",
+            wf(Environment::Mail)
+        );
+        assert!(
+            wf(Environment::Web) < 0.45,
+            "web wf {}",
+            wf(Environment::Web)
+        );
     }
 
     #[test]

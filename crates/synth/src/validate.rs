@@ -186,8 +186,8 @@ mod tests {
         let spec = controlled_spec(40.0, 0.6, 0.3);
         let reqs = spec.generate(8).unwrap();
         let wrong = CalibrationTargets {
-            mean_rate: 10.0,       // 4× off
-            write_fraction: 0.1,   // 0.5 off
+            mean_rate: 10.0,     // 4× off
+            write_fraction: 0.1, // 0.5 off
             sequential_fraction: 0.9,
             hurst: None,
         };

@@ -46,7 +46,16 @@ impl WorkloadSpec {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut events = self.arrival.generate(self.span_secs, &mut rng)?;
         if let Some(env) = &self.envelope {
+            let before = events.len();
             events = env.thin(&events, &mut rng);
+            // Thinning is rejection sampling against the envelope; count
+            // the rejects in bulk (one registry lookup per generate call).
+            let rejected = (before - events.len()) as u64;
+            if rejected > 0 {
+                spindle_obs::global()
+                    .counter("synth.rejection.envelope")
+                    .add(rejected);
+            }
         }
         let mut spatial = self.spatial.build()?;
         let mut out = Vec::with_capacity(events.len());
@@ -64,6 +73,9 @@ impl WorkloadSpec {
                     .expect("generated requests satisfy invariants"),
             );
         }
+        spindle_obs::global()
+            .counter("synth.requests_generated")
+            .add(out.len() as u64);
         Ok(out)
     }
 
@@ -102,10 +114,8 @@ pub fn generate_multi_drive(
         let drive_seed = seed ^ (u64::from(i)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         streams.push(spec.generate(drive_seed)?);
     }
-    spindle_trace::transform::merge_sorted(&streams).map_err(|e| {
-        crate::SynthError::Numeric {
-            reason: e.to_string(),
-        }
+    spindle_trace::transform::merge_sorted(&streams).map_err(|e| crate::SynthError::Numeric {
+        reason: e.to_string(),
     })
 }
 
@@ -174,6 +184,27 @@ mod tests {
         s.envelope = Some(DiurnalEnvelope::new(0.9, 0.0).unwrap());
         let thinned = s.generate(4).unwrap().len();
         assert!(thinned < full, "{thinned} vs {full}");
+    }
+
+    #[test]
+    fn generation_feeds_the_global_registry() {
+        // Counters are global and monotone, so assert on deltas — other
+        // tests may be generating concurrently.
+        let reg = spindle_obs::global();
+        let before = reg.snapshot();
+        let gen_before = before.counter("synth.requests_generated").unwrap_or(0);
+        let rej_before = before.counter("synth.rejection.envelope").unwrap_or(0);
+
+        let mut s = spec();
+        s.envelope = Some(DiurnalEnvelope::new(0.9, 0.0).unwrap());
+        let reqs = s.generate(11).unwrap();
+
+        let after = reg.snapshot();
+        assert!(
+            after.counter("synth.requests_generated").unwrap_or(0)
+                >= gen_before + reqs.len() as u64
+        );
+        assert!(after.counter("synth.rejection.envelope").unwrap_or(0) > rej_before);
     }
 
     #[test]

@@ -186,9 +186,7 @@ mod tests {
     fn absolute_placement_is_destroyed() {
         let a = anon(99);
         // Many extents must move: count fixed points over 1000 extents.
-        let fixed = (0..1_000u64)
-            .filter(|&e| a.permute_extent(e) == e)
-            .count();
+        let fixed = (0..1_000u64).filter(|&e| a.permute_extent(e) == e).count();
         assert!(fixed < 20, "{fixed} fixed extents out of 1000");
     }
 

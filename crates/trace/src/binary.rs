@@ -45,6 +45,9 @@ pub fn encode_requests(requests: &[Request]) -> Vec<u8> {
             OpKind::Write => 1,
         });
     }
+    spindle_obs::global()
+        .counter("trace.requests_encoded")
+        .add(requests.len() as u64);
     buf
 }
 
@@ -102,6 +105,9 @@ pub fn decode_requests(mut data: &[u8]) -> Result<Vec<Request>> {
         };
         out.push(Request::new(arrival_ns, DriveId(drive), op, lba, sectors)?);
     }
+    spindle_obs::global()
+        .counter("trace.requests_decoded")
+        .add(out.len() as u64);
     Ok(out)
 }
 

@@ -165,7 +165,15 @@ pub fn read_hours<R: Read>(source: R) -> Result<Vec<HourRecord>> {
         let sw: u64 = f.next("sectors_written")?;
         let busy: f64 = f.next("busy_secs")?;
         f.finish()?;
-        out.push(HourRecord::new(DriveId(drive), hour, reads, writes, sr, sw, busy)?);
+        out.push(HourRecord::new(
+            DriveId(drive),
+            hour,
+            reads,
+            writes,
+            sr,
+            sw,
+            busy,
+        )?);
     }
     Ok(out)
 }
@@ -266,10 +274,10 @@ mod tests {
     #[test]
     fn malformed_rows_are_rejected() {
         for bad in [
-            "0,0,10,5,80,40",           // too few fields
-            "0,0,10,5,80,40,1.5,9",     // too many fields
-            "0,0,10,5,80,40,-2.0",      // invalid busy
-            "0,0,0,5,80,40,1.0",        // sectors read without reads
+            "0,0,10,5,80,40",       // too few fields
+            "0,0,10,5,80,40,1.5,9", // too many fields
+            "0,0,10,5,80,40,-2.0",  // invalid busy
+            "0,0,0,5,80,40,1.0",    // sectors read without reads
         ] {
             assert!(read_hours(bad.as_bytes()).is_err(), "{bad:?} accepted");
         }

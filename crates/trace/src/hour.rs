@@ -269,8 +269,12 @@ mod tests {
 
     #[test]
     fn derived_series() {
-        let s = HourSeries::new(vec![rec(0, 10, 10, 360.0), rec(1, 0, 0, 0.0), rec(2, 5, 15, 1800.0)])
-            .unwrap();
+        let s = HourSeries::new(vec![
+            rec(0, 10, 10, 360.0),
+            rec(1, 0, 0, 0.0),
+            rec(2, 5, 15, 1800.0),
+        ])
+        .unwrap();
         assert_eq!(s.operations_series(), vec![20.0, 0.0, 20.0]);
         assert_eq!(s.utilization_series(), vec![0.1, 0.0, 0.5]);
         let wf = s.write_fraction_series();

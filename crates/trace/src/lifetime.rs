@@ -162,9 +162,16 @@ mod tests {
 
     #[test]
     fn derived_quantities() {
-        let r =
-            LifetimeRecord::new(DriveId(0), 1000, 600_000, 400_000, 4_800_000, 3_200_000, 100.0)
-                .unwrap();
+        let r = LifetimeRecord::new(
+            DriveId(0),
+            1000,
+            600_000,
+            400_000,
+            4_800_000,
+            3_200_000,
+            100.0,
+        )
+        .unwrap();
         assert_eq!(r.operations(), 1_000_000);
         assert_eq!(r.bytes(), 8_000_000 * 512);
         assert!((r.mean_utilization() - 0.1).abs() < 1e-12);
@@ -183,9 +190,7 @@ mod tests {
     #[test]
     fn accumulation_matches_manual_sum() {
         let hours: Vec<HourRecord> = (0..48)
-            .map(|h| {
-                HourRecord::new(DriveId(2), h, 100, 50, 800, 400, 36.0).unwrap()
-            })
+            .map(|h| HourRecord::new(DriveId(2), h, 100, 50, 800, 400, 36.0).unwrap())
             .collect();
         let lt = accumulate_lifetime(&hours).unwrap();
         assert_eq!(lt.power_on_hours, 48);

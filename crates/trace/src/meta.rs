@@ -91,7 +91,13 @@ mod tests {
 
     #[test]
     fn span_conversions() {
-        let m = TraceMeta::new("mail", Granularity::Millisecond, 4, 86_400.0, "e-mail server");
+        let m = TraceMeta::new(
+            "mail",
+            Granularity::Millisecond,
+            4,
+            86_400.0,
+            "e-mail server",
+        );
         assert!((m.span_hours() - 24.0).abs() < 1e-12);
         assert!((m.span_days() - 1.0).abs() < 1e-12);
         assert_eq!(m.name, "mail");

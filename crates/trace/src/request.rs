@@ -97,7 +97,13 @@ impl Request {
     ///
     /// Returns [`TraceError::InvalidRecord`] if `sectors == 0` or if
     /// `lba + sectors` overflows.
-    pub fn new(arrival_ns: u64, drive: DriveId, op: OpKind, lba: u64, sectors: u32) -> Result<Self> {
+    pub fn new(
+        arrival_ns: u64,
+        drive: DriveId,
+        op: OpKind,
+        lba: u64,
+        sectors: u32,
+    ) -> Result<Self> {
         if sectors == 0 {
             return Err(TraceError::InvalidRecord {
                 reason: "request must transfer at least one sector".into(),

@@ -90,7 +90,9 @@ fn parse_line(line: &str, line_no: u64) -> Result<Request> {
     let mut op_chars = op_str.chars();
     let op_char = op_chars.next().expect("field is non-empty");
     if op_chars.next().is_some() {
-        return Err(err(format!("op field must be a single character, got {op_str:?}")));
+        return Err(err(format!(
+            "op field must be a single character, got {op_str:?}"
+        )));
     }
     let op = OpKind::from_code(op_char).map_err(|e| err(e.to_string()))?;
     let lba: u64 = next("lba")?
@@ -181,13 +183,13 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         for bad in [
-            "10,1,R,100",        // too few fields
-            "10,1,R,100,4,9",    // too many fields
-            "10,1,X,100,4",      // bad op
-            "10,1,RW,100,4",     // multi-char op
-            "-1,1,R,100,4",      // negative arrival
-            "10,1,R,100,0",      // zero sectors
-            "ten,1,R,100,4",     // non-numeric
+            "10,1,R,100",     // too few fields
+            "10,1,R,100,4,9", // too many fields
+            "10,1,X,100,4",   // bad op
+            "10,1,RW,100,4",  // multi-char op
+            "-1,1,R,100,4",   // negative arrival
+            "10,1,R,100,0",   // zero sectors
+            "ten,1,R,100,4",  // non-numeric
         ] {
             assert!(
                 read_requests(bad.as_bytes()).is_err(),

@@ -175,7 +175,11 @@ mod tests {
 
     #[test]
     fn sorted_validation() {
-        let good = vec![req(1, 0, OpKind::Read), req(1, 0, OpKind::Write), req(5, 0, OpKind::Read)];
+        let good = vec![
+            req(1, 0, OpKind::Read),
+            req(1, 0, OpKind::Write),
+            req(5, 0, OpKind::Read),
+        ];
         assert!(validate_sorted(&good).is_ok());
         let bad = vec![req(5, 0, OpKind::Read), req(1, 0, OpKind::Read)];
         assert!(validate_sorted(&bad).is_err());

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lifetimes: Vec<_> = family.iter().map(|d| d.lifetime).collect();
     let analysis = FamilyAnalysis::new(&lifetimes)?;
 
-    println!("family of {} drives, 4 weeks of deployment\n", analysis.drives());
+    println!(
+        "family of {} drives, 4 weeks of deployment\n",
+        analysis.drives()
+    );
     println!("lifetime utilization percentiles:");
     for p in analysis.percentiles()? {
         println!(
@@ -52,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let series: Vec<_> = family.iter().map(|d| d.series.clone()).collect();
     for p in saturation_curve(&series, 0.99, 24)? {
         if [1, 2, 4, 8, 12, 24].contains(&p.run_hours) {
-            println!("  k = {:>2} h : {:>5.1}%", p.run_hours, p.fraction_of_drives * 100.0);
+            println!(
+                "  k = {:>2} h : {:>5.1}%",
+                p.run_hours,
+                p.fraction_of_drives * 100.0
+            );
         }
     }
 

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fig = Figure::new("utilization over the day", "minute", "utilization");
     fig.push_series(
         "mail",
-        util.iter().enumerate().map(|(i, &u)| (i as f64, u)).collect(),
+        util.iter()
+            .enumerate()
+            .map(|(i, &u)| (i as f64, u))
+            .collect(),
     );
     // Print only the header + sparkline lines, not the full dump.
     let rendered = fig.to_string();

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let volume_requests = spec.generate(11)?;
-    println!("volume workload: {} requests over 15 minutes\n", volume_requests.len());
+    println!(
+        "volume workload: {} requests over 15 minutes\n",
+        volume_requests.len()
+    );
 
     // Baseline: everything on one drive.
     let mut single = DiskSim::new(DriveProfile::cheetah_15k(), SimConfig::default());

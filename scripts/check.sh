@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Local/CI gate: formatting, lints, and the test suite.
+#
+# Usage: scripts/check.sh [--offline]
+#
+# Passes --offline through to cargo (and falls back to it automatically
+# when the first cargo invocation cannot reach the registry), so the
+# script works in air-gapped environments where the dependency cache is
+# already populated.
+set -u
+
+cd "$(dirname "$0")/.."
+
+OFFLINE=""
+for arg in "$@"; do
+    case "$arg" in
+        --offline) OFFLINE="--offline" ;;
+        *) echo "usage: scripts/check.sh [--offline]" >&2; exit 2 ;;
+    esac
+done
+
+fail=0
+run() {
+    echo "==> $*"
+    if ! "$@"; then
+        echo "FAILED: $*" >&2
+        fail=1
+    fi
+}
+
+# Probe the registry once; fall back to --offline if unreachable.
+if [ -z "$OFFLINE" ] && ! cargo fetch >/dev/null 2>&1; then
+    echo "==> registry unreachable, retrying with --offline" >&2
+    OFFLINE="--offline"
+fi
+
+run cargo fmt --all -- --check
+run cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
+run cargo test $OFFLINE --workspace -q
+
+exit "$fail"

@@ -43,7 +43,11 @@ fn long_stretches_of_idleness() {
         for seed in [2, 3, 4] {
             let (_, result) = run_env(env, seed);
             let idle = IdleAnalysis::new(&result.busy).expect("busy log is analyzable");
-            assert!(idle.idle_fraction() > 0.6, "{env}: idle {}", idle.idle_fraction());
+            assert!(
+                idle.idle_fraction() > 0.6,
+                "{env}: idle {}",
+                idle.idle_fraction()
+            );
             let share = idle.availability(&[1.0])[0].fraction_of_idle_time;
             assert!(
                 share > 0.05,

@@ -23,7 +23,10 @@ fn hours_from_requests(requests: &[spindle_trace::Request], span_secs: f64) -> H
             let mut writes = 0;
             let mut sr = 0;
             let mut sw = 0;
-            for r in requests.iter().filter(|r| r.arrival_ns >= lo && r.arrival_ns < hi) {
+            for r in requests
+                .iter()
+                .filter(|r| r.arrival_ns >= lo && r.arrival_ns < hi)
+            {
                 match r.op {
                     OpKind::Read => {
                         reads += 1;
@@ -102,9 +105,7 @@ fn lifetime_accumulation_matches_hour_totals_for_the_family() {
             .map(|r| r.busy_secs / 3600.0)
             .sum();
         assert!((d.lifetime.busy_hours - busy_hours).abs() < 1e-6);
-        assert!(
-            (d.lifetime.mean_utilization() - d.series.mean_utilization()).abs() < 1e-9
-        );
+        assert!((d.lifetime.mean_utilization() - d.series.mean_utilization()).abs() < 1e-9);
     }
 }
 
