@@ -4,128 +4,89 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--quick] [--metrics[=json|text]] [--verbose|--quiet] [ids...]
+//! experiments [--quick] [--jobs N] [--metrics[=json|text]] [--verbose|--quiet] [ids...]
 //! experiments --quick t2 f5        # just T2 and F5, reduced scale
 //! experiments                      # everything at paper scale
+//! experiments --jobs 8             # fan the matrix across 8 workers
 //! experiments --metrics=json t1    # T1 plus a JSON metrics dump on stderr
 //! ```
 //!
 //! The accepted ids in the usage line are derived from the experiment
-//! table below, so the two cannot drift apart.
+//! table in [`spindle_bench::matrix`], so the two cannot drift apart.
+//!
+//! Experiments fan out across a [`spindle_engine::Pool`]; every
+//! experiment is a pure function of the config, and outputs are merged
+//! back in table order, so the report is byte-identical for every
+//! `--jobs` value (`--jobs 1` runs inline on the main thread).
 
-use spindle_bench::{figures, pipeline, tables, ExpConfig, Result};
+use spindle_bench::{matrix, pipeline, ExpConfig};
+use spindle_engine::{Pool, PoolMetrics};
 use spindle_obs::sink::{JsonSink, MetricsSink, TextSink};
 use spindle_obs::{progress, LogLevel, ObsConfig};
-use std::time::Instant;
-
-/// Declares the experiment table: generates one adapter function per
-/// experiment (each renders its table or figure to a string) plus the
-/// `EXPERIMENTS` id → function map that drives dispatch and the usage
-/// line.
-macro_rules! experiment_table {
-    ($(($id:ident, $module:ident)),* $(,)?) => {
-        $(
-            fn $id(cfg: &ExpConfig) -> Result<String> {
-                Ok($module::$id(cfg)?.to_string())
-            }
-        )*
-        const EXPERIMENTS: &[(&str, fn(&ExpConfig) -> Result<String>)] =
-            &[$((stringify!($id), $id as fn(&ExpConfig) -> Result<String>)),*];
-    };
-}
-
-experiment_table![
-    (t1, tables),
-    (t2, tables),
-    (t3, tables),
-    (t4, tables),
-    (t5, tables),
-    (t6, tables),
-    (t7, tables),
-    (t8, tables),
-    (f1, figures),
-    (f2, figures),
-    (f3, figures),
-    (f4, figures),
-    (f5, figures),
-    (f6, figures),
-    (f7, figures),
-    (f8, figures),
-    (f9, figures),
-    (f10, figures),
-    (f11, figures),
-    (f12, figures),
-    (f13, figures),
-];
-
-fn run_one(id: &str, cfg: &ExpConfig) -> Result<String> {
-    match EXPERIMENTS.iter().find(|(name, _)| *name == id) {
-        Some((_, f)) => f(cfg),
-        None => Err(format!("unknown experiment id `{id}`").into()),
-    }
-}
-
-/// Renders the id list by collapsing consecutive runs sharing an
-/// alphabetic prefix: `t1..t8 f1..f13`.
-fn id_ranges() -> String {
-    let mut groups: Vec<(&str, u32, u32)> = Vec::new();
-    for (id, _) in EXPERIMENTS {
-        let split = id.find(|c: char| c.is_ascii_digit()).unwrap_or(id.len());
-        let (prefix, digits) = id.split_at(split);
-        let num: u32 = digits.parse().unwrap_or(0);
-        match groups.last_mut() {
-            Some((p, _, hi)) if *p == prefix && num == *hi + 1 => *hi = num,
-            _ => groups.push((prefix, num, num)),
-        }
-    }
-    groups
-        .iter()
-        .map(|(p, lo, hi)| {
-            if lo == hi {
-                format!("{p}{lo}")
-            } else {
-                format!("{p}{lo}..{p}{hi}")
-            }
-        })
-        .collect::<Vec<_>>()
-        .join(" ")
-}
 
 fn usage() -> String {
     format!(
-        "usage: experiments [--quick] [--metrics[=json|text]] [--verbose|--quiet] [{}]",
-        id_ranges()
+        "usage: experiments [--quick] [--jobs N] [--metrics[=json|text]] [--verbose|--quiet] [{}]",
+        matrix::id_ranges()
     )
+}
+
+fn bad_usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("{}", usage());
+    std::process::exit(2);
 }
 
 fn main() {
     let mut quick = false;
     let mut metrics: Option<&str> = None;
+    let mut jobs: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--metrics" | "--metrics=text" => metrics = Some("text"),
             "--metrics=json" => metrics = Some("json"),
             "--verbose" => spindle_obs::logger::set_level(LogLevel::Verbose),
             "--quiet" => spindle_obs::logger::set_level(LogLevel::Quiet),
+            "--jobs" => {
+                let Some(v) = args.next() else {
+                    bad_usage("--jobs needs a value");
+                };
+                match spindle_engine::parse_jobs(&v) {
+                    Ok(n) => jobs = Some(n),
+                    Err(e) => bad_usage(&format!("bad value for --jobs: {e}")),
+                }
+            }
+            other if other.starts_with("--jobs=") => {
+                match spindle_engine::parse_jobs(&other["--jobs=".len()..]) {
+                    Ok(n) => jobs = Some(n),
+                    Err(e) => bad_usage(&format!("bad value for --jobs: {e}")),
+                }
+            }
             "--help" | "-h" => {
                 eprintln!("{}", usage());
                 return;
             }
             other if other.starts_with("--") => {
-                eprintln!("unknown flag `{other}`");
-                eprintln!("{}", usage());
-                std::process::exit(2);
+                bad_usage(&format!("unknown flag `{other}`"));
             }
             other => ids.push(other.to_ascii_lowercase()),
         }
     }
+    let jobs = jobs.unwrap_or_else(spindle_engine::default_jobs);
+    // Inner parallel loops (family generation) size their default pools
+    // from this variable, so one flag governs the whole process.
+    std::env::set_var(spindle_engine::JOBS_ENV, jobs.to_string());
     if metrics.is_some() {
         pipeline::enable_observability(ObsConfig::metrics_only());
     }
     if ids.is_empty() {
-        ids = EXPERIMENTS.iter().map(|(id, _)| (*id).to_owned()).collect();
+        ids = matrix::EXPERIMENTS
+            .iter()
+            .map(|(id, _)| (*id).to_owned())
+            .collect();
     }
     let cfg = if quick {
         ExpConfig::quick()
@@ -133,23 +94,27 @@ fn main() {
         ExpConfig::full()
     };
     progress!(
-        "# config: seed={} ms_span={}s hour_weeks={} family_drives={}",
+        "# config: seed={} ms_span={}s hour_weeks={} family_drives={} jobs={}",
         cfg.seed,
         cfg.ms_span_secs,
         cfg.hour_weeks,
-        cfg.family_drives
+        cfg.family_drives,
+        jobs
     );
+    let mut pool = Pool::new(jobs);
+    if metrics.is_some() {
+        pool = pool.metrics(PoolMetrics::new(spindle_obs::global()));
+    }
     let mut failed = false;
-    for id in &ids {
-        let start = Instant::now();
-        match run_one(id, &cfg) {
+    for res in matrix::run_matrix(&ids, &cfg, &pool) {
+        match res.output {
             Ok(output) => {
                 println!("{output}");
-                progress!("# {id} done in {:.2}s", start.elapsed().as_secs_f64());
+                progress!("# {} done in {:.2}s", res.id, res.secs);
             }
             Err(e) => {
                 // Failures stay visible even under --quiet.
-                eprintln!("# {id} FAILED: {e}");
+                eprintln!("# {} FAILED: {e}", res.id);
                 failed = true;
             }
         }

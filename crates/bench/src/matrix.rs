@@ -1,0 +1,152 @@
+//! The experiment matrix: id → experiment function table, shared by
+//! the `experiments` binary, the determinism integration test, and the
+//! benches.
+//!
+//! Every experiment is a pure function of the [`ExpConfig`], so the
+//! matrix can be fanned out across an engine [`Pool`]: each id is one
+//! shard, outputs are merged back in table order, and the rendered
+//! report is bit-identical for every `--jobs` value.
+
+use crate::{figures, tables, ExpConfig, Result};
+use spindle_engine::Pool;
+
+/// An experiment adapter: renders one table or figure to a string.
+pub type ExpFn = fn(&ExpConfig) -> Result<String>;
+
+/// Declares the experiment table: generates one adapter function per
+/// experiment (each renders its table or figure to a string) plus the
+/// [`EXPERIMENTS`] id → function map that drives dispatch and the
+/// usage line.
+macro_rules! experiment_table {
+    ($(($id:ident, $module:ident)),* $(,)?) => {
+        $(
+            fn $id(cfg: &ExpConfig) -> Result<String> {
+                Ok($module::$id(cfg)?.to_string())
+            }
+        )*
+        /// Every experiment in presentation order.
+        pub const EXPERIMENTS: &[(&str, ExpFn)] =
+            &[$((stringify!($id), $id as ExpFn)),*];
+    };
+}
+
+experiment_table![
+    (t1, tables),
+    (t2, tables),
+    (t3, tables),
+    (t4, tables),
+    (t5, tables),
+    (t6, tables),
+    (t7, tables),
+    (t8, tables),
+    (f1, figures),
+    (f2, figures),
+    (f3, figures),
+    (f4, figures),
+    (f5, figures),
+    (f6, figures),
+    (f7, figures),
+    (f8, figures),
+    (f9, figures),
+    (f10, figures),
+    (f11, figures),
+    (f12, figures),
+    (f13, figures),
+];
+
+/// Runs a single experiment by id.
+///
+/// # Errors
+///
+/// Returns an error for unknown ids and propagates experiment failures.
+pub fn run_one(id: &str, cfg: &ExpConfig) -> Result<String> {
+    match EXPERIMENTS.iter().find(|(name, _)| *name == id) {
+        Some((_, f)) => f(cfg),
+        None => Err(format!("unknown experiment id `{id}`").into()),
+    }
+}
+
+/// One finished experiment: its id, rendered output (or error), and
+/// wall-clock time in seconds.
+pub struct MatrixResult {
+    /// The experiment id.
+    pub id: String,
+    /// Rendered output, or the failure.
+    pub output: Result<String>,
+    /// Wall-clock seconds this experiment took.
+    pub secs: f64,
+}
+
+/// Runs the listed experiment ids across `pool`, returning results in
+/// the order the ids were given regardless of completion order.
+///
+/// Experiments are pure functions of `cfg`, so the concatenated output
+/// is identical for every pool width.
+#[must_use]
+pub fn run_matrix(ids: &[String], cfg: &ExpConfig, pool: &Pool) -> Vec<MatrixResult> {
+    pool.map(ids.to_vec(), |_ord, id| {
+        let start = std::time::Instant::now();
+        let output = run_one(&id, cfg);
+        MatrixResult {
+            id,
+            output,
+            secs: start.elapsed().as_secs_f64(),
+        }
+    })
+}
+
+/// Renders the id list by collapsing consecutive runs sharing an
+/// alphabetic prefix: `t1..t8 f1..f13`.
+#[must_use]
+pub fn id_ranges() -> String {
+    let mut groups: Vec<(&str, u32, u32)> = Vec::new();
+    for (id, _) in EXPERIMENTS {
+        let split = id.find(|c: char| c.is_ascii_digit()).unwrap_or(id.len());
+        let (prefix, digits) = id.split_at(split);
+        let num: u32 = digits.parse().unwrap_or(0);
+        match groups.last_mut() {
+            Some((p, _, hi)) if *p == prefix && num == *hi + 1 => *hi = num,
+            _ => groups.push((prefix, num, num)),
+        }
+    }
+    groups
+        .iter()
+        .map(|(p, lo, hi)| {
+            if lo == hi {
+                format!("{p}{lo}")
+            } else {
+                format!("{p}{lo}..{p}{hi}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_ranges_collapse() {
+        assert_eq!(id_ranges(), "t1..t8 f1..f13");
+    }
+
+    #[test]
+    fn unknown_id_is_an_error() {
+        let cfg = ExpConfig::quick();
+        assert!(run_one("t99", &cfg).is_err());
+    }
+
+    #[test]
+    fn matrix_results_keep_request_order() {
+        let mut cfg = ExpConfig::quick();
+        cfg.ms_span_secs = 30.0;
+        cfg.family_drives = 6;
+        cfg.hour_weeks = 1;
+        let ids: Vec<String> = ["t2", "t1"].iter().map(|s| (*s).to_owned()).collect();
+        let out = run_matrix(&ids, &cfg, &Pool::new(2));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, "t2");
+        assert_eq!(out[1].id, "t1");
+    }
+}

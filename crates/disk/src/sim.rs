@@ -208,6 +208,9 @@ impl DiskSim {
     /// stream and [`DiskError::OutOfRange`] if any request does not fit
     /// on the drive.
     pub fn run(&mut self, requests: &[Request]) -> Result<SimResult> {
+        // Validate up front so an invalid stream fails before the
+        // simulator mutates any cache state; the streaming path below
+        // re-checks incrementally, which is cheap.
         if requests.is_empty() {
             return Err(DiskError::InvalidStream {
                 reason: "request stream is empty".into(),
@@ -221,11 +224,44 @@ impl DiskSim {
         for r in requests {
             self.mechanics.geometry().check_range(r.lba, r.sectors)?;
         }
+        self.run_stream(requests.iter().copied())
+    }
+
+    /// Runs the simulation over a streaming request source.
+    ///
+    /// Semantics are identical to [`DiskSim::run`], but the source is
+    /// consumed one request at a time with a single-request lookahead,
+    /// so input-side memory stays fixed no matter how long the trace
+    /// is — feed it from a bounded channel (e.g.
+    /// `spindle_engine::channel`) to replay a trace that never fits in
+    /// memory. Ordering and range constraints are validated as requests
+    /// are pulled; an invalid request aborts the run at the point it is
+    /// admitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::InvalidStream`] for an empty or unsorted
+    /// stream and [`DiskError::OutOfRange`] if a request does not fit
+    /// on the drive.
+    pub fn run_stream<I>(&mut self, requests: I) -> Result<SimResult>
+    where
+        I: IntoIterator<Item = Request>,
+    {
+        let mut source = requests.into_iter().peekable();
+        if source.peek().is_none() {
+            return Err(DiskError::InvalidStream {
+                reason: "request stream is empty".into(),
+            });
+        }
 
         let mut busy = BusyLogBuilder::new();
-        let mut completed = Vec::with_capacity(requests.len());
+        let mut completed = Vec::new();
         let mut queue: Vec<QueuedRequest> = Vec::new();
-        let mut next_arrival = 0usize; // cursor into `requests`
+        // Full requests for queued entries, kept index-parallel with
+        // `queue` (the scheduler's view carries only placement fields).
+        let mut pending: Vec<Request> = Vec::new();
+        let mut next_id = 0u64; // position in the stream
+        let mut last_arrival = 0u64;
         let mut now: f64 = 0.0;
         let mut head_track: u64 = 0;
         let mut read_hits = 0u64;
@@ -237,24 +273,35 @@ impl DiskSim {
 
         loop {
             // Admit every request that has arrived by `now`.
-            while next_arrival < requests.len() && requests[next_arrival].arrival_ns as f64 <= now {
-                let r = &requests[next_arrival];
+            while source.peek().is_some_and(|r| r.arrival_ns as f64 <= now) {
+                let r = source.next().expect("peeked above");
+                if r.arrival_ns < last_arrival {
+                    return Err(DiskError::InvalidStream {
+                        reason: format!(
+                            "arrival order violated at index {}: {} ns after {} ns",
+                            next_id, r.arrival_ns, last_arrival
+                        ),
+                    });
+                }
+                last_arrival = r.arrival_ns;
+                self.mechanics.geometry().check_range(r.lba, r.sectors)?;
                 let track = self.mechanics.geometry().locate(r.lba)?.track;
                 queue.push(QueuedRequest {
-                    id: next_arrival as u64,
+                    id: next_id,
                     arrival_ns: r.arrival_ns,
                     lba: r.lba,
                     sectors: r.sectors,
                     track,
                 });
+                pending.push(r);
                 if let Some(o) = &self.obs {
-                    o.event(r.arrival_ns, EventKind::RequestEnqueue, next_arrival as u64);
+                    o.event(r.arrival_ns, EventKind::RequestEnqueue, next_id);
                 }
-                next_arrival += 1;
+                next_id += 1;
             }
 
             if queue.is_empty() {
-                let upcoming = requests.get(next_arrival).map(|r| r.arrival_ns as f64);
+                let upcoming = source.peek().map(|r| r.arrival_ns as f64);
                 // Idle: consider destaging dirty data before the next
                 // arrival.
                 if self.cache.has_dirty() {
@@ -307,7 +354,8 @@ impl DiskSim {
                 .scheduler
                 .select(&queue, head_track, now, &self.mechanics);
             let q = queue.remove(idx);
-            let r = requests[q.id as usize];
+            let r = pending.remove(idx);
+            debug_assert_eq!(r.arrival_ns, q.arrival_ns, "queue/pending out of sync");
             let start = now;
             let (service_ns, busy_extra_ns, cache_hit) = self.service(&r, head_track, now)?;
             let complete = start + self.controller_overhead_ns + service_ns;
@@ -432,6 +480,36 @@ mod tests {
         let unsorted = vec![read(100, 0, 8), read(50, 0, 8)];
         assert!(matches!(
             s.run(&unsorted),
+            Err(DiskError::InvalidStream { .. })
+        ));
+    }
+
+    #[test]
+    fn run_stream_matches_run() {
+        // A mix that exercises queueing, cache hits, and idle destaging.
+        let mut reqs = Vec::new();
+        for i in 0..200u64 {
+            if i % 3 == 0 {
+                reqs.push(write(i * 400_000, 9_000_000 + i * 64, 64));
+            } else {
+                reqs.push(read(i * 400_000, (i * 7_919) % 8_000_000, 8));
+            }
+        }
+        let batch = sim().run(&reqs).unwrap();
+        let streamed = sim().run_stream(reqs.iter().copied()).unwrap();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn run_stream_rejects_empty_and_unsorted() {
+        let mut s = sim();
+        assert!(matches!(
+            s.run_stream(std::iter::empty()),
+            Err(DiskError::InvalidStream { .. })
+        ));
+        let mut s = sim();
+        assert!(matches!(
+            s.run_stream([read(2_000, 0, 8), read(1_000, 64, 8)]),
             Err(DiskError::InvalidStream { .. })
         ));
     }

@@ -1,0 +1,287 @@
+//! Bounded MPSC channel with blocking backpressure.
+//!
+//! Built on `Mutex` + two `Condvar`s; no external dependencies. A
+//! sender blocks while the queue is at capacity, so a fast producer
+//! (e.g. a trace parser feeding `DiskSim`) can never grow memory beyond
+//! `capacity` in-flight items. SPSC is simply the one-`Sender` case.
+//!
+//! Shutdown semantics:
+//!
+//! * when every [`Sender`] has been dropped, [`Receiver::recv`] drains
+//!   the remaining items and then returns `None`;
+//! * when the [`Receiver`] is dropped, [`Sender::send`] fails with
+//!   [`SendError`] returning the unsent value.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// Creates a bounded channel holding at most `capacity` items.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (a zero-capacity rendezvous channel is
+/// not supported).
+#[must_use]
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "channel capacity must be at least 1");
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Sending half; clone for additional producers.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half (single consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Returned by [`Sender::send`] when the receiver is gone; carries the
+/// value that could not be delivered.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] with the value if the receiver has been
+    /// dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        loop {
+            if !inner.receiver_alive {
+                return Err(SendError(value));
+            }
+            if inner.queue.len() < inner.capacity {
+                inner.queue.push_back(value);
+                drop(inner);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .shared
+                .not_full
+                .wait(inner)
+                .expect("channel lock poisoned");
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel lock poisoned")
+            .senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+            inner.senders -= 1;
+            inner.senders == 0
+        };
+        if last {
+            // Wake the receiver so it can observe end-of-stream.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next item, blocking while the channel is empty.
+    /// Returns `None` once every sender is dropped and the queue is
+    /// drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Some(v);
+            }
+            if inner.senders == 0 {
+                return None;
+            }
+            inner = self
+                .shared
+                .not_empty
+                .wait(inner)
+                .expect("channel lock poisoned");
+        }
+    }
+
+    /// Number of items currently buffered (racy; for observability).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether the buffer is currently empty (racy; for observability).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator over received items; ends at end-of-stream.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel lock poisoned")
+            .receiver_alive = false;
+        // Unblock producers so they can observe the dead receiver.
+        self.shared.not_full.notify_all();
+    }
+}
+
+/// Blocking iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_producer() {
+        let (tx, rx) = bounded(4);
+        thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn capacity_bounds_buffered_items() {
+        let (tx, rx) = bounded(3);
+        thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..200 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut seen = 0;
+            while let Some(_v) = rx.recv() {
+                assert!(rx.len() <= 3, "buffer exceeded capacity");
+                seen += 1;
+            }
+            assert_eq!(seen, 200);
+        });
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn recv_none_after_all_senders_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn multi_producer_no_loss() {
+        let (tx, rx) = bounded(2);
+        thread::scope(|s| {
+            for p in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got: Vec<u64> = rx.iter().collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = (0..4u64)
+                .flat_map(|p| (0..50u64).map(move |i| p * 1000 + i))
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        });
+    }
+}

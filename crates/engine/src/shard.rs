@@ -1,0 +1,165 @@
+//! Sharding and ordered reduction.
+//!
+//! A [`ShardPlan`] splits a computation into `shards` independent
+//! pieces. Every shard is identified by a stable ordinal (its position
+//! in the sequential loop the plan replaces) and owns an RNG stream
+//! seeded by [`shard_seed`]`(base_seed, ordinal)` — never by thread id
+//! or scheduling order. A [`Reduce`] implementation consumes shard
+//! results strictly in ordinal order, which is what makes engine output
+//! independent of worker count.
+
+/// Derives the RNG seed for one shard from `(seed, shard)`.
+///
+/// Uses the SplitMix64 finalizer over `seed ^ shard * φ64` so that
+/// neighbouring shard ids map to statistically independent streams and
+/// a change to either input flips the whole output word.
+#[must_use]
+pub fn shard_seed(seed: u64, shard: u64) -> u64 {
+    let mut z = seed ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A plan for splitting seeded work into independent shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+    seed: u64,
+}
+
+impl ShardPlan {
+    /// A plan with `shards` pieces derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new(shards: usize, seed: u64) -> Self {
+        assert!(shards > 0, "a shard plan needs at least one shard");
+        ShardPlan { shards, seed }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The base seed the per-shard seeds derive from.
+    #[must_use]
+    pub fn base_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The RNG seed owned by shard `ordinal`.
+    #[must_use]
+    pub fn seed_of(&self, ordinal: usize) -> u64 {
+        shard_seed(self.seed, ordinal as u64)
+    }
+
+    /// `(ordinal, seed)` pairs for every shard, in ordinal order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        (0..self.shards).map(|i| (i, self.seed_of(i)))
+    }
+}
+
+/// Consumes shard results in ordinal order.
+///
+/// The pool calls [`Reduce::push`] with strictly increasing ordinals
+/// (0, 1, 2, …) regardless of the order shards completed in, then
+/// [`Reduce::finish`] exactly once.
+pub trait Reduce {
+    /// Per-shard result type.
+    type Item;
+    /// Final merged output.
+    type Output;
+
+    /// Accepts the result of shard `ordinal`. Ordinals arrive in
+    /// strictly increasing order starting at 0.
+    fn push(&mut self, ordinal: usize, item: Self::Item);
+
+    /// Produces the merged output after the last shard.
+    fn finish(self) -> Self::Output;
+}
+
+/// The identity reducer: collects shard results into a `Vec` indexed by
+/// ordinal.
+#[derive(Debug)]
+pub struct VecCollect<T> {
+    out: Vec<T>,
+}
+
+impl<T> VecCollect<T> {
+    /// An empty collector, optionally pre-sized.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        VecCollect {
+            out: Vec::with_capacity(n),
+        }
+    }
+}
+
+impl<T> Default for VecCollect<T> {
+    fn default() -> Self {
+        VecCollect { out: Vec::new() }
+    }
+}
+
+impl<T> Reduce for VecCollect<T> {
+    type Item = T;
+    type Output = Vec<T>;
+
+    fn push(&mut self, ordinal: usize, item: T) {
+        debug_assert_eq!(ordinal, self.out.len(), "reduce ordinals out of order");
+        self.out.push(item);
+    }
+
+    fn finish(self) -> Vec<T> {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_seed_is_stable_and_distinct() {
+        let a = shard_seed(20090, 0);
+        let b = shard_seed(20090, 1);
+        let c = shard_seed(20091, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stability: the exact values are part of the reproducibility
+        // contract — artifacts depend on them.
+        assert_eq!(a, shard_seed(20090, 0));
+    }
+
+    #[test]
+    fn plan_enumerates_all_shards_in_order() {
+        let plan = ShardPlan::new(4, 7);
+        let pairs: Vec<(usize, u64)> = plan.iter().collect();
+        assert_eq!(pairs.len(), 4);
+        for (i, (ord, seed)) in pairs.iter().enumerate() {
+            assert_eq!(*ord, i);
+            assert_eq!(*seed, shard_seed(7, i as u64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardPlan::new(0, 1);
+    }
+
+    #[test]
+    fn vec_collect_preserves_ordinal_order() {
+        let mut r = VecCollect::with_capacity(3);
+        r.push(0, "a");
+        r.push(1, "b");
+        r.push(2, "c");
+        assert_eq!(r.finish(), vec!["a", "b", "c"]);
+    }
+}

@@ -13,14 +13,16 @@
 //!
 //! Each drive gets an hour series (via [`HourSeriesSpec`]) and the
 //! lifetime record accumulated from it, exactly the way drive firmware
-//! accumulates its lifetime counters. Generation is parallelized with
-//! `crossbeam` scoped threads; per-drive seeding keeps results identical
-//! regardless of thread count.
+//! accumulates its lifetime counters. Generation runs through the
+//! [`spindle_engine`] work-stealing pool; each drive is a shard seeded
+//! by [`spindle_engine::shard_seed`]`(seed, index)`, so the output is
+//! identical regardless of worker count.
 
 use crate::hourgen::{HourSeriesSpec, WEEK_HOURS};
 use crate::{Result, SynthError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use spindle_engine::{shard_seed, Pool};
 use spindle_trace::lifetime::accumulate_lifetime;
 use spindle_trace::{DriveId, HourRecord, HourSeries, LifetimeRecord};
 
@@ -114,46 +116,34 @@ impl FamilySpec {
         Ok(())
     }
 
-    /// Generates the family, deterministically for a given `seed`.
-    ///
-    /// Drives are generated in parallel; each drive is seeded with
-    /// `seed ⊕ drive_index`, so the output does not depend on thread
-    /// scheduling.
+    /// Generates the family, deterministically for a given `seed`,
+    /// using the default-sized engine pool.
     ///
     /// # Errors
     ///
     /// Propagates validation errors.
     pub fn generate(&self, seed: u64) -> Result<Vec<DriveRecord>> {
+        self.generate_with_pool(seed, &Pool::with_default_jobs())
+    }
+
+    /// Generates the family on the given pool.
+    ///
+    /// Each drive is an engine shard seeded by
+    /// [`shard_seed`]`(seed, index)`, so the output is bit-identical
+    /// for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn generate_with_pool(&self, seed: u64, pool: &Pool) -> Result<Vec<DriveRecord>> {
         self.validate()?;
-        let n = self.drives as usize;
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n)
-            .max(1);
-        let chunk = n.div_ceil(threads);
-        let mut out: Vec<Option<DriveRecord>> = vec![None; n];
-        crossbeam::thread::scope(|scope| {
-            for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
-                let spec = self;
-                scope.spawn(move |_| {
-                    for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                        let idx = t * chunk + j;
-                        *slot = Some(spec.generate_drive(idx as u32, seed));
-                    }
-                });
-            }
-        })
-        .expect("family generation threads do not panic");
-        Ok(out
-            .into_iter()
-            .map(|d| d.expect("every slot filled"))
-            .collect())
+        let indices: Vec<u32> = (0..self.drives).collect();
+        Ok(pool.map(indices, |_ord, idx| self.generate_drive(idx, seed)))
     }
 
     /// Generates one drive of the family.
     fn generate_drive(&self, index: u32, seed: u64) -> DriveRecord {
-        let drive_seed = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let drive_seed = shard_seed(seed, u64::from(index));
         let mut rng = StdRng::seed_from_u64(drive_seed);
 
         // Log-normal scale with unit median.
@@ -304,6 +294,16 @@ mod tests {
         let a = small_spec().generate(2).unwrap();
         let b = small_spec().generate(2).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generation_is_identical_across_worker_counts() {
+        let spec = small_spec();
+        let seq = spec.generate_with_pool(9, &Pool::new(1)).unwrap();
+        for jobs in [2, 4, 8] {
+            let par = spec.generate_with_pool(9, &Pool::new(jobs)).unwrap();
+            assert_eq!(seq, par, "family differs at jobs={jobs}");
+        }
     }
 
     #[test]

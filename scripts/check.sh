@@ -38,4 +38,14 @@ run cargo fmt --all -- --check
 run cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
 run cargo test $OFFLINE --workspace -q
 
+# The engine's determinism contract, called out explicitly so a
+# regression is named in the log rather than buried in the suite.
+run cargo test $OFFLINE -q -p spindle-bench --test engine_determinism
+run cargo test $OFFLINE -q -p spindle-engine --test channel_stress
+
+# Re-run the suite with parallel execution forced on: every pool that
+# defaults its worker count must still produce sequential-identical
+# results with two workers.
+run env SPINDLE_JOBS=2 cargo test $OFFLINE --workspace -q
+
 exit "$fail"

@@ -1,0 +1,212 @@
+//! Offline stand-in for `criterion` 0.5 (see `vendor/README.md`).
+//!
+//! Keeps `cargo bench` working without the crates.io dependency: each
+//! benchmark runs a short warm-up, then a fixed number of timed
+//! iterations, and prints the mean wall-clock time per iteration. No
+//! statistical analysis, outlier detection, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records the mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up: one untimed iteration.
+        black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(body());
+        }
+        self.mean = Some(start.elapsed() / self.sample_size as u32);
+    }
+}
+
+fn report(id: &str, throughput: Option<&Throughput>, mean: Option<Duration>) {
+    match mean {
+        Some(mean) => {
+            let per_elem = throughput.and_then(|t| match t {
+                Throughput::Elements(n) if *n > 0 => Some(format!(
+                    " ({:.1} Melem/s)",
+                    *n as f64 / mean.as_secs_f64() / 1e6
+                )),
+                _ => None,
+            });
+            println!(
+                "bench: {id:<50} {:>12.3?}/iter{}",
+                mean,
+                per_elem.unwrap_or_default()
+            );
+        }
+        None => println!("bench: {id:<50} (no measurement)"),
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            mean: None,
+        };
+        f(&mut b);
+        report(id, None, b.mean);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            mean: None,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{id}", self.name),
+            self.throughput.as_ref(),
+            b.mean,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            mean: None,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.0),
+            self.throughput.as_ref(),
+            b.mean,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Declares a benchmark group function running the listed targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_mean() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).throughput(Throughput::Elements(10));
+        group.bench_function("inner", |b| b.iter(|| black_box(2) * 2));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).0, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("sptf").0, "sptf");
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline stand-in for `proptest` 1 (see `vendor/README.md`).
+//!
+//! Implements the property-testing surface this workspace uses:
+//! the [`proptest!`] macro, the [`strategy::Strategy`] trait with
+//! `prop_map`, range / tuple / [`collection::vec`] / [`sample::select`]
+//! / [`bool::ANY`] / [`prop_oneof!`] / [`strategy::Just`] strategies,
+//! the `prop_assert*!` / [`prop_assume!`] macros, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, deliberately accepted: sampling is
+//! deterministic (the per-test RNG is seeded from the test's name, so
+//! failures reproduce exactly), there is no shrinking, and rejected
+//! cases ([`prop_assume!`]) simply don't count toward the case budget.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+/// Modules re-exported under `prop::` by the prelude.
+pub mod collection;
+pub mod sample;
+
+#[allow(clippy::module_inception)]
+pub mod bool {
+    //! Boolean strategies.
+
+    /// Strategy producing both booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    /// Uniformly random booleans.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl crate::strategy::Strategy for AnyBool {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut crate::TestRng) -> bool {
+            rand::Rng::gen(rng)
+        }
+    }
+}
+
+/// The RNG handed to strategies (the workspace's deterministic
+/// generator).
+pub type TestRng = StdRng;
+
+/// Marker returned by [`prop_assume!`] when a sampled case does not
+/// satisfy the property's precondition.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// Per-property configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Builds the deterministic RNG for one property, seeded from the
+/// test's name so every run (and every platform) replays the same
+/// cases.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut h = 0xCBF2_9CE4_8422_2325u64; // FNV-1a
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+
+    /// The `prop::` module hierarchy (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $(
+        $(#[$meta:meta])*
+        fn $test_name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $test_name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_rng(stringify!($test_name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(20);
+                while accepted < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    $(let $parm =
+                        $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::Rejected> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+                assert!(
+                    accepted > 0,
+                    "proptest {}: every sampled case was rejected by prop_assume!",
+                    stringify!($test_name)
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Asserts a condition inside a property; failure panics with the
+/// condition (and optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("proptest assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            panic!("proptest assertion failed: {}: {}", stringify!($cond), format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "proptest assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "proptest assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)*),
+                l,
+                r
+            );
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "proptest assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            );
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(::std::boxed::Box::new($strategy) as ::std::boxed::Box<dyn $crate::strategy::AnyStrategy<_>>),+
+        ])
+    };
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde` 1 (see `vendor/README.md`).
+//!
+//! Marker traits plus no-op derive macros. Nothing in this workspace
+//! actually serializes through serde, so the traits carry no methods;
+//! the derive annotations on the trace record types remain valid and
+//! documenting.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde`
+//! stand-in (see `vendor/README.md`).
+//!
+//! Nothing in this workspace serializes through serde; the derives
+//! exist so record types keep their `#[derive(Serialize, Deserialize)]`
+//! annotations (documenting intent and preserving source compatibility
+//! with the real crate) without pulling a network dependency.
+
+use proc_macro::TokenStream;
+
+/// Accepts the input and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the input and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
