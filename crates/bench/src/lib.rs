@@ -17,9 +17,11 @@ pub mod config;
 pub mod figures;
 pub mod matrix;
 pub mod pipeline;
+pub mod record;
 pub mod tables;
 
 pub use config::ExpConfig;
+pub use record::{BenchRecord, BenchReport};
 
 /// Convenience result alias: experiments surface any layer's error.
 pub type Result<T> = std::result::Result<T, Box<dyn std::error::Error + Send + Sync>>;

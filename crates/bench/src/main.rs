@@ -4,11 +4,14 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--quick] [--jobs N] [--metrics[=json|text]] [--verbose|--quiet] [ids...]
+//! experiments [--quick] [--jobs N] [--metrics[=json|text]] [--record[=FILE]]
+//!             [--trace-out FILE] [--verbose|--quiet] [ids...]
 //! experiments --quick t2 f5        # just T2 and F5, reduced scale
 //! experiments                      # everything at paper scale
 //! experiments --jobs 8             # fan the matrix across 8 workers
 //! experiments --metrics=json t1    # T1 plus a JSON metrics dump on stderr
+//! experiments --record t1 t2      # also write BENCH_pr3.json
+//! experiments --trace-out t.json  # export a Chrome trace-event timeline
 //! ```
 //!
 //! The accepted ids in the usage line are derived from the experiment
@@ -19,14 +22,19 @@
 //! back in table order, so the report is byte-identical for every
 //! `--jobs` value (`--jobs 1` runs inline on the main thread).
 
-use spindle_bench::{matrix, pipeline, ExpConfig};
+use spindle_bench::{matrix, pipeline, record, BenchRecord, BenchReport, ExpConfig};
 use spindle_engine::{Pool, PoolMetrics};
 use spindle_obs::sink::{JsonSink, MetricsSink, TextSink};
-use spindle_obs::{progress, LogLevel, ObsConfig};
+use spindle_obs::{progress, FlightRecorder, LogLevel, ObsConfig, TraceEventSink};
+use std::sync::Arc;
+
+/// Default destination of `--record` (the PR-over-PR perf trajectory
+/// file tracked at the repository root).
+const RECORD_DEFAULT: &str = "BENCH_pr3.json";
 
 fn usage() -> String {
-    format!(
-        "usage: experiments [--quick] [--jobs N] [--metrics[=json|text]] [--verbose|--quiet] [{}]",
+    format!
+        ("usage: experiments [--quick] [--jobs N] [--metrics[=json|text]] [--record[=FILE]] [--trace-out FILE] [--verbose|--quiet] [{}]",
         matrix::id_ranges()
     )
 }
@@ -41,6 +49,8 @@ fn main() {
     let mut quick = false;
     let mut metrics: Option<&str> = None;
     let mut jobs: Option<usize> = None;
+    let mut record_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,6 +58,19 @@ fn main() {
             "--quick" => quick = true,
             "--metrics" | "--metrics=text" => metrics = Some("text"),
             "--metrics=json" => metrics = Some("json"),
+            "--record" => record_out = Some(RECORD_DEFAULT.to_owned()),
+            other if other.starts_with("--record=") => {
+                record_out = Some(other["--record=".len()..].to_owned());
+            }
+            "--trace-out" => {
+                let Some(v) = args.next() else {
+                    bad_usage("--trace-out needs a value");
+                };
+                trace_out = Some(v);
+            }
+            other if other.starts_with("--trace-out=") => {
+                trace_out = Some(other["--trace-out=".len()..].to_owned());
+            }
             "--verbose" => spindle_obs::logger::set_level(LogLevel::Verbose),
             "--quiet" => spindle_obs::logger::set_level(LogLevel::Quiet),
             "--jobs" => {
@@ -79,6 +102,14 @@ fn main() {
     // Inner parallel loops (family generation) size their default pools
     // from this variable, so one flag governs the whole process.
     std::env::set_var(spindle_engine::JOBS_ENV, jobs.to_string());
+    // A trace wants the event ring mirrored onto the timeline, so it
+    // claims the (first-call-wins) global config before `--metrics`.
+    let recorder = trace_out.as_ref().map(|_| {
+        let rec = Arc::new(FlightRecorder::new());
+        spindle_obs::recorder::install(Arc::clone(&rec));
+        pipeline::enable_observability(ObsConfig::enabled());
+        rec
+    });
     if metrics.is_some() {
         pipeline::enable_observability(ObsConfig::metrics_only());
     }
@@ -105,8 +136,15 @@ fn main() {
     if metrics.is_some() {
         pool = pool.metrics(PoolMetrics::new(spindle_obs::global()));
     }
+    let matrix_start = std::time::Instant::now();
     let mut failed = false;
+    let mut records = Vec::new();
     for res in matrix::run_matrix(&ids, &cfg, &pool) {
+        records.push(BenchRecord {
+            id: res.id.clone(),
+            secs: res.secs,
+            ok: res.output.is_ok(),
+        });
         match res.output {
             Ok(output) => {
                 println!("{output}");
@@ -115,6 +153,38 @@ fn main() {
             Err(e) => {
                 // Failures stay visible even under --quiet.
                 eprintln!("# {} FAILED: {e}", res.id);
+                failed = true;
+            }
+        }
+    }
+    let total_secs = matrix_start.elapsed().as_secs_f64();
+    if let Some(path) = record_out {
+        let report = BenchReport {
+            jobs,
+            quick,
+            seed: cfg.seed,
+            total_secs,
+            records,
+        };
+        match record::write_file_creating_parents(&path, &report.render()) {
+            Ok(()) => progress!("# wrote bench record to {path}"),
+            Err(e) => {
+                eprintln!("# bench record export failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let (Some(rec), Some(path)) = (&recorder, &trace_out) {
+        let export = TraceEventSink::full()
+            .export_string(rec)
+            .map_err(|e| e.to_string())
+            .and_then(|json| record::write_file_creating_parents(path, &json));
+        match export {
+            Ok(()) => {
+                progress!("# wrote trace to {path} (load it in Perfetto or chrome://tracing)")
+            }
+            Err(e) => {
+                eprintln!("# trace export failed: {e}");
                 failed = true;
             }
         }

@@ -101,7 +101,12 @@ impl EnvRun {
         let mut events = None;
         if let Some((obs_cfg, reg)) = obs {
             if obs_cfg.metrics || obs_cfg.events {
-                let observer = SimObserver::new(reg, obs_cfg);
+                let mut observer = SimObserver::new(reg, obs_cfg);
+                // A globally installed flight recorder (the binary's
+                // `--trace-out`) gets the sim-time tracks of every run.
+                if let Some(rec) = spindle_obs::recorder::installed() {
+                    observer = observer.with_flight(rec);
+                }
                 events = observer.event_log();
                 sim.attach_observer(observer);
             }

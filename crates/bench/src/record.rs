@@ -1,0 +1,218 @@
+//! Machine-readable benchmark records.
+//!
+//! The experiments binary can serialize one run of the matrix into a
+//! `BENCH_pr<N>.json` document — per-experiment wall-clock seconds,
+//! overall throughput, a peak-RSS proxy, and the worker count — so the
+//! repository's performance trajectory is a file diff rather than
+//! archaeology over CI logs. The schema is versioned
+//! (`spindle-bench-record/v1`) and emitted with the crate's own JSON
+//! value type, keeping the harness dependency-free.
+
+use spindle_obs::json::Json;
+
+/// One finished experiment, as it lands in the record file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Experiment id (`t1`, `f5`, ...).
+    pub id: String,
+    /// Wall-clock seconds the experiment took on its worker.
+    pub secs: f64,
+    /// Whether the experiment produced output (failures record `false`
+    /// so a regression cannot masquerade as a speedup).
+    pub ok: bool,
+}
+
+/// A whole matrix run, ready to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Worker threads the matrix fanned out across.
+    pub jobs: usize,
+    /// Whether the reduced-scale (`--quick`) config was used.
+    pub quick: bool,
+    /// The config seed, for reproducing the run.
+    pub seed: u64,
+    /// End-to-end wall-clock seconds for the whole matrix.
+    pub total_secs: f64,
+    /// Per-experiment outcomes, in presentation order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// The record document as a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let n = self.records.len();
+        let throughput = if self.total_secs > 0.0 {
+            n as f64 / self.total_secs
+        } else {
+            0.0
+        };
+        let results: Vec<Json> = self
+            .records
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("id".to_owned(), Json::Str(r.id.clone())),
+                    ("secs".to_owned(), Json::Num(r.secs)),
+                    ("ok".to_owned(), Json::Bool(r.ok)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "schema".to_owned(),
+                Json::Str("spindle-bench-record/v1".to_owned()),
+            ),
+            (
+                "config".to_owned(),
+                Json::Obj(vec![
+                    ("quick".to_owned(), Json::Bool(self.quick)),
+                    ("jobs".to_owned(), Json::Uint(self.jobs as u64)),
+                    ("seed".to_owned(), Json::Uint(self.seed)),
+                ]),
+            ),
+            ("experiments".to_owned(), Json::Uint(n as u64)),
+            ("total_secs".to_owned(), Json::Num(self.total_secs)),
+            ("experiments_per_sec".to_owned(), Json::Num(throughput)),
+            (
+                "peak_rss_bytes".to_owned(),
+                peak_rss_bytes().map_or(Json::Null, Json::Uint),
+            ),
+            ("results".to_owned(), Json::Arr(results)),
+        ])
+    }
+
+    /// The record document as pretty-enough JSON text (one line, final
+    /// newline).
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!("{}\n", self.to_json())
+    }
+}
+
+/// Peak resident-set size of this process in bytes, read from
+/// `/proc/self/status` (`VmHWM`). `None` where the proc filesystem is
+/// unavailable — the record stores `null` rather than a fake number.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Writes `contents` to `path`, creating missing parent directories;
+/// failures name the offending path.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming `path`.
+pub fn write_file_creating_parents(path: &str, contents: &str) -> Result<(), String> {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() && !parent.exists() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                format!(
+                    "cannot create directory `{}` for output file `{path}`: {e}",
+                    parent.display()
+                )
+            })?;
+        }
+    }
+    std::fs::write(p, contents.as_bytes())
+        .map_err(|e| format!("cannot write output file `{path}`: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BenchReport {
+        BenchReport {
+            jobs: 4,
+            quick: true,
+            seed: 42,
+            total_secs: 2.0,
+            records: vec![
+                BenchRecord {
+                    id: "t1".to_owned(),
+                    secs: 1.25,
+                    ok: true,
+                },
+                BenchRecord {
+                    id: "f5".to_owned(),
+                    secs: 0.75,
+                    ok: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let text = report().render();
+        let doc = spindle_obs::json::parse(text.trim()).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("spindle-bench-record/v1")
+        );
+        assert_eq!(doc.get("experiments").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("jobs"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            doc.get("experiments_per_sec").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        let Some(Json::Arr(results)) = doc.get("results") else {
+            panic!("results is an array");
+        };
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("id").and_then(Json::as_str), Some("t1"));
+        assert_eq!(results[1].get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn throughput_handles_zero_elapsed() {
+        let mut r = report();
+        r.total_secs = 0.0;
+        assert_eq!(
+            r.to_json()
+                .get("experiments_per_sec")
+                .and_then(Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        if let Some(bytes) = peak_rss_bytes() {
+            // A running test binary certainly holds more than a page
+            // and less than a terabyte.
+            assert!(bytes > 4096, "peak RSS {bytes} bytes");
+            assert!(bytes < 1 << 40, "peak RSS {bytes} bytes");
+        }
+    }
+
+    #[test]
+    fn writer_creates_parents_and_names_failures() {
+        let dir = std::env::temp_dir().join("spindle-bench-record-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let nested = dir.join("x/y/r.json");
+        write_file_creating_parents(nested.to_str().unwrap(), "{}").unwrap();
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "{}");
+        let blocker = dir.join("plain");
+        std::fs::write(&blocker, "f").unwrap();
+        let err = write_file_creating_parents(blocker.join("r.json").to_str().unwrap(), "{}")
+            .unwrap_err();
+        assert!(err.contains("r.json"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -11,7 +11,7 @@ use spindle_disk::profile::DriveProfile;
 use spindle_disk::scheduler::SchedulerKind;
 use spindle_disk::sim::{DiskSim, SimConfig, SimResult};
 use spindle_obs::sink::{JsonSink, MetricsSink, TextSink};
-use spindle_obs::{progress, LogLevel, ObsConfig, ObsSpan};
+use spindle_obs::{progress, FlightRecorder, LogLevel, ObsConfig, ObsSpan, TraceEventSink};
 use spindle_synth::family::FamilySpec;
 use spindle_synth::hourgen::{HourSeriesSpec, WEEK_HOURS};
 use spindle_synth::presets::parse_environment;
@@ -19,12 +19,24 @@ use spindle_trace::{binary, csv, text, Request};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
-type CmdResult = Result<(), Box<dyn std::error::Error>>;
+pub(crate) type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
 /// Set while a `--metrics` invocation is in flight so the simulation
 /// helpers attach observers against the global registry.
 static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The `--trace-out` destination of the invocation in flight, so the
+/// `report` subcommand can link the timeline it is being exported next
+/// to.
+static TRACE_PATH: Mutex<Option<String>> = Mutex::new(None);
+
+/// The trace destination of the current invocation, when `--trace-out`
+/// was given.
+pub(crate) fn trace_out_path() -> Option<String> {
+    TRACE_PATH.lock().expect("trace path lock").clone()
+}
 
 const HELP: &str = "\
 spindle — disk workload characterization toolkit
@@ -35,6 +47,8 @@ USAGE:
   spindle simulate --in FILE [--profile NAME] [--scheduler POLICY]
                    [--no-write-back]
   spindle analyze  --in FILE [--profile NAME]
+  spindle report   --in FILE [--profile NAME] [--scheduler POLICY]
+                   [--out FILE]
   spindle family   [--drives N] [--weeks N] [--seed N]
   spindle hourgen  [--drives N] [--weeks N] [--seed N]
                    [--hours-out FILE] [--lifetimes-out FILE]
@@ -48,6 +62,9 @@ Global options (accepted before or after any command):
                          cores; --jobs 1 forces the sequential path)
   --metrics[=text|json]  dump the metrics registry after the command
   --metrics-out FILE     write the dump to FILE instead of stderr
+  --trace-out FILE       record the run in a flight recorder and export
+                         it as Chrome trace-event JSON (open the file in
+                         Perfetto or chrome://tracing)
   --verbose              include detail messages on stderr
   --quiet                suppress progress messages on stderr
 
@@ -68,6 +85,8 @@ struct ObsArgs {
     metrics: Option<&'static str>,
     /// Dump destination file (stderr when absent).
     out: Option<String>,
+    /// Chrome trace-event export destination (`--trace-out FILE`).
+    trace: Option<String>,
     level: Option<LogLevel>,
     /// Worker count for parallel stages (`--jobs N`).
     jobs: Option<usize>,
@@ -96,6 +115,15 @@ fn extract_obs_args(argv: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
             s if s.starts_with("--metrics-out=") => {
                 obs.out = Some(s["--metrics-out=".len()..].to_owned());
             }
+            "--trace-out" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "option --trace-out needs a value".to_owned())?;
+                obs.trace = Some(value.clone());
+            }
+            s if s.starts_with("--trace-out=") => {
+                obs.trace = Some(s["--trace-out=".len()..].to_owned());
+            }
             "--verbose" => obs.level = Some(LogLevel::Verbose),
             "--quiet" => obs.level = Some(LogLevel::Quiet),
             "--jobs" => {
@@ -123,6 +151,26 @@ fn extract_obs_args(argv: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
     Ok((obs, rest))
 }
 
+/// Writes `contents` to `path`, creating any missing parent
+/// directories. Failures name the offending path instead of surfacing
+/// a bare [`std::io::Error`].
+pub(crate) fn write_output_file(path: &str, contents: &str) -> CmdResult {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() && !parent.exists() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                format!(
+                    "cannot create directory `{}` for output file `{path}`: {e}",
+                    parent.display()
+                )
+            })?;
+        }
+    }
+    std::fs::write(p, contents.as_bytes())
+        .map_err(|e| format!("cannot write output file `{path}`: {e}"))?;
+    Ok(())
+}
+
 fn dump_metrics(format: &str, out: Option<&str>) -> CmdResult {
     let snapshot = spindle_obs::global().snapshot();
     let rendered = match format {
@@ -131,7 +179,7 @@ fn dump_metrics(format: &str, out: Option<&str>) -> CmdResult {
     };
     match out {
         Some(path) => {
-            std::fs::write(path, rendered.as_bytes())?;
+            write_output_file(path, &rendered)?;
             progress!("wrote metrics to {path}");
         }
         None => eprint!("{rendered}"),
@@ -157,11 +205,29 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
     if obs.metrics.is_some() {
         METRICS_ENABLED.store(true, Ordering::Relaxed);
     }
+    // A requested trace installs a flight recorder for the whole
+    // invocation: spans and pool workers report wall-clock slices, and
+    // the simulation helpers attach sim-time instrumentation.
+    let recorder = obs.trace.as_ref().map(|path| {
+        let rec = Arc::new(FlightRecorder::new());
+        spindle_obs::recorder::install(Arc::clone(&rec));
+        *TRACE_PATH.lock().expect("trace path lock") = Some(path.clone());
+        rec
+    });
     let result = dispatch_command(&argv);
-    if result.is_ok() {
+    let result = result.and_then(|()| {
         if let Some(format) = obs.metrics {
             dump_metrics(format, obs.out.as_deref())?;
         }
+        if let (Some(rec), Some(path)) = (&recorder, &obs.trace) {
+            write_output_file(path, &TraceEventSink::full().export_string(rec)?)?;
+            progress!("wrote trace to {path} (load it in Perfetto or chrome://tracing)");
+        }
+        Ok(())
+    });
+    if recorder.is_some() {
+        spindle_obs::recorder::uninstall();
+        *TRACE_PATH.lock().expect("trace path lock") = None;
     }
     result
 }
@@ -175,6 +241,7 @@ fn dispatch_command(argv: &[String]) -> CmdResult {
         "generate" => generate(&parse(rest, &["binary"])?),
         "simulate" => simulate(&parse(rest, &["no-write-back"])?),
         "analyze" => analyze(&parse(rest, &[])?),
+        "report" => crate::report::report(&parse(rest, &[])?),
         "family" => family(&parse(rest, &[])?),
         "hourgen" => hourgen(&parse(rest, &[])?),
         "power" => power(&parse(rest, &["no-write-back"])?),
@@ -196,7 +263,7 @@ fn profile_by_name(name: &str) -> Result<DriveProfile, String> {
         })
 }
 
-fn read_trace(path: &str) -> Result<Vec<Request>, Box<dyn std::error::Error>> {
+pub(crate) fn read_trace(path: &str) -> Result<Vec<Request>, Box<dyn std::error::Error>> {
     let _span = ObsSpan::new(spindle_obs::global(), "cli.read_trace");
     let file = File::open(path)?;
     let requests = if path.ends_with(".bin") {
@@ -257,16 +324,25 @@ fn build_sim(opts: &Options) -> Result<DiskSim, Box<dyn std::error::Error>> {
         flush_at_end: true,
     };
     let mut sim = DiskSim::new(profile, cfg);
-    if METRICS_ENABLED.load(Ordering::Relaxed) {
-        sim.attach_observer(SimObserver::new(
-            spindle_obs::global(),
-            &ObsConfig::metrics_only(),
-        ));
+    let flight = spindle_obs::recorder::installed();
+    if METRICS_ENABLED.load(Ordering::Relaxed) || flight.is_some() {
+        // A trace export wants the event ring mirrored onto the
+        // timeline; a metrics-only run skips the ring entirely.
+        let cfg = if flight.is_some() {
+            ObsConfig::enabled()
+        } else {
+            ObsConfig::metrics_only()
+        };
+        let mut observer = SimObserver::new(spindle_obs::global(), &cfg);
+        if let Some(rec) = flight {
+            observer = observer.with_flight(rec);
+        }
+        sim.attach_observer(observer);
     }
     Ok(sim)
 }
 
-fn run_simulation(
+pub(crate) fn run_simulation(
     opts: &Options,
     requests: &[Request],
 ) -> Result<SimResult, Box<dyn std::error::Error>> {
@@ -787,6 +863,113 @@ mod tests {
             .is_some());
         std::fs::remove_file(trace).unwrap();
         std::fs::remove_file(metrics).unwrap();
+    }
+
+    #[test]
+    fn trace_out_is_peeled_and_validated() {
+        let (obs, rest) =
+            extract_obs_args(&argv(&["simulate", "--trace-out", "t.json", "--in", "x"])).unwrap();
+        assert_eq!(obs.trace.as_deref(), Some("t.json"));
+        assert_eq!(rest, argv(&["simulate", "--in", "x"]));
+        let (obs, _) = extract_obs_args(&argv(&["--trace-out=d/t.json"])).unwrap();
+        assert_eq!(obs.trace.as_deref(), Some("d/t.json"));
+        assert!(extract_obs_args(&argv(&["--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn output_files_create_missing_parent_directories() {
+        let dir = std::env::temp_dir().join("spindle-cli-test7");
+        let _ = std::fs::remove_dir_all(&dir);
+        let nested = dir.join("a/b/out.txt");
+        write_output_file(nested.to_str().unwrap(), "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "hello");
+
+        // A parent that exists as a *file* cannot become a directory;
+        // the error names the offending path instead of a bare io::Error.
+        let blocker = dir.join("file");
+        std::fs::write(&blocker, "x").unwrap();
+        let target = blocker.join("out.txt");
+        let err = write_output_file(target.to_str().unwrap(), "y").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("out.txt"), "error names the path: {msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn simulate_exports_a_loadable_trace() {
+        let dir = std::env::temp_dir().join("spindle-cli-test8");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_in = dir.join("t.bin");
+        // Exercises satellite parent-dir creation on --trace-out too.
+        let trace_out = dir.join("traces/run.json");
+        let _ = std::fs::remove_dir_all(dir.join("traces"));
+        dispatch(&argv(&[
+            "generate",
+            "--env=web",
+            "--span=60",
+            "--seed=11",
+            "--out",
+            trace_in.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "simulate",
+            "--in",
+            trace_in.to_str().unwrap(),
+            "--trace-out",
+            trace_out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&trace_out).unwrap();
+        let doc = spindle_obs::json::parse(text.trim()).expect("trace is valid JSON");
+        let spindle_obs::json::Json::Arr(events) =
+            doc.get("traceEvents").expect("traceEvents present")
+        else {
+            panic!("traceEvents is an array");
+        };
+        assert!(!events.is_empty());
+        for e in events {
+            assert!(e.get("ph").is_some(), "every event has a phase");
+            assert!(e.get("pid").is_some(), "every event has a pid");
+        }
+        // Simulated-time drive tracks made it into the export.
+        assert!(text.contains("drive.service"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_writes_self_contained_html() {
+        let dir = std::env::temp_dir().join("spindle-cli-test9");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_in = dir.join("r.bin");
+        let report_out = dir.join("report.html");
+        dispatch(&argv(&[
+            "generate",
+            "--env=mail",
+            "--span=120",
+            "--seed=4",
+            "--out",
+            trace_in.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "report",
+            "--in",
+            trace_in.to_str().unwrap(),
+            "--out",
+            report_out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let html = std::fs::read_to_string(&report_out).unwrap();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("utilization by time-scale"));
+        assert!(html.contains("read/write mix by time-scale"));
+        assert!(html.contains("idle-interval availability"));
+        // Self-contained: no external stylesheet or script references.
+        assert!(!html.contains("<link"));
+        assert!(!html.contains("<script"));
+        assert!(dispatch(&argv(&["report"])).is_err(), "--in is required");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

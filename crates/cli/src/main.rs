@@ -6,12 +6,14 @@
 //! * `generate` — synthesize a millisecond trace for an environment.
 //! * `simulate` — run a trace through the disk simulator.
 //! * `analyze`  — full millisecond-scale characterization of a trace.
+//! * `report`   — render a run into a self-contained HTML summary.
 //! * `family`   — generate and characterize a drive family.
 //!
 //! Run `spindle help` for the option reference.
 
 mod args;
 mod commands;
+mod report;
 
 use std::process::ExitCode;
 

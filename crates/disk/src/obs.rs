@@ -1,9 +1,10 @@
 //! Simulator instrumentation.
 //!
-//! [`SimObserver`] bundles pre-resolved metric handles and an optional
-//! event ring so [`DiskSim`](crate::sim::DiskSim) can record telemetry
-//! without any name lookups on the hot path. With no observer attached
-//! (the default) the simulator pays only an untaken `Option` branch per
+//! [`SimObserver`] bundles pre-resolved metric handles, an optional
+//! event ring, and an optional flight recorder so
+//! [`DiskSim`](crate::sim::DiskSim) can record telemetry without any
+//! name lookups on the hot path. With no observer attached (the
+//! default) the simulator pays only an untaken `Option` branch per
 //! site, keeping benchmark numbers unchanged.
 //!
 //! Metric names exported here:
@@ -20,13 +21,36 @@
 //! |                            |           | repositions the head)                    |
 //! | `disk.response_us`         | histogram | host-visible response time (µs)          |
 //! | `disk.queue_depth`         | histogram | queue length at each dispatch            |
+//! | `events.dropped`           | gauge     | event-ring entries overwritten (only     |
+//! |                            |           | published when event tracing is on)      |
+//!
+//! When a [`FlightRecorder`] is attached with
+//! [`SimObserver::with_flight`], the simulator additionally records
+//! per-request lifecycle intervals and idle/destage activity on the
+//! simulated-time tracks listed in [`track`].
 
-use spindle_obs::{Counter, EventKind, EventLog, Histogram, MetricsRegistry, ObsConfig};
+use spindle_obs::{
+    Counter, EventKind, EventLog, FlightRecorder, Gauge, Histogram, MetricsRegistry, ObsConfig,
+};
 use std::sync::Arc;
+
+/// Simulated-time track names the disk instrumentation records on.
+pub mod track {
+    /// Per-request queueing intervals (arrival → dispatch).
+    pub const QUEUE: &str = "drive.queue";
+    /// Per-request service intervals (dispatch → completion), plus
+    /// idle-time destage operations.
+    pub const SERVICE: &str = "drive.service";
+    /// Idle intervals (queue empty, waiting for arrivals).
+    pub const IDLE: &str = "drive.idle";
+    /// Instant events mirroring the [`EventLog`](spindle_obs::EventLog)
+    /// ring (cache hits/misses, destages, enqueues, ...).
+    pub const EVENTS: &str = "drive.events";
+}
 
 /// Pre-resolved telemetry handles for one simulator.
 ///
-/// Cloning shares the underlying metrics and event ring.
+/// Cloning shares the underlying metrics, event ring, and recorder.
 #[derive(Debug, Clone)]
 pub struct SimObserver {
     pub(crate) requests_completed: Counter,
@@ -39,12 +63,18 @@ pub struct SimObserver {
     pub(crate) response_us: Histogram,
     pub(crate) queue_depth: Histogram,
     pub(crate) events: Option<Arc<EventLog>>,
+    /// Published only when event tracing is on, so a metrics-only run
+    /// does not export a meaningless zero.
+    pub(crate) events_dropped: Option<Gauge>,
+    pub(crate) flight: Option<Arc<FlightRecorder>>,
 }
 
 impl SimObserver {
     /// Resolves handles against `registry` and allocates the event ring
     /// `config` asks for.
     pub fn new(registry: &MetricsRegistry, config: &ObsConfig) -> Self {
+        let events = config.event_log();
+        let events_dropped = events.is_some().then(|| registry.gauge("events.dropped"));
         SimObserver {
             requests_completed: registry.counter("disk.requests_completed"),
             read_hits: registry.counter("disk.read_hits"),
@@ -55,8 +85,19 @@ impl SimObserver {
             seeks: registry.counter("disk.seeks"),
             response_us: registry.histogram("disk.response_us"),
             queue_depth: registry.histogram("disk.queue_depth"),
-            events: config.event_log(),
+            events,
+            events_dropped,
+            flight: None,
         }
+    }
+
+    /// Attaches a flight recorder: the simulator records per-request
+    /// lifecycle intervals and mirrors ring events onto simulated-time
+    /// tracks.
+    #[must_use]
+    pub fn with_flight(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(recorder);
+        self
     }
 
     /// The event ring, when event tracing is enabled.
@@ -64,10 +105,54 @@ impl SimObserver {
         self.events.clone()
     }
 
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
     #[inline]
     pub(crate) fn event(&self, t_ns: u64, kind: EventKind, detail: u64) {
         if let Some(log) = &self.events {
             log.record(t_ns, kind, detail);
+        }
+        if let Some(rec) = &self.flight {
+            rec.sim_instant(
+                track::EVENTS,
+                kind.name(),
+                t_ns,
+                vec![("detail".to_owned(), spindle_obs::json::Json::Uint(detail))],
+            );
+        }
+    }
+
+    /// Records an interval on a simulated-time track (no-op without a
+    /// recorder).
+    #[inline]
+    pub(crate) fn sim_slice(
+        &self,
+        track: &str,
+        name: &str,
+        begin_ns: u64,
+        dur_ns: u64,
+        args: Vec<(String, spindle_obs::json::Json)>,
+    ) {
+        if let Some(rec) = &self.flight {
+            rec.sim_slice(track, name, begin_ns, dur_ns, args);
+        }
+    }
+
+    /// Publishes end-of-run telemetry derived from the ring: the
+    /// `events.dropped` gauge (and recorder metadata when both are
+    /// attached), so truncated traces are visible instead of silent.
+    pub fn settle(&self) {
+        if let (Some(log), Some(gauge)) = (&self.events, &self.events_dropped) {
+            gauge.set(i64::try_from(log.dropped()).unwrap_or(i64::MAX));
+        }
+        if let (Some(log), Some(rec)) = (&self.events, &self.flight) {
+            use spindle_obs::json::Json;
+            rec.set_meta("events.recorded", Json::Uint(log.total_recorded()));
+            rec.set_meta("events.dropped", Json::Uint(log.dropped()));
+            rec.set_meta("events.capacity", Json::Uint(log.capacity() as u64));
         }
     }
 }
@@ -81,11 +166,14 @@ mod tests {
         let registry = MetricsRegistry::new();
         let obs = SimObserver::new(&registry, &ObsConfig::metrics_only());
         assert!(obs.event_log().is_none());
+        assert!(obs.flight().is_none());
         obs.requests_completed.inc();
         obs.response_us.record(250);
         let snap = registry.snapshot();
         assert_eq!(snap.counter("disk.requests_completed"), Some(1));
         assert_eq!(snap.histogram("disk.response_us").unwrap().count, 1);
+        // Metrics-only observers do not publish the ring gauge.
+        assert_eq!(snap.gauge("events.dropped"), None);
     }
 
     #[test]
@@ -99,5 +187,35 @@ mod tests {
         let log = traced.event_log().expect("ring allocated");
         assert_eq!(log.len(), 1);
         assert_eq!(log.snapshot()[0].detail, 77);
+    }
+
+    #[test]
+    fn settle_publishes_dropped_count() {
+        let mut cfg = ObsConfig::enabled();
+        cfg.event_capacity = 2;
+        let registry = MetricsRegistry::new();
+        let obs = SimObserver::new(&registry, &cfg);
+        for t in 0..5 {
+            obs.event(t, EventKind::RequestEnqueue, t);
+        }
+        obs.settle();
+        assert_eq!(registry.snapshot().gauge("events.dropped"), Some(3));
+    }
+
+    #[test]
+    fn flight_mirrors_events_and_slices() {
+        let registry = MetricsRegistry::new();
+        let rec = Arc::new(FlightRecorder::new());
+        let obs = SimObserver::new(&registry, &ObsConfig::enabled()).with_flight(Arc::clone(&rec));
+        obs.event(10, EventKind::CacheMiss, 4096);
+        obs.sim_slice(track::SERVICE, "read", 10, 500, vec![]);
+        obs.settle();
+        let sim = rec.sim_slices();
+        assert_eq!(sim.len(), 2);
+        assert_eq!(sim[0].track, track::EVENTS);
+        assert_eq!(sim[0].dur_ns, None);
+        assert_eq!(sim[1].track, track::SERVICE);
+        assert_eq!(sim[1].dur_ns, Some(500));
+        assert!(rec.meta().iter().any(|(k, _)| k == "events.dropped"));
     }
 }

@@ -327,6 +327,13 @@ impl DiskSim {
                             o.destages.inc();
                             o.seeks.inc();
                             o.event(destage_at.round() as u64, EventKind::Destage, extent.lba);
+                            o.sim_slice(
+                                crate::obs::track::SERVICE,
+                                "destage",
+                                destage_at.round() as u64,
+                                (end - destage_at).round() as u64,
+                                vec![("lba".to_owned(), spindle_obs::json::Json::Uint(extent.lba))],
+                            );
                         }
                         continue;
                     }
@@ -337,6 +344,13 @@ impl DiskSim {
                             if t > now {
                                 o.event(now.round() as u64, EventKind::IdleBegin, 0);
                                 o.event(t.round() as u64, EventKind::IdleEnd, 0);
+                                o.sim_slice(
+                                    crate::obs::track::IDLE,
+                                    "idle",
+                                    now.round() as u64,
+                                    (t - now).round() as u64,
+                                    Vec::new(),
+                                );
                             }
                         }
                         now = now.max(t);
@@ -396,6 +410,45 @@ impl DiskSim {
                 o.response_us.record((response_ns / 1_000.0).round() as u64);
                 o.requests_completed.inc();
                 o.event(complete.round() as u64, EventKind::RequestComplete, q.id);
+                // Request lifecycle on the simulated-time tracks:
+                // enqueue → dispatch on the queue track, dispatch →
+                // complete on the service track.
+                if o.flight().is_some() {
+                    use spindle_obs::json::Json;
+                    let op_name = match r.op {
+                        OpKind::Read => "read",
+                        OpKind::Write => "write",
+                    };
+                    let start_ns = start.round() as u64;
+                    let id_arg = ("id".to_owned(), Json::Uint(q.id));
+                    if start_ns > r.arrival_ns {
+                        o.sim_slice(
+                            crate::obs::track::QUEUE,
+                            op_name,
+                            r.arrival_ns,
+                            start_ns - r.arrival_ns,
+                            vec![id_arg.clone()],
+                        );
+                    }
+                    o.sim_slice(
+                        crate::obs::track::SERVICE,
+                        if cache_hit {
+                            match r.op {
+                                OpKind::Read => "read (hit)",
+                                OpKind::Write => "write (cached)",
+                            }
+                        } else {
+                            op_name
+                        },
+                        start_ns,
+                        (complete - start).round() as u64,
+                        vec![
+                            id_arg,
+                            ("lba".to_owned(), Json::Uint(r.lba)),
+                            ("sectors".to_owned(), Json::Uint(u64::from(r.sectors))),
+                        ],
+                    );
+                }
             }
             completed.push(CompletedRequest {
                 request: r,
@@ -406,6 +459,9 @@ impl DiskSim {
             now = busy_end;
         }
 
+        if let Some(o) = &self.obs {
+            o.settle();
+        }
         let span = now.round().max(1.0) as u64;
         Ok(SimResult {
             completed,

@@ -8,13 +8,21 @@
 //! [`Reduce`] strictly in ordinal order. With `jobs == 1` no threads or
 //! channels are created at all — the tasks run inline, in order, on the
 //! caller thread, which is exactly the pre-engine sequential path.
+//!
+//! When a [`FlightRecorder`] is installed (see
+//! [`spindle_obs::recorder::install`]), each worker additionally records
+//! its activity — `run`, `steal`, and `idle` intervals — on the
+//! wall-clock timeline under a `worker<n>` thread label, so a trace
+//! export shows exactly how the pool spent its time. Without an
+//! installed recorder the per-task cost is one relaxed atomic load.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use spindle_obs::json::Json;
 use spindle_obs::registry::{Counter, Gauge};
-use spindle_obs::MetricsRegistry;
+use spindle_obs::{FlightRecorder, MetricsRegistry};
 
 use crate::channel;
 use crate::shard::{Reduce, ShardPlan, VecCollect};
@@ -164,9 +172,15 @@ impl Pool {
         let jobs = self.jobs.min(items.len());
         if jobs <= 1 {
             let wm = self.metrics.as_ref().map(|m| m.worker(0));
+            let flight = spindle_obs::recorder::installed();
             let mut executed = 0u64;
             for (i, item) in items.into_iter().enumerate() {
-                reducer.push(i, f(i, item));
+                let t0 = Instant::now();
+                let out = f(i, item);
+                if let Some(rec) = &flight {
+                    record_task(rec, "run", i, t0, t0.elapsed());
+                }
+                reducer.push(i, out);
                 executed += 1;
             }
             if let Some(m) = &wm {
@@ -242,9 +256,17 @@ fn worker_loop<I, T, F>(
     F: Fn(usize, I) -> T + Sync,
 {
     let started = Instant::now();
+    let flight = spindle_obs::recorder::installed();
+    if flight.is_some() {
+        spindle_obs::recorder::set_thread_label(format!("worker{me}"));
+    }
     let mut busy = Duration::ZERO;
     let mut executed = 0u64;
     let mut stolen = 0u64;
+    // Open idle interval: set when this worker first fails to find a
+    // task, closed (and recorded) when the next task arrives or the
+    // worker exits.
+    let mut idle_since: Option<Instant> = None;
     loop {
         let (task, was_steal) = match pop_own(queues, me, metrics) {
             Some(t) => (Some(t), false),
@@ -254,24 +276,47 @@ fn worker_loop<I, T, F>(
             if all_empty(queues) {
                 break;
             }
+            if flight.is_some() && idle_since.is_none() {
+                idle_since = Some(Instant::now());
+            }
             // Lost a steal race while work remains elsewhere; rescan.
             std::thread::yield_now();
             continue;
         };
+        if let (Some(rec), Some(begin)) = (&flight, idle_since.take()) {
+            rec.wall_slice("idle", begin, begin.elapsed(), Vec::new());
+        }
         let t0 = Instant::now();
         let out = f(ord, item);
-        busy += t0.elapsed();
+        let dur = t0.elapsed();
+        busy += dur;
         executed += 1;
         if was_steal {
             stolen += 1;
+        }
+        if let Some(rec) = &flight {
+            record_task(rec, if was_steal { "steal" } else { "run" }, ord, t0, dur);
         }
         if tx.send((ord, out)).is_err() {
             break; // receiver gone: the map call is being abandoned
         }
     }
+    if let (Some(rec), Some(begin)) = (&flight, idle_since) {
+        rec.wall_slice("idle", begin, begin.elapsed(), Vec::new());
+    }
     if let Some(m) = metrics {
         m.settle(executed, stolen, started.elapsed().saturating_sub(busy));
     }
+}
+
+/// Records one executed task on the wall-clock timeline.
+fn record_task(rec: &Arc<FlightRecorder>, name: &str, ord: usize, begin: Instant, dur: Duration) {
+    rec.wall_slice(
+        name,
+        begin,
+        dur,
+        vec![("ordinal".to_owned(), Json::Uint(ord as u64))],
+    );
 }
 
 fn pop_own<I>(
@@ -393,5 +438,35 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_jobs_panics() {
         let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn workers_record_activity_to_an_installed_recorder() {
+        use spindle_obs::recorder;
+
+        let rec = Arc::new(FlightRecorder::new());
+        recorder::install(Arc::clone(&rec));
+        let out = Pool::new(3).map((0..64u64).collect(), |_, x| {
+            std::thread::sleep(Duration::from_micros(200));
+            x
+        });
+        // Sequential path records on the caller thread before uninstall.
+        let seq = Pool::sequential().map(vec![1u8, 2, 3], |_, x| x);
+        recorder::uninstall();
+        assert_eq!(out.len(), 64);
+        assert_eq!(seq, vec![1, 2, 3]);
+
+        let wall = rec.wall_slices();
+        assert!(
+            wall.iter()
+                .any(|w| w.name == "run" && w.thread.starts_with("worker")),
+            "expected worker run slices, got {} slices",
+            wall.len()
+        );
+        assert!(
+            wall.iter()
+                .any(|w| w.name == "run" && w.args.iter().any(|(k, _)| k == "ordinal")),
+            "run slices carry the task ordinal"
+        );
     }
 }

@@ -134,6 +134,14 @@ impl EventLog {
         self.ring.lock().expect("event ring not poisoned").recorded
     }
 
+    /// Events the ring has overwritten (recorded − retained). A
+    /// non-zero value means the retained snapshot is a truncated view
+    /// of the run; exporters surface it as `events.dropped`.
+    pub fn dropped(&self) -> u64 {
+        let ring = self.ring.lock().expect("event ring not poisoned");
+        ring.recorded - ring.buf.len() as u64
+    }
+
     /// The retained events, oldest first.
     pub fn snapshot(&self) -> Vec<Event> {
         let ring = self.ring.lock().expect("event ring not poisoned");
@@ -188,8 +196,18 @@ mod tests {
         }
         assert_eq!(log.len(), 4);
         assert_eq!(log.total_recorded(), 10);
+        assert_eq!(log.dropped(), 6);
         let times: Vec<u64> = log.snapshot().iter().map(|e| e.t_ns).collect();
         assert_eq!(times, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn dropped_is_zero_below_capacity() {
+        let log = EventLog::new(8);
+        for t in 0..5 {
+            log.push(ev(t));
+        }
+        assert_eq!(log.dropped(), 0);
     }
 
     #[test]

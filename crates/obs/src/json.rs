@@ -327,14 +327,24 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonParseError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar.
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| JsonParseError {
-                    at: *pos,
+                // Consume a maximal run of unescaped characters and
+                // validate it as UTF-8 in one go. (`"` and `\` never
+                // occur inside a multi-byte UTF-8 sequence, so byte
+                // scanning cannot split a scalar; validating from here
+                // to the end of the buffer per character would make
+                // parsing quadratic on large documents.)
+                let start = *pos;
+                while let Some(&c) = b.get(*pos) {
+                    if c == b'"' || c == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&b[start..*pos]).map_err(|_| JsonParseError {
+                    at: start,
                     reason: "invalid UTF-8",
                 })?;
-                let c = rest.chars().next().expect("non-empty checked above");
-                out.push(c);
-                *pos += c.len_utf8();
+                out.push_str(run);
             }
         }
     }
@@ -449,6 +459,39 @@ mod tests {
         let s = Json::Str("\u{0001}".into()).to_string();
         assert_eq!(s, "\"\\u0001\"");
         assert_eq!(parse(&s).unwrap(), Json::Str("\u{0001}".into()));
+    }
+
+    #[test]
+    fn hostile_strings_escape_and_roundtrip() {
+        // Every metric/track/span name is caller-controlled, so quotes,
+        // backslashes, and control characters must survive both as
+        // object keys and as values.
+        let hostile = [
+            "quote \" backslash \\",
+            "c:\\traces\\run.json",
+            "newline\nreturn\rtab\t",
+            "null byte \u{0000} and escape \u{001b}",
+            "already \\\"escaped\\\"",
+            "unicode outside ASCII: µs → 時間",
+        ];
+        for s in hostile {
+            let emitted = Json::Str(s.into()).to_string();
+            assert!(
+                !emitted[1..emitted.len() - 1].contains('\u{0000}'),
+                "raw control characters must not be emitted: {emitted:?}"
+            );
+            assert_eq!(parse(&emitted).unwrap(), Json::Str(s.into()), "value {s:?}");
+            let doc = Json::Obj(vec![(s.to_owned(), Json::Uint(1))]);
+            let back = parse(&doc.to_string()).unwrap();
+            assert_eq!(back, doc, "key {s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_output_contains_only_ascii_control_free_text() {
+        let emitted = Json::Str("\u{0007}bell \"x\" \\y".into()).to_string();
+        assert!(emitted.chars().all(|c| (c as u32) >= 0x20));
+        assert_eq!(emitted, "\"\\u0007bell \\\"x\\\" \\\\y\"");
     }
 
     #[test]

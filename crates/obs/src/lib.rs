@@ -21,6 +21,11 @@
 //! * [`json`] — a minimal JSON value, emitter, and parser used by the
 //!   JSON sink and its round-trip tests (the workspace pins no JSON
 //!   dependency, and the offline build registry has none to offer).
+//! * [`recorder`] — the [`FlightRecorder`]: full per-event capture of a
+//!   run on two correlated timelines (simulated time and wall-clock
+//!   time), attached only when a trace export is requested.
+//! * [`trace_event`] — Chrome trace-event JSON export of a recorder,
+//!   loadable in Perfetto / `chrome://tracing`.
 //!
 //! # Overhead guarantee
 //!
@@ -62,15 +67,19 @@ pub mod config;
 pub mod events;
 pub mod json;
 pub mod logger;
+pub mod recorder;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod trace_event;
 
 pub use config::ObsConfig;
 pub use events::{Event, EventKind, EventLog};
 pub use logger::LogLevel;
+pub use recorder::{FlightRecorder, SimSlice, WallSlice};
 pub use registry::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot, SpanStats,
 };
 pub use sink::{JsonSink, MetricsSink, TextSink};
 pub use span::ObsSpan;
+pub use trace_event::TraceEventSink;

@@ -48,7 +48,14 @@ impl<'a> ObsSpan<'a> {
     fn record(&mut self) {
         if !self.done {
             self.done = true;
-            self.registry.record_span(&self.name, self.start.elapsed());
+            let elapsed = self.start.elapsed();
+            self.registry.record_span(&self.name, elapsed);
+            // When a flight recorder is installed, every span also lands
+            // on the wall-clock timeline as a begin/end interval (the
+            // check is a relaxed atomic load when no recorder exists).
+            if let Some(rec) = crate::recorder::installed() {
+                rec.wall_slice(&self.name, self.start, elapsed, Vec::new());
+            }
         }
     }
 }
@@ -105,6 +112,22 @@ mod tests {
             let _t = time_scope!(&r, "loop");
         }
         assert_eq!(r.snapshot().span("loop").unwrap().count, 3);
+    }
+
+    #[test]
+    fn spans_report_to_an_installed_recorder() {
+        use crate::recorder;
+        use std::sync::Arc;
+
+        let rec = Arc::new(recorder::FlightRecorder::new());
+        recorder::install(Arc::clone(&rec));
+        let r = MetricsRegistry::new();
+        {
+            let _t = ObsSpan::new(&r, "recorded.span");
+        }
+        recorder::uninstall();
+        // Parallel tests may add their own spans; ours must be present.
+        assert!(rec.wall_slices().iter().any(|w| w.name == "recorded.span"));
     }
 
     #[test]

@@ -48,4 +48,22 @@ run cargo test $OFFLINE -q -p spindle-engine --test channel_stress
 # results with two workers.
 run env SPINDLE_JOBS=2 cargo test $OFFLINE --workspace -q
 
+# Observability smoke: the flight recorder, run report, and bench
+# record must actually come out of the shipped binaries, end to end.
+# Artifacts land in artifacts/ so CI can upload them.
+run cargo build $OFFLINE --release -p spindle-cli -p spindle-bench
+SPINDLE=target/release/spindle
+SMOKE=artifacts/smoke-trace.bin
+mkdir -p artifacts
+run "$SPINDLE" generate --env mail --span 60 --seed 7 --out "$SMOKE" --quiet
+run "$SPINDLE" simulate --in "$SMOKE" --trace-out artifacts/trace.json --quiet
+run "$SPINDLE" report --in "$SMOKE" --out artifacts/report.html --quiet
+run target/release/experiments --quick --record=artifacts/BENCH_pr3.json --quiet t1
+for artifact in artifacts/trace.json artifacts/report.html artifacts/BENCH_pr3.json; do
+    if [ ! -s "$artifact" ]; then
+        echo "FAILED: smoke artifact $artifact missing or empty" >&2
+        fail=1
+    fi
+done
+
 exit "$fail"
