@@ -15,6 +15,7 @@
 
 pub mod config;
 pub mod figures;
+pub mod journal;
 pub mod matrix;
 pub mod pipeline;
 pub mod record;

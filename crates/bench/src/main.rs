@@ -5,13 +5,16 @@
 //!
 //! ```text
 //! experiments [--quick] [--jobs N] [--metrics[=json|text]] [--record[=FILE]]
-//!             [--trace-out FILE] [--verbose|--quiet] [ids...]
+//!             [--trace-out FILE] [--faults SPEC] [--resume FILE]
+//!             [--verbose|--quiet] [ids...]
 //! experiments --quick t2 f5        # just T2 and F5, reduced scale
 //! experiments                      # everything at paper scale
 //! experiments --jobs 8             # fan the matrix across 8 workers
 //! experiments --metrics=json t1    # T1 plus a JSON metrics dump on stderr
 //! experiments --record t1 t2      # also write BENCH_pr3.json
 //! experiments --trace-out t.json  # export a Chrome trace-event timeline
+//! experiments --faults panic@3    # quarantine the 4th experiment
+//! experiments --resume run.jsonl  # journal completions; resume a killed run
 //! ```
 //!
 //! The accepted ids in the usage line are derived from the experiment
@@ -21,20 +24,35 @@
 //! experiment is a pure function of the config, and outputs are merged
 //! back in table order, so the report is byte-identical for every
 //! `--jobs` value (`--jobs 1` runs inline on the main thread).
+//!
+//! A panicking experiment — its own bug or an injected `--faults`
+//! panic — is quarantined rather than aborting the run: every other
+//! experiment completes, the failure is reported on stderr, and the
+//! exit status is 1. With `--resume FILE`, completions are journaled
+//! (fsync'd JSON lines) as the matrix drains; re-running with the same
+//! file replays finished experiments from the journal and executes
+//! only the incomplete or failed ones, producing byte-identical
+//! stdout to an uninterrupted run.
 
+use spindle_bench::journal::{Journal, JournalEntry};
 use spindle_bench::{matrix, pipeline, record, BenchRecord, BenchReport, ExpConfig};
 use spindle_engine::{Pool, PoolMetrics};
 use spindle_obs::sink::{JsonSink, MetricsSink, TextSink};
 use spindle_obs::{progress, FlightRecorder, LogLevel, ObsConfig, TraceEventSink};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Default destination of `--record` (the PR-over-PR perf trajectory
 /// file tracked at the repository root).
 const RECORD_DEFAULT: &str = "BENCH_pr3.json";
 
+/// Exit status of a run killed by an injected `kill@N` fault, chosen
+/// to look like SIGKILL so resume tests exercise the real path.
+const KILL_STATUS: i32 = 137;
+
 fn usage() -> String {
     format!
-        ("usage: experiments [--quick] [--jobs N] [--metrics[=json|text]] [--record[=FILE]] [--trace-out FILE] [--verbose|--quiet] [{}]",
+        ("usage: experiments [--quick] [--jobs N] [--metrics[=json|text]] [--record[=FILE]] [--trace-out FILE] [--faults SPEC] [--resume FILE] [--verbose|--quiet] [{}]",
         matrix::id_ranges()
     )
 }
@@ -51,6 +69,8 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut record_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut faults_spec: Option<String> = None;
+    let mut resume: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +90,24 @@ fn main() {
             }
             other if other.starts_with("--trace-out=") => {
                 trace_out = Some(other["--trace-out=".len()..].to_owned());
+            }
+            "--faults" => {
+                let Some(v) = args.next() else {
+                    bad_usage("--faults needs a value");
+                };
+                faults_spec = Some(v);
+            }
+            other if other.starts_with("--faults=") => {
+                faults_spec = Some(other["--faults=".len()..].to_owned());
+            }
+            "--resume" => {
+                let Some(v) = args.next() else {
+                    bad_usage("--resume needs a value");
+                };
+                resume = Some(v);
+            }
+            other if other.starts_with("--resume=") => {
+                resume = Some(other["--resume=".len()..].to_owned());
             }
             "--verbose" => spindle_obs::logger::set_level(LogLevel::Verbose),
             "--quiet" => spindle_obs::logger::set_level(LogLevel::Quiet),
@@ -102,6 +140,22 @@ fn main() {
     // Inner parallel loops (family generation) size their default pools
     // from this variable, so one flag governs the whole process.
     std::env::set_var(spindle_engine::JOBS_ENV, jobs.to_string());
+    // The fault plan: an explicit --faults wins over the environment.
+    let plan = match faults_spec {
+        Some(spec) => match spindle_harden::FaultPlan::parse(&spec) {
+            Ok(p) => Some(p),
+            Err(e) => bad_usage(&format!("bad value for --faults: {e}")),
+        },
+        None => match spindle_harden::plan_from_env() {
+            Ok(p) => p,
+            Err(e) => bad_usage(&format!("bad {}: {e}", spindle_harden::FAULTS_ENV)),
+        },
+    };
+    let plan = plan.map(Arc::new);
+    if let Some(p) = &plan {
+        spindle_harden::install(Arc::clone(p));
+        progress!("# fault plan: {}", p.spec());
+    }
     // A trace wants the event ring mirrored onto the timeline, so it
     // claims the (first-call-wins) global config before `--metrics`.
     let recorder = trace_out.as_ref().map(|_| {
@@ -124,6 +178,39 @@ fn main() {
     } else {
         ExpConfig::full()
     };
+    // Resume: replay completed experiments from the journal; only
+    // incomplete or failed ones execute in this process.
+    let mut journal: Option<Journal> = None;
+    let mut replayed: HashMap<String, JournalEntry> = HashMap::new();
+    if let Some(path) = &resume {
+        match Journal::open_resume(path, quick, cfg.seed) {
+            Ok((j, entries)) => {
+                journal = Some(j);
+                replayed = entries
+                    .into_iter()
+                    .filter(|e| e.ok)
+                    .map(|e| (e.id.clone(), e))
+                    .collect();
+            }
+            Err(e) => {
+                eprintln!("# cannot resume: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let todo: Vec<String> = ids
+        .iter()
+        .filter(|id| !replayed.contains_key(*id))
+        .cloned()
+        .collect();
+    if !replayed.is_empty() {
+        progress!(
+            "# resume: {} of {} experiments already journaled, running {}",
+            ids.len() - todo.len(),
+            ids.len(),
+            todo.len()
+        );
+    }
     progress!(
         "# config: seed={} ms_span={}s hour_weeks={} family_drives={} jobs={}",
         cfg.seed,
@@ -138,26 +225,98 @@ fn main() {
     }
     let matrix_start = std::time::Instant::now();
     let mut failed = false;
-    let mut records = Vec::new();
-    for res in matrix::run_matrix(&ids, &cfg, &pool) {
-        records.push(BenchRecord {
+    let mut outcome = matrix::run_matrix_isolated(&todo, &cfg, &pool, |res| {
+        let Some(j) = journal.as_mut() else { return };
+        let entry = JournalEntry {
             id: res.id.clone(),
-            secs: res.secs,
             ok: res.output.is_ok(),
-        });
-        match res.output {
-            Ok(output) => {
-                println!("{output}");
-                progress!("# {} done in {:.2}s", res.id, res.secs);
-            }
-            Err(e) => {
-                // Failures stay visible even under --quiet.
-                eprintln!("# {} FAILED: {e}", res.id);
-                failed = true;
+            secs: res.secs,
+            output: match &res.output {
+                Ok(out) => out.clone(),
+                Err(e) => e.to_string(),
+            },
+        };
+        if let Err(e) = j.append(&entry) {
+            // A dead journal must not kill the run; it just cannot be
+            // resumed past this point.
+            eprintln!("# {e}");
+        } else if plan.as_ref().is_some_and(|p| p.kill_after(j.records() - 1)) {
+            // Injected kill: simulate dying right after this record
+            // reached the disk.
+            eprintln!("# injected fault: killed after journaling {}", entry.id);
+            std::process::exit(KILL_STATUS);
+        }
+    });
+    // Quarantined experiments are journaled as failures so a resumed
+    // run retries them.
+    if let Some(j) = journal.as_mut() {
+        for fail in &outcome.failures {
+            let entry = JournalEntry {
+                id: todo[fail.ordinal].clone(),
+                ok: false,
+                secs: 0.0,
+                output: fail.payload.clone(),
+            };
+            if let Err(e) = j.append(&entry) {
+                eprintln!("# {e}");
             }
         }
     }
     let total_secs = matrix_start.elapsed().as_secs_f64();
+    let quarantined: HashMap<String, String> = outcome
+        .failures
+        .drain(..)
+        .map(|f| (todo[f.ordinal].clone(), f.to_string()))
+        .collect();
+    let mut fresh: HashMap<String, matrix::MatrixResult> = outcome
+        .results
+        .drain(..)
+        .map(|r| (r.id.clone(), r))
+        .collect();
+    let mut records = Vec::new();
+    for id in &ids {
+        if let Some(entry) = replayed.remove(id) {
+            records.push(BenchRecord {
+                id: entry.id,
+                secs: entry.secs,
+                ok: true,
+            });
+            println!("{}", entry.output);
+            progress!("# {id} replayed from journal ({:.2}s original)", entry.secs);
+        } else if let Some(res) = fresh.remove(id) {
+            records.push(BenchRecord {
+                id: res.id.clone(),
+                secs: res.secs,
+                ok: res.output.is_ok(),
+            });
+            match res.output {
+                Ok(output) => {
+                    println!("{output}");
+                    progress!("# {} done in {:.2}s", res.id, res.secs);
+                }
+                Err(e) => {
+                    // Failures stay visible even under --quiet.
+                    eprintln!("# {} FAILED: {e}", res.id);
+                    failed = true;
+                }
+            }
+        } else if let Some(failure) = quarantined.get(id) {
+            records.push(BenchRecord {
+                id: id.clone(),
+                secs: 0.0,
+                ok: false,
+            });
+            eprintln!("# {id} FAILED: {failure}");
+            failed = true;
+        }
+    }
+    let total_failures = records.iter().filter(|r| !r.ok).count();
+    if total_failures > 0 {
+        eprintln!(
+            "# {total_failures} of {} experiments failed; surviving output is complete",
+            records.len()
+        );
+    }
     if let Some(path) = record_out {
         let report = BenchReport {
             jobs,

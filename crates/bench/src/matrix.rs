@@ -8,7 +8,7 @@
 //! report is bit-identical for every `--jobs` value.
 
 use crate::{figures, tables, ExpConfig, Result};
-use spindle_engine::Pool;
+use spindle_engine::{Pool, Reduce, RunOutcome, ShardFailure};
 
 /// An experiment adapter: renders one table or figure to a string.
 pub type ExpFn = fn(&ExpConfig) -> Result<String>;
@@ -68,6 +68,7 @@ pub fn run_one(id: &str, cfg: &ExpConfig) -> Result<String> {
 
 /// One finished experiment: its id, rendered output (or error), and
 /// wall-clock time in seconds.
+#[derive(Debug)]
 pub struct MatrixResult {
     /// The experiment id.
     pub id: String,
@@ -93,6 +94,79 @@ pub fn run_matrix(ids: &[String], cfg: &ExpConfig, pool: &Pool) -> Vec<MatrixRes
             secs: start.elapsed().as_secs_f64(),
         }
     })
+}
+
+/// The result of a panic-isolated matrix run: every surviving
+/// experiment in request order, plus one [`ShardFailure`] per
+/// quarantined (panicked) experiment. A failure's `ordinal` indexes
+/// the `ids` slice the matrix was launched with.
+#[derive(Debug)]
+pub struct MatrixOutcome {
+    /// Surviving experiments, in request order (gaps at failures).
+    pub results: Vec<MatrixResult>,
+    /// Experiments whose task panicked, in ordinal order.
+    pub failures: Vec<ShardFailure>,
+}
+
+/// Reducer that hands each surviving result to a callback the moment
+/// the ordered drain reaches it, then keeps it for the outcome.
+struct NotifyCollect<F: FnMut(&MatrixResult)> {
+    out: Vec<MatrixResult>,
+    on_done: F,
+}
+
+impl<F: FnMut(&MatrixResult)> Reduce for NotifyCollect<F> {
+    type Item = MatrixResult;
+    type Output = Vec<MatrixResult>;
+
+    fn push(&mut self, _ordinal: usize, item: MatrixResult) {
+        (self.on_done)(&item);
+        self.out.push(item);
+    }
+
+    fn finish(self) -> Vec<MatrixResult> {
+        self.out
+    }
+}
+
+/// Panic-isolated [`run_matrix`]: a panicking experiment (whether its
+/// own bug or an injected fault from
+/// [`spindle_harden::FaultPlan`](spindle_harden)) is quarantined while
+/// every other experiment completes, and `on_done` observes each
+/// surviving result in request order as the matrix drains — the hook
+/// the `--resume` journal hangs off, so completion records hit disk
+/// before the run finishes.
+///
+/// Surviving results are byte-identical to a fault-free run of the
+/// same ids at any `--jobs` value.
+pub fn run_matrix_isolated(
+    ids: &[String],
+    cfg: &ExpConfig,
+    pool: &Pool,
+    on_done: impl FnMut(&MatrixResult),
+) -> MatrixOutcome {
+    let reducer = NotifyCollect {
+        out: Vec::with_capacity(ids.len()),
+        on_done,
+    };
+    let RunOutcome { output, failures } = pool.try_map_reduce(
+        ids.to_vec(),
+        |ordinal, id| {
+            spindle_harden::maybe_task_panic(ordinal);
+            let start = std::time::Instant::now();
+            let output = run_one(&id, cfg);
+            MatrixResult {
+                id,
+                output,
+                secs: start.elapsed().as_secs_f64(),
+            }
+        },
+        reducer,
+    );
+    MatrixOutcome {
+        results: output,
+        failures,
+    }
 }
 
 /// Renders the id list by collapsing consecutive runs sharing an
@@ -135,6 +209,31 @@ mod tests {
     fn unknown_id_is_an_error() {
         let cfg = ExpConfig::quick();
         assert!(run_one("t99", &cfg).is_err());
+    }
+
+    #[test]
+    fn isolated_matrix_quarantines_injected_panics() {
+        let mut cfg = ExpConfig::quick();
+        cfg.ms_span_secs = 30.0;
+        cfg.family_drives = 6;
+        cfg.hour_weeks = 1;
+        let ids: Vec<String> = ["t2", "t1"].iter().map(|s| (*s).to_owned()).collect();
+
+        let plan = spindle_harden::FaultPlan::parse("panic@0").unwrap();
+        spindle_harden::install(std::sync::Arc::new(plan));
+        let mut seen = Vec::new();
+        let outcome = run_matrix_isolated(&ids, &cfg, &Pool::new(2), |r| seen.push(r.id.clone()));
+        spindle_harden::uninstall();
+
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].ordinal, 0);
+        assert!(outcome.failures[0].payload.contains("injected fault"));
+        assert_eq!(outcome.results.len(), 1);
+        assert_eq!(outcome.results[0].id, "t1");
+        assert_eq!(seen, vec!["t1".to_owned()], "on_done sees survivors");
+        // The surviving output is identical to a fault-free run.
+        let clean = run_one("t1", &cfg).unwrap();
+        assert_eq!(outcome.results[0].output.as_ref().unwrap(), &clean);
     }
 
     #[test]

@@ -10,12 +10,13 @@ use spindle_disk::obs::SimObserver;
 use spindle_disk::profile::DriveProfile;
 use spindle_disk::scheduler::SchedulerKind;
 use spindle_disk::sim::{DiskSim, SimConfig, SimResult};
+use spindle_harden::io::FaultyReader;
 use spindle_obs::sink::{JsonSink, MetricsSink, TextSink};
 use spindle_obs::{progress, FlightRecorder, LogLevel, ObsConfig, ObsSpan, TraceEventSink};
 use spindle_synth::family::FamilySpec;
 use spindle_synth::hourgen::{HourSeriesSpec, WEEK_HOURS};
 use spindle_synth::presets::parse_environment;
-use spindle_trace::{binary, csv, text, Request};
+use spindle_trace::{binary, csv, text, Request, SkipReport};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,6 +27,10 @@ pub(crate) type CmdResult = Result<(), Box<dyn std::error::Error>>;
 /// Set while a `--metrics` invocation is in flight so the simulation
 /// helpers attach observers against the global registry.
 static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Set while a `--lenient` invocation is in flight so the trace
+/// readers skip malformed records instead of failing.
+static LENIENT_ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// The `--trace-out` destination of the invocation in flight, so the
 /// `report` subcommand can link the timeline it is being exported next
@@ -65,6 +70,14 @@ Global options (accepted before or after any command):
   --trace-out FILE       record the run in a flight recorder and export
                          it as Chrome trace-event JSON (open the file in
                          Perfetto or chrome://tracing)
+  --lenient              skip malformed trace records instead of failing;
+                         skips are counted (trace.records_skipped) and a
+                         bounded sample of line numbers is reported
+  --faults SPEC          inject deterministic faults (testing); SPEC is
+                         comma-separated KIND@SITE tokens, e.g.
+                         io@4096,short@8192,media@3,timeout@5, or seeded
+                         scatter like seed@7,media%2/100 (also read from
+                         the SPINDLE_FAULTS environment variable)
   --verbose              include detail messages on stderr
   --quiet                suppress progress messages on stderr
 
@@ -90,6 +103,10 @@ struct ObsArgs {
     level: Option<LogLevel>,
     /// Worker count for parallel stages (`--jobs N`).
     jobs: Option<usize>,
+    /// Deterministic fault-injection spec (`--faults SPEC`).
+    faults: Option<String>,
+    /// Skip malformed trace records instead of failing (`--lenient`).
+    lenient: bool,
 }
 
 fn extract_obs_args(argv: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
@@ -124,6 +141,16 @@ fn extract_obs_args(argv: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
             s if s.starts_with("--trace-out=") => {
                 obs.trace = Some(s["--trace-out=".len()..].to_owned());
             }
+            "--faults" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "option --faults needs a value".to_owned())?;
+                obs.faults = Some(value.clone());
+            }
+            s if s.starts_with("--faults=") => {
+                obs.faults = Some(s["--faults=".len()..].to_owned());
+            }
+            "--lenient" => obs.lenient = true,
             "--verbose" => obs.level = Some(LogLevel::Verbose),
             "--quiet" => obs.level = Some(LogLevel::Quiet),
             "--jobs" => {
@@ -205,6 +232,24 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
     if obs.metrics.is_some() {
         METRICS_ENABLED.store(true, Ordering::Relaxed);
     }
+    if obs.lenient {
+        LENIENT_ENABLED.store(true, Ordering::Relaxed);
+    }
+    // The fault plan for this invocation: an explicit --faults wins
+    // over the SPINDLE_FAULTS environment variable.
+    let fault_plan = match &obs.faults {
+        Some(spec) => Some(
+            spindle_harden::FaultPlan::parse(spec)
+                .map_err(|e| format!("bad value for --faults: {e}"))?,
+        ),
+        None => spindle_harden::plan_from_env()
+            .map_err(|e| format!("bad {}: {e}", spindle_harden::FAULTS_ENV))?,
+    };
+    let faults_installed = fault_plan.is_some();
+    if let Some(plan) = fault_plan {
+        progress!("fault plan: {}", plan.spec());
+        spindle_harden::install(Arc::new(plan));
+    }
     // A requested trace installs a flight recorder for the whole
     // invocation: spans and pool workers report wall-clock slices, and
     // the simulation helpers attach sim-time instrumentation.
@@ -228,6 +273,12 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
     if recorder.is_some() {
         spindle_obs::recorder::uninstall();
         *TRACE_PATH.lock().expect("trace path lock") = None;
+    }
+    if faults_installed {
+        spindle_harden::uninstall();
+    }
+    if obs.lenient {
+        LENIENT_ENABLED.store(false, Ordering::Relaxed);
     }
     result
 }
@@ -263,16 +314,46 @@ fn profile_by_name(name: &str) -> Result<DriveProfile, String> {
         })
 }
 
+/// Publishes a non-empty [`SkipReport`] to the metrics registry and
+/// the progress stream so lenient parsing is never silent.
+fn publish_skips(skips: &SkipReport, path: &str) {
+    if skips.is_empty() {
+        return;
+    }
+    let registry = spindle_obs::global();
+    registry.counter("trace.records_skipped").add(skips.skipped);
+    registry
+        .counter("harden.records_skipped")
+        .add(skips.skipped);
+    progress!("lenient: {skips} in {path}");
+}
+
 pub(crate) fn read_trace(path: &str) -> Result<Vec<Request>, Box<dyn std::error::Error>> {
     let _span = ObsSpan::new(spindle_obs::global(), "cli.read_trace");
-    let file = File::open(path)?;
-    let requests = if path.ends_with(".bin") {
-        binary::read_requests(BufReader::new(file))?
+    let lenient = LENIENT_ENABLED.load(Ordering::Relaxed);
+    // The fault wrapper is a pass-through unless an installed plan
+    // carries io@/short@ sites.
+    let file = FaultyReader::from_installed(File::open(path)?);
+    let (requests, skips) = if path.ends_with(".bin") {
+        // The binary codec has no record-level recovery: a damaged
+        // length prefix poisons everything after it.
+        (binary::read_requests(BufReader::new(file))?, None)
     } else if path.ends_with(".csv") {
-        csv::read_msr_requests(file)?
+        if lenient {
+            let (requests, skips) = csv::read_msr_requests_lenient(file)?;
+            (requests, Some(skips))
+        } else {
+            (csv::read_msr_requests(file)?, None)
+        }
+    } else if lenient {
+        let (requests, skips) = text::read_requests_lenient(BufReader::new(file))?;
+        (requests, Some(skips))
     } else {
-        text::read_requests(BufReader::new(file))?
+        (text::read_requests(BufReader::new(file))?, None)
     };
+    if let Some(skips) = skips {
+        publish_skips(&skips, path);
+    }
     spindle_obs::detail!("read {} requests from {path}", requests.len());
     Ok(requests)
 }
@@ -324,6 +405,12 @@ fn build_sim(opts: &Options) -> Result<DiskSim, Box<dyn std::error::Error>> {
         flush_at_end: true,
     };
     let mut sim = DiskSim::new(profile, cfg);
+    if let Some(plan) = spindle_harden::installed() {
+        sim.inject_faults(spindle_disk::sim::SimFaults {
+            media_errors: plan.media_errors().clone(),
+            timeouts: plan.timeouts().clone(),
+        });
+    }
     let flight = spindle_obs::recorder::installed();
     if METRICS_ENABLED.load(Ordering::Relaxed) || flight.is_some() {
         // A trace export wants the event ring mirrored onto the
@@ -360,29 +447,39 @@ fn run_simulation_streamed(
 ) -> Result<SimResult, Box<dyn std::error::Error>> {
     let mut sim = build_sim(opts)?;
     let _span = ObsSpan::new(spindle_obs::global(), "cli.simulate");
-    let file = File::open(path)?;
+    let lenient = LENIENT_ENABLED.load(Ordering::Relaxed);
+    let file = FaultyReader::from_installed(File::open(path)?);
     let (tx, rx) = spindle_engine::channel::bounded::<Request>(1024);
     let (sim_result, parse_result) = std::thread::scope(|s| {
-        let reader = s.spawn(move || -> Result<u64, spindle_trace::TraceError> {
-            let mut fed = 0u64;
-            for item in csv::MsrReader::new(file).requests() {
-                // A send failure means the simulator stopped consuming
-                // (it hit an error); its result carries the reason.
-                if tx.send(item?).is_err() {
-                    break;
+        let reader = s.spawn(
+            move || -> Result<(u64, SkipReport), spindle_trace::TraceError> {
+                let mut fed = 0u64;
+                let mut reader = csv::MsrReader::new(file);
+                if lenient {
+                    reader = reader.lenient();
                 }
-                fed += 1;
-            }
-            Ok(fed)
-        });
+                let mut it = reader.requests();
+                for item in it.by_ref() {
+                    // A send failure means the simulator stopped
+                    // consuming (it hit an error); its result carries
+                    // the reason.
+                    if tx.send(item?).is_err() {
+                        break;
+                    }
+                    fed += 1;
+                }
+                Ok((fed, it.skip_report().clone()))
+            },
+        );
         let sim_result = sim.run_stream(rx.iter());
         // Unblock a producer stuck on a full channel before joining.
         drop(rx);
         let parse_result = reader.join().expect("trace reader thread does not panic");
         (sim_result, parse_result)
     });
-    let fed = parse_result?; // a malformed row explains any sim error
+    let (fed, skips) = parse_result?; // a malformed row explains any sim error
     let result = sim_result?;
+    publish_skips(&skips, path);
     spindle_obs::detail!("streamed {fed} requests from {path}");
     Ok(result)
 }
@@ -398,7 +495,7 @@ fn simulate(opts: &Options) -> CmdResult {
         run_simulation(opts, &requests)?
     };
     let mut t = Table::new("simulation summary", &["metric", "value"]);
-    let rows: Vec<(&str, String)> = vec![
+    let mut rows: Vec<(&str, String)> = vec![
         ("requests", result.completed.len().to_string()),
         ("span (s)", cell(result.busy.span_ns() as f64 / 1e9, 1)),
         ("utilization", cell(result.utilization(), 4)),
@@ -413,6 +510,14 @@ fn simulate(opts: &Options) -> CmdResult {
         ("writes forced", result.writes_forced.to_string()),
         ("destages", result.destages.to_string()),
     ];
+    // Injected-fault counters appear only when faults actually fired,
+    // so fault-free output is unchanged.
+    if result.media_errors > 0 {
+        rows.push(("media errors (injected)", result.media_errors.to_string()));
+    }
+    if result.timeouts > 0 {
+        rows.push(("timeouts (injected)", result.timeouts.to_string()));
+    }
     for (k, v) in rows {
         t.push_row(vec![k.to_owned(), v]);
     }
@@ -800,6 +905,85 @@ mod tests {
         dispatch(&argv(&["simulate", "--in", trace.to_str().unwrap()])).unwrap();
         // The same file also reads back as a batch for analyze.
         dispatch(&argv(&["analyze", "--in", trace.to_str().unwrap()])).unwrap();
+    }
+
+    #[test]
+    fn faults_and_lenient_flags_are_peeled() {
+        let (obs, rest) = extract_obs_args(&argv(&[
+            "simulate",
+            "--faults",
+            "io@64",
+            "--lenient",
+            "--in",
+            "x",
+        ]))
+        .unwrap();
+        assert_eq!(obs.faults.as_deref(), Some("io@64"));
+        assert!(obs.lenient);
+        assert_eq!(rest, argv(&["simulate", "--in", "x"]));
+        let (obs, _) = extract_obs_args(&argv(&["--faults=short@10"])).unwrap();
+        assert_eq!(obs.faults.as_deref(), Some("short@10"));
+        assert!(extract_obs_args(&argv(&["--faults"])).is_err());
+        // A malformed spec is rejected at dispatch with a clear message.
+        let err = dispatch(&argv(&["help", "--faults", "bogus@x"])).unwrap_err();
+        assert!(err.to_string().contains("--faults"), "{err}");
+    }
+
+    #[test]
+    fn lenient_mode_skips_damage_strict_mode_rejects_it() {
+        let dir = std::env::temp_dir().join("spindle-cli-lenient");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("damaged.txt");
+        let body = "1000000,0,R,2048,16\nnot,a,request,line,?\n2000000,0,W,4096,8\n";
+        std::fs::write(&trace, body).unwrap();
+        let path = trace.to_str().unwrap();
+        // Strict (default): the damaged line fails the command.
+        let err = dispatch(&argv(&["simulate", "--in", path])).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        // Lenient: the damage is skipped and the simulation completes.
+        dispatch(&argv(&["simulate", "--in", path, "--lenient"])).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_reader_faults_surface_the_byte_offset() {
+        let dir = std::env::temp_dir().join("spindle-cli-faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("clean.txt");
+        dispatch(&argv(&[
+            "generate",
+            "--env",
+            "mail",
+            "--span",
+            "120",
+            "--seed",
+            "3",
+            "--out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let path = trace.to_str().unwrap();
+        assert!(
+            std::fs::metadata(path).unwrap().len() > 128,
+            "trace must extend past the fault sites"
+        );
+        // An injected I/O error at byte 64 kills the read and names
+        // the offset.
+        let err = dispatch(&argv(&["simulate", "--in", path, "--faults", "io@64"])).unwrap_err();
+        assert!(err.to_string().contains("byte 64"), "{err}");
+        // A short read at byte 0 is an empty trace.
+        let err = dispatch(&argv(&["simulate", "--in", path, "--faults", "short@0"])).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+        // Disk faults perturb timing only: the command still succeeds.
+        dispatch(&argv(&[
+            "simulate",
+            "--in",
+            path,
+            "--faults",
+            "media@0,timeout@1",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

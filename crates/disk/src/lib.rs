@@ -14,7 +14,8 @@
 //!   to the idle structure).
 //! * [`scheduler`] — FCFS, SSTF, LOOK, and SPTF queue disciplines.
 //! * [`sim`] — the event-driven engine producing per-request response
-//!   times and the busy-period log.
+//!   times and the busy-period log, with deterministic media-error and
+//!   command-timeout fault injection ([`sim::SimFaults`]).
 //! * [`busy`] — busy/idle timeline post-processing (idle intervals,
 //!   windowed utilization series).
 //! * [`profile`] — parameter presets for enterprise drives of the paper's

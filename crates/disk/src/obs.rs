@@ -19,6 +19,8 @@
 //! | `disk.destages`            | counter   | idle-time destage operations             |
 //! | `disk.seeks`               | counter   | mechanical service operations (each one  |
 //! |                            |           | repositions the head)                    |
+//! | `disk.media_errors`        | counter   | injected media errors (retried next rev) |
+//! | `disk.timeouts`            | counter   | injected command timeouts (retried)      |
 //! | `disk.response_us`         | histogram | host-visible response time (µs)          |
 //! | `disk.queue_depth`         | histogram | queue length at each dispatch            |
 //! | `events.dropped`           | gauge     | event-ring entries overwritten (only     |
@@ -60,6 +62,8 @@ pub struct SimObserver {
     pub(crate) writes_forced: Counter,
     pub(crate) destages: Counter,
     pub(crate) seeks: Counter,
+    pub(crate) media_errors: Counter,
+    pub(crate) timeouts: Counter,
     pub(crate) response_us: Histogram,
     pub(crate) queue_depth: Histogram,
     pub(crate) events: Option<Arc<EventLog>>,
@@ -83,6 +87,8 @@ impl SimObserver {
             writes_forced: registry.counter("disk.writes_forced"),
             destages: registry.counter("disk.destages"),
             seeks: registry.counter("disk.seeks"),
+            media_errors: registry.counter("disk.media_errors"),
+            timeouts: registry.counter("disk.timeouts"),
             response_us: registry.histogram("disk.response_us"),
             queue_depth: registry.histogram("disk.queue_depth"),
             events,

@@ -17,6 +17,41 @@ use crate::scheduler::{QueuedRequest, SchedulerKind, SchedulerPolicy};
 use crate::{DiskError, Result};
 use spindle_obs::EventKind;
 use spindle_trace::{OpKind, Request};
+use std::collections::BTreeSet;
+
+/// Service-time penalty for an injected command timeout: the command
+/// stalls for this long before the (successful) retry is serviced.
+/// Modeled on the half-second command deadline drive firmware of the
+/// paper's era used before falling back to a retry.
+pub const TIMEOUT_PENALTY_NS: u64 = 500_000_000;
+
+/// Deterministic fault sites for one simulation run, keyed by the
+/// request's position in the stream (the same id the event log and
+/// timeline slices carry).
+///
+/// Injected via [`DiskSim::inject_faults`]; an empty set of faults is
+/// the (free) default. Faults only perturb *timing* — every request
+/// still completes, which mirrors how drives recover from transient
+/// media errors and timeouts with retries rather than hard failures.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimFaults {
+    /// Requests whose mechanical transfer hits an unreadable sector
+    /// and retries on the next revolution. A request satisfied from
+    /// the cache never touches the medium, so the fault is inert for
+    /// cache hits.
+    pub media_errors: BTreeSet<u64>,
+    /// Requests whose command stalls for [`TIMEOUT_PENALTY_NS`] before
+    /// service begins.
+    pub timeouts: BTreeSet<u64>,
+}
+
+impl SimFaults {
+    /// True when no faults are injected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.media_errors.is_empty() && self.timeouts.is_empty()
+    }
+}
 
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +123,11 @@ pub struct SimResult {
     pub writes_forced: u64,
     /// Background destage operations performed.
     pub destages: u64,
+    /// Injected media errors that actually fired (a media fault on a
+    /// cache hit is inert).
+    pub media_errors: u64,
+    /// Injected command timeouts that fired.
+    pub timeouts: u64,
 }
 
 impl SimResult {
@@ -134,6 +174,7 @@ pub struct DiskSim {
     controller_overhead_ns: f64,
     flush_at_end: bool,
     obs: Option<SimObserver>,
+    faults: Option<SimFaults>,
 }
 
 impl DiskSim {
@@ -156,6 +197,7 @@ impl DiskSim {
             controller_overhead_ns: profile.controller_overhead_ns as f64,
             flush_at_end: config.flush_at_end,
             obs: None,
+            faults: None,
         }
     }
 
@@ -180,6 +222,7 @@ impl DiskSim {
             controller_overhead_ns: controller_overhead_ns as f64,
             flush_at_end,
             obs: None,
+            faults: None,
         })
     }
 
@@ -198,6 +241,16 @@ impl DiskSim {
     /// The attached observer, if any.
     pub fn observer(&self) -> Option<&SimObserver> {
         self.obs.as_ref()
+    }
+
+    /// Injects deterministic media-error and timeout faults into
+    /// subsequent runs; an empty `faults` clears injection.
+    pub fn inject_faults(&mut self, faults: SimFaults) {
+        self.faults = if faults.is_empty() {
+            None
+        } else {
+            Some(faults)
+        };
     }
 
     /// Runs the simulation over a time-sorted request stream.
@@ -269,6 +322,8 @@ impl DiskSim {
         let mut writes_cached = 0u64;
         let mut writes_forced = 0u64;
         let mut destages = 0u64;
+        let mut media_errors = 0u64;
+        let mut timeouts = 0u64;
         let idle_delay = self.cache.config().idle_destage_delay_ns as f64;
 
         loop {
@@ -371,8 +426,40 @@ impl DiskSim {
             let r = pending.remove(idx);
             debug_assert_eq!(r.arrival_ns, q.arrival_ns, "queue/pending out of sync");
             let start = now;
-            let (service_ns, busy_extra_ns, cache_hit) = self.service(&r, head_track, now)?;
-            let complete = start + self.controller_overhead_ns + service_ns;
+            // Injected command timeout: the command stalls, then the
+            // retry services normally starting at the delayed instant
+            // (rotational position is evaluated there).
+            let timeout_fault = self
+                .faults
+                .as_ref()
+                .is_some_and(|fl| fl.timeouts.contains(&q.id));
+            let timeout_ns = if timeout_fault {
+                TIMEOUT_PENALTY_NS as f64
+            } else {
+                0.0
+            };
+            let (service_ns, busy_extra_ns, cache_hit) =
+                self.service(&r, head_track, now + timeout_ns)?;
+            // Injected media error: the transfer fails on the medium
+            // and succeeds one full revolution later. Cache hits never
+            // touch the medium, so the fault is inert for them.
+            let media_fault = !cache_hit
+                && self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|fl| fl.media_errors.contains(&q.id));
+            let media_ns = if media_fault {
+                self.mechanics.rotation_ns()
+            } else {
+                0.0
+            };
+            if timeout_fault {
+                timeouts += 1;
+            }
+            if media_fault {
+                media_errors += 1;
+            }
+            let complete = start + self.controller_overhead_ns + timeout_ns + service_ns + media_ns;
             let busy_end = complete + busy_extra_ns;
             busy.push(start.round() as u64, busy_end.round() as u64)?;
             if !cache_hit {
@@ -393,6 +480,18 @@ impl DiskSim {
             }
             if let Some(o) = &self.obs {
                 o.event(start.round() as u64, EventKind::RequestDispatch, q.id);
+                if timeout_fault {
+                    o.timeouts.inc();
+                    o.event(start.round() as u64, EventKind::Timeout, q.id);
+                }
+                if media_fault {
+                    o.media_errors.inc();
+                    o.event(
+                        (complete - media_ns).round() as u64,
+                        EventKind::MediaError,
+                        q.id,
+                    );
+                }
                 match (r.op, cache_hit) {
                     (OpKind::Read, true) => o.read_hits.inc(),
                     (OpKind::Read, false) => o.read_misses.inc(),
@@ -421,6 +520,24 @@ impl DiskSim {
                     };
                     let start_ns = start.round() as u64;
                     let id_arg = ("id".to_owned(), Json::Uint(q.id));
+                    if timeout_fault {
+                        o.sim_slice(
+                            crate::obs::track::SERVICE,
+                            "timeout",
+                            start_ns,
+                            timeout_ns.round() as u64,
+                            vec![id_arg.clone()],
+                        );
+                    }
+                    if media_fault {
+                        o.sim_slice(
+                            crate::obs::track::SERVICE,
+                            "media retry",
+                            (complete - media_ns).round() as u64,
+                            media_ns.round() as u64,
+                            vec![id_arg.clone()],
+                        );
+                    }
                     if start_ns > r.arrival_ns {
                         o.sim_slice(
                             crate::obs::track::QUEUE,
@@ -471,6 +588,8 @@ impl DiskSim {
             writes_cached,
             writes_forced,
             destages,
+            media_errors,
+            timeouts,
         })
     }
 
@@ -869,5 +988,112 @@ mod tests {
             assert_eq!(a.cache_hit, b.cache_hit);
         }
         assert_eq!(base.busy.periods(), traced.busy.periods());
+    }
+
+    fn scattered_reads(n: u64, gap_ns: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| read(i * gap_ns, (i * 7_919_000) % 8_000_000, 8))
+            .collect()
+    }
+
+    #[test]
+    fn injected_faults_are_deterministic_and_add_latency() {
+        let reqs = scattered_reads(10, 50_000_000);
+        let clean = sim().run(&reqs).unwrap();
+        assert_eq!(clean.media_errors, 0);
+        assert_eq!(clean.timeouts, 0);
+
+        let mut faults = SimFaults::default();
+        faults.media_errors.insert(3);
+        faults.timeouts.insert(5);
+        let mut a = sim();
+        a.inject_faults(faults.clone());
+        let faulted = a.run(&reqs).unwrap();
+        let mut b = sim();
+        b.inject_faults(faults);
+        assert_eq!(faulted, b.run(&reqs).unwrap(), "same faults, same result");
+
+        assert_eq!(faulted.media_errors, 1);
+        assert_eq!(faulted.timeouts, 1);
+        // Every request still completes: faults perturb timing only.
+        assert_eq!(faulted.completed.len(), clean.completed.len());
+        // Requests before the first fault site are byte-identical.
+        for (c, f) in clean.completed.iter().zip(&faulted.completed).take(3) {
+            assert_eq!(c, f);
+        }
+        // The media error costs one extra revolution; the timeout costs
+        // the full penalty (modulo the changed rotational position).
+        let media_delta =
+            faulted.completed[3].complete_ns as i64 - clean.completed[3].complete_ns as i64;
+        assert!(media_delta > 0, "media retry must slow the request");
+        let timeout_delta =
+            faulted.completed[5].complete_ns as i64 - clean.completed[5].complete_ns as i64;
+        assert!(
+            timeout_delta >= TIMEOUT_PENALTY_NS as i64 - 5_000_000,
+            "timeout delta {timeout_delta} ns"
+        );
+    }
+
+    #[test]
+    fn media_fault_is_inert_on_cache_hits() {
+        // Sequential reads: everything after the first is a read-ahead
+        // hit, so a media error aimed at a hit never touches the medium.
+        let reqs: Vec<Request> = (0..8)
+            .map(|i| read(i * 5_000_000, 10_000 + i * 8, 8))
+            .collect();
+        let clean = sim().run(&reqs).unwrap();
+        let mut faults = SimFaults::default();
+        faults.media_errors.insert(4);
+        let mut s = sim();
+        s.inject_faults(faults);
+        let faulted = s.run(&reqs).unwrap();
+        assert_eq!(faulted.media_errors, 0);
+        assert_eq!(clean, faulted);
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let reqs = scattered_reads(6, 30_000_000);
+        let clean = sim().run(&reqs).unwrap();
+        let mut s = sim();
+        s.inject_faults(SimFaults::default());
+        assert_eq!(clean, s.run(&reqs).unwrap());
+    }
+
+    #[test]
+    fn fault_events_and_counters_reach_the_observer() {
+        use crate::obs::SimObserver;
+        use spindle_obs::{MetricsRegistry, ObsConfig};
+
+        let registry = MetricsRegistry::new();
+        let mut s = sim();
+        s.attach_observer(SimObserver::new(&registry, &ObsConfig::enabled()));
+        let log = s.observer().unwrap().event_log().expect("events enabled");
+        let mut faults = SimFaults::default();
+        faults.media_errors.insert(1);
+        faults.timeouts.insert(2);
+        s.inject_faults(faults);
+
+        let result = s.run(&scattered_reads(5, 40_000_000)).unwrap();
+        assert_eq!(result.media_errors, 1);
+        assert_eq!(result.timeouts, 1);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("disk.media_errors"), Some(1));
+        assert_eq!(snap.counter("disk.timeouts"), Some(1));
+
+        let events = log.snapshot();
+        let media: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::MediaError)
+            .collect();
+        let timeouts: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Timeout)
+            .collect();
+        assert_eq!(media.len(), 1);
+        assert_eq!(media[0].detail, 1, "event names the request id");
+        assert_eq!(timeouts.len(), 1);
+        assert_eq!(timeouts[0].detail, 2);
     }
 }

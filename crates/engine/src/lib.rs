@@ -32,7 +32,7 @@ pub mod pool;
 pub mod shard;
 
 pub use pool::{Pool, PoolMetrics};
-pub use shard::{shard_seed, Reduce, ShardPlan, VecCollect};
+pub use shard::{shard_seed, PairCollect, Reduce, RunOutcome, ShardFailure, ShardPlan, VecCollect};
 
 /// Environment variable consulted by [`default_jobs`] before falling
 /// back to the machine's available parallelism. CI sets this to force a

@@ -9,15 +9,32 @@
 //! channels are created at all — the tasks run inline, in order, on the
 //! caller thread, which is exactly the pre-engine sequential path.
 //!
+//! # Panic isolation
+//!
+//! Every task body runs under [`std::panic::catch_unwind`]. Through
+//! [`Pool::map`]/[`Pool::map_reduce`] a task panic still propagates to
+//! the caller (with its payload preserved), exactly as before. The
+//! `try_` variants — [`Pool::try_map`], [`Pool::try_map_reduce`],
+//! [`Pool::try_run_shards`] — instead *quarantine* the panicking shard:
+//! the remaining shards complete, surviving results reach the reducer
+//! keyed by their original ordinals (so surviving output is
+//! byte-identical to a fault-free run at any worker count), and the
+//! returned [`RunOutcome`] carries one [`ShardFailure`] per quarantined
+//! shard. Queue mutexes recover from poisoning
+//! ([`PoisonError::into_inner`]) so one panicking worker cannot wedge
+//! queue access for the rest of the pool.
+//!
 //! When a [`FlightRecorder`] is installed (see
 //! [`spindle_obs::recorder::install`]), each worker additionally records
-//! its activity — `run`, `steal`, and `idle` intervals — on the
-//! wall-clock timeline under a `worker<n>` thread label, so a trace
-//! export shows exactly how the pool spent its time. Without an
-//! installed recorder the per-task cost is one relaxed atomic load.
+//! its activity — `run`, `steal`, `idle`, and `fault` intervals — on
+//! the wall-clock timeline under a `worker<n>` thread label, so a trace
+//! export shows exactly how the pool spent its time, including where a
+//! shard was quarantined. Without an installed recorder the per-task
+//! cost is one relaxed atomic load.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use spindle_obs::json::Json;
@@ -25,7 +42,7 @@ use spindle_obs::registry::{Counter, Gauge};
 use spindle_obs::{FlightRecorder, MetricsRegistry};
 
 use crate::channel;
-use crate::shard::{Reduce, ShardPlan, VecCollect};
+use crate::shard::{PairCollect, Reduce, RunOutcome, ShardFailure, ShardPlan, VecCollect};
 
 /// Attaches a metrics registry to a [`Pool`]; per-worker counters are
 /// published under `engine.worker.<n>.*` plus pool-wide totals.
@@ -55,6 +72,7 @@ impl PoolMetrics {
                 .gauge(&format!("engine.worker.{w}.queue_depth")),
             total_executed: self.registry.counter("engine.tasks_executed"),
             total_stolen: self.registry.counter("engine.tasks_stolen"),
+            failures: self.registry.counter("harden.shard_failures"),
         }
     }
 }
@@ -67,6 +85,9 @@ struct WorkerMetrics {
     depth: Gauge,
     total_executed: Counter,
     total_stolen: Counter,
+    /// Pool-wide quarantine count (`harden.shard_failures`); bumped
+    /// immediately on a caught task panic, not batched at settle time.
+    failures: Counter,
 }
 
 impl WorkerMetrics {
@@ -79,6 +100,31 @@ impl WorkerMetrics {
         self.idle_us.add(us);
         self.depth.set(0);
     }
+}
+
+/// Locks a worker queue, recovering from poison: a queue mutex is only
+/// ever held around `VecDeque` operations that cannot leave the deque
+/// in a torn state, so the data is valid even after a panicking thread
+/// held the guard.
+fn lock_queue<'a, I>(q: &'a Mutex<VecDeque<(usize, I)>>) -> MutexGuard<'a, VecDeque<(usize, I)>> {
+    q.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs one task under `catch_unwind`, rendering any panic payload to
+/// a string.
+fn run_task<I, T, F>(f: &F, ord: usize, item: I) -> Result<T, String>
+where
+    F: Fn(usize, I) -> T + Sync,
+{
+    std::panic::catch_unwind(AssertUnwindSafe(|| f(ord, item))).map_err(|p| {
+        if let Some(s) = p.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = p.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_owned()
+        }
+    })
 }
 
 /// A fixed-width pool of scoped workers.
@@ -137,6 +183,9 @@ impl Pool {
 
     /// Applies `f` to every `(ordinal, item)` and returns the results
     /// in ordinal order — identical output for any worker count.
+    ///
+    /// A task panic propagates to the caller; use [`Pool::try_map`] to
+    /// quarantine failing tasks instead.
     pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
     where
         I: Send,
@@ -161,12 +210,97 @@ impl Pool {
     /// Applies `f` to every `(ordinal, item)` and feeds the results to
     /// `reducer` strictly in ordinal order, regardless of which worker
     /// finished first.
+    ///
+    /// A task panic propagates to the caller with its payload
+    /// preserved (rendered to a string); remaining queued work is
+    /// abandoned. Use [`Pool::try_map_reduce`] to quarantine instead.
     pub fn map_reduce<I, T, F, R>(&self, items: Vec<I>, f: F, mut reducer: R) -> R::Output
     where
         I: Send,
         T: Send,
         F: Fn(usize, I) -> T + Sync,
         R: Reduce<Item = T>,
+    {
+        self.run_ordered(items, &f, |ord, res| match res {
+            Ok(v) => reducer.push(ord, v),
+            Err(payload) => std::panic::panic_any(payload),
+        });
+        reducer.finish()
+    }
+
+    /// Panic-isolating [`Pool::map`]: surviving results come back as
+    /// `(original_ordinal, value)` pairs; panicking tasks are
+    /// quarantined into the outcome's failure report.
+    pub fn try_map<I, T, F>(&self, items: Vec<I>, f: F) -> RunOutcome<Vec<(usize, T)>>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        let n = items.len();
+        self.try_map_reduce(items, f, PairCollect::with_capacity(n))
+    }
+
+    /// Panic-isolating [`Pool::run_shards`]: each failure additionally
+    /// carries the quarantined shard's RNG seed for offline replay.
+    pub fn try_run_shards<T, F>(&self, plan: &ShardPlan, f: F) -> RunOutcome<Vec<(usize, T)>>
+    where
+        T: Send,
+        F: Fn(usize, u64) -> T + Sync,
+    {
+        let seeds: Vec<u64> = plan.iter().map(|(_, s)| s).collect();
+        let mut outcome = self.try_map(seeds, f);
+        for fail in &mut outcome.failures {
+            fail.shard_seed = Some(plan.seed_of(fail.ordinal));
+        }
+        outcome
+    }
+
+    /// Panic-isolating [`Pool::map_reduce`]: a panicking task is
+    /// quarantined — converted into a [`ShardFailure`] — while every
+    /// other shard completes. Surviving results reach `reducer` keyed
+    /// by their *original* ordinals (strictly increasing, with gaps at
+    /// quarantined shards), so surviving output is byte-identical to a
+    /// fault-free run at any worker count.
+    pub fn try_map_reduce<I, T, F, R>(
+        &self,
+        items: Vec<I>,
+        f: F,
+        mut reducer: R,
+    ) -> RunOutcome<R::Output>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+        R: Reduce<Item = T>,
+    {
+        let mut failures = Vec::new();
+        self.run_ordered(items, &f, |ord, res| match res {
+            Ok(v) => reducer.push(ord, v),
+            Err(payload) => failures.push(ShardFailure {
+                ordinal: ord,
+                shard_seed: None,
+                payload,
+            }),
+        });
+        RunOutcome {
+            output: reducer.finish(),
+            failures,
+        }
+    }
+
+    /// The shared execution core: runs every task (inline or across
+    /// workers) and delivers `(ordinal, Result)` to `on_result` in
+    /// strictly increasing ordinal order.
+    fn run_ordered<I, T, F>(
+        &self,
+        items: Vec<I>,
+        f: &F,
+        mut on_result: impl FnMut(usize, Result<T, String>),
+    ) where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
     {
         let span_start = Instant::now();
         let jobs = self.jobs.min(items.len());
@@ -176,11 +310,17 @@ impl Pool {
             let mut executed = 0u64;
             for (i, item) in items.into_iter().enumerate() {
                 let t0 = Instant::now();
-                let out = f(i, item);
+                let out = run_task(f, i, item);
                 if let Some(rec) = &flight {
-                    record_task(rec, "run", i, t0, t0.elapsed());
+                    let name = if out.is_err() { "fault" } else { "run" };
+                    record_task(rec, name, i, t0, t0.elapsed());
                 }
-                reducer.push(i, out);
+                if out.is_err() {
+                    if let Some(m) = &wm {
+                        m.failures.add(1);
+                    }
+                }
+                on_result(i, out);
                 executed += 1;
             }
             if let Some(m) = &wm {
@@ -189,7 +329,7 @@ impl Pool {
             if let Some(m) = &self.metrics {
                 m.registry.record_span("engine.map", span_start.elapsed());
             }
-            return reducer.finish();
+            return;
         }
 
         // Deal tasks round-robin so every worker starts with work and
@@ -197,18 +337,14 @@ impl Pool {
         let queues: Vec<Mutex<VecDeque<(usize, I)>>> =
             (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
         for (i, item) in items.into_iter().enumerate() {
-            queues[i % jobs]
-                .lock()
-                .expect("queue lock poisoned")
-                .push_back((i, item));
+            lock_queue(&queues[i % jobs]).push_back((i, item));
         }
 
-        let (tx, rx) = channel::bounded::<(usize, T)>(jobs * 2);
+        let (tx, rx) = channel::bounded::<(usize, Result<T, String>)>(jobs * 2);
         std::thread::scope(|s| {
             for w in 0..jobs {
                 let tx = tx.clone();
                 let queues = &queues;
-                let f = &f;
                 let wm = self.metrics.as_ref().map(|m| m.worker(w));
                 s.spawn(move || worker_loop(w, queues, &tx, f, wm.as_ref()));
             }
@@ -217,14 +353,14 @@ impl Pool {
             // Ordered drain: buffer out-of-order arrivals, release in
             // ordinal order. The buffer holds at most (arrived − next)
             // items — bounded by scheduling skew, not stream length.
-            let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+            let mut pending: BTreeMap<usize, Result<T, String>> = BTreeMap::new();
             let mut next = 0usize;
             while let Some((ord, val)) = rx.recv() {
                 if ord == next {
-                    reducer.push(next, val);
+                    on_result(next, val);
                     next += 1;
                     while let Some(v) = pending.remove(&next) {
-                        reducer.push(next, v);
+                        on_result(next, v);
                         next += 1;
                     }
                 } else {
@@ -236,7 +372,6 @@ impl Pool {
         if let Some(m) = &self.metrics {
             m.registry.record_span("engine.map", span_start.elapsed());
         }
-        reducer.finish()
     }
 }
 
@@ -249,7 +384,7 @@ impl Default for Pool {
 fn worker_loop<I, T, F>(
     me: usize,
     queues: &[Mutex<VecDeque<(usize, I)>>],
-    tx: &channel::Sender<(usize, T)>,
+    tx: &channel::Sender<(usize, Result<T, String>)>,
     f: &F,
     metrics: Option<&WorkerMetrics>,
 ) where
@@ -287,7 +422,7 @@ fn worker_loop<I, T, F>(
             rec.wall_slice("idle", begin, begin.elapsed(), Vec::new());
         }
         let t0 = Instant::now();
-        let out = f(ord, item);
+        let out = run_task(f, ord, item);
         let dur = t0.elapsed();
         busy += dur;
         executed += 1;
@@ -295,7 +430,19 @@ fn worker_loop<I, T, F>(
             stolen += 1;
         }
         if let Some(rec) = &flight {
-            record_task(rec, if was_steal { "steal" } else { "run" }, ord, t0, dur);
+            let name = if out.is_err() {
+                "fault"
+            } else if was_steal {
+                "steal"
+            } else {
+                "run"
+            };
+            record_task(rec, name, ord, t0, dur);
+        }
+        if out.is_err() {
+            if let Some(m) = metrics {
+                m.failures.add(1);
+            }
         }
         if tx.send((ord, out)).is_err() {
             break; // receiver gone: the map call is being abandoned
@@ -325,7 +472,7 @@ fn pop_own<I>(
     metrics: Option<&WorkerMetrics>,
 ) -> Option<(usize, I)> {
     let (task, depth) = {
-        let mut q = queues[me].lock().expect("queue lock poisoned");
+        let mut q = lock_queue(&queues[me]);
         let t = q.pop_front();
         (t, q.len())
     };
@@ -342,19 +489,17 @@ fn steal<I>(queues: &[Mutex<VecDeque<(usize, I)>>], me: usize) -> Option<(usize,
         if i == me {
             continue;
         }
-        let len = q.lock().expect("queue lock poisoned").len();
+        let len = lock_queue(q).len();
         if len > 0 && victim.is_none_or(|(_, best)| len > best) {
             victim = Some((i, len));
         }
     }
     let (v, _) = victim?;
-    queues[v].lock().expect("queue lock poisoned").pop_back()
+    lock_queue(&queues[v]).pop_back()
 }
 
 fn all_empty<I>(queues: &[Mutex<VecDeque<(usize, I)>>]) -> bool {
-    queues
-        .iter()
-        .all(|q| q.lock().expect("queue lock poisoned").is_empty())
+    queues.iter().all(|q| lock_queue(q).is_empty())
 }
 
 #[cfg(test)]
@@ -468,5 +613,110 @@ mod tests {
                 .any(|w| w.name == "run" && w.args.iter().any(|(k, _)| k == "ordinal")),
             "run slices carry the task ordinal"
         );
+    }
+
+    #[test]
+    fn map_reduce_still_propagates_panics() {
+        let pool = Pool::sequential();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(vec![0u8, 1, 2], |i, x| {
+                assert!(i != 1, "task exploded");
+                x
+            })
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("task exploded"));
+    }
+
+    #[test]
+    fn try_map_quarantines_the_panicking_shard() {
+        for jobs in [1, 2, 8] {
+            let pool = Pool::new(jobs);
+            let outcome = pool.try_map((0..16u64).collect(), |i, x| {
+                assert!(i != 5, "injected fault: task panic at ordinal 5");
+                x * 2
+            });
+            assert_eq!(outcome.failures.len(), 1, "exactly one shard fails");
+            let fail = &outcome.failures[0];
+            assert_eq!(fail.ordinal, 5);
+            assert_eq!(fail.shard_seed, None);
+            assert!(fail.payload.contains("injected fault"));
+            // Survivors keep their original ordinals and values — the
+            // fault-free subset, byte-identical at every worker count.
+            let expect: Vec<(usize, u64)> = (0..16u64)
+                .filter(|&x| x != 5)
+                .map(|x| (x as usize, x * 2))
+                .collect();
+            assert_eq!(outcome.output, expect, "jobs={jobs}");
+            assert!(!outcome.is_clean());
+        }
+    }
+
+    #[test]
+    fn try_run_shards_reports_the_failed_seed() {
+        let plan = ShardPlan::new(8, 20090);
+        let outcome = Pool::new(4).try_run_shards(&plan, |ord, seed| {
+            assert!(ord != 3, "shard 3 dies");
+            seed
+        });
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].shard_seed, Some(plan.seed_of(3)));
+        assert_eq!(outcome.output.len(), 7);
+    }
+
+    #[test]
+    fn try_map_clean_run_has_no_failures() {
+        let outcome = Pool::new(2).try_map(vec![1u8, 2, 3], |_, x| x + 1);
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.output, vec![(0, 2), (1, 3), (2, 4)]);
+    }
+
+    #[test]
+    fn failures_are_counted_in_metrics() {
+        let registry: &'static MetricsRegistry = Box::leak(Box::default());
+        let pool = Pool::new(2).metrics(PoolMetrics::new(registry));
+        let outcome = pool.try_map((0..8u8).collect(), |i, x| {
+            assert!(i % 4 != 1, "every fourth-plus-one task dies");
+            x
+        });
+        assert_eq!(outcome.failures.len(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("harden.shard_failures"), Some(2));
+        assert_eq!(snap.counter("engine.tasks_executed"), Some(8));
+    }
+
+    #[test]
+    fn quarantine_records_fault_slices() {
+        use spindle_obs::recorder;
+
+        let rec = Arc::new(FlightRecorder::new());
+        recorder::install(Arc::clone(&rec));
+        let outcome = Pool::new(2).try_map((0..8u8).collect(), |i, x| {
+            assert!(i != 2, "dies for the trace");
+            x
+        });
+        recorder::uninstall();
+        assert_eq!(outcome.failures.len(), 1);
+        let wall = rec.wall_slices();
+        let faults: Vec<_> = wall.iter().filter(|w| w.name == "fault").collect();
+        assert_eq!(faults.len(), 1, "one fault interval on the wall track");
+        assert!(faults[0]
+            .args
+            .iter()
+            .any(|(k, v)| k == "ordinal" && *v == Json::Uint(2)));
+    }
+
+    #[test]
+    fn lock_queue_recovers_from_poison() {
+        let q: Mutex<VecDeque<(usize, u8)>> = Mutex::new(VecDeque::new());
+        lock_queue(&q).push_back((0, 7));
+        // Poison the mutex by panicking while holding the guard.
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = q.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(q.is_poisoned());
+        assert_eq!(lock_queue(&q).pop_front(), Some((0, 7)));
     }
 }

@@ -68,8 +68,12 @@ impl ShardPlan {
 /// Consumes shard results in ordinal order.
 ///
 /// The pool calls [`Reduce::push`] with strictly increasing ordinals
-/// (0, 1, 2, …) regardless of the order shards completed in, then
-/// [`Reduce::finish`] exactly once.
+/// regardless of the order shards completed in, then
+/// [`Reduce::finish`] exactly once. Under `map_reduce` the ordinals
+/// are consecutive from 0; under the panic-isolating `try_map_reduce`
+/// a quarantined shard leaves a gap — the surviving ordinals still
+/// arrive strictly increasing, keyed by their *original* position, so
+/// surviving output is byte-identical to the fault-free run.
 pub trait Reduce {
     /// Per-shard result type.
     type Item;
@@ -77,11 +81,55 @@ pub trait Reduce {
     type Output;
 
     /// Accepts the result of shard `ordinal`. Ordinals arrive in
-    /// strictly increasing order starting at 0.
+    /// strictly increasing order (consecutive from 0 unless a shard
+    /// was quarantined by panic isolation).
     fn push(&mut self, ordinal: usize, item: Self::Item);
 
     /// Produces the merged output after the last shard.
     fn finish(self) -> Self::Output;
+}
+
+/// One quarantined shard: the task at `ordinal` panicked and its
+/// result was discarded while the rest of the run completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// The failed task's position in the submitted item list.
+    pub ordinal: usize,
+    /// The shard's RNG seed, when the run came from a [`ShardPlan`]
+    /// (`None` for plain item lists, where no seed exists).
+    pub shard_seed: Option<u64>,
+    /// The panic payload, rendered to a string.
+    pub payload: String,
+}
+
+impl std::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} panicked: {}", self.ordinal, self.payload)?;
+        if let Some(seed) = self.shard_seed {
+            write!(f, " (shard_seed={seed:#018x})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a panic-isolated run: the reduced surviving results
+/// plus a report of every quarantined shard, in ordinal order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a RunOutcome may carry shard failures that should be reported"]
+pub struct RunOutcome<O> {
+    /// The reducer's output over the surviving shards.
+    pub output: O,
+    /// Every quarantined shard, ordered by ordinal. Empty on a clean
+    /// run.
+    pub failures: Vec<ShardFailure>,
+}
+
+impl<O> RunOutcome<O> {
+    /// True when no shard was quarantined.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
 }
 
 /// The identity reducer: collects shard results into a `Vec` indexed by
@@ -89,6 +137,7 @@ pub trait Reduce {
 #[derive(Debug)]
 pub struct VecCollect<T> {
     out: Vec<T>,
+    next_min: usize,
 }
 
 impl<T> VecCollect<T> {
@@ -97,13 +146,14 @@ impl<T> VecCollect<T> {
     pub fn with_capacity(n: usize) -> Self {
         VecCollect {
             out: Vec::with_capacity(n),
+            next_min: 0,
         }
     }
 }
 
 impl<T> Default for VecCollect<T> {
     fn default() -> Self {
-        VecCollect { out: Vec::new() }
+        VecCollect::with_capacity(0)
     }
 }
 
@@ -112,11 +162,53 @@ impl<T> Reduce for VecCollect<T> {
     type Output = Vec<T>;
 
     fn push(&mut self, ordinal: usize, item: T) {
-        debug_assert_eq!(ordinal, self.out.len(), "reduce ordinals out of order");
+        debug_assert!(ordinal >= self.next_min, "reduce ordinals out of order");
+        self.next_min = ordinal + 1;
         self.out.push(item);
     }
 
     fn finish(self) -> Vec<T> {
+        self.out
+    }
+}
+
+/// A reducer that keeps each surviving result tagged with its original
+/// ordinal — the natural collector for panic-isolated runs, where a
+/// quarantined shard leaves a gap the caller may need to see.
+#[derive(Debug)]
+pub struct PairCollect<T> {
+    out: Vec<(usize, T)>,
+}
+
+impl<T> PairCollect<T> {
+    /// An empty collector, optionally pre-sized.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        PairCollect {
+            out: Vec::with_capacity(n),
+        }
+    }
+}
+
+impl<T> Default for PairCollect<T> {
+    fn default() -> Self {
+        PairCollect::with_capacity(0)
+    }
+}
+
+impl<T> Reduce for PairCollect<T> {
+    type Item = T;
+    type Output = Vec<(usize, T)>;
+
+    fn push(&mut self, ordinal: usize, item: T) {
+        debug_assert!(
+            self.out.last().is_none_or(|(last, _)| ordinal > *last),
+            "reduce ordinals out of order"
+        );
+        self.out.push((ordinal, item));
+    }
+
+    fn finish(self) -> Vec<(usize, T)> {
         self.out
     }
 }
@@ -161,5 +253,36 @@ mod tests {
         r.push(1, "b");
         r.push(2, "c");
         assert_eq!(r.finish(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn vec_collect_tolerates_quarantine_gaps() {
+        let mut r = VecCollect::with_capacity(3);
+        r.push(0, "a");
+        r.push(2, "c"); // ordinal 1 quarantined
+        assert_eq!(r.finish(), vec!["a", "c"]);
+    }
+
+    #[test]
+    fn pair_collect_keeps_original_ordinals() {
+        let mut r = PairCollect::with_capacity(3);
+        r.push(0, "a");
+        r.push(3, "d");
+        assert_eq!(r.finish(), vec![(0, "a"), (3, "d")]);
+    }
+
+    #[test]
+    fn shard_failure_display_names_the_site() {
+        let plain = ShardFailure {
+            ordinal: 4,
+            shard_seed: None,
+            payload: "boom".to_owned(),
+        };
+        assert_eq!(plain.to_string(), "shard 4 panicked: boom");
+        let seeded = ShardFailure {
+            shard_seed: Some(0xDEAD),
+            ..plain
+        };
+        assert!(seeded.to_string().contains("shard_seed=0x000000000000dead"));
     }
 }

@@ -29,6 +29,11 @@ pub enum EventKind {
     IdleBegin,
     /// The drive left an idle period.
     IdleEnd,
+    /// A mechanical transfer hit an unreadable sector and retried on
+    /// the next revolution.
+    MediaError,
+    /// A command stalled past its deadline and was retried.
+    Timeout,
 }
 
 impl EventKind {
@@ -43,6 +48,8 @@ impl EventKind {
             EventKind::Destage => "destage",
             EventKind::IdleBegin => "idle_begin",
             EventKind::IdleEnd => "idle_end",
+            EventKind::MediaError => "media_error",
+            EventKind::Timeout => "timeout",
         }
     }
 }

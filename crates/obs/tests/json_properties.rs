@@ -1,0 +1,106 @@
+//! Property-based tests for the vendored JSON codec: hostile, mutated,
+//! and truncated input must never panic the parser, every failure must
+//! carry an in-bounds byte offset, and clean documents must round-trip
+//! exactly through `Display` + `parse`.
+
+use proptest::prelude::*;
+use spindle_obs::json::{parse, Json};
+
+/// Characters that exercise every emitter path: plain ASCII, the two
+/// escaped delimiters, whitespace escapes, a control character (forced
+/// `\uXXXX`), and multi-byte UTF-8 up to an astral-plane scalar.
+const STRING_PALETTE: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\t', '\r', '\u{0008}', '\u{000C}', '\u{0001}', 'é',
+    '☃', '𝕊',
+];
+
+/// Characters that steer random input toward the parser's deep paths:
+/// structural bytes, escape introducers, digits, and sign/exponent
+/// marks, plus a multi-byte character to stress UTF-8 handling.
+const NOISE_PALETTE: &[char] = &[
+    '{', '}', '[', ']', ',', ':', '"', '\\', 'n', 't', 'r', 'u', 'e', 'f', '0', '9', '-', '+', '.',
+    'E', ' ', '\n', 'a', 'é',
+];
+
+fn palette_string(palette: &'static [char], max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..palette.len(), 0..max)
+        .prop_map(move |ix| ix.into_iter().map(|i| palette[i]).collect())
+}
+
+/// Any scalar the emitter can produce. `Int` is restricted to negative
+/// values and `Num` to finite ones, mirroring the variant contracts —
+/// the parser classifies non-negative integers as `Uint` and the
+/// emitter writes non-finite numbers as `null`.
+fn arb_scalar() -> impl Strategy<Value = Json> {
+    prop_oneof![
+        Just(Json::Null),
+        prop::bool::ANY.prop_map(Json::Bool),
+        (0u64..=u64::MAX).prop_map(Json::Uint),
+        (i64::MIN..0).prop_map(Json::Int),
+        (-1.0e18f64..1.0e18).prop_map(Json::Num),
+        palette_string(STRING_PALETTE, 12).prop_map(Json::Str),
+    ]
+}
+
+/// Documents up to two levels deep — scalars, containers of scalars,
+/// and an object of arrays — which covers every recursion edge the
+/// metric snapshots exercise.
+fn arb_json() -> impl Strategy<Value = Json> {
+    prop_oneof![
+        arb_scalar(),
+        prop::collection::vec(arb_scalar(), 0..8).prop_map(Json::Arr),
+        prop::collection::vec((palette_string(STRING_PALETTE, 8), arb_scalar()), 0..8)
+            .prop_map(Json::Obj),
+        prop::collection::vec(
+            (
+                palette_string(STRING_PALETTE, 8),
+                prop::collection::vec(arb_scalar(), 0..5).prop_map(Json::Arr),
+            ),
+            0..5,
+        )
+        .prop_map(Json::Obj),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip_is_exact(value in arb_json()) {
+        let rendered = value.to_string();
+        let back = parse(&rendered);
+        prop_assert_eq!(back, Ok(value), "document was: {}", rendered);
+    }
+
+    #[test]
+    fn hostile_input_never_panics_and_names_the_byte(input in palette_string(NOISE_PALETTE, 64)) {
+        if let Err(e) = parse(&input) {
+            prop_assert!(e.at <= input.len(), "offset {} beyond input length {}", e.at, input.len());
+            prop_assert!(!e.reason.is_empty());
+        }
+    }
+
+    #[test]
+    fn mutated_document_never_panics(
+        value in arb_json(),
+        at in 0usize..65_536,
+        replacement in 0usize..NOISE_PALETTE.len(),
+    ) {
+        let rendered = value.to_string();
+        let mut chars: Vec<char> = rendered.chars().collect();
+        let pos = at % chars.len();
+        chars[pos] = NOISE_PALETTE[replacement];
+        let mutated: String = chars.into_iter().collect();
+        if let Err(e) = parse(&mutated) {
+            prop_assert!(e.at <= mutated.len(), "offset {} beyond input length {}", e.at, mutated.len());
+        }
+    }
+
+    #[test]
+    fn truncated_document_never_panics(value in arb_json(), cut in 0usize..65_536) {
+        let rendered = value.to_string();
+        let keep = cut % (rendered.chars().count() + 1);
+        let truncated: String = rendered.chars().take(keep).collect();
+        if let Err(e) = parse(&truncated) {
+            prop_assert!(e.at <= truncated.len(), "offset {} beyond input length {}", e.at, truncated.len());
+        }
+    }
+}

@@ -24,7 +24,7 @@
 //! disk, type, offset, size, latency) via the streaming [`MsrReader`];
 //! see [`read_msr_requests`].
 
-use crate::{DriveId, HourRecord, LifetimeRecord, OpKind, Request, Result, TraceError};
+use crate::{DriveId, HourRecord, LifetimeRecord, OpKind, Request, Result, SkipReport, TraceError};
 use std::io::{BufRead, BufReader, Read, Write};
 
 /// Header line of the hour CSV format.
@@ -151,6 +151,54 @@ fn data_lines<R: Read>(
     })
 }
 
+fn parse_hour_line(line: &str, line_no: u64) -> Result<HourRecord> {
+    let mut f = LineFields::new(line, line_no);
+    let drive: u32 = f.next("drive")?;
+    let hour: u32 = f.next("hour")?;
+    let reads: u64 = f.next("reads")?;
+    let writes: u64 = f.next("writes")?;
+    let sr: u64 = f.next("sectors_read")?;
+    let sw: u64 = f.next("sectors_written")?;
+    let busy: f64 = f.next("busy_secs")?;
+    f.finish()?;
+    HourRecord::new(DriveId(drive), hour, reads, writes, sr, sw, busy)
+}
+
+fn parse_lifetime_line(line: &str, line_no: u64) -> Result<LifetimeRecord> {
+    let mut f = LineFields::new(line, line_no);
+    let drive: u32 = f.next("drive")?;
+    let poh: u64 = f.next("power_on_hours")?;
+    let reads: u64 = f.next("reads")?;
+    let writes: u64 = f.next("writes")?;
+    let sr: u64 = f.next("sectors_read")?;
+    let sw: u64 = f.next("sectors_written")?;
+    let busy: f64 = f.next("busy_hours")?;
+    f.finish()?;
+    LifetimeRecord::new(DriveId(drive), poh, reads, writes, sr, sw, busy)
+}
+
+/// The shared CSV driver: strict mode fails on the first bad record,
+/// lenient mode skips record-level errors (noting the line) and only
+/// propagates I/O failures.
+fn read_records<R: Read, T>(
+    source: R,
+    header: &'static str,
+    parse: fn(&str, u64) -> Result<T>,
+    lenient: bool,
+) -> Result<(Vec<T>, SkipReport)> {
+    let mut out = Vec::new();
+    let mut skips = SkipReport::default();
+    for item in data_lines(source, header) {
+        let (line_no, line) = item?;
+        match parse(&line, line_no) {
+            Ok(rec) => out.push(rec),
+            Err(e) if lenient && e.is_record_level() => skips.note(line_no),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((out, skips))
+}
+
 /// Reads hour records from CSV.
 ///
 /// # Errors
@@ -158,29 +206,17 @@ fn data_lines<R: Read>(
 /// Returns [`TraceError::Parse`] with a line number on malformed input
 /// and [`TraceError::InvalidRecord`] for counter-inconsistent records.
 pub fn read_hours<R: Read>(source: R) -> Result<Vec<HourRecord>> {
-    let mut out = Vec::new();
-    for item in data_lines(source, HOUR_HEADER) {
-        let (line_no, line) = item?;
-        let mut f = LineFields::new(&line, line_no);
-        let drive: u32 = f.next("drive")?;
-        let hour: u32 = f.next("hour")?;
-        let reads: u64 = f.next("reads")?;
-        let writes: u64 = f.next("writes")?;
-        let sr: u64 = f.next("sectors_read")?;
-        let sw: u64 = f.next("sectors_written")?;
-        let busy: f64 = f.next("busy_secs")?;
-        f.finish()?;
-        out.push(HourRecord::new(
-            DriveId(drive),
-            hour,
-            reads,
-            writes,
-            sr,
-            sw,
-            busy,
-        )?);
-    }
-    Ok(out)
+    read_records(source, HOUR_HEADER, parse_hour_line, false).map(|(v, _)| v)
+}
+
+/// Reads hour records from CSV, skipping malformed records instead of
+/// failing the file; the [`SkipReport`] says what was dropped.
+///
+/// # Errors
+///
+/// Returns only [`TraceError::Io`] — record-level damage is skipped.
+pub fn read_hours_lenient<R: Read>(source: R) -> Result<(Vec<HourRecord>, SkipReport)> {
+    read_records(source, HOUR_HEADER, parse_hour_line, true)
 }
 
 /// Reads lifetime records from CSV.
@@ -190,29 +226,17 @@ pub fn read_hours<R: Read>(source: R) -> Result<Vec<HourRecord>> {
 /// Returns [`TraceError::Parse`] with a line number on malformed input
 /// and [`TraceError::InvalidRecord`] for counter-inconsistent records.
 pub fn read_lifetimes<R: Read>(source: R) -> Result<Vec<LifetimeRecord>> {
-    let mut out = Vec::new();
-    for item in data_lines(source, LIFETIME_HEADER) {
-        let (line_no, line) = item?;
-        let mut f = LineFields::new(&line, line_no);
-        let drive: u32 = f.next("drive")?;
-        let poh: u64 = f.next("power_on_hours")?;
-        let reads: u64 = f.next("reads")?;
-        let writes: u64 = f.next("writes")?;
-        let sr: u64 = f.next("sectors_read")?;
-        let sw: u64 = f.next("sectors_written")?;
-        let busy: f64 = f.next("busy_hours")?;
-        f.finish()?;
-        out.push(LifetimeRecord::new(
-            DriveId(drive),
-            poh,
-            reads,
-            writes,
-            sr,
-            sw,
-            busy,
-        )?);
-    }
-    Ok(out)
+    read_records(source, LIFETIME_HEADER, parse_lifetime_line, false).map(|(v, _)| v)
+}
+
+/// Reads lifetime records from CSV, skipping malformed records instead
+/// of failing the file; the [`SkipReport`] says what was dropped.
+///
+/// # Errors
+///
+/// Returns only [`TraceError::Io`] — record-level damage is skipped.
+pub fn read_lifetimes_lenient<R: Read>(source: R) -> Result<(Vec<LifetimeRecord>, SkipReport)> {
+    read_records(source, LIFETIME_HEADER, parse_lifetime_line, true)
 }
 
 /// Header line of the MSR-Cambridge block-trace format (matched
@@ -287,6 +311,8 @@ pub struct MsrReader<R: Read> {
     lines: std::io::Lines<BufReader<R>>,
     line_no: u64,
     header_seen: bool,
+    lenient: bool,
+    skips: SkipReport,
 }
 
 impl<R: Read> std::fmt::Debug for MsrReader<R> {
@@ -294,6 +320,8 @@ impl<R: Read> std::fmt::Debug for MsrReader<R> {
         f.debug_struct("MsrReader")
             .field("line_no", &self.line_no)
             .field("header_seen", &self.header_seen)
+            .field("lenient", &self.lenient)
+            .field("skips", &self.skips)
             .finish_non_exhaustive()
     }
 }
@@ -305,7 +333,24 @@ impl<R: Read> MsrReader<R> {
             lines: BufReader::new(source).lines(),
             line_no: 0,
             header_seen: false,
+            lenient: false,
+            skips: SkipReport::default(),
         }
+    }
+
+    /// Switches the reader to lenient mode: record-level damage is
+    /// skipped (and noted in [`MsrReader::skip_report`]) instead of
+    /// ending the stream; I/O errors still propagate.
+    #[must_use]
+    pub fn lenient(mut self) -> Self {
+        self.lenient = true;
+        self
+    }
+
+    /// What lenient mode has skipped so far.
+    #[must_use]
+    pub fn skip_report(&self) -> &SkipReport {
+        &self.skips
     }
 
     /// Adapts the stream to [`Request`]s: arrivals become nanoseconds
@@ -369,7 +414,12 @@ impl<R: Read> Iterator for MsrReader<R> {
                     continue;
                 }
             }
-            return Some(Self::parse_line(trimmed, self.line_no));
+            match Self::parse_line(trimmed, self.line_no) {
+                Err(e) if self.lenient && e.is_record_level() => {
+                    self.skips.note(self.line_no);
+                }
+                other => return Some(other),
+            }
         }
     }
 }
@@ -389,16 +439,32 @@ impl<R: Read> std::fmt::Debug for MsrRequests<R> {
     }
 }
 
+impl<R: Read> MsrRequests<R> {
+    /// What lenient mode has skipped so far (parse damage in the
+    /// underlying reader plus records that failed request conversion).
+    #[must_use]
+    pub fn skip_report(&self) -> &SkipReport {
+        self.inner.skip_report()
+    }
+}
+
 impl<R: Read> Iterator for MsrRequests<R> {
     type Item = Result<Request>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let record = match self.inner.next()? {
-            Ok(r) => r,
-            Err(e) => return Some(Err(e)),
-        };
-        let base = *self.base_100ns.get_or_insert(record.timestamp_100ns);
-        Some(record.to_request(base))
+        loop {
+            let record = match self.inner.next()? {
+                Ok(r) => r,
+                Err(e) => return Some(Err(e)),
+            };
+            let base = *self.base_100ns.get_or_insert(record.timestamp_100ns);
+            match record.to_request(base) {
+                Err(e) if self.inner.lenient && e.is_record_level() => {
+                    self.inner.skips.note(self.inner.line_no);
+                }
+                other => return Some(other),
+            }
+        }
     }
 }
 
@@ -415,6 +481,19 @@ impl<R: Read> Iterator for MsrRequests<R> {
 /// Returns [`TraceError::Parse`] with a line number on malformed input.
 pub fn read_msr_requests<R: Read>(source: R) -> Result<Vec<Request>> {
     MsrReader::new(source).requests().collect()
+}
+
+/// Reads an entire MSR-Cambridge CSV trace leniently: damaged rows
+/// (and rows that fail request conversion) are skipped and counted in
+/// the returned [`SkipReport`] instead of failing the read.
+///
+/// # Errors
+///
+/// Returns only [`TraceError::Io`] — record-level damage is skipped.
+pub fn read_msr_requests_lenient<R: Read>(source: R) -> Result<(Vec<Request>, SkipReport)> {
+    let mut it = MsrReader::new(source).lenient().requests();
+    let requests: Vec<Request> = it.by_ref().collect::<Result<_>>()?;
+    Ok((requests, it.skip_report().clone()))
 }
 
 #[cfg(test)]
@@ -558,6 +637,58 @@ Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
                 "{bad:?} accepted"
             );
         }
+    }
+
+    #[test]
+    fn lenient_hours_skip_damage_and_report_lines() {
+        let text = format!(
+            "{HOUR_HEADER}\n0,0,10,5,80,40,1.5\ngarbage line\n0,1,ten,5,80,40,1.5\n0,2,10,5,80,40,1.5\n"
+        );
+        let (recs, skips) = read_hours_lenient(text.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].hour, 2);
+        assert_eq!(skips.skipped, 2);
+        assert_eq!(skips.sample_lines, vec![3, 4]);
+        // Strict mode still rejects the same input.
+        assert!(read_hours(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn lenient_lifetimes_skip_invalid_records() {
+        // Line 2 is counter-inconsistent (zero POH), not just unparsable.
+        let text = format!("{LIFETIME_HEADER}\n0,0,1,1,8,8,0.0\n0,1000,1,1,8,8,0.5\n");
+        let (recs, skips) = read_lifetimes_lenient(text.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(skips.skipped, 1);
+        assert_eq!(skips.sample_lines, vec![2]);
+    }
+
+    #[test]
+    fn lenient_clean_file_reports_nothing() {
+        let text = format!("{HOUR_HEADER}\n0,0,10,5,80,40,1.5\n");
+        let (recs, skips) = read_hours_lenient(text.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(skips.is_empty());
+    }
+
+    #[test]
+    fn msr_lenient_skips_bad_rows_and_conversions() {
+        // Row 3 is unparsable; row 4's timestamp precedes the stream
+        // base, which fails request conversion rather than parsing.
+        let text = "\
+128166372003061629,usr,0,Read,7014609920,24576,41286\n\
+128166372016382155,usr,0,Write,2512192512,4096,289350\n\
+1,usr,0,Oops,0,512,10\n\
+128166372000000000,usr,0,Read,0,512,10\n\
+128166372026382245,usr,0,Read,2512197120,512,1234\n";
+        let mut reqs = MsrReader::new(text.as_bytes()).lenient().requests();
+        let got: Vec<Request> = reqs.by_ref().collect::<Result<_>>().unwrap();
+        assert_eq!(got.len(), 3);
+        let skips = reqs.skip_report();
+        assert_eq!(skips.skipped, 2);
+        assert_eq!(skips.sample_lines, vec![3, 4]);
+        // Strict mode rejects the same stream.
+        assert!(read_msr_requests(text.as_bytes()).is_err());
     }
 
     #[test]

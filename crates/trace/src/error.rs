@@ -60,6 +60,73 @@ impl From<io::Error> for TraceError {
     }
 }
 
+impl TraceError {
+    /// True for errors scoped to a single record — the kind a lenient
+    /// reader may skip. I/O and container-level errors (bad magic,
+    /// wrong version) are never record-level: skipping past them would
+    /// silently misread everything that follows.
+    #[must_use]
+    pub fn is_record_level(&self) -> bool {
+        matches!(
+            self,
+            TraceError::Parse { .. } | TraceError::InvalidRecord { .. }
+        )
+    }
+}
+
+/// Upper bound on the line numbers a [`SkipReport`] retains; the count
+/// keeps climbing past it.
+pub const SKIP_SAMPLE_MAX: usize = 8;
+
+/// What a lenient reader dropped: a total count plus a bounded sample
+/// of offending line numbers (first [`SKIP_SAMPLE_MAX`], so the report
+/// stays O(1) even on a pathologically corrupt multi-gigabyte trace).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SkipReport {
+    /// Number of records skipped.
+    pub skipped: u64,
+    /// 1-based line numbers of the first skipped records.
+    pub sample_lines: Vec<u64>,
+}
+
+impl SkipReport {
+    pub(crate) fn note(&mut self, line: u64) {
+        if self.sample_lines.len() < SKIP_SAMPLE_MAX {
+            self.sample_lines.push(line);
+        }
+        self.skipped += 1;
+    }
+
+    /// True when nothing was skipped.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.skipped == 0
+    }
+}
+
+impl fmt::Display for SkipReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "no records skipped");
+        }
+        let lines: Vec<String> = self.sample_lines.iter().map(u64::to_string).collect();
+        let ellipsis = if (self.skipped as usize) > self.sample_lines.len() {
+            ", …"
+        } else {
+            ""
+        };
+        write!(
+            f,
+            "skipped {} malformed record{} (line{} {}{})",
+            self.skipped,
+            if self.skipped == 1 { "" } else { "s" },
+            if self.skipped == 1 { "" } else { "s" },
+            lines.join(", "),
+            ellipsis
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +152,34 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<TraceError>();
+    }
+
+    #[test]
+    fn record_level_classification() {
+        assert!(TraceError::Parse {
+            line: 1,
+            reason: "x".into()
+        }
+        .is_record_level());
+        assert!(TraceError::InvalidRecord { reason: "x".into() }.is_record_level());
+        assert!(!TraceError::BadMagic.is_record_level());
+        assert!(!TraceError::TruncatedRecord.is_record_level());
+        assert!(!TraceError::from(io::Error::other("x")).is_record_level());
+    }
+
+    #[test]
+    fn skip_report_bounds_its_sample() {
+        let mut rep = SkipReport::default();
+        assert!(rep.is_empty());
+        assert_eq!(rep.to_string(), "no records skipped");
+        for line in 1..=20 {
+            rep.note(line);
+        }
+        assert_eq!(rep.skipped, 20);
+        assert_eq!(rep.sample_lines.len(), SKIP_SAMPLE_MAX);
+        assert_eq!(rep.sample_lines[0], 1);
+        let text = rep.to_string();
+        assert!(text.contains("skipped 20"), "{text}");
+        assert!(text.contains('…'), "sample truncation is visible: {text}");
     }
 }

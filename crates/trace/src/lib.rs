@@ -46,7 +46,7 @@ pub mod transform;
 
 mod error;
 
-pub use error::TraceError;
+pub use error::{SkipReport, TraceError, SKIP_SAMPLE_MAX};
 pub use hour::{HourRecord, HourSeries};
 pub use lifetime::LifetimeRecord;
 pub use meta::{Granularity, TraceMeta};

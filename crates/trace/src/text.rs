@@ -14,7 +14,7 @@
 //! streaming: it yields `Result<Request>` per line and never buffers the
 //! whole trace.
 
-use crate::{DriveId, OpKind, Request, Result, TraceError};
+use crate::{DriveId, OpKind, Request, Result, SkipReport, TraceError};
 use std::io::{BufRead, BufReader, Read, Write};
 
 /// Header comment written at the top of every text trace.
@@ -55,6 +55,8 @@ where
 pub struct TextReader<R> {
     lines: std::io::Lines<BufReader<R>>,
     line_no: u64,
+    lenient: bool,
+    skips: SkipReport,
 }
 
 impl<R: Read> TextReader<R> {
@@ -63,7 +65,24 @@ impl<R: Read> TextReader<R> {
         TextReader {
             lines: BufReader::new(source).lines(),
             line_no: 0,
+            lenient: false,
+            skips: SkipReport::default(),
         }
+    }
+
+    /// Switches the reader to lenient mode: malformed lines are
+    /// skipped (and noted in [`TextReader::skip_report`]) instead of
+    /// ending the stream; I/O errors still propagate.
+    #[must_use]
+    pub fn lenient(mut self) -> Self {
+        self.lenient = true;
+        self
+    }
+
+    /// What lenient mode has skipped so far.
+    #[must_use]
+    pub fn skip_report(&self) -> &SkipReport {
+        &self.skips
     }
 }
 
@@ -121,7 +140,12 @@ impl<R: Read> Iterator for TextReader<R> {
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
-            return Some(parse_line(trimmed, self.line_no));
+            match parse_line(trimmed, self.line_no) {
+                Err(e) if self.lenient && e.is_record_level() => {
+                    self.skips.note(self.line_no);
+                }
+                other => return Some(other),
+            }
         }
     }
 }
@@ -133,6 +157,18 @@ impl<R: Read> Iterator for TextReader<R> {
 /// Propagates the first parse or I/O error.
 pub fn read_requests<R: Read>(source: R) -> Result<Vec<Request>> {
     TextReader::new(source).collect()
+}
+
+/// Reads an entire text trace into memory, skipping malformed lines
+/// instead of failing; the [`SkipReport`] says what was dropped.
+///
+/// # Errors
+///
+/// Returns only [`TraceError::Io`] — record-level damage is skipped.
+pub fn read_requests_lenient<R: Read>(source: R) -> Result<(Vec<Request>, SkipReport)> {
+    let mut reader = TextReader::new(source).lenient();
+    let requests: Vec<Request> = reader.by_ref().collect::<Result<_>>()?;
+    Ok((requests, reader.skips))
 }
 
 #[cfg(test)]
@@ -196,6 +232,18 @@ mod tests {
                 "line {bad:?} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn lenient_reader_skips_damage_and_reports_lines() {
+        let text = "1,0,R,0,1\nnot,a,valid,line,x\n3,0,W,8,1\n10,1,X,100,4\n";
+        let (reqs, skips) = read_requests_lenient(text.as_bytes()).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[1].arrival_ns, 3);
+        assert_eq!(skips.skipped, 2);
+        assert_eq!(skips.sample_lines, vec![2, 4]);
+        // Strict mode still rejects the same input.
+        assert!(read_requests(text.as_bytes()).is_err());
     }
 
     #[test]

@@ -5,7 +5,9 @@ use spindle_trace::lifetime::accumulate_lifetime;
 use spindle_trace::transform::{
     merge_sorted, rebase_time, split_by_drive, summarize, time_window, validate_sorted,
 };
-use spindle_trace::{binary, text, DriveId, HourRecord, OpKind, Request};
+use spindle_trace::{
+    binary, csv, text, DriveId, HourRecord, OpKind, Request, TraceError, SKIP_SAMPLE_MAX,
+};
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
@@ -137,5 +139,148 @@ proptest! {
         prop_assert_eq!(lt.lifetime_reads, reads);
         prop_assert_eq!(lt.lifetime_writes, writes);
         prop_assert!(lt.mean_utilization() >= 0.0 && lt.mean_utilization() <= 1.0);
+    }
+}
+
+// --- hostile input -------------------------------------------------------
+//
+// The readers below are fed arbitrary, truncated, and bit-flipped bytes.
+// The contract under attack: no panic, strict errors carry a line number
+// inside the file, and lenient readers fail only on I/O (here: invalid
+// UTF-8) while keeping their skip accounting consistent.
+
+/// An MSR-Cambridge CSV body with sorted timestamps (so every row also
+/// survives request conversion), prefixed by the standard header.
+fn arb_msr_trace() -> impl Strategy<Value = (String, usize)> {
+    prop::collection::vec(
+        (
+            1u64..1_000_000,
+            0u32..4,
+            prop::bool::ANY,
+            0u64..1_000_000,
+            1u64..1_048_576,
+        ),
+        1..40,
+    )
+    .prop_map(|rows| {
+        let mut ts = 0u64;
+        let mut out = String::from(csv::MSR_HEADER);
+        out.push('\n');
+        for (dt, disk, w, lba, size) in &rows {
+            ts += dt;
+            let op = if *w { "Write" } else { "Read" };
+            out.push_str(&format!("{ts},srv,{disk},{op},{},{size},{dt}\n", lba * 512));
+        }
+        (out, rows.len())
+    })
+}
+
+fn line_count(bytes: &[u8]) -> u64 {
+    bytes.iter().filter(|b| **b == b'\n').count() as u64 + 1
+}
+
+fn skip_report_is_consistent(skips: &spindle_trace::SkipReport) -> bool {
+    skips.sample_lines.len() <= SKIP_SAMPLE_MAX && skips.skipped >= skips.sample_lines.len() as u64
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic_the_readers(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        // Strict readers: any outcome is fine as long as errors are
+        // structured — a Parse error must point at a line in the file.
+        for result in [text::read_requests(bytes.as_slice()).err(),
+                       csv::read_msr_requests(bytes.as_slice()).err()] {
+            if let Some(TraceError::Parse { line, .. }) = result {
+                prop_assert!(line >= 1 && line <= line_count(&bytes), "line {line} out of range");
+            }
+        }
+        // Lenient readers: the only permitted failure is I/O (invalid
+        // UTF-8 in this in-memory setting); damage is skipped, not fatal.
+        match text::read_requests_lenient(bytes.as_slice()) {
+            Ok((_, skips)) => prop_assert!(skip_report_is_consistent(&skips)),
+            Err(e) => prop_assert!(matches!(e, TraceError::Io(_)), "unexpected lenient error: {e}"),
+        }
+        match csv::read_msr_requests_lenient(bytes.as_slice()) {
+            Ok((_, skips)) => prop_assert!(skip_report_is_consistent(&skips)),
+            Err(e) => prop_assert!(matches!(e, TraceError::Io(_)), "unexpected lenient error: {e}"),
+        }
+    }
+
+    #[test]
+    fn bit_flipped_text_trace_is_caught_or_harmless(
+        reqs in prop::collection::vec(arb_request(), 1..40),
+        flip_at in 0usize..65_536,
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        text::write_requests(&mut buf, &reqs).unwrap();
+        let pos = flip_at % buf.len();
+        buf[pos] ^= 1 << bit;
+
+        // Strict: success or a structured error naming a real line.
+        match text::read_requests(buf.as_slice()) {
+            Ok(survivors) => prop_assert!(survivors.len() <= reqs.len() + 1),
+            Err(TraceError::Parse { line, .. }) => {
+                prop_assert!(line >= 1 && line <= line_count(&buf), "line {line} out of range");
+            }
+            Err(TraceError::Io(_)) | Err(TraceError::InvalidRecord { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+        }
+        // Lenient: only I/O may fail; otherwise the accounting holds up.
+        match text::read_requests_lenient(buf.as_slice()) {
+            Ok((survivors, skips)) => {
+                prop_assert!(skip_report_is_consistent(&skips));
+                prop_assert!(survivors.len() <= reqs.len() + 1);
+            }
+            Err(e) => prop_assert!(matches!(e, TraceError::Io(_)), "unexpected lenient error: {e}"),
+        }
+    }
+
+    #[test]
+    fn truncated_text_trace_yields_a_clean_prefix(
+        reqs in prop::collection::vec(arb_request(), 1..40),
+        cut_at in 0usize..65_536,
+    ) {
+        let mut buf = Vec::new();
+        text::write_requests(&mut buf, &reqs).unwrap();
+        // The text codec is pure ASCII, so cutting anywhere is UTF-8 safe.
+        buf.truncate(cut_at % buf.len());
+
+        let (survivors, skips) = text::read_requests_lenient(buf.as_slice()).unwrap();
+        // Only the severed final line is at risk: it can be lost, or —
+        // when the cut lands after a digit — parse as a shorter but
+        // still valid record. Everything before the cut parses back
+        // exactly as written.
+        prop_assert!(skips.skipped <= 1, "one cut can cost at most one record: {skips:?}");
+        prop_assert!(survivors.len() <= reqs.len());
+        let intact = survivors.len().saturating_sub(1);
+        prop_assert_eq!(&survivors[..intact], &reqs[..intact]);
+    }
+
+    #[test]
+    fn corrupted_msr_row_is_reported_by_line(
+        (trace, rows) in arb_msr_trace(),
+        victim in 0usize..65_536,
+    ) {
+        let victim = victim % rows;
+        let line_no = victim as u64 + 2; // +1 for the header, +1 for 1-basing
+        let corrupted: String = trace
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i as u64 + 1 == line_no { "!!corrupt!!\n".to_owned() } else { format!("{l}\n") }
+            })
+            .collect();
+
+        // Strict parsing names exactly the damaged line.
+        match csv::read_msr_requests(corrupted.as_bytes()) {
+            Err(TraceError::Parse { line, .. }) => prop_assert_eq!(line, line_no),
+            other => prop_assert!(false, "expected a parse error at line {line_no}, got {other:?}"),
+        }
+        // Lenient parsing drops exactly that row and records where.
+        let (survivors, skips) = csv::read_msr_requests_lenient(corrupted.as_bytes()).unwrap();
+        prop_assert_eq!(survivors.len(), rows - 1);
+        prop_assert_eq!(skips.skipped, 1);
+        prop_assert_eq!(skips.sample_lines.as_slice(), &[line_no]);
     }
 }

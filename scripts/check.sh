@@ -43,6 +43,11 @@ run cargo test $OFFLINE --workspace -q
 run cargo test $OFFLINE -q -p spindle-bench --test engine_determinism
 run cargo test $OFFLINE -q -p spindle-engine --test channel_stress
 
+# The robustness contracts: panic isolation and checkpoint/resume,
+# likewise named explicitly.
+run cargo test $OFFLINE -q -p spindle-bench --test fault_injection
+run cargo test $OFFLINE -q -p spindle-bench --test checkpoint_resume
+
 # Re-run the suite with parallel execution forced on: every pool that
 # defaults its worker count must still produce sequential-identical
 # results with two workers.
@@ -65,5 +70,59 @@ for artifact in artifacts/trace.json artifacts/report.html artifacts/BENCH_pr3.j
         fail=1
     fi
 done
+
+# Fault-injection smoke: the robustness layer end to end, through the
+# shipped binaries.
+EXPERIMENTS=target/release/experiments
+
+# 1. Forced shard panic: the run must fail loudly (exit 1), name the
+#    quarantined experiment, and still emit the survivor's output.
+echo "==> $EXPERIMENTS --quick --faults panic@0 --quiet t1 t2 (expect exit 1)"
+"$EXPERIMENTS" --quick --faults panic@0 --quiet t1 t2 \
+    > artifacts/faulted.txt 2> artifacts/faulted.err
+status=$?
+if [ "$status" -ne 1 ]; then
+    echo "FAILED: forced shard panic should exit 1, got $status" >&2
+    fail=1
+fi
+if ! grep -q "t1 FAILED" artifacts/faulted.err; then
+    echo "FAILED: quarantined shard not reported on stderr" >&2
+    fail=1
+fi
+if [ ! -s artifacts/faulted.txt ]; then
+    echo "FAILED: surviving experiment produced no output" >&2
+    fail=1
+fi
+
+# 2. Corrupt-trace run: strict parsing must reject the damage with a
+#    line number; --lenient must skip it and finish.
+CORRUPT=artifacts/smoke-corrupt.txt
+run "$SPINDLE" generate --env mail --span 60 --seed 7 --out "$CORRUPT" --quiet
+printf 'not,a,valid,record\n' >> "$CORRUPT"
+echo "==> $SPINDLE analyze --in $CORRUPT --quiet (expect failure)"
+if "$SPINDLE" analyze --in "$CORRUPT" --quiet > /dev/null 2> artifacts/corrupt.err; then
+    echo "FAILED: strict parsing accepted a corrupt trace" >&2
+    fail=1
+fi
+if ! grep -q "line" artifacts/corrupt.err; then
+    echo "FAILED: strict parse error does not name the damaged line" >&2
+    fail=1
+fi
+run "$SPINDLE" analyze --in "$CORRUPT" --lenient --quiet
+
+# 3. Kill-and-resume cycle: a matrix killed mid-run by an injected
+#    kill fault must resume to byte-identical stdout.
+JOURNAL=artifacts/resume.jsonl
+rm -f "$JOURNAL"
+run sh -c "$EXPERIMENTS --quick --quiet t1 t2 t3 > artifacts/uninterrupted.txt"
+echo "==> $EXPERIMENTS --quick --resume $JOURNAL --faults kill@1 --quiet t1 t2 t3 (expect exit 137)"
+"$EXPERIMENTS" --quick --resume "$JOURNAL" --faults kill@1 --quiet t1 t2 t3 > /dev/null 2>&1
+status=$?
+if [ "$status" -ne 137 ]; then
+    echo "FAILED: injected kill should exit 137, got $status" >&2
+    fail=1
+fi
+run sh -c "$EXPERIMENTS --quick --resume $JOURNAL --quiet t1 t2 t3 > artifacts/resumed.txt"
+run cmp artifacts/uninterrupted.txt artifacts/resumed.txt
 
 exit "$fail"
