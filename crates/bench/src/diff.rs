@@ -1,0 +1,451 @@
+//! Comparing two bench-record files: `spindle bench diff OLD NEW`.
+//!
+//! A bench record (see [`record`](crate::record)) freezes one matrix
+//! run into JSON. This module turns two of them into a per-experiment
+//! wall-clock comparison with a regression gate: rows whose slowdown
+//! exceeds `--threshold PCT` are flagged, and the caller maps "any
+//! flagged row" to a non-zero exit so CI can hold the line against a
+//! committed baseline.
+//!
+//! Both schema versions parse — `spindle-bench-record/v1` (no
+//! provenance) and `/v2` (adds `commit`, `jobs`, `hostname`) — so
+//! baselines recorded before the v2 bump stay comparable.
+//!
+//! Percentages, not absolute seconds, are the unit of the gate: the
+//! matrix mixes millisecond experiments with second-long ones, and a
+//! fixed absolute budget would either drown the former or never
+//! trigger on the latter. The flip side — tiny experiments have noisy
+//! percentages — is the caller's to manage by choosing a generous
+//! threshold for CI.
+
+use spindle_obs::json::{self, Json};
+
+/// One record file, reduced to what the diff needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordFile {
+    /// Schema tag (`spindle-bench-record/v1` or `.../v2`).
+    pub schema: String,
+    /// Worker count (v2 top-level, falling back to `config.jobs`).
+    pub jobs: Option<u64>,
+    /// Commit hash the run was built from (v2 only).
+    pub commit: Option<String>,
+    /// Host the run executed on (v2 only).
+    pub hostname: Option<String>,
+    /// End-to-end wall-clock seconds.
+    pub total_secs: Option<f64>,
+    /// Per-experiment `(id, secs, ok)` in file order.
+    pub results: Vec<(String, f64, bool)>,
+}
+
+/// Parses a bench-record document (v1 or v2).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, an unknown
+/// schema tag, or a missing/ill-typed `results` array.
+pub fn parse_record(text: &str) -> Result<RecordFile, String> {
+    let doc = json::parse(text.trim()).map_err(|e| format!("not a JSON document: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing `schema` field")?;
+    if !matches!(
+        schema,
+        "spindle-bench-record/v1" | "spindle-bench-record/v2"
+    ) {
+        return Err(format!("unsupported schema `{schema}`"));
+    }
+    let jobs = doc
+        .get("jobs")
+        .and_then(Json::as_u64)
+        .or_else(|| doc.get("config")?.get("jobs")?.as_u64());
+    let Some(Json::Arr(raw)) = doc.get("results") else {
+        return Err("missing `results` array".to_owned());
+    };
+    let mut results = Vec::with_capacity(raw.len());
+    for (i, r) in raw.iter().enumerate() {
+        let id = r
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("result #{i} has no `id`"))?;
+        let secs = r
+            .get("secs")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("result `{id}` has no `secs`"))?;
+        let ok = matches!(r.get("ok"), Some(Json::Bool(true)) | None);
+        results.push((id.to_owned(), secs, ok));
+    }
+    Ok(RecordFile {
+        schema: schema.to_owned(),
+        jobs,
+        commit: doc.get("commit").and_then(Json::as_str).map(str::to_owned),
+        hostname: doc
+            .get("hostname")
+            .and_then(Json::as_str)
+            .map(str::to_owned),
+        total_secs: doc.get("total_secs").and_then(Json::as_f64),
+        results,
+    })
+}
+
+/// One experiment's comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Experiment id.
+    pub id: String,
+    /// Seconds in the old record; `None` when the experiment is new.
+    pub old_secs: Option<f64>,
+    /// Seconds in the new record; `None` when the experiment vanished.
+    pub new_secs: Option<f64>,
+    /// Relative change in percent (`+` is slower), when both sides
+    /// exist and the old time is positive.
+    pub delta_pct: Option<f64>,
+    /// Whether this row trips the regression gate.
+    pub regressed: bool,
+}
+
+/// The full comparison of two record files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// Per-experiment rows: old order first, new-only rows appended.
+    pub rows: Vec<DiffRow>,
+    /// Whole-matrix wall-clock comparison, same semantics as a row.
+    pub total: DiffRow,
+    /// The gate threshold in percent.
+    pub threshold_pct: f64,
+    /// The old record's provenance.
+    pub old: RecordFile,
+    /// The new record's provenance.
+    pub new: RecordFile,
+}
+
+fn make_row(
+    id: &str,
+    old_secs: Option<f64>,
+    new_secs: Option<f64>,
+    old_ok: bool,
+    new_ok: bool,
+    threshold_pct: f64,
+) -> DiffRow {
+    let delta_pct = match (old_secs, new_secs) {
+        (Some(o), Some(n)) if o > 0.0 => Some((n - o) / o * 100.0),
+        _ => None,
+    };
+    // Slower than the threshold allows, or a previously-passing
+    // experiment now failing: both hold the gate.
+    let regressed = delta_pct.is_some_and(|d| d > threshold_pct) || (old_ok && !new_ok);
+    DiffRow {
+        id: id.to_owned(),
+        old_secs,
+        new_secs,
+        delta_pct,
+        regressed,
+    }
+}
+
+/// Compares two parsed records under a `threshold_pct` gate.
+#[must_use]
+pub fn diff(old: RecordFile, new: RecordFile, threshold_pct: f64) -> BenchDiff {
+    let find = |hay: &[(String, f64, bool)], id: &str| -> Option<(f64, bool)> {
+        hay.iter()
+            .find(|(i, _, _)| i == id)
+            .map(|(_, s, ok)| (*s, *ok))
+    };
+    let mut rows = Vec::new();
+    for (id, old_secs, old_ok) in &old.results {
+        let found = find(&new.results, id);
+        rows.push(make_row(
+            id,
+            Some(*old_secs),
+            found.map(|(s, _)| s),
+            *old_ok,
+            found.is_none_or(|(_, ok)| ok),
+            threshold_pct,
+        ));
+    }
+    for (id, new_secs, new_ok) in &new.results {
+        if find(&old.results, id).is_none() {
+            rows.push(make_row(
+                id,
+                None,
+                Some(*new_secs),
+                true,
+                *new_ok,
+                threshold_pct,
+            ));
+        }
+    }
+    let total = make_row(
+        "total",
+        old.total_secs,
+        new.total_secs,
+        true,
+        true,
+        threshold_pct,
+    );
+    BenchDiff {
+        rows,
+        total,
+        threshold_pct,
+        old,
+        new,
+    }
+}
+
+impl BenchDiff {
+    /// Rows that trip the gate (the whole-matrix total included).
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .chain(std::iter::once(&self.total))
+            .filter(|r| r.regressed)
+            .collect()
+    }
+
+    /// Whether any row trips the gate.
+    #[must_use]
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions().is_empty()
+    }
+
+    /// The comparison as a markdown table with a provenance header.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        fn secs(v: Option<f64>) -> String {
+            v.map_or_else(|| "—".to_owned(), |s| format!("{s:.3}s"))
+        }
+        fn delta(r: &DiffRow) -> String {
+            match r.delta_pct {
+                Some(d) => format!("{d:+.1}%{}", if r.regressed { " ⚠" } else { "" }),
+                None if r.regressed => "⚠".to_owned(),
+                None => "—".to_owned(),
+            }
+        }
+        let mut out = String::new();
+        out.push_str("# Bench diff\n\n");
+        let provenance = |f: &RecordFile| {
+            format!(
+                "{} (jobs {}, commit {}, host {})",
+                f.schema,
+                f.jobs.map_or_else(|| "?".to_owned(), |j| j.to_string()),
+                f.commit
+                    .as_deref()
+                    .map_or("unknown", |c| &c[..c.len().min(12)]),
+                f.hostname.as_deref().unwrap_or("unknown"),
+            )
+        };
+        out.push_str(&format!("- old: {}\n", provenance(&self.old)));
+        out.push_str(&format!("- new: {}\n", provenance(&self.new)));
+        out.push_str(&format!("- threshold: {:.1}%\n\n", self.threshold_pct));
+        out.push_str("| experiment | old | new | delta |\n");
+        out.push_str("|---|---:|---:|---:|\n");
+        for r in self.rows.iter().chain(std::iter::once(&self.total)) {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} |\n",
+                r.id,
+                secs(r.old_secs),
+                secs(r.new_secs),
+                delta(r)
+            ));
+        }
+        let regs = self.regressions();
+        if regs.is_empty() {
+            out.push_str(&format!(
+                "\nNo regressions beyond {:.1}%.\n",
+                self.threshold_pct
+            ));
+        } else {
+            out.push_str(&format!(
+                "\n**{} regression(s) beyond {:.1}%:** {}\n",
+                regs.len(),
+                self.threshold_pct,
+                regs.iter()
+                    .map(|r| r.id.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        out
+    }
+
+    /// The comparison as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        fn row_json(r: &DiffRow) -> Json {
+            Json::Obj(vec![
+                ("id".to_owned(), Json::Str(r.id.clone())),
+                (
+                    "old_secs".to_owned(),
+                    r.old_secs.map_or(Json::Null, Json::Num),
+                ),
+                (
+                    "new_secs".to_owned(),
+                    r.new_secs.map_or(Json::Null, Json::Num),
+                ),
+                (
+                    "delta_pct".to_owned(),
+                    r.delta_pct.map_or(Json::Null, Json::Num),
+                ),
+                ("regressed".to_owned(), Json::Bool(r.regressed)),
+            ])
+        }
+        fn meta_json(f: &RecordFile) -> Json {
+            Json::Obj(vec![
+                ("schema".to_owned(), Json::Str(f.schema.clone())),
+                ("jobs".to_owned(), f.jobs.map_or(Json::Null, Json::Uint)),
+                (
+                    "commit".to_owned(),
+                    f.commit.clone().map_or(Json::Null, Json::Str),
+                ),
+                (
+                    "hostname".to_owned(),
+                    f.hostname.clone().map_or(Json::Null, Json::Str),
+                ),
+            ])
+        }
+        Json::Obj(vec![
+            (
+                "schema".to_owned(),
+                Json::Str("spindle-bench-diff/v1".to_owned()),
+            ),
+            ("threshold_pct".to_owned(), Json::Num(self.threshold_pct)),
+            ("old".to_owned(), meta_json(&self.old)),
+            ("new".to_owned(), meta_json(&self.new)),
+            (
+                "rows".to_owned(),
+                Json::Arr(self.rows.iter().map(row_json).collect()),
+            ),
+            ("total".to_owned(), row_json(&self.total)),
+            (
+                "regressions".to_owned(),
+                Json::Arr(
+                    self.regressions()
+                        .iter()
+                        .map(|r| Json::Str(r.id.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v1_record(pairs: &[(&str, f64)]) -> String {
+        let results: Vec<String> = pairs
+            .iter()
+            .map(|(id, s)| format!("{{\"id\":\"{id}\",\"secs\":{s:?},\"ok\":true}}"))
+            .collect();
+        format!(
+            "{{\"schema\":\"spindle-bench-record/v1\",\"config\":{{\"quick\":true,\"jobs\":2,\"seed\":7}},\"total_secs\":{:?},\"results\":[{}]}}",
+            pairs.iter().map(|(_, s)| s).sum::<f64>(),
+            results.join(",")
+        )
+    }
+
+    fn v2_record(pairs: &[(&str, f64)]) -> String {
+        let results: Vec<String> = pairs
+            .iter()
+            .map(|(id, s)| format!("{{\"id\":\"{id}\",\"secs\":{s:?},\"ok\":true}}"))
+            .collect();
+        format!(
+            "{{\"schema\":\"spindle-bench-record/v2\",\"config\":{{\"quick\":true,\"jobs\":4,\"seed\":7}},\"jobs\":4,\"commit\":\"{}\",\"hostname\":\"runner-1\",\"total_secs\":{:?},\"results\":[{}]}}",
+            "a".repeat(40),
+            pairs.iter().map(|(_, s)| s).sum::<f64>(),
+            results.join(",")
+        )
+    }
+
+    #[test]
+    fn both_schema_versions_parse() {
+        let v1 = parse_record(&v1_record(&[("t1", 1.0)])).unwrap();
+        assert_eq!(v1.schema, "spindle-bench-record/v1");
+        assert_eq!(v1.jobs, Some(2), "v1 falls back to config.jobs");
+        assert_eq!(v1.commit, None);
+        assert_eq!(v1.results, vec![("t1".to_owned(), 1.0, true)]);
+
+        let v2 = parse_record(&v2_record(&[("t1", 1.0)])).unwrap();
+        assert_eq!(v2.jobs, Some(4));
+        assert_eq!(v2.commit.as_deref(), Some(&*"a".repeat(40)));
+        assert_eq!(v2.hostname.as_deref(), Some("runner-1"));
+    }
+
+    #[test]
+    fn malformed_records_are_rejected_with_context() {
+        assert!(parse_record("not json").unwrap_err().contains("JSON"));
+        let err = parse_record("{\"schema\":\"something/v9\",\"results\":[]}").unwrap_err();
+        assert!(err.contains("something/v9"), "{err}");
+        let err = parse_record("{\"schema\":\"spindle-bench-record/v2\"}").unwrap_err();
+        assert!(err.contains("results"), "{err}");
+        let err =
+            parse_record("{\"schema\":\"spindle-bench-record/v2\",\"results\":[{\"secs\":1.0}]}")
+                .unwrap_err();
+        assert!(err.contains("id"), "{err}");
+    }
+
+    #[test]
+    fn regressions_trip_only_beyond_the_threshold() {
+        let old = parse_record(&v1_record(&[("t1", 1.0), ("t2", 2.0)])).unwrap();
+        let new = parse_record(&v2_record(&[("t1", 1.05), ("t2", 3.0)])).unwrap();
+        let d = diff(old, new, 10.0);
+        assert!(d.has_regressions());
+        let regs = d.regressions();
+        // t2 is +50%, the total is +35%; t1's +5% stays under the gate.
+        let ids: Vec<&str> = regs.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["t2", "total"]);
+        assert!((d.rows[0].delta_pct.unwrap() - 5.0).abs() < 1e-9);
+        assert!(!d.rows[0].regressed);
+
+        // A generous threshold lets the same pair pass.
+        let old = parse_record(&v1_record(&[("t1", 1.0), ("t2", 2.0)])).unwrap();
+        let new = parse_record(&v2_record(&[("t1", 1.05), ("t2", 3.0)])).unwrap();
+        assert!(!diff(old, new, 60.0).has_regressions());
+    }
+
+    #[test]
+    fn added_and_removed_experiments_never_gate() {
+        let old = parse_record(&v1_record(&[("t1", 1.0), ("gone", 1.0)])).unwrap();
+        let new = parse_record(&v2_record(&[("t1", 1.0), ("fresh", 9.0)])).unwrap();
+        let d = diff(old, new, 10.0);
+        let gone = d.rows.iter().find(|r| r.id == "gone").unwrap();
+        assert_eq!((gone.new_secs, gone.delta_pct), (None, None));
+        let fresh = d.rows.iter().find(|r| r.id == "fresh").unwrap();
+        assert_eq!((fresh.old_secs, fresh.delta_pct), (None, None));
+        assert!(!gone.regressed && !fresh.regressed);
+    }
+
+    #[test]
+    fn a_newly_failing_experiment_gates_regardless_of_time() {
+        let old = parse_record(&v1_record(&[("t1", 1.0)])).unwrap();
+        let new = parse_record(
+            "{\"schema\":\"spindle-bench-record/v2\",\"total_secs\":0.5,\"results\":[{\"id\":\"t1\",\"secs\":0.5,\"ok\":false}]}",
+        )
+        .unwrap();
+        let d = diff(old, new, 10.0);
+        assert!(d.rows[0].regressed, "ok→fail is a regression even at -50%");
+    }
+
+    #[test]
+    fn outputs_render_both_formats() {
+        let old = parse_record(&v1_record(&[("t1", 1.0)])).unwrap();
+        let new = parse_record(&v2_record(&[("t1", 2.0)])).unwrap();
+        let d = diff(old, new, 25.0);
+        let md = d.to_markdown();
+        assert!(md.contains("| t1 | 1.000s | 2.000s | +100.0% ⚠ |"), "{md}");
+        assert!(md.contains("threshold: 25.0%"), "{md}");
+        assert!(md.contains("regression(s)"), "{md}");
+        let j = d.to_json();
+        let parsed = json::parse(&j.to_string()).unwrap();
+        assert_eq!(parsed, j, "diff JSON round-trips");
+        assert_eq!(
+            j.get("regressions"),
+            Some(&Json::Arr(vec![
+                Json::Str("t1".to_owned()),
+                Json::Str("total".to_owned())
+            ]))
+        );
+    }
+}

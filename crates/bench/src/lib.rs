@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod diff;
 pub mod figures;
 pub mod journal;
 pub mod matrix;

@@ -6,15 +6,17 @@
 //! ```text
 //! experiments [--quick] [--jobs N] [--metrics[=json|text]] [--record[=FILE]]
 //!             [--trace-out FILE] [--faults SPEC] [--resume FILE]
-//!             [--verbose|--quiet] [ids...]
+//!             [--serve [ADDR]] [--live] [--verbose|--quiet] [ids...]
 //! experiments --quick t2 f5        # just T2 and F5, reduced scale
 //! experiments                      # everything at paper scale
 //! experiments --jobs 8             # fan the matrix across 8 workers
 //! experiments --metrics=json t1    # T1 plus a JSON metrics dump on stderr
-//! experiments --record t1 t2      # also write BENCH_pr3.json
+//! experiments --record t1 t2      # also write the bench-record file
 //! experiments --trace-out t.json  # export a Chrome trace-event timeline
 //! experiments --faults panic@3    # quarantine the 4th experiment
 //! experiments --resume run.jsonl  # journal completions; resume a killed run
+//! experiments --serve 127.0.0.1:0 # scrape /metrics, /status mid-run
+//! experiments --live              # ANSI progress dashboard on stderr
 //! ```
 //!
 //! The accepted ids in the usage line are derived from the experiment
@@ -44,7 +46,7 @@ use std::sync::Arc;
 
 /// Default destination of `--record` (the PR-over-PR perf trajectory
 /// file tracked at the repository root).
-const RECORD_DEFAULT: &str = "BENCH_pr3.json";
+const RECORD_DEFAULT: &str = "BENCH_pr5.json";
 
 /// Exit status of a run killed by an injected `kill@N` fault, chosen
 /// to look like SIGKILL so resume tests exercise the real path.
@@ -52,9 +54,16 @@ const KILL_STATUS: i32 = 137;
 
 fn usage() -> String {
     format!
-        ("usage: experiments [--quick] [--jobs N] [--metrics[=json|text]] [--record[=FILE]] [--trace-out FILE] [--faults SPEC] [--resume FILE] [--verbose|--quiet] [{}]",
+        ("usage: experiments [--quick] [--jobs N] [--metrics[=json|text]] [--record[=FILE]] [--trace-out FILE] [--faults SPEC] [--resume FILE] [--serve [ADDR]] [--live] [--verbose|--quiet] [{}]",
         matrix::id_ranges()
     )
+}
+
+/// Whether a token following `--serve` is an address operand rather
+/// than the next flag or an experiment id (`host:port` contains a
+/// colon; no id or flag does).
+fn looks_like_addr(s: &str) -> bool {
+    !s.starts_with('-') && s.contains(':')
 }
 
 fn bad_usage(msg: &str) -> ! {
@@ -71,8 +80,10 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut faults_spec: Option<String> = None;
     let mut resume: Option<String> = None;
+    let mut serve: Option<Option<String>> = None;
+    let mut live = false;
     let mut ids: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
@@ -109,6 +120,19 @@ fn main() {
             other if other.starts_with("--resume=") => {
                 resume = Some(other["--resume=".len()..].to_owned());
             }
+            "--serve" => {
+                // The address operand is optional: consume the next
+                // token only when it looks like host:port.
+                let addr = match args.peek() {
+                    Some(next) if looks_like_addr(next) => args.next(),
+                    _ => None,
+                };
+                serve = Some(addr);
+            }
+            other if other.starts_with("--serve=") => {
+                serve = Some(Some(other["--serve=".len()..].to_owned()));
+            }
+            "--live" => live = true,
             "--verbose" => spindle_obs::logger::set_level(LogLevel::Verbose),
             "--quiet" => spindle_obs::logger::set_level(LogLevel::Quiet),
             "--jobs" => {
@@ -219,13 +243,41 @@ fn main() {
         cfg.family_drives,
         jobs
     );
+    // Live telemetry (--serve / --live): strictly read-only over the
+    // registry, writing only to stderr/sockets, so stdout and the
+    // computed results are byte-identical with or without it.
+    let telemetry = match spindle_pulse::Session::start(
+        spindle_obs::global(),
+        serve.as_ref().map(Option::as_deref),
+        live,
+        ids.len() as u64,
+        "running",
+    ) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("# {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(t) = &telemetry {
+        // Journal-replayed experiments are already done.
+        for _ in todo.len()..ids.len() {
+            t.status.complete_one();
+        }
+    }
+    let status = telemetry.as_ref().map(|t| Arc::clone(&t.status));
     let mut pool = Pool::new(jobs);
-    if metrics.is_some() {
+    if metrics.is_some() || telemetry.is_some() {
+        // Worker counters feed both the --metrics dump and the live
+        // /status worker lanes.
         pool = pool.metrics(PoolMetrics::new(spindle_obs::global()));
     }
     let matrix_start = std::time::Instant::now();
     let mut failed = false;
     let mut outcome = matrix::run_matrix_isolated(&todo, &cfg, &pool, |res| {
+        if let Some(s) = &status {
+            s.complete_one();
+        }
         let Some(j) = journal.as_mut() else { return };
         let entry = JournalEntry {
             id: res.id.clone(),
@@ -310,6 +362,9 @@ fn main() {
             failed = true;
         }
     }
+    if let Some(s) = &status {
+        s.set_phase("exporting");
+    }
     let total_failures = records.iter().filter(|r| !r.ok).count();
     if total_failures > 0 {
         eprintln!(
@@ -358,6 +413,9 @@ fn main() {
             Ok(text) => eprintln!("{text}"),
             Err(e) => eprintln!("# metrics export failed: {e}"),
         }
+    }
+    if let Some(t) = telemetry {
+        t.finish();
     }
     if failed {
         std::process::exit(1);

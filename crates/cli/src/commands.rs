@@ -59,6 +59,8 @@ USAGE:
                    [--hours-out FILE] [--lifetimes-out FILE]
   spindle power    --in FILE [--profile NAME]
   spindle anonymize --in FILE --out FILE [--key N] [--extent SECTORS]
+  spindle bench diff OLD NEW [--threshold PCT] [--format md|json]
+                   [--out FILE]
   spindle help
 
 Global options (accepted before or after any command):
@@ -78,8 +80,21 @@ Global options (accepted before or after any command):
                          io@4096,short@8192,media@3,timeout@5, or seeded
                          scatter like seed@7,media%2/100 (also read from
                          the SPINDLE_FAULTS environment variable)
+  --serve [ADDR]         serve live telemetry over HTTP while the
+                         command runs: GET /metrics (Prometheus text
+                         format), /healthz, /status (JSON progress);
+                         ADDR defaults to the SPINDLE_SERVE variable,
+                         else 127.0.0.1:9184; port 0 picks a free port
+                         (the bound address is printed to stderr)
+  --live                 redraw a progress dashboard on stderr (plain
+                         line output when stderr is not a TTY)
   --verbose              include detail messages on stderr
   --quiet                suppress progress messages on stderr
+
+`spindle bench diff` compares two bench-record files (v1 or v2) from
+the experiments binary: per-experiment wall-clock deltas as markdown
+(default) or JSON; any experiment slower than --threshold PCT
+(default 20) makes the command exit non-zero.
 
 Profiles: cheetah-15k (default), savvio-10k, barracuda-es
 Schedulers: fcfs, sstf, look, sptf (default)
@@ -107,12 +122,23 @@ struct ObsArgs {
     faults: Option<String>,
     /// Skip malformed trace records instead of failing (`--lenient`).
     lenient: bool,
+    /// Serve live telemetry over HTTP (`--serve [ADDR]`); the inner
+    /// option is the explicit address when one was given.
+    serve: Option<Option<String>>,
+    /// Render the live terminal dashboard (`--live`).
+    live: bool,
+}
+
+/// Whether a `--serve` operand names a socket address rather than the
+/// next option or subcommand (addresses always carry a `:port`).
+fn looks_like_addr(s: &str) -> bool {
+    !s.starts_with('-') && s.contains(':')
 }
 
 fn extract_obs_args(argv: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
     let mut obs = ObsArgs::default();
     let mut rest = Vec::with_capacity(argv.len());
-    let mut it = argv.iter();
+    let mut it = argv.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--metrics" | "--metrics=text" => obs.metrics = Some("text"),
@@ -151,6 +177,22 @@ fn extract_obs_args(argv: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
                 obs.faults = Some(s["--faults=".len()..].to_owned());
             }
             "--lenient" => obs.lenient = true,
+            "--live" => obs.live = true,
+            "--serve" => {
+                // The address operand is optional; consume the next
+                // token only when it looks like host:port so a bare
+                // `--serve simulate ...` still parses.
+                let addr = match it.peek() {
+                    Some(next) if looks_like_addr(next) => {
+                        Some(it.next().expect("peeked token exists").clone())
+                    }
+                    _ => None,
+                };
+                obs.serve = Some(addr);
+            }
+            s if s.starts_with("--serve=") => {
+                obs.serve = Some(Some(s["--serve=".len()..].to_owned()));
+            }
             "--verbose" => obs.level = Some(LogLevel::Verbose),
             "--quiet" => obs.level = Some(LogLevel::Quiet),
             "--jobs" => {
@@ -176,6 +218,21 @@ fn extract_obs_args(argv: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
         obs.metrics = Some("text");
     }
     Ok((obs, rest))
+}
+
+/// Starts the live-telemetry consumers (`--serve`/`--live`) for one
+/// invocation. Strictly read-only over the metrics registry and
+/// writing only to stderr/sockets, so enabling them cannot change any
+/// computed result or experiment stdout. `phase` names the subcommand
+/// in `/status`.
+fn start_telemetry(obs: &ObsArgs, phase: &str) -> Result<Option<spindle_pulse::Session>, String> {
+    spindle_pulse::Session::start(
+        spindle_obs::global(),
+        obs.serve.as_ref().map(Option::as_deref),
+        obs.live,
+        0,
+        phase,
+    )
 }
 
 /// Writes `contents` to `path`, creating any missing parent
@@ -259,7 +316,11 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         *TRACE_PATH.lock().expect("trace path lock") = Some(path.clone());
         rec
     });
+    let telemetry = start_telemetry(&obs, argv.first().map_or("idle", String::as_str))?;
     let result = dispatch_command(&argv);
+    if let Some(t) = telemetry {
+        t.finish();
+    }
     let result = result.and_then(|()| {
         if let Some(format) = obs.metrics {
             dump_metrics(format, obs.out.as_deref())?;
@@ -297,12 +358,77 @@ fn dispatch_command(argv: &[String]) -> CmdResult {
         "hourgen" => hourgen(&parse(rest, &[])?),
         "power" => power(&parse(rest, &["no-write-back"])?),
         "anonymize" => anonymize(&parse(rest, &[])?),
+        "bench" => bench(rest),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())
         }
         other => Err(format!("unknown command `{other}` (try `spindle help`)").into()),
     }
+}
+
+fn bench(rest: &[String]) -> CmdResult {
+    const USAGE: &str =
+        "usage: spindle bench diff OLD NEW [--threshold PCT] [--format md|json] [--out FILE]";
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err(USAGE.into());
+    };
+    match sub.as_str() {
+        "diff" => bench_diff(rest),
+        other => Err(format!("unknown bench subcommand `{other}` ({USAGE})").into()),
+    }
+}
+
+/// `spindle bench diff OLD NEW`: compares two bench-record files and
+/// exits non-zero when any experiment regresses beyond `--threshold`.
+fn bench_diff(rest: &[String]) -> CmdResult {
+    use spindle_bench::diff as bd;
+    // Two leading positionals (the record files), then options.
+    let mut files: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() && files.len() < 2 && !rest[i].starts_with("--") {
+        files.push(&rest[i]);
+        i += 1;
+    }
+    let [old_path, new_path] = files[..] else {
+        return Err("bench diff needs two record files: spindle bench diff OLD NEW".into());
+    };
+    let opts = parse(&rest[i..], &[])?;
+    let threshold: f64 = opts.get_or("threshold", 20.0)?;
+    if !(threshold >= 0.0) {
+        return Err(
+            format!("bad value for --threshold: `{threshold}` (needs a percentage >= 0)").into(),
+        );
+    }
+    let read = |path: &str| -> Result<bd::RecordFile, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read bench record `{path}`: {e}"))?;
+        bd::parse_record(&text).map_err(|e| format!("bad bench record `{path}`: {e}"))
+    };
+    let d = bd::diff(read(old_path)?, read(new_path)?, threshold);
+    let rendered = match opts.get("format").unwrap_or("md") {
+        "md" | "markdown" => d.to_markdown(),
+        "json" => format!("{}\n", d.to_json()),
+        other => return Err(format!("bad --format `{other}` (expected md or json)").into()),
+    };
+    // The report is written even when the gate fails, so CI can upload
+    // it as an artifact alongside the red build.
+    match opts.get("out") {
+        Some(path) => {
+            write_output_file(path, &rendered)?;
+            progress!("wrote bench diff to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    if d.has_regressions() {
+        let ids: Vec<&str> = d.regressions().iter().map(|r| r.id.as_str()).collect();
+        return Err(format!(
+            "bench regression beyond {threshold}% in: {} ({old_path} -> {new_path})",
+            ids.join(", ")
+        )
+        .into());
+    }
+    Ok(())
 }
 
 fn profile_by_name(name: &str) -> Result<DriveProfile, String> {
@@ -983,6 +1109,111 @@ mod tests {
             "media@0,timeout@1",
         ]))
         .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_and_live_flags_are_peeled() {
+        // Bare --serve followed by the subcommand: no address consumed.
+        let (obs, rest) = extract_obs_args(&argv(&["--serve", "simulate", "--in", "x"])).unwrap();
+        assert_eq!(obs.serve, Some(None));
+        assert!(!obs.live);
+        assert_eq!(rest, argv(&["simulate", "--in", "x"]));
+
+        // --serve with a host:port operand consumes it.
+        let (obs, rest) =
+            extract_obs_args(&argv(&["--serve", "127.0.0.1:0", "--live", "help"])).unwrap();
+        assert_eq!(obs.serve, Some(Some("127.0.0.1:0".to_owned())));
+        assert!(obs.live);
+        assert_eq!(rest, argv(&["help"]));
+
+        // The equals form always binds.
+        let (obs, _) = extract_obs_args(&argv(&["--serve=0.0.0.0:9999"])).unwrap();
+        assert_eq!(obs.serve, Some(Some("0.0.0.0:9999".to_owned())));
+    }
+
+    #[test]
+    fn serve_invocation_runs_and_keeps_stdout_clean() {
+        // A full command with --serve on an ephemeral port must succeed
+        // and shut the server down cleanly at exit.
+        dispatch(&argv(&[
+            "--serve",
+            "127.0.0.1:0",
+            "family",
+            "--drives",
+            "10",
+            "--weeks",
+            "1",
+        ]))
+        .unwrap();
+        // An unbindable address fails with a clear message.
+        let err = dispatch(&argv(&["--serve", "256.0.0.1:1", "help"])).unwrap_err();
+        assert!(err.to_string().contains("telemetry"), "{err}");
+    }
+
+    #[test]
+    fn bench_diff_gates_on_threshold() {
+        let dir = std::env::temp_dir().join("spindle-cli-benchdiff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("old.json");
+        let new = dir.join("new.json");
+        let record = |total: f64, t1: f64| {
+            format!(
+                "{{\"schema\":\"spindle-bench-record/v1\",\"config\":{{\"quick\":true,\"jobs\":2,\"seed\":7}},\"total_secs\":{total:?},\"results\":[{{\"id\":\"t1\",\"secs\":{t1:?},\"ok\":true}}]}}"
+            )
+        };
+        std::fs::write(&old, record(1.0, 1.0)).unwrap();
+        std::fs::write(&new, record(1.4, 1.4)).unwrap();
+        let old_s = old.to_str().unwrap();
+        let new_s = new.to_str().unwrap();
+
+        // +40% trips a 20% gate and names the offenders...
+        let err =
+            dispatch(&argv(&["bench", "diff", old_s, new_s, "--threshold", "20"])).unwrap_err();
+        assert!(err.to_string().contains("t1"), "{err}");
+        // ...but passes a generous one.
+        dispatch(&argv(&["bench", "diff", old_s, new_s, "--threshold", "60"])).unwrap();
+
+        // The report file is written even when the gate fails.
+        let report = dir.join("diff.md");
+        let _ = dispatch(&argv(&[
+            "bench",
+            "diff",
+            old_s,
+            new_s,
+            "--threshold",
+            "20",
+            "--out",
+            report.to_str().unwrap(),
+        ]));
+        let md = std::fs::read_to_string(&report).unwrap();
+        assert!(md.contains("| t1 |"), "{md}");
+
+        // JSON format renders a parsable document.
+        let json_out = dir.join("diff.json");
+        dispatch(&argv(&[
+            "bench",
+            "diff",
+            old_s,
+            new_s,
+            "--threshold=60",
+            "--format=json",
+            "--out",
+            json_out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let doc =
+            spindle_obs::json::parse(std::fs::read_to_string(&json_out).unwrap().trim()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(spindle_obs::json::Json::as_str),
+            Some("spindle-bench-diff/v1")
+        );
+
+        // Usage errors.
+        assert!(dispatch(&argv(&["bench"])).is_err());
+        assert!(dispatch(&argv(&["bench", "diff", old_s])).is_err());
+        assert!(dispatch(&argv(&["bench", "nope"])).is_err());
+        assert!(dispatch(&argv(&["bench", "diff", old_s, new_s, "--format", "xml"])).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -66,6 +66,7 @@ impl PoolMetrics {
             stolen: self
                 .registry
                 .counter(&format!("engine.worker.{w}.tasks_stolen")),
+            busy_us: self.registry.counter(&format!("engine.worker.{w}.busy_us")),
             idle_us: self.registry.counter(&format!("engine.worker.{w}.idle_us")),
             depth: self
                 .registry
@@ -75,12 +76,25 @@ impl PoolMetrics {
             failures: self.registry.counter("harden.shard_failures"),
         }
     }
+
+    fn set_pool_width(&self, jobs: usize) {
+        self.registry
+            .gauge("engine.pool.workers")
+            .set(i64::try_from(jobs).unwrap_or(i64::MAX));
+    }
 }
 
 /// Cloned counter handles one worker updates as it drains tasks.
+///
+/// Every update is *incremental* — published the moment a task
+/// finishes or an idle interval closes — so a live scraper
+/// (`spindle-pulse`'s `/status`, the `--live` dashboard) sees
+/// utilization evolve mid-run instead of a burst of totals when the
+/// map call returns.
 struct WorkerMetrics {
     executed: Counter,
     stolen: Counter,
+    busy_us: Counter,
     idle_us: Counter,
     depth: Gauge,
     total_executed: Counter,
@@ -91,13 +105,26 @@ struct WorkerMetrics {
 }
 
 impl WorkerMetrics {
-    fn settle(&self, executed: u64, stolen: u64, idle: Duration) {
-        self.executed.add(executed);
-        self.stolen.add(stolen);
-        self.total_executed.add(executed);
-        self.total_stolen.add(stolen);
-        let us = u64::try_from(idle.as_micros()).unwrap_or(u64::MAX);
-        self.idle_us.add(us);
+    /// Publishes one finished task.
+    fn task_done(&self, was_steal: bool, busy: Duration) {
+        self.executed.add(1);
+        self.total_executed.add(1);
+        if was_steal {
+            self.stolen.add(1);
+            self.total_stolen.add(1);
+        }
+        self.busy_us
+            .add(u64::try_from(busy.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Publishes one closed idle interval.
+    fn idle_for(&self, idle: Duration) {
+        self.idle_us
+            .add(u64::try_from(idle.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Worker exit: the queue is drained.
+    fn settle(&self) {
         self.depth.set(0);
     }
 }
@@ -304,27 +331,30 @@ impl Pool {
     {
         let span_start = Instant::now();
         let jobs = self.jobs.min(items.len());
+        if let Some(m) = &self.metrics {
+            m.set_pool_width(jobs.max(1));
+        }
         if jobs <= 1 {
             let wm = self.metrics.as_ref().map(|m| m.worker(0));
             let flight = spindle_obs::recorder::installed();
-            let mut executed = 0u64;
             for (i, item) in items.into_iter().enumerate() {
                 let t0 = Instant::now();
                 let out = run_task(f, i, item);
+                let dur = t0.elapsed();
                 if let Some(rec) = &flight {
                     let name = if out.is_err() { "fault" } else { "run" };
-                    record_task(rec, name, i, t0, t0.elapsed());
+                    record_task(rec, name, i, t0, dur);
                 }
-                if out.is_err() {
-                    if let Some(m) = &wm {
+                if let Some(m) = &wm {
+                    if out.is_err() {
                         m.failures.add(1);
                     }
+                    m.task_done(false, dur);
                 }
                 on_result(i, out);
-                executed += 1;
             }
             if let Some(m) = &wm {
-                m.settle(executed, 0, Duration::ZERO);
+                m.settle();
             }
             if let Some(m) = &self.metrics {
                 m.registry.record_span("engine.map", span_start.elapsed());
@@ -390,18 +420,23 @@ fn worker_loop<I, T, F>(
 ) where
     F: Fn(usize, I) -> T + Sync,
 {
-    let started = Instant::now();
     let flight = spindle_obs::recorder::installed();
     if flight.is_some() {
         spindle_obs::recorder::set_thread_label(format!("worker{me}"));
     }
-    let mut busy = Duration::ZERO;
-    let mut executed = 0u64;
-    let mut stolen = 0u64;
     // Open idle interval: set when this worker first fails to find a
-    // task, closed (and recorded) when the next task arrives or the
-    // worker exits.
+    // task, closed (recorded to the flight recorder and published to
+    // the idle counter) when the next task arrives or the worker exits.
+    let track_idle = flight.is_some() || metrics.is_some();
     let mut idle_since: Option<Instant> = None;
+    let close_idle = |begin: Instant| {
+        if let Some(rec) = &flight {
+            rec.wall_slice("idle", begin, begin.elapsed(), Vec::new());
+        }
+        if let Some(m) = metrics {
+            m.idle_for(begin.elapsed());
+        }
+    };
     loop {
         let (task, was_steal) = match pop_own(queues, me, metrics) {
             Some(t) => (Some(t), false),
@@ -411,24 +446,19 @@ fn worker_loop<I, T, F>(
             if all_empty(queues) {
                 break;
             }
-            if flight.is_some() && idle_since.is_none() {
+            if track_idle && idle_since.is_none() {
                 idle_since = Some(Instant::now());
             }
             // Lost a steal race while work remains elsewhere; rescan.
             std::thread::yield_now();
             continue;
         };
-        if let (Some(rec), Some(begin)) = (&flight, idle_since.take()) {
-            rec.wall_slice("idle", begin, begin.elapsed(), Vec::new());
+        if let Some(begin) = idle_since.take() {
+            close_idle(begin);
         }
         let t0 = Instant::now();
         let out = run_task(f, ord, item);
         let dur = t0.elapsed();
-        busy += dur;
-        executed += 1;
-        if was_steal {
-            stolen += 1;
-        }
         if let Some(rec) = &flight {
             let name = if out.is_err() {
                 "fault"
@@ -439,20 +469,21 @@ fn worker_loop<I, T, F>(
             };
             record_task(rec, name, ord, t0, dur);
         }
-        if out.is_err() {
-            if let Some(m) = metrics {
+        if let Some(m) = metrics {
+            if out.is_err() {
                 m.failures.add(1);
             }
+            m.task_done(was_steal, dur);
         }
         if tx.send((ord, out)).is_err() {
             break; // receiver gone: the map call is being abandoned
         }
     }
-    if let (Some(rec), Some(begin)) = (&flight, idle_since) {
-        rec.wall_slice("idle", begin, begin.elapsed(), Vec::new());
+    if let Some(begin) = idle_since {
+        close_idle(begin);
     }
     if let Some(m) = metrics {
-        m.settle(executed, stolen, started.elapsed().saturating_sub(busy));
+        m.settle();
     }
 }
 
@@ -577,6 +608,38 @@ mod tests {
             .sum();
         assert_eq!(per_worker, 50);
         assert!(snap.span("engine.map").is_some());
+    }
+
+    #[test]
+    fn live_utilization_counters_are_published() {
+        let registry: &'static MetricsRegistry = Box::leak(Box::default());
+        let pool = Pool::new(2).metrics(PoolMetrics::new(registry));
+        let out = pool.map((0..16u64).collect(), |_, x| {
+            std::thread::sleep(Duration::from_micros(500));
+            x
+        });
+        assert_eq!(out.len(), 16);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("engine.pool.workers"), Some(2));
+        let busy: u64 = (0..2)
+            .map(|w| {
+                snap.counter(&format!("engine.worker.{w}.busy_us"))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert!(busy > 0, "workers accumulate busy time, got {busy}us");
+
+        // The inline path publishes under worker 0 and reports width 1.
+        let registry: &'static MetricsRegistry = Box::leak(Box::default());
+        let seq = Pool::sequential().metrics(PoolMetrics::new(registry));
+        let _ = seq.map(vec![1u8, 2], |_, x| {
+            std::thread::sleep(Duration::from_micros(200));
+            x
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("engine.pool.workers"), Some(1));
+        assert!(snap.counter("engine.worker.0.busy_us").unwrap_or(0) > 0);
+        assert_eq!(snap.counter("engine.worker.0.tasks_executed"), Some(2));
     }
 
     #[test]

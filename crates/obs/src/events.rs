@@ -245,6 +245,30 @@ mod tests {
     }
 
     #[test]
+    fn overflowed_ring_reports_exact_drop_count_and_exports_it() {
+        // Overflow the ring by a known margin: capacity 16, 100 pushes.
+        let log = EventLog::new(16);
+        for t in 0..100 {
+            log.record(t, EventKind::RequestEnqueue, t);
+        }
+        assert_eq!(log.total_recorded(), 100);
+        assert_eq!(log.len(), 16);
+        assert_eq!(log.dropped(), 84, "dropped = recorded - retained, exactly");
+        // The count is what instrumentation publishes as the
+        // `events.dropped` gauge (see spindle-disk's SimObserver), and
+        // the gauge must survive the Prometheus exposition untouched.
+        let registry = crate::MetricsRegistry::new();
+        registry
+            .gauge("events.dropped")
+            .set(i64::try_from(log.dropped()).unwrap());
+        let text =
+            crate::sink::MetricsSink::export_string(&crate::prom::PromSink, &registry.snapshot())
+                .unwrap();
+        assert!(text.contains("# TYPE events_dropped gauge"), "{text}");
+        assert!(text.contains("events_dropped 84"), "{text}");
+    }
+
+    #[test]
     fn concurrent_pushes_count_exactly() {
         use std::sync::Arc;
         let log = Arc::new(EventLog::new(64));

@@ -18,6 +18,8 @@
 //!   hit/miss, destage, idle begin/end), gated behind [`ObsConfig`].
 //! * [`logger`] — a tiny leveled stderr logger behind the
 //!   [`progress!`]/[`detail!`] macros, driving `--verbose`/`--quiet`.
+//! * [`prom`] — a Prometheus text exposition encoder ([`PromSink`]),
+//!   the format the `spindle-pulse` `/metrics` endpoint serves.
 //! * [`json`] — a minimal JSON value, emitter, and parser used by the
 //!   JSON sink and its round-trip tests (the workspace pins no JSON
 //!   dependency, and the offline build registry has none to offer).
@@ -67,6 +69,7 @@ pub mod config;
 pub mod events;
 pub mod json;
 pub mod logger;
+pub mod prom;
 pub mod recorder;
 pub mod registry;
 pub mod sink;
@@ -76,6 +79,7 @@ pub mod trace_event;
 pub use config::ObsConfig;
 pub use events::{Event, EventKind, EventLog};
 pub use logger::LogLevel;
+pub use prom::PromSink;
 pub use recorder::{FlightRecorder, SimSlice, WallSlice};
 pub use registry::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot, SpanStats,

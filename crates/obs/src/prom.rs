@@ -1,0 +1,328 @@
+//! Prometheus text exposition encoder.
+//!
+//! [`PromSink`] renders a registry [`Snapshot`] in the Prometheus text
+//! exposition format (version 0.0.4), the lingua franca of pull-based
+//! metric collection: every line is either a `# HELP`/`# TYPE` comment
+//! or a `name{labels} value` sample. The encoding rules:
+//!
+//! * Counters and gauges export under their sanitized name (`.` and
+//!   any other character outside `[a-zA-Z0-9_:]` become `_`).
+//! * Histograms export the full fixed-bucket layout: one cumulative
+//!   `name_bucket{le="BOUND"}` sample per finite bound, the mandatory
+//!   `le="+Inf"` bucket, plus `name_sum` and `name_count`. The `+Inf`
+//!   bucket always equals `name_count`, as the format requires.
+//! * Span statistics export as summaries: `name{quantile="1"}` carries
+//!   the maximum observed seconds (the only quantile the aggregate
+//!   retains), with `name_sum`/`name_count` in seconds and executions.
+//!
+//! The encoder is deliberately dependency-free and allocation-light so
+//! the `/metrics` endpoint of `spindle-pulse` can call it on every
+//! scrape.
+
+use crate::registry::{HistogramSnapshot, Snapshot, SpanStats};
+use crate::sink::MetricsSink;
+use std::io::{self, Write};
+
+/// Prometheus text-format exporter (exposition format 0.0.4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PromSink;
+
+/// The `Content-Type` an HTTP endpoint should serve this format under.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Rewrites a registry metric name into the Prometheus name charset:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading
+/// digit is prefixed with `_`.
+#[must_use]
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats a sample value: integers print exactly, floats keep a
+/// decimal point so they parse back as floats.
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        // The format spells non-finite values out by name.
+        return if v.is_nan() {
+            "NaN".to_owned()
+        } else if v > 0.0 {
+            "+Inf".to_owned()
+        } else {
+            "-Inf".to_owned()
+        };
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v}")
+    } else {
+        format!("{v:?}")
+    }
+}
+
+fn write_histogram(out: &mut dyn Write, name: &str, h: &HistogramSnapshot) -> io::Result<()> {
+    writeln!(out, "# TYPE {name} histogram")?;
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        cumulative += n;
+        match h.bounds.get(i) {
+            Some(&bound) => writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}")?,
+            None => writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}")?,
+        }
+    }
+    writeln!(out, "{name}_sum {}", h.sum)?;
+    writeln!(out, "{name}_count {}", h.count)
+}
+
+fn write_span(out: &mut dyn Write, name: &str, s: &SpanStats) -> io::Result<()> {
+    writeln!(out, "# TYPE {name} summary")?;
+    writeln!(
+        out,
+        "{name}{{quantile=\"1\"}} {}",
+        fmt_f64(s.max_ns as f64 / 1e9)
+    )?;
+    writeln!(out, "{name}_sum {}", fmt_f64(s.total_ns as f64 / 1e9))?;
+    writeln!(out, "{name}_count {}", s.count)
+}
+
+/// Structurally validates exposition text: every line must be a
+/// `# HELP`/`# TYPE` comment or a `name{labels} value` sample, every
+/// sample name must have been announced by a `# TYPE` line, and each
+/// histogram's `_count` must equal its top cumulative (`+Inf`) bucket.
+///
+/// Shared by the encoder's own tests and the end-to-end scrape tests
+/// against a live `/metrics` endpoint, so "valid" means the same thing
+/// in both places.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line or family.
+pub fn check_exposition(text: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut typed: HashMap<String, String> = HashMap::new();
+    let mut inf_bucket: HashMap<String, u64> = HashMap::new();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            return Err("blank line in exposition".to_owned());
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or_default();
+            if keyword != "TYPE" && keyword != "HELP" {
+                return Err(format!("unknown comment `{line}`"));
+            }
+            if keyword == "TYPE" {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| format!("TYPE without metric name: `{line}`"))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| format!("TYPE without kind: `{line}`"))?;
+                typed.insert(name.to_owned(), kind.to_owned());
+            }
+            continue;
+        }
+        // Sample line: `name value` or `name{labels} value`.
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("sample without value: `{line}`"))?;
+        if value.parse::<f64>().is_err() && !["+Inf", "-Inf", "NaN"].contains(&value) {
+            return Err(format!("unparseable sample value in `{line}`"));
+        }
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, rest)) => {
+                if !rest.ends_with('}') {
+                    return Err(format!("unterminated labels in `{line}`"));
+                }
+                (n, Some(&rest[..rest.len() - 1]))
+            }
+            None => (name_labels, None),
+        };
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("illegal metric name in `{line}`"));
+        }
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| typed.contains_key(*f))
+            .unwrap_or(name);
+        if !typed.contains_key(family) {
+            return Err(format!("sample `{name}` has no TYPE"));
+        }
+        if name.ends_with("_bucket") && labels == Some("le=\"+Inf\"") {
+            inf_bucket.insert(
+                family.to_owned(),
+                value
+                    .parse()
+                    .map_err(|_| format!("non-integer +Inf bucket in `{line}`"))?,
+            );
+        }
+        if typed.get(family).map(String::as_str) == Some("histogram") && name.ends_with("_count") {
+            counts.insert(
+                family.to_owned(),
+                value
+                    .parse()
+                    .map_err(|_| format!("non-integer _count in `{line}`"))?,
+            );
+        }
+    }
+    for (family, kind) in &typed {
+        if kind == "histogram" {
+            let inf = inf_bucket
+                .get(family)
+                .ok_or_else(|| format!("histogram `{family}` lacks a +Inf bucket"))?;
+            let count = counts
+                .get(family)
+                .ok_or_else(|| format!("histogram `{family}` lacks _count"))?;
+            if inf != count {
+                return Err(format!("histogram `{family}`: +Inf bucket != _count"));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl MetricsSink for PromSink {
+    fn export(&self, snapshot: &Snapshot, out: &mut dyn Write) -> io::Result<()> {
+        for (name, v) in &snapshot.counters {
+            let name = sanitize_name(name);
+            writeln!(out, "# TYPE {name} counter")?;
+            writeln!(out, "{name} {v}")?;
+        }
+        for (name, v) in &snapshot.gauges {
+            let name = sanitize_name(name);
+            writeln!(out, "# TYPE {name} gauge")?;
+            writeln!(out, "{name} {v}")?;
+        }
+        for (name, h) in &snapshot.histograms {
+            write_histogram(out, &sanitize_name(name), h)?;
+        }
+        for (name, s) in &snapshot.spans {
+            // Spans are wall-clock durations; expose in base seconds
+            // per Prometheus naming conventions.
+            write_span(out, &format!("{}_seconds", sanitize_name(name)), s)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use std::time::Duration;
+
+    fn sample_registry() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.counter("disk.requests_completed").add(42);
+        r.gauge("events.dropped").set(7);
+        let h = r.histogram_with_bounds("disk.response_us", &[10, 100, 1000]);
+        for v in [5, 50, 500, 5000] {
+            h.record(v);
+        }
+        r.record_span("pipeline.simulate", Duration::from_millis(250));
+        r.record_span("pipeline.simulate", Duration::from_millis(750));
+        r
+    }
+
+    /// Asserts `text` passes [`check_exposition`].
+    pub(crate) fn assert_valid_exposition(text: &str) {
+        if let Err(e) = check_exposition(text) {
+            panic!("invalid exposition: {e}");
+        }
+    }
+
+    #[test]
+    fn check_exposition_rejects_malformed_text() {
+        assert!(check_exposition("orphan_sample 1").is_err());
+        assert!(check_exposition("# BOGUS comment here").is_err());
+        assert!(check_exposition("# TYPE m counter\nm not_a_number").is_err());
+        // A histogram whose +Inf bucket disagrees with _count.
+        let broken = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n";
+        assert!(check_exposition(broken).is_err());
+    }
+
+    #[test]
+    fn exposition_is_structurally_valid() {
+        let text = PromSink
+            .export_string(&sample_registry().snapshot())
+            .unwrap();
+        assert_valid_exposition(&text);
+    }
+
+    #[test]
+    fn counters_and_gauges_export_with_types() {
+        let text = PromSink
+            .export_string(&sample_registry().snapshot())
+            .unwrap();
+        assert!(text.contains("# TYPE disk_requests_completed counter"));
+        assert!(text.contains("disk_requests_completed 42"));
+        assert!(text.contains("# TYPE events_dropped gauge"));
+        assert!(text.contains("events_dropped 7"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_capped_by_inf() {
+        let text = PromSink
+            .export_string(&sample_registry().snapshot())
+            .unwrap();
+        assert!(text.contains("disk_response_us_bucket{le=\"10\"} 1"));
+        assert!(text.contains("disk_response_us_bucket{le=\"100\"} 2"));
+        assert!(text.contains("disk_response_us_bucket{le=\"1000\"} 3"));
+        assert!(text.contains("disk_response_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("disk_response_us_sum 5555"));
+        assert!(text.contains("disk_response_us_count 4"));
+    }
+
+    #[test]
+    fn spans_export_as_summaries_in_seconds() {
+        let text = PromSink
+            .export_string(&sample_registry().snapshot())
+            .unwrap();
+        assert!(text.contains("# TYPE pipeline_simulate_seconds summary"));
+        assert!(text.contains("pipeline_simulate_seconds{quantile=\"1\"} 0.75"));
+        assert!(text.contains("pipeline_simulate_seconds_sum 1"));
+        assert!(text.contains("pipeline_simulate_seconds_count 2"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_name("disk.response_us"), "disk_response_us");
+        assert_eq!(
+            sanitize_name("engine.worker.0.idle_us"),
+            "engine_worker_0_idle_us"
+        );
+        assert_eq!(sanitize_name("7weird name"), "_7weird_name");
+        assert_eq!(sanitize_name("a:b"), "a:b");
+    }
+
+    #[test]
+    fn empty_snapshot_exports_nothing() {
+        let text = PromSink.export_string(&Snapshot::default()).unwrap();
+        assert!(text.is_empty());
+        assert_valid_exposition(&text);
+    }
+
+    #[test]
+    fn value_formatting_keeps_integers_exact() {
+        assert_eq!(fmt_f64(2.0), "2");
+        assert_eq!(fmt_f64(0.75), "0.75");
+        assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+    }
+}

@@ -449,6 +449,55 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_quantiles_are_finite_and_monotone() {
+        let h = Histogram::new(default_bounds());
+        h.record(5);
+        let s = h.snapshot();
+        let (p50, p95, p99) = (s.quantile(0.50), s.quantile(0.95), s.quantile(0.99));
+        for q in [p50, p95, p99] {
+            assert!(q.is_finite(), "single-sample quantile must be finite: {q}");
+        }
+        assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+        // The sample landed in the (4, 8] bucket, so every quantile
+        // estimate stays inside it.
+        assert!((4.0..=8.0).contains(&p50), "p50={p50}");
+        assert!((4.0..=8.0).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn all_samples_in_overflow_bucket_stay_finite() {
+        let h = Histogram::new(vec![10, 100]);
+        for _ in 0..50 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![0, 0, 50]);
+        let (p50, p95, p99) = (s.quantile(0.50), s.quantile(0.95), s.quantile(0.99));
+        for q in [p50, p95, p99] {
+            assert!(q.is_finite() && !q.is_nan(), "overflow quantile: {q}");
+        }
+        assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+        // The overflow bucket has no upper bound; the documented
+        // behaviour is a deliberate under-estimate at the last finite
+        // bound.
+        assert_eq!(p99, 100.0);
+    }
+
+    #[test]
+    fn boundless_histogram_quantiles_do_not_produce_nan() {
+        // Degenerate layout: no finite buckets at all, only overflow.
+        let h = Histogram::new(Vec::new());
+        h.record(3);
+        h.record(7);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 1.0] {
+            let v = s.quantile(q);
+            assert!(v.is_finite(), "quantile({q}) = {v}");
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn overflow_bucket_catches_huge_values() {
         let h = Histogram::new(vec![10, 100]);
         h.record(5);

@@ -1,0 +1,309 @@
+//! Embedded HTTP endpoint over `std::net::TcpListener`.
+//!
+//! [`PulseServer`] binds a listener, spawns one `pulse-serve` thread,
+//! and answers three routes:
+//!
+//! * `GET /metrics` — the full registry in Prometheus text exposition
+//!   format (via [`PromSink`](spindle_obs::PromSink)), so any scraper
+//!   or a plain `curl` can watch a run.
+//! * `GET /healthz` — `ok`, for liveness probes.
+//! * `GET /status` — run phase, progress, ETA, and per-worker
+//!   utilization as JSON (see [`status_json`](crate::status_json)).
+//!
+//! The server is pull-based on purpose: a scrape takes a snapshot of
+//! shared atomics, so a missing, slow, or hostile client cannot slow
+//! the run down or change any computed result. Requests are handled
+//! one at a time on the serving thread — telemetry is a debugging aid,
+//! not a web service, and serialising requests keeps the code free of
+//! connection bookkeeping.
+//!
+//! The listener is opened in non-blocking mode and polled, so
+//! [`PulseServer::stop`] takes effect within one poll interval without
+//! needing a self-connect wakeup.
+
+use crate::sampler::Sampler;
+use crate::status::{status_json, RunStatus};
+use spindle_obs::{MetricsRegistry, MetricsSink, PromSink};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Per-connection socket timeout; a stalled client gets cut off rather
+/// than wedging the serving thread.
+const CLIENT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Upper bound on the request head we are willing to read.
+const MAX_REQUEST_BYTES: usize = 8192;
+
+/// The embedded telemetry HTTP server.
+///
+/// Dropping the server stops the serving thread.
+#[derive(Debug)]
+pub struct PulseServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl PulseServer {
+    /// Binds `addr` (port 0 asks the OS for a free port — read the
+    /// result back from [`PulseServer::local_addr`]) and starts
+    /// serving `registry`, `status`, and `sampler`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(
+        addr: &str,
+        registry: &'static MetricsRegistry,
+        status: Arc<RunStatus>,
+        sampler: Arc<Sampler>,
+    ) -> io::Result<PulseServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("pulse-serve".to_owned())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            // One request at a time; errors on a single
+                            // connection never take the server down.
+                            let _ = serve_connection(stream, registry, &status, &sampler);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => std::thread::sleep(POLL_INTERVAL),
+                    }
+                }
+            })?;
+        Ok(PulseServer {
+            addr: local,
+            stop,
+            handle: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread and waits for it to exit. Idempotent;
+    /// also called on drop.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        let handle = self.handle.lock().expect("server handle lock").take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PulseServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads one request head off `stream` and writes one response.
+fn serve_connection(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    status: &RunStatus,
+    sampler: &Sampler,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    // The listener is non-blocking, and accepted sockets inherit that
+    // on some platforms; switch back to blocking so the timeouts above
+    // govern I/O instead of instant WouldBlock.
+    stream.set_nonblocking(false)?;
+
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Ignore any query string: /status?pretty and /status are the same.
+    let path = path.split('?').next().unwrap_or(path);
+
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+    }
+    match path {
+        "/metrics" => {
+            let body = PromSink
+                .export_string(&registry.snapshot())
+                .unwrap_or_default();
+            respond(
+                &mut stream,
+                "200 OK",
+                spindle_obs::prom::CONTENT_TYPE,
+                &body,
+            )
+        }
+        "/healthz" => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
+        "/status" => {
+            let doc = status_json(status, &registry.snapshot(), sampler);
+            let body = format!("{doc}\n");
+            respond(
+                &mut stream,
+                "200 OK",
+                "application/json; charset=utf-8",
+                &body,
+            )
+        }
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status_line: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status_line}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::PROGRESS_METRIC;
+
+    fn fetch(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect to pulse server");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let (head, body) = out.split_once("\r\n\r\n").expect("response has a head");
+        (head.to_owned(), body.to_owned())
+    }
+
+    fn test_server() -> (PulseServer, Arc<RunStatus>, Arc<Sampler>) {
+        let registry: &'static MetricsRegistry = Box::leak(Box::default());
+        registry.counter("srv.requests").add(5);
+        registry.histogram("srv.lat").record(3);
+        let status = Arc::new(RunStatus::new(10));
+        status.set_progress_counter(registry.counter(PROGRESS_METRIC));
+        let sampler = Sampler::start(registry, Duration::from_secs(3600), 8);
+        let server = PulseServer::start(
+            "127.0.0.1:0",
+            registry,
+            Arc::clone(&status),
+            Arc::clone(&sampler),
+        )
+        .expect("bind an ephemeral port");
+        (server, status, sampler)
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_status() {
+        let (server, status, sampler) = test_server();
+        let addr = server.local_addr();
+
+        let (head, body) = fetch(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = fetch(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "head: {head}");
+        assert!(body.contains("# TYPE srv_requests counter"), "{body}");
+        assert!(body.contains("srv_requests 5"), "{body}");
+        assert!(body.contains("srv_lat_count 1"), "{body}");
+
+        status.set_phase("running");
+        status.complete_one();
+        let (head, body) = fetch(addr, "/status");
+        assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+        assert!(head.contains("application/json"), "head: {head}");
+        let doc = spindle_obs::json::parse(body.trim()).expect("valid JSON");
+        assert_eq!(
+            doc.get("phase").and_then(spindle_obs::json::Json::as_str),
+            Some("running")
+        );
+        assert_eq!(
+            doc.get("completed")
+                .and_then(spindle_obs::json::Json::as_u64),
+            Some(1)
+        );
+
+        sampler.stop();
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let (server, _status, sampler) = test_server();
+        let addr = server.local_addr();
+
+        let (head, _) = fetch(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "head: {head}");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "response: {out}");
+
+        sampler.stop();
+        server.stop();
+    }
+
+    #[test]
+    fn query_strings_are_ignored_and_stop_is_idempotent() {
+        let (server, _status, sampler) = test_server();
+        let (head, _) = fetch(server.local_addr(), "/healthz?probe=1");
+        assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+        server.stop();
+        server.stop();
+        sampler.stop();
+    }
+}

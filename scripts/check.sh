@@ -63,17 +63,60 @@ mkdir -p artifacts
 run "$SPINDLE" generate --env mail --span 60 --seed 7 --out "$SMOKE" --quiet
 run "$SPINDLE" simulate --in "$SMOKE" --trace-out artifacts/trace.json --quiet
 run "$SPINDLE" report --in "$SMOKE" --out artifacts/report.html --quiet
-run target/release/experiments --quick --record=artifacts/BENCH_pr3.json --quiet t1
-for artifact in artifacts/trace.json artifacts/report.html artifacts/BENCH_pr3.json; do
+run target/release/experiments --quick --record=artifacts/BENCH_smoke.json --quiet t1
+for artifact in artifacts/trace.json artifacts/report.html artifacts/BENCH_smoke.json; do
     if [ ! -s "$artifact" ]; then
         echo "FAILED: smoke artifact $artifact missing or empty" >&2
         fail=1
     fi
 done
+EXPERIMENTS=target/release/experiments
+
+# Live-telemetry smoke: run the matrix with the HTTP endpoint on an
+# ephemeral port, scrape /metrics and /healthz while the server is up
+# (a shutdown linger keeps it alive past the quick matrix), and check
+# the exposition is non-trivial.
+echo "==> live telemetry scrape (--serve 127.0.0.1:0)"
+SERVE_ERR=artifacts/serve.err
+rm -f "$SERVE_ERR"
+SPINDLE_SERVE_LINGER_MS=15000 "$EXPERIMENTS" --quick --serve 127.0.0.1:0 --quiet t2 f5 \
+    > artifacts/serve.txt 2> "$SERVE_ERR" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's|^# serving telemetry on http://||p' "$SERVE_ERR" 2>/dev/null | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAILED: experiments --serve never announced a bound address" >&2
+    fail=1
+else
+    run curl -sf "http://$ADDR/healthz" -o artifacts/healthz.txt
+    run curl -sf "http://$ADDR/metrics" -o artifacts/metrics.prom
+    run curl -sf "http://$ADDR/status" -o artifacts/status.json
+    if ! grep -q "^# TYPE " artifacts/metrics.prom; then
+        echo "FAILED: /metrics exposition carries no TYPE lines" >&2
+        fail=1
+    fi
+    if ! grep -q '"phase"' artifacts/status.json; then
+        echo "FAILED: /status reports no phase" >&2
+        fail=1
+    fi
+fi
+kill "$SERVE_PID" 2>/dev/null
+wait "$SERVE_PID" 2>/dev/null
+
+# Perf regression gate: a fresh quick record diffed against the
+# committed baseline. The threshold is deliberately generous — CI
+# machines vary wildly — so only a real blow-up trips it; the report
+# lands in artifacts/ for upload either way.
+run sh -c "$EXPERIMENTS --quick --jobs 2 --record=artifacts/BENCH_fresh.json --quiet > /dev/null"
+run "$SPINDLE" bench diff BENCH_pr5.json artifacts/BENCH_fresh.json \
+    --threshold 300 --out artifacts/bench-diff.md
 
 # Fault-injection smoke: the robustness layer end to end, through the
 # shipped binaries.
-EXPERIMENTS=target/release/experiments
 
 # 1. Forced shard panic: the run must fail loudly (exit 1), name the
 #    quarantined experiment, and still emit the survivor's output.

@@ -1,0 +1,154 @@
+//! Live telemetry scraped from a real `experiments --serve` run.
+//!
+//! Spawns the actual binary with `--serve 127.0.0.1:0`, discovers the
+//! bound port from the stderr announcement, and exercises the HTTP
+//! endpoints while (and just after) the matrix runs: `/metrics` must
+//! pass the shared Prometheus exposition checker, `/healthz` must
+//! answer, and `/status` must report the run's progress as JSON.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_experiments")
+}
+
+/// Spawns `experiments` with `--serve 127.0.0.1:0` plus `args`, reads
+/// stderr until the bind announcement, and returns the child plus the
+/// bound address. A generous linger keeps the endpoint alive after the
+/// (quick) run finishes so scrapes cannot race completion.
+fn spawn_serving(args: &[&str]) -> (Child, String, BufReader<std::process::ChildStderr>) {
+    let mut child = Command::new(bin())
+        .args(["--quick", "--serve", "127.0.0.1:0"])
+        .args(args)
+        .env_remove("SPINDLE_FAULTS")
+        .env("SPINDLE_SERVE_LINGER_MS", "20000")
+        // Unread stdout could fill the pipe and stall the child; this
+        // test only cares about the telemetry side channel.
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn experiments binary");
+    let stderr = child.stderr.take().expect("stderr is piped");
+    let mut reader = BufReader::new(stderr);
+    let mut addr = None;
+    let mut seen = String::new();
+    for _ in 0..100 {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read stderr") == 0 {
+            break;
+        }
+        seen.push_str(&line);
+        if let Some(rest) = line.trim().strip_prefix("# serving telemetry on http://") {
+            addr = Some(rest.trim().to_owned());
+            break;
+        }
+    }
+    let addr = addr.unwrap_or_else(|| panic!("no bind announcement in stderr:\n{seen}"));
+    (child, addr, reader)
+}
+
+/// One blocking HTTP GET against the embedded server; returns
+/// (status-line, headers, body).
+fn get(addr: &str, path: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to telemetry server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_owned(), headers.to_owned(), body.to_owned())
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_exposition_from_a_live_run() {
+    let (child, addr, stderr) = spawn_serving(&["t2", "t3", "f1", "f5"]);
+
+    // /healthz answers while the run is live.
+    let (status, _, body) = get(&addr, "/healthz");
+    assert!(status.contains("200"), "healthz: {status}");
+    assert_eq!(body, "ok\n");
+
+    // /metrics passes the same structural checker the encoder's unit
+    // tests use, and carries the run's own metric families.
+    let (status, headers, body) = get(&addr, "/metrics");
+    assert!(status.contains("200"), "metrics: {status}");
+    assert!(
+        headers.contains(spindle_obs::prom::CONTENT_TYPE),
+        "wrong content type:\n{headers}"
+    );
+    spindle_obs::prom::check_exposition(&body)
+        .unwrap_or_else(|e| panic!("invalid /metrics exposition: {e}\n{body}"));
+
+    // /status is JSON with the run's phase and progress.
+    let (status, headers, body) = get(&addr, "/status");
+    assert!(status.contains("200"), "status: {status}");
+    assert!(headers.contains("application/json"), "{headers}");
+    let json = spindle_obs::json::parse(&body).expect("status parses as JSON");
+    assert_eq!(json.get("total").and_then(|v| v.as_u64()), Some(4));
+    assert!(json.get("phase").and_then(|v| v.as_str()).is_some());
+    assert!(json.get("completed").and_then(|v| v.as_u64()).is_some());
+
+    // Unknown paths 404 without killing the server.
+    let (status, _, _) = get(&addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+
+    // After the matrix drains, a final scrape still works (linger) and
+    // reports the full completion count.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, _, body) = get(&addr, "/status");
+        let json = spindle_obs::json::parse(&body).expect("status parses as JSON");
+        let completed = json.get("completed").and_then(|v| v.as_u64()).unwrap_or(0);
+        if completed == 4 {
+            let (_, _, metrics) = get(&addr, "/metrics");
+            spindle_obs::prom::check_exposition(&metrics)
+                .unwrap_or_else(|e| panic!("invalid final exposition: {e}"));
+            assert!(
+                metrics.contains("matrix_completed 4"),
+                "progress counter missing from final scrape:\n{metrics}"
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "run never completed; last status: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    // The run is done and scraped; don't sit out the linger window.
+    let mut child = child;
+    child.kill().ok();
+    child.wait().expect("reap experiments");
+    drop(stderr);
+}
+
+#[test]
+fn serve_announces_bound_port_and_exits_cleanly_without_linger() {
+    let out = Command::new(bin())
+        .args(["--quick", "--serve", "127.0.0.1:0", "t1"])
+        .env_remove("SPINDLE_FAULTS")
+        .env("SPINDLE_SERVE_LINGER_MS", "0")
+        .output()
+        .expect("run experiments binary");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(out.status.success(), "{stderr}");
+    assert!(
+        stderr.contains("# serving telemetry on http://127.0.0.1:"),
+        "no bind announcement:\n{stderr}"
+    );
+    // The announcement must not leak onto stdout.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.contains("serving telemetry"), "{stdout}");
+}

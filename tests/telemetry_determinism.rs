@@ -1,0 +1,99 @@
+//! Telemetry must be an observer, never a participant: running the
+//! `experiments` binary with `--serve`/`--live` enabled has to produce
+//! byte-identical stdout and byte-identical simulated-time trace
+//! tracks at every `--jobs` value. Wall-clock tracks honestly differ
+//! run to run and are excluded from the comparison.
+
+use spindle_obs::json::{self, Json};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_experiments")
+}
+
+/// Scratch path unique to this test process.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spindle-teldet-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(tag)
+}
+
+/// Runs a quick two-experiment matrix with a trace export; `telemetry`
+/// adds `--serve 127.0.0.1:0 --live` on top.
+fn run(jobs: &str, trace: &std::path::Path, telemetry: bool) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.args(["--quick", "--jobs", jobs, "--trace-out"])
+        .arg(trace)
+        .args(["t2", "f5"])
+        .env_remove("SPINDLE_FAULTS")
+        .env("SPINDLE_SERVE_LINGER_MS", "0");
+    if telemetry {
+        cmd.args(["--serve", "127.0.0.1:0", "--live"]);
+    }
+    let out = cmd.output().expect("run experiments binary");
+    assert!(
+        out.status.success(),
+        "experiments --jobs {jobs} (telemetry: {telemetry}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// Serialized simulated-time events of one trace export.
+fn sim_events(trace: &std::path::Path) -> String {
+    let text = std::fs::read_to_string(trace).expect("read trace export");
+    let doc = json::parse(text.trim()).expect("trace is valid JSON");
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents missing");
+    };
+    events
+        .iter()
+        .filter(|e| e.get("pid").and_then(Json::as_u64) == Some(spindle_obs::trace_event::SIM_PID))
+        .map(Json::to_string)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn serve_and_live_change_no_bytes_at_any_jobs_count() {
+    let base_trace = scratch("base.json");
+    let baseline = run("1", &base_trace, false);
+    let expected_stdout = baseline.stdout;
+    let expected_sim = sim_events(&base_trace);
+    assert!(!expected_stdout.is_empty());
+    assert!(!expected_sim.is_empty());
+
+    for jobs in ["1", "2", "8"] {
+        let trace = scratch(&format!("telemetry-{jobs}.json"));
+        let out = run(jobs, &trace, true);
+        assert_eq!(
+            out.stdout, expected_stdout,
+            "stdout differs with telemetry on at --jobs {jobs}"
+        );
+        assert_eq!(
+            sim_events(&trace),
+            expected_sim,
+            "sim-time tracks differ with telemetry on at --jobs {jobs}"
+        );
+        // The telemetry side channel stayed on stderr.
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("# serving telemetry on http://127.0.0.1:"));
+    }
+
+    // Plain runs at other jobs counts agree too, closing the square:
+    // (telemetry × jobs) all map to one byte stream.
+    for jobs in ["2", "8"] {
+        let trace = scratch(&format!("plain-{jobs}.json"));
+        let out = run(jobs, &trace, false);
+        assert_eq!(
+            out.stdout, expected_stdout,
+            "stdout differs between --jobs 1 and --jobs {jobs}"
+        );
+        assert_eq!(
+            sim_events(&trace),
+            expected_sim,
+            "sim-time tracks differ between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
