@@ -5,8 +5,9 @@
 //!
 //! ```text
 //! experiments [--quick] [--jobs N] [--metrics[=json|text]] [--record[=FILE]]
-//!             [--trace-out FILE] [--faults SPEC] [--resume FILE]
-//!             [--serve [ADDR]] [--live] [--verbose|--quiet] [ids...]
+//!             [--trace-out FILE] [--timescales-out FILE] [--faults SPEC]
+//!             [--resume FILE] [--serve [ADDR]] [--live] [--verbose|--quiet]
+//!             [ids...]
 //! experiments --quick t2 f5        # just T2 and F5, reduced scale
 //! experiments                      # everything at paper scale
 //! experiments --jobs 8             # fan the matrix across 8 workers
@@ -54,7 +55,7 @@ const KILL_STATUS: i32 = 137;
 
 fn usage() -> String {
     format!
-        ("usage: experiments [--quick] [--jobs N] [--metrics[=json|text]] [--record[=FILE]] [--trace-out FILE] [--faults SPEC] [--resume FILE] [--serve [ADDR]] [--live] [--verbose|--quiet] [{}]",
+        ("usage: experiments [--quick] [--jobs N] [--metrics[=json|text]] [--record[=FILE]] [--trace-out FILE] [--timescales-out FILE] [--faults SPEC] [--resume FILE] [--serve [ADDR]] [--live] [--verbose|--quiet] [{}]",
         matrix::id_ranges()
     )
 }
@@ -78,6 +79,7 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut record_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut timescales_out: Option<String> = None;
     let mut faults_spec: Option<String> = None;
     let mut resume: Option<String> = None;
     let mut serve: Option<Option<String>> = None;
@@ -101,6 +103,15 @@ fn main() {
             }
             other if other.starts_with("--trace-out=") => {
                 trace_out = Some(other["--trace-out=".len()..].to_owned());
+            }
+            "--timescales-out" => {
+                let Some(v) = args.next() else {
+                    bad_usage("--timescales-out needs a value");
+                };
+                timescales_out = Some(v);
+            }
+            other if other.starts_with("--timescales-out=") => {
+                timescales_out = Some(other["--timescales-out=".len()..].to_owned());
             }
             "--faults" => {
                 let Some(v) = args.next() else {
@@ -414,8 +425,34 @@ fn main() {
             Err(e) => eprintln!("# metrics export failed: {e}"),
         }
     }
+    // Keep the session's rollup wheel reachable past finish() — the
+    // final sample lands during finish, and the export reads after it.
+    let rollups = telemetry.as_ref().map(|t| Arc::clone(t.rollups()));
     if let Some(t) = telemetry {
         t.finish();
+    }
+    if let Some(path) = timescales_out {
+        let doc = match &rollups {
+            Some(r) => r.to_json(),
+            None => {
+                // No live session was running: bank one final snapshot
+                // so the file still carries the exact lifetime totals
+                // (a single-window document on each resolution).
+                let set = spindle_obs::RollupSet::wall();
+                set.ingest_snapshot(
+                    u64::try_from(matrix_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    &spindle_obs::global().snapshot(),
+                );
+                set.to_json()
+            }
+        };
+        match record::write_file_creating_parents(&path, &format!("{doc}\n")) {
+            Ok(()) => progress!("# wrote timescale rollups to {path}"),
+            Err(e) => {
+                eprintln!("# timescale export failed: {e}");
+                failed = true;
+            }
+        }
     }
     if failed {
         std::process::exit(1);

@@ -54,6 +54,8 @@ USAGE:
   spindle analyze  --in FILE [--profile NAME]
   spindle report   --in FILE [--profile NAME] [--scheduler POLICY]
                    [--out FILE]
+  spindle observe  --in FILE [--profile NAME] [--scheduler POLICY]
+                   [--format html|md] [--out FILE]
   spindle family   [--drives N] [--weeks N] [--seed N]
   spindle hourgen  [--drives N] [--weeks N] [--seed N]
                    [--hours-out FILE] [--lifetimes-out FILE]
@@ -90,6 +92,12 @@ Global options (accepted before or after any command):
                          line output when stderr is not a TTY)
   --verbose              include detail messages on stderr
   --quiet                suppress progress messages on stderr
+
+`spindle observe` runs a trace through the simulator with the
+multi-time-scale telemetry attached and renders the observatory
+report: per-time-scale utilization, read/write mix, burstiness, idle
+statistics, and the tail-latency attribution table whose exemplars
+link the slowest buckets back to concrete request ids.
 
 `spindle bench diff` compares two bench-record files (v1 or v2) from
 the experiments binary: per-experiment wall-clock deltas as markdown
@@ -354,6 +362,7 @@ fn dispatch_command(argv: &[String]) -> CmdResult {
         "simulate" => simulate(&parse(rest, &["no-write-back"])?),
         "analyze" => analyze(&parse(rest, &[])?),
         "report" => crate::report::report(&parse(rest, &[])?),
+        "observe" => crate::observe::observe(&parse(rest, &["no-write-back"])?),
         "family" => family(&parse(rest, &[])?),
         "hourgen" => hourgen(&parse(rest, &[])?),
         "power" => power(&parse(rest, &["no-write-back"])?),
@@ -519,6 +528,23 @@ fn generate(opts: &Options) -> CmdResult {
 }
 
 fn build_sim(opts: &Options) -> Result<DiskSim, Box<dyn std::error::Error>> {
+    build_sim_inner(opts, None)
+}
+
+/// Like [`build_sim`], but always attaches an observer feeding the
+/// given simulated-time rollup wheel (the `observe` subcommand's
+/// multi-time-scale ingestion path).
+pub(crate) fn build_sim_observed(
+    opts: &Options,
+    rollups: Arc<spindle_obs::RollupSet>,
+) -> Result<DiskSim, Box<dyn std::error::Error>> {
+    build_sim_inner(opts, Some(rollups))
+}
+
+fn build_sim_inner(
+    opts: &Options,
+    rollups: Option<Arc<spindle_obs::RollupSet>>,
+) -> Result<DiskSim, Box<dyn std::error::Error>> {
     let profile = profile_by_name(opts.get("profile").unwrap_or("cheetah-15k"))?;
     let scheduler = SchedulerKind::parse(opts.get("scheduler").unwrap_or("sptf"))?;
     let mut cache = profile.cache;
@@ -538,7 +564,7 @@ fn build_sim(opts: &Options) -> Result<DiskSim, Box<dyn std::error::Error>> {
         });
     }
     let flight = spindle_obs::recorder::installed();
-    if METRICS_ENABLED.load(Ordering::Relaxed) || flight.is_some() {
+    if METRICS_ENABLED.load(Ordering::Relaxed) || flight.is_some() || rollups.is_some() {
         // A trace export wants the event ring mirrored onto the
         // timeline; a metrics-only run skips the ring entirely.
         let cfg = if flight.is_some() {
@@ -549,6 +575,9 @@ fn build_sim(opts: &Options) -> Result<DiskSim, Box<dyn std::error::Error>> {
         let mut observer = SimObserver::new(spindle_obs::global(), &cfg);
         if let Some(rec) = flight {
             observer = observer.with_flight(rec);
+        }
+        if let Some(roll) = rollups {
+            observer = observer.with_rollups(roll);
         }
         sim.attach_observer(observer);
     }

@@ -42,7 +42,7 @@ pub(crate) fn report(opts: &Options) -> CmdResult {
 
 /// Escapes text for interpolation into HTML body text and
 /// double-quoted attribute values.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -59,7 +59,7 @@ fn esc(s: &str) -> String {
 
 /// One `<table>` with a caption; every cell is escaped here, so callers
 /// pass raw values.
-fn html_table(caption: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+pub(crate) fn html_table(caption: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut t = String::new();
     t.push_str("<table><caption>");
     t.push_str(&esc(caption));
@@ -124,7 +124,7 @@ fn mix_at(reads: &[f64], writes: &[f64], span_secs: f64, window_secs: f64) -> Mi
     row
 }
 
-fn pct(part: usize, whole: usize) -> String {
+pub(crate) fn pct(part: usize, whole: usize) -> String {
     if whole == 0 {
         "n/a".to_owned()
     } else {

@@ -10,8 +10,8 @@
 
 use crate::busy::{BusyLog, BusyLogBuilder};
 use crate::cache::{CacheConfig, DiskCache, WriteOutcome};
-use crate::mechanics::Mechanics;
-use crate::obs::SimObserver;
+use crate::mechanics::{Mechanics, ServiceTiming};
+use crate::obs::{Components, SimObserver};
 use crate::profile::DriveProfile;
 use crate::scheduler::{QueuedRequest, SchedulerKind, SchedulerPolicy};
 use crate::{DiskError, Result};
@@ -381,6 +381,11 @@ impl DiskSim {
                         if let Some(o) = &self.obs {
                             o.destages.inc();
                             o.seeks.inc();
+                            o.attribute_destage(
+                                extent.lba,
+                                destage_at.round() as u64,
+                                ((end - destage_at) / 1_000.0).round() as u64,
+                            );
                             o.event(destage_at.round() as u64, EventKind::Destage, extent.lba);
                             o.sim_slice(
                                 crate::obs::track::SERVICE,
@@ -438,8 +443,9 @@ impl DiskSim {
             } else {
                 0.0
             };
+            let outcome = self.service(&r, head_track, now + timeout_ns)?;
             let (service_ns, busy_extra_ns, cache_hit) =
-                self.service(&r, head_track, now + timeout_ns)?;
+                (outcome.service_ns, outcome.busy_extra_ns, outcome.cache_hit);
             // Injected media error: the transfer fails on the medium
             // and succeeds one full revolution later. Cache hits never
             // touch the medium, so the fault is inert for them.
@@ -505,8 +511,20 @@ impl DiskSim {
                     EventKind::CacheMiss
                 };
                 o.event(start.round() as u64, kind, r.lba);
+                let op_name = match r.op {
+                    OpKind::Read => "read",
+                    OpKind::Write => "write",
+                };
                 let response_ns = complete - r.arrival_ns as f64;
-                o.response_us.record((response_ns / 1_000.0).round() as u64);
+                let queue_ns = (start - r.arrival_ns as f64).max(0.0);
+                o.attribute_request(
+                    q.id,
+                    op_name,
+                    complete.round() as u64,
+                    (response_ns / 1_000.0).round() as u64,
+                    (queue_ns / 1_000.0).round() as u64,
+                    outcome.components(),
+                );
                 o.requests_completed.inc();
                 o.event(complete.round() as u64, EventKind::RequestComplete, q.id);
                 // Request lifecycle on the simulated-time tracks:
@@ -514,10 +532,6 @@ impl DiskSim {
                 // complete on the service track.
                 if o.flight().is_some() {
                     use spindle_obs::json::Json;
-                    let op_name = match r.op {
-                        OpKind::Read => "read",
-                        OpKind::Write => "write",
-                    };
                     let start_ns = start.round() as u64;
                     let id_arg = ("id".to_owned(), Json::Uint(q.id));
                     if timeout_fault {
@@ -593,14 +607,12 @@ impl DiskSim {
         })
     }
 
-    /// Services one request at `now`, returning
-    /// `(host_visible_service_ns, extra_busy_after_completion_ns,
-    /// cache_hit)`.
-    fn service(&mut self, r: &Request, head_track: u64, now: f64) -> Result<(f64, f64, bool)> {
+    /// Services one request at `now`.
+    fn service(&mut self, r: &Request, head_track: u64, now: f64) -> Result<ServiceOutcome> {
         match r.op {
             OpKind::Read => {
                 if self.cache.read_hit(r.lba, r.sectors) {
-                    return Ok((0.0, 0.0, true));
+                    return Ok(ServiceOutcome::cache_hit());
                 }
                 // Mechanical read plus read-ahead: the host sees the
                 // requested transfer; the prefetch keeps the mechanism
@@ -618,16 +630,58 @@ impl DiskSim {
                     0.0
                 };
                 self.cache.insert_clean(r.lba, r.sectors + ra);
-                Ok((timing.total_ns(), extra, false))
+                Ok(ServiceOutcome::mechanical(timing, extra))
             }
             OpKind::Write => match self.cache.write(r.lba, r.sectors) {
-                WriteOutcome::Cached => Ok((0.0, 0.0, true)),
+                WriteOutcome::Cached => Ok(ServiceOutcome::cache_hit()),
                 WriteOutcome::Forced => {
                     let timing = self.mechanics.service(head_track, now, r.lba, r.sectors)?;
-                    Ok((timing.total_ns(), 0.0, false))
+                    Ok(ServiceOutcome::mechanical(timing, 0.0))
                 }
             },
         }
+    }
+}
+
+/// How one request was serviced: the host-visible service time, any
+/// post-completion busy tail (read-ahead), and — for mechanical
+/// services — the seek/rotation/transfer timing the latency
+/// attribution decomposes.
+#[derive(Debug, Clone, Copy)]
+struct ServiceOutcome {
+    service_ns: f64,
+    busy_extra_ns: f64,
+    cache_hit: bool,
+    timing: Option<ServiceTiming>,
+}
+
+impl ServiceOutcome {
+    fn cache_hit() -> Self {
+        ServiceOutcome {
+            service_ns: 0.0,
+            busy_extra_ns: 0.0,
+            cache_hit: true,
+            timing: None,
+        }
+    }
+
+    fn mechanical(timing: ServiceTiming, busy_extra_ns: f64) -> Self {
+        ServiceOutcome {
+            service_ns: timing.total_ns(),
+            busy_extra_ns,
+            cache_hit: false,
+            timing: Some(timing),
+        }
+    }
+
+    /// The attribution components in microseconds (`None` for cache
+    /// hits, which never touch the mechanism).
+    fn components(&self) -> Option<Components> {
+        self.timing.map(|t| Components {
+            seek_us: (t.seek_ns / 1_000.0).round() as u64,
+            rotation_us: (t.rotation_ns / 1_000.0).round() as u64,
+            transfer_us: (t.transfer_ns / 1_000.0).round() as u64,
+        })
     }
 }
 

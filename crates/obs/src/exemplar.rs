@@ -1,0 +1,268 @@
+//! Deterministic per-bucket histogram exemplars.
+//!
+//! A latency histogram tells you *that* a p99 exists; an exemplar
+//! tells you *which request it was*. An [`ExemplarStore`] keeps, for
+//! every bucket of every participating histogram, one representative
+//! observation — the request id, the observed value, the simulated
+//! timestamp, and the operation — so a tail bucket links straight
+//! back to a concrete request and its flight-recorder slice (the
+//! `drive.queue`/`drive.service` slices carry the same `id` argument
+//! in the Chrome trace export).
+//!
+//! **Sampling policy** (load-bearing for determinism): each bucket
+//! keeps the observation with the **largest value**, breaking ties by
+//! **smallest request id**, then smallest timestamp. Max-with-total-
+//! order tie-breaking is commutative and associative, so the stored
+//! exemplar depends only on the *set* of observations, never on the
+//! order worker threads delivered them — the whole store is
+//! byte-identical at any `--jobs` count. Memory is bounded by
+//! construction: one slot per bucket per histogram.
+//!
+//! Like all telemetry in this workspace the store is read-only over
+//! the run: it observes values the simulator already computed and
+//! feeds nothing back.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One representative observation in one histogram bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value (same unit the histogram records).
+    pub value: u64,
+    /// The request id (position in the trace stream) — the same id
+    /// the event log and flight-recorder slices carry.
+    pub id: u64,
+    /// Simulated-time stamp of the observation, in nanoseconds.
+    pub t_ns: u64,
+    /// Operation label (`"read"`, `"write"`, `"destage"`).
+    pub op: &'static str,
+}
+
+impl Exemplar {
+    /// The deterministic keep-or-replace policy: larger value wins,
+    /// ties broken by smaller id, then smaller timestamp.
+    #[must_use]
+    fn beats(&self, other: &Exemplar) -> bool {
+        (
+            self.value,
+            std::cmp::Reverse(self.id),
+            std::cmp::Reverse(self.t_ns),
+        ) > (
+            other.value,
+            std::cmp::Reverse(other.id),
+            std::cmp::Reverse(other.t_ns),
+        )
+    }
+}
+
+#[derive(Debug)]
+struct Slots(Mutex<Vec<Option<Exemplar>>>);
+
+/// A pre-resolved handle onto one histogram's exemplar slots; cheap
+/// to clone, safe to offer to from any thread.
+#[derive(Debug, Clone)]
+pub struct ExemplarHandle(Arc<Slots>);
+
+impl ExemplarHandle {
+    /// Offers an observation to bucket `bucket`; it is kept iff it
+    /// beats the current occupant under the deterministic policy.
+    /// Out-of-range buckets are ignored.
+    pub fn offer(&self, bucket: usize, ex: Exemplar) {
+        let mut slots = self.0 .0.lock().expect("exemplar slots lock");
+        if let Some(slot) = slots.get_mut(bucket) {
+            match slot {
+                Some(cur) if !ex.beats(cur) => {}
+                _ => *slot = Some(ex),
+            }
+        }
+    }
+}
+
+/// Exemplar slots for a set of named histograms.
+///
+/// Owned by a [`MetricsRegistry`](crate::MetricsRegistry) so the
+/// store shares the registry's lifetime and isolation (tests with
+/// their own registry get their own exemplars).
+#[derive(Debug, Default)]
+pub struct ExemplarStore {
+    metrics: Mutex<BTreeMap<String, Arc<Slots>>>,
+}
+
+impl ExemplarStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves (creating on first use) the handle for histogram
+    /// `name` with `buckets` slots — pass the histogram's bucket
+    /// count, overflow included.
+    #[must_use]
+    pub fn handle(&self, name: &str, buckets: usize) -> ExemplarHandle {
+        let mut map = self.metrics.lock().expect("exemplar map lock");
+        let slots = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(Slots(Mutex::new(vec![None; buckets]))));
+        ExemplarHandle(Arc::clone(slots))
+    }
+
+    /// Every metric's slots, alphabetical; `None` entries are buckets
+    /// that never saw an observation.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, Vec<Option<Exemplar>>)> {
+        self.metrics
+            .lock()
+            .expect("exemplar map lock")
+            .iter()
+            .map(|(name, slots)| {
+                (
+                    name.clone(),
+                    slots.0.lock().expect("exemplar slots lock").clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Drops every metric's slots (used by registry reset).
+    pub fn clear(&self) {
+        self.metrics.lock().expect("exemplar map lock").clear();
+    }
+
+    /// True when no histogram has registered exemplar slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.lock().expect("exemplar map lock").is_empty()
+    }
+
+    /// JSON rendering: per metric, the occupied buckets only, with
+    /// the bucket index, value, request id, timestamp, and op — the
+    /// `exemplars` section of the `/timescales` document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let metrics = self
+            .snapshot()
+            .into_iter()
+            .filter_map(|(name, slots)| {
+                let occupied: Vec<Json> = slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(bucket, slot)| {
+                        slot.map(|ex| {
+                            Json::Obj(vec![
+                                ("bucket".to_owned(), Json::Uint(bucket as u64)),
+                                ("value".to_owned(), Json::Uint(ex.value)),
+                                ("id".to_owned(), Json::Uint(ex.id)),
+                                ("t_ns".to_owned(), Json::Uint(ex.t_ns)),
+                                ("op".to_owned(), Json::Str(ex.op.to_owned())),
+                            ])
+                        })
+                    })
+                    .collect();
+                (!occupied.is_empty()).then_some((name, Json::Arr(occupied)))
+            })
+            .collect();
+        Json::Obj(metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(value: u64, id: u64, t_ns: u64) -> Exemplar {
+        Exemplar {
+            value,
+            id,
+            t_ns,
+            op: "read",
+        }
+    }
+
+    #[test]
+    fn keeps_the_largest_value_per_bucket() {
+        let store = ExemplarStore::new();
+        let h = store.handle("lat", 4);
+        h.offer(1, ex(10, 7, 100));
+        h.offer(1, ex(30, 9, 300));
+        h.offer(1, ex(20, 1, 50));
+        h.offer(3, ex(99, 0, 1));
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 1);
+        let slots = &snap[0].1;
+        assert_eq!(slots[1], Some(ex(30, 9, 300)));
+        assert_eq!(slots[3], Some(ex(99, 0, 1)));
+        assert_eq!(slots[0], None);
+    }
+
+    #[test]
+    fn ties_break_to_the_smallest_id_then_timestamp() {
+        let store = ExemplarStore::new();
+        let h = store.handle("lat", 2);
+        h.offer(0, ex(10, 5, 100));
+        h.offer(0, ex(10, 2, 900)); // same value, smaller id wins
+        assert_eq!(store.snapshot()[0].1[0], Some(ex(10, 2, 900)));
+        h.offer(0, ex(10, 2, 50)); // same value+id, smaller t wins
+        assert_eq!(store.snapshot()[0].1[0], Some(ex(10, 2, 50)));
+        h.offer(0, ex(10, 7, 1)); // larger id loses regardless of t
+        assert_eq!(store.snapshot()[0].1[0], Some(ex(10, 2, 50)));
+    }
+
+    #[test]
+    fn order_of_offers_does_not_matter() {
+        let observations = [ex(5, 3, 30), ex(9, 1, 10), ex(9, 2, 5), ex(1, 0, 0)];
+        let forward = ExemplarStore::new();
+        let fh = forward.handle("m", 1);
+        for o in observations {
+            fh.offer(0, o);
+        }
+        let backward = ExemplarStore::new();
+        let bh = backward.handle("m", 1);
+        for o in observations.iter().rev() {
+            bh.offer(0, *o);
+        }
+        assert_eq!(forward.snapshot(), backward.snapshot());
+        assert_eq!(forward.snapshot()[0].1[0], Some(ex(9, 1, 10)));
+    }
+
+    #[test]
+    fn out_of_range_buckets_are_ignored() {
+        let store = ExemplarStore::new();
+        let h = store.handle("m", 2);
+        h.offer(17, ex(1, 1, 1));
+        assert!(store.snapshot()[0].1.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn json_lists_occupied_buckets_only() {
+        let store = ExemplarStore::new();
+        assert!(store.is_empty());
+        let h = store.handle("disk.response_us", 3);
+        h.offer(
+            2,
+            Exemplar {
+                value: 1234,
+                id: 42,
+                t_ns: 5_000,
+                op: "write",
+            },
+        );
+        let doc = store.to_json();
+        let Some(Json::Arr(entries)) = doc.get("disk.response_us") else {
+            panic!("metric listed");
+        };
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].get("bucket").and_then(Json::as_u64), Some(2));
+        assert_eq!(entries[0].get("id").and_then(Json::as_u64), Some(42));
+        assert_eq!(entries[0].get("op").and_then(Json::as_str), Some("write"));
+        // Handles are shared: a second resolve sees the same slots.
+        let again = store.handle("disk.response_us", 3);
+        again.offer(0, ex(1, 1, 1));
+        assert_eq!(
+            store.snapshot()[0].1.iter().filter(|s| s.is_some()).count(),
+            2
+        );
+    }
+}

@@ -13,6 +13,14 @@
 //!   [`time_scope!`] macro) attributing time to pipeline stages.
 //! * [`sink`] — the pluggable [`MetricsSink`] export trait with
 //!   [`TextSink`] and [`JsonSink`] implementations.
+//! * [`rollup`] — hierarchical multi-resolution metric rollups
+//!   ([`RollupSet`]): every counter/gauge/histogram banked into
+//!   bounded ring-buffered windows at several sim-time and wall-time
+//!   resolutions at once, with exact histogram merge across windows
+//!   plus derived rates, burstiness, and idle statistics.
+//! * [`exemplar`] — deterministic per-bucket histogram exemplars
+//!   ([`ExemplarStore`]) linking tail buckets back to concrete request
+//!   ids and flight-recorder slices.
 //! * [`events`] — a fixed-capacity ring-buffer [`EventLog`] for
 //!   simulator-level events (request enqueue/dispatch/complete, cache
 //!   hit/miss, destage, idle begin/end), gated behind [`ObsConfig`].
@@ -67,23 +75,27 @@
 
 pub mod config;
 pub mod events;
+pub mod exemplar;
 pub mod json;
 pub mod logger;
 pub mod prom;
 pub mod recorder;
 pub mod registry;
+pub mod rollup;
 pub mod sink;
 pub mod span;
 pub mod trace_event;
 
 pub use config::ObsConfig;
 pub use events::{Event, EventKind, EventLog};
+pub use exemplar::{Exemplar, ExemplarHandle, ExemplarStore};
 pub use logger::LogLevel;
 pub use prom::PromSink;
 pub use recorder::{FlightRecorder, SimSlice, WallSlice};
 pub use registry::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot, SpanStats,
 };
+pub use rollup::{Resolution, RollupSet, RollupSnapshot};
 pub use sink::{JsonSink, MetricsSink, TextSink};
 pub use span::ObsSpan;
 pub use trace_event::TraceEventSink;

@@ -6,7 +6,11 @@
 //! or a `name{labels} value` sample. The encoding rules:
 //!
 //! * Counters and gauges export under their sanitized name (`.` and
-//!   any other character outside `[a-zA-Z0-9_:]` become `_`).
+//!   any other character outside `[a-zA-Z0-9_:]` become `_`). The
+//!   per-worker `engine.worker.<n>.<field>` counters are special-cased
+//!   into proper labeled families: one `engine_worker_<field>` family
+//!   with a `worker="<n>"` label per sample, instead of one metric
+//!   name per worker index.
 //! * Histograms export the full fixed-bucket layout: one cumulative
 //!   `name_bucket{le="BOUND"}` sample per finite bound, the mandatory
 //!   `le="+Inf"` bucket, plus `name_sum` and `name_count`. The `+Inf`
@@ -20,7 +24,9 @@
 //! scrape.
 
 use crate::registry::{HistogramSnapshot, Snapshot, SpanStats};
+use crate::rollup::RollupSnapshot;
 use crate::sink::MetricsSink;
+use std::collections::BTreeMap;
 use std::io::{self, Write};
 
 /// Prometheus text-format exporter (exposition format 0.0.4).
@@ -47,6 +53,19 @@ pub fn sanitize_name(name: &str) -> String {
         }
     }
     out
+}
+
+/// Splits an `engine.worker.<n>.<field>` counter name into its labeled
+/// Prometheus family (`engine_worker_<field>`) and the numeric worker
+/// index; `None` for every other name, which exports flat.
+fn worker_family(name: &str) -> Option<(String, u64)> {
+    let rest = name.strip_prefix("engine.worker.")?;
+    let (idx, field) = rest.split_once('.')?;
+    if field.is_empty() {
+        return None;
+    }
+    let worker: u64 = idx.parse().ok()?;
+    Some((format!("engine_worker_{}", sanitize_name(field)), worker))
 }
 
 /// Formats a sample value: integers print exactly, floats keep a
@@ -94,10 +113,40 @@ fn write_span(out: &mut dyn Write, name: &str, s: &SpanStats) -> io::Result<()> 
     writeln!(out, "{name}_count {}", s.count)
 }
 
+/// Validates one sample's label block (the text between `{` and `}`):
+/// a comma-separated list of `name="value"` pairs whose names stay in
+/// the Prometheus label charset (`[a-zA-Z_][a-zA-Z0-9_]*`). Values the
+/// encoder emits never contain `"` or `,`, so the checker rejects them
+/// too rather than guessing at escapes.
+fn check_labels(labels: &str, line: &str) -> Result<(), String> {
+    if labels.is_empty() {
+        return Err(format!("empty label block in `{line}`"));
+    }
+    for pair in labels.split(',') {
+        let (name, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("label without `=` in `{line}`"))?;
+        let mut chars = name.chars();
+        let head_ok = chars
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+        if !head_ok || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("illegal label name `{name}` in `{line}`"));
+        }
+        let quoted = value.len() >= 2 && value.starts_with('"') && value.ends_with('"');
+        if !quoted || value[1..value.len() - 1].contains('"') {
+            return Err(format!("malformed label value in `{line}`"));
+        }
+    }
+    Ok(())
+}
+
 /// Structurally validates exposition text: every line must be a
 /// `# HELP`/`# TYPE` comment or a `name{labels} value` sample, every
-/// sample name must have been announced by a `# TYPE` line, and each
-/// histogram's `_count` must equal its top cumulative (`+Inf`) bucket.
+/// sample name must stay in the legal charset and have been announced
+/// by exactly one `# TYPE` line, labels must be well-formed
+/// `name="value"` pairs, and each histogram's `_count` must equal its
+/// top cumulative (`+Inf`) bucket.
 ///
 /// Shared by the encoder's own tests and the end-to-end scrape tests
 /// against a live `/metrics` endpoint, so "valid" means the same thing
@@ -128,7 +177,9 @@ pub fn check_exposition(text: &str) -> Result<(), String> {
                 let kind = parts
                     .next()
                     .ok_or_else(|| format!("TYPE without kind: `{line}`"))?;
-                typed.insert(name.to_owned(), kind.to_owned());
+                if typed.insert(name.to_owned(), kind.to_owned()).is_some() {
+                    return Err(format!("duplicate TYPE for `{name}`"));
+                }
             }
             continue;
         }
@@ -148,11 +199,16 @@ pub fn check_exposition(text: &str) -> Result<(), String> {
             }
             None => (name_labels, None),
         };
-        if !name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        if name.is_empty()
+            || name.starts_with(|c: char| c.is_ascii_digit())
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
         {
             return Err(format!("illegal metric name in `{line}`"));
+        }
+        if let Some(labels) = labels {
+            check_labels(labels, line)?;
         }
         let family = name
             .strip_suffix("_bucket")
@@ -196,12 +252,82 @@ pub fn check_exposition(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Appends windowed-series gauges from a rollup snapshot to an
+/// exposition: for each resolution's most recent window, every counter
+/// delta exports as
+/// `spindle_window_delta{axis="…",resolution="…",metric="…"}` and, for
+/// bounded (non-whole-run) windows, the per-second rate as
+/// `spindle_window_rate{…}`. Both families are gauges — window deltas
+/// move up and down from scrape to scrape.
+///
+/// # Errors
+///
+/// Propagates write errors from `out`.
+pub fn write_windowed(out: &mut dyn Write, rollups: &RollupSnapshot) -> io::Result<()> {
+    let mut deltas: Vec<String> = Vec::new();
+    let mut rates: Vec<String> = Vec::new();
+    for res in &rollups.resolutions {
+        let Some(window) = res.windows.last() else {
+            continue;
+        };
+        for (name, delta) in &window.accum.counters {
+            let labels = format!(
+                "axis=\"{}\",resolution=\"{}\",metric=\"{}\"",
+                rollups.axis,
+                res.resolution.name,
+                sanitize_name(name)
+            );
+            deltas.push(format!("spindle_window_delta{{{labels}}} {delta}"));
+            if let Some(secs) = res.resolution.window_secs() {
+                rates.push(format!(
+                    "spindle_window_rate{{{labels}}} {}",
+                    fmt_f64(*delta as f64 / secs)
+                ));
+            }
+        }
+    }
+    for (family, lines) in [
+        ("spindle_window_delta", &deltas),
+        ("spindle_window_rate", &rates),
+    ] {
+        if lines.is_empty() {
+            continue;
+        }
+        writeln!(out, "# TYPE {family} gauge")?;
+        for line in lines {
+            writeln!(out, "{line}")?;
+        }
+    }
+    Ok(())
+}
+
 impl MetricsSink for PromSink {
     fn export(&self, snapshot: &Snapshot, out: &mut dyn Write) -> io::Result<()> {
+        // Group counters into families first so per-worker metrics
+        // share one TYPE line with a `worker` label per sample.
+        let mut families: BTreeMap<String, Vec<(Option<u64>, u64)>> = BTreeMap::new();
         for (name, v) in &snapshot.counters {
-            let name = sanitize_name(name);
-            writeln!(out, "# TYPE {name} counter")?;
-            writeln!(out, "{name} {v}")?;
+            match worker_family(name) {
+                Some((family, worker)) => {
+                    families.entry(family).or_default().push((Some(worker), *v));
+                }
+                None => {
+                    families
+                        .entry(sanitize_name(name))
+                        .or_default()
+                        .push((None, *v));
+                }
+            }
+        }
+        for (family, mut samples) in families {
+            samples.sort_unstable(); // numeric worker order, not lexicographic
+            writeln!(out, "# TYPE {family} counter")?;
+            for (worker, v) in samples {
+                match worker {
+                    Some(w) => writeln!(out, "{family}{{worker=\"{w}\"}} {v}")?,
+                    None => writeln!(out, "{family} {v}")?,
+                }
+            }
         }
         for (name, v) in &snapshot.gauges {
             let name = sanitize_name(name);
@@ -254,6 +380,72 @@ mod tests {
         // A histogram whose +Inf bucket disagrees with _count.
         let broken = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n";
         assert!(check_exposition(broken).is_err());
+    }
+
+    #[test]
+    fn check_exposition_rejects_illegal_names_and_labels() {
+        // Metric names outside the charset, or starting with a digit.
+        assert!(check_exposition("# TYPE bad.dot counter\nbad.dot 1").is_err());
+        assert!(check_exposition("# TYPE 9lives counter\n9lives 1").is_err());
+        // Label blocks: bad label name, unquoted value, empty block.
+        assert!(check_exposition("# TYPE m counter\nm{9x=\"a\"} 1").is_err());
+        assert!(check_exposition("# TYPE m counter\nm{w=bare} 1").is_err());
+        assert!(check_exposition("# TYPE m counter\nm{} 1").is_err());
+        assert!(check_exposition("# TYPE m counter\nm{worker=\"3\"} 1").is_ok());
+        // One family must not be announced twice.
+        assert!(check_exposition("# TYPE m counter\nm 1\n# TYPE m counter\nm 2").is_err());
+    }
+
+    #[test]
+    fn worker_counters_group_into_one_labeled_family() {
+        let r = MetricsRegistry::new();
+        for w in [0u64, 2, 10] {
+            r.counter(&format!("engine.worker.{w}.traces_done"))
+                .add(w + 1);
+        }
+        r.counter("engine.worker.bad").add(5); // no field → flat export
+        let text = PromSink.export_string(&r.snapshot()).unwrap();
+        assert_valid_exposition(&text);
+        assert_eq!(
+            text.matches("# TYPE engine_worker_traces_done counter")
+                .count(),
+            1,
+            "one TYPE line for the whole family:\n{text}"
+        );
+        assert!(text.contains("engine_worker_traces_done{worker=\"0\"} 1"));
+        assert!(text.contains("engine_worker_traces_done{worker=\"2\"} 3"));
+        assert!(text.contains("engine_worker_traces_done{worker=\"10\"} 11"));
+        // Numeric sample order, not lexicographic (2 before 10).
+        let two = text.find("worker=\"2\"").unwrap();
+        let ten = text.find("worker=\"10\"").unwrap();
+        assert!(two < ten);
+        assert!(text.contains("engine_worker_bad 5"));
+    }
+
+    #[test]
+    fn windowed_series_append_to_a_valid_exposition() {
+        use crate::rollup::RollupSet;
+        let r = sample_registry();
+        let rollups = RollupSet::wall();
+        rollups.ingest_snapshot(1_500_000_000, &r.snapshot());
+        let mut text = PromSink.export_string(&r.snapshot()).unwrap();
+        {
+            let mut out = Vec::new();
+            write_windowed(&mut out, &rollups.snapshot()).unwrap();
+            text.push_str(std::str::from_utf8(&out).unwrap());
+        }
+        assert_valid_exposition(&text);
+        assert!(text.contains(
+            "spindle_window_delta{axis=\"wall\",resolution=\"1s\",\
+             metric=\"disk_requests_completed\"} 42"
+        ));
+        assert!(text.contains(
+            "spindle_window_rate{axis=\"wall\",resolution=\"1s\",\
+             metric=\"disk_requests_completed\"} 42"
+        ));
+        // The whole-run window has no rate (no finite width).
+        assert!(!text.contains("spindle_window_rate{axis=\"wall\",resolution=\"run\""));
+        assert!(text.contains("spindle_window_delta{axis=\"wall\",resolution=\"run\""));
     }
 
     #[test]

@@ -59,7 +59,9 @@ impl Gauge {
 /// Default histogram bucket bounds: powers of two from 1 up to 2^39
 /// (~9.1 minutes when recording microseconds), plus an implicit overflow
 /// bucket. Forty buckets cover any latency or depth this pipeline sees.
-fn default_bounds() -> Vec<u64> {
+/// Public so the rollup wheels can build delta histograms with the same
+/// layout the registry uses.
+pub fn default_bounds() -> Vec<u64> {
     (0..40).map(|i| 1u64 << i).collect()
 }
 
@@ -127,6 +129,18 @@ impl Histogram {
     pub fn quantile(&self, q: f64) -> f64 {
         self.snapshot().quantile(q)
     }
+
+    /// The bucket index `value` falls in (overflow bucket last) —
+    /// the same index [`Histogram::record`] increments, exposed so
+    /// exemplar stores can address the matching slot.
+    pub fn bucket_index(&self, value: u64) -> usize {
+        self.0.bounds.partition_point(|&b| b < value)
+    }
+
+    /// Number of buckets, overflow included (`bounds.len() + 1`).
+    pub fn bucket_count(&self) -> usize {
+        self.0.buckets.len()
+    }
 }
 
 /// An immutable histogram view with quantile readout.
@@ -143,6 +157,76 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// An empty snapshot with the given bucket layout — the seed the
+    /// rollup wheels accumulate deltas into.
+    pub fn empty_with_bounds(bounds: Vec<u64>) -> Self {
+        let buckets = vec![0; bounds.len() + 1];
+        HistogramSnapshot {
+            bounds,
+            buckets,
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation directly into the snapshot (used for
+    /// delta accumulation outside a live [`Histogram`]).
+    pub fn record(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Adds `other`'s buckets, count, and sum into `self` — the exact
+    /// merge the rollup windows rely on: merging is element-wise
+    /// addition, so splitting a run into windows and merging them back
+    /// reproduces the whole-run histogram bit for bit. If the layouts
+    /// disagree (an empty accumulator meeting its first real delta),
+    /// `self` adopts `other`'s layout first when it is still empty;
+    /// mismatched non-empty layouts fold into count/sum only, which
+    /// cannot happen for snapshots of the same named histogram.
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        if self.bounds != other.bounds {
+            if self.count == 0 {
+                self.bounds = other.bounds.clone();
+                self.buckets = other.buckets.clone();
+                self.count = other.count;
+                self.sum = other.sum;
+                return;
+            }
+            self.count += other.count;
+            self.sum = self.sum.saturating_add(other.sum);
+            return;
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The element-wise difference `self - earlier` (saturating), for
+    /// turning two cumulative snapshots of one histogram into the
+    /// deltas observed between them. Layout mismatches (the histogram
+    /// did not exist at `earlier`) return `self` unchanged.
+    pub fn saturating_diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.bounds != earlier.bounds {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
     /// Mean observed value, or 0 for an empty histogram.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -215,6 +299,7 @@ pub struct MetricsRegistry {
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     spans: Mutex<BTreeMap<String, SpanStats>>,
+    exemplars: crate::exemplar::ExemplarStore,
 }
 
 impl MetricsRegistry {
@@ -249,6 +334,14 @@ impl MetricsRegistry {
         map.entry(name.to_owned())
             .or_insert_with(|| Histogram::new(bounds.to_vec()))
             .clone()
+    }
+
+    /// The registry's exemplar store: per-bucket representative
+    /// observations for histograms that participate in latency
+    /// attribution (see [`crate::exemplar`]). Shares the registry's
+    /// lifetime so isolated registries get isolated exemplars.
+    pub fn exemplars(&self) -> &crate::exemplar::ExemplarStore {
+        &self.exemplars
     }
 
     /// Folds one completed execution of span `name` into its statistics.
@@ -315,6 +408,7 @@ impl MetricsRegistry {
             .expect("histogram map not poisoned")
             .clear();
         self.spans.lock().expect("span map not poisoned").clear();
+        self.exemplars.clear();
     }
 }
 

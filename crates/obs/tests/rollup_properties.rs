@@ -1,0 +1,112 @@
+//! Property-based tests for the rollup time wheel's exact-merge
+//! contract: folding the evicted accumulator plus every retained
+//! window must reproduce the whole-run totals — counter sums and
+//! histogram bucket counts exactly — at every resolution, and the
+//! quantiles derived from those merged histograms must agree across
+//! resolutions (they are views of the same observations) and be
+//! monotone in the quantile.
+
+use proptest::prelude::*;
+use spindle_obs::registry::{default_bounds, HistogramSnapshot, MetricsRegistry};
+use spindle_obs::rollup::{Resolution, RollupSet};
+
+/// A wheel with a deliberately tiny fine-resolution ring so eviction
+/// happens constantly, plus a mid resolution and the run window.
+fn tight_wheel() -> RollupSet {
+    RollupSet::new(
+        "sim",
+        vec![
+            Resolution::new("10ms", Some(10_000_000), 4),
+            Resolution::new("1s", Some(1_000_000_000), 3),
+            Resolution::new("run", None, 1),
+        ],
+    )
+}
+
+/// Timestamps inside a 20 s span and values spread across the
+/// power-of-two bucket ladder.
+fn arb_observations() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..20_000_000_000, 0u64..(1u64 << 40)), 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merged_windows_reproduce_the_whole_run_histogram(obs in arb_observations()) {
+        let set = tight_wheel();
+        let mut expected = HistogramSnapshot::empty_with_bounds(default_bounds());
+        for &(t_ns, value) in &obs {
+            set.record_hist("lat", t_ns, value);
+            set.add_counter("n", t_ns, 1);
+            expected.record(value);
+        }
+        let snap = set.snapshot();
+        for r in &snap.resolutions {
+            let merged = r.merged();
+            prop_assert_eq!(
+                merged.counters["n"], obs.len() as u64,
+                "counter total at {}", r.resolution.name
+            );
+            let h = &merged.histograms["lat"];
+            prop_assert_eq!(h.count, expected.count, "count at {}", r.resolution.name);
+            prop_assert_eq!(h.sum, expected.sum, "sum at {}", r.resolution.name);
+            prop_assert_eq!(&h.buckets, &expected.buckets, "buckets at {}", r.resolution.name);
+        }
+    }
+
+    #[test]
+    fn quantiles_agree_across_resolutions_and_are_monotone(obs in arb_observations()) {
+        let set = tight_wheel();
+        for &(t_ns, value) in &obs {
+            set.record_hist("lat", t_ns, value);
+        }
+        let snap = set.snapshot();
+        let reference: Vec<f64> = {
+            let h = snap.resolutions[0].merged().histograms["lat"].clone();
+            [0.50, 0.95, 0.99].iter().map(|&q| h.quantile(q)).collect()
+        };
+        // Within one histogram the quantile function is monotone.
+        prop_assert!(reference[0] <= reference[1] && reference[1] <= reference[2]);
+        // Every resolution merges to the same observations, so the
+        // quantile ladder is identical — no resolution can disagree
+        // about the tail.
+        for r in &snap.resolutions[1..] {
+            let h = &r.merged().histograms["lat"];
+            for (i, &q) in [0.50, 0.95, 0.99].iter().enumerate() {
+                prop_assert_eq!(
+                    h.quantile(q), reference[i],
+                    "q{} at {}", q, r.resolution.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_ingestion_matches_the_registry_totals(
+        ticks in prop::collection::vec((0u64..50, 0u64..(1u64 << 32)), 1..24)
+    ) {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("req");
+        let h = registry.histogram("lat");
+        let set = RollupSet::wall();
+        for (i, &(delta, value)) in ticks.iter().enumerate() {
+            c.add(delta);
+            h.record(value);
+            set.ingest_snapshot(i as u64 * 250_000_000, &registry.snapshot());
+        }
+        let final_snap = registry.snapshot();
+        for r in &set.snapshot().resolutions {
+            let merged = r.merged();
+            prop_assert_eq!(
+                merged.counters.get("req").copied().unwrap_or(0),
+                final_snap.counter("req").unwrap_or(0)
+            );
+            let mine = &merged.histograms["lat"];
+            let theirs = final_snap.histogram("lat").unwrap();
+            prop_assert_eq!(mine.count, theirs.count);
+            prop_assert_eq!(mine.sum, theirs.sum);
+            prop_assert_eq!(&mine.buckets, &theirs.buckets);
+        }
+    }
+}

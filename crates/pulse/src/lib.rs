@@ -15,10 +15,12 @@
 //! * [`server`] — an embedded HTTP server on
 //!   [`std::net::TcpListener`] serving `GET /metrics` in Prometheus
 //!   text exposition format (via
-//!   [`PromSink`](spindle_obs::PromSink)), `GET /healthz`, and
+//!   [`PromSink`](spindle_obs::PromSink)), `GET /healthz`,
 //!   `GET /status` (run phase, progress, per-worker utilization, ETA
-//!   as JSON). Pull-based by design: the scrape reads shared atomics,
-//!   so an absent or slow scraper costs the run nothing.
+//!   as JSON), and `GET /timescales` (the multi-resolution rollup
+//!   document plus histogram exemplars). Pull-based by design: the
+//!   scrape reads shared atomics, so an absent or slow scraper costs
+//!   the run nothing.
 //! * [`status`] — the [`RunStatus`] shared state the front ends
 //!   (`spindle`, `experiments`) publish phase and progress into.
 //! * [`live`] — the `--live` terminal dashboard: in-place ANSI redraw
@@ -83,6 +85,7 @@ pub struct Session {
     /// and per-unit completions into this.
     pub status: std::sync::Arc<RunStatus>,
     sampler: std::sync::Arc<Sampler>,
+    rollups: std::sync::Arc<spindle_obs::RollupSet>,
     server: Option<PulseServer>,
     dashboard: Option<LiveDashboard>,
 }
@@ -114,15 +117,25 @@ impl Session {
         let status = std::sync::Arc::new(RunStatus::new(total));
         status.set_phase(phase);
         status.set_progress_counter(registry.counter(status::PROGRESS_METRIC));
-        let sampler = Sampler::start(registry, SAMPLE_CADENCE, SAMPLE_CAPACITY);
+        // Every session gets a wall-axis rollup wheel: the sampler
+        // feeds it, `/timescales` serves it, the dashboard sparkline
+        // reads it. Bounded memory, read-only over the run.
+        let rollups = std::sync::Arc::new(spindle_obs::RollupSet::wall());
+        let sampler = Sampler::start_with_rollups(
+            registry,
+            SAMPLE_CADENCE,
+            SAMPLE_CAPACITY,
+            Some(std::sync::Arc::clone(&rollups)),
+        );
         let server = match serve {
             Some(explicit) => {
                 let addr = resolve_serve_addr(explicit);
-                let srv = PulseServer::start(
+                let srv = PulseServer::start_with_rollups(
                     &addr,
                     registry,
                     std::sync::Arc::clone(&status),
                     std::sync::Arc::clone(&sampler),
+                    Some(std::sync::Arc::clone(&rollups)),
                 )
                 .map_err(|e| format!("cannot serve telemetry on `{addr}`: {e}"))?;
                 eprintln!("# serving telemetry on http://{}", srv.local_addr());
@@ -131,15 +144,17 @@ impl Session {
             None => None,
         };
         let dashboard = live.then(|| {
-            LiveDashboard::start(
+            LiveDashboard::start_with_rollups(
                 registry,
                 std::sync::Arc::clone(&status),
                 std::sync::Arc::clone(&sampler),
+                Some(std::sync::Arc::clone(&rollups)),
             )
         });
         Ok(Some(Session {
             status,
             sampler,
+            rollups,
             server,
             dashboard,
         }))
@@ -149,6 +164,13 @@ impl Session {
     #[must_use]
     pub fn bound_addr(&self) -> Option<std::net::SocketAddr> {
         self.server.as_ref().map(PulseServer::local_addr)
+    }
+
+    /// The session's wall-axis rollup wheel (the `/timescales` source),
+    /// for front ends that export it at exit.
+    #[must_use]
+    pub fn rollups(&self) -> &std::sync::Arc<spindle_obs::RollupSet> {
+        &self.rollups
     }
 
     /// Final frame, optional [`serve_linger`] for late scrapers, then

@@ -2,9 +2,12 @@
 //!
 //! [`LiveDashboard`] spawns a `pulse-live` thread that renders run
 //! progress to **stderr** a few times a second: a progress bar,
-//! experiments/sec and ETA from the sampler's recent-rate window,
-//! per-worker utilization lanes, the top-k hottest spans by total
-//! time, and the `events.dropped` gauge.
+//! experiments/sec and ETA from the sampler's recent-rate window (the
+//! ETA waits for the steady-rate gate, so it never whipsaws in the
+//! first seconds of a run), a throughput sparkline over the wall
+//! rollup's 1 s windows when a [`RollupSet`] is attached, per-worker
+//! utilization lanes, the top-k hottest spans by total time, and the
+//! `events.dropped` gauge.
 //!
 //! On a TTY the dashboard redraws in place with ANSI cursor movement
 //! (`ESC[nA` up, `ESC[J` clear-below). When stderr is not a TTY —
@@ -16,7 +19,7 @@
 
 use crate::sampler::Sampler;
 use crate::status::{worker_stats, RunStatus, PROGRESS_METRIC};
-use spindle_obs::{MetricsRegistry, Snapshot};
+use spindle_obs::{MetricsRegistry, RollupSet, Snapshot};
 use std::io::{IsTerminal, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -54,6 +57,18 @@ impl LiveDashboard {
         status: Arc<RunStatus>,
         sampler: Arc<Sampler>,
     ) -> LiveDashboard {
+        LiveDashboard::start_with_rollups(registry, status, sampler, None)
+    }
+
+    /// Like [`LiveDashboard::start`], additionally rendering a
+    /// throughput sparkline from the rollup set's 1 s windows.
+    #[must_use]
+    pub fn start_with_rollups(
+        registry: &'static MetricsRegistry,
+        status: Arc<RunStatus>,
+        sampler: Arc<Sampler>,
+        rollups: Option<Arc<RollupSet>>,
+    ) -> LiveDashboard {
         let tty = std::io::stderr().is_terminal();
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
@@ -64,7 +79,8 @@ impl LiveDashboard {
                 let mut last_lines = 0usize;
                 loop {
                     let done = thread_stop.load(Ordering::Acquire);
-                    let frame = render_frame(&status, &registry.snapshot(), &sampler);
+                    let frame =
+                        render_frame(&status, &registry.snapshot(), &sampler, rollups.as_deref());
                     let mut err = std::io::stderr().lock();
                     if tty {
                         if last_lines > 0 {
@@ -138,12 +154,17 @@ fn fmt_eta(secs: Option<f64>) -> String {
     }
 }
 
-/// The one-line summary shared by both modes.
+/// The one-line summary shared by both modes. The displayed rate is
+/// the plain recent rate; the ETA waits for the steady-rate gate so it
+/// shows `--:--` instead of a wild guess while the window is thin.
 fn summary_line(status: &RunStatus, sampler: &Sampler) -> String {
     let completed = status.completed();
     let total = status.total();
     let rate = sampler.rate_per_sec(PROGRESS_METRIC).filter(|r| *r > 0.0);
-    let eta = rate.map(|r| (total.saturating_sub(completed)) as f64 / r);
+    let steady = sampler
+        .steady_rate_per_sec(PROGRESS_METRIC)
+        .filter(|r| *r > 0.0);
+    let eta = steady.map(|r| (total.saturating_sub(completed)) as f64 / r);
     format!(
         "spindle {} {}/{} ({:.1}/s, eta {})",
         status.phase(),
@@ -154,8 +175,48 @@ fn summary_line(status: &RunStatus, sampler: &Sampler) -> String {
     )
 }
 
+/// Block-character sparkline of a per-window series; empty when the
+/// series has no activity yet.
+fn sparkline(series: &[u64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let peak = series.iter().copied().max().unwrap_or(0);
+    if peak == 0 {
+        return String::new();
+    }
+    series
+        .iter()
+        .map(|&v| {
+            // Map 0..=peak onto the block ramp; zero stays the lowest.
+            let idx = ((v as f64 / peak as f64) * (BLOCKS.len() - 1) as f64).round() as usize;
+            BLOCKS[idx.min(BLOCKS.len() - 1)]
+        })
+        .collect()
+}
+
+/// The sparkline row driven by the rollup wheel's 1 s windows: recent
+/// completion throughput at a glance. `None` when no rollups are
+/// attached, no 1 s resolution exists, or nothing completed yet.
+fn sparkline_row(rollups: Option<&RollupSet>) -> Option<String> {
+    let snap = rollups?.snapshot();
+    let res = snap.resolution("1s")?;
+    let series = res.series(PROGRESS_METRIC);
+    // Show the most recent windows that fit a dashboard row.
+    const SPARK_WIDTH: usize = 30;
+    let tail = &series[series.len().saturating_sub(SPARK_WIDTH)..];
+    let spark = sparkline(tail);
+    if spark.is_empty() {
+        return None;
+    }
+    Some(format!("  1s {spark}\n"))
+}
+
 /// Renders one full dashboard frame (TTY mode).
-fn render_frame(status: &RunStatus, snapshot: &Snapshot, sampler: &Sampler) -> String {
+fn render_frame(
+    status: &RunStatus,
+    snapshot: &Snapshot,
+    sampler: &Sampler,
+    rollups: Option<&RollupSet>,
+) -> String {
     let mut out = String::new();
     let completed = status.completed();
     let total = status.total();
@@ -164,6 +225,9 @@ fn render_frame(status: &RunStatus, snapshot: &Snapshot, sampler: &Sampler) -> S
         progress_bar(completed, total),
         summary_line(status, sampler)
     ));
+    if let Some(row) = sparkline_row(rollups) {
+        out.push_str(&row);
+    }
 
     for w in worker_stats(snapshot) {
         let util = w.utilization().unwrap_or(0.0);
@@ -237,7 +301,7 @@ mod tests {
         status.set_phase("running");
         status.complete_one();
         let sampler = Sampler::start(registry, Duration::from_secs(3600), 8);
-        let frame = render_frame(&status, &registry.snapshot(), &sampler);
+        let frame = render_frame(&status, &registry.snapshot(), &sampler, None);
         assert!(frame.contains("1/8"), "{frame}");
         assert!(frame.contains("w0 ["), "{frame}");
         assert!(frame.contains("75% busy"), "{frame}");
@@ -255,7 +319,7 @@ mod tests {
         }
         let status = RunStatus::new(1);
         let sampler = Sampler::start(registry, Duration::from_secs(3600), 8);
-        let frame = render_frame(&status, &registry.snapshot(), &sampler);
+        let frame = render_frame(&status, &registry.snapshot(), &sampler, None);
         assert!(frame.contains("span b:"), "{frame}");
         assert!(frame.contains("span d:"), "{frame}");
         assert!(frame.contains("span c:"), "{frame}");
@@ -264,6 +328,41 @@ mod tests {
         let b = frame.find("span b:").unwrap();
         let d = frame.find("span d:").unwrap();
         assert!(b < d, "hotter span renders first:\n{frame}");
+        sampler.stop();
+    }
+
+    #[test]
+    fn sparkline_scales_to_the_peak() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "", "no activity, no sparkline");
+        let s = sparkline(&[0, 1, 4, 8]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'), "{s}");
+        assert!(s.ends_with('█'), "{s}");
+    }
+
+    #[test]
+    fn frame_includes_sparkline_from_one_second_windows() {
+        let registry: &'static MetricsRegistry = Box::leak(Box::default());
+        let status = RunStatus::new(8);
+        let sampler = Sampler::start(registry, Duration::from_secs(3600), 8);
+        let rollups = RollupSet::wall();
+        // Bank completions into three 1s windows directly.
+        rollups.add_counter(PROGRESS_METRIC, 100, 2);
+        rollups.add_counter(PROGRESS_METRIC, 1_200_000_000, 6);
+        rollups.add_counter(PROGRESS_METRIC, 2_900_000_000, 3);
+        let frame = render_frame(&status, &registry.snapshot(), &sampler, Some(&rollups));
+        let row = frame
+            .lines()
+            .find(|l| l.trim_start().starts_with("1s "))
+            .expect("sparkline row rendered");
+        assert_eq!(
+            row.trim_start().trim_start_matches("1s ").chars().count(),
+            3
+        );
+        // Without rollups the row is absent.
+        let plain = render_frame(&status, &registry.snapshot(), &sampler, None);
+        assert!(!plain.contains("  1s "), "{plain}");
         sampler.stop();
     }
 

@@ -13,12 +13,20 @@
 //! Memory is bounded by construction: `capacity` samples × metrics
 //! sampled, independent of run length.
 
-use spindle_obs::MetricsRegistry;
+use spindle_obs::rollup::NS_PER_MS;
+use spindle_obs::{MetricsRegistry, RollupSet};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Minimum retained samples before [`Sampler::steady_rate_per_sec`]
+/// reports a rate. Right after startup one or two samples produce
+/// wildly unstable rates — and therefore ETAs that swing by orders of
+/// magnitude — so rate consumers suppress the readout until the window
+/// holds this many points.
+pub const MIN_STEADY_SAMPLES: usize = 4;
 
 /// One sampled value of one metric.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,12 +44,17 @@ struct Shared {
     capacity: usize,
     epoch: Instant,
     stop: AtomicBool,
+    /// Wall-axis rollup wheel fed one snapshot per tick, when attached.
+    rollups: Option<Arc<RollupSet>>,
 }
 
 impl Shared {
     fn sample_once(&self) {
         let t_ms = u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX);
         let snap = self.registry.snapshot();
+        if let Some(roll) = &self.rollups {
+            roll.ingest_snapshot(t_ms.saturating_mul(NS_PER_MS), &snap);
+        }
         let mut series = self.series.lock().expect("sampler series not poisoned");
         let mut push = |name: &str, value: f64| {
             let ring = series.entry(name.to_owned()).or_default();
@@ -85,12 +98,26 @@ impl Sampler {
         cadence: Duration,
         capacity: usize,
     ) -> Arc<Sampler> {
+        Sampler::start_with_rollups(registry, cadence, capacity, None)
+    }
+
+    /// Like [`Sampler::start`], additionally feeding every snapshot
+    /// into a wall-axis [`RollupSet`] (stamped with milliseconds since
+    /// the sampler epoch, converted to nanoseconds on the wheel axis).
+    #[must_use]
+    pub fn start_with_rollups(
+        registry: &'static MetricsRegistry,
+        cadence: Duration,
+        capacity: usize,
+        rollups: Option<Arc<RollupSet>>,
+    ) -> Arc<Sampler> {
         let shared = Arc::new(Shared {
             registry,
             series: Mutex::new(BTreeMap::new()),
             capacity: capacity.max(2),
             epoch: Instant::now(),
             stop: AtomicBool::new(false),
+            rollups,
         });
         let worker = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -164,6 +191,18 @@ impl Sampler {
         }
         let dt = (last.t_ms - first.t_ms) as f64 / 1e3;
         Some((last.value - first.value) / dt)
+    }
+
+    /// Like [`Sampler::rate_per_sec`], but `None` until the window has
+    /// accumulated [`MIN_STEADY_SAMPLES`] points (or the rate is not
+    /// finite) — the clamp that keeps early-run ETAs from whipsawing.
+    #[must_use]
+    pub fn steady_rate_per_sec(&self, name: &str) -> Option<f64> {
+        let samples = self.series(name);
+        if samples.len() < MIN_STEADY_SAMPLES {
+            return None;
+        }
+        self.rate_per_sec(name).filter(|r| r.is_finite())
     }
 
     /// Stops the sampler thread and waits for it to exit. Idempotent;
@@ -243,6 +282,50 @@ mod tests {
         sampler.sample_now();
         let rate = sampler.rate_per_sec("rate.count").expect("two samples");
         assert!(rate > 0.0, "rate={rate}");
+        sampler.stop();
+    }
+
+    #[test]
+    fn steady_rate_requires_a_filled_window() {
+        let registry = leaked_registry();
+        let c = registry.counter("steady.count");
+        let sampler = Sampler::start(registry, Duration::from_secs(3600), 8);
+        // Take samples until just below the threshold: still None even
+        // though the plain rate is already computable.
+        for _ in 1..MIN_STEADY_SAMPLES - 1 {
+            std::thread::sleep(Duration::from_millis(3));
+            c.add(5);
+            sampler.sample_now();
+        }
+        assert!(sampler.rate_per_sec("steady.count").is_some());
+        assert!(sampler.steady_rate_per_sec("steady.count").is_none());
+        std::thread::sleep(Duration::from_millis(3));
+        c.add(5);
+        sampler.sample_now();
+        let rate = sampler
+            .steady_rate_per_sec("steady.count")
+            .expect("window filled");
+        assert!(rate > 0.0);
+        sampler.stop();
+    }
+
+    #[test]
+    fn ticks_feed_the_attached_rollup_wheel() {
+        let registry = leaked_registry();
+        let c = registry.counter("rolled.count");
+        c.add(2);
+        let rollups = Arc::new(RollupSet::wall());
+        let sampler = Sampler::start_with_rollups(
+            registry,
+            Duration::from_secs(3600),
+            8,
+            Some(Arc::clone(&rollups)),
+        );
+        c.add(3);
+        sampler.sample_now();
+        let snap = rollups.snapshot();
+        let run = snap.resolution("run").expect("run wheel");
+        assert_eq!(run.merged().counters["rolled.count"], 5);
         sampler.stop();
     }
 

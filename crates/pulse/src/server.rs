@@ -9,6 +9,15 @@
 //! * `GET /healthz` — `ok`, for liveness probes.
 //! * `GET /status` — run phase, progress, ETA, and per-worker
 //!   utilization as JSON (see [`status_json`](crate::status_json)).
+//! * `GET /timescales` — the multi-resolution rollup document: per
+//!   time-scale windows, exact merges, burstiness and idle statistics
+//!   (see [`RollupSnapshot::to_json`](spindle_obs::RollupSnapshot)),
+//!   plus the registry's histogram exemplars. Served only when a
+//!   rollup set was attached; 404 otherwise.
+//!
+//! When rollups are attached, `/metrics` additionally appends the
+//! current windowed-series gauges (`spindle_window_delta` /
+//! `spindle_window_rate`) to the exposition.
 //!
 //! The server is pull-based on purpose: a scrape takes a snapshot of
 //! shared atomics, so a missing, slow, or hostile client cannot slow
@@ -23,7 +32,8 @@
 
 use crate::sampler::Sampler;
 use crate::status::{status_json, RunStatus};
-use spindle_obs::{MetricsRegistry, MetricsSink, PromSink};
+use spindle_obs::json::Json;
+use spindle_obs::{MetricsRegistry, MetricsSink, PromSink, RollupSet};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -65,6 +75,23 @@ impl PulseServer {
         status: Arc<RunStatus>,
         sampler: Arc<Sampler>,
     ) -> io::Result<PulseServer> {
+        PulseServer::start_with_rollups(addr, registry, status, sampler, None)
+    }
+
+    /// Like [`PulseServer::start`], additionally serving `/timescales`
+    /// from (and appending windowed series to `/metrics` from) the
+    /// given rollup set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start_with_rollups(
+        addr: &str,
+        registry: &'static MetricsRegistry,
+        status: Arc<RunStatus>,
+        sampler: Arc<Sampler>,
+        rollups: Option<Arc<RollupSet>>,
+    ) -> io::Result<PulseServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
@@ -78,7 +105,13 @@ impl PulseServer {
                         Ok((stream, _peer)) => {
                             // One request at a time; errors on a single
                             // connection never take the server down.
-                            let _ = serve_connection(stream, registry, &status, &sampler);
+                            let _ = serve_connection(
+                                stream,
+                                registry,
+                                &status,
+                                &sampler,
+                                rollups.as_deref(),
+                            );
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(POLL_INTERVAL);
@@ -123,6 +156,7 @@ fn serve_connection(
     registry: &MetricsRegistry,
     status: &RunStatus,
     sampler: &Sampler,
+    rollups: Option<&RollupSet>,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
     stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
@@ -167,9 +201,15 @@ fn serve_connection(
     }
     match path {
         "/metrics" => {
-            let body = PromSink
+            let mut body = PromSink
                 .export_string(&registry.snapshot())
                 .unwrap_or_default();
+            if let Some(roll) = rollups {
+                let mut appendix = Vec::new();
+                if spindle_obs::prom::write_windowed(&mut appendix, &roll.snapshot()).is_ok() {
+                    body.push_str(&String::from_utf8_lossy(&appendix));
+                }
+            }
             respond(
                 &mut stream,
                 "200 OK",
@@ -178,6 +218,27 @@ fn serve_connection(
             )
         }
         "/healthz" => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
+        "/timescales" => match rollups {
+            Some(roll) => {
+                let doc = Json::Obj(vec![
+                    ("rollups".to_owned(), roll.to_json()),
+                    ("exemplars".to_owned(), registry.exemplars().to_json()),
+                ]);
+                let body = format!("{doc}\n");
+                respond(
+                    &mut stream,
+                    "200 OK",
+                    "application/json; charset=utf-8",
+                    &body,
+                )
+            }
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no rollups attached\n",
+            ),
+        },
         "/status" => {
             let doc = status_json(status, &registry.snapshot(), sampler);
             let body = format!("{doc}\n");
@@ -280,11 +341,65 @@ mod tests {
     }
 
     #[test]
+    fn timescales_serves_rollups_and_metrics_gain_windows() {
+        let registry: &'static MetricsRegistry = Box::leak(Box::default());
+        registry.counter("srv.requests").add(5);
+        let status = Arc::new(RunStatus::new(10));
+        let rollups = Arc::new(RollupSet::wall());
+        let sampler = crate::sampler::Sampler::start_with_rollups(
+            registry,
+            Duration::from_secs(3600),
+            8,
+            Some(Arc::clone(&rollups)),
+        );
+        let server = PulseServer::start_with_rollups(
+            "127.0.0.1:0",
+            registry,
+            Arc::clone(&status),
+            Arc::clone(&sampler),
+            Some(Arc::clone(&rollups)),
+        )
+        .expect("bind an ephemeral port");
+        let addr = server.local_addr();
+        // Deterministic: don't rely on the sampler thread having ticked.
+        sampler.sample_now();
+
+        let (head, body) = fetch(addr, "/timescales");
+        assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+        assert!(head.contains("application/json"), "head: {head}");
+        let doc = spindle_obs::json::parse(body.trim()).expect("valid JSON");
+        let roll_doc = doc.get("rollups").expect("rollups section");
+        assert_eq!(
+            roll_doc.get("axis").and_then(Json::as_str),
+            Some("wall"),
+            "{body}"
+        );
+        let Some(Json::Arr(resolutions)) = roll_doc.get("resolutions") else {
+            panic!("resolutions array");
+        };
+        assert!(resolutions.len() >= 2);
+        assert!(doc.get("exemplars").is_some());
+
+        let (_, metrics) = fetch(addr, "/metrics");
+        assert!(
+            metrics.contains("spindle_window_delta{axis=\"wall\""),
+            "{metrics}"
+        );
+        spindle_obs::prom::check_exposition(&metrics).expect("valid exposition");
+
+        sampler.stop();
+        server.stop();
+    }
+
+    #[test]
     fn unknown_paths_and_methods_are_rejected() {
         let (server, _status, sampler) = test_server();
         let addr = server.local_addr();
 
         let (head, _) = fetch(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "head: {head}");
+        // Without rollups attached, /timescales does not exist.
+        let (head, _) = fetch(addr, "/timescales");
         assert!(head.starts_with("HTTP/1.1 404"), "head: {head}");
 
         let mut stream = TcpStream::connect(addr).unwrap();

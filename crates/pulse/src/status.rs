@@ -165,7 +165,14 @@ pub fn status_json(status: &RunStatus, snapshot: &Snapshot, sampler: &Sampler) -
     let completed = status.completed();
     let total = status.total();
     let rate = sampler.rate_per_sec(PROGRESS_METRIC).filter(|r| *r > 0.0);
-    let eta_secs = match rate {
+    // The ETA derives from the *steady* rate: right after startup the
+    // recent-rate window holds one or two points and the naive
+    // extrapolation whipsaws by orders of magnitude, so the field stays
+    // null until the window has enough samples to mean something.
+    let steady = sampler
+        .steady_rate_per_sec(PROGRESS_METRIC)
+        .filter(|r| *r > 0.0);
+    let eta_secs = match steady {
         Some(r) if total > completed => Json::Num((total - completed) as f64 / r),
         _ => Json::Null,
     };
@@ -256,18 +263,22 @@ mod tests {
         let registry: &'static MetricsRegistry = Box::leak(Box::default());
         registry.counter("engine.worker.0.busy_us").add(50);
         registry.counter("engine.worker.0.idle_us").add(50);
-        let status = RunStatus::new(4);
+        let status = RunStatus::new(10);
         status.set_progress_counter(registry.counter(PROGRESS_METRIC));
         status.set_phase("running");
         let sampler = Sampler::start(registry, Duration::from_secs(3600), 8);
+        // Enough ticks for the steady-rate window to engage (the ETA
+        // stays null below MIN_STEADY_SAMPLES — tested separately).
         status.complete_one();
-        std::thread::sleep(Duration::from_millis(5));
-        status.complete_one();
-        sampler.sample_now();
+        for _ in 1..crate::sampler::MIN_STEADY_SAMPLES {
+            std::thread::sleep(Duration::from_millis(3));
+            status.complete_one();
+            sampler.sample_now();
+        }
         let doc = status_json(&status, &registry.snapshot(), &sampler);
         assert_eq!(doc.get("phase").and_then(Json::as_str), Some("running"));
-        assert_eq!(doc.get("completed").and_then(Json::as_u64), Some(2));
-        assert_eq!(doc.get("total").and_then(Json::as_u64), Some(4));
+        assert_eq!(doc.get("completed").and_then(Json::as_u64), Some(4));
+        assert_eq!(doc.get("total").and_then(Json::as_u64), Some(10));
         let rate = doc.get("rate_per_sec").and_then(Json::as_f64).unwrap();
         assert!(rate > 0.0);
         let eta = doc.get("eta_secs").and_then(Json::as_f64).unwrap();
@@ -283,6 +294,24 @@ mod tests {
         // The document round-trips through the crate's own parser.
         let text = doc.to_string();
         assert_eq!(spindle_obs::json::parse(&text).unwrap(), doc);
+        sampler.stop();
+    }
+
+    #[test]
+    fn eta_is_suppressed_while_the_rate_window_is_thin() {
+        let registry: &'static MetricsRegistry = Box::leak(Box::default());
+        let status = RunStatus::new(100);
+        status.set_progress_counter(registry.counter(PROGRESS_METRIC));
+        let sampler = Sampler::start(registry, Duration::from_secs(3600), 8);
+        status.complete_one();
+        std::thread::sleep(Duration::from_millis(5));
+        status.complete_one();
+        sampler.sample_now();
+        // Two samples: the raw rate exists, but extrapolating 98 more
+        // units from it would be noise — the ETA must stay null.
+        let doc = status_json(&status, &registry.snapshot(), &sampler);
+        assert!(doc.get("rate_per_sec").and_then(Json::as_f64).is_some());
+        assert_eq!(doc.get("eta_secs"), Some(&Json::Null));
         sampler.stop();
     }
 }

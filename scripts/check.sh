@@ -53,9 +53,10 @@ run cargo test $OFFLINE -q -p spindle-bench --test checkpoint_resume
 # results with two workers.
 run env SPINDLE_JOBS=2 cargo test $OFFLINE --workspace -q
 
-# Observability smoke: the flight recorder, run report, and bench
-# record must actually come out of the shipped binaries, end to end.
-# Artifacts land in artifacts/ so CI can upload them.
+# Observability smoke: the flight recorder, run report, observatory
+# report, and bench record must actually come out of the shipped
+# binaries, end to end. Artifacts land in artifacts/ so CI can upload
+# them.
 run cargo build $OFFLINE --release -p spindle-cli -p spindle-bench
 SPINDLE=target/release/spindle
 SMOKE=artifacts/smoke-trace.bin
@@ -63,8 +64,15 @@ mkdir -p artifacts
 run "$SPINDLE" generate --env mail --span 60 --seed 7 --out "$SMOKE" --quiet
 run "$SPINDLE" simulate --in "$SMOKE" --trace-out artifacts/trace.json --quiet
 run "$SPINDLE" report --in "$SMOKE" --out artifacts/report.html --quiet
-run target/release/experiments --quick --record=artifacts/BENCH_smoke.json --quiet t1
-for artifact in artifacts/trace.json artifacts/report.html artifacts/BENCH_smoke.json; do
+run "$SPINDLE" observe --in "$SMOKE" --out artifacts/observatory.html --quiet
+run target/release/experiments --quick --record=artifacts/BENCH_smoke.json \
+    --timescales-out artifacts/timescales.json --quiet t1
+if ! grep -q '"resolutions"' artifacts/timescales.json; then
+    echo "FAILED: timescales export carries no resolutions" >&2
+    fail=1
+fi
+for artifact in artifacts/trace.json artifacts/report.html artifacts/observatory.html \
+        artifacts/BENCH_smoke.json artifacts/timescales.json; do
     if [ ! -s "$artifact" ]; then
         echo "FAILED: smoke artifact $artifact missing or empty" >&2
         fail=1
@@ -95,12 +103,17 @@ else
     run curl -sf "http://$ADDR/healthz" -o artifacts/healthz.txt
     run curl -sf "http://$ADDR/metrics" -o artifacts/metrics.prom
     run curl -sf "http://$ADDR/status" -o artifacts/status.json
+    run curl -sf "http://$ADDR/timescales" -o artifacts/timescales-live.json
     if ! grep -q "^# TYPE " artifacts/metrics.prom; then
         echo "FAILED: /metrics exposition carries no TYPE lines" >&2
         fail=1
     fi
     if ! grep -q '"phase"' artifacts/status.json; then
         echo "FAILED: /status reports no phase" >&2
+        fail=1
+    fi
+    if ! grep -q '"resolutions"' artifacts/timescales-live.json; then
+        echo "FAILED: /timescales scrape carries no resolutions" >&2
         fail=1
     fi
 fi

@@ -1,12 +1,21 @@
 //! Telemetry must be an observer, never a participant: running the
-//! `experiments` binary with `--serve`/`--live` enabled has to produce
+//! `experiments` binary with `--serve`/`--live` enabled — which now
+//! includes the multi-resolution rollup wheel and the per-request
+//! latency attribution with its exemplars — has to produce
 //! byte-identical stdout and byte-identical simulated-time trace
 //! tracks at every `--jobs` value. Wall-clock tracks honestly differ
 //! run to run and are excluded from the comparison.
+//!
+//! The `/timescales` endpoint must also agree with `/metrics`: the
+//! exact-merge invariant means every resolution's merged histogram
+//! totals equal the registry's final histograms.
 
 use spindle_obs::json::{self, Json};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
-use std::process::{Command, Output};
+use std::process::{Command, Output, Stdio};
+use std::time::Duration;
 
 fn bin() -> &'static str {
     env!("CARGO_BIN_EXE_experiments")
@@ -20,7 +29,7 @@ fn scratch(tag: &str) -> PathBuf {
 }
 
 /// Runs a quick two-experiment matrix with a trace export; `telemetry`
-/// adds `--serve 127.0.0.1:0 --live` on top.
+/// adds `--serve 127.0.0.1:0 --live` plus a rollup export on top.
 fn run(jobs: &str, trace: &std::path::Path, telemetry: bool) -> Output {
     let mut cmd = Command::new(bin());
     cmd.args(["--quick", "--jobs", jobs, "--trace-out"])
@@ -29,7 +38,8 @@ fn run(jobs: &str, trace: &std::path::Path, telemetry: bool) -> Output {
         .env_remove("SPINDLE_FAULTS")
         .env("SPINDLE_SERVE_LINGER_MS", "0");
     if telemetry {
-        cmd.args(["--serve", "127.0.0.1:0", "--live"]);
+        cmd.args(["--serve", "127.0.0.1:0", "--live", "--timescales-out"])
+            .arg(trace.with_extension("timescales.json"));
     }
     let out = cmd.output().expect("run experiments binary");
     assert!(
@@ -79,6 +89,14 @@ fn serve_and_live_change_no_bytes_at_any_jobs_count() {
         // The telemetry side channel stayed on stderr.
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(stderr.contains("# serving telemetry on http://127.0.0.1:"));
+        // The rollup export is a valid multi-resolution document.
+        let ts = std::fs::read_to_string(trace.with_extension("timescales.json"))
+            .expect("timescales export written");
+        let doc = json::parse(ts.trim()).expect("timescales export parses");
+        let Some(Json::Arr(resolutions)) = doc.get("resolutions") else {
+            panic!("timescales export lacks resolutions:\n{ts}");
+        };
+        assert!(resolutions.len() >= 2, "jobs {jobs}: {ts}");
     }
 
     // Plain runs at other jobs counts agree too, closing the square:
@@ -96,4 +114,125 @@ fn serve_and_live_change_no_bytes_at_any_jobs_count() {
             "sim-time tracks differ between --jobs 1 and --jobs {jobs}"
         );
     }
+}
+
+/// One blocking HTTP GET against the embedded server; returns the body
+/// (panics on a non-200 status).
+fn get_ok(addr: &str, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to telemetry server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "GET {path}: {}",
+        head.lines().next().unwrap_or("")
+    );
+    body.to_owned()
+}
+
+/// The `NAME VALUE` sample of one un-labeled metric line in a
+/// Prometheus exposition.
+fn prom_value(exposition: &str, name: &str) -> Option<u64> {
+    exposition.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        rest.strip_prefix(' ')?.trim().parse().ok()
+    })
+}
+
+#[test]
+fn timescales_scrape_agrees_with_final_metrics() {
+    // --metrics turns the simulator observers on, so the run actually
+    // produces the disk histograms the rollup wheel windows.
+    let mut child = Command::new(bin())
+        .args(["--quick", "--serve", "127.0.0.1:0", "--metrics", "t2", "f5"])
+        .env_remove("SPINDLE_FAULTS")
+        .env("SPINDLE_SERVE_LINGER_MS", "20000")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn experiments binary");
+    let stderr = child.stderr.take().expect("stderr is piped");
+    let mut reader = BufReader::new(stderr);
+    let mut addr = None;
+    for _ in 0..100 {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read stderr") == 0 {
+            break;
+        }
+        if let Some(rest) = line.trim().strip_prefix("# serving telemetry on http://") {
+            addr = Some(rest.trim().to_owned());
+            break;
+        }
+    }
+    let addr = addr.expect("bind announcement on stderr");
+
+    // Wait for the matrix to drain (phase "done" after the session's
+    // final sample), then scrape both endpoints inside the linger.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = json::parse(&get_ok(&addr, "/status")).expect("status parses");
+        if status.get("phase").and_then(Json::as_str) == Some("done") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "run never finished");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let metrics = get_ok(&addr, "/metrics");
+    let timescales = get_ok(&addr, "/timescales");
+    let doc = json::parse(&timescales).expect("timescales parses as JSON");
+    let rollups = doc.get("rollups").expect("rollups section");
+    assert_eq!(rollups.get("axis").and_then(Json::as_str), Some("wall"));
+    let Some(Json::Arr(resolutions)) = rollups.get("resolutions") else {
+        panic!("resolutions missing:\n{timescales}");
+    };
+    assert!(resolutions.len() >= 2, "{timescales}");
+
+    // Exact-merge cross-check: every resolution's merged histogram
+    // totals equal the final /metrics exposition's, for every disk
+    // histogram the run produced.
+    let mut checked = 0;
+    for res in resolutions {
+        let name = res.get("name").and_then(Json::as_str).unwrap_or("?");
+        let Some(Json::Obj(histograms)) = res.get("merged").and_then(|m| m.get("histograms"))
+        else {
+            panic!("merged histograms missing at {name}");
+        };
+        for (metric, h) in histograms {
+            if !metric.starts_with("disk.") {
+                continue;
+            }
+            let flat = metric.replace('.', "_");
+            let count = h.get("count").and_then(Json::as_u64).unwrap();
+            let sum = h.get("sum").and_then(Json::as_u64).unwrap();
+            assert_eq!(
+                prom_value(&metrics, &format!("{flat}_count")),
+                Some(count),
+                "{metric} count mismatch at resolution {name}"
+            );
+            assert_eq!(
+                prom_value(&metrics, &format!("{flat}_sum")),
+                Some(sum),
+                "{metric} sum mismatch at resolution {name}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked > 0,
+        "no disk histograms to cross-check:\n{timescales}"
+    );
+
+    child.kill().ok();
+    child.wait().expect("reap experiments");
 }
