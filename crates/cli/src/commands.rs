@@ -63,6 +63,10 @@ USAGE:
   spindle anonymize --in FILE --out FILE [--key N] [--extent SECTORS]
   spindle bench diff OLD NEW [--threshold PCT] [--format md|json]
                    [--out FILE]
+  spindle serve    [ADDR] [--queue-bound N] [--parallel N]
+                   [--dir DIR | --resume-dir DIR]
+  spindle loadtest URL [--clients N] [--jobs M] [--span SECS]
+                   [--out FILE]
   spindle help
 
 Global options (accepted before or after any command):
@@ -103,6 +107,22 @@ link the slowest buckets back to concrete request ids.
 the experiments binary: per-experiment wall-clock deltas as markdown
 (default) or JSON; any experiment slower than --threshold PCT
 (default 20) makes the command exit non-zero.
+
+`spindle serve` runs the simulation-as-a-service daemon: POST a JSON
+job spec to /jobs (kinds: generate, simulate, analyze, observe,
+matrix), poll GET /jobs/ID for status and ETA, fetch outputs from
+/jobs/ID/artifacts/NAME, DELETE /jobs/ID to cancel. A full queue
+answers 429 with a Retry-After hint. Jobs and their artifacts live
+under --dir (default spindle-jobs); restarting with --resume-dir DIR
+re-adopts the journal's incomplete jobs. ADDR defaults to
+127.0.0.1:9185; port 0 picks a free port (printed to stderr).
+
+`spindle loadtest` hammers a running serve daemon: --clients
+concurrent submitters race through --jobs total submissions (here
+--jobs means submissions, not worker threads), then the harness waits
+for the server to drain and prints submit-latency percentiles,
+throughput, and the accepted/rejected/error split; --out also writes
+the report as JSON.
 
 Profiles: cheetah-15k (default), savvio-10k, barracuda-es
 Schedulers: fcfs, sstf, look, sptf (default)
@@ -146,6 +166,9 @@ fn looks_like_addr(s: &str) -> bool {
 fn extract_obs_args(argv: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
     let mut obs = ObsArgs::default();
     let mut rest = Vec::with_capacity(argv.len());
+    // `spindle loadtest --jobs M` means total submissions, not worker
+    // threads; leave the option for the subcommand parser there.
+    let jobs_is_subcommand_option = argv.first().is_some_and(|cmd| cmd == "loadtest");
     let mut it = argv.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -203,7 +226,7 @@ fn extract_obs_args(argv: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
             }
             "--verbose" => obs.level = Some(LogLevel::Verbose),
             "--quiet" => obs.level = Some(LogLevel::Quiet),
-            "--jobs" => {
+            "--jobs" if !jobs_is_subcommand_option => {
                 let value = it
                     .next()
                     .ok_or_else(|| "option --jobs needs a value".to_owned())?;
@@ -212,7 +235,7 @@ fn extract_obs_args(argv: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
                         .map_err(|e| format!("bad value for --jobs: {e}"))?,
                 );
             }
-            s if s.starts_with("--jobs=") => {
+            s if s.starts_with("--jobs=") && !jobs_is_subcommand_option => {
                 obs.jobs = Some(
                     spindle_engine::parse_jobs(&s["--jobs=".len()..])
                         .map_err(|e| format!("bad value for --jobs: {e}"))?,
@@ -368,6 +391,8 @@ fn dispatch_command(argv: &[String]) -> CmdResult {
         "power" => power(&parse(rest, &["no-write-back"])?),
         "anonymize" => anonymize(&parse(rest, &[])?),
         "bench" => bench(rest),
+        "serve" => serve_cmd(rest),
+        "loadtest" => loadtest_cmd(rest),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())
@@ -436,6 +461,76 @@ fn bench_diff(rest: &[String]) -> CmdResult {
             ids.join(", ")
         )
         .into());
+    }
+    Ok(())
+}
+
+/// `spindle serve [ADDR]`: the simulation-as-a-service daemon. Runs
+/// until killed; jobs execute as child `spindle` processes.
+fn serve_cmd(rest: &[String]) -> CmdResult {
+    const USAGE: &str = "usage: spindle serve [ADDR] [--queue-bound N] [--parallel N] \
+                         [--dir DIR | --resume-dir DIR]";
+    // One optional leading positional: the bind address.
+    let (addr, rest) = match rest.first() {
+        Some(first) if looks_like_addr(first) => (first.clone(), &rest[1..]),
+        Some(first) if !first.starts_with("--") => {
+            return Err(
+                format!("bad serve address `{first}` (expected HOST:PORT; {USAGE})").into(),
+            );
+        }
+        _ => (spindle_serve::DEFAULT_ADDR.to_owned(), rest),
+    };
+    let opts = parse(rest, &[])?;
+    let queue_bound: usize = opts.get_or("queue-bound", spindle_serve::DEFAULT_QUEUE_BOUND)?;
+    if queue_bound == 0 {
+        return Err("bad value for --queue-bound: needs at least 1".into());
+    }
+    let parallel: usize = opts.get_or("parallel", spindle_serve::DEFAULT_PARALLEL)?;
+    if parallel == 0 {
+        return Err("bad value for --parallel: needs at least 1".into());
+    }
+    let (dir, resume) = match (opts.get("dir"), opts.get("resume-dir")) {
+        (Some(_), Some(_)) => {
+            return Err("pass --dir or --resume-dir, not both".into());
+        }
+        (None, Some(dir)) => (dir.to_owned(), true),
+        (dir, None) => (dir.unwrap_or("spindle-jobs").to_owned(), false),
+    };
+    let mut config = spindle_serve::ServeConfig::new(&addr, dir);
+    config.queue_bound = queue_bound;
+    config.parallel = parallel;
+    config.resume = resume;
+    let handle = spindle_serve::serve(config)?;
+    // The announce line mirrors the pulse server's, so scripts can
+    // scrape the bound address when port 0 was requested.
+    eprintln!("# serving jobs on http://{}", handle.local_addr());
+    handle.park()
+}
+
+/// `spindle loadtest URL`: drives a running serve daemon with
+/// concurrent clients and reports latency/throughput/rejections.
+fn loadtest_cmd(rest: &[String]) -> CmdResult {
+    const USAGE: &str =
+        "usage: spindle loadtest URL [--clients N] [--jobs M] [--span SECS] [--out FILE]";
+    let Some((url, rest)) = rest.split_first() else {
+        return Err(USAGE.into());
+    };
+    if url.starts_with('-') {
+        return Err(format!("loadtest needs the server URL first ({USAGE})").into());
+    }
+    let opts = parse(rest, &[])?;
+    let mut config = spindle_serve::loadtest::LoadConfig::new(url);
+    config.clients = opts.get_or("clients", config.clients)?;
+    config.jobs = opts.get_or("jobs", config.jobs)?;
+    config.span_secs = opts.get_or("span", config.span_secs)?;
+    if config.clients == 0 || config.jobs == 0 {
+        return Err("loadtest needs --clients >= 1 and --jobs >= 1".into());
+    }
+    let report = spindle_serve::loadtest::run(&config)?;
+    println!("{}", report.render());
+    if let Some(path) = opts.get("out") {
+        write_output_file(path, &format!("{}\n", report.to_json()))?;
+        progress!("wrote loadtest report to {path}");
     }
     Ok(())
 }

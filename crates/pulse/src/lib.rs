@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod http;
 pub mod live;
 pub mod sampler;
 pub mod server;
@@ -176,14 +177,26 @@ impl Session {
     /// Final frame, optional [`serve_linger`] for late scrapers, then
     /// an orderly stop (dashboard, server, sampler).
     pub fn finish(self) {
+        self.finish_with_linger(serve_linger());
+    }
+
+    /// [`Session::finish`] with an explicit linger (tests drive this
+    /// directly so they need not touch the process environment).
+    ///
+    /// While the endpoint lingers past run completion, `/status`
+    /// reports phase `"idle"` — not the run's terminal state — so a
+    /// long-lived endpoint between runs tells the truth: nothing is
+    /// executing. The terminal `"done"` still lands in the final
+    /// sampled frame before the switch.
+    pub fn finish_with_linger(self, linger: std::time::Duration) {
         self.status.set_phase("done");
         self.sampler.sample_now();
         if let Some(d) = self.dashboard {
             d.stop();
         }
         if let Some(srv) = self.server {
-            let linger = serve_linger();
             if !linger.is_zero() {
+                self.status.set_phase("idle");
                 std::thread::sleep(linger);
             }
             srv.stop();
@@ -213,6 +226,40 @@ pub fn resolve_serve_addr(explicit: Option<&str>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn status_reports_idle_during_linger() {
+        let registry: &'static spindle_obs::MetricsRegistry = Box::leak(Box::default());
+        let session = Session::start(registry, Some(Some("127.0.0.1:0")), false, 1, "running")
+            .expect("bind port 0")
+            .expect("serve requested");
+        let addr = session.bound_addr().expect("served");
+        session.status.complete_one();
+        let finisher = std::thread::spawn(move || {
+            session.finish_with_linger(std::time::Duration::from_millis(2000));
+        });
+        // Inside the linger window the endpoint stays up and reports
+        // the idle phase, not the run's terminal state.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let mut stream = std::net::TcpStream::connect(addr).expect("connect during linger");
+            use std::io::{Read, Write};
+            stream
+                .write_all(b"GET /status HTTP/1.1\r\nHost: x\r\n\r\n")
+                .expect("send request");
+            let mut response = String::new();
+            stream.read_to_string(&mut response).expect("read response");
+            if response.contains("\"idle\"") {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "phase never became idle: {response}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        finisher.join().expect("finish completes");
+    }
 
     #[test]
     fn explicit_addr_wins() {

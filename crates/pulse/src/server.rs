@@ -30,11 +30,12 @@
 //! [`PulseServer::stop`] takes effect within one poll interval without
 //! needing a self-connect wakeup.
 
+use crate::http::{read_request, respond, HttpError};
 use crate::sampler::Sampler;
 use crate::status::{status_json, RunStatus};
 use spindle_obs::json::Json;
 use spindle_obs::{MetricsRegistry, MetricsSink, PromSink, RollupSet};
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -47,9 +48,6 @@ const POLL_INTERVAL: Duration = Duration::from_millis(20);
 /// Per-connection socket timeout; a stalled client gets cut off rather
 /// than wedging the serving thread.
 const CLIENT_TIMEOUT: Duration = Duration::from_millis(500);
-
-/// Upper bound on the request head we are willing to read.
-const MAX_REQUEST_BYTES: usize = 8192;
 
 /// The embedded telemetry HTTP server.
 ///
@@ -150,7 +148,8 @@ impl Drop for PulseServer {
     }
 }
 
-/// Reads one request head off `stream` and writes one response.
+/// Reads one request off `stream` (via the shared [`crate::http`]
+/// parser) and writes one response.
 fn serve_connection(
     mut stream: TcpStream,
     registry: &MetricsRegistry,
@@ -165,33 +164,22 @@ fn serve_connection(
     // govern I/O instead of instant WouldBlock.
     stream.set_nonblocking(false)?;
 
-    let mut head = Vec::new();
-    let mut buf = [0u8; 1024];
-    loop {
-        let n = match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        };
-        head.extend_from_slice(&buf[..n]);
-        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST_BYTES {
-            break;
+    // The shared parser handles head/body framing and hostile input;
+    // a malformed request earns a 400 instead of a dropped connection.
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(HttpError::Io(e)) => return Err(e),
+        Err(e) => {
+            return respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain; charset=utf-8",
+                &format!("{e}\n"),
+            );
         }
-    }
+    };
 
-    let request_line = head
-        .split(|&b| b == b'\r' || b == b'\n')
-        .next()
-        .unwrap_or(&[]);
-    let request_line = String::from_utf8_lossy(request_line);
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    // Ignore any query string: /status?pretty and /status are the same.
-    let path = path.split('?').next().unwrap_or(path);
-
-    if method != "GET" {
+    if request.method != "GET" {
         return respond(
             &mut stream,
             "405 Method Not Allowed",
@@ -199,7 +187,8 @@ fn serve_connection(
             "method not allowed\n",
         );
     }
-    match path {
+    // Ignore any query string: /status?pretty and /status are the same.
+    match request.path.as_str() {
         "/metrics" => {
             let mut body = PromSink
                 .export_string(&registry.snapshot())
@@ -258,25 +247,11 @@ fn serve_connection(
     }
 }
 
-fn respond(
-    stream: &mut TcpStream,
-    status_line: &str,
-    content_type: &str,
-    body: &str,
-) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status_line}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::status::PROGRESS_METRIC;
+    use std::io::{Read, Write};
 
     fn fetch(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect to pulse server");
@@ -407,6 +382,16 @@ mod tests {
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 405"), "response: {out}");
+
+        // Wire garbage earns a 400 from the shared parser, not a
+        // dropped connection or a dead server.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "complete nonsense\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "response: {out}");
+        let (head, _) = fetch(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "server survived: {head}");
 
         sampler.stop();
         server.stop();

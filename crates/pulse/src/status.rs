@@ -70,6 +70,14 @@ impl RunStatus {
         self.phase.lock().expect("status phase lock").clone()
     }
 
+    /// Grows the total by `n` units. Long-lived front ends (the serve
+    /// daemon) learn their workload incrementally — each accepted job
+    /// adds to the total instead of replacing it, so `completed/total`
+    /// stays a truthful lifetime fraction.
+    pub fn add_total(&self, n: u64) {
+        self.total.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records one completed unit of work.
     pub fn complete_one(&self) {
         self.completed.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,118 @@
+//! A minimal HTTP/1.1 client for the job service.
+//!
+//! Enough for the load-test harness, the CLI, and tests: one request
+//! per connection (the server closes after responding), plain
+//! `std::net`, no TLS, no redirects.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Socket timeout for a single request/response exchange.
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`201`, `429`, ...).
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A header value by case-insensitive name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Normalizes `http://HOST:PORT/` and bare `HOST:PORT` into the
+/// address to connect to.
+#[must_use]
+pub fn normalize_addr(url: &str) -> String {
+    url.trim()
+        .strip_prefix("http://")
+        .unwrap_or(url.trim())
+        .trim_end_matches('/')
+        .to_owned()
+}
+
+/// Performs one request against `addr` (a `HOST:PORT`).
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures and malformed responses as
+/// `io::Error`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    stream.set_write_timeout(Some(TIMEOUT))?;
+    let body_bytes = body.unwrap_or_default().as_bytes();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body_bytes.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body_bytes)?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+fn parse_response(raw: &str) -> Option<Response> {
+    let (head, body) = raw.split_once("\r\n\r\n")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next()?;
+    let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    let headers = lines
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+        })
+        .collect();
+    Some(Response {
+        status,
+        headers,
+        body: body.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_urls() {
+        assert_eq!(normalize_addr("http://127.0.0.1:80/"), "127.0.0.1:80");
+        assert_eq!(normalize_addr("127.0.0.1:80"), "127.0.0.1:80");
+        assert_eq!(normalize_addr(" http://h:1 "), "h:1");
+    }
+
+    #[test]
+    fn parses_responses_and_headers() {
+        let r = parse_response(
+            "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 3\r\nContent-Length: 2\r\n\r\nhi",
+        )
+        .unwrap();
+        assert_eq!(r.status, 429);
+        assert_eq!(r.header("retry-after"), Some("3"));
+        assert_eq!(r.header("RETRY-AFTER"), Some("3"));
+        assert_eq!(r.body, "hi");
+        assert!(parse_response("garbage").is_none());
+        assert!(parse_response("HTTP/1.1 foo\r\n\r\n").is_none());
+    }
+}

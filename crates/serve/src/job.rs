@@ -1,0 +1,254 @@
+//! Job records and the in-memory job table.
+
+use crate::spec::JobSpec;
+use spindle_obs::json::Json;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A job's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a runner.
+    Queued,
+    /// A runner is executing it.
+    Running,
+    /// Finished successfully; artifacts are complete.
+    Done,
+    /// Finished with a non-zero exit (including quarantined panics).
+    Failed,
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+impl JobState {
+    /// The state as spelled in listings and the journal.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a journal state string.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<JobState> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// Whether the state is final.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// One job's record.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Deterministic id (`job-0001`, ...).
+    pub id: String,
+    /// The validated spec it was submitted with.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Cooperative-cancel flag; the runner polls it while the child
+    /// runs and kills the child when set.
+    pub cancel: Arc<AtomicBool>,
+    /// Child exit code, for terminal states (None when signalled or
+    /// cancelled before start).
+    pub exit: Option<i32>,
+    /// Wall seconds the job ran, for terminal states.
+    pub secs: Option<f64>,
+    /// Failure detail (a bounded stderr tail), for failed jobs.
+    pub error: Option<String>,
+    /// When the runner claimed it (progress/ETA for `GET /jobs/ID`).
+    pub started: Option<Instant>,
+    /// Whether this record was re-adopted from a previous daemon's
+    /// journal rather than submitted to this process.
+    pub readopted: bool,
+}
+
+impl Job {
+    /// A fresh queued job.
+    #[must_use]
+    pub fn new(id: String, spec: JobSpec) -> Job {
+        Job {
+            id,
+            spec,
+            state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+            exit: None,
+            secs: None,
+            error: None,
+            started: None,
+            readopted: false,
+        }
+    }
+
+    /// The job as a JSON summary. `eta_secs` is the server's estimate
+    /// for a running job (None renders as null).
+    #[must_use]
+    pub fn to_json(&self, eta_secs: Option<f64>) -> Json {
+        let cancelling = self.state == JobState::Running
+            && self.cancel.load(std::sync::atomic::Ordering::Relaxed);
+        let state = if cancelling {
+            "cancelling".to_owned()
+        } else {
+            self.state.as_str().to_owned()
+        };
+        let elapsed = match (self.state, self.started, self.secs) {
+            (_, _, Some(total)) => Json::Num(total),
+            (JobState::Running, Some(t0), None) => Json::Num(t0.elapsed().as_secs_f64()),
+            _ => Json::Null,
+        };
+        Json::Obj(vec![
+            ("id".to_owned(), Json::Str(self.id.clone())),
+            (
+                "kind".to_owned(),
+                Json::Str(self.spec.kind.as_str().to_owned()),
+            ),
+            ("state".to_owned(), Json::Str(state)),
+            (
+                "exit".to_owned(),
+                self.exit.map_or(Json::Null, |c| Json::Int(i64::from(c))),
+            ),
+            ("secs".to_owned(), elapsed),
+            (
+                "eta_secs".to_owned(),
+                eta_secs.map_or(Json::Null, Json::Num),
+            ),
+            (
+                "error".to_owned(),
+                self.error
+                    .as_ref()
+                    .map_or(Json::Null, |e| Json::Str(e.clone())),
+            ),
+            ("readopted".to_owned(), Json::Bool(self.readopted)),
+        ])
+    }
+}
+
+/// The shared job table: submit-ordered records behind one mutex.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    inner: Mutex<Vec<Job>>,
+}
+
+impl JobTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> JobTable {
+        JobTable::default()
+    }
+
+    /// Adds a record (ids are unique by construction).
+    pub fn insert(&self, job: Job) {
+        self.inner.lock().expect("job table lock").push(job);
+    }
+
+    /// A clone of the record for `id`.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<Job> {
+        self.inner
+            .lock()
+            .expect("job table lock")
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+    }
+
+    /// Applies `f` to the record for `id`; `false` when unknown.
+    pub fn update(&self, id: &str, f: impl FnOnce(&mut Job)) -> bool {
+        let mut inner = self.inner.lock().expect("job table lock");
+        match inner.iter_mut().find(|j| j.id == id) {
+            Some(job) => {
+                f(job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A snapshot of every record in submit order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Job> {
+        self.inner.lock().expect("job table lock").clone()
+    }
+
+    /// `(queued, running)` counts.
+    #[must_use]
+    pub fn active_counts(&self) -> (usize, usize) {
+        let inner = self.inner.lock().expect("job table lock");
+        let queued = inner.iter().filter(|j| j.state == JobState::Queued).count();
+        let running = inner
+            .iter()
+            .filter(|j| j.state == JobState::Running)
+            .count();
+        (queued, running)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec::parse(r#"{"kind":"generate","env":"mail","span":10,"seed":1}"#).unwrap()
+    }
+
+    #[test]
+    fn table_tracks_states_and_counts() {
+        let table = JobTable::new();
+        table.insert(Job::new("job-0001".to_owned(), spec()));
+        table.insert(Job::new("job-0002".to_owned(), spec()));
+        assert_eq!(table.active_counts(), (2, 0));
+        assert!(table.update("job-0001", |j| {
+            j.state = JobState::Running;
+            j.started = Some(Instant::now());
+        }));
+        assert_eq!(table.active_counts(), (1, 1));
+        assert!(!table.update("nope", |_| {}));
+        let ids: Vec<String> = table.snapshot().into_iter().map(|j| j.id).collect();
+        assert_eq!(ids, ["job-0001", "job-0002"]);
+    }
+
+    #[test]
+    fn job_json_reports_cancelling_and_elapsed() {
+        let mut job = Job::new("job-0001".to_owned(), spec());
+        job.state = JobState::Running;
+        job.started = Some(Instant::now());
+        job.cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+        let doc = job.to_json(Some(2.5));
+        assert_eq!(doc.get("state").and_then(Json::as_str), Some("cancelling"));
+        assert!(doc.get("secs").and_then(Json::as_f64).is_some());
+        assert_eq!(doc.get("eta_secs").and_then(Json::as_f64), Some(2.5));
+
+        job.state = JobState::Failed;
+        job.exit = Some(101);
+        job.secs = Some(1.25);
+        job.error = Some("boom".to_owned());
+        let doc = job.to_json(None);
+        assert_eq!(doc.get("state").and_then(Json::as_str), Some("failed"));
+        assert_eq!(doc.get("secs").and_then(Json::as_f64), Some(1.25));
+        assert_eq!(doc.get("error").and_then(Json::as_str), Some("boom"));
+        // Terminal states parse back through the journal vocabulary.
+        assert_eq!(JobState::parse("failed"), Some(JobState::Failed));
+        assert!(JobState::Failed.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+    }
+}

@@ -1,0 +1,338 @@
+//! Crash-recovery journal for the job service.
+//!
+//! The daemon appends one fsynced JSON line per lifecycle event:
+//! `submitted` when a job is admitted (carrying the full spec) and
+//! `finished` when it reaches a terminal state. A daemon killed
+//! mid-job therefore leaves a journal whose `submitted`-without-
+//! `finished` entries are exactly the jobs that still owe work; a
+//! restart with `--resume-dir` re-adopts them (re-enqueues, in the
+//! original submit order) and replays terminal entries into the job
+//! table as history.
+//!
+//! Same damage policy as the bench checkpoint journal: a torn *final*
+//! line (what SIGKILL mid-write leaves) is ignored, damage before the
+//! last well-formed record is an error.
+
+use crate::job::JobState;
+use crate::spec::JobSpec;
+use spindle_obs::json::{parse, Json};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Schema tag on the journal's header line.
+pub const JOURNAL_SCHEMA: &str = "spindle-serve-journal/v1";
+
+/// File name of the journal inside the serve directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// One job reconstructed from the journal, in submit order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedJob {
+    /// The job id (`job-0001`, ...).
+    pub id: String,
+    /// The spec it was admitted with.
+    pub spec: JobSpec,
+    /// Terminal outcome, `None` for jobs still owing work.
+    pub finished: Option<Finished>,
+}
+
+/// A journaled terminal outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finished {
+    /// The terminal state (done/failed/cancelled).
+    pub state: JobState,
+    /// Child exit code when one was observed.
+    pub exit: Option<i32>,
+    /// Wall seconds the job ran.
+    pub secs: f64,
+}
+
+/// Append-side journal handle; every event is fsynced before the
+/// daemon acts on it.
+#[derive(Debug)]
+pub struct Journal {
+    writer: BufWriter<File>,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path` (truncating nothing: the
+    /// caller decides whether an existing file is an error).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and header-write failures.
+    pub fn create(path: &Path) -> Result<Journal, String> {
+        let file = File::create(path)
+            .map_err(|e| format!("cannot create journal `{}`: {e}", path.display()))?;
+        let mut journal = Journal {
+            writer: BufWriter::new(file),
+        };
+        let header = Json::Obj(vec![(
+            "schema".to_owned(),
+            Json::Str(JOURNAL_SCHEMA.to_owned()),
+        )]);
+        journal
+            .write_line(&format!("{header}\n"))
+            .map_err(|e| format!("cannot write journal header `{}`: {e}", path.display()))?;
+        Ok(journal)
+    }
+
+    /// Opens an existing journal for appending (resume path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates open failures.
+    pub fn open_append(path: &Path) -> Result<Journal, String> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open journal `{}`: {e}", path.display()))?;
+        Ok(Journal {
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// Journals an admission.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/sync failures.
+    pub fn submitted(&mut self, id: &str, spec: &JobSpec) -> Result<(), String> {
+        let doc = Json::Obj(vec![
+            ("event".to_owned(), Json::Str("submitted".to_owned())),
+            ("id".to_owned(), Json::Str(id.to_owned())),
+            ("spec".to_owned(), spec.to_json()),
+        ]);
+        self.write_line(&format!("{doc}\n"))
+            .map_err(|e| format!("cannot journal submission of `{id}`: {e}"))
+    }
+
+    /// Journals a terminal outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/sync failures.
+    pub fn finished(
+        &mut self,
+        id: &str,
+        state: JobState,
+        exit: Option<i32>,
+        secs: f64,
+    ) -> Result<(), String> {
+        let doc = Json::Obj(vec![
+            ("event".to_owned(), Json::Str("finished".to_owned())),
+            ("id".to_owned(), Json::Str(id.to_owned())),
+            ("state".to_owned(), Json::Str(state.as_str().to_owned())),
+            (
+                "exit".to_owned(),
+                exit.map_or(Json::Null, |c| Json::Int(i64::from(c))),
+            ),
+            ("secs".to_owned(), Json::Num(secs)),
+        ]);
+        self.write_line(&format!("{doc}\n"))
+            .map_err(|e| format!("cannot journal completion of `{id}`: {e}"))
+    }
+
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()
+    }
+}
+
+/// Loads a journal: jobs in submit order, terminal outcomes attached.
+///
+/// # Errors
+///
+/// Fails on a missing/invalid header, on damage before the final line,
+/// and on events referencing unknown job ids.
+pub fn load(path: &Path) -> Result<Vec<LoadedJob>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read journal `{}`: {e}", path.display()))?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| format!("journal `{}` is empty (no header line)", path.display()))?;
+    let doc = parse(header).map_err(|e| format!("journal `{}` header: {e}", path.display()))?;
+    if doc.get("schema").and_then(Json::as_str) != Some(JOURNAL_SCHEMA) {
+        return Err(format!(
+            "journal `{}` has an unrecognized schema (expected {JOURNAL_SCHEMA})",
+            path.display()
+        ));
+    }
+    let mut jobs: Vec<LoadedJob> = Vec::new();
+    let mut damaged: Option<u64> = None;
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line_no = i as u64 + 2;
+        let Some(event) = parse(line).ok().and_then(|doc| parse_event(&doc)) else {
+            damaged = Some(line_no);
+            continue;
+        };
+        if let Some(bad) = damaged {
+            return Err(format!(
+                "journal `{}` line {bad} is damaged but records follow it \
+                 — refusing to silently drop a journaled event",
+                path.display()
+            ));
+        }
+        match event {
+            Event::Submitted(id, spec) => {
+                if jobs.iter().any(|j| j.id == id) {
+                    return Err(format!(
+                        "journal `{}` line {line_no}: job `{id}` submitted twice",
+                        path.display()
+                    ));
+                }
+                jobs.push(LoadedJob {
+                    id,
+                    spec,
+                    finished: None,
+                });
+            }
+            Event::Finished(id, finished) => {
+                let Some(job) = jobs.iter_mut().find(|j| j.id == id) else {
+                    return Err(format!(
+                        "journal `{}` line {line_no}: job `{id}` finished but never submitted",
+                        path.display()
+                    ));
+                };
+                // Last outcome wins (a re-adopted job finishes again).
+                job.finished = Some(finished);
+            }
+        }
+    }
+    Ok(jobs)
+}
+
+enum Event {
+    Submitted(String, JobSpec),
+    Finished(String, Finished),
+}
+
+fn parse_event(doc: &Json) -> Option<Event> {
+    let id = doc.get("id")?.as_str()?.to_owned();
+    match doc.get("event")?.as_str()? {
+        "submitted" => {
+            let spec = JobSpec::from_json(doc.get("spec")?).ok()?;
+            Some(Event::Submitted(id, spec))
+        }
+        "finished" => {
+            let state = JobState::parse(doc.get("state")?.as_str()?)?;
+            if !state.is_terminal() {
+                return None;
+            }
+            let exit = doc.get("exit").and_then(|v| match v {
+                Json::Int(c) => i32::try_from(*c).ok(),
+                Json::Uint(c) => i32::try_from(*c).ok(),
+                _ => None,
+            });
+            let secs = doc.get("secs")?.as_f64()?;
+            Some(Event::Finished(id, Finished { state, exit, secs }))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec::parse(r#"{"kind":"generate","env":"web","span":30,"seed":5}"#).unwrap()
+    }
+
+    #[test]
+    fn round_trips_submissions_and_outcomes() {
+        let dir = std::env::temp_dir().join(format!("serve-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(JOURNAL_FILE);
+        let mut journal = Journal::create(&path).unwrap();
+        journal.submitted("job-0001", &spec()).unwrap();
+        journal.submitted("job-0002", &spec()).unwrap();
+        journal
+            .finished("job-0001", JobState::Done, Some(0), 1.5)
+            .unwrap();
+        drop(journal);
+
+        let jobs = load(&path).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, "job-0001");
+        assert_eq!(
+            jobs[0].finished,
+            Some(Finished {
+                state: JobState::Done,
+                exit: Some(0),
+                secs: 1.5
+            })
+        );
+        assert_eq!(jobs[1].id, "job-0002");
+        assert_eq!(jobs[1].finished, None, "job-0002 still owes work");
+        assert_eq!(jobs[1].spec, spec());
+
+        // Re-open for append (the resume path) and finish the orphan.
+        let mut journal = Journal::open_append(&path).unwrap();
+        journal
+            .finished("job-0002", JobState::Failed, Some(101), 0.5)
+            .unwrap();
+        drop(journal);
+        let jobs = load(&path).unwrap();
+        assert_eq!(
+            jobs[1].finished.as_ref().map(|f| f.state),
+            Some(JobState::Failed)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_but_mid_file_damage_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("serve-journal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(JOURNAL_FILE);
+        let mut journal = Journal::create(&path).unwrap();
+        journal.submitted("job-0001", &spec()).unwrap();
+        drop(journal);
+
+        // A SIGKILL mid-write leaves a torn final line: harmless.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"event\":\"submitted\",\"id\":\"job-00");
+        std::fs::write(&path, &text).unwrap();
+        let jobs = load(&path).unwrap();
+        assert_eq!(jobs.len(), 1);
+
+        // Damage *before* a well-formed record must refuse to load.
+        let good_line = "{\"event\":\"finished\",\"id\":\"job-0001\",\
+                         \"state\":\"done\",\"exit\":0,\"secs\":1.0}\n";
+        text.push('\n');
+        text.push_str(good_line);
+        std::fs::write(&path, &text).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("damaged"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_and_reference_damage_are_structured_errors() {
+        let dir = std::env::temp_dir().join(format!("serve-journal-hdr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(JOURNAL_FILE);
+
+        std::fs::write(&path, "").unwrap();
+        assert!(load(&path).unwrap_err().contains("empty"));
+        std::fs::write(&path, "{\"schema\":\"other/v9\"}\n").unwrap();
+        assert!(load(&path).unwrap_err().contains("unrecognized schema"));
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"schema\":\"{JOURNAL_SCHEMA}\"}}\n{{\"event\":\"finished\",\
+                 \"id\":\"job-0009\",\"state\":\"done\",\"exit\":0,\"secs\":1.0}}\n"
+            ),
+        )
+        .unwrap();
+        assert!(load(&path).unwrap_err().contains("never submitted"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,792 @@
+//! Simulation-as-a-service for the spindle toolkit.
+//!
+//! `spindle serve` promotes the read-only pulse telemetry endpoint
+//! into a long-lived job service: clients `POST /jobs` a JSON spec
+//! naming one of the existing CLI verbs (simulate / analyze /
+//! generate / observe / matrix), the daemon validates it, admits it
+//! into a bounded FIFO queue (HTTP 429 + `Retry-After` when full),
+//! and executes it with a configurable job-level parallelism cap.
+//!
+//! Each accepted job gets a deterministic id (`job-0001`, ...) and a
+//! per-job artifact directory holding `spec.json`, the captured
+//! `stdout.txt` / `stderr.txt`, `result.json`, and whatever the spec
+//! asked for (`metrics.json`, `trace.json`, `timescales.json`).
+//! Because a spec maps onto the exact argv the CLI would receive, a
+//! job's `stdout.txt` is byte-identical to running the same verb
+//! directly.
+//!
+//! Jobs execute as child processes of the daemon: the `spindle`
+//! binary itself for CLI verbs, the sibling `experiments` binary for
+//! matrix jobs. That buys three guarantees at once — captured stdout
+//! is exactly the CLI's, cancellation is a kill, and a job that
+//! panics (e.g. under `--faults panic@N`, quarantined by the engine's
+//! `try_map` path inside the child) burns down only its own process:
+//! the job is reported `failed` and the daemon keeps serving.
+//!
+//! Every admission and completion is fsynced to a journal
+//! (`journal.jsonl`) before the daemon acts on it, so a SIGKILLed
+//! daemon restarted with `--resume-dir` re-adopts the jobs that still
+//! owe work and replays finished ones as history. Execution is
+//! at-least-once: a job killed mid-run re-runs from scratch on
+//! resume, and because jobs are deterministic the second attempt's
+//! artifacts are byte-identical to what the first would have written.
+//!
+//! The [`loadtest`] module drives hundreds of concurrent clients
+//! against a live server and reports submit-latency percentiles,
+//! throughput, and rejection counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod job;
+pub mod journal;
+pub mod loadtest;
+pub mod queue;
+mod runner;
+mod server;
+pub mod spec;
+
+use crate::job::{Job, JobState, JobTable};
+use crate::journal::{Journal, JOURNAL_FILE};
+use crate::queue::{JobQueue, PushError};
+use crate::spec::{JobSpec, SpecError};
+use spindle_obs::MetricsRegistry;
+use spindle_pulse::{RunStatus, Sampler};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default bind address for the job service (one above the pulse
+/// telemetry default, so a job daemon and a `--serve` run coexist).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:9185";
+
+/// Default queue bound when `--queue-bound` is not given.
+pub const DEFAULT_QUEUE_BOUND: usize = 16;
+
+/// Default job-level parallelism when `--parallel` is not given.
+pub const DEFAULT_PARALLEL: usize = 2;
+
+/// Upper bound on `Retry-After` seconds advertised on a 429.
+const MAX_RETRY_AFTER_SECS: u64 = 60;
+
+/// Starting estimate of a job's wall time, until completions feed the
+/// EWMA that drives `Retry-After`.
+const DEFAULT_JOB_MS: u64 = 1000;
+
+/// Configuration for a serve daemon.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` asks the OS for a free port).
+    pub addr: String,
+    /// Admission bound on the queued-job count.
+    pub queue_bound: usize,
+    /// How many jobs may execute concurrently.
+    pub parallel: usize,
+    /// Root directory for the journal and per-job artifact dirs.
+    pub dir: PathBuf,
+    /// Whether an existing journal in `dir` should be re-adopted
+    /// (`--resume-dir`) rather than treated as an error.
+    pub resume: bool,
+    /// The `spindle` binary jobs run on (defaults to the current
+    /// executable).
+    pub spindle_bin: PathBuf,
+    /// The `experiments` binary for matrix jobs; `None` rejects
+    /// matrix specs at admission.
+    pub experiments_bin: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// A config with defaults: current executable as the job binary,
+    /// a sibling `experiments` binary when one exists.
+    #[must_use]
+    pub fn new(addr: &str, dir: impl Into<PathBuf>) -> ServeConfig {
+        let spindle_bin = std::env::current_exe().unwrap_or_else(|_| PathBuf::from("spindle"));
+        let experiments_bin = spindle_bin
+            .parent()
+            .map(|p| p.join("experiments"))
+            .filter(|p| p.is_file());
+        ServeConfig {
+            addr: addr.to_owned(),
+            queue_bound: DEFAULT_QUEUE_BOUND,
+            parallel: DEFAULT_PARALLEL,
+            dir: dir.into(),
+            resume: false,
+            spindle_bin,
+            experiments_bin,
+        }
+    }
+}
+
+/// The verdict of an admission attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// Accepted under `id`; the job is queued.
+    Accepted(String),
+    /// Queue full: advertise `Retry-After`.
+    Full {
+        /// Seconds the client should wait before retrying.
+        retry_after_secs: u64,
+        /// Queue depth at rejection time.
+        queued: usize,
+    },
+}
+
+/// Shared daemon state: queue, table, journal, metrics, status.
+pub(crate) struct Shared {
+    pub config: ServeConfig,
+    /// The advertised admission bound. The queue's own capacity can be
+    /// larger after a resume (re-adopted jobs bypass admission), so
+    /// `admit` checks depth against this, not [`JobQueue::bound`].
+    pub admission_bound: usize,
+    pub queue: JobQueue,
+    pub table: JobTable,
+    journal: Mutex<Journal>,
+    /// Serializes id allocation + journal append + enqueue so journal
+    /// order equals queue order.
+    admission: Mutex<u64>,
+    pub registry: &'static MetricsRegistry,
+    pub status: Arc<RunStatus>,
+    pub sampler: Arc<Sampler>,
+    pub rollups: Arc<spindle_obs::RollupSet>,
+    /// EWMA of completed-job wall time in milliseconds (drives
+    /// `Retry-After`); 0 until the first completion.
+    ewma_ms: AtomicU64,
+    pub stop: AtomicBool,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("config", &self.config)
+            .field("queue_depth", &self.queue.depth())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Shared {
+    /// The artifact directory for `id`.
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.config.dir.join(id)
+    }
+
+    /// Environmental validation that [`JobSpec::parse`] cannot do:
+    /// input files must exist, matrix jobs need the experiments
+    /// binary.
+    pub fn check_runnable(&self, spec: &JobSpec) -> Result<(), SpecError> {
+        if let Some(input) = &spec.input {
+            if !std::path::Path::new(input).is_file() {
+                return Err(SpecError {
+                    field: "input".to_owned(),
+                    message: format!("no such file on the server: `{input}`"),
+                });
+            }
+        }
+        if spec.uses_experiments() && self.config.experiments_bin.is_none() {
+            return Err(SpecError {
+                field: "kind".to_owned(),
+                message: "matrix jobs unavailable: no experiments binary next to the server"
+                    .to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Admits a validated spec: allocates the next id, journals the
+    /// submission, inserts the table record, and enqueues — or turns
+    /// a full queue into a `Retry-After` verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message (HTTP 500/503 material) when the artifact
+    /// dir or journal cannot be written, or the daemon is stopping.
+    pub fn admit(&self, spec: JobSpec) -> Result<Admission, String> {
+        let mut seq = self.admission.lock().expect("admission lock");
+        let queued = self.queue.depth();
+        if queued >= self.admission_bound {
+            self.registry.counter("serve.jobs_rejected").inc();
+            return Ok(Admission::Full {
+                retry_after_secs: self.retry_after_secs(queued),
+                queued,
+            });
+        }
+        *seq += 1;
+        let id = format!("job-{seq:04}");
+        let dir = self.job_dir(&id);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create artifact dir `{}`: {e}", dir.display()))?;
+        std::fs::write(dir.join("spec.json"), format!("{}\n", spec.to_json()))
+            .map_err(|e| format!("cannot write spec.json for `{id}`: {e}"))?;
+        self.journal
+            .lock()
+            .expect("journal lock")
+            .submitted(&id, &spec)?;
+        self.table.insert(Job::new(id.clone(), spec));
+        match self.queue.push(id.clone()) {
+            Ok(()) => {}
+            Err(PushError::Full) => unreachable!("depth checked under the admission lock"),
+            Err(PushError::Closed) => return Err("server is shutting down".to_owned()),
+        }
+        drop(seq);
+        self.registry.counter("serve.jobs_accepted").inc();
+        self.status.add_total(1);
+        self.refresh_gauges();
+        Ok(Admission::Accepted(id))
+    }
+
+    /// Re-adopts or replays one journal-loaded job (resume path);
+    /// returns whether it was re-enqueued.
+    fn adopt(&self, loaded: journal::LoadedJob) -> bool {
+        let mut job = Job::new(loaded.id.clone(), loaded.spec);
+        self.status.add_total(1);
+        match loaded.finished {
+            Some(f) => {
+                job.state = f.state;
+                job.exit = f.exit;
+                job.secs = Some(f.secs);
+                self.table.insert(job);
+                self.status.complete_one();
+                false
+            }
+            None => {
+                job.readopted = true;
+                self.table.insert(job);
+                self.queue
+                    .push(loaded.id)
+                    .expect("resume queue sized for every incomplete job");
+                true
+            }
+        }
+    }
+
+    /// Marks `id` terminal: table update, journal append, counters,
+    /// EWMA feed, progress tick.
+    pub fn finish_job(
+        &self,
+        id: &str,
+        state: JobState,
+        exit: Option<i32>,
+        secs: f64,
+        error: Option<String>,
+    ) {
+        self.table.update(id, |job| {
+            job.state = state;
+            job.exit = exit;
+            job.secs = Some(secs);
+            job.error = error;
+        });
+        if let Err(e) = self
+            .journal
+            .lock()
+            .expect("journal lock")
+            .finished(id, state, exit, secs)
+        {
+            eprintln!("# serve: {e}");
+        }
+        let counter = match state {
+            JobState::Done => "serve.jobs_completed",
+            JobState::Failed => "serve.jobs_failed",
+            _ => "serve.jobs_cancelled",
+        };
+        self.registry.counter(counter).inc();
+        if state == JobState::Done {
+            let ms = (secs * 1000.0).clamp(1.0, 86_400_000.0) as u64;
+            let prev = self.ewma_ms.load(Ordering::Relaxed);
+            let next = if prev == 0 {
+                ms
+            } else {
+                (7 * prev + 3 * ms) / 10
+            };
+            self.ewma_ms.store(next.max(1), Ordering::Relaxed);
+        }
+        self.status.complete_one();
+        self.refresh_gauges();
+    }
+
+    /// The `Retry-After` estimate for a rejected submit: the queue's
+    /// worth of EWMA job time divided across the runners.
+    pub fn retry_after_secs(&self, queued: usize) -> u64 {
+        let ewma = self.ewma_ms.load(Ordering::Relaxed).max(DEFAULT_JOB_MS);
+        let backlog_ms = ewma * queued as u64 / self.config.parallel.max(1) as u64;
+        (backlog_ms.div_ceil(1000)).clamp(1, MAX_RETRY_AFTER_SECS)
+    }
+
+    /// The server's ETA estimate for a running job (EWMA minus
+    /// elapsed), `None` before any completion fed the EWMA.
+    pub fn job_eta_secs(&self, job: &Job) -> Option<f64> {
+        if job.state != JobState::Running {
+            return None;
+        }
+        let ewma = self.ewma_ms.load(Ordering::Relaxed);
+        if ewma == 0 {
+            return None;
+        }
+        let elapsed = job.started.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        Some((ewma as f64 / 1000.0 - elapsed).max(0.0))
+    }
+
+    /// Publishes queue-depth / active-jobs gauges and flips the
+    /// server-wide phase between `running` and `idle`.
+    pub fn refresh_gauges(&self) {
+        let (queued, running) = self.table.active_counts();
+        self.registry.gauge("serve.queue_depth").set(queued as i64);
+        self.registry.gauge("serve.active_jobs").set(running as i64);
+        self.status.set_phase(if queued + running > 0 {
+            "running"
+        } else {
+            "idle"
+        });
+    }
+}
+
+/// A running serve daemon; [`ServeHandle::stop`] shuts it down in
+/// order (listener, queue, runners, sampler).
+#[derive(Debug)]
+pub struct ServeHandle {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    accept_threads: Vec<std::thread::JoinHandle<()>>,
+    runner_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains nothing further from the queue, waits
+    /// for in-flight jobs to finish, and stops the sampler.
+    pub fn stop(self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.queue.close();
+        for h in self.accept_threads {
+            let _ = h.join();
+        }
+        for h in self.runner_threads {
+            let _ = h.join();
+        }
+        self.shared.sampler.stop();
+    }
+
+    /// Blocks this thread for the daemon's lifetime (the CLI's serve
+    /// loop; only process signals end it).
+    pub fn park(&self) -> ! {
+        loop {
+            std::thread::park();
+        }
+    }
+}
+
+/// Starts the daemon on the process-global metrics registry.
+///
+/// # Errors
+///
+/// Returns a message when the bind, directory, or journal fails —
+/// including a fresh (non-`resume`) start pointed at a directory that
+/// already holds a journal.
+pub fn serve(config: ServeConfig) -> Result<ServeHandle, String> {
+    serve_with_registry(config, spindle_obs::global())
+}
+
+/// [`serve`] with an explicit registry (tests use a private one so
+/// counters don't bleed between cases).
+///
+/// # Errors
+///
+/// As [`serve`].
+pub fn serve_with_registry(
+    config: ServeConfig,
+    registry: &'static MetricsRegistry,
+) -> Result<ServeHandle, String> {
+    std::fs::create_dir_all(&config.dir)
+        .map_err(|e| format!("cannot create serve dir `{}`: {e}", config.dir.display()))?;
+    let journal_path = config.dir.join(JOURNAL_FILE);
+    let existing = journal_path.is_file();
+    let (journal, adopted) = if existing {
+        if !config.resume {
+            return Err(format!(
+                "`{}` already holds a journal from a previous server; \
+                 pass --resume-dir to re-adopt its jobs or point --dir at a fresh directory",
+                config.dir.display()
+            ));
+        }
+        let loaded = journal::load(&journal_path)?;
+        (Journal::open_append(&journal_path)?, loaded)
+    } else {
+        (Journal::create(&journal_path)?, Vec::new())
+    };
+
+    let incomplete = adopted.iter().filter(|j| j.finished.is_none()).count();
+    let max_seq = adopted
+        .iter()
+        .filter_map(|j| j.id.strip_prefix("job-")?.parse::<u64>().ok())
+        .max()
+        .unwrap_or(0);
+
+    let status = Arc::new(RunStatus::new(0));
+    status.set_phase("idle");
+    status.set_progress_counter(registry.counter(spindle_pulse::status::PROGRESS_METRIC));
+    let rollups = Arc::new(spindle_obs::RollupSet::wall());
+    let sampler = Sampler::start_with_rollups(
+        registry,
+        spindle_pulse::SAMPLE_CADENCE,
+        spindle_pulse::SAMPLE_CAPACITY,
+        Some(Arc::clone(&rollups)),
+    );
+
+    let shared = Arc::new(Shared {
+        admission_bound: config.queue_bound.max(1),
+        // Re-adopted jobs bypass admission control: the queue must
+        // hold all of them plus the configured bound's worth of new
+        // work.
+        queue: JobQueue::new(config.queue_bound.max(1) + incomplete),
+        table: JobTable::new(),
+        journal: Mutex::new(journal),
+        admission: Mutex::new(max_seq),
+        registry,
+        status,
+        sampler,
+        rollups,
+        ewma_ms: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        config,
+    });
+    // The admission bound stays the configured one even though the
+    // deque is larger: `admit` checks depth against `admission_bound`.
+    for loaded in adopted {
+        shared.adopt(loaded);
+    }
+    shared.refresh_gauges();
+    // The admission bound stays the configured one even though the
+    // deque is larger; see `Shared::admission_bound`.
+
+    let addr = shared.config.addr.clone();
+    let (local, accept_threads) =
+        server::start(&addr, &shared).map_err(|e| format!("cannot serve jobs on `{addr}`: {e}"))?;
+    let runner_threads = runner::spawn(&shared, shared.config.parallel.max(1));
+    Ok(ServeHandle {
+        addr: local,
+        shared,
+        accept_threads,
+        runner_threads,
+    })
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use crate::client::{request, Response};
+    use spindle_obs::json::Json;
+    use std::time::{Duration, Instant};
+
+    /// A stand-in job binary: deterministic output from its argv, a
+    /// long sleep for "blocker" jobs (span >= 1000), a synthetic
+    /// failure for span 666. Tests never spawn the real CLI (under
+    /// `cargo test` the current executable is the test harness).
+    fn fake_bin(dir: &std::path::Path) -> PathBuf {
+        use std::os::unix::fs::PermissionsExt;
+        let path = dir.join("fake-spindle.sh");
+        std::fs::write(
+            &path,
+            "#!/bin/sh\nspan=0\nprev=\"\"\nfor a in \"$@\"; do\n  \
+             if [ \"$prev\" = \"--span\" ]; then span=$a; fi\n  prev=$a\ndone\n\
+             if [ \"$span\" -ge 1000 ]; then sleep 20; fi\n\
+             if [ \"$span\" = \"666\" ]; then echo synthetic-failure >&2; exit 3; fi\n\
+             echo \"fake:$*\"\n",
+        )
+        .unwrap();
+        std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o755)).unwrap();
+        path
+    }
+
+    fn test_daemon(
+        name: &str,
+        queue_bound: usize,
+        parallel: usize,
+    ) -> (ServeHandle, String, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("spindle-serve-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut config = ServeConfig::new("127.0.0.1:0", dir.join("data"));
+        config.queue_bound = queue_bound;
+        config.parallel = parallel;
+        config.spindle_bin = fake_bin(&dir);
+        config.experiments_bin = None;
+        let registry: &'static MetricsRegistry = Box::leak(Box::default());
+        let handle = serve_with_registry(config, registry).expect("daemon starts");
+        let addr = handle.local_addr().to_string();
+        (handle, addr, dir)
+    }
+
+    fn wait_for<F: FnMut() -> bool>(what: &str, mut f: F) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !f() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    fn job_state(addr: &str, id: &str) -> String {
+        let r = request(addr, "GET", &format!("/jobs/{id}"), None).unwrap();
+        spindle_obs::json::parse(r.body.trim())
+            .ok()
+            .and_then(|doc| doc.get("state").and_then(Json::as_str).map(str::to_owned))
+            .unwrap_or_default()
+    }
+
+    fn submit(addr: &str, body: &str) -> Response {
+        request(addr, "POST", "/jobs", Some(body)).unwrap()
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_after_and_drains_after_cancel() {
+        let (handle, addr, dir) = test_daemon("admission", 2, 1);
+
+        // A blocker occupies the single runner...
+        let r = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":2000,"seed":1}"#,
+        );
+        assert_eq!(r.status, 201, "{}", r.body);
+        let blocker = spindle_obs::json::parse(r.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        wait_for("blocker to run", || job_state(&addr, &blocker) == "running");
+
+        // ...two more fill the queue; the next is refused with advice.
+        let a = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":10,"seed":2}"#,
+        );
+        let b = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":10,"seed":3}"#,
+        );
+        assert_eq!((a.status, b.status), (201, 201));
+        let rejected = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":10,"seed":4}"#,
+        );
+        assert_eq!(rejected.status, 429, "{}", rejected.body);
+        let retry: u64 = rejected
+            .header("retry-after")
+            .expect("Retry-After")
+            .parse()
+            .unwrap();
+        assert!((1..=60).contains(&retry));
+        let doc = spindle_obs::json::parse(rejected.body.trim()).unwrap();
+        assert_eq!(doc.get("error").and_then(Json::as_str), Some("queue full"));
+        assert_eq!(doc.get("queued").and_then(Json::as_u64), Some(2));
+
+        // Cancel the blocker: running -> cooperative kill.
+        let c = request(&addr, "DELETE", &format!("/jobs/{blocker}"), None).unwrap();
+        assert_eq!(c.status, 202, "{}", c.body);
+        wait_for("blocker to cancel", || {
+            job_state(&addr, &blocker) == "cancelled"
+        });
+        wait_for("queue to drain", || {
+            let r = request(&addr, "GET", "/jobs", None).unwrap();
+            let doc = spindle_obs::json::parse(r.body.trim()).unwrap();
+            doc.get("queued").and_then(Json::as_u64) == Some(0)
+                && doc.get("running").and_then(Json::as_u64) == Some(0)
+        });
+
+        // The accepted jobs completed with deterministic artifacts.
+        let a_id = spindle_obs::json::parse(a.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        assert_eq!(job_state(&addr, &a_id), "done");
+        let result = request(&addr, "GET", &format!("/jobs/{a_id}/result"), None).unwrap();
+        assert_eq!(result.status, 200);
+        let stdout = request(
+            &addr,
+            "GET",
+            &format!("/jobs/{a_id}/artifacts/stdout.txt"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(stdout.status, 200);
+        assert_eq!(stdout.body, "fake:generate --env web --span 10 --seed 2\n");
+
+        // Cancelling a terminal job is a conflict; traversal is refused.
+        let again = request(&addr, "DELETE", &format!("/jobs/{blocker}"), None).unwrap();
+        assert_eq!(again.status, 409);
+        let escape = request(
+            &addr,
+            "GET",
+            &format!("/jobs/{a_id}/artifacts/..%2Fjournal.jsonl"),
+            None,
+        )
+        .unwrap();
+        assert_ne!(escape.status, 200, "traversal must not serve files");
+
+        // Idle again, and the serve counters made it to /metrics.
+        wait_for("phase idle", || {
+            let r = request(&addr, "GET", "/status", None).unwrap();
+            r.body.contains("\"idle\"")
+        });
+        let metrics = request(&addr, "GET", "/metrics", None).unwrap().body;
+        assert!(metrics.contains("serve_jobs_accepted 3"), "{metrics}");
+        assert!(metrics.contains("serve_jobs_rejected 1"), "{metrics}");
+        assert!(metrics.contains("serve_jobs_cancelled 1"), "{metrics}");
+        assert!(metrics.contains("serve_jobs_completed 2"), "{metrics}");
+        spindle_obs::prom::check_exposition(&metrics).expect("valid exposition");
+
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hostile_submissions_get_structured_errors_and_never_kill_the_server() {
+        let (handle, addr, dir) = test_daemon("hostile", 4, 1);
+        for (body, field) in [
+            ("{", "(body)"),
+            ("", "(body)"),
+            ("[1,2,3]", "(body)"),
+            (r#"{"kind":"demolish"}"#, "kind"),
+            (r#"{"kind":"generate"}"#, "env"),
+            (r#"{"kind":"generate","env":"web","bogus":true}"#, "bogus"),
+            (r#"{"kind":"simulate","input":"/no/such/file"}"#, "input"),
+            (r#"{"kind":"matrix","quick":true}"#, "kind"),
+        ] {
+            let r = submit(&addr, body);
+            assert_eq!(r.status, 400, "body {body} -> {}", r.body);
+            let doc = spindle_obs::json::parse(r.body.trim()).expect("structured error");
+            assert_eq!(
+                doc.get("field").and_then(Json::as_str),
+                Some(field),
+                "body {body} -> {}",
+                r.body
+            );
+        }
+        // A failing job is reported failed, with the stderr tail.
+        let r = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":666,"seed":1}"#,
+        );
+        assert_eq!(r.status, 201);
+        let id = spindle_obs::json::parse(r.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        wait_for("failure to land", || job_state(&addr, &id) == "failed");
+        let detail = request(&addr, "GET", &format!("/jobs/{id}"), None).unwrap();
+        assert!(detail.body.contains("synthetic-failure"), "{}", detail.body);
+        let health = request(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(health.status, 200, "server survived the hostility");
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_readopts_incomplete_jobs_and_fresh_start_refuses_them() {
+        let dir = std::env::temp_dir().join(format!("spindle-serve-resume-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(dir.join("data")).unwrap();
+        let spec =
+            spec::JobSpec::parse(r#"{"kind":"generate","env":"dev","span":10,"seed":9}"#).unwrap();
+        // A journal a killed daemon would leave: one finished job, one
+        // submitted-but-unfinished.
+        let mut journal = Journal::create(&dir.join("data").join(JOURNAL_FILE)).unwrap();
+        journal.submitted("job-0001", &spec).unwrap();
+        journal
+            .finished("job-0001", JobState::Done, Some(0), 0.5)
+            .unwrap();
+        journal.submitted("job-0002", &spec).unwrap();
+        drop(journal);
+
+        let mut config = ServeConfig::new("127.0.0.1:0", dir.join("data"));
+        config.queue_bound = 2;
+        config.parallel = 1;
+        config.spindle_bin = fake_bin(&dir);
+        config.experiments_bin = None;
+
+        // Without --resume-dir the stale journal is an error...
+        let registry: &'static MetricsRegistry = Box::leak(Box::default());
+        let err = serve_with_registry(config.clone(), registry).expect_err("stale journal refused");
+        assert!(err.contains("--resume-dir"), "{err}");
+
+        // ...with it, the orphan re-runs to completion.
+        config.resume = true;
+        let registry: &'static MetricsRegistry = Box::leak(Box::default());
+        let handle = serve_with_registry(config, registry).expect("resume starts");
+        let addr = handle.local_addr().to_string();
+        wait_for("orphan to complete", || {
+            job_state(&addr, "job-0002") == "done"
+        });
+        let detail = request(&addr, "GET", "/jobs/job-0002", None).unwrap();
+        let doc = spindle_obs::json::parse(detail.body.trim()).unwrap();
+        assert_eq!(doc.get("readopted"), Some(&Json::Bool(true)));
+        // The replayed job kept its history without re-running.
+        let old = spindle_obs::json::parse(
+            request(&addr, "GET", "/jobs/job-0001", None)
+                .unwrap()
+                .body
+                .trim(),
+        )
+        .unwrap();
+        assert_eq!(old.get("state").and_then(Json::as_str), Some("done"));
+        assert_eq!(old.get("readopted"), Some(&Json::Bool(false)));
+        // New ids continue past the journaled ones.
+        let r = submit(
+            &addr,
+            r#"{"kind":"generate","env":"dev","span":10,"seed":1}"#,
+        );
+        assert_eq!(r.status, 201);
+        assert!(r.body.contains("job-0003"), "{}", r.body);
+        wait_for("new job done", || job_state(&addr, "job-0003") == "done");
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn queued_jobs_cancel_immediately() {
+        let (handle, addr, dir) = test_daemon("cancel-queued", 4, 1);
+        let blocker = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":2000,"seed":1}"#,
+        );
+        assert_eq!(blocker.status, 201);
+        let blocker_id = spindle_obs::json::parse(blocker.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        wait_for("blocker running", || {
+            job_state(&addr, &blocker_id) == "running"
+        });
+        let queued = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":10,"seed":2}"#,
+        );
+        let queued_id = spindle_obs::json::parse(queued.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        let r = request(&addr, "DELETE", &format!("/jobs/{queued_id}"), None).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(job_state(&addr, &queued_id), "cancelled");
+        let missing = request(&addr, "DELETE", "/jobs/job-9999", None).unwrap();
+        assert_eq!(missing.status, 404);
+        request(&addr, "DELETE", &format!("/jobs/{blocker_id}"), None).unwrap();
+        wait_for("blocker cancelled", || {
+            job_state(&addr, &blocker_id) == "cancelled"
+        });
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,203 @@
+//! Job runners: N threads draining the queue into child processes.
+
+use crate::job::JobState;
+use crate::Shared;
+use std::process::{Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often a runner polls its child for exit and for a cancel
+/// request.
+const CHILD_POLL: Duration = Duration::from_millis(25);
+
+/// How long a runner blocks on the queue before re-checking the stop
+/// flag.
+const QUEUE_POLL: Duration = Duration::from_millis(200);
+
+/// Bytes of stderr tail attached to a failed job's error field.
+const ERROR_TAIL_BYTES: usize = 600;
+
+/// Spawns `n` runner threads.
+pub(crate) fn spawn(shared: &Arc<Shared>, n: usize) -> Vec<JoinHandle<()>> {
+    (0..n)
+        .map(|i| {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("serve-runner-{i}"))
+                .spawn(move || runner_loop(&shared))
+                .expect("spawn runner thread")
+        })
+        .collect()
+}
+
+fn runner_loop(shared: &Shared) {
+    while !shared.stop.load(Ordering::Acquire) {
+        let Some(id) = shared.queue.pop(QUEUE_POLL) else {
+            if shared.queue.depth() == 0 && shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            continue;
+        };
+        run_job(shared, &id);
+    }
+    // Drain what admission already accepted before the stop: those
+    // jobs were journaled as submitted and clients were told 201.
+    while let Some(id) = shared.queue.pop(Duration::ZERO) {
+        run_job(shared, &id);
+    }
+}
+
+/// Executes one job to a terminal state. Never panics the runner: a
+/// failure to spawn or to write artifacts lands the job in `failed`.
+fn run_job(shared: &Shared, id: &str) {
+    let Some(job) = shared.table.get(id) else {
+        return;
+    };
+    let started = Instant::now();
+    shared.table.update(id, |j| {
+        j.state = JobState::Running;
+        j.started = Some(started);
+    });
+    shared.refresh_gauges();
+
+    // A cancel that raced the pop: honor it before spawning.
+    if job.cancel.load(Ordering::Acquire) {
+        shared.finish_job(id, JobState::Cancelled, None, 0.0, None);
+        return;
+    }
+
+    let dir = shared.job_dir(id);
+    let program = if job.spec.uses_experiments() {
+        shared
+            .config
+            .experiments_bin
+            .clone()
+            .expect("matrix admission requires the experiments binary")
+    } else {
+        shared.config.spindle_bin.clone()
+    };
+    let spawn = || -> Result<std::process::Child, String> {
+        // Admission created this for locally-submitted jobs; a
+        // re-adopted job from another daemon's journal may not have
+        // one yet.
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create artifact dir `{}`: {e}", dir.display()))?;
+        let stdout = std::fs::File::create(dir.join("stdout.partial"))
+            .map_err(|e| format!("cannot create stdout capture: {e}"))?;
+        let stderr = std::fs::File::create(dir.join("stderr.txt"))
+            .map_err(|e| format!("cannot create stderr capture: {e}"))?;
+        Command::new(&program)
+            .args(job.spec.argv(&dir))
+            .stdin(Stdio::null())
+            .stdout(Stdio::from(stdout))
+            .stderr(Stdio::from(stderr))
+            // The child's fault/telemetry environment is the spec's
+            // business, not inherited daemon state.
+            .env_remove(spindle_harden::FAULTS_ENV)
+            .env_remove(spindle_pulse::SERVE_ENV)
+            .env_remove(spindle_pulse::LINGER_ENV)
+            .spawn()
+            .map_err(|e| format!("cannot spawn `{}`: {e}", program.display()))
+    };
+    let mut child = match spawn() {
+        Ok(c) => c,
+        Err(e) => {
+            shared.finish_job(
+                id,
+                JobState::Failed,
+                None,
+                started.elapsed().as_secs_f64(),
+                Some(e),
+            );
+            return;
+        }
+    };
+
+    let (state, exit) = loop {
+        if job.cancel.load(Ordering::Acquire) {
+            let _ = child.kill();
+            let status = child.wait().ok();
+            break (JobState::Cancelled, status.and_then(|s| s.code()));
+        }
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                let code = status.code();
+                // No exit code means a signal killed it; that is a
+                // failure unless we asked for the kill above.
+                let state = if code == Some(0) {
+                    JobState::Done
+                } else {
+                    JobState::Failed
+                };
+                break (state, code);
+            }
+            Ok(None) => std::thread::sleep(CHILD_POLL),
+            Err(_) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                break (JobState::Failed, None);
+            }
+        }
+    };
+    let secs = started.elapsed().as_secs_f64();
+
+    // Promote the capture to its final name only now, so a crashed
+    // daemon's leftover `stdout.partial` is never mistaken for a
+    // completed job's output.
+    let _ = std::fs::rename(dir.join("stdout.partial"), dir.join("stdout.txt"));
+    let error = match state {
+        JobState::Failed => Some(stderr_tail(&dir)),
+        _ => None,
+    };
+    write_result(shared, id, state, exit, secs);
+    shared.finish_job(id, state, exit, secs, error);
+}
+
+/// A bounded tail of the job's stderr, for the failure report.
+fn stderr_tail(dir: &std::path::Path) -> String {
+    let text = std::fs::read_to_string(dir.join("stderr.txt")).unwrap_or_default();
+    let trimmed = text.trim_end();
+    if trimmed.is_empty() {
+        return "job exited unsuccessfully (no stderr)".to_owned();
+    }
+    let tail_start = trimmed
+        .char_indices()
+        .rev()
+        .take(ERROR_TAIL_BYTES)
+        .last()
+        .map_or(0, |(i, _)| i);
+    trimmed[tail_start..].to_owned()
+}
+
+/// Writes the `result.json` artifact (best effort; the journal is the
+/// durable record).
+fn write_result(shared: &Shared, id: &str, state: JobState, exit: Option<i32>, secs: f64) {
+    use spindle_obs::json::Json;
+    let dir = shared.job_dir(id);
+    let mut artifacts: Vec<String> = std::fs::read_dir(&dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|name| name != "result.json" && name != "stdout.partial")
+                .collect()
+        })
+        .unwrap_or_default();
+    artifacts.sort();
+    let doc = Json::Obj(vec![
+        ("id".to_owned(), Json::Str(id.to_owned())),
+        ("state".to_owned(), Json::Str(state.as_str().to_owned())),
+        (
+            "exit".to_owned(),
+            exit.map_or(Json::Null, |c| Json::Int(i64::from(c))),
+        ),
+        ("secs".to_owned(), Json::Num(secs)),
+        (
+            "artifacts".to_owned(),
+            Json::Arr(artifacts.into_iter().map(Json::Str).collect()),
+        ),
+    ]);
+    let _ = std::fs::write(dir.join("result.json"), format!("{doc}\n"));
+}

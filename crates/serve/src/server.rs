@@ -1,0 +1,352 @@
+//! The job service's HTTP front end.
+//!
+//! Built on the shared [`spindle_pulse::http`] parser (Content-Length
+//! body framing, 1 MiB cap, structured 400s on malformed input). A
+//! small pool of handler threads accepts on a cloned non-blocking
+//! listener — submissions and lifecycle queries are cheap; the heavy
+//! work happens on the runner threads.
+//!
+//! Routes:
+//!
+//! * `POST /jobs` — submit a spec; 201 accepted, 400 structured
+//!   validation error, 429 + `Retry-After` when the queue is full.
+//! * `GET /jobs` — every job in submit order plus queue counters.
+//! * `GET /jobs/ID` — one job's state/progress/ETA.
+//! * `GET /jobs/ID/result` — terminal outcome (409 while pending).
+//! * `GET /jobs/ID/artifacts/NAME` — one artifact file.
+//! * `DELETE /jobs/ID` — cancel (queued → cancelled immediately,
+//!   running → cooperative kill, terminal → 409).
+//! * `GET /metrics`, `/healthz`, `/status`, `/timescales` — the same
+//!   telemetry surface the pulse endpoint serves, for the daemon
+//!   itself.
+
+use crate::job::JobState;
+use crate::{Admission, Shared};
+use spindle_obs::json::Json;
+use spindle_obs::MetricsSink;
+use spindle_pulse::http::{read_request, respond, respond_with_headers, HttpError, Request};
+use spindle_pulse::status_json;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handler threads sharing the listener.
+const HANDLER_THREADS: usize = 4;
+
+/// Accept-poll interval while idle.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Per-connection socket timeout.
+const CLIENT_TIMEOUT: Duration = Duration::from_millis(2000);
+
+const JSON_TYPE: &str = "application/json; charset=utf-8";
+const TEXT_TYPE: &str = "text/plain; charset=utf-8";
+
+/// Binds `addr` and spawns the handler pool.
+pub(crate) fn start(
+    addr: &str,
+    shared: &Arc<Shared>,
+) -> io::Result<(SocketAddr, Vec<JoinHandle<()>>)> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let mut threads = Vec::new();
+    for i in 0..HANDLER_THREADS {
+        let listener = listener.try_clone()?;
+        let shared = Arc::clone(shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-http-{i}"))
+                .spawn(move || accept_loop(&listener, &shared))?,
+        );
+    }
+    Ok((local, threads))
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // One request per connection; a broken client never
+                // takes the handler down.
+                let _ = handle(stream, shared);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn json_response(stream: &mut TcpStream, status: &str, doc: &Json) -> io::Result<()> {
+    respond(stream, status, JSON_TYPE, &format!("{doc}\n"))
+}
+
+fn error_response(stream: &mut TcpStream, status: &str, message: &str) -> io::Result<()> {
+    let doc = Json::Obj(vec![("error".to_owned(), Json::Str(message.to_owned()))]);
+    json_response(stream, status, &doc)
+}
+
+fn handle(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_nonblocking(false)?;
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(HttpError::Io(e)) => return Err(e),
+        Err(HttpError::BodyTooLarge(n)) => {
+            return error_response(
+                &mut stream,
+                "413 Payload Too Large",
+                &format!("request body of {n} bytes exceeds the 1 MiB limit"),
+            );
+        }
+        Err(e) => return error_response(&mut stream, "400 Bad Request", &format!("{e}")),
+    };
+    route(&mut stream, shared, &request)
+}
+
+fn route(stream: &mut TcpStream, shared: &Shared, request: &Request) -> io::Result<()> {
+    let path = request.path.as_str();
+    let method = request.method.as_str();
+    match (method, path) {
+        ("POST", "/jobs") => return submit(stream, shared, request),
+        ("GET", "/jobs") => return list_jobs(stream, shared),
+        ("GET", "/healthz") => return respond(stream, "200 OK", TEXT_TYPE, "ok\n"),
+        ("GET", "/metrics") => return metrics(stream, shared),
+        ("GET", "/status") => {
+            let doc = status_json(&shared.status, &shared.registry.snapshot(), &shared.sampler);
+            return json_response(stream, "200 OK", &doc);
+        }
+        ("GET", "/timescales") => {
+            let doc = Json::Obj(vec![
+                ("rollups".to_owned(), shared.rollups.to_json()),
+                (
+                    "exemplars".to_owned(),
+                    shared.registry.exemplars().to_json(),
+                ),
+            ]);
+            return json_response(stream, "200 OK", &doc);
+        }
+        _ => {}
+    }
+    // /jobs/ID[/result | /artifacts/NAME]
+    if let Some(rest) = path.strip_prefix("/jobs/") {
+        let (id, tail) = match rest.split_once('/') {
+            Some((id, tail)) => (id, Some(tail)),
+            None => (rest, None),
+        };
+        return match (method, tail) {
+            ("GET", None) => job_detail(stream, shared, id),
+            ("DELETE", None) => cancel(stream, shared, id),
+            ("GET", Some("result")) => job_result(stream, shared, id),
+            ("GET", Some(tail)) if tail.strip_prefix("artifacts/").is_some() => {
+                let name = tail.strip_prefix("artifacts/").expect("guard");
+                artifact(stream, shared, id, name)
+            }
+            _ => error_response(stream, "405 Method Not Allowed", "method not allowed"),
+        };
+    }
+    if matches!(method, "GET" | "POST" | "DELETE") {
+        error_response(stream, "404 Not Found", "not found")
+    } else {
+        error_response(stream, "405 Method Not Allowed", "method not allowed")
+    }
+}
+
+fn submit(stream: &mut TcpStream, shared: &Shared, request: &Request) -> io::Result<()> {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return error_response(stream, "400 Bad Request", "job spec must be UTF-8 JSON");
+    };
+    let spec = match crate::spec::JobSpec::parse(body).and_then(|spec| {
+        shared.check_runnable(&spec)?;
+        Ok(spec)
+    }) {
+        Ok(spec) => spec,
+        Err(e) => return json_response(stream, "400 Bad Request", &e.to_json()),
+    };
+    match shared.admit(spec) {
+        Ok(Admission::Accepted(id)) => {
+            let doc = Json::Obj(vec![
+                ("id".to_owned(), Json::Str(id)),
+                ("state".to_owned(), Json::Str("queued".to_owned())),
+            ]);
+            json_response(stream, "201 Created", &doc)
+        }
+        Ok(Admission::Full {
+            retry_after_secs,
+            queued,
+        }) => {
+            let doc = Json::Obj(vec![
+                ("error".to_owned(), Json::Str("queue full".to_owned())),
+                ("queued".to_owned(), Json::Uint(queued as u64)),
+                (
+                    "bound".to_owned(),
+                    Json::Uint(shared.admission_bound as u64),
+                ),
+                ("retry_after_secs".to_owned(), Json::Uint(retry_after_secs)),
+            ]);
+            respond_with_headers(
+                stream,
+                "429 Too Many Requests",
+                JSON_TYPE,
+                &[("Retry-After", &retry_after_secs.to_string())],
+                &format!("{doc}\n"),
+            )
+        }
+        Err(e) => error_response(stream, "503 Service Unavailable", &e),
+    }
+}
+
+fn list_jobs(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+    let jobs = shared.table.snapshot();
+    let (queued, running) = shared.table.active_counts();
+    let doc = Json::Obj(vec![
+        (
+            "jobs".to_owned(),
+            Json::Arr(
+                jobs.iter()
+                    .map(|j| j.to_json(shared.job_eta_secs(j)))
+                    .collect(),
+            ),
+        ),
+        ("queued".to_owned(), Json::Uint(queued as u64)),
+        ("running".to_owned(), Json::Uint(running as u64)),
+        (
+            "bound".to_owned(),
+            Json::Uint(shared.admission_bound as u64),
+        ),
+    ]);
+    json_response(stream, "200 OK", &doc)
+}
+
+fn job_detail(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<()> {
+    let Some(job) = shared.table.get(id) else {
+        return error_response(stream, "404 Not Found", &format!("no such job `{id}`"));
+    };
+    let mut doc = job.to_json(shared.job_eta_secs(&job));
+    if let Json::Obj(members) = &mut doc {
+        members.push(("artifacts".to_owned(), artifact_names(shared, id)));
+        members.push(("spec".to_owned(), job.spec.to_json()));
+    }
+    json_response(stream, "200 OK", &doc)
+}
+
+fn artifact_names(shared: &Shared, id: &str) -> Json {
+    let mut names: Vec<String> = std::fs::read_dir(shared.job_dir(id))
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|n| n != "stdout.partial")
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    Json::Arr(names.into_iter().map(Json::Str).collect())
+}
+
+fn job_result(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<()> {
+    let Some(job) = shared.table.get(id) else {
+        return error_response(stream, "404 Not Found", &format!("no such job `{id}`"));
+    };
+    if !job.state.is_terminal() {
+        return error_response(
+            stream,
+            "409 Conflict",
+            &format!("job `{id}` is still {}", job.state.as_str()),
+        );
+    }
+    let mut doc = job.to_json(None);
+    if let Json::Obj(members) = &mut doc {
+        members.push(("artifacts".to_owned(), artifact_names(shared, id)));
+    }
+    json_response(stream, "200 OK", &doc)
+}
+
+fn artifact(stream: &mut TcpStream, shared: &Shared, id: &str, name: &str) -> io::Result<()> {
+    if shared.table.get(id).is_none() {
+        return error_response(stream, "404 Not Found", &format!("no such job `{id}`"));
+    }
+    // Artifact names are flat files inside the job dir; anything that
+    // could traverse out is refused outright.
+    let safe = !name.is_empty()
+        && name != "."
+        && name != ".."
+        && !name.contains(['/', '\\'])
+        && !name.contains('\0');
+    if !safe {
+        return error_response(stream, "400 Bad Request", "invalid artifact name");
+    }
+    let path = shared.job_dir(id).join(name);
+    let Ok(bytes) = std::fs::read(&path) else {
+        return error_response(
+            stream,
+            "404 Not Found",
+            &format!("job `{id}` has no artifact `{name}`"),
+        );
+    };
+    let content_type = if name.ends_with(".json") {
+        JSON_TYPE
+    } else if name.ends_with(".html") {
+        "text/html; charset=utf-8"
+    } else if name.ends_with(".bin") {
+        "application/octet-stream"
+    } else {
+        TEXT_TYPE
+    };
+    // Artifacts can be binary (trace .bin); bypass the string-typed
+    // responder.
+    use std::io::Write;
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        bytes.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&bytes)?;
+    stream.flush()
+}
+
+fn cancel(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<()> {
+    let Some(job) = shared.table.get(id) else {
+        return error_response(stream, "404 Not Found", &format!("no such job `{id}`"));
+    };
+    if job.state.is_terminal() {
+        return error_response(
+            stream,
+            "409 Conflict",
+            &format!("job `{id}` already {}", job.state.as_str()),
+        );
+    }
+    // Queued and still in the queue: remove it and finish immediately.
+    if shared.queue.remove(id) {
+        shared.finish_job(id, JobState::Cancelled, None, 0.0, None);
+        let doc = Json::Obj(vec![
+            ("id".to_owned(), Json::Str(id.to_owned())),
+            ("state".to_owned(), Json::Str("cancelled".to_owned())),
+        ]);
+        return json_response(stream, "200 OK", &doc);
+    }
+    // Already claimed by a runner (or racing one): cooperative cancel.
+    job.cancel.store(true, Ordering::Release);
+    let doc = Json::Obj(vec![
+        ("id".to_owned(), Json::Str(id.to_owned())),
+        ("state".to_owned(), Json::Str("cancelling".to_owned())),
+    ]);
+    json_response(stream, "202 Accepted", &doc)
+}
+
+fn metrics(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+    let mut body = spindle_obs::PromSink
+        .export_string(&shared.registry.snapshot())
+        .unwrap_or_default();
+    let mut appendix = Vec::new();
+    if spindle_obs::prom::write_windowed(&mut appendix, &shared.rollups.snapshot()).is_ok() {
+        body.push_str(&String::from_utf8_lossy(&appendix));
+    }
+    respond(stream, "200 OK", spindle_obs::prom::CONTENT_TYPE, &body)
+}

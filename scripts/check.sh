@@ -181,4 +181,85 @@ fi
 run sh -c "$EXPERIMENTS --quick --resume $JOURNAL --quiet t1 t2 t3 > artifacts/resumed.txt"
 run cmp artifacts/uninterrupted.txt artifacts/resumed.txt
 
+# 4. Job-service smoke: boot the daemon on an ephemeral port, submit
+#    two jobs, poll one to completion and fetch its artifact, cancel a
+#    queued one, kill -9 the daemon mid-job, and verify a restart with
+#    --resume-dir re-adopts and finishes the orphan. Finish with a
+#    loadtest whose summary lands in artifacts/ for CI upload.
+echo "==> job service smoke (spindle serve 127.0.0.1:0)"
+SERVE_DIR=artifacts/serve-jobs
+JOBS_ERR=artifacts/serve-jobs.err
+rm -rf "$SERVE_DIR"
+rm -f "$JOBS_ERR"
+"$SPINDLE" serve 127.0.0.1:0 --queue-bound 8 --parallel 1 --dir "$SERVE_DIR" 2> "$JOBS_ERR" &
+JOBS_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's|^# serving jobs on http://||p' "$JOBS_ERR" 2>/dev/null | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+poll_job_state() {
+    # poll_job_state ID STATE: wait up to 60s for the job to get there.
+    for _ in $(seq 1 600); do
+        state=$(curl -s "http://$ADDR/jobs/$1" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+        [ "$state" = "$2" ] && return 0
+        sleep 0.1
+    done
+    echo "FAILED: job $1 never reached $2 (last state: $state)" >&2
+    return 1
+}
+if [ -z "$ADDR" ]; then
+    echo "FAILED: spindle serve never announced a bound address" >&2
+    fail=1
+else
+    run curl -sf -X POST "http://$ADDR/jobs" \
+        -d '{"kind":"generate","env":"web","span":10,"seed":1}' -o /dev/null
+    run poll_job_state job-0001 done
+    run curl -sf "http://$ADDR/jobs/job-0001/artifacts/stdout.txt" -o artifacts/serve-job1.txt
+    if [ ! -s artifacts/serve-job1.txt ]; then
+        echo "FAILED: completed job has no stdout artifact" >&2
+        fail=1
+    fi
+    # A long job to be orphaned by the kill, and a queued one to cancel
+    # (the single runner is busy, so it never starts).
+    run curl -sf -X POST "http://$ADDR/jobs" \
+        -d '{"kind":"generate","env":"web","span":172800,"seed":2}' -o /dev/null
+    run poll_job_state job-0002 running
+    run curl -sf -X POST "http://$ADDR/jobs" \
+        -d '{"kind":"generate","env":"web","span":10,"seed":3}' -o /dev/null
+    run curl -sf -X DELETE "http://$ADDR/jobs/job-0003" -o /dev/null
+    run poll_job_state job-0003 cancelled
+    kill -9 "$JOBS_PID" 2>/dev/null
+    wait "$JOBS_PID" 2>/dev/null
+    rm -f "$JOBS_ERR"
+    "$SPINDLE" serve 127.0.0.1:0 --queue-bound 8 --parallel 2 --resume-dir "$SERVE_DIR" \
+        2> "$JOBS_ERR" &
+    JOBS_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR=$(sed -n 's|^# serving jobs on http://||p' "$JOBS_ERR" 2>/dev/null | head -n1)
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+    done
+    if [ -z "$ADDR" ]; then
+        echo "FAILED: spindle serve --resume-dir never announced an address" >&2
+        fail=1
+    else
+        run poll_job_state job-0002 done
+        if ! curl -s "http://$ADDR/jobs/job-0002" | grep -q '"readopted":true'; then
+            echo "FAILED: orphaned job not flagged as re-adopted after --resume-dir" >&2
+            fail=1
+        fi
+        run sh -c "$SPINDLE loadtest http://$ADDR --clients 50 --jobs 100 --span 2 \
+            --out artifacts/loadtest.json > artifacts/loadtest.txt"
+        if ! grep -q '"drained":true' artifacts/loadtest.json; then
+            echo "FAILED: loadtest report says the server never drained" >&2
+            fail=1
+        fi
+    fi
+    kill -9 "$JOBS_PID" 2>/dev/null
+fi
+rm -rf "$SERVE_DIR"
+
 exit "$fail"

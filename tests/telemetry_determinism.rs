@@ -177,12 +177,13 @@ fn timescales_scrape_agrees_with_final_metrics() {
     }
     let addr = addr.expect("bind announcement on stderr");
 
-    // Wait for the matrix to drain (phase "done" after the session's
-    // final sample), then scrape both endpoints inside the linger.
+    // Wait for the matrix to drain (the session flips /status to
+    // "idle" for the linger window once the run is done), then scrape
+    // both endpoints inside the linger.
     let deadline = std::time::Instant::now() + Duration::from_secs(60);
     loop {
         let status = json::parse(&get_ok(&addr, "/status")).expect("status parses");
-        if status.get("phase").and_then(Json::as_str) == Some("done") {
+        if status.get("phase").and_then(Json::as_str) == Some("idle") {
             break;
         }
         assert!(std::time::Instant::now() < deadline, "run never finished");
