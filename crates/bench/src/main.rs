@@ -47,7 +47,7 @@ use std::sync::Arc;
 
 /// Default destination of `--record` (the PR-over-PR perf trajectory
 /// file tracked at the repository root).
-const RECORD_DEFAULT: &str = "BENCH_pr5.json";
+const RECORD_DEFAULT: &str = "BENCH_pr8.json";
 
 /// Exit status of a run killed by an injected `kill@N` fault, chosen
 /// to look like SIGKILL so resume tests exercise the real path.
@@ -202,6 +202,13 @@ fn main() {
     if metrics.is_some() {
         pipeline::enable_observability(ObsConfig::metrics_only());
     }
+    // A telemetry sink in the environment (the serve daemon sets one
+    // for its children) needs the simulator observers attached, or the
+    // streamed snapshots would carry no disk counters. Registry-only:
+    // stdout and every artifact stay byte-identical.
+    if std::env::var(spindle_obs::frame::SINK_ENV).is_ok_and(|v| !v.is_empty()) {
+        pipeline::enable_observability(ObsConfig::metrics_only());
+    }
     if ids.is_empty() {
         ids = matrix::EXPERIMENTS
             .iter()
@@ -270,15 +277,29 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Some(t) = &telemetry {
-        // Journal-replayed experiments are already done.
-        for _ in todo.len()..ids.len() {
-            t.status.complete_one();
-        }
+    // One progress status for every consumer: the session's when a
+    // live front end is up, else a private one for the frame exporter
+    // alone. The private status never registers the progress counter,
+    // so the metrics registry is identical with the exporter off.
+    let status = telemetry.as_ref().map_or_else(
+        || Arc::new(spindle_pulse::RunStatus::new(ids.len() as u64)),
+        |t| Arc::clone(&t.status),
+    );
+    status.set_phase("running");
+    // Journal-replayed experiments are already done.
+    for _ in todo.len()..ids.len() {
+        status.complete_one();
     }
-    let status = telemetry.as_ref().map(|t| Arc::clone(&t.status));
+    // A serve-daemon child (or any run with the telemetry sink
+    // variable set) streams snapshots and progress frames back over
+    // the local socket; stdout and artifacts are untouched.
+    let exporter = spindle_pulse::Exporter::from_env(
+        spindle_obs::global(),
+        Arc::clone(&status),
+        "experiments",
+    );
     let mut pool = Pool::new(jobs);
-    if metrics.is_some() || telemetry.is_some() {
+    if metrics.is_some() || telemetry.is_some() || exporter.is_some() {
         // Worker counters feed both the --metrics dump and the live
         // /status worker lanes.
         pool = pool.metrics(PoolMetrics::new(spindle_obs::global()));
@@ -286,9 +307,7 @@ fn main() {
     let matrix_start = std::time::Instant::now();
     let mut failed = false;
     let mut outcome = matrix::run_matrix_isolated(&todo, &cfg, &pool, |res| {
-        if let Some(s) = &status {
-            s.complete_one();
-        }
+        status.complete_one();
         let Some(j) = journal.as_mut() else { return };
         let entry = JournalEntry {
             id: res.id.clone(),
@@ -373,9 +392,7 @@ fn main() {
             failed = true;
         }
     }
-    if let Some(s) = &status {
-        s.set_phase("exporting");
-    }
+    status.set_phase("exporting");
     let total_failures = records.iter().filter(|r| !r.ok).count();
     if total_failures > 0 {
         eprintln!(
@@ -430,6 +447,11 @@ fn main() {
     let rollups = telemetry.as_ref().map(|t| Arc::clone(t.rollups()));
     if let Some(t) = telemetry {
         t.finish();
+    }
+    if let Some(e) = exporter {
+        // After the session's final sample, so the window batches in
+        // the exporter's last flush carry the complete wheel.
+        e.finish(rollups.as_deref());
     }
     if let Some(path) = timescales_out {
         let doc = match &rollups {

@@ -66,7 +66,7 @@ USAGE:
   spindle serve    [ADDR] [--queue-bound N] [--parallel N]
                    [--dir DIR | --resume-dir DIR]
   spindle loadtest URL [--clients N] [--jobs M] [--span SECS]
-                   [--out FILE]
+                   [--watch] [--out FILE]
   spindle help
 
 Global options (accepted before or after any command):
@@ -121,8 +121,9 @@ re-adopts the journal's incomplete jobs. ADDR defaults to
 concurrent submitters race through --jobs total submissions (here
 --jobs means submissions, not worker threads), then the harness waits
 for the server to drain and prints submit-latency percentiles,
-throughput, and the accepted/rejected/error split; --out also writes
-the report as JSON.
+throughput, and the accepted/rejected/error split; --watch repaints a
+live queue/running/done line on stderr while the test runs; --out
+also writes the report as JSON.
 
 Profiles: cheetah-15k (default), savvio-10k, barracuda-es
 Schedulers: fcfs, sstf, look, sptf (default)
@@ -251,19 +252,43 @@ fn extract_obs_args(argv: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
     Ok((obs, rest))
 }
 
-/// Starts the live-telemetry consumers (`--serve`/`--live`) for one
-/// invocation. Strictly read-only over the metrics registry and
-/// writing only to stderr/sockets, so enabling them cannot change any
-/// computed result or experiment stdout. `phase` names the subcommand
-/// in `/status`.
-fn start_telemetry(obs: &ObsArgs, phase: &str) -> Result<Option<spindle_pulse::Session>, String> {
-    spindle_pulse::Session::start(
+/// Starts the live-telemetry consumers (`--serve`/`--live`) and, when
+/// the `SPINDLE_TELEMETRY_SINK` variable names a local sink (the serve
+/// daemon sets it for its children), the frame exporter. Strictly
+/// read-only over the metrics registry and writing only to
+/// stderr/sockets, so enabling them cannot change any computed result
+/// or experiment stdout. `phase` names the subcommand in `/status`.
+fn start_telemetry(
+    obs: &ObsArgs,
+    phase: &str,
+) -> Result<
+    (
+        Option<spindle_pulse::Session>,
+        Option<spindle_pulse::Exporter>,
+    ),
+    String,
+> {
+    let session = spindle_pulse::Session::start(
         spindle_obs::global(),
         obs.serve.as_ref().map(Option::as_deref),
         obs.live,
         0,
         phase,
-    )
+    )?;
+    // The exporter shares the session's status when one exists so
+    // progress frames mirror `/status`; an exporter-only run gets a
+    // private status that never registers the progress counter, which
+    // keeps the metrics registry byte-identical with telemetry off.
+    let status = session.as_ref().map_or_else(
+        || {
+            let s = Arc::new(spindle_pulse::RunStatus::new(0));
+            s.set_phase(phase);
+            s
+        },
+        |s| Arc::clone(&s.status),
+    );
+    let exporter = spindle_pulse::Exporter::from_env(spindle_obs::global(), status, phase);
+    Ok((session, exporter))
 }
 
 /// Writes `contents` to `path`, creating any missing parent
@@ -320,6 +345,14 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
     if obs.metrics.is_some() {
         METRICS_ENABLED.store(true, Ordering::Relaxed);
     }
+    // A telemetry sink in the environment (the serve daemon sets one
+    // for its children) needs the simulator observers attached, or the
+    // streamed snapshots would carry no disk counters. Registry-only,
+    // so stdout and every artifact stay byte-identical; without
+    // --metrics no dump is written either.
+    if std::env::var(spindle_obs::frame::SINK_ENV).is_ok_and(|v| !v.is_empty()) {
+        METRICS_ENABLED.store(true, Ordering::Relaxed);
+    }
     if obs.lenient {
         LENIENT_ENABLED.store(true, Ordering::Relaxed);
     }
@@ -347,10 +380,18 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         *TRACE_PATH.lock().expect("trace path lock") = Some(path.clone());
         rec
     });
-    let telemetry = start_telemetry(&obs, argv.first().map_or("idle", String::as_str))?;
+    let (telemetry, exporter) = start_telemetry(&obs, argv.first().map_or("idle", String::as_str))?;
     let result = dispatch_command(&argv);
+    // The session banks its final sample during finish(), so the
+    // exporter flushes after it: its window batches then carry the
+    // complete wheel (the daemon rebuilds its own wheel from snapshots
+    // either way).
+    let rollups = telemetry.as_ref().map(|t| Arc::clone(t.rollups()));
     if let Some(t) = telemetry {
         t.finish();
+    }
+    if let Some(e) = exporter {
+        e.finish(rollups.as_deref());
     }
     let result = result.and_then(|()| {
         if let Some(format) = obs.metrics {
@@ -511,18 +552,19 @@ fn serve_cmd(rest: &[String]) -> CmdResult {
 /// concurrent clients and reports latency/throughput/rejections.
 fn loadtest_cmd(rest: &[String]) -> CmdResult {
     const USAGE: &str =
-        "usage: spindle loadtest URL [--clients N] [--jobs M] [--span SECS] [--out FILE]";
+        "usage: spindle loadtest URL [--clients N] [--jobs M] [--span SECS] [--watch] [--out FILE]";
     let Some((url, rest)) = rest.split_first() else {
         return Err(USAGE.into());
     };
     if url.starts_with('-') {
         return Err(format!("loadtest needs the server URL first ({USAGE})").into());
     }
-    let opts = parse(rest, &[])?;
+    let opts = parse(rest, &["watch"])?;
     let mut config = spindle_serve::loadtest::LoadConfig::new(url);
     config.clients = opts.get_or("clients", config.clients)?;
     config.jobs = opts.get_or("jobs", config.jobs)?;
     config.span_secs = opts.get_or("span", config.span_secs)?;
+    config.watch = opts.flag("watch");
     if config.clients == 0 || config.jobs == 0 {
         return Err("loadtest needs --clients >= 1 and --jobs >= 1".into());
     }

@@ -21,6 +21,11 @@
 //! * [`exemplar`] — deterministic per-bucket histogram exemplars
 //!   ([`ExemplarStore`]) linking tail buckets back to concrete request
 //!   ids and flight-recorder slices.
+//! * [`frame`] — the cross-process telemetry frame protocol: a
+//!   compact, versioned, length-prefixed and checksummed binary codec
+//!   (snapshot deltas, rollup-window batches, progress/phase events,
+//!   log-tail events) with an incremental, hostile-input-safe decoder,
+//!   spoken between job children and the `spindle serve` daemon.
 //! * [`events`] — a fixed-capacity ring-buffer [`EventLog`] for
 //!   simulator-level events (request enqueue/dispatch/complete, cache
 //!   hit/miss, destage, idle begin/end), gated behind [`ObsConfig`].
@@ -76,6 +81,7 @@
 pub mod config;
 pub mod events;
 pub mod exemplar;
+pub mod frame;
 pub mod json;
 pub mod logger;
 pub mod prom;
@@ -89,6 +95,7 @@ pub mod trace_event;
 pub use config::ObsConfig;
 pub use events::{Event, EventKind, EventLog};
 pub use exemplar::{Exemplar, ExemplarHandle, ExemplarStore};
+pub use frame::{Frame, FrameDecoder, FrameError, WindowBatch};
 pub use logger::LogLevel;
 pub use prom::PromSink;
 pub use recorder::{FlightRecorder, SimSlice, WallSlice};

@@ -55,6 +55,25 @@ pub fn sanitize_name(name: &str) -> String {
     out
 }
 
+/// Sanitizes an untrusted string for use as a label *value* in the
+/// exposition this module's checker accepts: anything that could break
+/// the quoting or pair syntax — `"`, `\`, `,`, newlines, any control
+/// character — becomes `_`. The encoder never escapes, so the checker
+/// never guesses at escapes either; hostile inputs are neutralized at
+/// the source instead.
+#[must_use]
+pub fn label_value(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c == '"' || c == '\\' || c == ',' || c.is_control() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
 /// Splits an `engine.worker.<n>.<field>` counter name into its labeled
 /// Prometheus family (`engine_worker_<field>`) and the numeric worker
 /// index; `None` for every other name, which exports flat.
@@ -392,6 +411,22 @@ mod tests {
         assert!(check_exposition("# TYPE m counter\nm{w=bare} 1").is_err());
         assert!(check_exposition("# TYPE m counter\nm{} 1").is_err());
         assert!(check_exposition("# TYPE m counter\nm{worker=\"3\"} 1").is_ok());
+    }
+
+    #[test]
+    fn label_value_neutralizes_hostile_input() {
+        // Raw hostile values break the exposition...
+        for hostile in ["job\"-1", "a,b", "line\nbreak"] {
+            let raw = format!("# TYPE m gauge\nm{{job=\"{hostile}\"}} 1");
+            assert!(check_exposition(&raw).is_err(), "{raw}");
+            // ...the sanitized form always validates.
+            let safe = format!("# TYPE m gauge\nm{{job=\"{}\"}} 1", label_value(hostile));
+            check_exposition(&safe).expect("sanitized value validates");
+        }
+        // Backslashes would need escaping under the real format, so
+        // they are neutralized too; benign ids pass through untouched.
+        assert_eq!(label_value("x\\y"), "x_y");
+        assert_eq!(label_value("job-0042"), "job-0042");
         // One family must not be announced twice.
         assert!(check_exposition("# TYPE m counter\nm 1\n# TYPE m counter\nm 2").is_err());
     }

@@ -117,6 +117,38 @@ impl WindowAccum {
     }
 }
 
+/// The per-metric delta from `prev` (`None` means "everything is new",
+/// so the snapshot counts in full) to `snap`, as a mergeable
+/// accumulator: counter increments, latest gauge values, and histogram
+/// bucket deltas. This is exactly the arithmetic [`RollupSet::ingest_snapshot`]
+/// banks per tick, exposed so a cross-process ingester can compute the
+/// delta once and feed both a per-stream wheel and a fleet-wide wheel
+/// ([`RollupSet::ingest_accum`]) from the same numbers.
+#[must_use]
+pub fn snapshot_delta(prev: Option<&Snapshot>, snap: &Snapshot) -> WindowAccum {
+    let mut out = WindowAccum::default();
+    for (name, v) in &snap.counters {
+        let before = prev.and_then(|p| p.counter(name)).unwrap_or(0);
+        let delta = v.saturating_sub(before);
+        if delta > 0 {
+            out.counters.insert(name.clone(), delta);
+        }
+    }
+    for (name, v) in &snap.gauges {
+        out.gauges.insert(name.clone(), *v);
+    }
+    for (name, h) in &snap.histograms {
+        let delta = match prev.and_then(|p| p.histogram(name)) {
+            Some(before) => h.saturating_diff(before),
+            None => h.clone(),
+        };
+        if delta.count > 0 {
+            out.histograms.insert(name.clone(), delta);
+        }
+    }
+    out
+}
+
 /// One retained window: its index on the axis plus its deltas.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Window {
@@ -251,36 +283,31 @@ impl RollupSet {
         let mut inner = self.inner.lock().expect("rollup inner lock");
         inner.last_t_ns = inner.last_t_ns.max(t_ns);
         let prev = inner.prev.take();
+        let delta = snapshot_delta(prev.as_ref(), snap);
         let mut wheels = self.wheels.lock().expect("rollup wheels lock");
         for wheel in wheels.iter_mut() {
-            let win = wheel.window_for(t_ns);
-            for (name, v) in &snap.counters {
-                let before = prev.as_ref().and_then(|p| p.counter(name)).unwrap_or(0);
-                let delta = v.saturating_sub(before);
-                if delta > 0 {
-                    *win.counters.entry(name.clone()).or_insert(0) += delta;
-                }
-            }
-            for (name, v) in &snap.gauges {
-                win.gauges.insert(name.clone(), *v);
-            }
-            for (name, h) in &snap.histograms {
-                let delta = match prev.as_ref().and_then(|p| p.histogram(name)) {
-                    Some(before) => h.saturating_diff(before),
-                    None => h.clone(),
-                };
-                if delta.count > 0 {
-                    match win.histograms.get_mut(name) {
-                        Some(mine) => mine.merge_from(&delta),
-                        None => {
-                            win.histograms.insert(name.clone(), delta);
-                        }
-                    }
-                }
-            }
+            wheel.window_for(t_ns).merge_from(&delta);
         }
         drop(wheels);
         inner.prev = Some(snap.clone());
+    }
+
+    /// Banks a pre-computed delta accumulator at `t_ns` — the
+    /// cross-process merge path. A daemon reassembling per-job
+    /// telemetry streams computes each job's snapshot delta once (via
+    /// [`snapshot_delta`]) and feeds it here to maintain a fleet-wide
+    /// wheel: counters and histogram buckets add exactly, gauges keep
+    /// the newest value, so the fleet's lifetime totals equal the sum
+    /// of the per-job lifetime totals bucket for bucket.
+    pub fn ingest_accum(&self, t_ns: u64, delta: &WindowAccum) {
+        {
+            let mut inner = self.inner.lock().expect("rollup inner lock");
+            inner.last_t_ns = inner.last_t_ns.max(t_ns);
+        }
+        let mut wheels = self.wheels.lock().expect("rollup wheels lock");
+        for wheel in wheels.iter_mut() {
+            wheel.window_for(t_ns).merge_from(delta);
+        }
     }
 
     /// Banks one histogram observation (default power-of-two buckets)

@@ -1,0 +1,370 @@
+//! Child-side telemetry exporter: ships frames to a daemon sink.
+//!
+//! When a process starts with [`SINK_ENV`] (`SPINDLE_TELEMETRY_SINK`)
+//! in its environment — the `spindle serve` runner injects it for
+//! every job child, and a plain CLI run can set it by hand — an
+//! [`Exporter`] connects to the named `127.0.0.1` address and streams
+//! [`Frame`]s: a `Hello`, then registry snapshots on a fixed cadence
+//! interleaved with progress/phase events and log-tail lines, then a
+//! final flush (snapshot, progress, optional rollup-window batches)
+//! and a `Bye`.
+//!
+//! The exporter follows the same read-only discipline as the rest of
+//! the pulse crate: it never writes to stdout, never registers metrics
+//! of its own (so `--metrics`/`--timescales-out` artifacts stay
+//! byte-identical with the exporter on or off), and never fails the
+//! run — an unreachable sink is a one-line stderr warning, and a sink
+//! that stalls longer than the write timeout or disappears mid-run is
+//! dropped silently. Backpressure policy is therefore "the child never
+//! blocks": the daemon is responsible for draining its end promptly.
+
+use crate::status::RunStatus;
+use spindle_obs::frame::{Frame, WindowBatch, PROTOCOL_VERSION, SINK_ENV};
+use spindle_obs::{MetricsRegistry, RollupSet};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the exporter ships a registry snapshot (and checks for
+/// progress changes). Finer than the sampler's 250 ms so short jobs
+/// still produce a handful of frames.
+pub const EXPORT_CADENCE: Duration = Duration::from_millis(100);
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+#[derive(Debug)]
+struct Shared {
+    registry: &'static MetricsRegistry,
+    status: Arc<RunStatus>,
+    stream: Mutex<Option<TcpStream>>,
+    epoch: Instant,
+    stop: AtomicBool,
+    frames_sent: AtomicU64,
+    logs: Mutex<Vec<String>>,
+    last_progress: Mutex<(String, u64, u64)>,
+}
+
+impl Shared {
+    fn t_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Writes one frame; a failed or timed-out write drops the sink
+    /// for good (the child never blocks on a slow daemon).
+    fn send(&self, frame: &Frame) {
+        let mut guard = self.stream.lock().expect("exporter stream lock");
+        if let Some(stream) = guard.as_mut() {
+            if stream.write_all(&frame.encode()).is_ok() {
+                self.frames_sent.fetch_add(1, Ordering::Relaxed);
+            } else {
+                *guard = None;
+            }
+        }
+    }
+
+    /// One export tick: snapshot, any phase/progress change, queued
+    /// log lines.
+    fn tick(&self) {
+        let t_ns = self.t_ns();
+        self.send(&Frame::Snapshot {
+            t_ns,
+            snapshot: self.registry.snapshot(),
+        });
+        let (phase, completed, total) = (
+            self.status.phase(),
+            self.status.completed(),
+            self.status.total(),
+        );
+        {
+            let mut last = self.last_progress.lock().expect("exporter progress lock");
+            if *last != (phase.clone(), completed, total) {
+                *last = (phase.clone(), completed, total);
+                drop(last);
+                self.send(&Frame::Progress {
+                    t_ns,
+                    completed,
+                    total,
+                    phase,
+                });
+            }
+        }
+        let lines: Vec<String> = std::mem::take(&mut *self.logs.lock().expect("exporter log lock"));
+        for line in lines {
+            self.send(&Frame::Log { t_ns, line });
+        }
+    }
+}
+
+/// A live telemetry export to one sink address.
+///
+/// Dropping without [`Exporter::finish`] stops the thread but skips
+/// the final flush; the receiver sees a torn tail, which it must
+/// tolerate anyway (children can be killed).
+#[derive(Debug)]
+pub struct Exporter {
+    shared: Arc<Shared>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Exporter {
+    /// Starts an exporter when [`SINK_ENV`] names a sink, else `None`.
+    /// A sink that cannot be reached is a stderr warning, never an
+    /// error: telemetry must not fail the run.
+    #[must_use]
+    pub fn from_env(
+        registry: &'static MetricsRegistry,
+        status: Arc<RunStatus>,
+        label: &str,
+    ) -> Option<Exporter> {
+        let addr = std::env::var(SINK_ENV).ok().filter(|v| !v.is_empty())?;
+        match Exporter::start(&addr, registry, status, label) {
+            Ok(exporter) => Some(exporter),
+            Err(e) => {
+                eprintln!("# telemetry export to {addr} unavailable: {e}");
+                None
+            }
+        }
+    }
+
+    /// Connects to `addr` and starts the export thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the sink address does not resolve or accept.
+    pub fn start(
+        addr: &str,
+        registry: &'static MetricsRegistry,
+        status: Arc<RunStatus>,
+        label: &str,
+    ) -> std::io::Result<Exporter> {
+        let resolved: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let target = resolved.first().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "sink did not resolve")
+        })?;
+        let stream = TcpStream::connect_timeout(target, CONNECT_TIMEOUT)?;
+        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        stream.set_nodelay(true).ok();
+        let shared = Arc::new(Shared {
+            registry,
+            status,
+            stream: Mutex::new(Some(stream)),
+            epoch: Instant::now(),
+            stop: AtomicBool::new(false),
+            frames_sent: AtomicU64::new(0),
+            logs: Mutex::new(Vec::new()),
+            last_progress: Mutex::new((String::new(), 0, 0)),
+        });
+        shared.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            pid: std::process::id(),
+            label: label.to_owned(),
+        });
+        let worker = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("pulse-export".to_owned())
+            .spawn(move || {
+                while !worker.stop.load(Ordering::Acquire) {
+                    std::thread::park_timeout(EXPORT_CADENCE);
+                    if worker.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    worker.tick();
+                }
+            })
+            .expect("exporter thread spawns");
+        Ok(Exporter {
+            shared,
+            handle: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// Queues one log-tail line for the next tick.
+    pub fn log(&self, line: &str) {
+        let mut logs = self.shared.logs.lock().expect("exporter log lock");
+        logs.push(line.to_owned());
+    }
+
+    /// Whether the sink is still accepting frames.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.shared
+            .stream
+            .lock()
+            .expect("exporter stream lock")
+            .is_some()
+    }
+
+    /// Stops the export thread, then flushes a final snapshot and
+    /// progress event, the rollup wheel's window batches when the
+    /// front end kept one, and a `Bye`.
+    pub fn finish(self, rollups: Option<&RollupSet>) {
+        self.shared.stop.store(true, Ordering::Release);
+        let handle = self.handle.lock().expect("exporter handle lock").take();
+        if let Some(h) = handle {
+            h.thread().unpark();
+            let _ = h.join();
+        }
+        self.shared.tick();
+        let t_ns = self.shared.t_ns();
+        if let Some(rollups) = rollups {
+            let snap = rollups.snapshot();
+            for res in &snap.resolutions {
+                self.shared
+                    .send(&Frame::Windows(WindowBatch::from_resolution(
+                        snap.axis, res,
+                    )));
+            }
+        }
+        self.shared.send(&Frame::Bye {
+            t_ns,
+            frames_sent: self.shared.frames_sent.load(Ordering::Relaxed),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_obs::FrameDecoder;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn leaked_registry() -> &'static MetricsRegistry {
+        Box::leak(Box::default())
+    }
+
+    fn drain_frames(mut sock: TcpStream) -> Vec<Frame> {
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match sock.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => dec.push(&buf[..n]),
+            }
+            while let Some(f) = dec.next_frame().expect("exporter emits valid frames") {
+                frames.push(f);
+            }
+        }
+        assert_eq!(dec.buffered(), 0, "clean shutdown leaves no torn tail");
+        frames
+    }
+
+    #[test]
+    fn exports_hello_snapshots_progress_and_bye() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind sink");
+        let addr = listener.local_addr().expect("sink addr").to_string();
+        let registry = leaked_registry();
+        registry.counter("work.items").add(3);
+        let status = Arc::new(RunStatus::new(8));
+        status.set_phase("running");
+        let exporter =
+            Exporter::start(&addr, registry, Arc::clone(&status), "unit").expect("connect");
+        let (sock, _) = listener.accept().expect("exporter connects");
+        exporter.log("hello from the run");
+        status.complete_one();
+        status.complete_one();
+        std::thread::sleep(Duration::from_millis(250));
+        registry.counter("work.items").add(2);
+        let rollups = RollupSet::wall();
+        rollups.ingest_snapshot(1, &registry.snapshot());
+        exporter.finish(Some(&rollups));
+        let frames = drain_frames(sock);
+        assert!(
+            matches!(&frames[0], Frame::Hello { version, label, .. }
+                if *version == PROTOCOL_VERSION && label == "unit"),
+            "stream opens with hello: {:?}",
+            frames.first()
+        );
+        assert!(matches!(frames.last(), Some(Frame::Bye { .. })));
+        let snapshots: Vec<_> = frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Snapshot { snapshot, .. } => Some(snapshot),
+                _ => None,
+            })
+            .collect();
+        assert!(!snapshots.is_empty());
+        assert_eq!(
+            snapshots.last().and_then(|s| s.counter("work.items")),
+            Some(5),
+            "final flush carries the registry's last state"
+        );
+        let final_progress = frames
+            .iter()
+            .rev()
+            .find_map(|f| match f {
+                Frame::Progress {
+                    completed, total, ..
+                } => Some((*completed, *total)),
+                _ => None,
+            })
+            .expect("at least one progress frame");
+        assert_eq!(final_progress, (2, 8));
+        assert!(
+            frames
+                .iter()
+                .any(|f| matches!(f, Frame::Log { line, .. } if line == "hello from the run")),
+            "log-tail line shipped"
+        );
+        let batches: Vec<_> = frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Windows(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches.len(), 3, "one batch per wall resolution");
+        assert_eq!(
+            batches
+                .iter()
+                .find(|b| b.resolution == "run")
+                .expect("run batch")
+                .merged()
+                .counters["work.items"],
+            5
+        );
+    }
+
+    #[test]
+    fn absent_env_means_no_exporter() {
+        // The test runner never sets the sink env for this process.
+        if std::env::var(SINK_ENV).is_ok() {
+            return;
+        }
+        let status = Arc::new(RunStatus::new(0));
+        assert!(Exporter::from_env(leaked_registry(), status, "x").is_none());
+    }
+
+    #[test]
+    fn unreachable_sink_is_not_an_error_path_that_panics() {
+        let status = Arc::new(RunStatus::new(0));
+        // Port 1 on localhost is essentially never listening.
+        assert!(Exporter::start("127.0.0.1:1", leaked_registry(), status, "x").is_err());
+    }
+
+    #[test]
+    fn vanished_sink_never_stalls_or_panics_the_run() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind sink");
+        let addr = listener.local_addr().expect("sink addr").to_string();
+        let status = Arc::new(RunStatus::new(1));
+        let exporter = Exporter::start(&addr, leaked_registry(), Arc::clone(&status), "gone")
+            .expect("connect");
+        let (sock, _) = listener.accept().expect("exporter connects");
+        drop(sock);
+        drop(listener);
+        // Keep exporting into the closed socket until the failure is
+        // observed; writes go to a dead peer, which must simply drop
+        // the sink.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while exporter.is_connected() && Instant::now() < deadline {
+            status.complete_one();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        exporter.finish(None);
+    }
+}

@@ -27,6 +27,11 @@
 //!   of progress, throughput, ETA, worker lanes, hottest spans, and
 //!   `events.dropped`, degrading to plain line output when stderr is
 //!   not a TTY.
+//! * [`export`] — the child-side half of the cross-process telemetry
+//!   plane: when `SPINDLE_TELEMETRY_SINK` names a local sink address
+//!   (the `spindle serve` runner injects it for every job child), an
+//!   [`Exporter`] streams snapshot, progress, log-tail, and
+//!   rollup-window frames (`spindle_obs::frame`) to the daemon.
 //!
 //! Telemetry is strictly read-only over the metrics registry: enabling
 //! `--serve` or `--live` cannot change any computed result, and both
@@ -37,12 +42,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod export;
 pub mod http;
 pub mod live;
 pub mod sampler;
 pub mod server;
 pub mod status;
 
+pub use export::Exporter;
 pub use live::LiveDashboard;
 pub use sampler::{Sample, Sampler};
 pub use server::PulseServer;

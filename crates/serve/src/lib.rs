@@ -47,15 +47,17 @@ pub mod queue;
 mod runner;
 mod server;
 pub mod spec;
+mod telemetry;
 
 use crate::job::{Job, JobState, JobTable};
 use crate::journal::{Journal, JOURNAL_FILE};
 use crate::queue::{JobQueue, PushError};
 use crate::spec::{JobSpec, SpecError};
+use spindle_obs::json::Json;
 use spindle_obs::MetricsRegistry;
 use spindle_pulse::{RunStatus, Sampler};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Default bind address for the job service (one above the pulse
@@ -95,6 +97,14 @@ pub struct ServeConfig {
     /// The `experiments` binary for matrix jobs; `None` rejects
     /// matrix specs at admission.
     pub experiments_bin: Option<PathBuf>,
+    /// Capacity of each job's bounded event ring (the
+    /// `GET /jobs/ID/events` buffer). A consumer that falls behind
+    /// loses the oldest events, with the exact count reported in-band.
+    pub event_ring_cap: usize,
+    /// Runner heartbeat cadence in milliseconds: lifecycle events
+    /// pushed while a child runs, so even children that never speak
+    /// the telemetry protocol produce a live event stream.
+    pub heartbeat_ms: u64,
 }
 
 impl ServeConfig {
@@ -115,6 +125,8 @@ impl ServeConfig {
             resume: false,
             spindle_bin,
             experiments_bin,
+            event_ring_cap: telemetry::DEFAULT_EVENT_RING_CAP,
+            heartbeat_ms: telemetry::DEFAULT_HEARTBEAT_MS,
         }
     }
 }
@@ -150,6 +162,12 @@ pub(crate) struct Shared {
     pub status: Arc<RunStatus>,
     pub sampler: Arc<Sampler>,
     pub rollups: Arc<spindle_obs::RollupSet>,
+    /// Per-job telemetry: rebuilt rollup wheels, event rings, progress.
+    pub telemetry: telemetry::TelemetryMap,
+    /// The daemon-wide merged wheel every job's deltas bank into.
+    pub fleet: Arc<telemetry::Fleet>,
+    /// Live `GET /jobs/ID/events` streams (bounded; excess gets 503).
+    pub event_streams: AtomicUsize,
     /// EWMA of completed-job wall time in milliseconds (drives
     /// `Retry-After`); 0 until the first completion.
     ewma_ms: AtomicU64,
@@ -223,6 +241,10 @@ impl Shared {
             .expect("journal lock")
             .submitted(&id, &spec)?;
         self.table.insert(Job::new(id.clone(), spec));
+        // The event stream exists from `queued` on, so a watcher that
+        // connects before the runner claims the job misses nothing.
+        self.job_telemetry(&id)
+            .event("state", vec![("state", Json::Str("queued".to_owned()))]);
         match self.queue.push(id.clone()) {
             Ok(()) => {}
             Err(PushError::Full) => unreachable!("depth checked under the admission lock"),
@@ -252,6 +274,8 @@ impl Shared {
             None => {
                 job.readopted = true;
                 self.table.insert(job);
+                self.job_telemetry(&loaded.id)
+                    .event("state", vec![("state", Json::Str("queued".to_owned()))]);
                 self.queue
                     .push(loaded.id)
                     .expect("resume queue sized for every incomplete job");
@@ -270,6 +294,18 @@ impl Shared {
         secs: f64,
         error: Option<String>,
     ) {
+        // Terminal event first, table second: a watcher that observes
+        // the terminal state is guaranteed the `end` event is already
+        // in the ring, so the stream can close without losing it.
+        self.job_telemetry(id).event(
+            "end",
+            vec![
+                ("state", Json::Str(state.as_str().to_owned())),
+                ("exit", exit.map_or(Json::Null, |c| Json::Int(i64::from(c)))),
+                ("secs", Json::Num(secs)),
+                ("error", error.clone().map_or(Json::Null, Json::Str)),
+            ],
+        );
         self.table.update(id, |job| {
             job.state = state;
             job.exit = exit;
@@ -312,11 +348,22 @@ impl Shared {
         (backlog_ms.div_ceil(1000)).clamp(1, MAX_RETRY_AFTER_SECS)
     }
 
-    /// The server's ETA estimate for a running job (EWMA minus
-    /// elapsed), `None` before any completion fed the EWMA.
+    /// The job's telemetry record, created on first touch.
+    pub(crate) fn job_telemetry(&self, id: &str) -> Arc<telemetry::JobTelemetry> {
+        self.telemetry.ensure(id, self.config.event_ring_cap)
+    }
+
+    /// The server's ETA estimate for a running job. A job streaming
+    /// its own progress frames gets a first-person estimate — rate
+    /// over a steady sample window, the same clamp `/status` applies —
+    /// and only jobs with no telemetry fall back to the queue-wide
+    /// EWMA minus elapsed (`None` before any completion fed it).
     pub fn job_eta_secs(&self, job: &Job) -> Option<f64> {
         if job.state != JobState::Running {
             return None;
+        }
+        if let Some(eta) = self.telemetry.get(&job.id).and_then(|t| t.eta_secs()) {
+            return Some(eta);
         }
         let ewma = self.ewma_ms.load(Ordering::Relaxed);
         if ewma == 0 {
@@ -450,6 +497,9 @@ pub fn serve_with_registry(
         status,
         sampler,
         rollups,
+        telemetry: telemetry::TelemetryMap::default(),
+        fleet: Arc::new(telemetry::Fleet::new()),
+        event_streams: AtomicUsize::new(0),
         ewma_ms: AtomicU64::new(0),
         stop: AtomicBool::new(false),
         config,
@@ -507,6 +557,15 @@ mod tests {
         queue_bound: usize,
         parallel: usize,
     ) -> (ServeHandle, String, PathBuf) {
+        test_daemon_with(name, queue_bound, parallel, |_| {})
+    }
+
+    fn test_daemon_with(
+        name: &str,
+        queue_bound: usize,
+        parallel: usize,
+        tweak: impl FnOnce(&mut ServeConfig),
+    ) -> (ServeHandle, String, PathBuf) {
         let dir = std::env::temp_dir().join(format!("spindle-serve-{name}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
@@ -515,6 +574,7 @@ mod tests {
         config.parallel = parallel;
         config.spindle_bin = fake_bin(&dir);
         config.experiments_bin = None;
+        tweak(&mut config);
         let registry: &'static MetricsRegistry = Box::leak(Box::default());
         let handle = serve_with_registry(config, registry).expect("daemon starts");
         let addr = handle.local_addr().to_string();
@@ -786,6 +846,183 @@ mod tests {
         wait_for("blocker cancelled", || {
             job_state(&addr, &blocker_id) == "cancelled"
         });
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Reads an SSE stream off a raw socket until the `end` sentinel
+    /// (or `deadline`), returning the raw text.
+    fn read_sse(stream: &mut std::net::TcpStream, deadline: Instant) -> String {
+        use std::io::Read;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let mut raw = String::new();
+        let mut buf = [0u8; 4096];
+        while Instant::now() < deadline && !raw.contains("event: end") {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => raw.push_str(&String::from_utf8_lossy(&buf[..n])),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => break,
+            }
+        }
+        raw
+    }
+
+    #[test]
+    fn event_stream_bounds_memory_and_accounts_every_drop() {
+        // A tiny ring and a fast heartbeat force drops no matter how
+        // fast the watcher reads: more events are produced between
+        // stream polls than the ring retains.
+        let (handle, addr, dir) = test_daemon_with("events-drop", 4, 1, |c| {
+            c.event_ring_cap = 2;
+            c.heartbeat_ms = 1;
+        });
+        let r = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":2000,"seed":1}"#,
+        );
+        assert_eq!(r.status, 201, "{}", r.body);
+        let id = spindle_obs::json::parse(r.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        wait_for("blocker running", || job_state(&addr, &id) == "running");
+
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        {
+            use std::io::Write;
+            write!(stream, "GET /jobs/{id}/events HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        }
+        // Let heartbeats overflow the ring for a while, then cancel so
+        // the stream terminates.
+        std::thread::sleep(Duration::from_millis(1200));
+        request(&addr, "DELETE", &format!("/jobs/{id}"), None).unwrap();
+        let raw = read_sse(&mut stream, Instant::now() + Duration::from_secs(20));
+        assert!(raw.contains("event: end"), "stream must end:\n{raw}");
+
+        // Exact accounting: every produced event was either received
+        // or announced as dropped. Sequence ids are contiguous from 0,
+        // so produced == max_id + 1.
+        let ids: Vec<u64> = raw
+            .lines()
+            .filter_map(|l| l.strip_prefix("id: ")?.trim().parse().ok())
+            .collect();
+        let dropped: u64 = raw
+            .lines()
+            .filter_map(|l| {
+                l.strip_prefix("data: {\"dropped\":")?
+                    .trim_end_matches('}')
+                    .parse::<u64>()
+                    .ok()
+            })
+            .sum();
+        let max_id = *ids.iter().max().expect("events received");
+        assert!(dropped > 0, "tiny ring must have dropped:\n{raw}");
+        assert_eq!(
+            ids.len() as u64 + dropped,
+            max_id + 1,
+            "received + dropped == produced:\n{raw}"
+        );
+        // The stream carried real content: lifecycle + heartbeats +
+        // the terminal event.
+        assert!(raw.contains("\"type\":\"heartbeat\""), "{raw}");
+        assert!(raw.contains("\"type\":\"end\""), "{raw}");
+        assert!(raw.contains("\"state\":\"cancelled\""), "{raw}");
+        // The daemon counted exactly what this (sole) watcher lost.
+        let metrics = request(&addr, "GET", "/metrics", None).unwrap().body;
+        assert!(
+            metrics.contains(&format!("serve_events_dropped {dropped}")),
+            "counter must match in-band accounting ({dropped}):\n{metrics}"
+        );
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn job_metric_labels_exist_only_while_the_job_is_active() {
+        let (handle, addr, dir) = test_daemon("job-labels", 4, 1);
+        let idle = request(&addr, "GET", "/metrics", None).unwrap().body;
+        assert!(!idle.contains("serve_job_state{"), "{idle}");
+        spindle_obs::prom::check_exposition(&idle).expect("idle exposition");
+
+        let r = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":2000,"seed":1}"#,
+        );
+        let id = spindle_obs::json::parse(r.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        wait_for("blocker running", || job_state(&addr, &id) == "running");
+        let active = request(&addr, "GET", "/metrics", None).unwrap().body;
+        assert!(
+            active.contains(&format!(
+                "serve_job_state{{job=\"{id}\",state=\"running\"}} 1"
+            )),
+            "{active}"
+        );
+        assert!(
+            active.contains(&format!("serve_job_progress{{job=\"{id}\"}}")),
+            "{active}"
+        );
+        spindle_obs::prom::check_exposition(&active).expect("active exposition");
+
+        request(&addr, "DELETE", &format!("/jobs/{id}"), None).unwrap();
+        wait_for("cancelled", || job_state(&addr, &id) == "cancelled");
+        let after = request(&addr, "GET", "/metrics", None).unwrap().body;
+        assert!(
+            !after.contains("serve_job_state{"),
+            "terminal jobs must leave the exposition:\n{after}"
+        );
+        spindle_obs::prom::check_exposition(&after).expect("post-terminal exposition");
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timescale_endpoints_serve_job_and_fleet_documents() {
+        let (handle, addr, dir) = test_daemon("timescales", 4, 1);
+        let r = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":10,"seed":1}"#,
+        );
+        let id = spindle_obs::json::parse(r.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        wait_for("job done", || job_state(&addr, &id) == "done");
+
+        let r = request(&addr, "GET", &format!("/jobs/{id}/timescales"), None).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        let doc = spindle_obs::json::parse(r.body.trim()).unwrap();
+        assert_eq!(doc.get("id").and_then(Json::as_str), Some(id.as_str()));
+        assert_eq!(doc.get("state").and_then(Json::as_str), Some("done"));
+        // The fake job binary never speaks the frame protocol: zero
+        // frames, no torn stream, an empty (but well-formed) wheel.
+        assert_eq!(doc.get("frames").and_then(Json::as_u64), Some(0));
+        assert_eq!(doc.get("torn"), Some(&Json::Bool(false)));
+        let rollups = doc.get("rollups").expect("rollups document");
+        assert_eq!(rollups.get("axis").and_then(Json::as_str), Some("wall"));
+
+        let r = request(&addr, "GET", "/timescales", None).unwrap();
+        let doc = spindle_obs::json::parse(r.body.trim()).unwrap();
+        let fleet = doc.get("fleet").expect("fleet document");
+        assert_eq!(fleet.get("axis").and_then(Json::as_str), Some("wall"));
+
+        let missing = request(&addr, "GET", "/jobs/job-9999/timescales", None).unwrap();
+        assert_eq!(missing.status, 404);
         handle.stop();
         std::fs::remove_dir_all(&dir).ok();
     }

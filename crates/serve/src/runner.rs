@@ -1,9 +1,11 @@
 //! Job runners: N threads draining the queue into child processes.
 
 use crate::job::JobState;
+use crate::telemetry::Sink;
 use crate::Shared;
+use spindle_obs::json::Json;
 use std::process::{Command, Stdio};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -68,6 +70,9 @@ fn run_job(shared: &Shared, id: &str) {
         return;
     }
 
+    let tel = shared.job_telemetry(id);
+    tel.event("state", vec![("state", Json::Str("running".to_owned()))]);
+
     let dir = shared.job_dir(id);
     let program = if job.spec.uses_experiments() {
         shared
@@ -78,6 +83,11 @@ fn run_job(shared: &Shared, id: &str) {
     } else {
         shared.config.spindle_bin.clone()
     };
+    // Each child gets a private loopback telemetry sink; a child built
+    // on the pulse exporter connects back and streams progress, one
+    // that isn't just leaves the listener idle for the job's lifetime.
+    let sink = Sink::bind().ok();
+    let sink_addr = sink.as_ref().map(Sink::addr);
     let spawn = || -> Result<std::process::Child, String> {
         // Admission created this for locally-submitted jobs; a
         // re-adopted job from another daemon's journal may not have
@@ -88,8 +98,8 @@ fn run_job(shared: &Shared, id: &str) {
             .map_err(|e| format!("cannot create stdout capture: {e}"))?;
         let stderr = std::fs::File::create(dir.join("stderr.txt"))
             .map_err(|e| format!("cannot create stderr capture: {e}"))?;
-        Command::new(&program)
-            .args(job.spec.argv(&dir))
+        let mut cmd = Command::new(&program);
+        cmd.args(job.spec.argv(&dir))
             .stdin(Stdio::null())
             .stdout(Stdio::from(stdout))
             .stderr(Stdio::from(stderr))
@@ -98,7 +108,11 @@ fn run_job(shared: &Shared, id: &str) {
             .env_remove(spindle_harden::FAULTS_ENV)
             .env_remove(spindle_pulse::SERVE_ENV)
             .env_remove(spindle_pulse::LINGER_ENV)
-            .spawn()
+            .env_remove(spindle_obs::frame::SINK_ENV);
+        if let Some(addr) = &sink_addr {
+            cmd.env(spindle_obs::frame::SINK_ENV, addr);
+        }
+        cmd.spawn()
             .map_err(|e| format!("cannot spawn `{}`: {e}", program.display()))
     };
     let mut child = match spawn() {
@@ -114,7 +128,18 @@ fn run_job(shared: &Shared, id: &str) {
             return;
         }
     };
+    let child_done = Arc::new(AtomicBool::new(false));
+    let ingest = sink.map(|s| {
+        s.spawn_ingest(
+            Arc::clone(&tel),
+            Arc::clone(&shared.fleet),
+            shared.registry,
+            Arc::clone(&child_done),
+        )
+    });
 
+    let heartbeat = Duration::from_millis(shared.config.heartbeat_ms.max(1));
+    let mut last_beat = Instant::now();
     let (state, exit) = loop {
         if job.cancel.load(Ordering::Acquire) {
             let _ = child.kill();
@@ -133,7 +158,16 @@ fn run_job(shared: &Shared, id: &str) {
                 };
                 break (state, code);
             }
-            Ok(None) => std::thread::sleep(CHILD_POLL),
+            Ok(None) => {
+                if last_beat.elapsed() >= heartbeat {
+                    last_beat = Instant::now();
+                    tel.event(
+                        "heartbeat",
+                        vec![("elapsed_secs", Json::Num(started.elapsed().as_secs_f64()))],
+                    );
+                }
+                std::thread::sleep(CHILD_POLL);
+            }
             Err(_) => {
                 let _ = child.kill();
                 let _ = child.wait();
@@ -142,6 +176,12 @@ fn run_job(shared: &Shared, id: &str) {
         }
     };
     let secs = started.elapsed().as_secs_f64();
+    // Let ingest drain the child's final flush (the socket EOFs once
+    // the child is gone) before the terminal event is published.
+    child_done.store(true, Ordering::Release);
+    if let Some(handle) = ingest {
+        let _ = handle.join();
+    }
 
     // Promote the capture to its final name only now, so a crashed
     // daemon's leftover `stdout.partial` is never mistaken for a

@@ -16,9 +16,20 @@
 //! * `GET /jobs/ID/artifacts/NAME` — one artifact file.
 //! * `DELETE /jobs/ID` — cancel (queued → cancelled immediately,
 //!   running → cooperative kill, terminal → 409).
+//! * `GET /jobs/ID/events` — live Server-Sent Events: the job's
+//!   lifecycle, heartbeat, progress, and log-tail events as they
+//!   happen, ending with `event: end` once the job is terminal. Runs
+//!   on a dedicated thread (bounded count, 503 beyond it) so slow
+//!   watchers cannot starve the handler pool; a watcher that falls
+//!   behind the bounded ring gets `event: dropped` with the exact
+//!   count of what it missed.
+//! * `GET /jobs/ID/timescales` — the job's multi-resolution rollup
+//!   document rebuilt from its telemetry stream, plus the child's own
+//!   final window flush.
 //! * `GET /metrics`, `/healthz`, `/status`, `/timescales` — the same
 //!   telemetry surface the pulse endpoint serves, for the daemon
-//!   itself.
+//!   itself — plus per-active-job labeled series on `/metrics` and
+//!   the merged fleet wheel on `/timescales`.
 
 use crate::job::JobState;
 use crate::{Admission, Shared};
@@ -41,6 +52,16 @@ const POLL_INTERVAL: Duration = Duration::from_millis(10);
 
 /// Per-connection socket timeout.
 const CLIENT_TIMEOUT: Duration = Duration::from_millis(2000);
+
+/// Event-ring poll cadence for `GET /jobs/ID/events`.
+const EVENTS_POLL: Duration = Duration::from_millis(100);
+
+/// Write timeout on an event stream: a dead or wedged watcher is cut
+/// off rather than pinning its thread.
+const EVENTS_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Concurrent event streams; beyond this, `/jobs/ID/events` gets 503.
+const MAX_EVENT_STREAMS: usize = 8;
 
 const JSON_TYPE: &str = "application/json; charset=utf-8";
 const TEXT_TYPE: &str = "text/plain; charset=utf-8";
@@ -66,7 +87,7 @@ pub(crate) fn start(
     Ok((local, threads))
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     while !shared.stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -91,7 +112,7 @@ fn error_response(stream: &mut TcpStream, status: &str, message: &str) -> io::Re
     json_response(stream, status, &doc)
 }
 
-fn handle(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
+fn handle(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
     stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
     stream.set_nonblocking(false)?;
@@ -107,10 +128,23 @@ fn handle(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
         }
         Err(e) => return error_response(&mut stream, "400 Bad Request", &format!("{e}")),
     };
+    // Event streams live as long as the job runs; they move off the
+    // small handler pool onto dedicated (bounded) threads.
+    if request.method == "GET" {
+        if let Some(id) = request
+            .path
+            .strip_prefix("/jobs/")
+            .and_then(|rest| rest.strip_suffix("/events"))
+        {
+            if !id.is_empty() && !id.contains('/') {
+                return events(stream, shared, id);
+            }
+        }
+    }
     route(&mut stream, shared, &request)
 }
 
-fn route(stream: &mut TcpStream, shared: &Shared, request: &Request) -> io::Result<()> {
+fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request) -> io::Result<()> {
     let path = request.path.as_str();
     let method = request.method.as_str();
     match (method, path) {
@@ -125,6 +159,9 @@ fn route(stream: &mut TcpStream, shared: &Shared, request: &Request) -> io::Resu
         ("GET", "/timescales") => {
             let doc = Json::Obj(vec![
                 ("rollups".to_owned(), shared.rollups.to_json()),
+                // The merged fleet wheel: every job's lifetime totals,
+                // summed bucket-for-bucket.
+                ("fleet".to_owned(), shared.fleet.rollups.to_json()),
                 (
                     "exemplars".to_owned(),
                     shared.registry.exemplars().to_json(),
@@ -144,6 +181,7 @@ fn route(stream: &mut TcpStream, shared: &Shared, request: &Request) -> io::Resu
             ("GET", None) => job_detail(stream, shared, id),
             ("DELETE", None) => cancel(stream, shared, id),
             ("GET", Some("result")) => job_result(stream, shared, id),
+            ("GET", Some("timescales")) => job_timescales(stream, shared, id),
             ("GET", Some(tail)) if tail.strip_prefix("artifacts/").is_some() => {
                 let name = tail.strip_prefix("artifacts/").expect("guard");
                 artifact(stream, shared, id, name)
@@ -348,5 +386,153 @@ fn metrics(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
     if spindle_obs::prom::write_windowed(&mut appendix, &shared.rollups.snapshot()).is_ok() {
         body.push_str(&String::from_utf8_lossy(&appendix));
     }
+    body.push_str(&job_series(shared));
     respond(stream, "200 OK", spindle_obs::prom::CONTENT_TYPE, &body)
+}
+
+/// Per-job labeled series, *active jobs only*: cardinality is bounded
+/// by queue bound plus parallelism, and a job's series vanish from the
+/// exposition on the first scrape after it goes terminal.
+fn job_series(shared: &Shared) -> String {
+    use spindle_obs::prom::label_value;
+    use std::fmt::Write as _;
+    let jobs = shared.table.snapshot();
+    let active: Vec<_> = jobs.iter().filter(|j| !j.state.is_terminal()).collect();
+    if active.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str("# TYPE serve_job_state gauge\n");
+    for j in &active {
+        let _ = writeln!(
+            out,
+            "serve_job_state{{job=\"{}\",state=\"{}\"}} 1",
+            label_value(&j.id),
+            j.state.as_str()
+        );
+    }
+    let tels: Vec<_> = active
+        .iter()
+        .map(|j| (label_value(&j.id), shared.telemetry.get(&j.id)))
+        .collect();
+    out.push_str("# TYPE serve_job_progress gauge\n");
+    for (id, tel) in &tels {
+        let completed = tel.as_ref().map_or(0, |t| t.progress().1);
+        let _ = writeln!(out, "serve_job_progress{{job=\"{id}\"}} {completed}");
+    }
+    out.push_str("# TYPE serve_job_progress_total gauge\n");
+    for (id, tel) in &tels {
+        let total = tel.as_ref().map_or(0, |t| t.progress().2);
+        let _ = writeln!(out, "serve_job_progress_total{{job=\"{id}\"}} {total}");
+    }
+    out.push_str("# TYPE serve_job_telemetry_frames gauge\n");
+    for (id, tel) in &tels {
+        let frames = tel.as_ref().map_or(0, |t| t.frames.load(Ordering::Relaxed));
+        let _ = writeln!(out, "serve_job_telemetry_frames{{job=\"{id}\"}} {frames}");
+    }
+    out
+}
+
+fn job_timescales(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<()> {
+    let Some(job) = shared.table.get(id) else {
+        return error_response(stream, "404 Not Found", &format!("no such job `{id}`"));
+    };
+    let tel = shared.job_telemetry(id);
+    let doc = Json::Obj(vec![
+        ("id".to_owned(), Json::Str(id.to_owned())),
+        ("state".to_owned(), Json::Str(job.state.as_str().to_owned())),
+        (
+            "frames".to_owned(),
+            Json::Uint(tel.frames.load(Ordering::Relaxed)),
+        ),
+        (
+            "bytes".to_owned(),
+            Json::Uint(tel.bytes.load(Ordering::Relaxed)),
+        ),
+        (
+            "decode_errors".to_owned(),
+            Json::Uint(tel.decode_errors.load(Ordering::Relaxed)),
+        ),
+        (
+            "torn".to_owned(),
+            Json::Bool(tel.torn.load(Ordering::Relaxed)),
+        ),
+        ("rollups".to_owned(), tel.rollups_json()),
+        ("reported".to_owned(), tel.reported_json()),
+    ]);
+    json_response(stream, "200 OK", &doc)
+}
+
+/// `GET /jobs/ID/events`: takes the connection onto a dedicated
+/// thread and streams Server-Sent Events until the job is terminal
+/// (or the daemon stops, or the watcher goes away).
+fn events(mut stream: TcpStream, shared: &Arc<Shared>, id: &str) -> io::Result<()> {
+    if shared.table.get(id).is_none() {
+        return error_response(&mut stream, "404 Not Found", &format!("no such job `{id}`"));
+    }
+    if shared.event_streams.fetch_add(1, Ordering::AcqRel) >= MAX_EVENT_STREAMS {
+        shared.event_streams.fetch_sub(1, Ordering::AcqRel);
+        return error_response(
+            &mut stream,
+            "503 Service Unavailable",
+            "too many concurrent event streams",
+        );
+    }
+    let shared = Arc::clone(shared);
+    let id = id.to_owned();
+    let spawned = std::thread::Builder::new()
+        .name("serve-events".to_owned())
+        .spawn({
+            let shared = Arc::clone(&shared);
+            move || {
+                let _ = stream_events(&mut stream, &shared, &id);
+                shared.event_streams.fetch_sub(1, Ordering::AcqRel);
+            }
+        });
+    if let Err(e) = spawned {
+        shared.event_streams.fetch_sub(1, Ordering::AcqRel);
+        return Err(e);
+    }
+    Ok(())
+}
+
+fn stream_events(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<()> {
+    use std::io::Write;
+    stream.set_write_timeout(Some(EVENTS_WRITE_TIMEOUT))?;
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+          Cache-Control: no-cache\r\nConnection: close\r\n\r\n",
+    )?;
+    let tel = shared.job_telemetry(id);
+    let mut cursor = 0u64;
+    loop {
+        let (dropped, batch, next) = tel.events_since(cursor);
+        cursor = next;
+        if dropped > 0 {
+            // Exact loss accounting, in-band: for any watcher,
+            // received + dropped == events produced.
+            shared.registry.counter("serve.events.dropped").add(dropped);
+            stream.write_all(
+                format!("event: dropped\ndata: {{\"dropped\":{dropped}}}\n\n").as_bytes(),
+            )?;
+        }
+        for (seq, event) in &batch {
+            stream.write_all(format!("id: {seq}\ndata: {event}\n\n").as_bytes())?;
+        }
+        stream.flush()?;
+        if batch.is_empty() {
+            // The terminal `end` event is pushed before the table
+            // flips terminal, so "terminal and fully drained" means
+            // the watcher has seen it.
+            let terminal = shared.table.get(id).is_none_or(|j| j.state.is_terminal());
+            if terminal {
+                stream.write_all(b"event: end\ndata: {}\n\n")?;
+                return stream.flush();
+            }
+            if shared.stop.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            std::thread::sleep(EVENTS_POLL);
+        }
+    }
 }

@@ -1,0 +1,796 @@
+//! Daemon-side half of the cross-process telemetry plane.
+//!
+//! Every job child the runner spawns gets a private loopback sink
+//! address in [`SINK_ENV`](spindle_obs::frame::SINK_ENV); a child
+//! built on `spindle-pulse` connects back and streams
+//! [`Frame`](spindle_obs::frame::Frame)s — registry snapshots,
+//! progress, log-tail lines, and a final rollup-window flush. This
+//! module owns everything the daemon keeps per job:
+//!
+//! * [`JobTelemetry`] — a wall-axis [`RollupSet`] rebuilt from the
+//!   child's snapshots, a bounded [`EventRing`] feeding
+//!   `GET /jobs/ID/events`, progress state driving the job ETA, and
+//!   the child's own reported window batches.
+//! * [`Fleet`] — the daemon-wide merged wheel: every per-job snapshot
+//!   delta is banked into it as well, so the fleet's lifetime totals
+//!   equal the sum of the per-job totals bucket-for-bucket (the same
+//!   exact-merge invariant the in-process wheel keeps on eviction).
+//! * [`Sink`] — the per-job listener plus the ingest thread that
+//!   decodes the stream. Hostile bytes can never hurt the daemon: a
+//!   decode error is counted, noted on the event stream, and ends
+//!   ingest for that job (the framing has no resync point), nothing
+//!   more.
+//!
+//! Backpressure policy, receiver side: the event ring is bounded, and
+//! a consumer that falls behind loses the oldest events — never the
+//! newest — with the exact count of what it missed reported in-band.
+//! `received + dropped == produced` always holds, so a watcher can
+//! tell silence from loss.
+
+use spindle_obs::frame::{Frame, FrameDecoder, WindowBatch};
+use spindle_obs::json::Json;
+use spindle_obs::rollup::{snapshot_delta, WindowAccum};
+use spindle_obs::{MetricsRegistry, RollupSet, Snapshot};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default per-job event ring capacity ([`crate::ServeConfig`] can
+/// lower it; tests do, to force drops deterministically).
+pub(crate) const DEFAULT_EVENT_RING_CAP: usize = 256;
+
+/// Default runner heartbeat cadence in milliseconds: lifecycle events
+/// pushed while a child runs, so even a child that never speaks the
+/// frame protocol produces a live event stream.
+pub(crate) const DEFAULT_HEARTBEAT_MS: u64 = 250;
+
+/// Accept-poll interval on the per-job sink listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Read timeout on an accepted ingest stream (bounds how long the
+/// ingest thread takes to notice the child is gone).
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// How long ingest keeps draining after the child exited — the final
+/// flush races process death, and loopback delivery is fast.
+const DRAIN_GRACE: Duration = Duration::from_millis(2000);
+
+/// Progress samples required before the per-job ETA is published —
+/// the same steady-window clamp the `/status` rate estimator applies
+/// (`spindle_pulse::sampler::MIN_STEADY_SAMPLES`), so one early burst
+/// cannot fabricate a wildly optimistic ETA.
+const MIN_ETA_SAMPLES: usize = 4;
+
+/// Bounded progress-sample window per job.
+const ETA_SAMPLE_WINDOW: usize = 64;
+
+/// A bounded, sequence-numbered event buffer. Producers never block:
+/// when full, the oldest event is evicted and the gap stays visible as
+/// a sequence-number hole, so every consumer can compute exactly how
+/// many events it missed.
+pub(crate) struct EventRing {
+    cap: usize,
+    next_seq: u64,
+    events: VecDeque<(u64, String)>,
+}
+
+impl EventRing {
+    fn new(cap: usize) -> EventRing {
+        EventRing {
+            cap: cap.max(1),
+            next_seq: 0,
+            events: VecDeque::new(),
+        }
+    }
+
+    fn push(&mut self, rendered: String) {
+        self.events.push_back((self.next_seq, rendered));
+        self.next_seq += 1;
+        while self.events.len() > self.cap {
+            self.events.pop_front();
+        }
+    }
+
+    /// Everything at or after `cursor`, plus the exact count of events
+    /// in `[cursor, oldest_retained)` that were evicted before this
+    /// consumer saw them. The caller's next cursor is [`next_seq`].
+    ///
+    /// [`next_seq`]: EventRing::next_seq
+    fn since(&self, cursor: u64) -> (u64, Vec<(u64, String)>) {
+        let dropped = match self.events.front() {
+            Some(&(front, _)) if front > cursor => front - cursor,
+            Some(_) => 0,
+            None => self.next_seq.saturating_sub(cursor),
+        };
+        let out = self
+            .events
+            .iter()
+            .filter(|(seq, _)| *seq >= cursor)
+            .cloned()
+            .collect();
+        (dropped, out)
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("cap", &self.cap)
+            .field("next_seq", &self.next_seq)
+            .field("retained", &self.events.len())
+            .finish()
+    }
+}
+
+/// Progress reported by the job's own frames, with the sample window
+/// the ETA is derived from.
+#[derive(Default)]
+struct ProgressState {
+    phase: String,
+    completed: u64,
+    total: u64,
+    /// `(daemon seconds since telemetry epoch, completed)` samples.
+    samples: VecDeque<(f64, u64)>,
+}
+
+impl ProgressState {
+    /// Remaining work over the observed recent rate; `None` until the
+    /// steady window fills (or when the job reports no total).
+    fn eta_secs(&self) -> Option<f64> {
+        if self.total == 0 || self.completed >= self.total || self.samples.len() < MIN_ETA_SAMPLES {
+            return None;
+        }
+        let (t0, c0) = *self.samples.front()?;
+        let (t1, c1) = *self.samples.back()?;
+        let dt = t1 - t0;
+        let dc = c1.saturating_sub(c0);
+        if dt <= 0.0 || dc == 0 {
+            return None;
+        }
+        let rate = dc as f64 / dt;
+        Some((self.total - self.completed) as f64 / rate)
+    }
+}
+
+/// Everything the daemon holds for one job's telemetry.
+pub(crate) struct JobTelemetry {
+    epoch: Instant,
+    /// The job's wall-axis wheel, rebuilt from the child's snapshots.
+    rollups: RollupSet,
+    events: Mutex<EventRing>,
+    progress: Mutex<ProgressState>,
+    prev: Mutex<Option<Snapshot>>,
+    reported: Mutex<Vec<WindowBatch>>,
+    pub(crate) frames: AtomicU64,
+    pub(crate) bytes: AtomicU64,
+    pub(crate) decode_errors: AtomicU64,
+    pub(crate) torn: AtomicBool,
+    closed: AtomicBool,
+}
+
+impl JobTelemetry {
+    pub(crate) fn new(ring_cap: usize) -> JobTelemetry {
+        JobTelemetry {
+            epoch: Instant::now(),
+            rollups: RollupSet::wall(),
+            events: Mutex::new(EventRing::new(ring_cap)),
+            progress: Mutex::new(ProgressState::default()),
+            prev: Mutex::new(None),
+            reported: Mutex::new(Vec::new()),
+            frames: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+            torn: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    fn t_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Pushes one event: `{"type":KIND,"t_ms":...,FIELDS...}`.
+    pub(crate) fn event(&self, kind: &str, fields: Vec<(&'static str, Json)>) {
+        let mut members = vec![
+            ("type".to_owned(), Json::Str(kind.to_owned())),
+            ("t_ms".to_owned(), Json::Uint(self.t_ms())),
+        ];
+        members.extend(fields.into_iter().map(|(k, v)| (k.to_owned(), v)));
+        let rendered = Json::Obj(members).to_string();
+        self.events.lock().expect("event ring lock").push(rendered);
+    }
+
+    /// `(dropped, events, next_cursor)` for a consumer at `cursor`.
+    pub(crate) fn events_since(&self, cursor: u64) -> (u64, Vec<(u64, String)>, u64) {
+        let ring = self.events.lock().expect("event ring lock");
+        let (dropped, events) = ring.since(cursor);
+        (dropped, events, ring.next_seq())
+    }
+
+    /// `(phase, completed, total)` from the job's own frames.
+    pub(crate) fn progress(&self) -> (String, u64, u64) {
+        let p = self.progress.lock().expect("progress lock");
+        (p.phase.clone(), p.completed, p.total)
+    }
+
+    /// The job's own steady-window ETA (see [`ProgressState::eta_secs`]).
+    pub(crate) fn eta_secs(&self) -> Option<f64> {
+        self.progress.lock().expect("progress lock").eta_secs()
+    }
+
+    /// The rebuilt multi-resolution rollup document.
+    pub(crate) fn rollups_json(&self) -> Json {
+        self.rollups.to_json()
+    }
+
+    /// The child's own final window flush, one entry per resolution.
+    pub(crate) fn reported_json(&self) -> Json {
+        let batches = self.reported.lock().expect("reported lock");
+        Json::Arr(batches.iter().map(WindowBatch::to_json).collect())
+    }
+
+    /// Exact lifetime totals of the rebuilt wheel (the `run`
+    /// resolution's merge) — what the fleet-sum invariant is checked
+    /// against.
+    #[cfg(test)]
+    pub(crate) fn lifetime_totals(&self) -> WindowAccum {
+        self.rollups
+            .snapshot()
+            .resolution("run")
+            .map(|r| r.merged())
+            .unwrap_or_default()
+    }
+
+    /// Applies one decoded frame: snapshots bank into the job wheel
+    /// and the fleet wheel, progress/log frames become events, window
+    /// batches are kept verbatim.
+    pub(crate) fn apply_frame(&self, fleet: &Fleet, frame: Frame) {
+        match frame {
+            Frame::Hello { pid, label, .. } => {
+                self.event(
+                    "hello",
+                    vec![
+                        ("pid", Json::Uint(u64::from(pid))),
+                        ("label", Json::Str(label)),
+                    ],
+                );
+            }
+            Frame::Snapshot { t_ns, snapshot } => {
+                let delta = {
+                    let mut prev = self.prev.lock().expect("prev snapshot lock");
+                    let delta = snapshot_delta(prev.as_ref(), &snapshot);
+                    *prev = Some(snapshot);
+                    delta
+                };
+                // The same delta feeds both wheels, each on its own
+                // epoch: the job wheel keyed by the child's clock, the
+                // fleet wheel by the daemon's. Totals stay exact under
+                // window eviction on both sides.
+                self.rollups.ingest_accum(t_ns, &delta);
+                fleet.ingest(&delta);
+            }
+            Frame::Windows(batch) => {
+                self.reported.lock().expect("reported lock").push(batch);
+            }
+            Frame::Progress {
+                completed,
+                total,
+                phase,
+                ..
+            } => {
+                let now = self.epoch.elapsed().as_secs_f64();
+                {
+                    let mut p = self.progress.lock().expect("progress lock");
+                    p.phase.clone_from(&phase);
+                    p.completed = completed;
+                    p.total = total;
+                    p.samples.push_back((now, completed));
+                    while p.samples.len() > ETA_SAMPLE_WINDOW {
+                        p.samples.pop_front();
+                    }
+                }
+                self.event(
+                    "progress",
+                    vec![
+                        ("phase", Json::Str(phase)),
+                        ("completed", Json::Uint(completed)),
+                        ("total", Json::Uint(total)),
+                    ],
+                );
+            }
+            Frame::Log { line, .. } => {
+                self.event("log", vec![("line", Json::Str(line))]);
+            }
+            Frame::Bye { frames_sent, .. } => {
+                self.closed.store(true, Ordering::Release);
+                self.event("bye", vec![("frames", Json::Uint(frames_sent))]);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for JobTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobTelemetry")
+            .field("frames", &self.frames.load(Ordering::Relaxed))
+            .field("bytes", &self.bytes.load(Ordering::Relaxed))
+            .field("decode_errors", &self.decode_errors.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// The daemon-wide merged wheel: one wall-axis [`RollupSet`] every
+/// job's snapshot deltas are banked into, on the daemon's own epoch.
+pub(crate) struct Fleet {
+    pub(crate) rollups: RollupSet,
+    epoch: Instant,
+}
+
+impl Fleet {
+    pub(crate) fn new() -> Fleet {
+        Fleet {
+            rollups: RollupSet::wall(),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn t_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    pub(crate) fn ingest(&self, delta: &WindowAccum) {
+        self.rollups.ingest_accum(self.t_ns(), delta);
+    }
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet").finish_non_exhaustive()
+    }
+}
+
+/// The per-job telemetry table. Entries are created at admission (so
+/// the event stream exists from `queued` on) and live as long as the
+/// job record does.
+#[derive(Default, Debug)]
+pub(crate) struct TelemetryMap {
+    jobs: Mutex<BTreeMap<String, Arc<JobTelemetry>>>,
+}
+
+impl TelemetryMap {
+    pub(crate) fn ensure(&self, id: &str, ring_cap: usize) -> Arc<JobTelemetry> {
+        Arc::clone(
+            self.jobs
+                .lock()
+                .expect("telemetry map lock")
+                .entry(id.to_owned())
+                .or_insert_with(|| Arc::new(JobTelemetry::new(ring_cap))),
+        )
+    }
+
+    pub(crate) fn get(&self, id: &str) -> Option<Arc<JobTelemetry>> {
+        self.jobs
+            .lock()
+            .expect("telemetry map lock")
+            .get(id)
+            .cloned()
+    }
+}
+
+/// The per-job telemetry sink: a loopback listener whose address the
+/// runner hands the child via `SPINDLE_TELEMETRY_SINK`, plus the
+/// ingest thread that decodes whatever connects.
+pub(crate) struct Sink {
+    listener: TcpListener,
+    addr: std::net::SocketAddr,
+}
+
+impl Sink {
+    pub(crate) fn bind() -> std::io::Result<Sink> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Sink { listener, addr })
+    }
+
+    pub(crate) fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Accepts the child's single connection and ingests it to EOF.
+    /// `child_done` flips when the child process exits; the thread
+    /// stops waiting shortly after (children that never connect —
+    /// e.g. specs on binaries without the exporter — cost nothing).
+    pub(crate) fn spawn_ingest(
+        self,
+        tel: Arc<JobTelemetry>,
+        fleet: Arc<Fleet>,
+        registry: &'static MetricsRegistry,
+        child_done: Arc<AtomicBool>,
+    ) -> JoinHandle<()> {
+        std::thread::Builder::new()
+            .name("serve-ingest".to_owned())
+            .spawn(move || {
+                let mut done_polls = 0u32;
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _)) => {
+                            ingest_stream(stream, &tel, &fleet, registry, &child_done);
+                            return;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            if child_done.load(Ordering::Acquire) {
+                                // A connect that raced the exit lands
+                                // in the accept queue; two more polls
+                                // cover it.
+                                done_polls += 1;
+                                if done_polls > 2 {
+                                    return;
+                                }
+                            }
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => return,
+                    }
+                }
+            })
+            .expect("spawn ingest thread")
+    }
+}
+
+impl std::fmt::Debug for Sink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sink").field("addr", &self.addr).finish()
+    }
+}
+
+/// Decodes one child's frame stream to EOF. Never panics on hostile
+/// input: a decode error is counted, surfaced as a `telemetry-error`
+/// event, and ends ingest (length-prefixed framing has no resync
+/// point). A stream that ends without a clean `Bye` — a killed child,
+/// a torn final frame — is counted as torn.
+pub(crate) fn ingest_stream(
+    mut stream: TcpStream,
+    tel: &JobTelemetry,
+    fleet: &Fleet,
+    registry: &MetricsRegistry,
+    child_done: &AtomicBool,
+) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut done_since: Option<Instant> = None;
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                registry.counter("serve.telemetry.bytes").add(n as u64);
+                tel.bytes.fetch_add(n as u64, Ordering::Relaxed);
+                decoder.push(&buf[..n]);
+                loop {
+                    match decoder.next_frame() {
+                        Ok(Some(frame)) => {
+                            registry.counter("serve.telemetry.frames").inc();
+                            tel.frames.fetch_add(1, Ordering::Relaxed);
+                            tel.apply_frame(fleet, frame);
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            registry.counter("serve.telemetry.frame_errors").inc();
+                            tel.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            tel.event("telemetry-error", vec![("error", Json::Str(e.to_string()))]);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if child_done.load(Ordering::Acquire) {
+                    let since = done_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() > DRAIN_GRACE {
+                        break;
+                    }
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let clean = tel.closed.load(Ordering::Acquire) && decoder.buffered() == 0;
+    let spoke = tel.frames.load(Ordering::Relaxed) > 0 || decoder.buffered() > 0;
+    if spoke && !clean {
+        tel.torn.store(true, Ordering::Release);
+        registry.counter("serve.telemetry.torn_streams").inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_obs::registry::HistogramSnapshot;
+    use std::io::Write;
+
+    #[test]
+    fn event_ring_is_bounded_with_exact_drop_accounting() {
+        let mut ring = EventRing::new(8);
+        for i in 0..100 {
+            ring.push(format!("e{i}"));
+        }
+        assert_eq!(ring.events.len(), 8, "bounded at cap");
+        let (dropped, events) = ring.since(0);
+        assert_eq!(dropped, 92);
+        assert_eq!(events.len(), 8);
+        assert_eq!(events.first().unwrap().0, 92);
+        // The accounting invariant a consumer relies on:
+        // received + dropped == total produced.
+        assert_eq!(dropped + events.len() as u64, ring.next_seq());
+        // A caught-up consumer sees no drops and no events.
+        let (dropped, events) = ring.since(ring.next_seq());
+        assert_eq!((dropped, events.len()), (0, 0));
+    }
+
+    #[test]
+    fn incremental_consumer_never_sees_phantom_drops() {
+        let mut ring = EventRing::new(4);
+        let mut cursor = 0;
+        let mut received = 0u64;
+        let mut dropped_total = 0u64;
+        for round in 0..25 {
+            // Push fewer than cap per round; a consumer that keeps up
+            // loses nothing.
+            ring.push(format!("r{round}a"));
+            ring.push(format!("r{round}b"));
+            let (dropped, events) = ring.since(cursor);
+            assert_eq!(dropped, 0, "keeping up loses nothing");
+            received += events.len() as u64;
+            dropped_total += dropped;
+            cursor = ring.next_seq();
+        }
+        assert_eq!(received + dropped_total, ring.next_seq());
+    }
+
+    #[test]
+    fn eta_needs_a_steady_window_then_tracks_the_rate() {
+        let fleet = Fleet::new();
+        let tel = JobTelemetry::new(64);
+        // Fewer than MIN_ETA_SAMPLES progress frames: clamped to None,
+        // however fast the first burst looked.
+        for (i, completed) in (0..3).enumerate() {
+            tel.apply_frame(
+                &fleet,
+                Frame::Progress {
+                    t_ns: i as u64,
+                    completed,
+                    total: 100,
+                    phase: "running".to_owned(),
+                },
+            );
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        assert_eq!(tel.eta_secs(), None, "steady window not yet filled");
+        for completed in 3..8 {
+            tel.apply_frame(
+                &fleet,
+                Frame::Progress {
+                    t_ns: completed,
+                    completed,
+                    total: 100,
+                    phase: "running".to_owned(),
+                },
+            );
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        let eta = tel.eta_secs().expect("window filled");
+        assert!(eta > 0.0 && eta.is_finite(), "eta {eta}");
+        let (phase, completed, total) = tel.progress();
+        assert_eq!((phase.as_str(), completed, total), ("running", 7, 100));
+        // A finished job stops advertising an ETA.
+        tel.apply_frame(
+            &fleet,
+            Frame::Progress {
+                t_ns: 9,
+                completed: 100,
+                total: 100,
+                phase: "done".to_owned(),
+            },
+        );
+        assert_eq!(tel.eta_secs(), None, "complete means no ETA");
+    }
+
+    /// Drives raw bytes through a real socket into `ingest_stream`.
+    fn ingest_bytes(bytes: &[u8], tel: &JobTelemetry, registry: &MetricsRegistry) {
+        let fleet = Fleet::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload = bytes.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&payload).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let done = AtomicBool::new(true);
+        ingest_stream(stream, tel, &fleet, registry, &done);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn hostile_streams_never_panic_and_are_counted() {
+        let hello = Frame::Hello {
+            version: spindle_obs::frame::PROTOCOL_VERSION,
+            pid: 7,
+            label: "t".to_owned(),
+        }
+        .encode();
+
+        // Pure garbage: huge bogus length prefix -> one typed error.
+        let registry = MetricsRegistry::new();
+        let tel = JobTelemetry::new(16);
+        ingest_bytes(&[0xff; 64], &tel, &registry);
+        assert_eq!(tel.decode_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(tel.frames.load(Ordering::Relaxed), 0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.telemetry.frame_errors"), Some(1));
+
+        // A single flipped bit in a valid frame: checksum error, no
+        // frame delivered.
+        let registry = MetricsRegistry::new();
+        let tel = JobTelemetry::new(16);
+        let mut flipped = hello.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        ingest_bytes(&flipped, &tel, &registry);
+        assert_eq!(tel.decode_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(tel.frames.load(Ordering::Relaxed), 0);
+
+        // Version skew: typed error, counted, stream over.
+        let registry = MetricsRegistry::new();
+        let tel = JobTelemetry::new(16);
+        let future = Frame::Hello {
+            version: 99,
+            pid: 7,
+            label: "t".to_owned(),
+        }
+        .encode();
+        ingest_bytes(&future, &tel, &registry);
+        assert_eq!(tel.decode_errors.load(Ordering::Relaxed), 1);
+        let (_, events, _) = tel.events_since(0);
+        assert!(
+            events.iter().any(|(_, e)| e.contains("telemetry-error")),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn mid_stream_kill_is_torn_but_harmless() {
+        let registry = MetricsRegistry::new();
+        let tel = JobTelemetry::new(16);
+        let hello = Frame::Hello {
+            version: spindle_obs::frame::PROTOCOL_VERSION,
+            pid: 7,
+            label: "t".to_owned(),
+        }
+        .encode();
+        let progress = Frame::Progress {
+            t_ns: 1,
+            completed: 1,
+            total: 4,
+            phase: "running".to_owned(),
+        }
+        .encode();
+        // Hello, one progress frame, then the process dies mid-frame.
+        let mut wire = hello;
+        wire.extend_from_slice(&progress);
+        wire.extend_from_slice(&progress[..progress.len() / 2]);
+        ingest_bytes(&wire, &tel, &registry);
+        assert_eq!(tel.frames.load(Ordering::Relaxed), 2, "whole frames landed");
+        assert_eq!(tel.decode_errors.load(Ordering::Relaxed), 0);
+        assert!(tel.torn.load(Ordering::Relaxed), "no Bye + torn tail");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.telemetry.torn_streams"), Some(1));
+        // A clean stream (Bye, no tail) is not torn.
+        let registry = MetricsRegistry::new();
+        let tel = JobTelemetry::new(16);
+        let mut wire = Frame::Hello {
+            version: spindle_obs::frame::PROTOCOL_VERSION,
+            pid: 7,
+            label: "t".to_owned(),
+        }
+        .encode();
+        wire.extend_from_slice(
+            &Frame::Bye {
+                t_ns: 2,
+                frames_sent: 1,
+            }
+            .encode(),
+        );
+        ingest_bytes(&wire, &tel, &registry);
+        assert!(!tel.torn.load(Ordering::Relaxed));
+        assert_eq!(
+            registry.snapshot().counter("serve.telemetry.torn_streams"),
+            None
+        );
+    }
+
+    fn snapshot_frame(t_ns: u64, counters: &[(&str, u64)], hist: &[(&str, u64, u64)]) -> Frame {
+        let snapshot = Snapshot {
+            counters: counters
+                .iter()
+                .map(|(n, v)| ((*n).to_owned(), *v))
+                .collect(),
+            gauges: Vec::new(),
+            histograms: hist
+                .iter()
+                .map(|(n, count, value)| {
+                    let mut h = HistogramSnapshot::empty_with_bounds(vec![10, 100, 1000]);
+                    for _ in 0..*count {
+                        h.record(*value);
+                    }
+                    ((*n).to_owned(), h)
+                })
+                .collect(),
+            spans: Vec::new(),
+        };
+        Frame::Snapshot { t_ns, snapshot }
+    }
+
+    #[test]
+    fn fleet_totals_equal_the_sum_of_per_job_totals() {
+        let fleet = Fleet::new();
+        let jobs: Vec<JobTelemetry> = (0..3).map(|_| JobTelemetry::new(16)).collect();
+        // Each job ships cumulative snapshots; counters overlap across
+        // jobs and grow at different rates.
+        for (j, tel) in jobs.iter().enumerate() {
+            let j = j as u64 + 1;
+            for step in 1..=4u64 {
+                tel.apply_frame(
+                    &fleet,
+                    snapshot_frame(
+                        step * 1_000_000_000,
+                        &[
+                            ("disk.requests_completed", step * j * 10),
+                            ("disk.bytes_read", step * 512),
+                        ],
+                        &[("disk.response_us", step * j, 50)],
+                    ),
+                );
+            }
+        }
+        let fleet_total = fleet
+            .rollups
+            .snapshot()
+            .resolution("run")
+            .expect("run resolution")
+            .merged();
+        let mut summed = WindowAccum::default();
+        for tel in &jobs {
+            summed.merge_from(&tel.lifetime_totals());
+        }
+        assert_eq!(
+            fleet_total.counters, summed.counters,
+            "fleet counters are the exact sum of per-job counters"
+        );
+        let fleet_hist = &fleet_total.histograms["disk.response_us"];
+        let summed_hist = &summed.histograms["disk.response_us"];
+        assert_eq!(fleet_hist.count, summed_hist.count);
+        assert_eq!(fleet_hist.sum, summed_hist.sum);
+        assert_eq!(fleet_hist.buckets, summed_hist.buckets, "bucket-for-bucket");
+        // Sanity: the totals are what the arithmetic says.
+        assert_eq!(
+            fleet_total.counters["disk.requests_completed"],
+            4 * 10 + 4 * 20 + 4 * 30
+        );
+    }
+}

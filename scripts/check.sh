@@ -125,7 +125,7 @@ wait "$SERVE_PID" 2>/dev/null
 # machines vary wildly — so only a real blow-up trips it; the report
 # lands in artifacts/ for upload either way.
 run sh -c "$EXPERIMENTS --quick --jobs 2 --record=artifacts/BENCH_fresh.json --quiet > /dev/null"
-run "$SPINDLE" bench diff BENCH_pr5.json artifacts/BENCH_fresh.json \
+run "$SPINDLE" bench diff BENCH_pr8.json artifacts/BENCH_fresh.json \
     --threshold 300 --out artifacts/bench-diff.md
 
 # Fault-injection smoke: the robustness layer end to end, through the
@@ -256,6 +256,44 @@ else
         if ! grep -q '"drained":true' artifacts/loadtest.json; then
             echo "FAILED: loadtest report says the server never drained" >&2
             fail=1
+        fi
+
+        # 5. Telemetry plane: submit a matrix job, stream its SSE event
+        #    feed while it runs, and check the feed carried at least one
+        #    progress frame plus a terminal event that agrees with the
+        #    job's result document.
+        echo "==> telemetry plane smoke (/jobs/ID/events mid-run)"
+        MATRIX_ID=$(curl -s -X POST "http://$ADDR/jobs" \
+            -d '{"kind":"matrix","quick":true,"ids":["t2"],"jobs":2}' \
+            | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+        if [ -z "$MATRIX_ID" ]; then
+            echo "FAILED: matrix job submission returned no id" >&2
+            fail=1
+        else
+            curl -sN --max-time 120 "http://$ADDR/jobs/$MATRIX_ID/events" \
+                > artifacts/job-events.txt &
+            EVENTS_PID=$!
+            run poll_job_state "$MATRIX_ID" done
+            wait "$EVENTS_PID" 2>/dev/null
+            if ! grep -q '"type":"progress"' artifacts/job-events.txt; then
+                echo "FAILED: event stream carried no progress frame" >&2
+                fail=1
+            fi
+            if ! grep -q '"type":"end".*"state":"done"' artifacts/job-events.txt; then
+                echo "FAILED: event stream carried no terminal done event" >&2
+                fail=1
+            fi
+            run curl -sf "http://$ADDR/jobs/$MATRIX_ID/result" -o artifacts/job-result.json
+            if ! grep -q '"state":"done"' artifacts/job-result.json; then
+                echo "FAILED: event stream and result document disagree" >&2
+                fail=1
+            fi
+            run curl -sf "http://$ADDR/jobs/$MATRIX_ID/timescales" \
+                -o artifacts/job-timescales.json
+            if ! grep -q '"resolutions"' artifacts/job-timescales.json; then
+                echo "FAILED: per-job timescales carry no resolutions" >&2
+                fail=1
+            fi
         fi
     fi
     kill -9 "$JOBS_PID" 2>/dev/null

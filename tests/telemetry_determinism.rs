@@ -10,9 +10,10 @@
 //! exact-merge invariant means every resolution's merged histogram
 //! totals equal the registry's final histograms.
 
+use spindle_obs::frame::{Frame, FrameDecoder, SINK_ENV};
 use spindle_obs::json::{self, Json};
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Command, Output, Stdio};
 use std::time::Duration;
@@ -36,6 +37,7 @@ fn run(jobs: &str, trace: &std::path::Path, telemetry: bool) -> Output {
         .arg(trace)
         .args(["t2", "f5"])
         .env_remove("SPINDLE_FAULTS")
+        .env_remove(SINK_ENV)
         .env("SPINDLE_SERVE_LINGER_MS", "0");
     if telemetry {
         cmd.args(["--serve", "127.0.0.1:0", "--live", "--timescales-out"])
@@ -114,6 +116,266 @@ fn serve_and_live_change_no_bytes_at_any_jobs_count() {
             "sim-time tracks differ between --jobs 1 and --jobs {jobs}"
         );
     }
+}
+
+/// A frame sink for one child process: accepts the connection, decodes
+/// every frame, and returns the kinds seen in order.
+fn drain_sink(listener: TcpListener) -> std::thread::JoinHandle<Vec<&'static str>> {
+    std::thread::spawn(move || {
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        let mut stream = loop {
+            match listener.accept() {
+                Ok((s, _)) => break s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "child never connected"
+                    );
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("sink accept failed: {e}"),
+            }
+        };
+        stream.set_nonblocking(false).expect("blocking stream");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("read timeout");
+        let mut decoder = FrameDecoder::new();
+        let mut kinds = Vec::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    decoder.push(&buf[..n]);
+                    while let Some(frame) = decoder.next_frame().expect("well-formed frames") {
+                        kinds.push(match frame {
+                            Frame::Hello { .. } => "hello",
+                            Frame::Snapshot { .. } => "snapshot",
+                            Frame::Windows(_) => "windows",
+                            Frame::Progress { .. } => "progress",
+                            Frame::Log { .. } => "log",
+                            Frame::Bye { .. } => "bye",
+                        });
+                    }
+                }
+            }
+        }
+        kinds
+    })
+}
+
+#[test]
+fn frame_exporter_changes_no_bytes_at_any_jobs_count() {
+    let base_trace = scratch("exp-base.json");
+    let baseline = run("1", &base_trace, false);
+    let expected_stdout = baseline.stdout;
+    let expected_sim = sim_events(&base_trace);
+
+    for jobs in ["1", "2", "8"] {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind sink");
+        let addr = listener.local_addr().expect("sink addr").to_string();
+        let sink = drain_sink(listener);
+        let trace = scratch(&format!("exp-sink-{jobs}.json"));
+        let mut cmd = Command::new(bin());
+        cmd.args(["--quick", "--jobs", jobs, "--trace-out"])
+            .arg(&trace)
+            .args(["t2", "f5"])
+            .env_remove("SPINDLE_FAULTS")
+            .env("SPINDLE_SERVE_LINGER_MS", "0")
+            .env(SINK_ENV, &addr);
+        let out = cmd.output().expect("run experiments binary");
+        assert!(
+            out.status.success(),
+            "experiments --jobs {jobs} with sink failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            out.stdout, expected_stdout,
+            "stdout differs with the frame exporter on at --jobs {jobs}"
+        );
+        assert_eq!(
+            sim_events(&trace),
+            expected_sim,
+            "sim-time tracks differ with the frame exporter on at --jobs {jobs}"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            !stderr.contains("telemetry export"),
+            "exporter failed to reach the sink:\n{stderr}"
+        );
+        // The protocol actually ran: session open, at least one
+        // metrics snapshot, and a clean goodbye.
+        let kinds = sink.join().expect("sink thread");
+        assert_eq!(kinds.first(), Some(&"hello"), "{kinds:?}");
+        assert_eq!(kinds.last(), Some(&"bye"), "{kinds:?}");
+        assert!(kinds.contains(&"snapshot"), "{kinds:?}");
+    }
+}
+
+/// One HTTP request against a serve daemon; returns the status line
+/// and the body.
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to serve daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let status = head.lines().next().unwrap_or("").to_owned();
+    (status, body.to_owned())
+}
+
+/// The `run` (lifetime) resolution of a rollup document.
+fn run_resolution(rollups: &Json) -> &Json {
+    let Some(Json::Arr(resolutions)) = rollups.get("resolutions") else {
+        panic!("rollup document lacks resolutions: {rollups}");
+    };
+    resolutions
+        .iter()
+        .find(|r| r.get("name").and_then(Json::as_str) == Some("run"))
+        .expect("run resolution present")
+}
+
+/// The stable families of one merged rollup window: `disk.*` and
+/// `matrix.*` counters plus `disk.*` histogram count/sum totals.
+/// Wall-clock-shaped series (spans, engine worker timings, percentile
+/// estimates) honestly differ run to run and are excluded.
+fn stable_totals(merged: &Json) -> Vec<(String, u64)> {
+    let mut totals = Vec::new();
+    if let Some(Json::Obj(counters)) = merged.get("counters") {
+        for (name, v) in counters {
+            if name.starts_with("disk.") || name.starts_with("matrix.") {
+                totals.push((name.clone(), v.as_u64().expect("counter value")));
+            }
+        }
+    }
+    if let Some(Json::Obj(histograms)) = merged.get("histograms") {
+        for (name, h) in histograms {
+            if !name.starts_with("disk.") {
+                continue;
+            }
+            let count = h.get("count").and_then(Json::as_u64).expect("count");
+            let sum = h.get("sum").and_then(Json::as_u64).expect("sum");
+            totals.push((format!("{name}#count"), count));
+            totals.push((format!("{name}#sum"), sum));
+        }
+    }
+    totals.sort();
+    totals
+}
+
+#[test]
+fn served_job_timescales_match_cli_rollup_totals() {
+    // Reference: the same matrix run through the plain CLI path, with
+    // --metrics attaching the simulator observers and --timescales-out
+    // banking the lifetime totals.
+    let reference = scratch("served-ref.timescales.json");
+    let out = Command::new(bin())
+        .args(["--quick", "--jobs", "2", "--metrics", "--timescales-out"])
+        .arg(&reference)
+        .arg("t2")
+        .env_remove("SPINDLE_FAULTS")
+        .env_remove(SINK_ENV)
+        .env("SPINDLE_SERVE_LINGER_MS", "0")
+        .output()
+        .expect("run reference experiments");
+    assert!(
+        out.status.success(),
+        "reference run failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let ref_doc = json::parse(
+        std::fs::read_to_string(&reference)
+            .expect("reference timescales written")
+            .trim(),
+    )
+    .expect("reference timescales parses");
+    let expected = stable_totals(run_resolution(&ref_doc).get("merged").expect("merged"));
+    assert!(
+        expected
+            .iter()
+            .any(|(name, v)| name.starts_with("disk.") && *v > 0),
+        "reference run produced no disk totals: {expected:?}"
+    );
+
+    // Served: the identical spec as a daemon job; the child streams
+    // its registry over the telemetry sink and the daemon rebuilds the
+    // rollup wheel from the snapshot deltas.
+    let dir = scratch("served-jobs");
+    let mut config = spindle_serve::ServeConfig::new("127.0.0.1:0", &dir);
+    config.experiments_bin = Some(PathBuf::from(bin()));
+    let handle = spindle_serve::serve(config).expect("daemon starts");
+    let addr = handle.local_addr().to_string();
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(r#"{"kind":"matrix","quick":true,"ids":["t2"],"jobs":2}"#),
+    );
+    assert!(status.contains("201"), "{status}: {body}");
+    let id = json::parse(&body)
+        .expect("submission parses")
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("job id")
+        .to_owned();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = http(&addr, "GET", &format!("/jobs/{id}"), None);
+        assert!(status.contains("200"), "{status}: {body}");
+        let state = json::parse(&body)
+            .expect("job doc parses")
+            .get("state")
+            .and_then(Json::as_str)
+            .expect("state")
+            .to_owned();
+        match state.as_str() {
+            "done" => break,
+            "queued" | "running" => {
+                assert!(std::time::Instant::now() < deadline, "job never finished");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            other => panic!("job ended {other}: {body}"),
+        }
+    }
+
+    let (status, body) = http(&addr, "GET", &format!("/jobs/{id}/timescales"), None);
+    assert!(status.contains("200"), "{status}: {body}");
+    let doc = json::parse(&body).expect("timescales doc parses");
+    assert!(
+        doc.get("frames").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "the child never streamed a frame: {body}"
+    );
+    assert_eq!(
+        doc.get("torn").map(Json::to_string).as_deref(),
+        Some("false"),
+        "{body}"
+    );
+    let got = stable_totals(
+        run_resolution(doc.get("rollups").expect("rollups"))
+            .get("merged")
+            .expect("merged"),
+    );
+    assert_eq!(
+        got, expected,
+        "served lifetime totals differ from the CLI rollup export"
+    );
+    handle.stop();
 }
 
 /// One blocking HTTP GET against the embedded server; returns the body
