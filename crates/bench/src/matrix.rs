@@ -153,6 +153,7 @@ pub fn run_matrix_isolated(
         ids.to_vec(),
         |ordinal, id| {
             spindle_harden::maybe_task_panic(ordinal);
+            spindle_harden::maybe_task_hang(ordinal);
             let start = std::time::Instant::now();
             let output = run_one(&id, cfg);
             MatrixResult {

@@ -65,8 +65,14 @@ USAGE:
                    [--out FILE]
   spindle serve    [ADDR] [--queue-bound N] [--parallel N]
                    [--dir DIR | --resume-dir DIR]
+                   [--default-deadline SECS] [--max-deadline SECS]
+                   [--stall-timeout SECS] [--max-retries N]
+                   [--retry-base-ms MS] [--breaker-cooldown SECS]
+                   [--drain-timeout SECS]
   spindle loadtest URL [--clients N] [--jobs M] [--span SECS]
                    [--watch] [--out FILE]
+  spindle chaos    URL [--seed N] [--daemon-pid PID] [--input FILE]
+                   [--out FILE]
   spindle help
 
 Global options (accepted before or after any command):
@@ -116,6 +122,28 @@ answers 429 with a Retry-After hint. Jobs and their artifacts live
 under --dir (default spindle-jobs); restarting with --resume-dir DIR
 re-adopts the journal's incomplete jobs. ADDR defaults to
 127.0.0.1:9185; port 0 picks a free port (printed to stderr).
+
+Serve jobs are supervised: a job may carry `deadline_secs` (clamped
+to --max-deadline; --default-deadline applies when the spec is
+silent) and is killed with state `timed_out` when it overruns; a
+child that stops streaming telemetry for --stall-timeout seconds
+(0 disables) is killed as `stalled`. Kills and signal deaths retry
+up to --max-retries times with exponential backoff (seeded jitter
+over --retry-base-ms); a spec that fails every attempt lands in
+`quarantined` and identical resubmissions are fast-rejected (409)
+until --breaker-cooldown expires. SIGTERM drains gracefully: new
+submissions get 503 + Retry-After, running jobs get --drain-timeout
+seconds to finish, and unfinished work is left journaled for the
+next --resume-dir restart.
+
+`spindle chaos` runs a seeded fault campaign against a serve daemon:
+scripted kill/hang/stall/io faults drive jobs through the retry,
+deadline, stall, and poison paths, then the harness checks that
+every admitted job reached exactly one terminal state the journal
+explains. With --daemon-pid it also SIGTERMs the daemon and verifies
+the drain contract; --input FILE enables the io-fault scenario
+(an analyze job over that trace); --out also writes the report as
+JSON. Any failed scenario or invariant makes the exit non-zero.
 
 `spindle loadtest` hammers a running serve daemon: --clients
 concurrent submitters race through --jobs total submissions (here
@@ -434,6 +462,7 @@ fn dispatch_command(argv: &[String]) -> CmdResult {
         "bench" => bench(rest),
         "serve" => serve_cmd(rest),
         "loadtest" => loadtest_cmd(rest),
+        "chaos" => chaos_cmd(rest),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())
@@ -506,11 +535,45 @@ fn bench_diff(rest: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// SIGTERM latch for the serve daemon's graceful drain. The handler
+/// only stores an atomic flag (async-signal-safe); the serve loop
+/// polls it. Lives here rather than in spindle-serve because that
+/// crate forbids unsafe code and signal installation needs an FFI
+/// call.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub(crate) fn received() -> bool {
+        TERM.load(Ordering::Acquire)
+    }
+}
+
 /// `spindle serve [ADDR]`: the simulation-as-a-service daemon. Runs
-/// until killed; jobs execute as child `spindle` processes.
+/// until SIGTERM (graceful drain) or SIGKILL; jobs execute as child
+/// `spindle` processes.
 fn serve_cmd(rest: &[String]) -> CmdResult {
     const USAGE: &str = "usage: spindle serve [ADDR] [--queue-bound N] [--parallel N] \
-                         [--dir DIR | --resume-dir DIR]";
+                         [--dir DIR | --resume-dir DIR] [--default-deadline SECS] \
+                         [--max-deadline SECS] [--stall-timeout SECS] [--max-retries N] \
+                         [--retry-base-ms MS] [--breaker-cooldown SECS] [--drain-timeout SECS]";
     // One optional leading positional: the bind address.
     let (addr, rest) = match rest.first() {
         Some(first) if looks_like_addr(first) => (first.clone(), &rest[1..]),
@@ -541,11 +604,83 @@ fn serve_cmd(rest: &[String]) -> CmdResult {
     config.queue_bound = queue_bound;
     config.parallel = parallel;
     config.resume = resume;
+    // Supervision knobs. A deadline of 0 means "no default"; a stall
+    // timeout of 0 disables the liveness watchdog entirely.
+    let default_deadline: u64 = opts.get_or("default-deadline", 0)?;
+    config.default_deadline_secs = (default_deadline > 0).then_some(default_deadline);
+    config.max_deadline_secs =
+        opts.get_or("max-deadline", spindle_serve::DEFAULT_MAX_DEADLINE_SECS)?;
+    if config.max_deadline_secs == 0 {
+        return Err("bad value for --max-deadline: needs at least 1".into());
+    }
+    let stall: u64 = opts.get_or("stall-timeout", spindle_serve::DEFAULT_STALL_TIMEOUT_SECS)?;
+    config.stall_timeout_secs = (stall > 0).then_some(stall);
+    config.max_retries = opts.get_or("max-retries", spindle_serve::DEFAULT_MAX_RETRIES)?;
+    config.retry_base_ms = opts.get_or("retry-base-ms", spindle_serve::DEFAULT_RETRY_BASE_MS)?;
+    if config.retry_base_ms == 0 {
+        return Err("bad value for --retry-base-ms: needs at least 1".into());
+    }
+    config.breaker_cooldown_secs = opts.get_or(
+        "breaker-cooldown",
+        spindle_serve::DEFAULT_BREAKER_COOLDOWN_SECS,
+    )?;
+    let drain_timeout: u64 = opts.get_or("drain-timeout", 30)?;
     let handle = spindle_serve::serve(config)?;
     // The announce line mirrors the pulse server's, so scripts can
     // scrape the bound address when port 0 was requested.
     eprintln!("# serving jobs on http://{}", handle.local_addr());
-    handle.park()
+    #[cfg(unix)]
+    {
+        sigterm::install();
+        while !sigterm::received() {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        eprintln!("# SIGTERM: draining (up to {drain_timeout}s for running jobs)");
+        handle.drain(std::time::Duration::from_secs(drain_timeout));
+        eprintln!("# drained; unfinished work is journaled for --resume-dir");
+        Ok(())
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = drain_timeout;
+        handle.park()
+    }
+}
+
+/// `spindle chaos URL`: seeded fault campaign against a running serve
+/// daemon; exits non-zero when a scenario or the terminal-state
+/// invariant fails.
+fn chaos_cmd(rest: &[String]) -> CmdResult {
+    const USAGE: &str =
+        "usage: spindle chaos URL [--seed N] [--daemon-pid PID] [--input FILE] [--out FILE]";
+    let Some((url, rest)) = rest.split_first() else {
+        return Err(USAGE.into());
+    };
+    if url.starts_with('-') {
+        return Err(format!("chaos needs the server URL first ({USAGE})").into());
+    }
+    let opts = parse(rest, &[])?;
+    let mut config = spindle_serve::chaos::ChaosConfig::new(url);
+    config.seed = opts.get_or("seed", config.seed)?;
+    if let Some(pid) = opts.get("daemon-pid") {
+        config.daemon_pid = Some(
+            pid.parse()
+                .map_err(|_| format!("bad value for --daemon-pid: `{pid}` (needs a PID)"))?,
+        );
+    }
+    config.input = opts.get("input").map(str::to_owned);
+    let report = spindle_serve::chaos::run(&config)?;
+    println!("{}", report.render());
+    // The report is written even when the campaign fails, so CI can
+    // upload it as an artifact alongside the red build.
+    if let Some(path) = opts.get("out") {
+        write_output_file(path, &format!("{}\n", report.to_json()))?;
+        progress!("wrote chaos report to {path}");
+    }
+    if !report.ok() {
+        return Err("chaos campaign failed (see the scenario report above)".into());
+    }
+    Ok(())
 }
 
 /// `spindle loadtest URL`: drives a running serve daemon with
@@ -1551,6 +1686,24 @@ mod tests {
         assert!(!html.contains("<script"));
         assert!(dispatch(&argv(&["report"])).is_err(), "--in is required");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chaos_usage_errors() {
+        assert!(dispatch(&argv(&["chaos"])).is_err());
+        assert!(dispatch(&argv(&["chaos", "--seed", "1"])).is_err());
+        let err = dispatch(&argv(&["chaos", "127.0.0.1:9", "--daemon-pid", "x"])).unwrap_err();
+        assert!(err.to_string().contains("--daemon-pid"), "{err}");
+        // An unreachable daemon fails the preflight, not a scenario.
+        let err = dispatch(&argv(&["chaos", "127.0.0.1:9"])).unwrap_err();
+        assert!(err.to_string().contains("cannot reach"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_supervision_flags() {
+        assert!(dispatch(&argv(&["serve", "--max-deadline", "0"])).is_err());
+        assert!(dispatch(&argv(&["serve", "--retry-base-ms", "0"])).is_err());
+        assert!(dispatch(&argv(&["serve", "--max-retries", "lots"])).is_err());
     }
 
     #[test]

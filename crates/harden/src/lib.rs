@@ -49,6 +49,8 @@ pub const FAULTS_ENV: &str = "SPINDLE_FAULTS";
 /// | `media`   | simulator request id       | `spindle-disk` `DiskSim`    |
 /// | `timeout` | simulator request id       | `spindle-disk` `DiskSim`    |
 /// | `kill`    | journaled-record ordinal   | bench `--resume` journal    |
+/// | `hang`    | task ordinal               | bench matrix / engine pool  |
+/// | `stall`   | exporter tick ordinal      | `spindle-pulse` exporter    |
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     seed: u64,
@@ -58,6 +60,8 @@ pub struct FaultPlan {
     media_errors: BTreeSet<u64>,
     timeouts: BTreeSet<u64>,
     kills: BTreeSet<u64>,
+    hangs: BTreeSet<u64>,
+    stalls: BTreeSet<u64>,
 }
 
 /// SplitMix64 finalizer; the same mixer the engine uses for shard
@@ -78,7 +82,7 @@ impl FaultPlan {
     /// `KIND%COUNT/DOMAIN` (COUNT distinct sites drawn from
     /// `[0, DOMAIN)` using the plan seed). `seed@S` sets the scatter
     /// seed and may appear anywhere in the spec. Kinds: `panic`, `io`,
-    /// `short`, `media`, `timeout`, `kill`.
+    /// `short`, `media`, `timeout`, `kill`, `hang`, `stall`.
     ///
     /// # Errors
     ///
@@ -144,6 +148,8 @@ impl FaultPlan {
             "media" => Some(&mut self.media_errors),
             "timeout" => Some(&mut self.timeouts),
             "kill" => Some(&mut self.kills),
+            "hang" => Some(&mut self.hangs),
+            "stall" => Some(&mut self.stalls),
             _ => None,
         }
     }
@@ -157,6 +163,8 @@ impl FaultPlan {
             && self.media_errors.is_empty()
             && self.timeouts.is_empty()
             && self.kills.is_empty()
+            && self.hangs.is_empty()
+            && self.stalls.is_empty()
     }
 
     /// Canonical explicit spec — scattered sites are rendered as the
@@ -171,6 +179,8 @@ impl FaultPlan {
             ("media", &self.media_errors),
             ("timeout", &self.timeouts),
             ("kill", &self.kills),
+            ("hang", &self.hangs),
+            ("stall", &self.stalls),
         ] {
             out.extend(set.iter().map(|s| format!("{kind}@{s}")));
         }
@@ -219,6 +229,21 @@ impl FaultPlan {
     pub fn timeouts(&self) -> &BTreeSet<u64> {
         &self.timeouts
     }
+
+    /// Should the task at `ordinal` hang forever (until killed)?
+    #[must_use]
+    pub fn hang_at(&self, ordinal: usize) -> bool {
+        self.hangs.contains(&(ordinal as u64))
+    }
+
+    /// Should the telemetry exporter fall permanently silent once its
+    /// tick counter reaches `tick`? Simulates a live child whose
+    /// telemetry stream wedges — the serve watchdog's stall detector
+    /// is the consumer.
+    #[must_use]
+    pub fn stall_at(&self, tick: u64) -> bool {
+        self.stalls.iter().any(|&s| s <= tick)
+    }
 }
 
 fn kind_stream(kind: &str) -> Option<u64> {
@@ -229,6 +254,8 @@ fn kind_stream(kind: &str) -> Option<u64> {
         "media" => Some(4),
         "timeout" => Some(5),
         "kill" => Some(6),
+        "hang" => Some(7),
+        "stall" => Some(8),
         _ => None,
     }
 }
@@ -306,6 +333,21 @@ pub fn maybe_task_panic(ordinal: usize) {
     }
 }
 
+/// Hangs forever iff the installed plan injects a hang at `ordinal`.
+///
+/// The sleep never returns; the process stays alive (and, under the
+/// serve daemon, keeps emitting telemetry frames) until a supervisor
+/// kills it — exactly the hung-child shape deadlines exist for.
+pub fn maybe_task_hang(ordinal: usize) {
+    if let Some(plan) = installed() {
+        if plan.hang_at(ordinal) {
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +364,19 @@ mod tests {
         assert!(plan.kill_after(1));
         assert!(!plan.is_empty());
         assert!(plan.has_reader_faults());
+    }
+
+    #[test]
+    fn hang_and_stall_sites_parse_and_round_trip() {
+        let plan = FaultPlan::parse("hang@2,stall@5").unwrap();
+        assert!(plan.hang_at(2));
+        assert!(!plan.hang_at(1));
+        assert!(!plan.stall_at(4), "stall fires at its tick ordinal");
+        assert!(plan.stall_at(5));
+        assert!(plan.stall_at(99), "stall is permanent once reached");
+        assert!(!plan.is_empty());
+        let replay = FaultPlan::parse(&plan.spec()).unwrap();
+        assert_eq!(plan, replay);
     }
 
     #[test]

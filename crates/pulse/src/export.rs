@@ -44,6 +44,8 @@ struct Shared {
     epoch: Instant,
     stop: AtomicBool,
     frames_sent: AtomicU64,
+    ticks: AtomicU64,
+    silenced: AtomicBool,
     logs: Mutex<Vec<String>>,
     last_progress: Mutex<(String, u64, u64)>,
 }
@@ -56,6 +58,9 @@ impl Shared {
     /// Writes one frame; a failed or timed-out write drops the sink
     /// for good (the child never blocks on a slow daemon).
     fn send(&self, frame: &Frame) {
+        if self.silenced.load(Ordering::Acquire) {
+            return;
+        }
         let mut guard = self.stream.lock().expect("exporter stream lock");
         if let Some(stream) = guard.as_mut() {
             if stream.write_all(&frame.encode()).is_ok() {
@@ -69,6 +74,17 @@ impl Shared {
     /// One export tick: snapshot, any phase/progress change, queued
     /// log lines.
     fn tick(&self) {
+        // An installed `stall@N` fault wedges the telemetry stream once
+        // the tick counter reaches N: the socket stays open and the run
+        // keeps going, but no further frame is ever written — the shape
+        // the serve watchdog's liveness detector exists to catch.
+        let tick = self.ticks.fetch_add(1, Ordering::Relaxed);
+        if let Some(plan) = spindle_harden::installed() {
+            if plan.stall_at(tick) {
+                self.silenced.store(true, Ordering::Release);
+                return;
+            }
+        }
         let t_ns = self.t_ns();
         self.send(&Frame::Snapshot {
             t_ns,
@@ -155,6 +171,8 @@ impl Exporter {
             epoch: Instant::now(),
             stop: AtomicBool::new(false),
             frames_sent: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+            silenced: AtomicBool::new(false),
             logs: Mutex::new(Vec::new()),
             last_progress: Mutex::new((String::new(), 0, 0)),
         });
@@ -237,6 +255,15 @@ mod tests {
         Box::leak(Box::default())
     }
 
+    /// The fault-plan slot is process-global, so every test that runs
+    /// an exporter serializes on this lock — otherwise a concurrently
+    /// installed `stall@` plan would silence an unrelated exporter.
+    fn plan_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn drain_frames(mut sock: TcpStream) -> Vec<Frame> {
         let mut dec = FrameDecoder::new();
         let mut frames = Vec::new();
@@ -256,6 +283,7 @@ mod tests {
 
     #[test]
     fn exports_hello_snapshots_progress_and_bye() {
+        let _serial = plan_guard();
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind sink");
         let addr = listener.local_addr().expect("sink addr").to_string();
         let registry = leaked_registry();
@@ -348,7 +376,44 @@ mod tests {
     }
 
     #[test]
+    fn stall_fault_silences_the_stream_without_closing_it() {
+        let _serial = plan_guard();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind sink");
+        let addr = listener.local_addr().expect("sink addr").to_string();
+        let status = Arc::new(RunStatus::new(4));
+        spindle_harden::install(Arc::new(
+            spindle_harden::FaultPlan::parse("stall@0").expect("valid plan"),
+        ));
+        let exporter = Exporter::start(&addr, leaked_registry(), Arc::clone(&status), "wedged")
+            .expect("connect");
+        let (mut sock, _) = listener.accept().expect("exporter connects");
+        // Give the export thread several cadences to (not) speak.
+        std::thread::sleep(Duration::from_millis(400));
+        exporter.finish(None);
+        spindle_harden::uninstall();
+        sock.set_read_timeout(Some(Duration::from_secs(2))).ok();
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match sock.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => dec.push(&buf[..n]),
+            }
+            while let Some(f) = dec.next_frame().expect("valid frames") {
+                frames.push(f);
+            }
+        }
+        // Only the pre-tick Hello escapes; the wedge swallows every
+        // later frame including the final Bye — a torn stream, exactly
+        // what the serve stall detector keys on.
+        assert_eq!(frames.len(), 1, "only hello before the wedge: {frames:?}");
+        assert!(matches!(&frames[0], Frame::Hello { label, .. } if label == "wedged"));
+    }
+
+    #[test]
     fn vanished_sink_never_stalls_or_panics_the_run() {
+        let _serial = plan_guard();
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind sink");
         let addr = listener.local_addr().expect("sink addr").to_string();
         let status = Arc::new(RunStatus::new(1));

@@ -2,14 +2,14 @@
 
 use crate::spec::JobSpec;
 use spindle_obs::json::Json;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A job's lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
-    /// Accepted, waiting for a runner.
+    /// Accepted, waiting for a runner (including retry backoff).
     Queued,
     /// A runner is executing it.
     Running,
@@ -19,6 +19,13 @@ pub enum JobState {
     Failed,
     /// Cancelled before or during execution.
     Cancelled,
+    /// Killed by the watchdog for exceeding its deadline.
+    TimedOut,
+    /// Killed by the watchdog for telemetry silence, retries exhausted.
+    Stalled,
+    /// Exhausted every retry on transient-looking failures; the spec's
+    /// fingerprint trips the poison circuit breaker.
+    Quarantined,
 }
 
 impl JobState {
@@ -31,6 +38,9 @@ impl JobState {
             JobState::Done => "done",
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
+            JobState::TimedOut => "timed_out",
+            JobState::Stalled => "stalled",
+            JobState::Quarantined => "quarantined",
         }
     }
 
@@ -43,6 +53,9 @@ impl JobState {
             "done" => Some(JobState::Done),
             "failed" => Some(JobState::Failed),
             "cancelled" => Some(JobState::Cancelled),
+            "timed_out" => Some(JobState::TimedOut),
+            "stalled" => Some(JobState::Stalled),
+            "quarantined" => Some(JobState::Quarantined),
             _ => None,
         }
     }
@@ -50,11 +63,57 @@ impl JobState {
     /// Whether the state is final.
     #[must_use]
     pub fn is_terminal(self) -> bool {
-        matches!(
-            self,
-            JobState::Done | JobState::Failed | JobState::Cancelled
-        )
+        !matches!(self, JobState::Queued | JobState::Running)
     }
+}
+
+/// Why a running child is being killed. The watchdog, the cancel
+/// endpoint, and drain all *request* a kill by setting the job's flag;
+/// the runner — sole owner of the `Child` — performs it and maps the
+/// reason to an outcome. First reason wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillReason {
+    /// `DELETE /jobs/ID`.
+    Cancel,
+    /// `deadline_secs` exceeded.
+    Deadline,
+    /// No telemetry frame for `--stall-timeout` seconds.
+    Stall,
+    /// Graceful drain gave up waiting.
+    Drain,
+}
+
+impl KillReason {
+    const fn as_u8(self) -> u8 {
+        match self {
+            KillReason::Cancel => 1,
+            KillReason::Deadline => 2,
+            KillReason::Stall => 3,
+            KillReason::Drain => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<KillReason> {
+        match v {
+            1 => Some(KillReason::Cancel),
+            2 => Some(KillReason::Deadline),
+            3 => Some(KillReason::Stall),
+            4 => Some(KillReason::Drain),
+            _ => None,
+        }
+    }
+}
+
+/// The verdict of an atomic cancel request against the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelVerdict {
+    /// No such job.
+    NotFound,
+    /// Already terminal — cancelling is a conflict, and the runner is
+    /// guaranteed not to touch the (possibly completed) artifacts.
+    Terminal(JobState),
+    /// Kill requested; the runner or watchdog will finish the job.
+    Requested,
 }
 
 /// One job's record.
@@ -66,9 +125,10 @@ pub struct Job {
     pub spec: JobSpec,
     /// Current lifecycle state.
     pub state: JobState,
-    /// Cooperative-cancel flag; the runner polls it while the child
-    /// runs and kills the child when set.
-    pub cancel: Arc<AtomicBool>,
+    /// Pending kill request (0 = none, else a [`KillReason`]); the
+    /// runner polls it while the child runs and kills the child when
+    /// set.
+    pub kill: Arc<AtomicU8>,
     /// Child exit code, for terminal states (None when signalled or
     /// cancelled before start).
     pub exit: Option<i32>,
@@ -81,6 +141,11 @@ pub struct Job {
     /// Whether this record was re-adopted from a previous daemon's
     /// journal rather than submitted to this process.
     pub readopted: bool,
+    /// Retries consumed so far (0 on the first attempt).
+    pub attempt: u32,
+    /// Effective deadline (spec value or daemon default, clamped by
+    /// `--max-deadline`), enforced per attempt by the watchdog.
+    pub deadline_secs: Option<u64>,
 }
 
 impl Job {
@@ -91,21 +156,41 @@ impl Job {
             id,
             spec,
             state: JobState::Queued,
-            cancel: Arc::new(AtomicBool::new(false)),
+            kill: Arc::new(AtomicU8::new(0)),
             exit: None,
             secs: None,
             error: None,
             started: None,
             readopted: false,
+            attempt: 0,
+            deadline_secs: None,
         }
+    }
+
+    /// Requests a kill; `false` when another reason already won.
+    pub fn request_kill(&self, reason: KillReason) -> bool {
+        self.kill
+            .compare_exchange(0, reason.as_u8(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// The pending kill reason, if any.
+    #[must_use]
+    pub fn kill_reason(&self) -> Option<KillReason> {
+        KillReason::from_u8(self.kill.load(Ordering::Acquire))
+    }
+
+    /// Clears a served kill request (between retry attempts).
+    pub fn clear_kill(&self) {
+        self.kill.store(0, Ordering::Release);
     }
 
     /// The job as a JSON summary. `eta_secs` is the server's estimate
     /// for a running job (None renders as null).
     #[must_use]
     pub fn to_json(&self, eta_secs: Option<f64>) -> Json {
-        let cancelling = self.state == JobState::Running
-            && self.cancel.load(std::sync::atomic::Ordering::Relaxed);
+        let cancelling =
+            self.state == JobState::Running && self.kill_reason() == Some(KillReason::Cancel);
         let state = if cancelling {
             "cancelling".to_owned()
         } else {
@@ -139,6 +224,7 @@ impl Job {
                     .map_or(Json::Null, |e| Json::Str(e.clone())),
             ),
             ("readopted".to_owned(), Json::Bool(self.readopted)),
+            ("attempt".to_owned(), Json::Uint(u64::from(self.attempt))),
         ])
     }
 }
@@ -181,6 +267,23 @@ impl JobTable {
                 true
             }
             None => false,
+        }
+    }
+
+    /// Atomically checks terminality and requests a cancel kill under
+    /// the table lock, so a cancel racing the runner's terminal flip
+    /// (which also happens under this lock) gets a clean verdict: the
+    /// flag can never be set *after* the record went terminal.
+    #[must_use]
+    pub fn request_cancel(&self, id: &str) -> CancelVerdict {
+        let inner = self.inner.lock().expect("job table lock");
+        match inner.iter().find(|j| j.id == id) {
+            None => CancelVerdict::NotFound,
+            Some(job) if job.state.is_terminal() => CancelVerdict::Terminal(job.state),
+            Some(job) => {
+                let _ = job.request_kill(KillReason::Cancel);
+                CancelVerdict::Requested
+            }
         }
     }
 
@@ -232,11 +335,12 @@ mod tests {
         let mut job = Job::new("job-0001".to_owned(), spec());
         job.state = JobState::Running;
         job.started = Some(Instant::now());
-        job.cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(job.request_kill(KillReason::Cancel));
         let doc = job.to_json(Some(2.5));
         assert_eq!(doc.get("state").and_then(Json::as_str), Some("cancelling"));
         assert!(doc.get("secs").and_then(Json::as_f64).is_some());
         assert_eq!(doc.get("eta_secs").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(doc.get("attempt").and_then(Json::as_u64), Some(0));
 
         job.state = JobState::Failed;
         job.exit = Some(101);
@@ -248,7 +352,32 @@ mod tests {
         assert_eq!(doc.get("error").and_then(Json::as_str), Some("boom"));
         // Terminal states parse back through the journal vocabulary.
         assert_eq!(JobState::parse("failed"), Some(JobState::Failed));
+        assert_eq!(JobState::parse("timed_out"), Some(JobState::TimedOut));
+        assert_eq!(JobState::parse("stalled"), Some(JobState::Stalled));
+        assert_eq!(JobState::parse("quarantined"), Some(JobState::Quarantined));
         assert!(JobState::Failed.is_terminal());
+        assert!(JobState::TimedOut.is_terminal());
+        assert!(JobState::Quarantined.is_terminal());
         assert!(!JobState::Running.is_terminal());
+    }
+
+    #[test]
+    fn kill_requests_are_first_reason_wins_and_cancel_is_atomic() {
+        let table = JobTable::new();
+        table.insert(Job::new("job-0001".to_owned(), spec()));
+        let job = table.get("job-0001").unwrap();
+        assert!(job.request_kill(KillReason::Deadline));
+        assert!(!job.request_kill(KillReason::Cancel), "first reason wins");
+        assert_eq!(job.kill_reason(), Some(KillReason::Deadline));
+        job.clear_kill();
+        assert_eq!(job.kill_reason(), None);
+
+        assert_eq!(table.request_cancel("nope"), CancelVerdict::NotFound);
+        assert_eq!(table.request_cancel("job-0001"), CancelVerdict::Requested);
+        assert!(table.update("job-0001", |j| j.state = JobState::Done));
+        assert_eq!(
+            table.request_cancel("job-0001"),
+            CancelVerdict::Terminal(JobState::Done)
+        );
     }
 }

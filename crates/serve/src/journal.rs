@@ -1,13 +1,15 @@
 //! Crash-recovery journal for the job service.
 //!
 //! The daemon appends one fsynced JSON line per lifecycle event:
-//! `submitted` when a job is admitted (carrying the full spec) and
+//! `submitted` when a job is admitted (carrying the full spec),
+//! `attempt` when supervision re-enqueues it after a transient
+//! failure (carrying the retry ordinal, reason, and backoff), and
 //! `finished` when it reaches a terminal state. A daemon killed
 //! mid-job therefore leaves a journal whose `submitted`-without-
 //! `finished` entries are exactly the jobs that still owe work; a
 //! restart with `--resume-dir` re-adopts them (re-enqueues, in the
-//! original submit order) and replays terminal entries into the job
-//! table as history.
+//! original submit order, with their retry budget already spent)
+//! and replays terminal entries into the job table as history.
 //!
 //! Same damage policy as the bench checkpoint journal: a torn *final*
 //! line (what SIGKILL mid-write leaves) is ignored, damage before the
@@ -33,6 +35,8 @@ pub struct LoadedJob {
     pub id: String,
     /// The spec it was admitted with.
     pub spec: JobSpec,
+    /// Retries the job had consumed (highest journaled `attempt`).
+    pub attempts: u32,
     /// Terminal outcome, `None` for jobs still owing work.
     pub finished: Option<Finished>,
 }
@@ -106,6 +110,31 @@ impl Journal {
         ]);
         self.write_line(&format!("{doc}\n"))
             .map_err(|e| format!("cannot journal submission of `{id}`: {e}"))
+    }
+
+    /// Journals a retry: the job is back in the queue for attempt
+    /// number `attempt` (1-based count of retries consumed), after
+    /// `backoff_ms` of delay, because of `reason`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/sync failures.
+    pub fn attempt(
+        &mut self,
+        id: &str,
+        attempt: u32,
+        reason: &str,
+        backoff_ms: u64,
+    ) -> Result<(), String> {
+        let doc = Json::Obj(vec![
+            ("event".to_owned(), Json::Str("attempt".to_owned())),
+            ("id".to_owned(), Json::Str(id.to_owned())),
+            ("attempt".to_owned(), Json::Uint(u64::from(attempt))),
+            ("reason".to_owned(), Json::Str(reason.to_owned())),
+            ("backoff_ms".to_owned(), Json::Uint(backoff_ms)),
+        ]);
+        self.write_line(&format!("{doc}\n"))
+            .map_err(|e| format!("cannot journal retry of `{id}`: {e}"))
     }
 
     /// Journals a terminal outcome.
@@ -189,9 +218,19 @@ pub fn load(path: &Path) -> Result<Vec<LoadedJob>, String> {
                 }
                 jobs.push(LoadedJob {
                     id,
-                    spec,
+                    spec: *spec,
+                    attempts: 0,
                     finished: None,
                 });
+            }
+            Event::Attempt(id, attempt) => {
+                let Some(job) = jobs.iter_mut().find(|j| j.id == id) else {
+                    return Err(format!(
+                        "journal `{}` line {line_no}: job `{id}` retried but never submitted",
+                        path.display()
+                    ));
+                };
+                job.attempts = job.attempts.max(attempt);
             }
             Event::Finished(id, finished) => {
                 let Some(job) = jobs.iter_mut().find(|j| j.id == id) else {
@@ -209,7 +248,8 @@ pub fn load(path: &Path) -> Result<Vec<LoadedJob>, String> {
 }
 
 enum Event {
-    Submitted(String, JobSpec),
+    Submitted(String, Box<JobSpec>),
+    Attempt(String, u32),
     Finished(String, Finished),
 }
 
@@ -218,7 +258,11 @@ fn parse_event(doc: &Json) -> Option<Event> {
     match doc.get("event")?.as_str()? {
         "submitted" => {
             let spec = JobSpec::from_json(doc.get("spec")?).ok()?;
-            Some(Event::Submitted(id, spec))
+            Some(Event::Submitted(id, Box::new(spec)))
+        }
+        "attempt" => {
+            let attempt = u32::try_from(doc.get("attempt")?.as_u64()?).ok()?;
+            Some(Event::Attempt(id, attempt))
         }
         "finished" => {
             let state = JobState::parse(doc.get("state")?.as_str()?)?;
@@ -311,6 +355,51 @@ mod tests {
         std::fs::write(&path, &text).unwrap();
         let err = load(&path).unwrap_err();
         assert!(err.contains("damaged"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn attempt_records_replay_and_tolerate_a_torn_tail() {
+        let dir =
+            std::env::temp_dir().join(format!("serve-journal-attempt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(JOURNAL_FILE);
+        let mut journal = Journal::create(&path).unwrap();
+        journal.submitted("job-0001", &spec()).unwrap();
+        journal
+            .attempt("job-0001", 1, "child killed by signal", 512)
+            .unwrap();
+        journal
+            .attempt("job-0001", 2, "telemetry stalled", 1024)
+            .unwrap();
+        drop(journal);
+
+        let jobs = load(&path).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].attempts, 2, "highest attempt ordinal wins");
+        assert_eq!(jobs[0].finished, None);
+
+        // SIGKILL mid-append can tear the *attempt* record too: the
+        // torn tail is dropped, the replayed retry count is what the
+        // intact prefix says, and the surviving bytes are untouched.
+        let intact = std::fs::read_to_string(&path).unwrap();
+        let torn = format!("{intact}{{\"event\":\"attempt\",\"id\":\"job-0001\",\"atte");
+        std::fs::write(&path, &torn).unwrap();
+        let jobs = load(&path).unwrap();
+        assert_eq!(jobs[0].attempts, 2, "torn attempt record is ignored");
+        let reread = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            reread.as_bytes(),
+            torn.as_bytes(),
+            "loading never rewrites the journal"
+        );
+        assert!(reread.as_bytes().starts_with(intact.as_bytes()));
+
+        // An attempt for an unknown id is a structured refusal.
+        let mut bad = Journal::create(&path).unwrap();
+        bad.attempt("job-0404", 1, "ghost", 1).unwrap();
+        drop(bad);
+        assert!(load(&path).unwrap_err().contains("never submitted"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

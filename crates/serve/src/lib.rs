@@ -31,14 +31,29 @@
 //! resume, and because jobs are deterministic the second attempt's
 //! artifacts are byte-identical to what the first would have written.
 //!
+//! A supervision layer hardens the lifecycle: per-job deadlines and a
+//! telemetry-liveness watchdog kill hung children (`timed_out` /
+//! `stalled`), transient failures retry with deterministic exponential
+//! backoff (each attempt journaled, so resume replays the history),
+//! specs that burn every attempt are `quarantined` behind a circuit
+//! breaker that fast-rejects identical resubmissions, and
+//! [`ServeHandle::drain`] turns SIGTERM into a graceful handoff:
+//! admission answers 503 + `Retry-After`, running jobs get a grace
+//! period, and whatever is still unfinished is left for the next
+//! `--resume-dir` daemon with no terminal journal record.
+//!
 //! The [`loadtest`] module drives hundreds of concurrent clients
 //! against a live server and reports submit-latency percentiles,
-//! throughput, and rejection counts.
+//! throughput, and rejection counts; the [`chaos`] module injects
+//! seeded faults (kills, hangs, stalls, poison specs, drain) and
+//! asserts every admitted job still reaches exactly one terminal
+//! state that the journal explains.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod client;
 pub mod job;
 pub mod journal;
@@ -47,6 +62,7 @@ pub mod queue;
 mod runner;
 mod server;
 pub mod spec;
+mod supervise;
 mod telemetry;
 
 use crate::job::{Job, JobState, JobTable};
@@ -77,6 +93,21 @@ const MAX_RETRY_AFTER_SECS: u64 = 60;
 /// EWMA that drives `Retry-After`.
 const DEFAULT_JOB_MS: u64 = 1000;
 
+/// Default ceiling on any job deadline: one day.
+pub const DEFAULT_MAX_DEADLINE_SECS: u64 = 86_400;
+
+/// Default stall timeout (`--stall-timeout 0` disables).
+pub const DEFAULT_STALL_TIMEOUT_SECS: u64 = 60;
+
+/// Default retry budget for transient failures.
+pub const DEFAULT_MAX_RETRIES: u32 = 2;
+
+/// Default base backoff between retry attempts.
+pub const DEFAULT_RETRY_BASE_MS: u64 = 500;
+
+/// Default poison-breaker cooldown.
+pub const DEFAULT_BREAKER_COOLDOWN_SECS: u64 = 60;
+
 /// Configuration for a serve daemon.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -105,6 +136,26 @@ pub struct ServeConfig {
     /// pushed while a child runs, so even children that never speak
     /// the telemetry protocol produce a live event stream.
     pub heartbeat_ms: u64,
+    /// Deadline applied to jobs whose spec carries no `deadline_secs`
+    /// of its own (`None` means no default: such jobs may run until
+    /// they finish or stall).
+    pub default_deadline_secs: Option<u64>,
+    /// Ceiling clamped onto every deadline, spec-supplied or default.
+    pub max_deadline_secs: u64,
+    /// Kill a child whose telemetry frames go silent for this long
+    /// (`None` disables stall detection). Only children that spoke the
+    /// frame protocol at least once are eligible — silence from a mute
+    /// child means nothing.
+    pub stall_timeout_secs: Option<u64>,
+    /// Retry budget for transient failures (killed child, stalled
+    /// telemetry): a job gets `1 + max_retries` attempts in total.
+    pub max_retries: u32,
+    /// Base retry backoff in milliseconds; attempt `n` waits
+    /// `base * 2^n` plus deterministic per-job jitter.
+    pub retry_base_ms: u64,
+    /// How long a poison spec's circuit breaker stays open before it
+    /// half-opens and admits one real attempt again.
+    pub breaker_cooldown_secs: u64,
 }
 
 impl ServeConfig {
@@ -127,6 +178,12 @@ impl ServeConfig {
             experiments_bin,
             event_ring_cap: telemetry::DEFAULT_EVENT_RING_CAP,
             heartbeat_ms: telemetry::DEFAULT_HEARTBEAT_MS,
+            default_deadline_secs: None,
+            max_deadline_secs: DEFAULT_MAX_DEADLINE_SECS,
+            stall_timeout_secs: Some(DEFAULT_STALL_TIMEOUT_SECS),
+            max_retries: DEFAULT_MAX_RETRIES,
+            retry_base_ms: DEFAULT_RETRY_BASE_MS,
+            breaker_cooldown_secs: DEFAULT_BREAKER_COOLDOWN_SECS,
         }
     }
 }
@@ -142,6 +199,19 @@ pub(crate) enum Admission {
         retry_after_secs: u64,
         /// Queue depth at rejection time.
         queued: usize,
+    },
+    /// The daemon is draining: no new work is admitted.
+    Draining {
+        /// Seconds the client should wait before retrying (against
+        /// whatever daemon replaces this one).
+        retry_after_secs: u64,
+    },
+    /// The spec matches an open poison-circuit breaker.
+    Poisoned {
+        /// Why the breaker opened (the quarantined twin's error).
+        reason: String,
+        /// Seconds until the breaker half-opens.
+        retry_after_secs: u64,
     },
 }
 
@@ -171,6 +241,8 @@ pub(crate) struct Shared {
     /// EWMA of completed-job wall time in milliseconds (drives
     /// `Retry-After`); 0 until the first completion.
     ewma_ms: AtomicU64,
+    /// Supervision state: drain flag, parked retries, poison breaker.
+    pub supervisor: supervise::Supervisor,
     pub stop: AtomicBool,
 }
 
@@ -220,6 +292,21 @@ impl Shared {
     /// Returns a message (HTTP 500/503 material) when the artifact
     /// dir or journal cannot be written, or the daemon is stopping.
     pub fn admit(&self, spec: JobSpec) -> Result<Admission, String> {
+        if self.supervisor.is_draining() {
+            self.registry.counter("serve.jobs_rejected").inc();
+            return Ok(Admission::Draining {
+                retry_after_secs: self.retry_after_secs(self.queue.depth().max(1)),
+            });
+        }
+        if let Some((reason, retry_after_secs)) =
+            self.supervisor.breaker_check(supervise::fingerprint(&spec))
+        {
+            self.registry.counter("serve.jobs_poisoned").inc();
+            return Ok(Admission::Poisoned {
+                reason,
+                retry_after_secs,
+            });
+        }
         let mut seq = self.admission.lock().expect("admission lock");
         let queued = self.queue.depth();
         if queued >= self.admission_bound {
@@ -240,7 +327,9 @@ impl Shared {
             .lock()
             .expect("journal lock")
             .submitted(&id, &spec)?;
-        self.table.insert(Job::new(id.clone(), spec));
+        let mut job = Job::new(id.clone(), spec);
+        job.deadline_secs = self.effective_deadline(job.spec.deadline_secs);
+        self.table.insert(job);
         // The event stream exists from `queued` on, so a watcher that
         // connects before the runner claims the job misses nothing.
         self.job_telemetry(&id)
@@ -255,6 +344,14 @@ impl Shared {
         self.status.add_total(1);
         self.refresh_gauges();
         Ok(Admission::Accepted(id))
+    }
+
+    /// The deadline actually enforced for a job: the spec's own (or
+    /// the daemon default), clamped by the configured ceiling.
+    fn effective_deadline(&self, spec_deadline: Option<u64>) -> Option<u64> {
+        spec_deadline
+            .or(self.config.default_deadline_secs)
+            .map(|d| d.min(self.config.max_deadline_secs.max(1)))
     }
 
     /// Re-adopts or replays one journal-loaded job (resume path);
@@ -273,6 +370,12 @@ impl Shared {
             }
             None => {
                 job.readopted = true;
+                // Resume replays the attempt history: the re-run picks
+                // up at the journaled ordinal, so its backoff schedule
+                // and retry budget continue where the dead daemon's
+                // left off.
+                job.attempt = loaded.attempts;
+                job.deadline_secs = self.effective_deadline(job.spec.deadline_secs);
                 self.table.insert(job);
                 self.job_telemetry(&loaded.id)
                     .event("state", vec![("state", Json::Str("queued".to_owned()))]);
@@ -323,6 +426,9 @@ impl Shared {
         let counter = match state {
             JobState::Done => "serve.jobs_completed",
             JobState::Failed => "serve.jobs_failed",
+            JobState::TimedOut => "serve.jobs_timed_out",
+            JobState::Stalled => "serve.jobs_stalled",
+            JobState::Quarantined => "serve.jobs_quarantined",
             _ => "serve.jobs_cancelled",
         };
         self.registry.counter(counter).inc();
@@ -338,6 +444,19 @@ impl Shared {
         }
         self.status.complete_one();
         self.refresh_gauges();
+    }
+
+    /// Journals a retry attempt (best effort, like `finished`: the
+    /// table is authoritative for live state, the journal for resume).
+    pub(crate) fn journal_attempt(&self, id: &str, attempt: u32, reason: &str, backoff_ms: u64) {
+        if let Err(e) = self
+            .journal
+            .lock()
+            .expect("journal lock")
+            .attempt(id, attempt, reason, backoff_ms)
+        {
+            eprintln!("# serve: {e}");
+        }
     }
 
     /// The `Retry-After` estimate for a rejected submit: the queue's
@@ -395,6 +514,7 @@ pub struct ServeHandle {
     shared: Arc<Shared>,
     accept_threads: Vec<std::thread::JoinHandle<()>>,
     runner_threads: Vec<std::thread::JoinHandle<()>>,
+    watchdog: std::thread::JoinHandle<()>,
 }
 
 impl ServeHandle {
@@ -415,7 +535,41 @@ impl ServeHandle {
         for h in self.runner_threads {
             let _ = h.join();
         }
+        let _ = self.watchdog.join();
         self.shared.sampler.stop();
+    }
+
+    /// Flips the daemon into draining: admission answers 503 +
+    /// `Retry-After`, runners stop claiming queued work, running jobs
+    /// keep going. Idempotent.
+    pub fn begin_drain(&self) {
+        if self.shared.supervisor.begin_drain() {
+            self.shared.registry.counter("serve.drains").inc();
+            self.shared.status.set_phase("draining");
+        }
+    }
+
+    /// Graceful shutdown: [`ServeHandle::begin_drain`], wait up to
+    /// `timeout` for running jobs to finish, then request a `Drain`
+    /// kill on whatever is still running and stop. Drain-killed and
+    /// still-queued jobs write no terminal journal record, so a
+    /// restart with `--resume-dir` re-adopts all of them losslessly.
+    pub fn drain(self, timeout: std::time::Duration) {
+        self.begin_drain();
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            let (_, running) = self.shared.table.active_counts();
+            if running == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        for job in self.shared.table.snapshot() {
+            if job.state == JobState::Running {
+                job.request_kill(crate::job::KillReason::Drain);
+            }
+        }
+        self.stop();
     }
 
     /// Blocks this thread for the daemon's lifetime (the CLI's serve
@@ -472,6 +626,24 @@ pub fn serve_with_registry(
         .filter_map(|j| j.id.strip_prefix("job-")?.parse::<u64>().ok())
         .max()
         .unwrap_or(0);
+    // Seed the admission EWMA from journaled completions, replayed in
+    // journal order: a resumed daemon's `Retry-After` advice reflects
+    // observed job durations from the first rejection instead of
+    // restarting at the cold default.
+    let mut ewma_seed = 0u64;
+    for loaded in &adopted {
+        if let Some(f) = &loaded.finished {
+            if f.state == JobState::Done {
+                let ms = (f.secs * 1000.0).clamp(1.0, 86_400_000.0) as u64;
+                ewma_seed = if ewma_seed == 0 {
+                    ms
+                } else {
+                    (7 * ewma_seed + 3 * ms) / 10
+                }
+                .max(1);
+            }
+        }
+    }
 
     let status = Arc::new(RunStatus::new(0));
     status.set_phase("idle");
@@ -500,7 +672,8 @@ pub fn serve_with_registry(
         telemetry: telemetry::TelemetryMap::default(),
         fleet: Arc::new(telemetry::Fleet::new()),
         event_streams: AtomicUsize::new(0),
-        ewma_ms: AtomicU64::new(0),
+        ewma_ms: AtomicU64::new(ewma_seed),
+        supervisor: supervise::Supervisor::new(),
         stop: AtomicBool::new(false),
         config,
     });
@@ -517,11 +690,13 @@ pub fn serve_with_registry(
     let (local, accept_threads) =
         server::start(&addr, &shared).map_err(|e| format!("cannot serve jobs on `{addr}`: {e}"))?;
     let runner_threads = runner::spawn(&shared, shared.config.parallel.max(1));
+    let watchdog = supervise::spawn_watchdog(&shared);
     Ok(ServeHandle {
         addr: local,
         shared,
         accept_threads,
         runner_threads,
+        watchdog,
     })
 }
 
@@ -534,17 +709,23 @@ mod tests {
 
     /// A stand-in job binary: deterministic output from its argv, a
     /// long sleep for "blocker" jobs (span >= 1000), a synthetic
-    /// failure for span 666. Tests never spawn the real CLI (under
+    /// failure for span 666, a SIGKILL suicide for span 888 (poison),
+    /// and a once-then-fine SIGKILL for span 777 (transient, keyed on
+    /// a marker file per seed). Tests never spawn the real CLI (under
     /// `cargo test` the current executable is the test harness).
     fn fake_bin(dir: &std::path::Path) -> PathBuf {
         use std::os::unix::fs::PermissionsExt;
         let path = dir.join("fake-spindle.sh");
         std::fs::write(
             &path,
-            "#!/bin/sh\nspan=0\nprev=\"\"\nfor a in \"$@\"; do\n  \
-             if [ \"$prev\" = \"--span\" ]; then span=$a; fi\n  prev=$a\ndone\n\
+            "#!/bin/sh\nspan=0\nseed=0\nprev=\"\"\nfor a in \"$@\"; do\n  \
+             if [ \"$prev\" = \"--span\" ]; then span=$a; fi\n  \
+             if [ \"$prev\" = \"--seed\" ]; then seed=$a; fi\n  prev=$a\ndone\n\
              if [ \"$span\" -ge 1000 ]; then sleep 20; fi\n\
              if [ \"$span\" = \"666\" ]; then echo synthetic-failure >&2; exit 3; fi\n\
+             if [ \"$span\" = \"888\" ]; then kill -9 $$; fi\n\
+             if [ \"$span\" = \"777\" ]; then\n  marker=\"$0.marker.$seed\"\n  \
+             if [ ! -f \"$marker\" ]; then touch \"$marker\"; kill -9 $$; fi\nfi\n\
              echo \"fake:$*\"\n",
         )
         .unwrap();
@@ -1023,6 +1204,341 @@ mod tests {
 
         let missing = request(&addr, "GET", "/jobs/job-9999/timescales", None).unwrap();
         assert_eq!(missing.status, 404);
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_kills_retry_with_journaled_attempts_then_succeed() {
+        let (handle, addr, dir) = test_daemon_with("retry", 4, 1, |c| {
+            c.retry_base_ms = 10;
+        });
+        // Span 777 SIGKILLs itself once (per seed), then behaves.
+        let r = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":777,"seed":5}"#,
+        );
+        assert_eq!(r.status, 201, "{}", r.body);
+        let id = spindle_obs::json::parse(r.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        wait_for("retried job to finish", || job_state(&addr, &id) == "done");
+        let detail = request(&addr, "GET", &format!("/jobs/{id}"), None).unwrap();
+        let doc = spindle_obs::json::parse(detail.body.trim()).unwrap();
+        assert_eq!(
+            doc.get("attempt").and_then(Json::as_u64),
+            Some(1),
+            "{}",
+            detail.body
+        );
+        // The second attempt's stdout is exactly what a clean run
+        // writes: the retry path preserved determinism.
+        let stdout = request(
+            &addr,
+            "GET",
+            &format!("/jobs/{id}/artifacts/stdout.txt"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(stdout.body, "fake:generate --env web --span 777 --seed 5\n");
+        // The retry is durable history: an `attempt` record with the
+        // failure's reason, so resume replays the same ordinal.
+        let journal = std::fs::read_to_string(dir.join("data").join(JOURNAL_FILE)).unwrap();
+        assert!(journal.contains("\"event\":\"attempt\""), "{journal}");
+        assert!(journal.contains("child killed by a signal"), "{journal}");
+        let metrics = request(&addr, "GET", "/metrics", None).unwrap().body;
+        assert!(metrics.contains("serve_jobs_retried 1"), "{metrics}");
+        assert!(metrics.contains("serve_jobs_completed 1"), "{metrics}");
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poison_specs_quarantine_and_open_the_breaker() {
+        let (handle, addr, dir) = test_daemon_with("poison", 4, 1, |c| {
+            c.retry_base_ms = 1;
+            c.max_retries = 1;
+        });
+        // Span 888 SIGKILLs itself on every attempt.
+        let body = r#"{"kind":"generate","env":"web","span":888,"seed":1}"#;
+        let r = submit(&addr, body);
+        assert_eq!(r.status, 201, "{}", r.body);
+        let id = spindle_obs::json::parse(r.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        wait_for("quarantine", || job_state(&addr, &id) == "quarantined");
+        let detail = request(&addr, "GET", &format!("/jobs/{id}"), None).unwrap();
+        assert!(
+            detail.body.contains("retries exhausted after 2 attempt(s)"),
+            "{}",
+            detail.body
+        );
+        // The identical spec is now fast-rejected with advice...
+        let again = submit(&addr, body);
+        assert_eq!(again.status, 409, "{}", again.body);
+        let retry: u64 = again
+            .header("retry-after")
+            .expect("breaker Retry-After")
+            .parse()
+            .unwrap();
+        assert!(retry >= 1, "{retry}");
+        assert!(again.body.contains("retries exhausted"), "{}", again.body);
+        // ...while any other spec still passes admission.
+        let other = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":10,"seed":2}"#,
+        );
+        assert_eq!(other.status, 201, "{}", other.body);
+        let other_id = spindle_obs::json::parse(other.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        wait_for("healthy job done", || job_state(&addr, &other_id) == "done");
+        let metrics = request(&addr, "GET", "/metrics", None).unwrap().body;
+        assert!(metrics.contains("serve_jobs_quarantined 1"), "{metrics}");
+        assert!(metrics.contains("serve_jobs_poisoned 1"), "{metrics}");
+        assert!(metrics.contains("serve_jobs_retried 1"), "{metrics}");
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadlines_kill_overrunning_jobs_terminally() {
+        let (handle, addr, dir) = test_daemon_with("deadline", 4, 2, |c| {
+            c.default_deadline_secs = Some(1);
+            c.max_deadline_secs = 2;
+        });
+        // One blocker rides the 1s default; the other asks for 600s
+        // and gets clamped to the 2s ceiling.
+        let a = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":2000,"seed":1}"#,
+        );
+        let b = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":2000,"seed":2,"deadline_secs":600}"#,
+        );
+        assert_eq!((a.status, b.status), (201, 201));
+        let id_of = |r: &Response| {
+            spindle_obs::json::parse(r.body.trim())
+                .unwrap()
+                .get("id")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_owned()
+        };
+        let (a_id, b_id) = (id_of(&a), id_of(&b));
+        wait_for("default deadline", || {
+            job_state(&addr, &a_id) == "timed_out"
+        });
+        wait_for("clamped deadline", || {
+            job_state(&addr, &b_id) == "timed_out"
+        });
+        let detail = request(&addr, "GET", &format!("/jobs/{a_id}"), None).unwrap();
+        let doc = spindle_obs::json::parse(detail.body.trim()).unwrap();
+        assert!(
+            doc.get("error")
+                .and_then(Json::as_str)
+                .is_some_and(|e| e.contains("deadline of 1s exceeded")),
+            "{}",
+            detail.body
+        );
+        // Deadline kills are terminal, never retried.
+        assert_eq!(doc.get("attempt").and_then(Json::as_u64), Some(0));
+        let metrics = request(&addr, "GET", "/metrics", None).unwrap().body;
+        assert!(metrics.contains("serve_jobs_timed_out 2"), "{metrics}");
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drain_stops_admission_and_leaves_unfinished_work_for_resume() {
+        let (handle, addr, dir) = test_daemon("drain", 4, 1);
+        let blocker = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":2000,"seed":1}"#,
+        );
+        assert_eq!(blocker.status, 201);
+        let blocker_id = spindle_obs::json::parse(blocker.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        wait_for("blocker running", || {
+            job_state(&addr, &blocker_id) == "running"
+        });
+        let queued = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":10,"seed":2}"#,
+        );
+        assert_eq!(queued.status, 201);
+
+        handle.begin_drain();
+        let refused = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":10,"seed":3}"#,
+        );
+        assert_eq!(refused.status, 503, "{}", refused.body);
+        assert!(refused.header("retry-after").is_some(), "{refused:?}");
+        assert!(refused.body.contains("draining"), "{}", refused.body);
+
+        // The blocker outlives the grace period and is drain-killed;
+        // the queued job is never claimed. Neither gets a terminal
+        // journal record.
+        handle.drain(Duration::from_millis(300));
+        let loaded = journal::load(&dir.join("data").join(JOURNAL_FILE)).unwrap();
+        let unfinished = loaded.iter().filter(|j| j.finished.is_none()).count();
+        assert_eq!((loaded.len(), unfinished), (2, 2));
+
+        // A resume restart re-adopts both losslessly.
+        let mut config = ServeConfig::new("127.0.0.1:0", dir.join("data"));
+        config.queue_bound = 4;
+        config.parallel = 1;
+        config.spindle_bin = fake_bin(&dir);
+        config.experiments_bin = None;
+        config.resume = true;
+        let registry: &'static MetricsRegistry = Box::leak(Box::default());
+        let handle = serve_with_registry(config, registry).expect("resume starts");
+        let addr = handle.local_addr().to_string();
+        // The re-run blocker would sleep 20s; cancel it so the small
+        // job behind it completes.
+        wait_for("blocker re-running", || {
+            job_state(&addr, &blocker_id) == "running"
+        });
+        request(&addr, "DELETE", &format!("/jobs/{blocker_id}"), None).unwrap();
+        wait_for("drained job completes on resume", || {
+            job_state(&addr, "job-0002") == "done"
+        });
+        let stdout = request(&addr, "GET", "/jobs/job-0002/artifacts/stdout.txt", None).unwrap();
+        assert_eq!(stdout.body, "fake:generate --env web --span 10 --seed 2\n");
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_seeds_retry_after_from_journaled_durations() {
+        let dir = std::env::temp_dir().join(format!("spindle-serve-ewma-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(dir.join("data")).unwrap();
+        let spec =
+            spec::JobSpec::parse(r#"{"kind":"generate","env":"dev","span":10,"seed":9}"#).unwrap();
+        // History says jobs take ~30s each.
+        let mut journal = Journal::create(&dir.join("data").join(JOURNAL_FILE)).unwrap();
+        journal.submitted("job-0001", &spec).unwrap();
+        journal
+            .finished("job-0001", JobState::Done, Some(0), 30.0)
+            .unwrap();
+        drop(journal);
+
+        let mut config = ServeConfig::new("127.0.0.1:0", dir.join("data"));
+        config.queue_bound = 1;
+        config.parallel = 1;
+        config.spindle_bin = fake_bin(&dir);
+        config.experiments_bin = None;
+        config.resume = true;
+        let registry: &'static MetricsRegistry = Box::leak(Box::default());
+        let handle = serve_with_registry(config, registry).expect("resume starts");
+        let addr = handle.local_addr().to_string();
+
+        let blocker = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":2000,"seed":1}"#,
+        );
+        assert_eq!(blocker.status, 201);
+        let blocker_id = spindle_obs::json::parse(blocker.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        wait_for("blocker running", || {
+            job_state(&addr, &blocker_id) == "running"
+        });
+        let fill = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":10,"seed":2}"#,
+        );
+        assert_eq!(fill.status, 201);
+        let rejected = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":10,"seed":3}"#,
+        );
+        assert_eq!(rejected.status, 429, "{}", rejected.body);
+        let retry: u64 = rejected
+            .header("retry-after")
+            .expect("Retry-After")
+            .parse()
+            .unwrap();
+        // Cold-start advice would be 1s (DEFAULT_JOB_MS); the seeded
+        // EWMA knows jobs take ~30s.
+        assert!(
+            retry >= 10,
+            "seeded Retry-After should reflect history: {retry}"
+        );
+        request(&addr, "DELETE", &format!("/jobs/{blocker_id}"), None).unwrap();
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn event_stream_limit_gets_503_with_retry_after_and_counter() {
+        use std::io::{Read, Write};
+        let (handle, addr, dir) = test_daemon("sse-limit", 4, 1);
+        let r = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":2000,"seed":1}"#,
+        );
+        assert_eq!(r.status, 201);
+        let id = spindle_obs::json::parse(r.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        wait_for("blocker running", || job_state(&addr, &id) == "running");
+
+        // Fill every stream slot, confirming each registered by
+        // reading its response header off the wire.
+        let mut streams = Vec::new();
+        for _ in 0..8 {
+            let mut s = std::net::TcpStream::connect(&addr).unwrap();
+            write!(s, "GET /jobs/{id}/events HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut head = [0u8; 15];
+            s.read_exact(&mut head).unwrap();
+            assert!(
+                String::from_utf8_lossy(&head).contains("200"),
+                "stream should open: {}",
+                String::from_utf8_lossy(&head)
+            );
+            streams.push(s);
+        }
+        // The ninth watcher is refused with advice, and the refusal is
+        // counted.
+        let ninth = request(&addr, "GET", &format!("/jobs/{id}/events"), None).unwrap();
+        assert_eq!(ninth.status, 503, "{}", ninth.body);
+        let retry: u64 = ninth
+            .header("retry-after")
+            .expect("SSE 503 Retry-After")
+            .parse()
+            .unwrap();
+        assert!(retry >= 1, "{retry}");
+        assert!(ninth.body.contains("event streams"), "{}", ninth.body);
+        let metrics = request(&addr, "GET", "/metrics", None).unwrap().body;
+        assert!(metrics.contains("serve_events_rejected 1"), "{metrics}");
+
+        request(&addr, "DELETE", &format!("/jobs/{id}"), None).unwrap();
+        wait_for("cancelled", || job_state(&addr, &id) == "cancelled");
+        drop(streams);
         handle.stop();
         std::fs::remove_dir_all(&dir).ok();
     }

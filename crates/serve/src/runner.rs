@@ -1,8 +1,8 @@
 //! Job runners: N threads draining the queue into child processes.
 
-use crate::job::JobState;
+use crate::job::{JobState, KillReason};
 use crate::telemetry::Sink;
-use crate::Shared;
+use crate::{supervise, Shared};
 use spindle_obs::json::Json;
 use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -36,6 +36,13 @@ pub(crate) fn spawn(shared: &Arc<Shared>, n: usize) -> Vec<JoinHandle<()>> {
 
 fn runner_loop(shared: &Shared) {
     while !shared.stop.load(Ordering::Acquire) {
+        if shared.supervisor.is_draining() {
+            // Draining: queued work is the next daemon's. It stays in
+            // the table as `queued` with no terminal journal record,
+            // so a restart with --resume-dir re-adopts it.
+            std::thread::sleep(QUEUE_POLL);
+            continue;
+        }
         let Some(id) = shared.queue.pop(QUEUE_POLL) else {
             if shared.queue.depth() == 0 && shared.stop.load(Ordering::Acquire) {
                 return;
@@ -44,11 +51,25 @@ fn runner_loop(shared: &Shared) {
         };
         run_job(shared, &id);
     }
+    if shared.supervisor.is_draining() {
+        return;
+    }
     // Drain what admission already accepted before the stop: those
     // jobs were journaled as submitted and clients were told 201.
     while let Some(id) = shared.queue.pop(Duration::ZERO) {
         run_job(shared, &id);
     }
+}
+
+/// How one attempt at a job ended, before supervision classifies it.
+enum Attempt {
+    /// The child exited on its own with this code (`None`: a signal
+    /// nobody here asked for).
+    Exited(Option<i32>),
+    /// A supervision kill was requested and carried out.
+    Killed(KillReason),
+    /// The child became unpollable; it was killed defensively.
+    Broken,
 }
 
 /// Executes one job to a terminal state. Never panics the runner: a
@@ -64,13 +85,23 @@ fn run_job(shared: &Shared, id: &str) {
     });
     shared.refresh_gauges();
 
-    // A cancel that raced the pop: honor it before spawning.
-    if job.cancel.load(Ordering::Acquire) {
-        shared.finish_job(id, JobState::Cancelled, None, 0.0, None);
-        return;
+    // A kill request that raced the pop: honor it before spawning.
+    match job.kill_reason() {
+        Some(KillReason::Cancel) => {
+            shared.finish_job(id, JobState::Cancelled, None, 0.0, None);
+            return;
+        }
+        Some(KillReason::Drain) => {
+            requeue_for_resume(shared, id);
+            return;
+        }
+        _ => {}
     }
 
     let tel = shared.job_telemetry(id);
+    // Each attempt gets a fresh liveness clock: a retry must not be
+    // judged stalled by the previous attempt's last frame time.
+    tel.mark_alive();
     tel.event("state", vec![("state", Json::Str("running".to_owned()))]);
 
     let dir = shared.job_dir(id);
@@ -140,40 +171,31 @@ fn run_job(shared: &Shared, id: &str) {
 
     let heartbeat = Duration::from_millis(shared.config.heartbeat_ms.max(1));
     let mut last_beat = Instant::now();
-    let (state, exit) = loop {
-        if job.cancel.load(Ordering::Acquire) {
-            let _ = child.kill();
-            let status = child.wait().ok();
-            break (JobState::Cancelled, status.and_then(|s| s.code()));
-        }
+    let outcome = loop {
+        // A finished child beats a pending kill request: the work is
+        // already done, so a racing DELETE or drain changes nothing.
         match child.try_wait() {
-            Ok(Some(status)) => {
-                let code = status.code();
-                // No exit code means a signal killed it; that is a
-                // failure unless we asked for the kill above.
-                let state = if code == Some(0) {
-                    JobState::Done
-                } else {
-                    JobState::Failed
-                };
-                break (state, code);
-            }
-            Ok(None) => {
-                if last_beat.elapsed() >= heartbeat {
-                    last_beat = Instant::now();
-                    tel.event(
-                        "heartbeat",
-                        vec![("elapsed_secs", Json::Num(started.elapsed().as_secs_f64()))],
-                    );
-                }
-                std::thread::sleep(CHILD_POLL);
-            }
+            Ok(Some(status)) => break Attempt::Exited(status.code()),
+            Ok(None) => {}
             Err(_) => {
                 let _ = child.kill();
                 let _ = child.wait();
-                break (JobState::Failed, None);
+                break Attempt::Broken;
             }
         }
+        if let Some(reason) = job.kill_reason() {
+            let _ = child.kill();
+            let _ = child.wait();
+            break Attempt::Killed(reason);
+        }
+        if last_beat.elapsed() >= heartbeat {
+            last_beat = Instant::now();
+            tel.event(
+                "heartbeat",
+                vec![("elapsed_secs", Json::Num(started.elapsed().as_secs_f64()))],
+            );
+        }
+        std::thread::sleep(CHILD_POLL);
     };
     let secs = started.elapsed().as_secs_f64();
     // Let ingest drain the child's final flush (the socket EOFs once
@@ -183,16 +205,87 @@ fn run_job(shared: &Shared, id: &str) {
         let _ = handle.join();
     }
 
+    // A drain kill ends the attempt, not the job: no terminal journal
+    // record, no artifact promotion. The next --resume-dir daemon
+    // re-adopts and re-runs it; determinism makes that lossless.
+    if matches!(outcome, Attempt::Killed(KillReason::Drain)) {
+        requeue_for_resume(shared, id);
+        return;
+    }
+
+    let (state, exit, error) = match outcome {
+        Attempt::Exited(Some(0)) => (JobState::Done, Some(0), None),
+        // A signal death (no code) or the 128+SIGKILL convention is a
+        // transient the job didn't choose: retry it.
+        Attempt::Exited(code @ (None | Some(KILLED_EXIT))) => {
+            let reason = code.map_or_else(
+                || "child killed by a signal".to_owned(),
+                |c| format!("child killed (exit {c})"),
+            );
+            match supervise::handle_retryable(
+                shared,
+                id,
+                JobState::Quarantined,
+                &reason,
+                Some(&stderr_tail(&dir)),
+            ) {
+                None => return,
+                Some((state, detail)) => (state, code, Some(detail)),
+            }
+        }
+        Attempt::Exited(code) => (JobState::Failed, code, Some(stderr_tail(&dir))),
+        Attempt::Killed(KillReason::Cancel) => (JobState::Cancelled, None, None),
+        Attempt::Killed(KillReason::Deadline) => (
+            JobState::TimedOut,
+            None,
+            Some(format!(
+                "deadline of {}s exceeded",
+                job.deadline_secs.unwrap_or_default()
+            )),
+        ),
+        Attempt::Killed(KillReason::Stall) => {
+            match supervise::handle_retryable(
+                shared,
+                id,
+                JobState::Stalled,
+                "telemetry stalled",
+                None,
+            ) {
+                None => return,
+                Some((state, detail)) => (state, None, Some(detail)),
+            }
+        }
+        Attempt::Killed(KillReason::Drain) => unreachable!("drain handled above"),
+        Attempt::Broken => (
+            JobState::Failed,
+            None,
+            Some("cannot poll the child process".to_owned()),
+        ),
+    };
     // Promote the capture to its final name only now, so a crashed
     // daemon's leftover `stdout.partial` is never mistaken for a
     // completed job's output.
     let _ = std::fs::rename(dir.join("stdout.partial"), dir.join("stdout.txt"));
-    let error = match state {
-        JobState::Failed => Some(stderr_tail(&dir)),
-        _ => None,
-    };
     write_result(shared, id, state, exit, secs);
     shared.finish_job(id, state, exit, secs, error);
+}
+
+/// The 128+SIGKILL exit convention: treated like a signal death.
+const KILLED_EXIT: i32 = 137;
+
+/// Puts a drain-interrupted job back to `queued` in the table (it is
+/// deliberately *not* re-enqueued: the run queue dies with this
+/// daemon, the journal's missing terminal record survives).
+fn requeue_for_resume(shared: &Shared, id: &str) {
+    shared.table.update(id, |j| {
+        j.state = JobState::Queued;
+        j.started = None;
+        j.clear_kill();
+    });
+    shared
+        .job_telemetry(id)
+        .event("state", vec![("state", Json::Str("drained".to_owned()))]);
+    shared.refresh_gauges();
 }
 
 /// A bounded tail of the job's stderr, for the failure report.

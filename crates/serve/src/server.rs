@@ -31,7 +31,7 @@
 //!   itself — plus per-active-job labeled series on `/metrics` and
 //!   the merged fleet wheel on `/timescales`.
 
-use crate::job::JobState;
+use crate::job::{CancelVerdict, JobState};
 use crate::{Admission, Shared};
 use spindle_obs::json::Json;
 use spindle_obs::MetricsSink;
@@ -62,6 +62,10 @@ const EVENTS_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Concurrent event streams; beyond this, `/jobs/ID/events` gets 503.
 const MAX_EVENT_STREAMS: usize = 8;
+
+/// `Retry-After` advertised on an event-stream 503: streams churn
+/// fast, so a short pause usually frees a slot.
+const EVENTS_RETRY_AFTER_SECS: u64 = 2;
 
 const JSON_TYPE: &str = "application/json; charset=utf-8";
 const TEXT_TYPE: &str = "text/plain; charset=utf-8";
@@ -236,6 +240,42 @@ fn submit(stream: &mut TcpStream, shared: &Shared, request: &Request) -> io::Res
                 &format!("{doc}\n"),
             )
         }
+        Ok(Admission::Draining { retry_after_secs }) => {
+            let doc = Json::Obj(vec![
+                (
+                    "error".to_owned(),
+                    Json::Str("server is draining".to_owned()),
+                ),
+                ("retry_after_secs".to_owned(), Json::Uint(retry_after_secs)),
+            ]);
+            respond_with_headers(
+                stream,
+                "503 Service Unavailable",
+                JSON_TYPE,
+                &[("Retry-After", &retry_after_secs.to_string())],
+                &format!("{doc}\n"),
+            )
+        }
+        Ok(Admission::Poisoned {
+            reason,
+            retry_after_secs,
+        }) => {
+            let doc = Json::Obj(vec![
+                (
+                    "error".to_owned(),
+                    Json::Str("spec quarantined by the poison breaker".to_owned()),
+                ),
+                ("reason".to_owned(), Json::Str(reason)),
+                ("retry_after_secs".to_owned(), Json::Uint(retry_after_secs)),
+            ]);
+            respond_with_headers(
+                stream,
+                "409 Conflict",
+                JSON_TYPE,
+                &[("Retry-After", &retry_after_secs.to_string())],
+                &format!("{doc}\n"),
+            )
+        }
         Err(e) => error_response(stream, "503 Service Unavailable", &e),
     }
 }
@@ -350,17 +390,11 @@ fn artifact(stream: &mut TcpStream, shared: &Shared, id: &str, name: &str) -> io
 }
 
 fn cancel(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<()> {
-    let Some(job) = shared.table.get(id) else {
+    if shared.table.get(id).is_none() {
         return error_response(stream, "404 Not Found", &format!("no such job `{id}`"));
-    };
-    if job.state.is_terminal() {
-        return error_response(
-            stream,
-            "409 Conflict",
-            &format!("job `{id}` already {}", job.state.as_str()),
-        );
     }
-    // Queued and still in the queue: remove it and finish immediately.
+    // Queued and still in the run queue: remove it (so no runner can
+    // claim it from here on) and finish immediately.
     if shared.queue.remove(id) {
         shared.finish_job(id, JobState::Cancelled, None, 0.0, None);
         let doc = Json::Obj(vec![
@@ -369,13 +403,27 @@ fn cancel(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<()> {
         ]);
         return json_response(stream, "200 OK", &doc);
     }
-    // Already claimed by a runner (or racing one): cooperative cancel.
-    job.cancel.store(true, Ordering::Release);
-    let doc = Json::Obj(vec![
-        ("id".to_owned(), Json::Str(id.to_owned())),
-        ("state".to_owned(), Json::Str("cancelling".to_owned())),
-    ]);
-    json_response(stream, "202 Accepted", &doc)
+    // Claimed by a runner, parked for a retry, or racing completion:
+    // the table decides under its own lock, so a cancel can never be
+    // requested after the job went terminal (the DELETE/completion
+    // race resolves to exactly one of 202 or 409).
+    match shared.table.request_cancel(id) {
+        CancelVerdict::NotFound => {
+            error_response(stream, "404 Not Found", &format!("no such job `{id}`"))
+        }
+        CancelVerdict::Terminal(state) => error_response(
+            stream,
+            "409 Conflict",
+            &format!("job `{id}` already {}", state.as_str()),
+        ),
+        CancelVerdict::Requested => {
+            let doc = Json::Obj(vec![
+                ("id".to_owned(), Json::Str(id.to_owned())),
+                ("state".to_owned(), Json::Str("cancelling".to_owned())),
+            ]);
+            json_response(stream, "202 Accepted", &doc)
+        }
+    }
 }
 
 fn metrics(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
@@ -472,10 +520,17 @@ fn events(mut stream: TcpStream, shared: &Arc<Shared>, id: &str) -> io::Result<(
     }
     if shared.event_streams.fetch_add(1, Ordering::AcqRel) >= MAX_EVENT_STREAMS {
         shared.event_streams.fetch_sub(1, Ordering::AcqRel);
-        return error_response(
+        shared.registry.counter("serve.events.rejected").inc();
+        let doc = Json::Obj(vec![(
+            "error".to_owned(),
+            Json::Str("too many concurrent event streams".to_owned()),
+        )]);
+        return respond_with_headers(
             &mut stream,
             "503 Service Unavailable",
-            "too many concurrent event streams",
+            JSON_TYPE,
+            &[("Retry-After", &EVENTS_RETRY_AFTER_SECS.to_string())],
+            &format!("{doc}\n"),
         );
     }
     let shared = Arc::clone(shared);

@@ -140,6 +140,10 @@ pub struct JobSpec {
     pub trace: bool,
     /// `matrix`: capture the rollup document as `timescales.json`.
     pub timescales: bool,
+    /// Wall-clock budget per attempt in seconds; the watchdog kills
+    /// the child past it (`timed_out`). Defaults to the daemon's
+    /// `--default-deadline` and is clamped by `--max-deadline`.
+    pub deadline_secs: Option<u64>,
 }
 
 /// Which kinds a field applies to, for the applicability check.
@@ -153,7 +157,7 @@ fn applicable(kind: JobKind, field: &str) -> bool {
         "no_write_back" => kind == Simulate,
         "ids" | "quick" | "timescales" => kind == Matrix,
         "lenient" => matches!(kind, Simulate | Analyze | Observe),
-        _ => true, // kind, jobs, faults, metrics, trace
+        _ => true, // kind, jobs, faults, metrics, trace, deadline_secs
     }
 }
 
@@ -238,6 +242,7 @@ impl JobSpec {
             "metrics",
             "trace",
             "timescales",
+            "deadline_secs",
         ];
         for (k, _) in members {
             if !KNOWN.contains(&k.as_str()) {
@@ -269,6 +274,7 @@ impl JobSpec {
             metrics: false,
             trace: false,
             timescales: false,
+            deadline_secs: None,
         };
 
         if let Some(v) = field("env") {
@@ -369,6 +375,13 @@ impl JobSpec {
         if let Some(v) = field("timescales") {
             spec.timescales = expect_bool("timescales", v)?;
         }
+        if let Some(v) = field("deadline_secs") {
+            let deadline = expect_u64("deadline_secs", v)?;
+            if deadline == 0 {
+                return Err(SpecError::new("deadline_secs", "must be at least 1 second"));
+            }
+            spec.deadline_secs = Some(deadline);
+        }
 
         // Cross-field requirements.
         match kind {
@@ -447,6 +460,13 @@ impl JobSpec {
                     args.push("--timescales-out".to_owned());
                     args.push(artifact("timescales.json"));
                 }
+                // Always journal completions into the job dir: a
+                // retried attempt resumes past already-finished
+                // experiments instead of redoing (or re-dying on)
+                // them, and stdout stays byte-identical to an
+                // uninterrupted run.
+                args.push("--resume".to_owned());
+                args.push(artifact("resume.jsonl"));
             }
         }
         if let Some(jobs) = self.jobs {
@@ -497,6 +517,9 @@ impl JobSpec {
         }
         if let Some(jobs) = self.jobs {
             members.push(("jobs".to_owned(), Json::Uint(jobs as u64)));
+        }
+        if let Some(deadline) = self.deadline_secs {
+            members.push(("deadline_secs".to_owned(), Json::Uint(deadline)));
         }
         if !self.ids.is_empty() {
             members.push((
@@ -592,8 +615,31 @@ mod tests {
                 "t2",
                 "f5",
                 "--timescales-out",
-                "/d/timescales.json"
+                "/d/timescales.json",
+                "--resume",
+                "/d/resume.jsonl",
             ]
+        );
+    }
+
+    #[test]
+    fn deadline_round_trips_and_zero_is_rejected() {
+        let spec = JobSpec::parse(
+            r#"{"kind":"generate","env":"web","span":60,"seed":1,"deadline_secs":30}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.deadline_secs, Some(30));
+        assert_eq!(JobSpec::from_json(&spec.to_json()).unwrap(), spec);
+        // The deadline is supervision metadata, never child argv.
+        let argv = spec.argv(&PathBuf::from("/d"));
+        assert!(!argv.iter().any(|a| a.contains("deadline")), "{argv:?}");
+        assert_eq!(
+            err(r#"{"kind":"matrix","deadline_secs":0}"#).field,
+            "deadline_secs"
+        );
+        assert_eq!(
+            err(r#"{"kind":"matrix","deadline_secs":"soon"}"#).field,
+            "deadline_secs"
         );
     }
 

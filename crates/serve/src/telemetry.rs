@@ -174,6 +174,9 @@ pub(crate) struct JobTelemetry {
     pub(crate) decode_errors: AtomicU64,
     pub(crate) torn: AtomicBool,
     closed: AtomicBool,
+    /// Milliseconds since `epoch` when the last frame was decoded —
+    /// the liveness signal the watchdog's stall detector reads.
+    last_frame_ms: AtomicU64,
 }
 
 impl JobTelemetry {
@@ -190,7 +193,31 @@ impl JobTelemetry {
             decode_errors: AtomicU64::new(0),
             torn: AtomicBool::new(false),
             closed: AtomicBool::new(false),
+            last_frame_ms: AtomicU64::new(0),
         }
+    }
+
+    /// Seconds since the last decoded frame; `None` until the child
+    /// speaks the frame protocol at all (a mute child is not a stalled
+    /// one — plenty of job binaries never connect the exporter).
+    pub(crate) fn frame_silence_secs(&self) -> Option<f64> {
+        if self.frames.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let last = self.last_frame_ms.load(Ordering::Acquire);
+        let now = self.t_ms();
+        Some(now.saturating_sub(last) as f64 / 1000.0)
+    }
+
+    /// Marks the liveness clock; called per decoded frame.
+    fn touch(&self) {
+        self.last_frame_ms.store(self.t_ms(), Ordering::Release);
+    }
+
+    /// Resets the liveness clock at an attempt start, so a retry is
+    /// not judged stalled by the previous attempt's last frame time.
+    pub(crate) fn mark_alive(&self) {
+        self.touch();
     }
 
     fn t_ms(&self) -> u64 {
@@ -480,6 +507,7 @@ pub(crate) fn ingest_stream(
                     match decoder.next_frame() {
                         Ok(Some(frame)) => {
                             registry.counter("serve.telemetry.frames").inc();
+                            tel.touch();
                             tel.frames.fetch_add(1, Ordering::Relaxed);
                             tel.apply_frame(fleet, frame);
                         }
@@ -671,6 +699,29 @@ mod tests {
             events.iter().any(|(_, e)| e.contains("telemetry-error")),
             "{events:?}"
         );
+    }
+
+    #[test]
+    fn frame_silence_is_none_for_mute_children_then_tracks_arrivals() {
+        let registry = MetricsRegistry::new();
+        let tel = JobTelemetry::new(16);
+        assert_eq!(
+            tel.frame_silence_secs(),
+            None,
+            "a child that never speaks frames cannot stall"
+        );
+        let hello = Frame::Hello {
+            version: spindle_obs::frame::PROTOCOL_VERSION,
+            pid: 7,
+            label: "t".to_owned(),
+        }
+        .encode();
+        ingest_bytes(&hello, &tel, &registry);
+        let silence = tel.frame_silence_secs().expect("spoke once");
+        assert!(silence < 30.0, "fresh frame, tiny silence: {silence}");
+        std::thread::sleep(Duration::from_millis(30));
+        let later = tel.frame_silence_secs().expect("still spoke");
+        assert!(later >= silence, "silence grows monotonically");
     }
 
     #[test]

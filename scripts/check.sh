@@ -300,4 +300,69 @@ else
 fi
 rm -rf "$SERVE_DIR"
 
+# 6. Chaos campaign: a daemon with tight supervision knobs driven
+#    through the seeded fault scenarios — retry-to-identical-output,
+#    deadline kill, stall kill, poison quarantine + breaker, injected
+#    io fault, and (via --daemon-pid) the SIGTERM drain contract. The
+#    JSON report is a CI artifact either way; afterwards a resume
+#    restart must re-adopt the drained backlog losslessly.
+echo "==> chaos campaign (spindle chaos, seed 7)"
+CHAOS_DIR=artifacts/chaos-jobs
+CHAOS_ERR=artifacts/chaos-serve.err
+rm -rf "$CHAOS_DIR"
+rm -f "$CHAOS_ERR"
+"$SPINDLE" serve 127.0.0.1:0 --queue-bound 16 --parallel 2 --dir "$CHAOS_DIR" \
+    --max-retries 2 --retry-base-ms 100 --stall-timeout 2 --drain-timeout 10 \
+    2> "$CHAOS_ERR" &
+CHAOS_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's|^# serving jobs on http://||p' "$CHAOS_ERR" 2>/dev/null | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAILED: chaos daemon never announced a bound address" >&2
+    fail=1
+    kill -9 "$CHAOS_PID" 2>/dev/null
+else
+    run "$SPINDLE" chaos "http://$ADDR" --seed 7 --daemon-pid "$CHAOS_PID" \
+        --input "$SMOKE" --out artifacts/chaos.json
+    if ! grep -q '"invariant_ok":true' artifacts/chaos.json; then
+        echo "FAILED: chaos terminal-state invariant violated" >&2
+        fail=1
+    fi
+    wait "$CHAOS_PID" 2>/dev/null
+    # The drain left the backlog journaled without terminal records; a
+    # resume restart re-adopts it and must run it dry.
+    rm -f "$CHAOS_ERR"
+    "$SPINDLE" serve 127.0.0.1:0 --parallel 2 --resume-dir "$CHAOS_DIR" 2> "$CHAOS_ERR" &
+    CHAOS_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR=$(sed -n 's|^# serving jobs on http://||p' "$CHAOS_ERR" 2>/dev/null | head -n1)
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+    done
+    if [ -z "$ADDR" ]; then
+        echo "FAILED: chaos resume daemon never announced an address" >&2
+        fail=1
+    else
+        drained_ok=0
+        for _ in $(seq 1 600); do
+            if ! curl -s "http://$ADDR/jobs" | grep -Eq '"state":"(queued|running)"'; then
+                drained_ok=1
+                break
+            fi
+            sleep 0.1
+        done
+        if [ "$drained_ok" -ne 1 ]; then
+            echo "FAILED: drained backlog never ran dry after --resume-dir" >&2
+            fail=1
+        fi
+    fi
+    kill -9 "$CHAOS_PID" 2>/dev/null
+fi
+rm -rf "$CHAOS_DIR"
+
 exit "$fail"

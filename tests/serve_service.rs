@@ -1,7 +1,8 @@
 //! End-to-end tests of the simulation-as-a-service daemon through the
 //! real `spindle` binary: admission control under concurrency,
 //! byte-identical artifacts, kill -9 crash recovery, fault-job
-//! quarantine, and a 100-client load test.
+//! quarantine, a DELETE-vs-completion race, supervision (deadlines
+//! and retries) over real children, and a 100-client load test.
 
 #![cfg(unix)]
 
@@ -334,6 +335,153 @@ fn fault_jobs_fail_in_quarantine_and_hostile_specs_bounce_while_the_daemon_survi
     assert_eq!(daemon.get("/healthz").status, 200);
     let id = daemon.submit(&generate_spec(5, 1));
     daemon.wait_state(&id, "done");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn delete_racing_completion_resolves_to_exactly_one_terminal_state() {
+    let dir = fresh_dir("delrace");
+    let daemon = Daemon::boot(&["--parallel", "2", "--dir", dir.to_str().unwrap()]);
+    let terminal = [
+        "done",
+        "failed",
+        "cancelled",
+        "timed_out",
+        "stalled",
+        "quarantined",
+    ];
+    for i in 0..10u64 {
+        let id = daemon.submit(&generate_spec(5, 200 + i));
+        // Vary the race window from "still queued" to "surely done" so
+        // the DELETE lands on every side of the finish line.
+        std::thread::sleep(Duration::from_millis(i * 15));
+        let r = daemon.delete(&format!("/jobs/{id}"));
+        assert!(
+            [200, 202, 409].contains(&r.status),
+            "iteration {i}: DELETE got {}: {}",
+            r.status,
+            r.body
+        );
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let state = loop {
+            let g = daemon.get(&format!("/jobs/{id}"));
+            assert_eq!(g.status, 200, "iteration {i}: job vanished");
+            let doc = json::parse(g.body.trim()).expect("job detail is JSON");
+            let now = doc
+                .get("state")
+                .and_then(Json::as_str)
+                .expect("job has a state")
+                .to_owned();
+            if terminal.contains(&now.as_str()) {
+                break now;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "iteration {i}: job stuck in `{now}` after DELETE"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        // Exactly one clean outcome: the cancel won or the job did.
+        assert!(
+            ["done", "cancelled"].contains(&state.as_str()),
+            "iteration {i}: job ended `{state}`"
+        );
+        // A 409 means the job beat the cancel to a terminal state.
+        if r.status == 409 {
+            assert_eq!(state, "done", "iteration {i}: 409 implies completion");
+        }
+        // A completed job's artifact survived the racing cancel.
+        if state == "done" {
+            let a = daemon.get(&format!("/jobs/{id}/artifacts/stdout.txt"));
+            assert_eq!(a.status, 200, "iteration {i}: done job lost its artifact");
+            assert!(!a.body.is_empty(), "iteration {i}: artifact is empty");
+        }
+        // The outcome is stable: a second DELETE is a clean 409 that
+        // names the state and never flips it (no double-kill path).
+        let again = daemon.delete(&format!("/jobs/{id}"));
+        assert_eq!(again.status, 409, "iteration {i}: {}", again.body);
+        assert!(
+            again.body.contains(&state),
+            "iteration {i}: 409 names the state: {}",
+            again.body
+        );
+        let g = daemon.get(&format!("/jobs/{id}"));
+        let doc = json::parse(g.body.trim()).expect("job detail is JSON");
+        assert_eq!(
+            doc.get("state").and_then(Json::as_str),
+            Some(state.as_str()),
+            "iteration {i}: state flipped after second DELETE"
+        );
+    }
+    assert_eq!(daemon.get("/healthz").status, 200);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadlines_and_retries_supervise_real_child_processes() {
+    let dir = fresh_dir("supervise");
+    let daemon = Daemon::boot(&[
+        "--parallel",
+        "1",
+        "--dir",
+        dir.to_str().unwrap(),
+        "--max-retries",
+        "2",
+        "--retry-base-ms",
+        "50",
+    ]);
+
+    // A week-long generate against a 1-second spec deadline: the
+    // watchdog kills the real child and the job lands timed_out.
+    let r = daemon.post(
+        "/jobs",
+        "{\"kind\":\"generate\",\"env\":\"web\",\"span\":604800,\"seed\":3,\"deadline_secs\":1}",
+    );
+    assert_eq!(r.status, 201, "{}", r.body);
+    let id = json::parse(r.body.trim())
+        .expect("accept body is JSON")
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("accept body has id")
+        .to_owned();
+    let doc = daemon.wait_state(&id, "timed_out");
+    assert!(
+        doc.get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("deadline of 1s exceeded")),
+        "timed_out job explains itself: {doc}"
+    );
+
+    // A matrix job whose fault plan SIGKILLs the child after its first
+    // journal record: the retry resumes past the completed record (the
+    // kill site never re-fires) and the job completes.
+    if experiments_bin().is_some() {
+        let r = daemon.post(
+            "/jobs",
+            "{\"kind\":\"matrix\",\"quick\":true,\"ids\":[\"t1\"],\"faults\":\"kill@0\"}",
+        );
+        assert_eq!(r.status, 201, "matrix submit: {}", r.body);
+        let id = json::parse(r.body.trim())
+            .expect("matrix accept is JSON")
+            .get("id")
+            .and_then(Json::as_str)
+            .expect("matrix accept has id")
+            .to_owned();
+        let doc = daemon.wait_state(&id, "done");
+        assert!(
+            doc.get("attempt").and_then(Json::as_u64).unwrap_or(0) >= 1,
+            "retried job records its attempt ordinal: {doc}"
+        );
+        let metrics = daemon.get("/metrics");
+        assert!(
+            metrics.body.contains("serve_jobs_retried"),
+            "retry counter registered"
+        );
+    } else {
+        eprintln!("skipping matrix retry job: no experiments binary next to spindle");
+    }
+
+    assert_eq!(daemon.get("/healthz").status, 200);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
