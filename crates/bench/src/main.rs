@@ -193,7 +193,12 @@ fn main() {
     }
     // A trace wants the event ring mirrored onto the timeline, so it
     // claims the (first-call-wins) global config before `--metrics`.
-    let recorder = trace_out.as_ref().map(|_| {
+    // A trace context in the environment (the serve daemon mints one
+    // per job attempt) also installs the recorder: the spans ship back
+    // over the frame protocol at exporter shutdown instead of landing
+    // in a local file. Observer-only — stdout stays byte-identical.
+    let traced = trace_out.is_some() || spindle_obs::TraceContext::from_env().is_some();
+    let recorder = traced.then(|| {
         let rec = Arc::new(FlightRecorder::new());
         spindle_obs::recorder::install(Arc::clone(&rec));
         pipeline::enable_observability(ObsConfig::enabled());

@@ -63,6 +63,8 @@ USAGE:
   spindle anonymize --in FILE --out FILE [--key N] [--extent SECTORS]
   spindle bench diff OLD NEW [--threshold PCT] [--format md|json]
                    [--out FILE]
+  spindle trace assemble --dir JOBDIR [--out FILE]
+  spindle trace check FILE
   spindle serve    [ADDR] [--queue-bound N] [--parallel N]
                    [--dir DIR | --resume-dir DIR]
                    [--default-deadline SECS] [--max-deadline SECS]
@@ -135,6 +137,14 @@ until --breaker-cooldown expires. SIGTERM drains gracefully: new
 submissions get 503 + Retry-After, running jobs get --drain-timeout
 seconds to finish, and unfinished work is left journaled for the
 next --resume-dir restart.
+
+`spindle trace assemble` rebuilds a serve job's causal trace offline:
+point --dir at a job's artifact directory (holding the spans.jsonl
+the daemon persisted) and get the same self-contained Chrome
+trace-event document GET /jobs/ID/trace serves — daemon lifecycle
+spans, the child's clock-aligned wall spans, and its sim-time tracks.
+`spindle trace check` structurally validates any trace-event JSON
+file and exits non-zero on the first violation.
 
 `spindle chaos` runs a seeded fault campaign against a serve daemon:
 scripted kill/hang/stall/io faults drive jobs through the retry,
@@ -401,11 +411,19 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
     }
     // A requested trace installs a flight recorder for the whole
     // invocation: spans and pool workers report wall-clock slices, and
-    // the simulation helpers attach sim-time instrumentation.
-    let recorder = obs.trace.as_ref().map(|path| {
+    // the simulation helpers attach sim-time instrumentation. A trace
+    // context in the environment (the serve daemon mints one per job
+    // attempt) does the same even without --trace-out: the recorded
+    // spans ship upstream over the frame protocol at exporter shutdown
+    // instead of landing in a local file. Observer-only either way —
+    // stdout and every artifact stay byte-identical.
+    let traced = obs.trace.is_some() || spindle_obs::TraceContext::from_env().is_some();
+    let recorder = traced.then(|| {
         let rec = Arc::new(FlightRecorder::new());
         spindle_obs::recorder::install(Arc::clone(&rec));
-        *TRACE_PATH.lock().expect("trace path lock") = Some(path.clone());
+        if let Some(path) = &obs.trace {
+            *TRACE_PATH.lock().expect("trace path lock") = Some(path.clone());
+        }
         rec
     });
     let (telemetry, exporter) = start_telemetry(&obs, argv.first().map_or("idle", String::as_str))?;
@@ -460,6 +478,7 @@ fn dispatch_command(argv: &[String]) -> CmdResult {
         "power" => power(&parse(rest, &["no-write-back"])?),
         "anonymize" => anonymize(&parse(rest, &[])?),
         "bench" => bench(rest),
+        "trace" => trace_cmd(rest),
         "serve" => serve_cmd(rest),
         "loadtest" => loadtest_cmd(rest),
         "chaos" => chaos_cmd(rest),
@@ -469,6 +488,62 @@ fn dispatch_command(argv: &[String]) -> CmdResult {
         }
         other => Err(format!("unknown command `{other}` (try `spindle help`)").into()),
     }
+}
+
+fn trace_cmd(rest: &[String]) -> CmdResult {
+    const USAGE: &str = "usage: spindle trace assemble --dir JOBDIR [--out FILE]\n\
+                         \x20      spindle trace check FILE";
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err(USAGE.into());
+    };
+    match sub.as_str() {
+        "assemble" => trace_assemble(rest),
+        "check" => trace_check(rest),
+        other => Err(format!("unknown trace subcommand `{other}` ({USAGE})").into()),
+    }
+}
+
+/// `spindle trace assemble --dir JOBDIR`: rebuilds a job's Chrome
+/// trace-event document offline from the `spans.jsonl` the serve
+/// daemon persisted — the same document `GET /jobs/ID/trace` serves,
+/// available after the daemon is gone.
+fn trace_assemble(rest: &[String]) -> CmdResult {
+    let opts = parse(rest, &[])?;
+    let Some(dir) = opts.get("dir") else {
+        return Err("trace assemble needs --dir JOBDIR (a job's artifact directory)".into());
+    };
+    let doc = spindle_serve::trace::assemble_dir(std::path::Path::new(dir))?;
+    spindle_obs::trace_event::check_document(&doc)
+        .map_err(|e| format!("assembled document failed its own structural check: {e}"))?;
+    let rendered = format!("{doc}\n");
+    match opts.get("out") {
+        Some(path) => {
+            write_output_file(path, &rendered)?;
+            progress!("wrote trace to {path} (load it in Perfetto or chrome://tracing)");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// `spindle trace check FILE`: structural validation of a Chrome
+/// trace-event JSON document (ours or anyone's), exit non-zero on the
+/// first violation.
+fn trace_check(rest: &[String]) -> CmdResult {
+    let [path] = rest else {
+        return Err("trace check needs exactly one FILE".into());
+    };
+    let text =
+        std::fs::read_to_string(path.as_str()).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let doc = spindle_obs::json::parse(&text).map_err(|e| format!("`{path}` is not JSON: {e}"))?;
+    spindle_obs::trace_event::check_document(&doc)
+        .map_err(|e| format!("`{path}` is not a valid trace document: {e}"))?;
+    let events = match doc.get("traceEvents") {
+        Some(spindle_obs::json::Json::Arr(events)) => events.len(),
+        _ => 0,
+    };
+    progress!("{path}: ok ({events} trace events)");
+    Ok(())
 }
 
 fn bench(rest: &[String]) -> CmdResult {

@@ -17,10 +17,16 @@
 //!   shutdown when the child maintains its own wheel.
 //! * [`Frame::Progress`] — phase name plus completed/total work units.
 //! * [`Frame::Log`] — one exporter-side log-tail line.
+//! * [`Frame::Span`] — a [`SpanBatch`]: flight-recorder intervals
+//!   (wall spans on the child's monotonic clock, sim slices on the
+//!   simulated-time axis), shipped at shutdown so the daemon can
+//!   assemble a causal cross-process trace.
 //!
 //! [`Frame::Hello`] opens every stream (protocol version, child pid,
-//! label) and [`Frame::Bye`] closes it cleanly; a stream that ends
-//! without `Bye` is a torn tail (child killed mid-stream).
+//! label, and the sender's monotonic-epoch reading, which lets the
+//! receiver compute a per-child clock offset and align wall spans onto
+//! its own timeline) and [`Frame::Bye`] closes it cleanly; a stream
+//! that ends without `Bye` is a torn tail (child killed mid-stream).
 //!
 //! # Wire format
 //!
@@ -34,10 +40,14 @@
 //! map-like payloads are emitted in sorted key order so encoding a
 //! given frame is byte-deterministic. The decoder is incremental and
 //! hostile-input safe: truncated prefixes simply wait for more bytes,
-//! bit flips fail the checksum, an unknown version or kind is a typed
-//! error, and no declared count is trusted for allocation — a decode
-//! error poisons the stream (length-prefixed framing cannot resync)
-//! but never panics.
+//! bit flips fail the checksum, an unknown version is a typed error,
+//! and no declared count is trusted for allocation — a decode error
+//! poisons the stream (length-prefixed framing cannot resync) but
+//! never panics. The one forward-compat carve-out: a checksum-valid
+//! frame whose *kind byte* is unknown is skipped and counted
+//! ([`FrameDecoder::skipped`]) rather than poisoning, because the
+//! length prefix already delimits it exactly — an old daemon
+//! tolerates a newer child's extra frame kinds.
 //!
 //! [`RollupSet`]: crate::rollup::RollupSet
 //! [`rollup::snapshot_delta`]: crate::rollup::snapshot_delta
@@ -47,10 +57,15 @@ use crate::registry::{HistogramSnapshot, Snapshot};
 use crate::rollup::{ResolutionSnapshot, WindowAccum};
 use std::fmt;
 
-/// Protocol version carried in every [`Frame::Hello`]. A receiver
-/// rejects any other version with [`FrameError::Version`] rather than
-/// guessing at an unknown layout.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Protocol version carried in every [`Frame::Hello`]. Version 2
+/// added the Hello `epoch_ns` field and the [`Frame::Span`] kind; a
+/// version-1 Hello (no epoch field) still decodes, with `epoch_ns`
+/// reported as 0. Any other version is [`FrameError::Version`] rather
+/// than a guess at an unknown layout.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// The last protocol version this decoder still accepts.
+const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Upper bound on one frame's body, rejecting hostile length prefixes
 /// before any allocation. Real snapshots are a few KiB.
@@ -68,6 +83,7 @@ const KIND_WINDOWS: u8 = 3;
 const KIND_PROGRESS: u8 = 4;
 const KIND_LOG: u8 = 5;
 const KIND_BYE: u8 = 6;
+const KIND_SPAN: u8 = 7;
 
 fn fnv1a(bytes: &[u8]) -> u32 {
     let mut hash: u32 = 0x811c_9dc5;
@@ -83,12 +99,19 @@ fn fnv1a(bytes: &[u8]) -> u32 {
 pub enum Frame {
     /// Stream opener: protocol version, child pid, free-form label.
     Hello {
-        /// Must equal [`PROTOCOL_VERSION`]; the decoder enforces this.
+        /// Must be a version the decoder speaks (1 or 2); anything
+        /// else is [`FrameError::Version`].
         version: u16,
         /// The sender's process id (0 when unknown).
         pid: u32,
         /// Free-form sender label (binary name, job id, …).
         label: String,
+        /// Nanoseconds already elapsed on the sender's span clock (the
+        /// flight-recorder epoch) when this Hello was encoded. The
+        /// receiver reads its own clock at decode time and subtracts,
+        /// yielding the per-child offset that maps span timestamps
+        /// onto the receiver's timeline. 0 from version-1 senders.
+        epoch_ns: u64,
     },
     /// A full registry snapshot at `t_ns` since the export epoch.
     /// Spans are not carried — window accumulators do not bank them.
@@ -125,6 +148,43 @@ pub enum Frame {
         /// Frames the sender emitted before this one.
         frames_sent: u64,
     },
+    /// A batch of flight-recorder spans (protocol version 2).
+    Span(SpanBatch),
+}
+
+/// A batch of flight-recorder intervals shipped upstream so the
+/// receiver can assemble a cross-process trace. Wall spans are
+/// stamped on the sender's span clock (the same epoch the Hello's
+/// `epoch_ns` reads); sim spans are on the simulated-time axis and
+/// need no clock alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanBatch {
+    /// Nanoseconds since the sender's export epoch when the batch was
+    /// encoded.
+    pub t_ns: u64,
+    /// Spans the sender recorded but did not ship (batch cap hit);
+    /// non-zero means the trace is truncated, visibly.
+    pub dropped: u64,
+    /// The spans, in recording order.
+    pub spans: Vec<SpanRec>,
+}
+
+/// One interval or instant in a [`SpanBatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRec {
+    /// `true`: simulated-time axis; `false`: the sender's wall clock.
+    pub sim: bool,
+    /// Track name (sim) or thread label (wall).
+    pub track: String,
+    /// What the span is.
+    pub name: String,
+    /// Start in nanoseconds — simulated time, or the sender's span
+    /// clock for wall spans.
+    pub begin_ns: u64,
+    /// Duration in nanoseconds; `None` marks an instant event.
+    pub dur_ns: Option<u64>,
+    /// Pre-rendered JSON object of span detail (empty when none).
+    pub args: String,
 }
 
 /// One rollup resolution's retained windows plus its evicted
@@ -229,9 +289,12 @@ impl WindowBatch {
     }
 }
 
-/// Why a frame could not be decoded. Any error poisons the stream:
-/// length-prefixed framing has no resync point, so the receiver stops
-/// reading (and counts the error) instead of guessing.
+/// Why a frame could not be decoded. Every error except
+/// [`FrameError::UnknownKind`] poisons the stream: length-prefixed
+/// framing has no resync point, so the receiver stops reading (and
+/// counts the error) instead of guessing. An unknown kind on a
+/// checksum-valid frame is skipped instead — the length prefix
+/// delimits it exactly, so the stream stays decodable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FrameError {
     /// A checksum-valid frame body ended before its declared fields.
@@ -360,11 +423,17 @@ impl Frame {
                 version,
                 pid,
                 label,
+                epoch_ns,
             } => {
                 body.push(KIND_HELLO);
                 put_u16(&mut body, *version);
                 put_u32(&mut body, *pid);
                 put_str(&mut body, label);
+                // The epoch field exists from version 2 on; a v1 Hello
+                // must stay byte-compatible with v1 decoders.
+                if *version >= 2 {
+                    put_u64(&mut body, *epoch_ns);
+                }
             }
             Frame::Snapshot { t_ns, snapshot } => {
                 body.push(KIND_SNAPSHOT);
@@ -419,6 +488,29 @@ impl Frame {
                 body.push(KIND_BYE);
                 put_u64(&mut body, *t_ns);
                 put_u64(&mut body, *frames_sent);
+            }
+            Frame::Span(batch) => {
+                body.push(KIND_SPAN);
+                put_u64(&mut body, batch.t_ns);
+                put_u64(&mut body, batch.dropped);
+                put_u32(&mut body, batch.spans.len() as u32);
+                for s in &batch.spans {
+                    let mut flags = 0u8;
+                    if s.sim {
+                        flags |= 1;
+                    }
+                    if s.dur_ns.is_some() {
+                        flags |= 2;
+                    }
+                    body.push(flags);
+                    put_str(&mut body, &s.track);
+                    put_str(&mut body, &s.name);
+                    put_u64(&mut body, s.begin_ns);
+                    if let Some(dur) = s.dur_ns {
+                        put_u64(&mut body, dur);
+                    }
+                    put_str(&mut body, &s.args);
+                }
             }
         }
         let mut out = Vec::with_capacity(body.len() + 8);
@@ -542,15 +634,19 @@ fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
     let frame = match kind {
         KIND_HELLO => {
             let version = r.u16()?;
-            if version != PROTOCOL_VERSION {
+            if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                 return Err(FrameError::Version { got: version });
             }
             let pid = r.u32()?;
             let label = r.str()?;
+            // Version 1 predates the epoch field; report it as 0 so
+            // receivers can still tell "no reading" from a real one.
+            let epoch_ns = if version >= 2 { r.u64()? } else { 0 };
             Frame::Hello {
                 version,
                 pid,
                 label,
+                epoch_ns,
             }
         }
         KIND_SNAPSHOT => {
@@ -629,6 +725,36 @@ fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
             let frames_sent = r.u64()?;
             Frame::Bye { t_ns, frames_sent }
         }
+        KIND_SPAN => {
+            let t_ns = r.u64()?;
+            let dropped = r.u64()?;
+            let n = r.u32()?;
+            let mut spans = Vec::new();
+            for _ in 0..n {
+                let flags = r.u8()?;
+                if flags & !3 != 0 {
+                    return Err(FrameError::Corrupt("unknown span flags"));
+                }
+                let track = r.str()?;
+                let name = r.str()?;
+                let begin_ns = r.u64()?;
+                let dur_ns = if flags & 2 != 0 { Some(r.u64()?) } else { None };
+                let args = r.str()?;
+                spans.push(SpanRec {
+                    sim: flags & 1 != 0,
+                    track,
+                    name,
+                    begin_ns,
+                    dur_ns,
+                    args,
+                });
+            }
+            Frame::Span(SpanBatch {
+                t_ns,
+                dropped,
+                spans,
+            })
+        }
         other => return Err(FrameError::UnknownKind(other)),
     };
     r.done()?;
@@ -640,11 +766,16 @@ fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
 /// Feed arbitrary chunks via [`FrameDecoder::push`]; drain complete
 /// frames via [`FrameDecoder::next_frame`]. `Ok(None)` means "waiting
 /// for more bytes"; any `Err` poisons the decoder permanently (the
-/// stream has no resync point) and repeats on later calls.
+/// stream has no resync point) and repeats on later calls. The one
+/// exception is an unknown *kind* on a checksum-valid frame: the
+/// length prefix delimits it exactly, so the decoder skips it, bumps
+/// [`FrameDecoder::skipped`], and keeps decoding — a v1 receiver
+/// tolerates a v2 sender's extra frame kinds.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     consumed: usize,
+    skipped: u64,
     poisoned: Option<FrameError>,
 }
 
@@ -669,6 +800,13 @@ impl FrameDecoder {
         self.buf.len() - self.consumed
     }
 
+    /// Checksum-valid frames skipped because their kind byte named no
+    /// frame type this decoder knows (a newer sender's extra kinds).
+    #[must_use]
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
     fn poison(&mut self, err: FrameError) -> Result<Option<Frame>, FrameError> {
         self.poisoned = Some(err.clone());
         Err(err)
@@ -684,31 +822,47 @@ impl FrameDecoder {
         if let Some(err) = &self.poisoned {
             return Err(err.clone());
         }
-        let avail = &self.buf[self.consumed..];
-        if avail.len() < 8 {
-            return Ok(None);
+        loop {
+            let avail = &self.buf[self.consumed..];
+            if avail.len() < 8 {
+                return Ok(None);
+            }
+            let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+            if len == 0 {
+                return self.poison(FrameError::Corrupt("zero-length frame"));
+            }
+            if len > MAX_FRAME_LEN {
+                return self.poison(FrameError::Oversize { len });
+            }
+            let total = 8 + len as usize;
+            if avail.len() < total {
+                return Ok(None);
+            }
+            let expected = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]);
+            let body = &avail[8..total];
+            let got = fnv1a(body);
+            if got != expected {
+                return self.poison(FrameError::Checksum { expected, got });
+            }
+            let frame = match decode_body(body) {
+                Ok(f) => f,
+                // The checksum already vouched for the bytes and the
+                // length prefix delimits them, so an unrecognized kind
+                // is safe to step over: count it and try the next
+                // frame rather than killing the stream.
+                Err(FrameError::UnknownKind(_)) => {
+                    self.skipped += 1;
+                    self.advance(total);
+                    continue;
+                }
+                Err(e) => return self.poison(e),
+            };
+            self.advance(total);
+            return Ok(Some(frame));
         }
-        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
-        if len == 0 {
-            return self.poison(FrameError::Corrupt("zero-length frame"));
-        }
-        if len > MAX_FRAME_LEN {
-            return self.poison(FrameError::Oversize { len });
-        }
-        let total = 8 + len as usize;
-        if avail.len() < total {
-            return Ok(None);
-        }
-        let expected = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]);
-        let body = &avail[8..total];
-        let got = fnv1a(body);
-        if got != expected {
-            return self.poison(FrameError::Checksum { expected, got });
-        }
-        let frame = match decode_body(body) {
-            Ok(f) => f,
-            Err(e) => return self.poison(e),
-        };
+    }
+
+    fn advance(&mut self, total: usize) {
         self.consumed += total;
         // Reclaim the consumed prefix once it dominates the buffer so
         // a long-lived stream stays bounded by its largest frame.
@@ -716,7 +870,6 @@ impl FrameDecoder {
             self.buf.drain(..self.consumed);
             self.consumed = 0;
         }
-        Ok(Some(frame))
     }
 }
 
@@ -749,6 +902,7 @@ mod tests {
                 version: PROTOCOL_VERSION,
                 pid: 4242,
                 label: "job-0001".to_owned(),
+                epoch_ns: 123_456_789,
             },
             Frame::Snapshot {
                 t_ns: 1_500_000_000,
@@ -772,6 +926,28 @@ mod tests {
                 t_ns: 3_000_000_000,
                 frames_sent: 5,
             },
+            Frame::Span(SpanBatch {
+                t_ns: 2_900_000_000,
+                dropped: 3,
+                spans: vec![
+                    SpanRec {
+                        sim: false,
+                        track: "main".to_owned(),
+                        name: "cli.simulate".to_owned(),
+                        begin_ns: 1_000,
+                        dur_ns: Some(2_000_000),
+                        args: "{\"phase\":\"run\"}".to_owned(),
+                    },
+                    SpanRec {
+                        sim: true,
+                        track: "drive.events".to_owned(),
+                        name: "cache_miss".to_owned(),
+                        begin_ns: 42,
+                        dur_ns: None,
+                        args: String::new(),
+                    },
+                ],
+            }),
         ]
     }
 
@@ -867,6 +1043,7 @@ mod tests {
             version: 99,
             pid: 1,
             label: "future".to_owned(),
+            epoch_ns: 0,
         };
         let mut dec = FrameDecoder::new();
         dec.push(&skewed.encode());
@@ -874,15 +1051,61 @@ mod tests {
     }
 
     #[test]
-    fn unknown_kind_is_a_typed_error() {
-        let body = vec![42u8, 0, 0];
+    fn v1_hello_still_decodes_with_a_zero_epoch() {
+        // A version-1 Hello has no epoch field; hand-encode one.
+        let mut body = vec![KIND_HELLO];
+        body.extend_from_slice(&1u16.to_le_bytes());
+        body.extend_from_slice(&77u32.to_le_bytes());
+        body.extend_from_slice(&3u16.to_le_bytes());
+        body.extend_from_slice(b"old");
         let mut wire = Vec::new();
         wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
         wire.extend_from_slice(&fnv1a(&body).to_le_bytes());
         wire.extend_from_slice(&body);
         let mut dec = FrameDecoder::new();
         dec.push(&wire);
-        assert_eq!(dec.next_frame(), Err(FrameError::UnknownKind(42)));
+        assert_eq!(
+            dec.next_frame().expect("v1 accepted"),
+            Some(Frame::Hello {
+                version: 1,
+                pid: 77,
+                label: "old".to_owned(),
+                epoch_ns: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_kinds_are_skipped_and_counted_not_poisonous() {
+        // A checksum-valid frame of an unknown (future) kind, followed
+        // by a perfectly ordinary frame: the decoder must step over
+        // the stranger and keep going, counting what it skipped.
+        let mut wire = Vec::new();
+        for kind in [42u8, 200u8] {
+            let body = vec![kind, 1, 2, 3];
+            wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            wire.extend_from_slice(&fnv1a(&body).to_le_bytes());
+            wire.extend_from_slice(&body);
+        }
+        let survivor = all_kinds()[3].clone();
+        wire.extend_from_slice(&survivor.encode());
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert_eq!(dec.next_frame().expect("skip, then decode"), Some(survivor));
+        assert_eq!(dec.skipped(), 2, "both strangers counted");
+        assert_eq!(dec.next_frame().expect("stream still healthy"), None);
+        assert_eq!(dec.buffered(), 0);
+        // A corrupt *body* of an unknown kind still fails the checksum
+        // path first; only checksum-valid strangers are skipped.
+        let mut flipped = vec![99u8, 0, 0];
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(flipped.len() as u32).to_le_bytes());
+        bad.extend_from_slice(&fnv1a(&flipped).to_le_bytes());
+        flipped[1] ^= 0xFF;
+        bad.extend_from_slice(&flipped);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad);
+        assert!(matches!(dec.next_frame(), Err(FrameError::Checksum { .. })));
     }
 
     #[test]
@@ -909,6 +1132,51 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.push(&wire);
         assert!(matches!(dec.next_frame(), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn hostile_span_frames_fail_typed_never_panic() {
+        let batch = all_kinds()[6].clone();
+        let wire = batch.encode();
+        // Checksum-valid truncation mid-span: re-frame a cut body.
+        let body = wire[8..wire.len() - 6].to_vec();
+        let mut cut = Vec::new();
+        cut.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        cut.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        cut.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new();
+        dec.push(&cut);
+        assert_eq!(dec.next_frame(), Err(FrameError::Truncated));
+        // A hostile span count never allocates: claim 4 billion spans
+        // with a four-byte body behind the claim.
+        let mut body = vec![KIND_SPAN];
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        body.extend_from_slice(&[0, 0, 0, 0]);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        wire.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert_eq!(dec.next_frame(), Err(FrameError::Truncated));
+        // Undefined flag bits are a structural refusal, not a guess.
+        let mut body = vec![KIND_SPAN];
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.push(0xF0);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        wire.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::Corrupt("unknown span flags"))
+        );
     }
 
     #[test]

@@ -24,8 +24,13 @@
 //! * [`frame`] — the cross-process telemetry frame protocol: a
 //!   compact, versioned, length-prefixed and checksummed binary codec
 //!   (snapshot deltas, rollup-window batches, progress/phase events,
-//!   log-tail events) with an incremental, hostile-input-safe decoder,
-//!   spoken between job children and the `spindle serve` daemon.
+//!   log-tail events, flight-recorder span batches) with an
+//!   incremental, hostile-input-safe decoder, spoken between job
+//!   children and the `spindle serve` daemon.
+//! * [`context`] — cross-process trace-context propagation: the
+//!   [`TraceContext`] the serve daemon mints per job attempt and hands
+//!   to children via `SPINDLE_TRACE_CONTEXT`, tying daemon lifecycle
+//!   spans and child flight-recorder spans into one causal trace.
 //! * [`events`] — a fixed-capacity ring-buffer [`EventLog`] for
 //!   simulator-level events (request enqueue/dispatch/complete, cache
 //!   hit/miss, destage, idle begin/end), gated behind [`ObsConfig`].
@@ -79,6 +84,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod context;
 pub mod events;
 pub mod exemplar;
 pub mod frame;
@@ -93,9 +99,10 @@ pub mod span;
 pub mod trace_event;
 
 pub use config::ObsConfig;
+pub use context::TraceContext;
 pub use events::{Event, EventKind, EventLog};
 pub use exemplar::{Exemplar, ExemplarHandle, ExemplarStore};
-pub use frame::{Frame, FrameDecoder, FrameError, WindowBatch};
+pub use frame::{Frame, FrameDecoder, FrameError, SpanBatch, SpanRec, WindowBatch};
 pub use logger::LogLevel;
 pub use prom::PromSink;
 pub use recorder::{FlightRecorder, SimSlice, WallSlice};

@@ -224,6 +224,73 @@ pub fn trace_json(recorder: &FlightRecorder, include_wall: bool) -> Json {
     ])
 }
 
+/// Structural validation of a Chrome trace-event document: the checks
+/// Perfetto's importer effectively makes, as typed errors instead of a
+/// silently empty timeline. Accepts documents from both
+/// [`TraceEventSink`] and the serve daemon's cross-process assembly.
+///
+/// # Errors
+///
+/// A message naming the first offending event and what is wrong with
+/// it: missing `traceEvents`, an event without `ph`/`pid`, a non-meta
+/// event without `ts`/`tid`, a complete event without `dur`, a flow
+/// event without `id`, or a negative timestamp.
+pub fn check_document(doc: &Json) -> Result<(), String> {
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        return Err("document has no `traceEvents` array".to_owned());
+    };
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} has no `ph`: {e}"))?;
+        if e.get("pid").and_then(Json::as_u64).is_none() {
+            return Err(format!("event {i} has no numeric `pid`: {e}"));
+        }
+        if e.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("event {i} has no `name`: {e}"));
+        }
+        if ph == "M" {
+            continue;
+        }
+        let ts = e
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i} ({ph}) has no numeric `ts`: {e}"))?;
+        if ts < 0.0 {
+            return Err(format!("event {i} has negative ts {ts}: {e}"));
+        }
+        if e.get("tid").and_then(Json::as_u64).is_none() {
+            return Err(format!("event {i} ({ph}) has no numeric `tid`: {e}"));
+        }
+        match ph {
+            "X" => {
+                let dur = e
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("complete event {i} has no `dur`: {e}"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i} has negative dur {dur}: {e}"));
+                }
+            }
+            "i" => {
+                if e.get("s").and_then(Json::as_str).is_none() {
+                    return Err(format!("instant event {i} has no scope `s`: {e}"));
+                }
+            }
+            "s" | "f" => {
+                if e.get("id").and_then(Json::as_u64).is_none() {
+                    return Err(format!("flow event {i} has no numeric `id`: {e}"));
+                }
+            }
+            other => {
+                return Err(format!("event {i} has unknown phase `{other}`: {e}"));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +415,41 @@ mod tests {
             .clone();
         assert_eq!(ev.get("ts").and_then(Json::as_f64), Some(1.5));
         assert_eq!(ev.get("dur").and_then(Json::as_f64), Some(0.25));
+    }
+
+    #[test]
+    fn checker_accepts_exports_and_rejects_structural_damage() {
+        let doc = TraceEventSink::full().to_json(&sample());
+        check_document(&doc).expect("exported documents pass");
+
+        assert!(check_document(&Json::Obj(vec![]))
+            .unwrap_err()
+            .contains("traceEvents"));
+        // A complete event with no duration is the classic way a trace
+        // renders empty; the checker names it.
+        let bad = Json::Obj(vec![(
+            "traceEvents".to_owned(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("name".to_owned(), Json::Str("x".to_owned())),
+                ("ph".to_owned(), Json::Str("X".to_owned())),
+                ("pid".to_owned(), Json::Uint(1)),
+                ("tid".to_owned(), Json::Uint(1)),
+                ("ts".to_owned(), Json::Num(1.0)),
+            ])]),
+        )]);
+        assert!(check_document(&bad).unwrap_err().contains("dur"));
+        // Flow events need an id to bind `s` to `f`.
+        let flow = Json::Obj(vec![(
+            "traceEvents".to_owned(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("name".to_owned(), Json::Str("link".to_owned())),
+                ("ph".to_owned(), Json::Str("s".to_owned())),
+                ("pid".to_owned(), Json::Uint(1)),
+                ("tid".to_owned(), Json::Uint(1)),
+                ("ts".to_owned(), Json::Num(1.0)),
+            ])]),
+        )]);
+        assert!(check_document(&flow).unwrap_err().contains("id"));
     }
 
     #[test]

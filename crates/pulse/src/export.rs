@@ -19,8 +19,9 @@
 //! blocks": the daemon is responsible for draining its end promptly.
 
 use crate::status::RunStatus;
-use spindle_obs::frame::{Frame, WindowBatch, PROTOCOL_VERSION, SINK_ENV};
-use spindle_obs::{MetricsRegistry, RollupSet};
+use spindle_obs::frame::{Frame, SpanBatch, SpanRec, WindowBatch, PROTOCOL_VERSION, SINK_ENV};
+use spindle_obs::json::Json;
+use spindle_obs::{FlightRecorder, MetricsRegistry, RollupSet};
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -35,6 +36,14 @@ pub const EXPORT_CADENCE: Duration = Duration::from_millis(100);
 
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
 const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Hard cap on span records shipped in the final flush; a pathological
+/// recorder (millions of sim events) must not turn shutdown into a
+/// multi-second network stall. Excess is counted, not silently lost.
+const MAX_SPAN_RECS: usize = 8192;
+/// Records per `Span` frame; keeps every frame well under
+/// `MAX_FRAME_LEN` even with long track names and args.
+const SPAN_BATCH_RECS: usize = 512;
 
 #[derive(Debug)]
 struct Shared {
@@ -176,10 +185,18 @@ impl Exporter {
             logs: Mutex::new(Vec::new()),
             last_progress: Mutex::new((String::new(), 0, 0)),
         });
+        // The Hello's epoch field is "nanoseconds elapsed on my span
+        // clock right now": the receiver subtracts it from its own
+        // clock to place this child's wall spans on the daemon
+        // timeline. When a flight recorder is installed its epoch is
+        // the span clock; otherwise the exporter's own epoch stands in
+        // (elapsed ≈ 0, so the offset degrades to "Hello arrival").
+        let span_epoch = spindle_obs::recorder::installed().map_or(shared.epoch, |r| r.epoch());
         shared.send(&Frame::Hello {
             version: PROTOCOL_VERSION,
             pid: std::process::id(),
             label: label.to_owned(),
+            epoch_ns: u64::try_from(span_epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
         });
         let worker = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -218,7 +235,8 @@ impl Exporter {
 
     /// Stops the export thread, then flushes a final snapshot and
     /// progress event, the rollup wheel's window batches when the
-    /// front end kept one, and a `Bye`.
+    /// front end kept one, the installed flight recorder's spans when
+    /// there is one, and a `Bye`.
     pub fn finish(self, rollups: Option<&RollupSet>) {
         self.shared.stop.store(true, Ordering::Release);
         let handle = self.handle.lock().expect("exporter handle lock").take();
@@ -237,11 +255,72 @@ impl Exporter {
                     )));
             }
         }
+        if let Some(recorder) = spindle_obs::recorder::installed() {
+            for frame in span_frames(&recorder, t_ns) {
+                self.shared.send(&frame);
+            }
+        }
         self.shared.send(&Frame::Bye {
             t_ns,
             frames_sent: self.shared.frames_sent.load(Ordering::Relaxed),
         });
     }
+}
+
+/// Batches the recorder's wall and sim slices into `Span` frames.
+/// Wall spans come first — they are the causal skeleton the daemon
+/// parents onto its own timeline — so when the [`MAX_SPAN_RECS`] cap
+/// bites, only sim detail is shed; the shortfall lands in the last
+/// batch's `dropped` count.
+fn span_frames(recorder: &FlightRecorder, t_ns: u64) -> Vec<Frame> {
+    fn render_args(args: &[(String, Json)]) -> String {
+        if args.is_empty() {
+            String::new()
+        } else {
+            Json::Obj(args.to_vec()).to_string()
+        }
+    }
+    let mut recs: Vec<SpanRec> = Vec::new();
+    for w in recorder.wall_slices() {
+        recs.push(SpanRec {
+            sim: false,
+            track: w.thread,
+            name: w.name,
+            begin_ns: w.begin_ns,
+            dur_ns: Some(w.dur_ns),
+            args: render_args(&w.args),
+        });
+    }
+    for s in recorder.sim_slices() {
+        recs.push(SpanRec {
+            sim: true,
+            track: s.track,
+            name: s.name,
+            begin_ns: s.begin_ns,
+            dur_ns: s.dur_ns,
+            args: render_args(&s.args),
+        });
+    }
+    let dropped = u64::try_from(recs.len().saturating_sub(MAX_SPAN_RECS)).unwrap_or(u64::MAX);
+    recs.truncate(MAX_SPAN_RECS);
+    if recs.is_empty() && dropped == 0 {
+        return Vec::new();
+    }
+    let mut frames = Vec::new();
+    let mut iter = recs.into_iter().peekable();
+    loop {
+        let chunk: Vec<SpanRec> = iter.by_ref().take(SPAN_BATCH_RECS).collect();
+        let last = iter.peek().is_none();
+        frames.push(Frame::Span(SpanBatch {
+            t_ns,
+            dropped: if last { dropped } else { 0 },
+            spans: chunk,
+        }));
+        if last {
+            break;
+        }
+    }
+    frames
 }
 
 #[cfg(test)]
@@ -355,6 +434,58 @@ mod tests {
                 .merged()
                 .counters["work.items"],
             5
+        );
+    }
+
+    #[test]
+    fn finish_ships_recorder_spans_before_bye() {
+        let _serial = plan_guard();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind sink");
+        let addr = listener.local_addr().expect("sink addr").to_string();
+        let recorder = Arc::new(FlightRecorder::new());
+        recorder.wall_slice(
+            "cli.simulate",
+            recorder.epoch(),
+            Duration::from_millis(3),
+            vec![("phase".to_owned(), Json::Str("run".to_owned()))],
+        );
+        recorder.sim_slice("drive.queue", "read", 1_000, 2_000, Vec::new());
+        spindle_obs::recorder::install(Arc::clone(&recorder));
+        let status = Arc::new(RunStatus::new(1));
+        let exporter = Exporter::start(&addr, leaked_registry(), status, "spans").expect("connect");
+        let (sock, _) = listener.accept().expect("exporter connects");
+        exporter.finish(None);
+        spindle_obs::recorder::uninstall();
+        let frames = drain_frames(sock);
+        let hello_epoch = match &frames[0] {
+            Frame::Hello { epoch_ns, .. } => *epoch_ns,
+            other => panic!("expected hello, got {other:?}"),
+        };
+        assert!(
+            hello_epoch > 0,
+            "hello carries the recorder's clock reading, not zero"
+        );
+        let batch = frames
+            .iter()
+            .find_map(|f| match f {
+                Frame::Span(b) => Some(b),
+                _ => None,
+            })
+            .expect("a span batch ships in the final flush");
+        assert_eq!(batch.dropped, 0);
+        let wall = batch.spans.iter().find(|r| !r.sim).expect("wall span");
+        assert_eq!(wall.name, "cli.simulate");
+        assert_eq!(wall.dur_ns, Some(3_000_000));
+        assert!(
+            wall.args.contains("\"phase\""),
+            "args render: {}",
+            wall.args
+        );
+        let sim = batch.spans.iter().find(|r| r.sim).expect("sim span");
+        assert_eq!((sim.track.as_str(), sim.begin_ns), ("drive.queue", 1_000));
+        assert!(
+            matches!(frames.last(), Some(Frame::Bye { .. })),
+            "bye still closes the stream"
         );
     }
 

@@ -125,6 +125,7 @@ impl Journal {
         attempt: u32,
         reason: &str,
         backoff_ms: u64,
+        secs: f64,
     ) -> Result<(), String> {
         let doc = Json::Obj(vec![
             ("event".to_owned(), Json::Str("attempt".to_owned())),
@@ -132,6 +133,11 @@ impl Journal {
             ("attempt".to_owned(), Json::Uint(u64::from(attempt))),
             ("reason".to_owned(), Json::Str(reason.to_owned())),
             ("backoff_ms".to_owned(), Json::Uint(backoff_ms)),
+            // Wall seconds the failed attempt ran — lets `/jobs/ID/trace`
+            // consumers cross-check attempt spans against the journal.
+            // Replay ignores it (parse reads only id + attempt), so the
+            // schema stays forward- and backward-compatible.
+            ("secs".to_owned(), Json::Num(secs)),
         ]);
         self.write_line(&format!("{doc}\n"))
             .map_err(|e| format!("cannot journal retry of `{id}`: {e}"))
@@ -367,10 +373,10 @@ mod tests {
         let mut journal = Journal::create(&path).unwrap();
         journal.submitted("job-0001", &spec()).unwrap();
         journal
-            .attempt("job-0001", 1, "child killed by signal", 512)
+            .attempt("job-0001", 1, "child killed by signal", 512, 1.25)
             .unwrap();
         journal
-            .attempt("job-0001", 2, "telemetry stalled", 1024)
+            .attempt("job-0001", 2, "telemetry stalled", 1024, 0.75)
             .unwrap();
         drop(journal);
 
@@ -397,7 +403,7 @@ mod tests {
 
         // An attempt for an unknown id is a structured refusal.
         let mut bad = Journal::create(&path).unwrap();
-        bad.attempt("job-0404", 1, "ghost", 1).unwrap();
+        bad.attempt("job-0404", 1, "ghost", 1, 0.0).unwrap();
         drop(bad);
         assert!(load(&path).unwrap_err().contains("never submitted"));
         std::fs::remove_dir_all(&dir).ok();

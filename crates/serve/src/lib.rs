@@ -64,6 +64,7 @@ mod server;
 pub mod spec;
 mod supervise;
 mod telemetry;
+pub mod trace;
 
 use crate::job::{Job, JobState, JobTable};
 use crate::journal::{Journal, JOURNAL_FILE};
@@ -292,6 +293,7 @@ impl Shared {
     /// Returns a message (HTTP 500/503 material) when the artifact
     /// dir or journal cannot be written, or the daemon is stopping.
     pub fn admit(&self, spec: JobSpec) -> Result<Admission, String> {
+        let admit_start = std::time::Instant::now();
         if self.supervisor.is_draining() {
             self.registry.counter("serve.jobs_rejected").inc();
             return Ok(Admission::Draining {
@@ -332,8 +334,18 @@ impl Shared {
         self.table.insert(job);
         // The event stream exists from `queued` on, so a watcher that
         // connects before the runner claims the job misses nothing.
-        self.job_telemetry(&id)
-            .event("state", vec![("state", Json::Str("queued".to_owned()))]);
+        let tel = self.job_telemetry(&id);
+        tel.event("state", vec![("state", Json::Str("queued".to_owned()))]);
+        // Trace bookkeeping: the admission decision is the first span
+        // on the job's daemon timeline, and the queue wait starts now.
+        tel.trace_span(
+            "daemon",
+            "admit",
+            admit_start,
+            admit_start.elapsed(),
+            vec![("id".to_owned(), Json::Str(id.clone()))],
+        );
+        tel.mark_runnable(std::time::Instant::now());
         match self.queue.push(id.clone()) {
             Ok(()) => {}
             Err(PushError::Full) => unreachable!("depth checked under the admission lock"),
@@ -377,8 +389,9 @@ impl Shared {
                 job.attempt = loaded.attempts;
                 job.deadline_secs = self.effective_deadline(job.spec.deadline_secs);
                 self.table.insert(job);
-                self.job_telemetry(&loaded.id)
-                    .event("state", vec![("state", Json::Str("queued".to_owned()))]);
+                let tel = self.job_telemetry(&loaded.id);
+                tel.event("state", vec![("state", Json::Str("queued".to_owned()))]);
+                tel.mark_runnable(std::time::Instant::now());
                 self.queue
                     .push(loaded.id)
                     .expect("resume queue sized for every incomplete job");
@@ -397,9 +410,12 @@ impl Shared {
         secs: f64,
         error: Option<String>,
     ) {
-        // Terminal event first, table second: a watcher that observes
-        // the terminal state is guaranteed the `end` event is already
-        // in the ring, so the stream can close without losing it.
+        // Terminal event and counter first, table second: a watcher
+        // that observes the terminal state is guaranteed the `end`
+        // event is already in the ring (so the stream can close
+        // without losing it) and the terminal counter is already on
+        // `/metrics` (so state and counters never disagree — the
+        // journal fsync below is a wide window to scrape through).
         self.job_telemetry(id).event(
             "end",
             vec![
@@ -409,6 +425,15 @@ impl Shared {
                 ("error", error.clone().map_or(Json::Null, Json::Str)),
             ],
         );
+        let counter = match state {
+            JobState::Done => "serve.jobs_completed",
+            JobState::Failed => "serve.jobs_failed",
+            JobState::TimedOut => "serve.jobs_timed_out",
+            JobState::Stalled => "serve.jobs_stalled",
+            JobState::Quarantined => "serve.jobs_quarantined",
+            _ => "serve.jobs_cancelled",
+        };
+        self.registry.counter(counter).inc();
         self.table.update(id, |job| {
             job.state = state;
             job.exit = exit;
@@ -423,15 +448,6 @@ impl Shared {
         {
             eprintln!("# serve: {e}");
         }
-        let counter = match state {
-            JobState::Done => "serve.jobs_completed",
-            JobState::Failed => "serve.jobs_failed",
-            JobState::TimedOut => "serve.jobs_timed_out",
-            JobState::Stalled => "serve.jobs_stalled",
-            JobState::Quarantined => "serve.jobs_quarantined",
-            _ => "serve.jobs_cancelled",
-        };
-        self.registry.counter(counter).inc();
         if state == JobState::Done {
             let ms = (secs * 1000.0).clamp(1.0, 86_400_000.0) as u64;
             let prev = self.ewma_ms.load(Ordering::Relaxed);
@@ -448,12 +464,19 @@ impl Shared {
 
     /// Journals a retry attempt (best effort, like `finished`: the
     /// table is authoritative for live state, the journal for resume).
-    pub(crate) fn journal_attempt(&self, id: &str, attempt: u32, reason: &str, backoff_ms: u64) {
+    pub(crate) fn journal_attempt(
+        &self,
+        id: &str,
+        attempt: u32,
+        reason: &str,
+        backoff_ms: u64,
+        secs: f64,
+    ) {
         if let Err(e) = self
             .journal
             .lock()
             .expect("journal lock")
-            .attempt(id, attempt, reason, backoff_ms)
+            .attempt(id, attempt, reason, backoff_ms, secs)
         {
             eprintln!("# serve: {e}");
         }
@@ -1252,6 +1275,104 @@ mod tests {
         let metrics = request(&addr, "GET", "/metrics", None).unwrap().body;
         assert!(metrics.contains("serve_jobs_retried 1"), "{metrics}");
         assert!(metrics.contains("serve_jobs_completed 1"), "{metrics}");
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retried_job_trace_carries_both_attempts_and_matches_the_journal() {
+        let (handle, addr, dir) = test_daemon_with("trace-retry", 4, 1, |c| {
+            c.retry_base_ms = 10;
+        });
+        // Span 777 SIGKILLs itself once (per seed), then behaves, so
+        // the job runs exactly two attempts.
+        let r = submit(
+            &addr,
+            r#"{"kind":"generate","env":"web","span":777,"seed":11}"#,
+        );
+        assert_eq!(r.status, 201, "{}", r.body);
+        let id = spindle_obs::json::parse(r.body.trim())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        wait_for("retried job to finish", || job_state(&addr, &id) == "done");
+
+        let resp = request(&addr, "GET", &format!("/jobs/{id}/trace"), None).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let doc = spindle_obs::json::parse(resp.body.trim()).unwrap();
+        spindle_obs::trace_event::check_document(&doc)
+            .unwrap_or_else(|e| panic!("trace endpoint produced a bad document: {e}"));
+
+        // The document must record both attempts plus the queue wait
+        // that preceded each of them.
+        let events = match doc.get("traceEvents") {
+            Some(Json::Arr(events)) => events,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        let name_of = |e: &Json| e.get("name").and_then(Json::as_str).map(str::to_owned);
+        let attempts: Vec<f64> = events
+            .iter()
+            .filter(|e| name_of(e).as_deref() == Some("attempt"))
+            .map(|e| e.get("dur").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert!(
+            attempts.len() >= 2,
+            "expected >=2 attempt spans, got {attempts:?} in {}",
+            resp.body
+        );
+        let queue_waits = events
+            .iter()
+            .filter(|e| name_of(e).as_deref() == Some("queue.wait"))
+            .count();
+        assert!(queue_waits >= 1, "no queue.wait span in {}", resp.body);
+
+        // Attempt durations must agree with the journal's recorded
+        // attempt wall times (failed attempts carry `secs` on their
+        // attempt record; the final one lands on `finished`).
+        let journal = std::fs::read_to_string(dir.join("data").join(JOURNAL_FILE)).unwrap();
+        let mut journal_secs = 0.0;
+        for line in journal.lines() {
+            let rec = spindle_obs::json::parse(line).unwrap();
+            match rec.get("event").and_then(Json::as_str) {
+                Some("attempt") | Some("finished") => {
+                    journal_secs += rec.get("secs").and_then(Json::as_f64).unwrap_or(0.0);
+                }
+                _ => {}
+            }
+        }
+        let traced_secs: f64 = attempts.iter().sum::<f64>() / 1e6;
+        assert!(
+            (traced_secs - journal_secs).abs() < 2.0,
+            "trace attempts sum to {traced_secs}s but journal records {journal_secs}s"
+        );
+
+        // The daemon-wide merge view is also well formed.
+        let merged = request(&addr, "GET", "/trace", None).unwrap();
+        assert_eq!(merged.status, 200);
+        let merged_doc = spindle_obs::json::parse(merged.body.trim()).unwrap();
+        spindle_obs::trace_event::check_document(&merged_doc)
+            .unwrap_or_else(|e| panic!("daemon trace produced a bad document: {e}"));
+
+        // Every request above flowed through the per-endpoint HTTP
+        // metrics, including the trace routes themselves.
+        let metrics = request(&addr, "GET", "/metrics", None).unwrap().body;
+        assert!(
+            metrics.contains("serve_http_job_trace_requests"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("serve_http_trace_requests"), "{metrics}");
+        assert!(metrics.contains("serve_http_submit_2xx"), "{metrics}");
+
+        // The spans were persisted alongside the artifacts, and the
+        // offline assembler rebuilds an equally valid document.
+        let job_dir = dir.join("data").join(&id);
+        assert!(job_dir.join(crate::trace::SPANS_FILE).is_file());
+        let rebuilt = crate::trace::assemble_dir(&job_dir).unwrap();
+        spindle_obs::trace_event::check_document(&rebuilt)
+            .unwrap_or_else(|e| panic!("offline assembly produced a bad document: {e}"));
+
         handle.stop();
         std::fs::remove_dir_all(&dir).ok();
     }

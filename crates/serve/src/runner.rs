@@ -103,6 +103,18 @@ fn run_job(shared: &Shared, id: &str) {
     // judged stalled by the previous attempt's last frame time.
     tel.mark_alive();
     tel.event("state", vec![("state", Json::Str("running".to_owned()))]);
+    let attempt_no = job.attempt;
+    // Queue wait: from the instant the job last became runnable
+    // (admission, or a retry's due time) to this attempt's start.
+    if let Some(runnable) = tel.runnable_at() {
+        tel.trace_span(
+            "daemon",
+            "queue.wait",
+            runnable,
+            started.saturating_duration_since(runnable),
+            vec![("attempt".to_owned(), Json::Uint(u64::from(attempt_no)))],
+        );
+    }
 
     let dir = shared.job_dir(id);
     let program = if job.spec.uses_experiments() {
@@ -119,6 +131,10 @@ fn run_job(shared: &Shared, id: &str) {
     // that isn't just leaves the listener idle for the job's lifetime.
     let sink = Sink::bind().ok();
     let sink_addr = sink.as_ref().map(Sink::addr);
+    // The trace context is minted deterministically per (job, attempt):
+    // a resumed daemon reproduces the same ids, so offline assembly can
+    // re-derive the flow parents without any extra state.
+    let trace_ctx = spindle_obs::TraceContext::mint(id, attempt_no);
     let spawn = || -> Result<std::process::Child, String> {
         // Admission created this for locally-submitted jobs; a
         // re-adopted job from another daemon's journal may not have
@@ -139,16 +155,31 @@ fn run_job(shared: &Shared, id: &str) {
             .env_remove(spindle_harden::FAULTS_ENV)
             .env_remove(spindle_pulse::SERVE_ENV)
             .env_remove(spindle_pulse::LINGER_ENV)
-            .env_remove(spindle_obs::frame::SINK_ENV);
+            .env_remove(spindle_obs::frame::SINK_ENV)
+            .env_remove(spindle_obs::context::TRACE_CONTEXT_ENV);
         if let Some(addr) = &sink_addr {
             cmd.env(spindle_obs::frame::SINK_ENV, addr);
+            // Only meaningful alongside a sink: the context tells the
+            // child its spans belong to this trace and will be
+            // collected, so it installs a flight recorder.
+            cmd.env(
+                spindle_obs::context::TRACE_CONTEXT_ENV,
+                trace_ctx.to_string(),
+            );
         }
         cmd.spawn()
             .map_err(|e| format!("cannot spawn `{}`: {e}", program.display()))
     };
+    let spawn_start = Instant::now();
     let mut child = match spawn() {
         Ok(c) => c,
         Err(e) => {
+            tel.trace_instant(
+                "daemon",
+                "spawn.failed",
+                vec![("error".to_owned(), Json::Str(e.clone()))],
+            );
+            persist_spans(shared, id, &tel);
             shared.finish_job(
                 id,
                 JobState::Failed,
@@ -159,6 +190,13 @@ fn run_job(shared: &Shared, id: &str) {
             return;
         }
     };
+    tel.trace_span(
+        "daemon",
+        "spawn",
+        spawn_start,
+        spawn_start.elapsed(),
+        vec![("attempt".to_owned(), Json::Uint(u64::from(attempt_no)))],
+    );
     let child_done = Arc::new(AtomicBool::new(false));
     let ingest = sink.map(|s| {
         s.spawn_ingest(
@@ -204,6 +242,17 @@ fn run_job(shared: &Shared, id: &str) {
     if let Some(handle) = ingest {
         let _ = handle.join();
     }
+    // One `attempt` span per run, spawn to exit, recorded after ingest
+    // joins so child spans (and the Hello clock offset) are already in
+    // the store when a terminal attempt persists it. Retried attempts
+    // accumulate in the same store, so the final trace shows them all.
+    tel.trace_span(
+        "daemon",
+        "attempt",
+        started,
+        Duration::from_secs_f64(secs.max(0.0)),
+        vec![("attempt".to_owned(), Json::Uint(u64::from(attempt_no)))],
+    );
 
     // A drain kill ends the attempt, not the job: no terminal journal
     // record, no artifact promotion. The next --resume-dir daemon
@@ -228,6 +277,7 @@ fn run_job(shared: &Shared, id: &str) {
                 JobState::Quarantined,
                 &reason,
                 Some(&stderr_tail(&dir)),
+                secs,
             ) {
                 None => return,
                 Some((state, detail)) => (state, code, Some(detail)),
@@ -250,6 +300,7 @@ fn run_job(shared: &Shared, id: &str) {
                 JobState::Stalled,
                 "telemetry stalled",
                 None,
+                secs,
             ) {
                 None => return,
                 Some((state, detail)) => (state, None, Some(detail)),
@@ -265,9 +316,40 @@ fn run_job(shared: &Shared, id: &str) {
     // Promote the capture to its final name only now, so a crashed
     // daemon's leftover `stdout.partial` is never mistaken for a
     // completed job's output.
+    let finalize_start = Instant::now();
     let _ = std::fs::rename(dir.join("stdout.partial"), dir.join("stdout.txt"));
+    tel.trace_span(
+        "daemon",
+        "finalize",
+        finalize_start,
+        finalize_start.elapsed(),
+        vec![("state".to_owned(), Json::Str(state.as_str().to_owned()))],
+    );
+    // Spans persist before result.json is written so the artifact list
+    // includes spans.jsonl, and offline `trace assemble` sees the whole
+    // lifecycle through finalization.
+    persist_spans(shared, id, &tel);
     write_result(shared, id, state, exit, secs);
     shared.finish_job(id, state, exit, secs, error);
+}
+
+/// Persists the job's accumulated trace spans as `spans.jsonl` (best
+/// effort, like `result.json`: the journal stays authoritative).
+fn persist_spans(shared: &Shared, id: &str, tel: &crate::telemetry::JobTelemetry) {
+    let (spans, dropped) = tel.trace_spans();
+    if spans.is_empty() && dropped == 0 {
+        return;
+    }
+    let job = crate::trace::JobSpans {
+        id: id.to_owned(),
+        spans,
+        offset_ns: tel.child_offset_ns(),
+        dropped,
+    };
+    let path = shared.job_dir(id).join(crate::trace::SPANS_FILE);
+    if let Err(e) = crate::trace::write_spans(&path, &job) {
+        eprintln!("# serve: {e}");
+    }
 }
 
 /// The 128+SIGKILL exit convention: treated like a signal death.

@@ -26,10 +26,21 @@
 //! * `GET /jobs/ID/timescales` — the job's multi-resolution rollup
 //!   document rebuilt from its telemetry stream, plus the child's own
 //!   final window flush.
+//! * `GET /jobs/ID/trace` — the job's causal trace as a self-contained
+//!   Chrome trace-event document: daemon lifecycle spans, the child's
+//!   offset-aligned wall spans, and its sim-time tracks, with flow
+//!   arrows parenting each attempt to the child work it spawned.
+//! * `GET /trace` — the daemon-wide document: every job's spans merged
+//!   onto one timeline, tracks prefixed by job id.
 //! * `GET /metrics`, `/healthz`, `/status`, `/timescales` — the same
 //!   telemetry surface the pulse endpoint serves, for the daemon
 //!   itself — plus per-active-job labeled series on `/metrics` and
 //!   the merged fleet wheel on `/timescales`.
+//!
+//! Every request is observed per endpoint: `serve.http.<route>.micros`
+//! latency histograms plus request and status-class counters, with
+//! route cardinality bounded to the known route set (anything else is
+//! `other`).
 
 use crate::job::{CancelVerdict, JobState};
 use crate::{Admission, Shared};
@@ -42,7 +53,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Handler threads sharing the listener.
 const HANDLER_THREADS: usize = 4;
@@ -107,31 +118,104 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn json_response(stream: &mut TcpStream, status: &str, doc: &Json) -> io::Result<()> {
-    respond(stream, status, JSON_TYPE, &format!("{doc}\n"))
+/// Responders hand their status line back so the caller can feed the
+/// per-endpoint observability without every handler threading it.
+fn json_response(
+    stream: &mut TcpStream,
+    status: &'static str,
+    doc: &Json,
+) -> io::Result<&'static str> {
+    respond(stream, status, JSON_TYPE, &format!("{doc}\n")).map(|()| status)
 }
 
-fn error_response(stream: &mut TcpStream, status: &str, message: &str) -> io::Result<()> {
+fn error_response(
+    stream: &mut TcpStream,
+    status: &'static str,
+    message: &str,
+) -> io::Result<&'static str> {
     let doc = Json::Obj(vec![("error".to_owned(), Json::Str(message.to_owned()))]);
     json_response(stream, status, &doc)
+}
+
+/// Maps a request onto the bounded route vocabulary the per-endpoint
+/// metrics use. Unknown paths and methods all collapse into `other`,
+/// so hostile traffic cannot inflate metric cardinality.
+fn classify(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("POST", "/jobs") => "submit",
+        ("GET", "/jobs") => "jobs",
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/status") => "status",
+        ("GET", "/timescales") => "timescales",
+        ("GET", "/trace") => "trace",
+        _ => {
+            if let Some(rest) = path.strip_prefix("/jobs/") {
+                let tail = rest.split_once('/').map(|(_, t)| t);
+                return match (method, tail) {
+                    ("GET", None) => "job",
+                    ("DELETE", None) => "cancel",
+                    ("GET", Some("result")) => "result",
+                    ("GET", Some("events")) => "events",
+                    ("GET", Some("timescales")) => "job_timescales",
+                    ("GET", Some("trace")) => "job_trace",
+                    ("GET", Some(t)) if t.starts_with("artifacts/") => "artifact",
+                    _ => "other",
+                };
+            }
+            "other"
+        }
+    }
+}
+
+/// Records one handled request: latency histogram plus request and
+/// status-class counters, all keyed by the bounded route label.
+fn observe_http(shared: &Shared, route: &'static str, started: Instant, status: &str) {
+    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared
+        .registry
+        .histogram(&format!("serve.http.{route}.micros"))
+        .record(micros);
+    shared
+        .registry
+        .counter(&format!("serve.http.{route}.requests"))
+        .inc();
+    let class = match status.as_bytes().first() {
+        Some(b'2') => "2xx",
+        Some(b'3') => "3xx",
+        Some(b'4') => "4xx",
+        _ => "5xx",
+    };
+    shared
+        .registry
+        .counter(&format!("serve.http.{route}.{class}"))
+        .inc();
 }
 
 fn handle(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
     stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
     stream.set_nonblocking(false)?;
+    let started = Instant::now();
     let request = match read_request(&mut stream) {
         Ok(r) => r,
         Err(HttpError::Io(e)) => return Err(e),
         Err(HttpError::BodyTooLarge(n)) => {
-            return error_response(
+            let status = error_response(
                 &mut stream,
                 "413 Payload Too Large",
                 &format!("request body of {n} bytes exceeds the 1 MiB limit"),
-            );
+            )?;
+            observe_http(shared, "other", started, status);
+            return Ok(());
         }
-        Err(e) => return error_response(&mut stream, "400 Bad Request", &format!("{e}")),
+        Err(e) => {
+            let status = error_response(&mut stream, "400 Bad Request", &format!("{e}"))?;
+            observe_http(shared, "other", started, status);
+            return Ok(());
+        }
     };
+    let label = classify(&request.method, &request.path);
     // Event streams live as long as the job runs; they move off the
     // small handler pool onto dedicated (bounded) threads.
     if request.method == "GET" {
@@ -141,21 +225,32 @@ fn handle(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
             .and_then(|rest| rest.strip_suffix("/events"))
         {
             if !id.is_empty() && !id.contains('/') {
-                return events(stream, shared, id);
+                let status = events(stream, shared, id)?;
+                observe_http(shared, label, started, status);
+                return Ok(());
             }
         }
     }
-    route(&mut stream, shared, &request)
+    let status = route(&mut stream, shared, &request)?;
+    observe_http(shared, label, started, status);
+    Ok(())
 }
 
-fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request) -> io::Result<()> {
+fn route(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &Request,
+) -> io::Result<&'static str> {
     let path = request.path.as_str();
     let method = request.method.as_str();
     match (method, path) {
         ("POST", "/jobs") => return submit(stream, shared, request),
         ("GET", "/jobs") => return list_jobs(stream, shared),
-        ("GET", "/healthz") => return respond(stream, "200 OK", TEXT_TYPE, "ok\n"),
+        ("GET", "/healthz") => {
+            return respond(stream, "200 OK", TEXT_TYPE, "ok\n").map(|()| "200 OK")
+        }
         ("GET", "/metrics") => return metrics(stream, shared),
+        ("GET", "/trace") => return daemon_trace(stream, shared),
         ("GET", "/status") => {
             let doc = status_json(&shared.status, &shared.registry.snapshot(), &shared.sampler);
             return json_response(stream, "200 OK", &doc);
@@ -186,6 +281,7 @@ fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request) -> io:
             ("DELETE", None) => cancel(stream, shared, id),
             ("GET", Some("result")) => job_result(stream, shared, id),
             ("GET", Some("timescales")) => job_timescales(stream, shared, id),
+            ("GET", Some("trace")) => job_trace(stream, shared, id),
             ("GET", Some(tail)) if tail.strip_prefix("artifacts/").is_some() => {
                 let name = tail.strip_prefix("artifacts/").expect("guard");
                 artifact(stream, shared, id, name)
@@ -200,7 +296,7 @@ fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request) -> io:
     }
 }
 
-fn submit(stream: &mut TcpStream, shared: &Shared, request: &Request) -> io::Result<()> {
+fn submit(stream: &mut TcpStream, shared: &Shared, request: &Request) -> io::Result<&'static str> {
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return error_response(stream, "400 Bad Request", "job spec must be UTF-8 JSON");
     };
@@ -239,6 +335,7 @@ fn submit(stream: &mut TcpStream, shared: &Shared, request: &Request) -> io::Res
                 &[("Retry-After", &retry_after_secs.to_string())],
                 &format!("{doc}\n"),
             )
+            .map(|()| "429 Too Many Requests")
         }
         Ok(Admission::Draining { retry_after_secs }) => {
             let doc = Json::Obj(vec![
@@ -255,6 +352,7 @@ fn submit(stream: &mut TcpStream, shared: &Shared, request: &Request) -> io::Res
                 &[("Retry-After", &retry_after_secs.to_string())],
                 &format!("{doc}\n"),
             )
+            .map(|()| "503 Service Unavailable")
         }
         Ok(Admission::Poisoned {
             reason,
@@ -275,12 +373,13 @@ fn submit(stream: &mut TcpStream, shared: &Shared, request: &Request) -> io::Res
                 &[("Retry-After", &retry_after_secs.to_string())],
                 &format!("{doc}\n"),
             )
+            .map(|()| "409 Conflict")
         }
         Err(e) => error_response(stream, "503 Service Unavailable", &e),
     }
 }
 
-fn list_jobs(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+fn list_jobs(stream: &mut TcpStream, shared: &Shared) -> io::Result<&'static str> {
     let jobs = shared.table.snapshot();
     let (queued, running) = shared.table.active_counts();
     let doc = Json::Obj(vec![
@@ -302,7 +401,7 @@ fn list_jobs(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
     json_response(stream, "200 OK", &doc)
 }
 
-fn job_detail(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<()> {
+fn job_detail(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<&'static str> {
     let Some(job) = shared.table.get(id) else {
         return error_response(stream, "404 Not Found", &format!("no such job `{id}`"));
     };
@@ -328,7 +427,7 @@ fn artifact_names(shared: &Shared, id: &str) -> Json {
     Json::Arr(names.into_iter().map(Json::Str).collect())
 }
 
-fn job_result(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<()> {
+fn job_result(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<&'static str> {
     let Some(job) = shared.table.get(id) else {
         return error_response(stream, "404 Not Found", &format!("no such job `{id}`"));
     };
@@ -346,7 +445,12 @@ fn job_result(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<(
     json_response(stream, "200 OK", &doc)
 }
 
-fn artifact(stream: &mut TcpStream, shared: &Shared, id: &str, name: &str) -> io::Result<()> {
+fn artifact(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    id: &str,
+    name: &str,
+) -> io::Result<&'static str> {
     if shared.table.get(id).is_none() {
         return error_response(stream, "404 Not Found", &format!("no such job `{id}`"));
     }
@@ -386,10 +490,10 @@ fn artifact(stream: &mut TcpStream, shared: &Shared, id: &str, name: &str) -> io
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(&bytes)?;
-    stream.flush()
+    stream.flush().map(|()| "200 OK")
 }
 
-fn cancel(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<()> {
+fn cancel(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<&'static str> {
     if shared.table.get(id).is_none() {
         return error_response(stream, "404 Not Found", &format!("no such job `{id}`"));
     }
@@ -426,7 +530,7 @@ fn cancel(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<()> {
     }
 }
 
-fn metrics(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+fn metrics(stream: &mut TcpStream, shared: &Shared) -> io::Result<&'static str> {
     let mut body = spindle_obs::PromSink
         .export_string(&shared.registry.snapshot())
         .unwrap_or_default();
@@ -435,7 +539,7 @@ fn metrics(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
         body.push_str(&String::from_utf8_lossy(&appendix));
     }
     body.push_str(&job_series(shared));
-    respond(stream, "200 OK", spindle_obs::prom::CONTENT_TYPE, &body)
+    respond(stream, "200 OK", spindle_obs::prom::CONTENT_TYPE, &body).map(|()| "200 OK")
 }
 
 /// Per-job labeled series, *active jobs only*: cardinality is bounded
@@ -481,7 +585,51 @@ fn job_series(shared: &Shared) -> String {
     out
 }
 
-fn job_timescales(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<()> {
+/// The retained span set of one job, packaged for trace assembly.
+fn collect_spans(id: &str, tel: &crate::telemetry::JobTelemetry) -> crate::trace::JobSpans {
+    let (spans, dropped) = tel.trace_spans();
+    crate::trace::JobSpans {
+        id: id.to_owned(),
+        spans,
+        offset_ns: tel.child_offset_ns(),
+        dropped,
+    }
+}
+
+/// `GET /jobs/ID/trace`: the job's causal trace as a self-contained
+/// Chrome trace-event document, loadable in Perfetto as-is.
+fn job_trace(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<&'static str> {
+    if shared.table.get(id).is_none() {
+        return error_response(stream, "404 Not Found", &format!("no such job `{id}`"));
+    }
+    let doc = crate::trace::job_trace_doc(&collect_spans(id, &shared.job_telemetry(id)));
+    json_response(stream, "200 OK", &doc)
+}
+
+/// `GET /trace`: every job's spans merged onto the daemon timeline,
+/// each job shifted by its telemetry epoch's distance from the fleet
+/// epoch, tracks prefixed with the job id.
+fn daemon_trace(stream: &mut TcpStream, shared: &Shared) -> io::Result<&'static str> {
+    let mut jobs = Vec::new();
+    for job in shared.table.snapshot() {
+        let Some(tel) = shared.telemetry.get(&job.id) else {
+            continue;
+        };
+        let collected = collect_spans(&job.id, &tel);
+        if collected.spans.is_empty() && collected.dropped == 0 {
+            continue;
+        }
+        let shift_ns = tel
+            .epoch()
+            .checked_duration_since(shared.fleet.epoch())
+            .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        jobs.push((collected, shift_ns));
+    }
+    let doc = crate::trace::daemon_trace_doc(&jobs);
+    json_response(stream, "200 OK", &doc)
+}
+
+fn job_timescales(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<&'static str> {
     let Some(job) = shared.table.get(id) else {
         return error_response(stream, "404 Not Found", &format!("no such job `{id}`"));
     };
@@ -514,7 +662,7 @@ fn job_timescales(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Resu
 /// `GET /jobs/ID/events`: takes the connection onto a dedicated
 /// thread and streams Server-Sent Events until the job is terminal
 /// (or the daemon stops, or the watcher goes away).
-fn events(mut stream: TcpStream, shared: &Arc<Shared>, id: &str) -> io::Result<()> {
+fn events(mut stream: TcpStream, shared: &Arc<Shared>, id: &str) -> io::Result<&'static str> {
     if shared.table.get(id).is_none() {
         return error_response(&mut stream, "404 Not Found", &format!("no such job `{id}`"));
     }
@@ -531,7 +679,8 @@ fn events(mut stream: TcpStream, shared: &Arc<Shared>, id: &str) -> io::Result<(
             JSON_TYPE,
             &[("Retry-After", &EVENTS_RETRY_AFTER_SECS.to_string())],
             &format!("{doc}\n"),
-        );
+        )
+        .map(|()| "503 Service Unavailable");
     }
     let shared = Arc::clone(shared);
     let id = id.to_owned();
@@ -548,7 +697,7 @@ fn events(mut stream: TcpStream, shared: &Arc<Shared>, id: &str) -> io::Result<(
         shared.event_streams.fetch_sub(1, Ordering::AcqRel);
         return Err(e);
     }
-    Ok(())
+    Ok("200 OK")
 }
 
 fn stream_events(stream: &mut TcpStream, shared: &Shared, id: &str) -> io::Result<()> {

@@ -185,6 +185,7 @@ pub(crate) fn handle_retryable(
     exhausted: JobState,
     reason: &str,
     error: Option<&str>,
+    attempt_secs: f64,
 ) -> Option<(JobState, String)> {
     let job = shared.table.get(id)?;
     let attempt = job.attempt;
@@ -199,11 +200,19 @@ pub(crate) fn handle_retryable(
             detail.clone(),
             Duration::from_secs(shared.config.breaker_cooldown_secs),
         );
+        shared.job_telemetry(id).trace_instant(
+            "daemon",
+            "retries.exhausted",
+            vec![
+                ("reason".to_owned(), Json::Str(reason.to_owned())),
+                ("state".to_owned(), Json::Str(exhausted.as_str().to_owned())),
+            ],
+        );
         return Some((exhausted, detail));
     }
     let next = attempt + 1;
     let backoff = backoff_ms(shared.config.retry_base_ms, attempt, id);
-    shared.journal_attempt(id, next, reason, backoff);
+    shared.journal_attempt(id, next, reason, backoff, attempt_secs);
     shared.table.update(id, |j| {
         j.attempt = next;
         j.state = JobState::Queued;
@@ -222,10 +231,23 @@ pub(crate) fn handle_retryable(
         ],
     );
     shared.registry.counter("serve.jobs_retried").inc();
-    shared.supervisor.schedule(
-        id.to_owned(),
-        Instant::now() + Duration::from_millis(backoff),
+    let due = Instant::now() + Duration::from_millis(backoff);
+    // The backoff itself shows up on the trace as a span, and the next
+    // attempt's queue wait starts at the due time, not now.
+    let tel = shared.job_telemetry(id);
+    tel.trace_span(
+        "daemon",
+        "retry.backoff",
+        Instant::now(),
+        Duration::from_millis(backoff),
+        vec![
+            ("attempt".to_owned(), Json::Uint(u64::from(next))),
+            ("reason".to_owned(), Json::Str(reason.to_owned())),
+            ("backoff_ms".to_owned(), Json::Uint(backoff)),
+        ],
     );
+    tel.mark_runnable(due);
+    shared.supervisor.schedule(id.to_owned(), due);
     shared.refresh_gauges();
     None
 }

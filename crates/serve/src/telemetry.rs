@@ -27,6 +27,7 @@
 //! `received + dropped == produced` always holds, so a watcher can
 //! tell silence from loss.
 
+use crate::trace::{SpanOrigin, TraceSpan};
 use spindle_obs::frame::{Frame, FrameDecoder, WindowBatch};
 use spindle_obs::json::Json;
 use spindle_obs::rollup::{snapshot_delta, WindowAccum};
@@ -34,7 +35,7 @@ use spindle_obs::{MetricsRegistry, RollupSet, Snapshot};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Read;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -67,6 +68,60 @@ const MIN_ETA_SAMPLES: usize = 4;
 
 /// Bounded progress-sample window per job.
 const ETA_SAMPLE_WINDOW: usize = 64;
+
+/// Bound on trace spans retained per job — daemon lifecycle spans plus
+/// whatever the child ships. Overflow is counted, never silently lost:
+/// `retained + dropped == produced` holds for spans exactly as it does
+/// for the event ring.
+pub(crate) const TRACE_SPAN_CAP: usize = 4096;
+
+/// Slice of [`TRACE_SPAN_CAP`] held back for daemon-origin spans. A
+/// chatty child can ship tens of thousands of sim spans; if they could
+/// fill the whole store, the handful of lifecycle spans recorded at
+/// the *end* of an attempt (the attempt span itself, finalize) would
+/// be the first casualties — and they are the part of the trace only
+/// the daemon can tell.
+pub(crate) const DAEMON_SPAN_RESERVE: usize = 256;
+
+/// Bounded span buffer with exact drop accounting. Child (bulk) spans
+/// may use at most `cap - reserve` slots; daemon spans may use any
+/// slot up to `cap`.
+struct SpanStore {
+    cap: usize,
+    reserve: usize,
+    bulk: usize,
+    spans: Vec<TraceSpan>,
+    dropped: u64,
+}
+
+impl SpanStore {
+    fn new(cap: usize) -> SpanStore {
+        let cap = cap.max(2);
+        SpanStore {
+            cap,
+            reserve: DAEMON_SPAN_RESERVE.min(cap / 2),
+            bulk: 0,
+            spans: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, span: TraceSpan) {
+        let fits = if span.origin == SpanOrigin::Daemon {
+            self.spans.len() < self.cap
+        } else {
+            self.spans.len() < self.cap && self.bulk < self.cap - self.reserve
+        };
+        if fits {
+            if span.origin != SpanOrigin::Daemon {
+                self.bulk += 1;
+            }
+            self.spans.push(span);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
 
 /// A bounded, sequence-numbered event buffer. Producers never block:
 /// when full, the oldest event is evicted and the gap stays visible as
@@ -177,6 +232,17 @@ pub(crate) struct JobTelemetry {
     /// Milliseconds since `epoch` when the last frame was decoded —
     /// the liveness signal the watchdog's stall detector reads.
     last_frame_ms: AtomicU64,
+    /// Trace spans: daemon lifecycle spans plus whatever the child
+    /// ships over the frame protocol.
+    spans: Mutex<SpanStore>,
+    /// `daemon elapsed at Hello decode − child span-clock elapsed at
+    /// Hello encode`, valid only when `offset_known`; shifts child
+    /// wall spans onto the daemon timeline.
+    clock_offset_ns: AtomicI64,
+    offset_known: AtomicBool,
+    /// When the job last became runnable (admission, or a retry's due
+    /// time); the queue-wait span runs from here to attempt start.
+    runnable_at: Mutex<Option<Instant>>,
 }
 
 impl JobTelemetry {
@@ -194,6 +260,81 @@ impl JobTelemetry {
             torn: AtomicBool::new(false),
             closed: AtomicBool::new(false),
             last_frame_ms: AtomicU64::new(0),
+            spans: Mutex::new(SpanStore::new(TRACE_SPAN_CAP)),
+            clock_offset_ns: AtomicI64::new(0),
+            offset_known: AtomicBool::new(false),
+            runnable_at: Mutex::new(None),
+        }
+    }
+
+    /// The instant daemon-side trace spans are measured against.
+    pub(crate) fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Marks the instant the job became runnable (admission, or a
+    /// retry's scheduled due time).
+    pub(crate) fn mark_runnable(&self, at: Instant) {
+        *self.runnable_at.lock().expect("runnable lock") = Some(at);
+    }
+
+    /// The last recorded runnable instant, if any.
+    pub(crate) fn runnable_at(&self) -> Option<Instant> {
+        *self.runnable_at.lock().expect("runnable lock")
+    }
+
+    /// Records one daemon-side lifecycle span on the daemon timeline.
+    pub(crate) fn trace_span(
+        &self,
+        track: &str,
+        name: &str,
+        begin: Instant,
+        dur: Duration,
+        args: Vec<(String, Json)>,
+    ) {
+        let begin_ns = begin
+            .checked_duration_since(self.epoch)
+            .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        self.push_span(TraceSpan {
+            origin: SpanOrigin::Daemon,
+            track: track.to_owned(),
+            name: name.to_owned(),
+            begin_ns,
+            dur_ns: Some(u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX)),
+            args: render_args(&args),
+        });
+    }
+
+    /// Records one daemon-side instant event ("now", zero duration).
+    pub(crate) fn trace_instant(&self, track: &str, name: &str, args: Vec<(String, Json)>) {
+        let begin_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.push_span(TraceSpan {
+            origin: SpanOrigin::Daemon,
+            track: track.to_owned(),
+            name: name.to_owned(),
+            begin_ns,
+            dur_ns: None,
+            args: render_args(&args),
+        });
+    }
+
+    fn push_span(&self, span: TraceSpan) {
+        self.spans.lock().expect("span store lock").push(span);
+    }
+
+    /// `(spans, dropped)` — everything retained for trace assembly,
+    /// with the exact count of spans the bound shed.
+    pub(crate) fn trace_spans(&self) -> (Vec<TraceSpan>, u64) {
+        let store = self.spans.lock().expect("span store lock");
+        (store.spans.clone(), store.dropped)
+    }
+
+    /// The Hello-derived clock offset, once a child has said hello.
+    pub(crate) fn child_offset_ns(&self) -> Option<i64> {
+        if self.offset_known.load(Ordering::Acquire) {
+            Some(self.clock_offset_ns.load(Ordering::Acquire))
+        } else {
+            None
         }
     }
 
@@ -281,7 +422,22 @@ impl JobTelemetry {
     /// batches are kept verbatim.
     pub(crate) fn apply_frame(&self, fleet: &Fleet, frame: Frame) {
         match frame {
-            Frame::Hello { pid, label, .. } => {
+            Frame::Hello {
+                pid,
+                label,
+                epoch_ns,
+                ..
+            } => {
+                // Both clocks are read "now" (encode races decode by
+                // one loopback hop): daemon elapsed minus child
+                // elapsed is the shift that puts the child's wall
+                // spans on the daemon timeline. A v1 child reports
+                // epoch 0, degrading the offset to "Hello arrival".
+                let here = i64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(i64::MAX);
+                let there = i64::try_from(epoch_ns).unwrap_or(i64::MAX);
+                self.clock_offset_ns
+                    .store(here.saturating_sub(there), Ordering::Release);
+                self.offset_known.store(true, Ordering::Release);
                 self.event(
                     "hello",
                     vec![
@@ -306,6 +462,27 @@ impl JobTelemetry {
             }
             Frame::Windows(batch) => {
                 self.reported.lock().expect("reported lock").push(batch);
+            }
+            Frame::Span(batch) => {
+                let mut store = self.spans.lock().expect("span store lock");
+                // The child's own shed count carries through, so
+                // end-to-end `retained + dropped == produced` holds
+                // across the process boundary.
+                store.dropped = store.dropped.saturating_add(batch.dropped);
+                for rec in batch.spans {
+                    store.push(TraceSpan {
+                        origin: if rec.sim {
+                            SpanOrigin::ChildSim
+                        } else {
+                            SpanOrigin::ChildWall
+                        },
+                        track: rec.track,
+                        name: rec.name,
+                        begin_ns: rec.begin_ns,
+                        dur_ns: rec.dur_ns,
+                        args: rec.args,
+                    });
+                }
             }
             Frame::Progress {
                 completed,
@@ -344,6 +521,16 @@ impl JobTelemetry {
     }
 }
 
+/// Renders span args to the stored wire form: a JSON object string,
+/// or empty when there are none.
+fn render_args(args: &[(String, Json)]) -> String {
+    if args.is_empty() {
+        String::new()
+    } else {
+        Json::Obj(args.to_vec()).to_string()
+    }
+}
+
 impl std::fmt::Debug for JobTelemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JobTelemetry")
@@ -371,6 +558,12 @@ impl Fleet {
 
     fn t_ns(&self) -> u64 {
         u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The daemon-wide timeline origin the merged `/trace` document
+    /// aligns per-job epochs against.
+    pub(crate) fn epoch(&self) -> Instant {
+        self.epoch
     }
 
     pub(crate) fn ingest(&self, delta: &WindowAccum) {
@@ -496,6 +689,7 @@ pub(crate) fn ingest_stream(
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
     let mut done_since: Option<Instant> = None;
+    let mut skipped_seen = 0u64;
     loop {
         match stream.read(&mut buf) {
             Ok(0) => break,
@@ -519,6 +713,16 @@ pub(crate) fn ingest_stream(
                             return;
                         }
                     }
+                }
+                // Unknown kinds are skipped inside the decoder (a
+                // newer child talking to an older daemon); surface the
+                // running count so forward-compat loss is visible.
+                let skipped = decoder.skipped();
+                if skipped > skipped_seen {
+                    registry
+                        .counter("serve.telemetry.frames_skipped")
+                        .add(skipped - skipped_seen);
+                    skipped_seen = skipped;
                 }
             }
             Err(e)
@@ -660,6 +864,7 @@ mod tests {
             version: spindle_obs::frame::PROTOCOL_VERSION,
             pid: 7,
             label: "t".to_owned(),
+            epoch_ns: 0,
         }
         .encode();
 
@@ -690,6 +895,7 @@ mod tests {
             version: 99,
             pid: 7,
             label: "t".to_owned(),
+            epoch_ns: 0,
         }
         .encode();
         ingest_bytes(&future, &tel, &registry);
@@ -699,6 +905,145 @@ mod tests {
             events.iter().any(|(_, e)| e.contains("telemetry-error")),
             "{events:?}"
         );
+    }
+
+    #[test]
+    fn span_store_stays_bounded_with_exact_drop_accounting() {
+        use spindle_obs::frame::{SpanBatch, SpanRec};
+        let fleet = Fleet::new();
+        let tel = JobTelemetry::new(16);
+        let rec = |i: u64| SpanRec {
+            sim: i.is_multiple_of(2),
+            track: "t".to_owned(),
+            name: format!("s{i}"),
+            begin_ns: i,
+            dur_ns: Some(1),
+            args: String::new(),
+        };
+        // A slow consumer never reads; the producer ships far more
+        // spans than the store holds, including a batch that already
+        // shed spans child-side.
+        let total_sent = TRACE_SPAN_CAP as u64 + 500;
+        let child_shed = 7u64;
+        let mut sent = 0u64;
+        while sent < total_sent {
+            let n = (total_sent - sent).min(300);
+            tel.apply_frame(
+                &fleet,
+                Frame::Span(SpanBatch {
+                    t_ns: sent,
+                    dropped: if sent == 0 { child_shed } else { 0 },
+                    spans: (sent..sent + n).map(rec).collect(),
+                }),
+            );
+            sent += n;
+        }
+        let (spans, dropped) = tel.trace_spans();
+        let bulk_cap = TRACE_SPAN_CAP - DAEMON_SPAN_RESERVE;
+        assert_eq!(spans.len(), bulk_cap, "bulk retention is bounded");
+        assert_eq!(
+            spans.len() as u64 + dropped,
+            total_sent + child_shed,
+            "retained + dropped == produced, across the process boundary"
+        );
+        // Daemon lifecycle spans recorded *after* the flood still land:
+        // the reserve exists precisely so a chatty child cannot evict
+        // the attempt/finalize story told at the end of a run.
+        for i in 0..DAEMON_SPAN_RESERVE {
+            tel.trace_instant("daemon", &format!("late{i}"), Vec::new());
+        }
+        let (spans2, dropped2) = tel.trace_spans();
+        assert_eq!(spans2.len(), TRACE_SPAN_CAP, "reserve filled to cap");
+        assert_eq!(dropped2, dropped, "no daemon span was shed");
+        assert!(spans2
+            .iter()
+            .any(|s| s.origin == SpanOrigin::Daemon && s.name == "late0"));
+        // Past the cap even daemon spans drop — but still exactly
+        // accounted.
+        tel.trace_instant("daemon", "overflow", Vec::new());
+        let (spans3, dropped3) = tel.trace_spans();
+        assert_eq!(spans3.len(), TRACE_SPAN_CAP);
+        assert_eq!(dropped3, dropped + 1);
+    }
+
+    #[test]
+    fn hello_epoch_yields_a_clock_offset_for_child_wall_spans() {
+        let fleet = Fleet::new();
+        let tel = JobTelemetry::new(16);
+        assert_eq!(tel.child_offset_ns(), None, "no hello, no offset");
+        // A child whose span clock started 5 s before its Hello: the
+        // offset must place its spans ~5 s in the daemon's past.
+        tel.apply_frame(
+            &fleet,
+            Frame::Hello {
+                version: spindle_obs::frame::PROTOCOL_VERSION,
+                pid: 1,
+                label: "old-clock".to_owned(),
+                epoch_ns: 5_000_000_000,
+            },
+        );
+        let offset = tel.child_offset_ns().expect("hello landed");
+        assert!(
+            (-5_000_000_000..=-4_000_000_000).contains(&offset),
+            "offset ≈ -5s: {offset}"
+        );
+        // A child epoch ≈ 0 (clock started at Hello): offset ≈ the
+        // tiny daemon elapsed, i.e. near zero but non-negative.
+        let tel2 = JobTelemetry::new(16);
+        tel2.apply_frame(
+            &fleet,
+            Frame::Hello {
+                version: spindle_obs::frame::PROTOCOL_VERSION,
+                pid: 2,
+                label: "fresh".to_owned(),
+                epoch_ns: 0,
+            },
+        );
+        let offset2 = tel2.child_offset_ns().expect("hello landed");
+        assert!(
+            (0..1_000_000_000).contains(&offset2),
+            "fresh clock, small positive offset: {offset2}"
+        );
+    }
+
+    #[test]
+    fn unknown_frame_kinds_are_skipped_and_counted_not_fatal() {
+        fn fnv1a(bytes: &[u8]) -> u32 {
+            let mut hash: u32 = 0x811c_9dc5;
+            for &b in bytes {
+                hash ^= u32::from(b);
+                hash = hash.wrapping_mul(0x0100_0193);
+            }
+            hash
+        }
+        // A checksum-valid frame of a future kind between two known
+        // frames: the stream survives, the skip is visible.
+        let mut wire = Frame::Hello {
+            version: spindle_obs::frame::PROTOCOL_VERSION,
+            pid: 7,
+            label: "t".to_owned(),
+            epoch_ns: 0,
+        }
+        .encode();
+        let body = [200u8, 1, 2, 3];
+        wire.extend_from_slice(&u32::try_from(body.len()).unwrap().to_le_bytes());
+        wire.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        wire.extend_from_slice(&body);
+        wire.extend_from_slice(
+            &Frame::Bye {
+                t_ns: 9,
+                frames_sent: 1,
+            }
+            .encode(),
+        );
+        let registry = MetricsRegistry::new();
+        let tel = JobTelemetry::new(16);
+        ingest_bytes(&wire, &tel, &registry);
+        assert_eq!(tel.frames.load(Ordering::Relaxed), 2, "hello + bye landed");
+        assert_eq!(tel.decode_errors.load(Ordering::Relaxed), 0);
+        assert!(!tel.torn.load(Ordering::Relaxed), "clean bye, not torn");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.telemetry.frames_skipped"), Some(1));
     }
 
     #[test]
@@ -714,6 +1059,7 @@ mod tests {
             version: spindle_obs::frame::PROTOCOL_VERSION,
             pid: 7,
             label: "t".to_owned(),
+            epoch_ns: 0,
         }
         .encode();
         ingest_bytes(&hello, &tel, &registry);
@@ -732,6 +1078,7 @@ mod tests {
             version: spindle_obs::frame::PROTOCOL_VERSION,
             pid: 7,
             label: "t".to_owned(),
+            epoch_ns: 0,
         }
         .encode();
         let progress = Frame::Progress {
@@ -758,6 +1105,7 @@ mod tests {
             version: spindle_obs::frame::PROTOCOL_VERSION,
             pid: 7,
             label: "t".to_owned(),
+            epoch_ns: 0,
         }
         .encode();
         wire.extend_from_slice(

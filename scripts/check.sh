@@ -294,6 +294,24 @@ else
                 echo "FAILED: per-job timescales carry no resolutions" >&2
                 fail=1
             fi
+
+            # Causal tracing: the finished job's Chrome trace must pass
+            # the structural checker and carry the daemon lifecycle
+            # spans (queue wait + at least one attempt). The document
+            # stays in artifacts/ so CI uploads something loadable
+            # straight into Perfetto.
+            echo "==> causal trace smoke (/jobs/$MATRIX_ID/trace)"
+            run curl -sf "http://$ADDR/jobs/$MATRIX_ID/trace" \
+                -o artifacts/job-trace.json
+            run "$SPINDLE" trace check artifacts/job-trace.json
+            if ! grep -q '"name":"queue.wait"' artifacts/job-trace.json; then
+                echo "FAILED: job trace carries no queue.wait span" >&2
+                fail=1
+            fi
+            if ! grep -q '"name":"attempt"' artifacts/job-trace.json; then
+                echo "FAILED: job trace carries no attempt span" >&2
+                fail=1
+            fi
         fi
     fi
     kill -9 "$JOBS_PID" 2>/dev/null

@@ -38,10 +38,17 @@ fn run(jobs: &str, trace: &std::path::Path, telemetry: bool) -> Output {
         .args(["t2", "f5"])
         .env_remove("SPINDLE_FAULTS")
         .env_remove(SINK_ENV)
+        .env_remove(spindle_obs::context::TRACE_CONTEXT_ENV)
         .env("SPINDLE_SERVE_LINGER_MS", "0");
     if telemetry {
         cmd.args(["--serve", "127.0.0.1:0", "--live", "--timescales-out"])
             .arg(trace.with_extension("timescales.json"));
+        // Causal tracing is an observer too: a minted trace context in
+        // the environment must not move a single output byte either.
+        cmd.env(
+            spindle_obs::context::TRACE_CONTEXT_ENV,
+            spindle_obs::TraceContext::mint("job-0001", 1).to_string(),
+        );
     }
     let out = cmd.output().expect("run experiments binary");
     assert!(
@@ -158,6 +165,7 @@ fn drain_sink(listener: TcpListener) -> std::thread::JoinHandle<Vec<&'static str
                             Frame::Windows(_) => "windows",
                             Frame::Progress { .. } => "progress",
                             Frame::Log { .. } => "log",
+                            Frame::Span(_) => "span",
                             Frame::Bye { .. } => "bye",
                         });
                     }
